@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Ablation of the level-table *shape* (an extension beyond the paper,
+ * which fixes three levels at 1x/2.5x/4x the base): how much of the
+ * resizing benefit comes from having an intermediate level, and what a
+ * finer four-level ladder would add. Reports GM IPC relative to the
+ * base for the paper's 3-level table, a 2-level table (small/big
+ * only), and a 4-level table with a finer ascent.
+ *
+ * Expected shape: two levels already capture most of the benefit
+ * (enlargement saturates quickly under clustered misses); the fourth
+ * level adds little but costs nothing — supporting the paper's choice
+ * of a coarse ladder.
+ */
+
+#include <cstdio>
+
+#include "common/bench_util.hh"
+#include "resize/level_table.hh"
+
+using namespace mlpwin;
+using namespace mlpwin::bench;
+
+namespace
+{
+
+LevelTable
+twoLevels()
+{
+    return LevelTable({
+        ResourceLevel{64, 1, 128, 1, 64, 1},
+        ResourceLevel{256, 2, 512, 2, 256, 2},
+    });
+}
+
+LevelTable
+fourLevels()
+{
+    return LevelTable({
+        ResourceLevel{64, 1, 128, 1, 64, 1},
+        ResourceLevel{128, 2, 256, 2, 128, 2},
+        ResourceLevel{192, 2, 384, 2, 192, 2},
+        ResourceLevel{256, 2, 512, 2, 256, 2},
+    });
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::uint64_t budget = instBudget();
+    const std::vector<std::string> progs = allWorkloadNames();
+
+    struct Variant
+    {
+        const char *label;
+        LevelTable table;
+    };
+    const Variant variants[] = {
+        {"2-level", twoLevels()},
+        {"3-level", LevelTable::paperDefault()},
+        {"4-level", fourLevels()},
+    };
+
+    std::printf("==== Level-ladder ablation (resizing, IPC vs base) "
+                "====\n");
+    std::printf("%-10s %12s %12s %12s\n", "table", "GM mem", "GM comp",
+                "GM all");
+    for (const Variant &v : variants) {
+        std::vector<double> mem_v, comp_v, all_v;
+        for (const std::string &w : progs) {
+            double base = runModel(w, ModelKind::Base, 1, budget).ipc;
+            SimConfig cfg = benchConfig(ModelKind::Resizing, 1);
+            cfg.levels = v.table;
+            double rel = runConfig(w, cfg, budget).ipc / base;
+            all_v.push_back(rel);
+            if (findWorkload(w).memIntensive)
+                mem_v.push_back(rel);
+            else
+                comp_v.push_back(rel);
+        }
+        std::printf("%-10s %12.3f %12.3f %12.3f\n", v.label,
+                    geomean(mem_v), geomean(comp_v), geomean(all_v));
+    }
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Memory-latency sensitivity (extension): the paper evaluates one
+ * design point (300-cycle main memory). This sweep varies the latency
+ * — which is simultaneously the shrink timeout of the Fig. 5
+ * algorithm — and reports the resizing model's GM speedup over the
+ * base at each point.
+ *
+ * Expected shape: the deeper the memory wall, the more a large window
+ * is worth; the speedup grows with latency on memory-intensive
+ * programs and stays flat near 1.0 on compute-intensive ones.
+ */
+
+#include <cstdio>
+
+#include "common/bench_util.hh"
+
+using namespace mlpwin;
+using namespace mlpwin::bench;
+
+int
+main()
+{
+    const std::uint64_t budget = instBudget();
+    const std::vector<std::string> progs = allWorkloadNames();
+    const unsigned latencies[] = {100, 200, 300, 500};
+
+    std::printf("==== Memory-latency sensitivity (resizing vs base) "
+                "====\n");
+    std::printf("%-10s %12s %12s %12s\n", "latency", "GM mem",
+                "GM comp", "GM all");
+    for (unsigned lat : latencies) {
+        std::vector<double> mem_v, comp_v, all_v;
+        for (const std::string &w : progs) {
+            SimConfig base_cfg = benchConfig(ModelKind::Base, 1);
+            base_cfg.mem.dram.minLatency = lat;
+            base_cfg.mlp.memoryLatency = lat;
+            double base = runConfig(w, base_cfg, budget).ipc;
+
+            SimConfig res_cfg = benchConfig(ModelKind::Resizing, 1);
+            res_cfg.mem.dram.minLatency = lat;
+            res_cfg.mlp.memoryLatency = lat;
+            double rel = runConfig(w, res_cfg, budget).ipc / base;
+
+            all_v.push_back(rel);
+            if (findWorkload(w).memIntensive)
+                mem_v.push_back(rel);
+            else
+                comp_v.push_back(rel);
+        }
+        std::printf("%-10u %12.3f %12.3f %12.3f\n", lat,
+                    geomean(mem_v), geomean(comp_v), geomean(all_v));
+    }
+    return 0;
+}

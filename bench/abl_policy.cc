@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Ablation of the resizing *policy* (paper Section 6.2): the paper's
+ * LLC-miss-driven MLP-aware controller versus a Ponomarev-style
+ * occupancy-driven controller (grow on full-queue stalls, shrink on
+ * low average occupancy) and the always-big Fix3 configuration, all
+ * normalized to the base.
+ *
+ * Expected shape: occupancy-driven resizing grows the window whenever
+ * the queues back up — which happens in compute-intensive code too —
+ * so it pays the pipelining penalties without MLP to show for it;
+ * the MLP-aware policy matches it on memory-intensive programs and
+ * beats it on compute-intensive ones.
+ */
+
+#include <cstdio>
+
+#include "common/bench_util.hh"
+
+using namespace mlpwin;
+using namespace mlpwin::bench;
+
+int
+main()
+{
+    const std::uint64_t budget = instBudget();
+    const std::vector<std::string> progs = allWorkloadNames();
+
+    Series mlp{"mlp-aware", {}};
+    Series occ{"occupancy", {}};
+    Series fix3{"Fix3", {}};
+    for (const std::string &w : progs) {
+        double base = runModel(w, ModelKind::Base, 1, budget).ipc;
+        mlp.byWorkload[w] =
+            runModel(w, ModelKind::Resizing, 1, budget).ipc / base;
+        occ.byWorkload[w] =
+            runModel(w, ModelKind::Occupancy, 1, budget).ipc / base;
+        fix3.byWorkload[w] =
+            runModel(w, ModelKind::Fixed, 3, budget).ipc / base;
+    }
+
+    printTable("Policy ablation: what drives the resizing decision "
+               "(IPC vs base)", progs, {mlp, occ, fix3});
+    printGeomeans(progs, {mlp, occ, fix3});
+    return 0;
+}

@@ -1,0 +1,133 @@
+#include "common/bench_util.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/stats.hh"
+
+namespace mlpwin
+{
+namespace bench
+{
+
+std::uint64_t
+instBudget()
+{
+    if (const char *env = std::getenv("MLPWIN_BENCH_INSTS"))
+        return std::strtoull(env, nullptr, 10);
+    return kDefaultBudget;
+}
+
+std::uint64_t
+warmupBudget()
+{
+    if (const char *env = std::getenv("MLPWIN_BENCH_WARMUP"))
+        return std::strtoull(env, nullptr, 10);
+    return kDefaultWarmup;
+}
+
+SimConfig
+benchConfig(ModelKind model, unsigned level)
+{
+    SimConfig cfg;
+    cfg.model = model;
+    cfg.fixedLevel = level;
+    cfg.warmupInsts = warmupBudget();
+    cfg.warmDataCaches = true;
+    return cfg;
+}
+
+SimResult
+runModel(const std::string &workload, ModelKind model, unsigned level,
+         std::uint64_t max_insts)
+{
+    return runConfig(workload, benchConfig(model, level), max_insts);
+}
+
+SimResult
+runConfig(const std::string &workload, const SimConfig &cfg,
+          std::uint64_t max_insts)
+{
+    SimConfig c = cfg;
+    c.maxInsts = max_insts;
+    SimResult r = runWorkload(workload, c, kForever);
+    progress(workload + " [" + r.model + "]: ipc " +
+             std::to_string(r.ipc));
+    return r;
+}
+
+std::vector<std::string>
+allWorkloadNames()
+{
+    std::vector<std::string> names;
+    for (const WorkloadSpec &w : spec2006Suite())
+        names.push_back(w.name);
+    return names;
+}
+
+void
+progress(const std::string &msg)
+{
+    std::fprintf(stderr, "  .. %s\n", msg.c_str());
+}
+
+void
+printHeader(const std::string &title)
+{
+    std::printf("\n==== %s ====\n", title.c_str());
+}
+
+void
+printTable(const std::string &title,
+           const std::vector<std::string> &workloads,
+           const std::vector<Series> &series)
+{
+    printHeader(title);
+    std::printf("%-12s", "program");
+    for (const Series &s : series)
+        std::printf(" %10s", s.label.c_str());
+    std::printf("\n");
+    for (const std::string &w : workloads) {
+        std::printf("%-12s", w.c_str());
+        for (const Series &s : series) {
+            auto it = s.byWorkload.find(w);
+            if (it == s.byWorkload.end())
+                std::printf(" %10s", "-");
+            else
+                std::printf(" %10.3f", it->second);
+        }
+        std::printf("\n");
+    }
+}
+
+void
+printGeomeans(const std::vector<std::string> &workloads,
+              const std::vector<Series> &series)
+{
+    auto gm_row = [&](const char *label, bool mem, bool comp) {
+        std::printf("%-12s", label);
+        for (const Series &s : series) {
+            std::vector<double> vals;
+            for (const std::string &w : workloads) {
+                const WorkloadSpec &spec = findWorkload(w);
+                if ((spec.memIntensive && !mem) ||
+                    (!spec.memIntensive && !comp))
+                    continue;
+                auto it = s.byWorkload.find(w);
+                if (it != s.byWorkload.end() && it->second > 0.0)
+                    vals.push_back(it->second);
+            }
+            if (vals.empty())
+                std::printf(" %10s", "-");
+            else
+                std::printf(" %10.3f", geomean(vals));
+        }
+        std::printf("\n");
+    };
+    gm_row("GM mem", true, false);
+    gm_row("GM comp", false, true);
+    gm_row("GM all", true, true);
+}
+
+} // namespace bench
+} // namespace mlpwin

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction harnesses: run
+ * matrices over (workload x model), normalized-IPC tables, and
+ * geometric-mean rows, printed in the layout of the paper's plots.
+ */
+
+#ifndef MLPWIN_BENCH_BENCH_UTIL_HH
+#define MLPWIN_BENCH_BENCH_UTIL_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "workloads/suite.hh"
+
+namespace mlpwin
+{
+namespace bench
+{
+
+/** Iteration count meaning "run until the instruction budget". */
+constexpr std::uint64_t kForever = 1ULL << 40;
+
+/** Default committed-instruction budget per run. */
+constexpr std::uint64_t kDefaultBudget = 300000;
+
+/** Default warm-up instructions before the measurement window. */
+constexpr std::uint64_t kDefaultWarmup = 100000;
+
+/** Budget override from the environment (MLPWIN_BENCH_INSTS). */
+std::uint64_t instBudget();
+
+/** Warm-up override from the environment (MLPWIN_BENCH_WARMUP). */
+std::uint64_t warmupBudget();
+
+/**
+ * Default benchmark configuration: warm instruction and data caches,
+ * warm-up window, and the given model/level.
+ */
+SimConfig benchConfig(ModelKind model, unsigned level);
+
+/** Run one workload under one model/level with the default config. */
+SimResult runModel(const std::string &workload, ModelKind model,
+                   unsigned level, std::uint64_t max_insts);
+
+/** Run one workload under an explicit configuration. */
+SimResult runConfig(const std::string &workload, const SimConfig &cfg,
+                    std::uint64_t max_insts);
+
+/** All 28 suite program names, paper Table 3 order. */
+std::vector<std::string> allWorkloadNames();
+
+/** Progress note to stderr (stdout carries only the tables). */
+void progress(const std::string &msg);
+
+/** Named IPC series over a set of workloads (rows). */
+struct Series
+{
+    std::string label;
+    std::map<std::string, double> byWorkload;
+};
+
+/** Print a table: workloads as rows, series as columns. */
+void printTable(const std::string &title,
+                const std::vector<std::string> &workloads,
+                const std::vector<Series> &series);
+
+/**
+ * Append GM rows (GM mem / GM comp / GM all over the *full* suite
+ * subset present in the series) to a printed table.
+ */
+void printGeomeans(const std::vector<std::string> &workloads,
+                   const std::vector<Series> &series);
+
+/** Header helper. */
+void printHeader(const std::string &title);
+
+} // namespace bench
+} // namespace mlpwin
+
+#endif // MLPWIN_BENCH_BENCH_UTIL_HH

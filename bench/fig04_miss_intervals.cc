@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Reproduces paper Fig. 4: the histogram of L2 cache miss occurrences
+ * over inter-miss intervals for soplex (8-cycle bins), on the base
+ * processor.
+ *
+ * Expected shape: the vast majority of misses fall in the first few
+ * bins (misses are clustered in time), with a secondary peak near the
+ * main-memory latency (~300 cycles) — the window fills after a miss,
+ * the pipeline stalls for one memory latency, and the next cluster
+ * begins when the miss resolves. This clustering is the empirical
+ * basis of the paper's enlarge-on-miss / shrink-after-latency policy.
+ */
+
+#include <cstdio>
+
+#include "common/bench_util.hh"
+#include "mem/hierarchy.hh"
+
+using namespace mlpwin;
+using namespace mlpwin::bench;
+
+int
+main()
+{
+    const std::uint64_t budget = instBudget();
+
+    SimConfig cfg = benchConfig(ModelKind::Base, 1);
+    cfg.maxInsts = budget;
+    const WorkloadSpec &spec = findWorkload("soplex");
+    Program prog = spec.make(kForever);
+    Simulator sim(cfg, prog);
+    sim.run();
+
+    const Histogram &h = sim.hierarchy().missIntervalHist();
+    std::printf("==== Fig. 4: L2 miss-interval histogram, soplex "
+                "(bin = %llu cycles) ====\n",
+                static_cast<unsigned long long>(h.binWidth()));
+    std::printf("%-14s %10s  %s\n", "interval", "misses", "share");
+
+    std::uint64_t total = h.totalSamples();
+    if (total == 0) {
+        std::printf("(no L2 misses observed)\n");
+        return 0;
+    }
+
+    for (std::size_t i = 0; i < h.numBins(); ++i) {
+        std::uint64_t n = h.binCount(i);
+        if (n == 0)
+            continue;
+        double share = 100.0 * static_cast<double>(n) /
+                       static_cast<double>(total);
+        std::printf("[%4zu,%4zu)    %10llu  %5.1f%% ", i * h.binWidth(),
+                    (i + 1) * h.binWidth(),
+                    static_cast<unsigned long long>(n), share);
+        for (int b = 0; b < static_cast<int>(share); ++b)
+            std::putchar('#');
+        std::putchar('\n');
+    }
+    if (h.overflow()) {
+        std::printf("[%4llu,  inf)   %10llu  %5.1f%%\n",
+                    static_cast<unsigned long long>(h.numBins() *
+                                                    h.binWidth()),
+                    static_cast<unsigned long long>(h.overflow()),
+                    100.0 * static_cast<double>(h.overflow()) /
+                        static_cast<double>(total));
+    }
+
+    // The paper's two headline observations, as checkable numbers.
+    std::uint64_t first_64 = 0;
+    for (std::size_t i = 0; i < 8 && i < h.numBins(); ++i)
+        first_64 += h.binCount(i);
+    std::uint64_t near_latency = 0;
+    for (std::size_t i = 32; i < 48 && i < h.numBins(); ++i)
+        near_latency += h.binCount(i); // 256..384 cycles.
+    std::printf("\nmisses within 64 cycles of the previous: %5.1f%%\n",
+                100.0 * static_cast<double>(first_64) /
+                    static_cast<double>(total));
+    std::printf("misses 256-384 cycles after the previous: %5.1f%% "
+                "(stall-then-recluster peak)\n",
+                100.0 * static_cast<double>(near_latency) /
+                    static_cast<double>(total));
+    return 0;
+}

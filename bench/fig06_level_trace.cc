@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Reproduces paper Fig. 6: the resource-level transition timeline of
+ * the MLP-aware controller around L2 miss clusters. Runs omnetpp
+ * (mixed compute/memory phases) under the resizing model, records
+ * every level transition, and prints a segment of the timeline plus
+ * summary statistics (transitions per 100k cycles, residency shares).
+ *
+ * Expected shape: the level rises by one on each L2 miss (clamped at
+ * the maximum), stays up while misses keep arriving, and steps down
+ * one memory latency after the last miss — MLP is exploited at the
+ * top, ILP at the bottom.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/bench_util.hh"
+
+using namespace mlpwin;
+using namespace mlpwin::bench;
+
+namespace
+{
+
+struct Transition
+{
+    Cycle cycle;
+    unsigned fromLevel;
+    unsigned toLevel;
+    std::uint64_t missesSoFar;
+};
+
+} // namespace
+
+int
+main()
+{
+    const std::uint64_t budget = instBudget();
+
+    SimConfig cfg = benchConfig(ModelKind::Resizing, 1);
+    const WorkloadSpec &spec = findWorkload("omnetpp");
+    Program prog = spec.make(kForever);
+    Simulator sim(cfg, prog);
+
+    // Warm up outside the traced window.
+    sim.runUntil(cfg.warmupInsts);
+
+    std::vector<Transition> log;
+    unsigned level = sim.controller().level();
+    Cycle start_cycle = sim.core().cycle();
+    while (!sim.core().halted() &&
+           sim.core().committedInsts() < cfg.warmupInsts + budget) {
+        sim.tick();
+        unsigned now_level = sim.controller().level();
+        if (now_level != level) {
+            log.push_back(Transition{sim.core().cycle(), level,
+                                     now_level,
+                                     sim.hierarchy().l2DemandMisses()});
+            level = now_level;
+        }
+    }
+    Cycle cycles = sim.core().cycle() - start_cycle;
+
+    std::printf("==== Fig. 6: level transitions, omnetpp (resizing) "
+                "====\n");
+    std::printf("%-12s %5s -> %-5s %12s\n", "cycle", "from", "to",
+                "L2 misses");
+    std::size_t shown = 0;
+    for (const Transition &t : log) {
+        if (shown++ >= 40) {
+            std::printf("... (%zu more transitions)\n",
+                        log.size() - 40);
+            break;
+        }
+        std::printf("%-12llu %5u -> %-5u %12llu\n",
+                    static_cast<unsigned long long>(t.cycle),
+                    t.fromLevel, t.toLevel,
+                    static_cast<unsigned long long>(t.missesSoFar));
+    }
+
+    std::printf("\ntotal transitions : %zu over %llu cycles "
+                "(%.2f per 100k cycles)\n",
+                log.size(), static_cast<unsigned long long>(cycles),
+                cycles ? 1e5 * static_cast<double>(log.size()) /
+                             static_cast<double>(cycles)
+                       : 0.0);
+    const LevelResidency &res = sim.controller().residency();
+    std::printf("cycle share per level:");
+    std::uint64_t total = 0;
+    for (std::uint64_t c : res.cyclesAtLevel)
+        total += c;
+    for (std::size_t l = 0; l < res.cyclesAtLevel.size(); ++l)
+        std::printf("  L%zu %.1f%%", l + 1,
+                    total ? 100.0 *
+                                static_cast<double>(
+                                    res.cyclesAtLevel[l]) /
+                                static_cast<double>(total)
+                          : 0.0);
+    std::printf("\n");
+    return 0;
+}

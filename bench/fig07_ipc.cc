@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Reproduces paper Fig. 7 (the headline result): IPC normalized to
+ * the base processor for every suite program under
+ *
+ *   Fix1/Fix2/Fix3 — fixed-size pipelined windows at levels 1-3
+ *                    (Fix1 is the base itself, printed as 1.0),
+ *   Res            — the paper's MLP-aware dynamic resizing,
+ *   Ideal2/Ideal3  — enlarged but non-pipelined windows (no issue or
+ *                    mispredict penalty; upper bound),
+ *
+ * plus the GM mem / GM comp / GM all geometric-mean rows.
+ *
+ * Expected shape (paper): Res tracks the best fixed level per program
+ * (max of Fix1..Fix3), within a few percent of the best Ideal; GM mem
+ * speedup ~1.5x, GM comp ~1.0x, GM all ~1.2x.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/bench_util.hh"
+
+using namespace mlpwin;
+using namespace mlpwin::bench;
+
+int
+main()
+{
+    const std::uint64_t budget = instBudget();
+    const std::vector<std::string> progs = allWorkloadNames();
+
+    Series fix1{"Fix1", {}};
+    Series fix2{"Fix2", {}};
+    Series fix3{"Fix3", {}};
+    Series res{"Res", {}};
+    Series ideal2{"Ideal2", {}};
+    Series ideal3{"Ideal3", {}};
+
+    for (const std::string &w : progs) {
+        double base = runModel(w, ModelKind::Base, 1, budget).ipc;
+        fix1.byWorkload[w] = 1.0;
+        fix2.byWorkload[w] =
+            runModel(w, ModelKind::Fixed, 2, budget).ipc / base;
+        fix3.byWorkload[w] =
+            runModel(w, ModelKind::Fixed, 3, budget).ipc / base;
+        res.byWorkload[w] =
+            runModel(w, ModelKind::Resizing, 1, budget).ipc / base;
+        ideal2.byWorkload[w] =
+            runModel(w, ModelKind::Ideal, 2, budget).ipc / base;
+        ideal3.byWorkload[w] =
+            runModel(w, ModelKind::Ideal, 3, budget).ipc / base;
+    }
+
+    std::vector<Series> cols{fix1, fix2, fix3, res, ideal2, ideal3};
+    printTable("Fig. 7: IPC normalized to base", progs, cols);
+    printGeomeans(progs, cols);
+
+    // The paper's adaptivity claim, as a checkable number: Res vs the
+    // best fixed level, per category.
+    std::printf("\n%-12s %10s\n", "", "Res/bestFix");
+    auto ratio = [&](const std::string &w) {
+        double best = fix1.byWorkload[w];
+        best = std::max(best, fix2.byWorkload[w]);
+        best = std::max(best, fix3.byWorkload[w]);
+        return res.byWorkload[w] / best;
+    };
+    std::vector<double> mem_r, comp_r;
+    for (const std::string &w : progs) {
+        if (findWorkload(w).memIntensive)
+            mem_r.push_back(ratio(w));
+        else
+            comp_r.push_back(ratio(w));
+    }
+    std::printf("%-12s %10.3f\n", "GM mem", geomean(mem_r));
+    std::printf("%-12s %10.3f\n", "GM comp", geomean(comp_r));
+    return 0;
+}

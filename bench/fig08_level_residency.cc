@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Reproduces paper Fig. 8: the percentage of cycles the window
+ * resources spend configured at each level under the dynamic resizing
+ * model, for every suite program.
+ *
+ * Expected shape: compute-intensive programs sit at level 1 nearly
+ * all the time; memory-intensive programs sit mostly at level 3;
+ * phase-mixed programs (omnetpp) split their time.
+ */
+
+#include <cstdio>
+
+#include "common/bench_util.hh"
+
+using namespace mlpwin;
+using namespace mlpwin::bench;
+
+int
+main()
+{
+    const std::uint64_t budget = instBudget();
+
+    std::printf("==== Fig. 8: %% of cycles at each level (resizing) "
+                "====\n");
+    std::printf("%-12s %8s %8s %8s   %s\n", "program", "L1", "L2",
+                "L3", "category");
+    for (const std::string &w : allWorkloadNames()) {
+        SimResult r = runModel(w, ModelKind::Resizing, 1, budget);
+        std::uint64_t total = 0;
+        for (std::uint64_t c : r.cyclesAtLevel)
+            total += c;
+        std::printf("%-12s", w.c_str());
+        for (std::size_t l = 0; l < 3; ++l) {
+            double share = 0.0;
+            if (l < r.cyclesAtLevel.size() && total) {
+                share = 100.0 *
+                        static_cast<double>(r.cyclesAtLevel[l]) /
+                        static_cast<double>(total);
+            }
+            std::printf(" %7.1f%%", share);
+        }
+        std::printf("   %s\n", findWorkload(w).memIntensive
+                                   ? "memory-intensive"
+                                   : "compute-intensive");
+    }
+    return 0;
+}

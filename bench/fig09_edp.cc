@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Reproduces paper Fig. 9: energy efficiency (performance per energy,
+ * proportional to 1/EDP) of the dynamic resizing model normalized to
+ * the base processor, per program, with category averages.
+ *
+ * Expected shape: large gains on memory-intensive programs (the big
+ * window costs power but buys much more performance; libquantum is
+ * the extreme), roughly break-even on compute-intensive programs
+ * (level 1 is selected almost always), positive overall. Paper
+ * averages: +36% mem, -8% comp, +8% all.
+ */
+
+#include <cstdio>
+
+#include "common/bench_util.hh"
+
+using namespace mlpwin;
+using namespace mlpwin::bench;
+
+int
+main()
+{
+    const std::uint64_t budget = instBudget();
+    const std::vector<std::string> progs = allWorkloadNames();
+
+    Series rel{"1/EDP vs base", {}};
+    for (const std::string &w : progs) {
+        SimResult base = runModel(w, ModelKind::Base, 1, budget);
+        SimResult res = runModel(w, ModelKind::Resizing, 1, budget);
+        // Higher 1/EDP is better; normalize so base = 1.0.
+        rel.byWorkload[w] = base.edp / res.edp;
+    }
+
+    printTable("Fig. 9: energy efficiency (1/EDP) vs base", progs,
+               {rel});
+    printGeomeans(progs, {rel});
+    return 0;
+}

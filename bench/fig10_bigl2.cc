@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Reproduces paper Fig. 10 / Section 5.5's "what if the same area
+ * went into more cache?" question: the base processor with an
+ * enlarged 2.5 MB 5-way L2 (≈1.3x the area of the resizing scheme's
+ * extra window resources) versus the dynamic resizing model, both
+ * normalized to the base.
+ *
+ * Expected shape: the bigger L2 buys well under ~1% on average, while
+ * resizing buys ~20% — window area is far more productive than cache
+ * area at this design point.
+ */
+
+#include <cstdio>
+
+#include "common/bench_util.hh"
+
+using namespace mlpwin;
+using namespace mlpwin::bench;
+
+int
+main()
+{
+    const std::uint64_t budget = instBudget();
+    const std::vector<std::string> progs = allWorkloadNames();
+
+    SimConfig big = benchConfig(ModelKind::Base, 1);
+    big.mem.l2.sizeBytes = 2621440; // 2.5 MB.
+    big.mem.l2.assoc = 5;
+
+    Series bigl2{"base+2.5MB", {}};
+    Series res{"resizing", {}};
+    for (const std::string &w : progs) {
+        double base = runModel(w, ModelKind::Base, 1, budget).ipc;
+        bigl2.byWorkload[w] = runConfig(w, big, budget).ipc / base;
+        res.byWorkload[w] =
+            runModel(w, ModelKind::Resizing, 1, budget).ipc / base;
+    }
+
+    printTable("Fig. 10: enlarged L2 vs dynamic resizing "
+               "(IPC vs base)", progs, {bigl2, res});
+    printGeomeans(progs, {bigl2, res});
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Reproduces paper Fig. 12 / Section 5.7: dynamic window resizing
+ * versus runahead execution (with RCST useless-runahead filtering),
+ * both normalized to the base processor.
+ *
+ * Expected shape: runahead helps memory-intensive programs but trails
+ * resizing on average (paper: resizing is +8% over runahead on
+ * memory-intensive, +1% on compute-intensive) because runahead
+ * abandons computation while running ahead, and useless episodes can
+ * even lose to the base (milc in the paper).
+ */
+
+#include <cstdio>
+
+#include "common/bench_util.hh"
+
+using namespace mlpwin;
+using namespace mlpwin::bench;
+
+int
+main()
+{
+    const std::uint64_t budget = instBudget();
+    const std::vector<std::string> progs = allWorkloadNames();
+
+    Series ra{"runahead", {}};
+    Series res{"resizing", {}};
+    std::printf("==== runahead episode statistics ====\n");
+    std::printf("%-12s %10s %10s\n", "program", "episodes", "useless");
+    for (const std::string &w : progs) {
+        double base = runModel(w, ModelKind::Base, 1, budget).ipc;
+        SimResult r = runModel(w, ModelKind::Runahead, 1, budget);
+        ra.byWorkload[w] = r.ipc / base;
+        res.byWorkload[w] =
+            runModel(w, ModelKind::Resizing, 1, budget).ipc / base;
+        std::printf("%-12s %10llu %10llu\n", w.c_str(),
+                    static_cast<unsigned long long>(r.runaheadEpisodes),
+                    static_cast<unsigned long long>(r.runaheadUseless));
+    }
+
+    printTable("Fig. 12: runahead vs dynamic resizing (IPC vs base)",
+               progs, {ra, res});
+    printGeomeans(progs, {ra, res});
+    return 0;
+}

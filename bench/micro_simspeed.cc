@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Simulator-throughput microbenchmarks (google-benchmark): simulated
+ * instructions per wall-clock second for each model on representative
+ * workloads, plus hot-component microbenchmarks (cache lookups,
+ * branch prediction, functional emulation). These guard against
+ * performance regressions in the simulator itself; they reproduce no
+ * paper figure.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "branch/predictor.hh"
+#include "common/bench_util.hh"
+#include "emu/emulator.hh"
+#include "mem/cache.hh"
+
+using namespace mlpwin;
+using namespace mlpwin::bench;
+
+namespace
+{
+
+void
+simModel(benchmark::State &state, const std::string &workload,
+         ModelKind model)
+{
+    for (auto _ : state) {
+        SimConfig cfg = benchConfig(model, model == ModelKind::Fixed
+                                               ? 3 : 1);
+        cfg.warmupInsts = 0;
+        cfg.maxInsts = 20000;
+        SimResult r = runWorkload(workload, cfg, kForever);
+        benchmark::DoNotOptimize(r.cycles);
+        state.counters["sim_insts_per_s"] = benchmark::Counter(
+            static_cast<double>(r.committed),
+            benchmark::Counter::kIsIterationInvariantRate);
+    }
+}
+
+void
+BM_SimGccBase(benchmark::State &state)
+{
+    simModel(state, "gcc", ModelKind::Base);
+}
+
+void
+BM_SimGccResizing(benchmark::State &state)
+{
+    simModel(state, "gcc", ModelKind::Resizing);
+}
+
+void
+BM_SimLibquantumBase(benchmark::State &state)
+{
+    simModel(state, "libquantum", ModelKind::Base);
+}
+
+void
+BM_SimLibquantumResizing(benchmark::State &state)
+{
+    simModel(state, "libquantum", ModelKind::Resizing);
+}
+
+void
+BM_SimLibquantumRunahead(benchmark::State &state)
+{
+    simModel(state, "libquantum", ModelKind::Runahead);
+}
+
+void
+BM_EmulatorStep(benchmark::State &state)
+{
+    const WorkloadSpec &spec = findWorkload("gcc");
+    Program prog = spec.make(kForever);
+    MainMemory mem;
+    mem.loadProgram(prog);
+    Emulator emu(mem, prog.entry());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(emu.step().result);
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_CacheLookupHit(benchmark::State &state)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 64 * 1024;
+    cfg.lineBytes = 32;
+    cfg.assoc = 2;
+    Cache c("bm", cfg, nullptr);
+    for (Addr a = 0; a < 64 * 1024; a += 32)
+        c.insert(a, 0, Provenance::CorrPath);
+    Addr a = 0;
+    Cycle t = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(c.lookup(a, ++t, true).hit);
+        a = (a + 4096 + 32) & (64 * 1024 - 1);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_BranchPredict(benchmark::State &state)
+{
+    BranchPredictor bp(BranchPredictorConfig{}, nullptr);
+    StaticInst br{Opcode::Bne, kNoReg, intReg(1), intReg(2), -64};
+    Addr pc = 0x1000;
+    for (auto _ : state) {
+        BranchPrediction p = bp.predict(pc, br);
+        bp.update(pc, br, !p.taken, pc - 64, p.historySnapshot);
+        pc = (pc + kInstBytes) & 0xFFFF;
+        benchmark::DoNotOptimize(p.taken);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+} // namespace
+
+BENCHMARK(BM_SimGccBase)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimGccResizing)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimLibquantumBase)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimLibquantumResizing)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimLibquantumRunahead)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EmulatorStep);
+BENCHMARK(BM_CacheLookupHit);
+BENCHMARK(BM_BranchPredict);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reproduces paper Table 4: the additional area cost of providing the
+ * level-3 window resources, expressed against the base core, a Sandy
+ * Bridge core, and the whole Sandy Bridge chip; the achieved speedup
+ * (GM all, from the Fig. 7 matrix); the speedup Pollack's law would
+ * predict for the same area; and the speedup an L2 enlarged by the
+ * same area actually buys (the Fig. 10 comparison).
+ *
+ * Expected shape (paper): +1.6 mm^2 => 6% of the base core, 8% of a
+ * SB core, 3% of the SB chip; achieved speedup ~21% vs ~3% by
+ * Pollack's law and ~1% from the bigger L2.
+ */
+
+#include <cstdio>
+
+#include "common/bench_util.hh"
+#include "energy/area_model.hh"
+
+using namespace mlpwin;
+using namespace mlpwin::bench;
+
+int
+main()
+{
+    const std::uint64_t budget = instBudget();
+    const LevelTable levels = LevelTable::paperDefault();
+
+    const double extra = AreaModel::extraWindowArea(levels);
+    std::printf("==== Table 4: additional cost vs speedup ====\n");
+    std::printf("%-34s %8.2f mm^2\n", "additional window area", extra);
+    std::printf("%-34s %7.1f%%\n", "vs base core (25 mm^2)",
+                100.0 * extra / AreaModel::kBaseCoreArea);
+    std::printf("%-34s %7.1f%%\n", "vs Sandy Bridge core (19 mm^2)",
+                100.0 * extra / AreaModel::kSandyBridgeCoreArea);
+    std::printf("%-34s %7.1f%%\n", "vs Sandy Bridge chip (216 mm^2)",
+                100.0 * extra * AreaModel::kChipCores /
+                    AreaModel::kSandyBridgeChipArea);
+
+    // Achieved speedup: GM over the whole suite, resizing vs base.
+    std::vector<double> rel;
+    SimConfig big = benchConfig(ModelKind::Base, 1);
+    big.mem.l2.sizeBytes = 2621440; // 2.5 MB, 5-way: same-area L2.
+    big.mem.l2.assoc = 5;
+    std::vector<double> rel_bigl2;
+    for (const std::string &w : allWorkloadNames()) {
+        double base = runModel(w, ModelKind::Base, 1, budget).ipc;
+        rel.push_back(runModel(w, ModelKind::Resizing, 1, budget).ipc /
+                      base);
+        rel_bigl2.push_back(runConfig(w, big, budget).ipc / base);
+    }
+    std::printf("%-34s %7.1f%%\n", "achieved speedup (GM all)",
+                100.0 * (geomean(rel) - 1.0));
+    std::printf("%-34s %7.1f%%\n", "expected by Pollack's law",
+                100.0 * AreaModel::pollackSpeedup(
+                            extra, AreaModel::kBaseCoreArea));
+    std::printf("%-34s %7.1f%%\n", "augmented 2.5MB L2 instead",
+                100.0 * (geomean(rel_bigl2) - 1.0));
+
+    // Sanity: the augmented L2's area actually exceeds the window's.
+    double l2_extra = AreaModel::l2Area(2621440) -
+                      AreaModel::l2Area(2 * 1024 * 1024);
+    std::printf("\n(2.5MB-2MB L2 area: %.2f mm^2 = %.1fx the window "
+                "area)\n", l2_extra, l2_extra / extra);
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Why *dynamic* resizing beats every fixed configuration: a program
+ * that alternates memory-bound and compute-bound phases (the paper's
+ * omnetpp case). The fixed models are each wrong half the time; the
+ * resizing model tracks the phase and wins overall.
+ *
+ *   build/examples/adaptive_phases
+ */
+
+#include <cstdio>
+
+#include "sim/simulator.hh"
+#include "workloads/kernels.hh"
+
+using namespace mlpwin;
+
+namespace
+{
+
+Program
+makePhased()
+{
+    PhaseMixParams p;
+    p.gather.tableWords = 1ull << 21; // 16 MiB: misses the L2.
+    p.gather.idxWords = 1 << 14;
+    p.gather.intOps = 8;
+    p.gathersPerPhase = 64;
+    p.computeOpsPerPhase = 3000;
+    p.computeOpsPerBranch = 25;
+    return makePhaseMix("phased", p, 1ull << 40);
+}
+
+SimResult
+run(const Program &prog, ModelKind model, unsigned level)
+{
+    SimConfig cfg;
+    cfg.model = model;
+    cfg.fixedLevel = level;
+    cfg.warmupInsts = 50000;
+    cfg.maxInsts = 200000;
+    Simulator sim(cfg, prog);
+    return sim.run();
+}
+
+} // namespace
+
+int
+main()
+{
+    Program prog = makePhased();
+
+    SimResult base = run(prog, ModelKind::Base, 1);
+    SimResult fix3 = run(prog, ModelKind::Fixed, 3);
+    SimResult res = run(prog, ModelKind::Resizing, 1);
+
+    std::printf("phase-alternating workload (gather bursts + long "
+                "compute stretches)\n\n");
+    std::printf("%-26s %10s %10s %10s\n", "", "base", "Fix3",
+                "resizing");
+    std::printf("%-26s %10.3f %10.3f %10.3f\n", "IPC", base.ipc,
+                fix3.ipc, res.ipc);
+    std::printf("%-26s %10s %10s", "time at L1/L2/L3", "-", "-");
+    std::uint64_t total = 0;
+    for (std::uint64_t c : res.cyclesAtLevel)
+        total += c;
+    std::printf("   ");
+    for (std::uint64_t c : res.cyclesAtLevel)
+        std::printf("%.0f%%/",
+                    total ? 100.0 * static_cast<double>(c) /
+                                static_cast<double>(total)
+                          : 0.0);
+    std::printf("\n\n");
+    std::printf("resizing vs base: %+.1f%%   resizing vs always-big: "
+                "%+.1f%%\n", 100.0 * (res.ipc / base.ipc - 1.0),
+                100.0 * (res.ipc / fix3.ipc - 1.0));
+    std::printf("\nThe controller enlarges on the first miss of each "
+                "gather burst and\nshrinks one memory latency after "
+                "the burst ends, so the compute phase\nruns with the "
+                "fast single-cycle window.\n");
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Writing your own workload with the Assembler DSL: a pointer-chase
+ * microbenchmark with a configurable number of independent chains,
+ * demonstrating that MLP — and therefore the benefit of a large
+ * window — is bounded by the dependence structure of the program, not
+ * just its miss rate.
+ *
+ *   build/examples/custom_workload
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/random.hh"
+#include "isa/assembler.hh"
+#include "sim/simulator.hh"
+
+using namespace mlpwin;
+
+namespace
+{
+
+/**
+ * Build `chains` independent singly linked lists in one arena, each
+ * node on its own cache line, permuted so every hop is a fresh miss;
+ * the loop advances all chains in lock-step.
+ */
+Program
+makeChase(unsigned chains, std::uint64_t iterations)
+{
+    constexpr std::uint64_t kNodes = 1 << 14; // Per chain; 1 MiB each.
+    Assembler a("chase" + std::to_string(chains));
+    Rng rng(99);
+
+    std::vector<Addr> bases;
+    for (unsigned c = 0; c < chains; ++c) {
+        Addr arena = a.allocBss(kNodes * 64, 64);
+        // A random cyclic permutation of the nodes.
+        std::vector<std::uint64_t> order(kNodes);
+        for (std::uint64_t i = 0; i < kNodes; ++i)
+            order[i] = i;
+        for (std::uint64_t i = kNodes - 1; i > 0; --i)
+            std::swap(order[i], order[rng.below(i + 1)]);
+        std::vector<std::uint64_t> words(kNodes * 8, 0);
+        for (std::uint64_t i = 0; i < kNodes; ++i) {
+            std::uint64_t from = order[i];
+            std::uint64_t to = order[(i + 1) % kNodes];
+            words[from * 8] = arena + to * 64;
+        }
+        a.initData(arena, words);
+        bases.push_back(arena + order[0] * 64);
+    }
+
+    const RegId cnt = intReg(29);
+    a.li(cnt, iterations);
+    for (unsigned c = 0; c < chains; ++c)
+        a.li(intReg(10 + c), bases[c]);
+
+    Label top = a.here();
+    for (unsigned c = 0; c < chains; ++c)
+        a.ld(intReg(10 + c), intReg(10 + c), 0); // ptr = *ptr.
+    a.addi(cnt, cnt, -1);
+    a.bne(cnt, intReg(0), top);
+    a.halt();
+    return a.finalize();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("%-8s %12s %12s %12s\n", "chains", "base IPC",
+                "resize IPC", "obs. MLP");
+    for (unsigned chains : {1u, 2u, 4u}) {
+        Program prog = makeChase(chains, 1ull << 30);
+
+        SimConfig cfg;
+        cfg.maxInsts = 30000;
+        cfg.model = ModelKind::Base;
+        SimResult base = Simulator(cfg, prog).run();
+        cfg.model = ModelKind::Resizing;
+        SimResult res = Simulator(cfg, prog).run();
+
+        std::printf("%-8u %12.4f %12.4f %12.2f\n", chains, base.ipc,
+                    res.ipc, res.observedMlp);
+    }
+    std::printf("\nOne chain is fully serial: no window size can "
+                "overlap its misses.\nEach extra independent chain "
+                "adds one unit of exploitable MLP, and the\nlarge "
+                "window converts it into throughput.\n");
+    return 0;
+}

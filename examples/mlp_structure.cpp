@@ -1,0 +1,87 @@
+/**
+ * @file
+ * How much MLP a big window can extract depends on the *dependence
+ * structure* of the miss stream, not just the miss rate. Four kernels
+ * with similar footprints but different structures:
+ *
+ *   gather      — independent misses: MLP scales with window size
+ *   tree search — log-depth probe chains: MLP = parallel searches
+ *   chase       — one serial chain: MLP stuck at 1
+ *   butterfly   — paired strided access: prefetch + window interact
+ *
+ * For each, the example reports base vs resizing IPC and observed
+ * MLP, showing where the paper's mechanism pays off and where no
+ * window size can help.
+ *
+ *   build/examples/mlp_structure
+ */
+
+#include <cstdio>
+
+#include "sim/simulator.hh"
+#include "workloads/kernels.hh"
+
+using namespace mlpwin;
+
+namespace
+{
+
+SimResult
+run(const Program &prog, ModelKind model)
+{
+    SimConfig cfg;
+    cfg.model = model;
+    cfg.warmupInsts = 20000;
+    cfg.maxInsts = 80000;
+    Simulator sim(cfg, prog);
+    return sim.run();
+}
+
+void
+report(const char *label, const Program &prog)
+{
+    SimResult base = run(prog, ModelKind::Base);
+    SimResult res = run(prog, ModelKind::Resizing);
+    std::printf("%-12s %10.3f %10.3f %9.2fx %8.2f -> %-8.2f\n", label,
+                base.ipc, res.ipc, res.ipc / base.ipc,
+                base.observedMlp, res.observedMlp);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("%-12s %10s %10s %10s %21s\n", "kernel", "base IPC",
+                "res IPC", "speedup", "MLP base -> resized");
+
+    GatherParams g;
+    g.tableWords = 1ull << 22; // 32 MiB.
+    g.idxWords = 1 << 14;
+    g.intOps = 10;
+    report("gather", makeGather("gather", g, 1ull << 30));
+
+    TreeSearchParams t;
+    t.arrayWords = 1ull << 21; // 16 MiB.
+    t.parallelSearches = 4;
+    report("treesearch", makeTreeSearch("ts", t, 1ull << 30));
+
+    ChaseParams c;
+    c.chains = 1;
+    c.nodesPerChain = 1 << 16;
+    c.hopOps = 4;
+    report("chase", makeChase("chase", c, 1ull << 30));
+
+    ButterflyParams b;
+    b.words = 1ull << 21; // 16 MiB.
+    report("butterfly", makeButterfly("bf", b, 1ull << 30));
+
+    std::printf(
+        "\ngather's independent misses fill whatever window exists;\n"
+        "tree search is capped by its %u parallel probes; the chase\n"
+        "is capped at 1 regardless of window size. The resizing\n"
+        "mechanism only pays where the structure allows overlap —\n"
+        "and costs almost nothing where it does not.\n",
+        t.parallelSearches);
+    return 0;
+}

@@ -1,0 +1,185 @@
+#include "predictor.hh"
+
+#include "common/logging.hh"
+
+namespace mlpwin
+{
+
+BranchPredictor::BranchPredictor(const BranchPredictorConfig &cfg,
+                                 StatSet *stats)
+    : kind_(cfg.kind),
+      historyBits_(cfg.historyBits),
+      historyMask_((1ULL << cfg.historyBits) - 1),
+      pht_(cfg.phtEntries, 1), // Weakly not-taken.
+      bimodal_(cfg.phtEntries, 1),
+      chooser_(cfg.phtEntries, 2), // Weakly prefer gshare.
+      btbSets_(cfg.btbSets),
+      btbAssoc_(cfg.btbAssoc),
+      btb_(cfg.btbSets * cfg.btbAssoc),
+      ras_(cfg.rasEntries, 0),
+      rasEntries_(cfg.rasEntries),
+      lookups_(stats, "bp.lookups", "control-inst predictions"),
+      condMisp_(stats, "bp.cond_mispredicts",
+                "conditional direction mispredictions"),
+      btbMisses_(stats, "bp.btb_misses", "taken targets missing in BTB")
+{
+    mlpwin_assert((cfg.phtEntries & (cfg.phtEntries - 1)) == 0);
+    mlpwin_assert((cfg.btbSets & (cfg.btbSets - 1)) == 0);
+}
+
+std::size_t
+BranchPredictor::phtIndex(Addr pc, std::uint64_t history) const
+{
+    std::uint64_t idx = (pc / kInstBytes) ^ (history & historyMask_);
+    return idx & (pht_.size() - 1);
+}
+
+std::size_t
+BranchPredictor::bimodalIndex(Addr pc) const
+{
+    return (pc / kInstBytes) & (bimodal_.size() - 1);
+}
+
+bool
+BranchPredictor::predictDirection(Addr pc, bool &gshare_vote,
+                                  bool &bimodal_vote) const
+{
+    gshare_vote = pht_[phtIndex(pc, history_)] >= 2;
+    bimodal_vote = bimodal_[bimodalIndex(pc)] >= 2;
+    switch (kind_) {
+      case DirectionKind::Gshare:
+        return gshare_vote;
+      case DirectionKind::Bimodal:
+        return bimodal_vote;
+      case DirectionKind::Tournament:
+        return chooser_[bimodalIndex(pc)] >= 2 ? gshare_vote
+                                               : bimodal_vote;
+    }
+    return gshare_vote;
+}
+
+bool
+BranchPredictor::btbLookup(Addr pc, Addr &target)
+{
+    std::size_t base = ((pc / kInstBytes) & (btbSets_ - 1)) * btbAssoc_;
+    for (unsigned w = 0; w < btbAssoc_; ++w) {
+        BtbEntry &e = btb_[base + w];
+        if (e.valid && e.pc == pc) {
+            e.lruStamp = ++lruCounter_;
+            target = e.target;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+BranchPredictor::btbInsert(Addr pc, Addr target)
+{
+    std::size_t base = ((pc / kInstBytes) & (btbSets_ - 1)) * btbAssoc_;
+    BtbEntry *victim = &btb_[base];
+    for (unsigned w = 0; w < btbAssoc_; ++w) {
+        BtbEntry &e = btb_[base + w];
+        if (e.valid && e.pc == pc) {
+            e.target = target;
+            e.lruStamp = ++lruCounter_;
+            return;
+        }
+        if (!e.valid || e.lruStamp < victim->lruStamp)
+            victim = &e;
+    }
+    victim->valid = true;
+    victim->pc = pc;
+    victim->target = target;
+    victim->lruStamp = ++lruCounter_;
+}
+
+BranchPrediction
+BranchPredictor::predict(Addr pc, const StaticInst &inst)
+{
+    mlpwin_assert(inst.isControl());
+    ++lookups_;
+
+    BranchPrediction pred;
+    pred.historySnapshot = history_;
+
+    if (inst.isCondBranch()) {
+        bool gshare_vote = false, bimodal_vote = false;
+        pred.taken = predictDirection(pc, gshare_vote, bimodal_vote);
+        pred.target = pred.taken
+            ? pc + static_cast<std::int64_t>(inst.imm)
+            : pc + kInstBytes;
+        // Speculative history update.
+        history_ = ((history_ << 1) | (pred.taken ? 1 : 0)) &
+                   historyMask_;
+        return pred;
+    }
+
+    if (inst.isJal()) {
+        pred.taken = true;
+        pred.target = pc + static_cast<std::int64_t>(inst.imm);
+        if (inst.isCall())
+            ras_[rasTop_++ % rasEntries_] = pc + kInstBytes;
+        return pred;
+    }
+
+    // JALR: indirect. Returns use the RAS; other indirects use the BTB.
+    pred.taken = true;
+    if (inst.isReturn() && rasTop_ > 0) {
+        pred.target = ras_[--rasTop_ % rasEntries_];
+        return pred;
+    }
+    if (inst.isCall())
+        ras_[rasTop_++ % rasEntries_] = pc + kInstBytes;
+    if (!btbLookup(pc, pred.target)) {
+        ++btbMisses_;
+        pred.target = pc + kInstBytes; // No idea: predict fall-through.
+    }
+    return pred;
+}
+
+void
+BranchPredictor::update(Addr pc, const StaticInst &inst, bool taken,
+                        Addr target, std::uint64_t snapshot)
+{
+    if (inst.isCondBranch()) {
+        auto train = [taken](std::uint8_t &ctr) {
+            if (taken) {
+                if (ctr < 3)
+                    ++ctr;
+            } else {
+                if (ctr > 0)
+                    --ctr;
+            }
+        };
+        std::uint8_t &gctr = pht_[phtIndex(pc, snapshot)];
+        std::uint8_t &bctr = bimodal_[bimodalIndex(pc)];
+        bool gshare_right = (gctr >= 2) == taken;
+        bool bimodal_right = (bctr >= 2) == taken;
+        train(gctr);
+        if (kind_ != DirectionKind::Gshare)
+            train(bctr);
+        if (kind_ == DirectionKind::Tournament &&
+            gshare_right != bimodal_right) {
+            // Move the chooser toward the component that was right.
+            std::uint8_t &ch = chooser_[bimodalIndex(pc)];
+            if (gshare_right) {
+                if (ch < 3)
+                    ++ch;
+            } else {
+                if (ch > 0)
+                    --ch;
+            }
+        }
+    }
+    if (taken && (inst.isJalr() || inst.isCondBranch() || inst.isJal()))
+        btbInsert(pc, target);
+}
+
+void
+BranchPredictor::restoreHistory(std::uint64_t snapshot, bool taken)
+{
+    history_ = ((snapshot << 1) | (taken ? 1 : 0)) & historyMask_;
+}
+
+} // namespace mlpwin

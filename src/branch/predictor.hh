@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Branch prediction unit per paper Table 1: a gshare direction
+ * predictor with 16-bit global history and a 64K-entry PHT, a
+ * 2K-set 4-way BTB, and a return-address stack.
+ *
+ * The global history is updated speculatively at predict time; the
+ * core snapshots it per-branch and restores it on a squash.
+ */
+
+#ifndef MLPWIN_BRANCH_PREDICTOR_HH
+#define MLPWIN_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace mlpwin
+{
+
+/** Conditional-direction predictor algorithm. */
+enum class DirectionKind
+{
+    Gshare,     ///< Global-history XOR PC (paper Table 1 default).
+    Bimodal,    ///< PC-indexed 2-bit counters, no history.
+    Tournament, ///< McFarling chooser between gshare and bimodal.
+};
+
+/** Configuration of the branch unit (paper defaults). */
+struct BranchPredictorConfig
+{
+    DirectionKind kind = DirectionKind::Gshare;
+    unsigned historyBits = 16;
+    std::size_t phtEntries = 64 * 1024;
+    std::size_t btbSets = 2048;
+    unsigned btbAssoc = 4;
+    unsigned rasEntries = 16;
+};
+
+/** A prediction for one control-transfer instruction. */
+struct BranchPrediction
+{
+    bool taken = false;
+    Addr target = 0;
+    /** History snapshot to restore if this branch squashes. */
+    std::uint64_t historySnapshot = 0;
+};
+
+/** See file comment. */
+class BranchPredictor
+{
+  public:
+    BranchPredictor(const BranchPredictorConfig &cfg, StatSet *stats);
+
+    /**
+     * Predict a fetched control instruction and speculatively update
+     * the global history (conditional branches only).
+     *
+     * @param pc The instruction's PC.
+     * @param inst The decoded instruction (must be a control inst).
+     */
+    BranchPrediction predict(Addr pc, const StaticInst &inst);
+
+    /**
+     * Train on a resolved, committed control instruction.
+     *
+     * @param pc The instruction's PC.
+     * @param inst The decoded instruction.
+     * @param taken Actual direction.
+     * @param target Actual target.
+     * @param snapshot History snapshot captured at predict time.
+     */
+    void update(Addr pc, const StaticInst &inst, bool taken,
+                Addr target, std::uint64_t snapshot);
+
+    /** Restore the speculative global history after a squash. */
+    void restoreHistory(std::uint64_t snapshot, bool taken);
+
+    std::uint64_t history() const { return history_; }
+
+    std::uint64_t lookups() const { return lookups_.value(); }
+    std::uint64_t condMispredicts() const { return condMisp_.value(); }
+
+  private:
+    std::size_t phtIndex(Addr pc, std::uint64_t history) const;
+    bool btbLookup(Addr pc, Addr &target);
+    void btbInsert(Addr pc, Addr target);
+
+    struct BtbEntry
+    {
+        bool valid = false;
+        Addr pc = 0;
+        Addr target = 0;
+        std::uint64_t lruStamp = 0;
+    };
+
+    std::size_t bimodalIndex(Addr pc) const;
+    /** Direction guess + the component votes (tournament). */
+    bool predictDirection(Addr pc, bool &gshare_vote,
+                          bool &bimodal_vote) const;
+
+    DirectionKind kind_;
+    unsigned historyBits_;
+    std::uint64_t historyMask_;
+    std::vector<std::uint8_t> pht_; ///< 2-bit saturating counters.
+    /** Bimodal component (Bimodal and Tournament kinds). */
+    std::vector<std::uint8_t> bimodal_;
+    /** Chooser: >= 2 selects gshare (Tournament kind). */
+    std::vector<std::uint8_t> chooser_;
+    std::size_t btbSets_;
+    unsigned btbAssoc_;
+    std::vector<BtbEntry> btb_;
+    std::vector<Addr> ras_;
+    std::size_t rasTop_ = 0;
+    unsigned rasEntries_;
+    std::uint64_t history_ = 0;
+    std::uint64_t lruCounter_ = 0;
+
+    Counter lookups_;
+    Counter condMisp_;
+    Counter btbMisses_;
+};
+
+} // namespace mlpwin
+
+#endif // MLPWIN_BRANCH_PREDICTOR_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Error and status reporting helpers, modeled after gem5's logging.hh.
+ *
+ * panic()  - an internal simulator invariant was violated (a bug).
+ * fatal()  - the simulation cannot continue due to a user error.
+ * warn()   - something is modeled approximately; results may be off.
+ * inform() - neutral status output.
+ */
+
+#ifndef MLPWIN_COMMON_LOGGING_HH
+#define MLPWIN_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace mlpwin
+{
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Minimal printf-style formatter returning a std::string. */
+std::string formatString(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+#define mlpwin_panic(...)                                                \
+    ::mlpwin::detail::panicImpl(__FILE__, __LINE__,                      \
+        ::mlpwin::detail::formatString(__VA_ARGS__))
+
+#define mlpwin_fatal(...)                                                \
+    ::mlpwin::detail::fatalImpl(__FILE__, __LINE__,                      \
+        ::mlpwin::detail::formatString(__VA_ARGS__))
+
+#define mlpwin_warn(...)                                                 \
+    ::mlpwin::detail::warnImpl(::mlpwin::detail::formatString(__VA_ARGS__))
+
+#define mlpwin_inform(...)                                               \
+    ::mlpwin::detail::informImpl(                                        \
+        ::mlpwin::detail::formatString(__VA_ARGS__))
+
+/** Assert a simulator invariant; always on, independent of NDEBUG. */
+#define mlpwin_assert(cond, ...)                                         \
+    do {                                                                 \
+        if (!(cond)) {                                                   \
+            ::mlpwin::detail::panicImpl(__FILE__, __LINE__,              \
+                "assertion failed: " #cond);                             \
+        }                                                                \
+    } while (0)
+
+} // namespace mlpwin
+
+#endif // MLPWIN_COMMON_LOGGING_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload
+ * construction. A fixed, seedable xorshift128+ generator keeps every
+ * simulation bit-reproducible across runs and platforms (std::mt19937
+ * distributions are not guaranteed portable).
+ */
+
+#ifndef MLPWIN_COMMON_RANDOM_HH
+#define MLPWIN_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+#include "logging.hh"
+
+namespace mlpwin
+{
+
+/** xorshift128+ PRNG; fast, deterministic, and portable. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // SplitMix64 seeding to avoid all-zero state.
+        std::uint64_t z = seed;
+        for (auto *s : {&s0_, &s1_}) {
+            z += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t x = z;
+            x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+            *s = x ^ (x >> 31);
+        }
+        if (s0_ == 0 && s1_ == 0)
+            s1_ = 1;
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = s0_;
+        const std::uint64_t y = s1_;
+        s0_ = y;
+        x ^= x << 23;
+        s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1_ + y;
+    }
+
+    /** Uniform value in [0, bound). @pre bound > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        mlpwin_assert(bound > 0);
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi]. @pre lo <= hi. */
+    std::uint64_t
+    between(std::uint64_t lo, std::uint64_t hi)
+    {
+        mlpwin_assert(lo <= hi);
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p. */
+    bool chance(double p) { return real() < p; }
+
+  private:
+    std::uint64_t s0_;
+    std::uint64_t s1_;
+};
+
+} // namespace mlpwin
+
+#endif // MLPWIN_COMMON_RANDOM_HH

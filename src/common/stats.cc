@@ -1,0 +1,110 @@
+#include "stats.hh"
+
+#include <cmath>
+#include <iomanip>
+
+#include "logging.hh"
+
+namespace mlpwin
+{
+
+Stat::Stat(StatSet *parent, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    if (parent)
+        parent->add(this);
+}
+
+void
+Counter::print(std::ostream &os) const
+{
+    os << std::left << std::setw(40) << name() << ' '
+       << std::right << std::setw(16) << value_
+       << "  # " << desc() << '\n';
+}
+
+void
+Average::print(std::ostream &os) const
+{
+    os << std::left << std::setw(40) << name() << ' '
+       << std::right << std::setw(16) << std::fixed
+       << std::setprecision(4) << mean()
+       << "  # " << desc() << " (n=" << count_ << ")\n";
+}
+
+Histogram::Histogram(StatSet *parent, std::string name, std::string desc,
+                     std::uint64_t bin_width, std::size_t num_bins)
+    : Stat(parent, std::move(name), std::move(desc)),
+      binWidth_(bin_width), bins_(num_bins, 0)
+{
+    mlpwin_assert(bin_width > 0);
+    mlpwin_assert(num_bins > 0);
+}
+
+void
+Histogram::sample(std::uint64_t v)
+{
+    std::size_t bin = static_cast<std::size_t>(v / binWidth_);
+    if (bin < bins_.size())
+        ++bins_[bin];
+    else
+        ++overflow_;
+    ++total_;
+}
+
+void
+Histogram::print(std::ostream &os) const
+{
+    os << name() << "  # " << desc() << " (total=" << total_ << ")\n";
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        if (bins_[i] == 0)
+            continue;
+        os << "  [" << i * binWidth_ << ',' << (i + 1) * binWidth_
+           << ") " << bins_[i] << '\n';
+    }
+    if (overflow_ > 0)
+        os << "  [overflow) " << overflow_ << '\n';
+}
+
+void
+Histogram::reset()
+{
+    std::fill(bins_.begin(), bins_.end(), 0);
+    overflow_ = 0;
+    total_ = 0;
+}
+
+void
+StatSet::add(Stat *s)
+{
+    stats_.push_back(s);
+}
+
+void
+StatSet::dump(std::ostream &os) const
+{
+    for (const Stat *s : stats_)
+        s->print(os);
+}
+
+void
+StatSet::resetAll()
+{
+    for (Stat *s : stats_)
+        s->reset();
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        mlpwin_assert(v > 0.0);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace mlpwin

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * A small statistics package: named counters, averages, and
+ * fixed-bin-width histograms that register themselves with a StatSet
+ * so they can be dumped uniformly at end of simulation.
+ */
+
+#ifndef MLPWIN_COMMON_STATS_HH
+#define MLPWIN_COMMON_STATS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "types.hh"
+
+namespace mlpwin
+{
+
+class StatSet;
+
+/** Base class for all named statistics. */
+class Stat
+{
+  public:
+    /**
+     * Construct and register with a stat set.
+     *
+     * @param parent Owning set; may be nullptr for free-standing stats.
+     * @param name Dotted stat name, e.g. "l2.demand_misses".
+     * @param desc Human-readable description.
+     */
+    Stat(StatSet *parent, std::string name, std::string desc);
+    virtual ~Stat() = default;
+
+    Stat(const Stat &) = delete;
+    Stat &operator=(const Stat &) = delete;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Print this stat ("name value  # desc" style) to a stream. */
+    virtual void print(std::ostream &os) const = 0;
+
+    /** Reset to the initial (zero) state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** A monotonically increasing scalar event counter. */
+class Counter : public Stat
+{
+  public:
+    Counter(StatSet *parent, std::string name, std::string desc)
+        : Stat(parent, std::move(name), std::move(desc))
+    {}
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+    std::uint64_t value() const { return value_; }
+
+    void print(std::ostream &os) const override;
+    void reset() override { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running arithmetic mean of observed samples. */
+class Average : public Stat
+{
+  public:
+    Average(StatSet *parent, std::string name, std::string desc)
+        : Stat(parent, std::move(name), std::move(desc))
+    {}
+
+    void sample(double v) { sum_ += v; ++count_; }
+
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+
+    void print(std::ostream &os) const override;
+    void reset() override { sum_ = 0.0; count_ = 0; }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * Fixed-bin-width histogram with an overflow bucket, as used for the
+ * paper's Fig. 4 L2-miss-interval plot (8-cycle bins).
+ */
+class Histogram : public Stat
+{
+  public:
+    /**
+     * @param bin_width Width of each bin in sample units (> 0).
+     * @param num_bins Number of regular bins before overflow.
+     */
+    Histogram(StatSet *parent, std::string name, std::string desc,
+              std::uint64_t bin_width, std::size_t num_bins);
+
+    void sample(std::uint64_t v);
+
+    std::uint64_t binWidth() const { return binWidth_; }
+    std::size_t numBins() const { return bins_.size(); }
+    std::uint64_t binCount(std::size_t i) const { return bins_.at(i); }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t totalSamples() const { return total_; }
+
+    void print(std::ostream &os) const override;
+    void reset() override;
+
+  private:
+    std::uint64_t binWidth_;
+    std::vector<std::uint64_t> bins_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * A container of statistics that can dump all of its members.
+ * StatSets can nest via a parent pointer; names are flat.
+ */
+class StatSet
+{
+  public:
+    StatSet() = default;
+    explicit StatSet(StatSet *parent) : parent_(parent) {}
+
+    StatSet(const StatSet &) = delete;
+    StatSet &operator=(const StatSet &) = delete;
+
+    /** Called by Stat's constructor. */
+    void add(Stat *s);
+
+    /** Print every registered stat, in registration order. */
+    void dump(std::ostream &os) const;
+
+    /** Reset every registered stat. */
+    void resetAll();
+
+    const std::vector<Stat *> &stats() const { return stats_; }
+
+  private:
+    StatSet *parent_ = nullptr;
+    std::vector<Stat *> stats_;
+};
+
+/** Geometric mean of a sequence of positive values. */
+double geomean(const std::vector<double> &values);
+
+} // namespace mlpwin
+
+#endif // MLPWIN_COMMON_STATS_HH

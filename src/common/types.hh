@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef MLPWIN_COMMON_TYPES_HH
+#define MLPWIN_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace mlpwin
+{
+
+/** Byte address in the simulated 64-bit address space. */
+using Addr = std::uint64_t;
+
+/** Absolute simulation time in processor clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Global dynamic-instruction sequence number (monotonic). */
+using InstSeqNum = std::uint64_t;
+
+/** A 64-bit register value (integer view). */
+using RegVal = std::uint64_t;
+
+/** Sentinel for "no cycle scheduled". */
+constexpr Cycle kNoCycle = ~Cycle(0);
+
+/** Sentinel for "invalid address". */
+constexpr Addr kNoAddr = ~Addr(0);
+
+} // namespace mlpwin
+
+#endif // MLPWIN_COMMON_TYPES_HH

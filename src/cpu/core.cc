@@ -1,0 +1,972 @@
+#include "core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mlpwin
+{
+
+OooCore::OooCore(const CoreConfig &cfg, ResizeController &resize,
+                 CacheHierarchy &mem, MainMemory &fmem,
+                 const Program &prog, StatSet *stats,
+                 const RunaheadConfig &ra,
+                 const BranchPredictorConfig &bp_cfg)
+    : cfg_(cfg), resize_(resize), mem_(mem), fmem_(fmem), raCfg_(ra),
+      bp_(bp_cfg, stats),
+      oracle_(fmem, prog.entry()),
+      fetchPc_(prog.entry()),
+      intMulDivFree_(cfg.numIntMulDiv, 0),
+      fpMulDivFree_(cfg.numFpMulDiv, 0),
+      fetched_(stats, "core.fetched", "instructions fetched"),
+      dispatched_(stats, "core.dispatched", "instructions dispatched"),
+      issuedCnt_(stats, "core.issued", "instructions issued"),
+      committed_(stats, "core.committed", "instructions committed"),
+      committedLoads_(stats, "core.committed_loads",
+                      "loads committed"),
+      committedStores_(stats, "core.committed_stores",
+                       "stores committed"),
+      committedBranches_(stats, "core.committed_branches",
+                         "control insts committed"),
+      committedMispredicts_(stats, "core.committed_mispredicts",
+                            "committed mispredicted control insts"),
+      squashed_(stats, "core.squashed", "instructions squashed"),
+      forwards_(stats, "core.store_forwards",
+                "loads satisfied by store forwarding"),
+      wpLoads_(stats, "core.wrongpath_loads",
+               "wrong-path loads sent to the caches"),
+      raEpisodes_(stats, "core.runahead_episodes",
+                  "runahead episodes entered"),
+      raUseless_(stats, "core.runahead_useless",
+                 "episodes that prefetched no L2 miss"),
+      raPseudoRetired_(stats, "core.runahead_pseudo_retired",
+                       "instructions pseudo-retired in runahead"),
+      wibMoves_(stats, "core.wib_moves",
+                "instructions parked in the WIB"),
+      wibReinserts_(stats, "core.wib_reinserts",
+                    "WIB entries re-inserted into the IQ"),
+      loadLatency_(stats, "core.load_latency",
+                   "committed load latency, issue to data (cycles)")
+{
+    renameMap_.fill(kNoProducer);
+}
+
+void
+OooCore::resetMeasurement()
+{
+    measureStartCycle_ = cycle_;
+    mlpOverlapSum_ = 0.0;
+    mlpActiveCycles_ = 0;
+    iqSizeCycles_ = 0;
+    robSizeCycles_ = 0;
+    lsqSizeCycles_ = 0;
+}
+
+// ---------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------
+
+DynInst *
+OooCore::findInst(InstSeqNum seq)
+{
+    auto it = seqMap_.find(seq);
+    return it != seqMap_.end() ? it->second : nullptr;
+}
+
+unsigned
+OooCore::iqDepthEff() const
+{
+    return cfg_.pipelinePenalties ? resize_.current().iqDepth : 1;
+}
+
+unsigned
+OooCore::mispredictRedirectPenalty() const
+{
+    unsigned extra = cfg_.pipelinePenalties
+        ? resize_.current().extraMispredictPenalty() : 0;
+    return cfg_.mispredictPenalty + extra;
+}
+
+void
+OooCore::setupSources(DynInst &d)
+{
+    unsigned n = 0;
+    for (RegId r : {d.si.rs1, d.si.rs2}) {
+        if (r != kNoReg && r != intReg(0))
+            d.srcReg[n++] = r;
+        else
+            ++n;
+    }
+}
+
+bool
+OooCore::srcReady(DynInst &d, unsigned i, bool &inv)
+{
+    if (d.srcDone[i]) {
+        inv |= d.srcInv[i];
+        return true;
+    }
+    RegId r = d.srcReg[i];
+    bool src_inv = false;
+    if (r != kNoReg) {
+        InstSeqNum p = d.srcProducer[i];
+        if (p != kNoProducer) {
+            if (const DynInst *prod = findInst(p)) {
+                if (prod->wakeupAt == kNoCycle ||
+                    cycle_ < prod->wakeupAt) {
+                    return false;
+                }
+                src_inv = prod->invalid;
+            }
+            // else: producer retired (committed or pseudo-retired);
+            // the value is architectural.
+        }
+        if (!src_inv && inRunahead_ && inv_.regInv(r))
+            src_inv = true;
+    }
+    d.srcDone[i] = true;
+    d.srcInv[i] = src_inv;
+    inv |= src_inv;
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// WIB (waiting instruction buffer, Lebeck et al.)
+// ---------------------------------------------------------------------
+
+bool
+OooCore::maybeMoveToWib(DynInst &inst)
+{
+    if (!cfg_.wibEnabled || wibOcc_ >= cfg_.wibSize)
+        return false;
+
+    for (unsigned i = 0; i < 2; ++i) {
+        if (inst.srcDone[i] || inst.srcProducer[i] == kNoProducer)
+            continue;
+        DynInst *prod = findInst(inst.srcProducer[i]);
+        if (!prod)
+            continue;
+        // Park only behind genuinely long waits: an outstanding
+        // L2-miss load, or a producer that is itself parked.
+        bool long_wait = prod->inWib ||
+            (prod->isLoad() && prod->memDone && prod->l2Miss &&
+             prod->completeAt != kNoCycle &&
+             prod->completeAt > cycle_ + 20);
+        if (!long_wait)
+            continue;
+
+        inst.inIq = false;
+        --iqOcc_;
+        inst.inWib = true;
+        inst.wibBlockedOn = prod->seq;
+        ++wibOcc_;
+        wibWaiters_[prod->seq].push_back(inst.seq);
+        ++wibMoves_;
+        return true;
+    }
+    return false;
+}
+
+void
+OooCore::wakeWibWaiters(const DynInst &completed)
+{
+    auto it = wibWaiters_.find(completed.seq);
+    if (it == wibWaiters_.end())
+        return;
+    Cycle when = cycle_ + cfg_.wibReinsertDelay;
+    for (InstSeqNum seq : it->second)
+        wibReady_.push_back({when, seq});
+    wibWaiters_.erase(it);
+}
+
+void
+OooCore::wibReinsertStage()
+{
+    if (!cfg_.wibEnabled)
+        return;
+    unsigned n = 0;
+    while (n < cfg_.wibReinsertWidth && !wibReady_.empty() &&
+           wibReady_.front().first <= cycle_) {
+        InstSeqNum seq = wibReady_.front().second;
+        DynInst *inst = findInst(seq);
+        if (!inst || !inst->inWib) {
+            wibReady_.pop_front(); // Squashed or stale.
+            continue;
+        }
+        if (iqOcc_ >= resize_.current().iqSize)
+            break; // IQ full: retry next cycle.
+        wibReady_.pop_front();
+        inst->inWib = false;
+        inst->wibBlockedOn = kNoProducer;
+        --wibOcc_;
+        inst->inIq = true;
+        ++iqOcc_;
+        iqList_.push_back(inst);
+        ++wibReinserts_;
+        ++n;
+    }
+}
+
+bool
+OooCore::acquireFu(const StaticInst &si)
+{
+    auto pool_acquire = [this](std::vector<Cycle> &pool,
+                               Cycle busy_for) -> bool {
+        for (Cycle &free_at : pool) {
+            if (free_at <= cycle_) {
+                free_at = cycle_ + busy_for;
+                return true;
+            }
+        }
+        return false;
+    };
+
+    switch (si.fuClass()) {
+      case FuClass::None:
+        return true;
+      case FuClass::IntAlu:
+        if (aluUsed_ < cfg_.numIntAlu) {
+            ++aluUsed_;
+            return true;
+        }
+        return false;
+      case FuClass::MemPort:
+        if (aguUsed_ < cfg_.numMemPorts) {
+            ++aguUsed_;
+            return true;
+        }
+        return false;
+      case FuClass::FpAlu:
+        if (fpAluUsed_ < cfg_.numFpAlu) {
+            ++fpAluUsed_;
+            return true;
+        }
+        return false;
+      case FuClass::IntMul:
+      case FuClass::IntDiv:
+        return pool_acquire(intMulDivFree_,
+                            si.fuPipelined() ? 1 : si.execLatency());
+      case FuClass::FpMul:
+      case FuClass::FpDiv:
+      case FuClass::FpSqrt:
+        return pool_acquire(fpMulDivFree_,
+                            si.fuPipelined() ? 1 : si.execLatency());
+    }
+    return false;
+}
+
+bool
+OooCore::storeBufferMatch(Addr addr) const
+{
+    Addr a8 = addr & ~Addr(7);
+    for (const PendingStore &s : storeBuffer_) {
+        if ((s.addr & ~Addr(7)) == a8)
+            return true;
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------
+// Fetch
+// ---------------------------------------------------------------------
+
+void
+OooCore::buildShadowRecord(DynInst &d)
+{
+    const StaticInst &si = d.si;
+    ExecRecord rec;
+    rec.inst = si;
+    rec.pc = d.pc;
+    rec.nextPc = d.pc + kInstBytes;
+
+    RegVal a = shadowRegs_.read(si.rs1);
+    RegVal b = shadowRegs_.read(si.rs2);
+
+    if (si.isLoad()) {
+        Addr addr = a + static_cast<std::int64_t>(si.imm);
+        rec.memAddr = addr;
+        auto it = shadowStores_.find(addr & ~Addr(7));
+        RegVal v = it != shadowStores_.end() ? it->second
+                                             : fmem_.readU64(addr);
+        rec.result = v;
+        shadowRegs_.write(si.rd, v);
+    } else if (si.isStore()) {
+        Addr addr = a + static_cast<std::int64_t>(si.imm);
+        rec.memAddr = addr;
+        rec.storeData = b;
+        shadowStores_[addr & ~Addr(7)] = b;
+    } else if (si.isControl()) {
+        BranchPrediction pred = bp_.predict(d.pc, si);
+        d.predTaken = pred.taken;
+        d.predTarget = pred.target;
+        d.histSnapshot = pred.historySnapshot;
+        rec.taken = pred.taken;
+        rec.nextPc = pred.taken ? pred.target : d.pc + kInstBytes;
+        if (si.isJal() || si.isJalr()) {
+            rec.result = d.pc + kInstBytes;
+            shadowRegs_.write(si.rd, rec.result);
+        }
+    } else if (!si.isNop()) {
+        rec.result = evalOp(si.op, a, b, si.imm);
+        shadowRegs_.write(si.rd, rec.result);
+    }
+
+    d.rec = rec;
+    fetchPc_ = rec.nextPc;
+}
+
+bool
+OooCore::fetchOne()
+{
+    DynInst d;
+    d.seq = nextSeq_++;
+    d.fetchCycle = cycle_;
+    d.wrongPath = onWrongPath_;
+    bool keep_fetching = true;
+
+    if (!onWrongPath_) {
+        d.rec = oracle_.step();
+        d.si = d.rec.inst;
+        d.pc = d.rec.pc;
+
+        if (d.si.isHalt()) {
+            fetchHalted_ = true;
+            keep_fetching = false;
+        } else if (d.si.isControl()) {
+            BranchPrediction pred = bp_.predict(d.pc, d.si);
+            d.predTaken = pred.taken;
+            d.predTarget = pred.target;
+            d.histSnapshot = pred.historySnapshot;
+            Addr pred_next = pred.taken ? pred.target
+                                        : d.pc + kInstBytes;
+            if (pred_next != d.rec.nextPc) {
+                d.mispredicted = true;
+                if (cfg_.wrongPathExecution) {
+                    onWrongPath_ = true;
+                    shadowRegs_ = oracle_.regs();
+                    shadowStores_.clear();
+                    fetchPc_ = pred_next;
+                } else {
+                    fetchWaitBranch_ = true;
+                    keep_fetching = false;
+                }
+            } else {
+                fetchPc_ = d.rec.nextPc;
+            }
+            if (pred.taken)
+                keep_fetching = false; // Can't fetch past a taken br.
+        } else {
+            fetchPc_ = d.rec.nextPc;
+        }
+    } else {
+        d.pc = fetchPc_;
+        d.si = decodeInst(fmem_.readU64(fetchPc_));
+        if (d.si.isHalt())
+            d.si = StaticInst{}; // Wrong-path Halt flows as a Nop.
+        buildShadowRecord(d);
+        if (d.si.isControl() && d.predTaken)
+            keep_fetching = false;
+    }
+
+    setupSources(d);
+    ++fetched_;
+    trace(TraceCategory::Fetch, d);
+    fetchQueue_.push_back(std::move(d));
+    return keep_fetching;
+}
+
+void
+OooCore::fetchStage()
+{
+    if (halted_ || fetchHalted_ || fetchWaitBranch_)
+        return;
+    if (cycle_ < redirectAt_ || icacheBusyUntil_ > cycle_)
+        return;
+
+    for (unsigned slot = 0; slot < cfg_.fetchWidth; ++slot) {
+        if (fetchQueue_.size() >= cfg_.fetchQueueSize)
+            break;
+
+        Addr line = mem_.l1i().lineAddr(fetchPc_);
+        if (line != lastFetchLine_) {
+            Provenance prov = onWrongPath_ ? Provenance::WrongPath
+                                           : Provenance::CorrPath;
+            MemAccessResult res = mem_.ifetch(fetchPc_, cycle_, prov);
+            if (!res.accepted)
+                break;
+            lastFetchLine_ = line;
+            if (res.doneAt > cycle_ + mem_.l1i().hitLatency()) {
+                icacheBusyUntil_ = res.doneAt;
+                break;
+            }
+        }
+
+        if (!fetchOne())
+            break;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dispatch (rename + window allocation)
+// ---------------------------------------------------------------------
+
+void
+OooCore::dispatchStage()
+{
+    unsigned n = 0;
+    while (n < cfg_.decodeWidth && !fetchQueue_.empty()) {
+        if (resize_.allocStopped())
+            break;
+
+        const ResourceLevel &level = resize_.current();
+        DynInst &d = fetchQueue_.front();
+
+        if (window_.size() >= level.robSize) {
+            allocStalledFull_ = true;
+            break;
+        }
+        bool needs_iq = !(d.si.isNop() || d.si.isHalt());
+        if (needs_iq && iqOcc_ >= level.iqSize) {
+            allocStalledFull_ = true;
+            break;
+        }
+        if (d.si.isMem() && lsqOcc_ >= level.lsqSize) {
+            allocStalledFull_ = true;
+            break;
+        }
+
+        d.dispatchCycle = cycle_;
+        for (unsigned i = 0; i < 2; ++i) {
+            if (d.srcReg[i] != kNoReg)
+                d.srcProducer[i] = renameMap_[d.srcReg[i]];
+        }
+        RegId dest = d.si.destReg();
+        if (dest != kNoReg)
+            renameMap_[dest] = d.seq;
+
+        if (needs_iq) {
+            d.inIq = true;
+            ++iqOcc_;
+        } else {
+            d.completed = true;
+            d.completeAt = cycle_;
+            d.wakeupAt = cycle_;
+        }
+        if (d.si.isMem()) {
+            d.inLsq = true;
+            ++lsqOcc_;
+        }
+
+        window_.push_back(std::move(d));
+        DynInst &back = window_.back();
+        trace(TraceCategory::Dispatch, back);
+        seqMap_.emplace(back.seq, &back);
+        if (back.inIq)
+            iqList_.push_back(&back);
+        if (back.inLsq)
+            lsqList_.push_back(&back);
+        fetchQueue_.pop_front();
+        ++n;
+        ++dispatched_;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Issue (wakeup-select)
+// ---------------------------------------------------------------------
+
+void
+OooCore::issueStage()
+{
+    aluUsed_ = 0;
+    fpAluUsed_ = 0;
+    aguUsed_ = 0;
+    issuedThisCycle_ = 0;
+
+    std::vector<DynInst *> surviving;
+    surviving.reserve(iqList_.size());
+
+    for (DynInst *inst : iqList_) {
+        if (!inst->inIq)
+            continue; // Issued earlier this scan.
+
+        if (issuedThisCycle_ >= cfg_.issueWidth) {
+            surviving.push_back(inst);
+            continue;
+        }
+
+        bool inv = false;
+        bool ready = true;
+        for (unsigned i = 0; i < 2 && ready; ++i)
+            ready = srcReady(*inst, i, inv);
+        if (!ready) {
+            if (!maybeMoveToWib(*inst))
+                surviving.push_back(inst);
+            continue;
+        }
+
+        if (inv) {
+            // Runahead INV instruction: drop through the pipeline
+            // without using an FU or touching memory.
+            inst->invalid = true;
+            inst->inIq = false;
+            --iqOcc_;
+            inst->issued = true;
+            inst->issueCycle = cycle_;
+            inst->completeAt = cycle_ + 1;
+            inst->wakeupAt = cycle_ + 1;
+            inst->memDone = true;
+            completions_.push({inst->completeAt, inst->seq});
+            ++issuedThisCycle_;
+            continue;
+        }
+
+        if (!acquireFu(inst->si)) {
+            surviving.push_back(inst);
+            continue;
+        }
+
+        inst->issued = true;
+        inst->inIq = false;
+        --iqOcc_;
+        inst->issueCycle = cycle_;
+        ++issuedThisCycle_;
+        ++issuedCnt_;
+        trace(TraceCategory::Issue, *inst);
+
+        if (inst->si.isMem()) {
+            inst->addrKnown = true;
+            if (inst->isStore()) {
+                inst->completeAt = cycle_ + 1;
+                inst->wakeupAt = cycle_ + 1;
+                inst->memDone = true;
+                completions_.push({inst->completeAt, inst->seq});
+            }
+            // Loads: the LSU schedules the cache access.
+        } else {
+            unsigned lat = inst->si.execLatency();
+            inst->completeAt = cycle_ + lat;
+            inst->wakeupAt = inst->completeAt + (iqDepthEff() - 1);
+            completions_.push({inst->completeAt, inst->seq});
+        }
+    }
+
+    iqList_ = std::move(surviving);
+}
+
+// ---------------------------------------------------------------------
+// Load/store unit
+// ---------------------------------------------------------------------
+
+void
+OooCore::lsuStage()
+{
+    unsigned ports = cfg_.numMemPorts;
+    bool older_store_unknown = false;
+    std::unordered_map<Addr, const DynInst *> last_store;
+
+    for (DynInst *inst : lsqList_) {
+        if (ports == 0)
+            break;
+        mlpwin_assert(inst->inLsq);
+
+        if (inst->isStore()) {
+            if (inst->invalid)
+                continue; // INV store: no architectural effect here.
+            // Store addresses resolve as soon as the base register is
+            // ready, ahead of the (possibly much later) data operand;
+            // younger loads to other addresses may then proceed.
+            if (!inst->addrKnown) {
+                bool inv = false;
+                if (srcReady(*inst, 0, inv) && !inv)
+                    inst->addrKnown = true;
+            }
+            if (inst->addrKnown)
+                last_store[inst->rec.memAddr & ~Addr(7)] = inst;
+            else
+                older_store_unknown = true;
+            continue;
+        }
+
+        // Load.
+        if (inst->memDone || inst->invalid || !inst->addrKnown)
+            continue;
+
+        Addr a8 = inst->rec.memAddr & ~Addr(7);
+
+        auto schedule_forward = [&]() {
+            --ports;
+            inst->memDone = true;
+            inst->completeAt = cycle_ + 1;
+            inst->wakeupAt = inst->completeAt + (iqDepthEff() - 1);
+            completions_.push({inst->completeAt, inst->seq});
+            ++forwards_;
+        };
+
+        auto it = last_store.find(a8);
+        if (it != last_store.end()) {
+            const DynInst *st = it->second;
+            if (st->completeAt != kNoCycle && st->completeAt <= cycle_)
+                schedule_forward();
+            // else: wait for the store's data.
+            continue;
+        }
+        if (older_store_unknown)
+            continue; // Conservative disambiguation.
+        if (storeBufferMatch(inst->rec.memAddr)) {
+            schedule_forward();
+            continue;
+        }
+
+        Provenance prov = inst->wrongPath ? Provenance::WrongPath
+                                          : Provenance::CorrPath;
+        MemAccessResult res =
+            mem_.load(inst->rec.memAddr, inst->pc, cycle_, prov);
+        --ports;
+        if (!res.accepted)
+            continue; // MSHRs busy; retry next cycle.
+
+        inst->memDone = true;
+        inst->completeAt = res.doneAt;
+        inst->wakeupAt = res.doneAt + (iqDepthEff() - 1);
+        inst->l2Miss = res.l2DemandMiss;
+        completions_.push({inst->completeAt, inst->seq});
+        if (inst->wrongPath)
+            ++wpLoads_;
+        if (res.l2DemandMiss) {
+            activeMissDone_.push_back(res.doneAt);
+            if (inRunahead_ && !inst->wrongPath)
+                ++raEpisodeMisses_;
+        }
+    }
+
+    // Drain one committed store per spare port.
+    if (ports > 0 && !storeBuffer_.empty()) {
+        MemAccessResult res = mem_.store(storeBuffer_.front().addr,
+                                         cycle_, Provenance::CorrPath);
+        if (res.accepted)
+            storeBuffer_.pop_front();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Completion / branch resolution / squash
+// ---------------------------------------------------------------------
+
+void
+OooCore::completeStage()
+{
+    while (!completions_.empty() &&
+           completions_.top().first <= cycle_) {
+        auto [c, seq] = completions_.top();
+        completions_.pop();
+        DynInst *inst = findInst(seq);
+        if (!inst || inst->completed || inst->completeAt != c)
+            continue; // Stale event (squashed or rescheduled).
+        inst->completed = true;
+        trace(TraceCategory::Complete, *inst);
+        if (cfg_.wibEnabled)
+            wakeWibWaiters(*inst);
+        if (inst->mispredicted && !inst->wrongPath)
+            resolveMispredict(*inst);
+    }
+}
+
+void
+OooCore::resolveMispredict(DynInst &branch)
+{
+    squashYoungerThan(branch.seq);
+    bp_.restoreHistory(branch.histSnapshot, branch.rec.taken);
+    redirectAt_ = cycle_ + mispredictRedirectPenalty();
+    fetchPc_ = branch.rec.nextPc;
+    fetchWaitBranch_ = false;
+    lastFetchLine_ = kNoAddr;
+    icacheBusyUntil_ = 0;
+    // The oracle stopped exactly at the divergence point.
+    mlpwin_assert(oracle_.pc() == branch.rec.nextPc);
+}
+
+void
+OooCore::squashYoungerThan(InstSeqNum seq)
+{
+    if (tracer_) {
+        traceNote(TraceCategory::Squash,
+                  "squash younger than sn" + std::to_string(seq));
+    }
+    while (!window_.empty() && window_.back().seq > seq) {
+        DynInst &b = window_.back();
+        mlpwin_assert(b.wrongPath);
+        if (b.inIq)
+            --iqOcc_;
+        if (b.inLsq)
+            --lsqOcc_;
+        if (b.inWib)
+            --wibOcc_;
+        ++squashed_;
+        seqMap_.erase(b.seq);
+        window_.pop_back();
+    }
+    squashed_ += fetchQueue_.size();
+    fetchQueue_.clear();
+    onWrongPath_ = false;
+    shadowStores_.clear();
+    rebuildAfterSquash();
+}
+
+void
+OooCore::rebuildAfterSquash()
+{
+    renameMap_.fill(kNoProducer);
+    iqList_.clear();
+    lsqList_.clear();
+    wibWaiters_.clear();
+    for (DynInst &d : window_) {
+        RegId dest = d.si.destReg();
+        if (dest != kNoReg)
+            renameMap_[dest] = d.seq;
+        if (d.inIq)
+            iqList_.push_back(&d);
+        if (d.inLsq)
+            lsqList_.push_back(&d);
+        if (d.inWib) {
+            // Re-register the waiter; if its blocking producer has
+            // already completed (or retired), wake it now instead —
+            // its wake event fired before the squash rebuilt us.
+            DynInst *prod = findInst(d.wibBlockedOn);
+            if (prod && !prod->completed)
+                wibWaiters_[prod->seq].push_back(d.seq);
+            else
+                wibReady_.push_back({cycle_ + 1, d.seq});
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Commit / runahead
+// ---------------------------------------------------------------------
+
+void
+OooCore::retireHead(bool pseudo)
+{
+    DynInst &head = window_.front();
+    mlpwin_assert(!head.wrongPath);
+    mlpwin_assert(!head.inIq && !head.inWib);
+
+    if (head.inLsq) {
+        --lsqOcc_;
+        mlpwin_assert(!lsqList_.empty() && lsqList_.front() == &head);
+        lsqList_.pop_front();
+    }
+    RegId dest = head.si.destReg();
+    if (dest != kNoReg && renameMap_[dest] == head.seq)
+        renameMap_[dest] = kNoProducer;
+
+    if (pseudo) {
+        raUndoLog_.push_back(head.rec);
+        if (dest != kNoReg)
+            inv_.setRegInv(dest, head.invalid);
+        if (head.isStore() && head.invalid && head.addrKnown)
+            inv_.setAddrInv(head.rec.memAddr);
+        ++raPseudoRetired_;
+    } else {
+        if (head.isStore()) {
+            storeBuffer_.push_back(
+                PendingStore{head.rec.memAddr, head.rec.storeData});
+            ++committedStores_;
+        }
+        if (head.isControl()) {
+            bp_.update(head.pc, head.si, head.rec.taken,
+                       head.rec.nextPc, head.histSnapshot);
+            ++committedBranches_;
+            if (head.mispredicted)
+                ++committedMispredicts_;
+        }
+        if (head.isLoad()) {
+            loadLatency_.sample(static_cast<double>(
+                head.completeAt - head.issueCycle));
+            ++committedLoads_;
+        }
+        ++committed_;
+    }
+
+    trace(pseudo ? TraceCategory::Runahead : TraceCategory::Commit,
+          head);
+    seqMap_.erase(head.seq);
+    window_.pop_front();
+}
+
+void
+OooCore::maybeEnterRunahead(DynInst &head)
+{
+    if (!raCfg_.enabled || inRunahead_)
+        return;
+    if (!head.isLoad() || !head.memDone || head.completed)
+        return;
+    // Only long (L2-miss) stalls are worth running ahead of.
+    if (head.completeAt == kNoCycle || head.completeAt <= cycle_ + 20)
+        return;
+    if (raCfg_.useRcst && !rcst_.predictUseful(head.pc))
+        return;
+
+    inRunahead_ = true;
+    raTriggerPc_ = head.pc;
+    raExitAt_ = head.completeAt;
+    raEpisodeMisses_ = 0;
+    raUndoLog_.clear();
+    inv_.reset();
+    ++raEpisodes_;
+    traceNote(TraceCategory::Runahead,
+              "enter runahead (trigger pc 0x" +
+                  std::to_string(raTriggerPc_) + ")");
+
+    head.invalid = true; // Trigger load pseudo-retires INV.
+}
+
+void
+OooCore::exitRunahead()
+{
+    // Roll the oracle back to the trigger, youngest effect first.
+    for (auto it = fetchQueue_.rbegin(); it != fetchQueue_.rend();
+         ++it) {
+        if (!it->wrongPath)
+            oracle_.undo(it->rec);
+    }
+    for (auto it = window_.rbegin(); it != window_.rend(); ++it) {
+        if (!it->wrongPath)
+            oracle_.undo(it->rec);
+    }
+    for (auto it = raUndoLog_.rbegin(); it != raUndoLog_.rend(); ++it)
+        oracle_.undo(*it);
+
+    rcst_.train(raTriggerPc_, raEpisodeMisses_ > 0);
+    if (raEpisodeMisses_ == 0)
+        ++raUseless_;
+
+    squashed_ += window_.size() + fetchQueue_.size();
+    window_.clear();
+    seqMap_.clear();
+    fetchQueue_.clear();
+    iqOcc_ = 0;
+    lsqOcc_ = 0;
+    wibOcc_ = 0;
+    iqList_.clear();
+    lsqList_.clear();
+    wibWaiters_.clear();
+    wibReady_.clear();
+    renameMap_.fill(kNoProducer);
+    raUndoLog_.clear();
+    inv_.reset();
+    inRunahead_ = false;
+    onWrongPath_ = false;
+    shadowStores_.clear();
+    fetchHalted_ = false;
+    fetchWaitBranch_ = false;
+
+    traceNote(TraceCategory::Runahead, "exit runahead");
+    redirectAt_ = cycle_ + 1 + raCfg_.exitPenalty;
+    fetchPc_ = oracle_.pc();
+    mlpwin_assert(fetchPc_ == raTriggerPc_);
+    lastFetchLine_ = kNoAddr;
+    icacheBusyUntil_ = 0;
+}
+
+void
+OooCore::pseudoRetireLoop()
+{
+    for (unsigned n = 0; n < cfg_.commitWidth && !window_.empty();
+         ++n) {
+        DynInst &head = window_.front();
+        if (head.wrongPath)
+            break; // An unresolved branch precedes it; wait.
+        if (head.completed) {
+            retireHead(true);
+            continue;
+        }
+        if (head.invalid || (head.isLoad() && head.memDone)) {
+            // Pending-miss load (or already-INV inst): retire INV.
+            head.invalid = true;
+            retireHead(true);
+            continue;
+        }
+        break; // Wait for short-latency execution to finish.
+    }
+}
+
+void
+OooCore::commitStage()
+{
+    if (halted_)
+        return;
+
+    if (inRunahead_) {
+        if (cycle_ >= raExitAt_) {
+            exitRunahead();
+            return;
+        }
+        pseudoRetireLoop();
+        return;
+    }
+
+    for (unsigned n = 0; n < cfg_.commitWidth && !window_.empty();
+         ++n) {
+        DynInst &head = window_.front();
+
+        if (!head.completed) {
+            maybeEnterRunahead(head);
+            if (inRunahead_)
+                pseudoRetireLoop();
+            break;
+        }
+        if (head.si.isHalt()) {
+            retireHead(false);
+            halted_ = true;
+            break;
+        }
+        if (head.isStore() &&
+            storeBuffer_.size() >= cfg_.storeBufferSize) {
+            break;
+        }
+        retireHead(false);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tick
+// ---------------------------------------------------------------------
+
+void
+OooCore::tick()
+{
+    allocStalledFull_ = false;
+
+    commitStage();
+    completeStage();
+    lsuStage();
+    issueStage();
+    wibReinsertStage();
+    dispatchStage();
+    fetchStage();
+
+    WindowOccupancy occ;
+    occ.rob = static_cast<unsigned>(window_.size());
+    occ.iq = iqOcc_;
+    occ.lsq = lsqOcc_;
+    occ.allocStalledFull = allocStalledFull_;
+    resize_.tick(cycle_, occ);
+
+    const ResourceLevel &lvl = resize_.current();
+    iqSizeCycles_ += lvl.iqSize;
+    robSizeCycles_ += lvl.robSize;
+    lsqSizeCycles_ += lvl.lsqSize;
+
+    std::erase_if(activeMissDone_,
+                  [this](Cycle c) { return c <= cycle_; });
+    if (!activeMissDone_.empty()) {
+        mlpOverlapSum_ += static_cast<double>(activeMissDone_.size());
+        ++mlpActiveCycles_;
+    }
+
+    ++cycle_;
+}
+
+} // namespace mlpwin

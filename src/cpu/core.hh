@@ -1,0 +1,344 @@
+/**
+ * @file
+ * The out-of-order superscalar core.
+ *
+ * An execution-driven, cycle-stepped model of a P6-style 4-wide
+ * out-of-order processor (paper Table 1): fetch with branch
+ * prediction and wrong-path execution, rename/dispatch into resizable
+ * ROB/IQ/LSQ windows, wakeup-select issue with a configurable IQ
+ * pipeline depth (the paper's issue-loop penalty for enlarged,
+ * pipelined queues), a load/store unit with store-to-load forwarding
+ * and conservative disambiguation, and in-order commit.
+ *
+ * Functional execution is oracle-driven: a correct-path emulator runs
+ * at fetch, so every dynamic instruction carries its real result,
+ * memory address, and branch outcome. Wrong-path instructions after a
+ * misprediction execute against a shadow register file (copied at the
+ * divergence) and a local store overlay, so their (squashed) cache
+ * traffic is realistic - this feeds the paper's Fig. 11 pollution
+ * study. Runahead execution (paper Section 5.7) is modeled as a
+ * pseudo-retiring episode with INV propagation and full architectural
+ * rollback via per-instruction undo logs.
+ *
+ * The window resources consult a ResizeController every cycle: the
+ * MLP-aware controller implements the paper's contribution; fixed
+ * controllers implement the baseline/ideal models.
+ */
+
+#ifndef MLPWIN_CPU_CORE_HH
+#define MLPWIN_CPU_CORE_HH
+
+#include <deque>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "branch/predictor.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "cpu/core_config.hh"
+#include "cpu/dyninst.hh"
+#include "cpu/tracer.hh"
+#include "emu/emulator.hh"
+#include "mem/hierarchy.hh"
+#include "mem/main_memory.hh"
+#include "resize/controller.hh"
+#include "runahead/runahead.hh"
+
+namespace mlpwin
+{
+
+/** See file comment. */
+class OooCore
+{
+  public:
+    /**
+     * @param cfg Core widths/penalties.
+     * @param resize Window-size controller (not owned).
+     * @param mem Timing memory hierarchy (not owned).
+     * @param fmem Functional memory, already loaded (not owned).
+     * @param prog The program to run.
+     * @param stats Stat registry (may be nullptr).
+     * @param ra Runahead configuration (disabled by default).
+     * @param bp_cfg Branch predictor configuration.
+     */
+    OooCore(const CoreConfig &cfg, ResizeController &resize,
+            CacheHierarchy &mem, MainMemory &fmem, const Program &prog,
+            StatSet *stats, const RunaheadConfig &ra = RunaheadConfig{},
+            const BranchPredictorConfig &bp_cfg =
+                BranchPredictorConfig{});
+
+    /** Advance one clock cycle. */
+    void tick();
+
+    /**
+     * Start the measurement window at the current cycle: zeroes the
+     * core's non-Stat accumulators (MLP observation, energy size
+     * integrals) and rebases cycle-derived rates. The Simulator calls
+     * this after the warm-up phase, together with StatSet::resetAll().
+     */
+    void resetMeasurement();
+
+    /** Cycles elapsed inside the measurement window. */
+    Cycle
+    measuredCycles() const
+    {
+        return cycle_ - measureStartCycle_;
+    }
+
+    /** True once the program's Halt instruction has committed. */
+    bool halted() const { return halted_; }
+
+    Cycle cycle() const { return cycle_; }
+    std::uint64_t committedInsts() const { return committed_.value(); }
+
+    /** IPC over the measurement window (the whole run by default). */
+    double
+    ipc() const
+    {
+        Cycle c = measuredCycles();
+        return c ? static_cast<double>(committed_.value()) / c : 0.0;
+    }
+
+    /** Mean latency of committed loads (issue to data return). */
+    double avgLoadLatency() const { return loadLatency_.mean(); }
+
+    std::uint64_t committedLoads() const
+    {
+        return committedLoads_.value();
+    }
+    std::uint64_t committedStores() const
+    {
+        return committedStores_.value();
+    }
+    std::uint64_t committedBranches() const
+    {
+        return committedBranches_.value();
+    }
+    std::uint64_t committedMispredicts() const
+    {
+        return committedMispredicts_.value();
+    }
+    std::uint64_t squashedInsts() const { return squashed_.value(); }
+    std::uint64_t issuedInsts() const { return issuedCnt_.value(); }
+    std::uint64_t fetchedInsts() const { return fetched_.value(); }
+    std::uint64_t runaheadEpisodes() const
+    {
+        return raEpisodes_.value();
+    }
+    std::uint64_t runaheadUselessEpisodes() const
+    {
+        return raUseless_.value();
+    }
+    std::uint64_t wibMoves() const { return wibMoves_.value(); }
+    std::uint64_t wibReinserts() const { return wibReinserts_.value(); }
+    unsigned wibOccupancy() const { return wibOcc_; }
+
+    /** Average # of in-flight L2-miss loads over miss-active cycles. */
+    double
+    observedMlp() const
+    {
+        return mlpActiveCycles_ ? mlpOverlapSum_ /
+                                      static_cast<double>(
+                                          mlpActiveCycles_)
+                                : 0.0;
+    }
+
+    /** Size-cycles integrals for the energy model (capacity * cycle). */
+    std::uint64_t iqSizeCycles() const { return iqSizeCycles_; }
+    std::uint64_t robSizeCycles() const { return robSizeCycles_; }
+    std::uint64_t lsqSizeCycles() const { return lsqSizeCycles_; }
+
+    const BranchPredictor &predictor() const { return bp_; }
+    const ResizeController &resizer() const { return resize_; }
+
+    /** Oracle view (for end-of-run architectural state checks). */
+    const Emulator &oracle() const { return oracle_; }
+
+    /** Attach a pipeline tracer (not owned; nullptr disables). */
+    void setTracer(PipelineTracer *t) { tracer_ = t; }
+
+    /** Committed instructions at which Halt was reached, if any. */
+    bool fetchHalted() const { return fetchHalted_; }
+
+  private:
+    // --- pipeline stages (called in reverse order each tick) ----------
+    void commitStage();
+    void completeStage();
+    void lsuStage();
+    void issueStage();
+    void dispatchStage();
+    void fetchStage();
+
+    // --- WIB (Lebeck et al. related-work model) -----------------------
+    /**
+     * If inst (not ready in the IQ) directly depends on an
+     * outstanding L2-miss load or on a WIB-resident instruction, park
+     * it in the WIB and free its IQ entry. @return true if moved.
+     */
+    bool maybeMoveToWib(DynInst &inst);
+    /** Wake WIB entries blocked on the just-completed instruction. */
+    void wakeWibWaiters(const DynInst &completed);
+    /** Re-insert woken WIB entries into the IQ (bandwidth-limited). */
+    void wibReinsertStage();
+
+    // --- helpers -------------------------------------------------------
+    DynInst *findInst(InstSeqNum seq);
+    bool fetchOne();
+    void buildShadowRecord(DynInst &d);
+    void setupSources(DynInst &d);
+    /**
+     * True once source i's value is available (memoized in d); sets
+     * inv if the value is a runahead INV.
+     */
+    bool srcReady(DynInst &d, unsigned i, bool &inv);
+    bool acquireFu(const StaticInst &si);
+    unsigned iqDepthEff() const;
+    unsigned mispredictRedirectPenalty() const;
+    void resolveMispredict(DynInst &branch);
+    void squashYoungerThan(InstSeqNum seq);
+    void rebuildAfterSquash();
+    bool storeBufferMatch(Addr addr) const;
+    void retireHead(bool pseudo);
+    void maybeEnterRunahead(DynInst &head);
+    void exitRunahead();
+    void pseudoRetireLoop();
+
+    // --- configuration & shared structure references -------------------
+    /** Emit a trace event if a tracer is attached. */
+    void
+    trace(TraceCategory cat, const DynInst &d) const
+    {
+        if (tracer_)
+            tracer_->event(cycle_, cat, d);
+    }
+
+    void
+    traceNote(TraceCategory cat, const std::string &msg) const
+    {
+        if (tracer_)
+            tracer_->note(cycle_, cat, msg);
+    }
+
+    CoreConfig cfg_;
+    ResizeController &resize_;
+    CacheHierarchy &mem_;
+    MainMemory &fmem_;
+    RunaheadConfig raCfg_;
+    BranchPredictor bp_;
+    Emulator oracle_;
+    PipelineTracer *tracer_ = nullptr;
+
+    // --- core state -----------------------------------------------------
+    Cycle cycle_ = 0;
+    Cycle measureStartCycle_ = 0;
+    InstSeqNum nextSeq_ = 1;
+    bool halted_ = false;
+
+    /**
+     * ROB, oldest at front. A std::deque keeps element addresses
+     * stable under push_back/pop_front/pop_back, so the IQ/LSQ lists
+     * below may hold raw pointers into it; every operation that
+     * removes window entries (squash, runahead exit, retire) removes
+     * the corresponding list entries in the same cycle.
+     */
+    std::deque<DynInst> window_;
+    /** O(1) seq -> window entry (kept in sync with window_). */
+    std::unordered_map<InstSeqNum, DynInst *> seqMap_;
+    unsigned iqOcc_ = 0;
+    unsigned lsqOcc_ = 0;
+    std::vector<DynInst *> iqList_; ///< IQ entries, age order.
+    std::deque<DynInst *> lsqList_; ///< LSQ entries, age order.
+    std::array<InstSeqNum, kNumArchRegs> renameMap_{};
+
+    std::deque<DynInst> fetchQueue_;
+
+    // --- WIB state ------------------------------------------------------
+    unsigned wibOcc_ = 0;
+    /** Blocking seq -> WIB entries waiting on it. */
+    std::unordered_map<InstSeqNum, std::vector<InstSeqNum>>
+        wibWaiters_;
+    /** (earliest re-insert cycle, seq) woken entries, FIFO. */
+    std::deque<std::pair<Cycle, InstSeqNum>> wibReady_;
+
+    using CompletionEvent = std::pair<Cycle, InstSeqNum>;
+    std::priority_queue<CompletionEvent,
+                        std::vector<CompletionEvent>,
+                        std::greater<CompletionEvent>>
+        completions_;
+
+    struct PendingStore
+    {
+        Addr addr;
+        RegVal data;
+    };
+    std::deque<PendingStore> storeBuffer_;
+
+    // --- fetch state -----------------------------------------------------
+    Addr fetchPc_ = 0;
+    bool fetchHalted_ = false;
+    /** Fetch may not produce instructions before this cycle. */
+    Cycle redirectAt_ = 0;
+    Cycle icacheBusyUntil_ = 0;
+    Addr lastFetchLine_ = kNoAddr;
+    /** Waiting for a mispredicted branch (wrong-path exec disabled). */
+    bool fetchWaitBranch_ = false;
+
+    // --- wrong-path state ---------------------------------------------
+    bool onWrongPath_ = false;
+    RegFile shadowRegs_;
+    std::unordered_map<Addr, RegVal> shadowStores_;
+
+    // --- functional-unit pools --------------------------------------------
+    unsigned aluUsed_ = 0;
+    unsigned fpAluUsed_ = 0;
+    unsigned aguUsed_ = 0;
+    std::vector<Cycle> intMulDivFree_;
+    std::vector<Cycle> fpMulDivFree_;
+    unsigned issuedThisCycle_ = 0;
+
+    // --- runahead state -----------------------------------------------
+    bool inRunahead_ = false;
+    Addr raTriggerPc_ = 0;
+    Cycle raExitAt_ = 0;
+    std::uint64_t raEpisodeMisses_ = 0;
+    std::vector<ExecRecord> raUndoLog_;
+    InvTracker inv_;
+    RunaheadCauseStatusTable rcst_;
+
+    // --- per-cycle scratch ------------------------------------------------
+    bool allocStalledFull_ = false;
+
+    // --- MLP observation ---------------------------------------------------
+    std::vector<Cycle> activeMissDone_;
+    double mlpOverlapSum_ = 0.0;
+    std::uint64_t mlpActiveCycles_ = 0;
+
+    // --- energy integrals ----------------------------------------------
+    std::uint64_t iqSizeCycles_ = 0;
+    std::uint64_t robSizeCycles_ = 0;
+    std::uint64_t lsqSizeCycles_ = 0;
+
+    // --- statistics -----------------------------------------------------
+    Counter fetched_;
+    Counter dispatched_;
+    Counter issuedCnt_;
+    Counter committed_;
+    Counter committedLoads_;
+    Counter committedStores_;
+    Counter committedBranches_;
+    Counter committedMispredicts_;
+    Counter squashed_;
+    Counter forwards_;
+    Counter wpLoads_;
+    Counter raEpisodes_;
+    Counter raUseless_;
+    Counter raPseudoRetired_;
+    Counter wibMoves_;
+    Counter wibReinserts_;
+    Average loadLatency_;
+};
+
+} // namespace mlpwin
+
+#endif // MLPWIN_CPU_CORE_HH

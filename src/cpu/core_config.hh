@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Configuration of the out-of-order core (paper Table 1).
+ */
+
+#ifndef MLPWIN_CPU_CORE_CONFIG_HH
+#define MLPWIN_CPU_CORE_CONFIG_HH
+
+namespace mlpwin
+{
+
+/** Core parameters; defaults are the paper's base processor. */
+struct CoreConfig
+{
+    unsigned fetchWidth = 4;
+    unsigned decodeWidth = 4;
+    unsigned issueWidth = 4;
+    unsigned commitWidth = 4;
+
+    /** Base branch misprediction penalty in cycles (paper: 10). */
+    unsigned mispredictPenalty = 10;
+
+    unsigned fetchQueueSize = 16;
+    unsigned storeBufferSize = 16;
+
+    /** Functional-unit counts (paper Table 1). */
+    unsigned numIntAlu = 4;
+    unsigned numIntMulDiv = 2;
+    unsigned numMemPorts = 2;
+    unsigned numFpAlu = 4;
+    unsigned numFpMulDiv = 2;
+
+    /**
+     * False selects the paper's "ideal model": enlarged window
+     * resources are *not* pipelined, so there is no issue-loop delay
+     * and no extra branch misprediction penalty at higher levels.
+     */
+    bool pipelinePenalties = true;
+
+    /**
+     * Model wrong-path fetch/execution after mispredictions (needed
+     * for the Fig. 11 pollution study). Disabling it makes squashes
+     * instantaneous refetch bubbles with no wrong-path memory traffic.
+     */
+    bool wrongPathExecution = true;
+
+    // --- WIB model (Lebeck et al., ISCA'02; paper Section 6.3) -------
+
+    /**
+     * Enable the waiting instruction buffer: instructions whose
+     * source hangs off an outstanding L2-miss load leave the (small)
+     * IQ for the WIB and re-enter when the miss resolves. A
+     * related-work alternative to enlarging the IQ; used by the
+     * ModelKind::Wib comparison.
+     */
+    bool wibEnabled = false;
+    /** WIB capacity in instructions. */
+    unsigned wibSize = 512;
+    /** Instructions re-insertable into the IQ per cycle. */
+    unsigned wibReinsertWidth = 4;
+    /** Cycles from the blocking miss's completion to re-insertion. */
+    unsigned wibReinsertDelay = 2;
+};
+
+} // namespace mlpwin
+
+#endif // MLPWIN_CPU_CORE_CONFIG_HH

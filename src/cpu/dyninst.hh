@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The dynamic (in-flight) instruction record used by the out-of-order
+ * core. One DynInst lives in the window (ROB) from dispatch to commit
+ * or squash; fields cover the oracle/shadow functional results, the
+ * branch prediction made for it, and its pipeline timing state.
+ */
+
+#ifndef MLPWIN_CPU_DYNINST_HH
+#define MLPWIN_CPU_DYNINST_HH
+
+#include "common/types.hh"
+#include "emu/emulator.hh"
+#include "isa/isa.hh"
+
+namespace mlpwin
+{
+
+/** Sentinel producer meaning "value already architectural". */
+constexpr InstSeqNum kNoProducer = 0;
+
+/** See file comment. */
+struct DynInst
+{
+    InstSeqNum seq = 0;
+    StaticInst si;
+    Addr pc = 0;
+    bool wrongPath = false;
+
+    /** Functional record: oracle for correct path, shadow otherwise. */
+    ExecRecord rec;
+
+    // --- branch prediction state ---------------------------------------
+    bool predTaken = false;
+    Addr predTarget = 0;
+    std::uint64_t histSnapshot = 0;
+    /** Correct-path control inst whose prediction was wrong. */
+    bool mispredicted = false;
+
+    // --- dependences ----------------------------------------------------
+    /** Source registers actually read (kNoReg when unused). */
+    RegId srcReg[2] = {kNoReg, kNoReg};
+    /** In-flight producers of the sources (kNoProducer if none). */
+    InstSeqNum srcProducer[2] = {kNoProducer, kNoProducer};
+    /** Memoized readiness: once true, a source stays ready. */
+    bool srcDone[2] = {false, false};
+    /** INV flag latched when the memoized source resolved. */
+    bool srcInv[2] = {false, false};
+
+    // --- pipeline state ---------------------------------------------------
+    bool inIq = false;     ///< Occupies an IQ entry (until issue).
+    bool inLsq = false;    ///< Occupies an LSQ entry (until commit).
+    bool inWib = false;    ///< Parked in the WIB (WIB model only).
+    /** Producer seq this WIB entry waits on (kNoProducer if none). */
+    InstSeqNum wibBlockedOn = kNoProducer;
+    bool issued = false;
+    bool completed = false;
+    /** Load/store effective address became known (at issue). */
+    bool addrKnown = false;
+    /** Load was sent to the cache / got its value via forwarding. */
+    bool memDone = false;
+    /** This access initiated or merged with an L2 demand miss. */
+    bool l2Miss = false;
+    /** Runahead INV: value is bogus; dependents must not use it. */
+    bool invalid = false;
+
+    Cycle fetchCycle = 0;
+    Cycle dispatchCycle = 0;
+    Cycle issueCycle = 0;
+    /** Cycle execution finishes (data ready for completion). */
+    Cycle completeAt = kNoCycle;
+    /** Cycle dependents may issue (completeAt + IQ pipeline skew). */
+    Cycle wakeupAt = kNoCycle;
+
+    bool isLoad() const { return si.isLoad(); }
+    bool isStore() const { return si.isStore(); }
+    bool isControl() const { return si.isControl(); }
+
+    /** Real (resolved) next PC: rec.nextPc for both oracle & shadow. */
+    Addr actualNextPc() const { return rec.nextPc; }
+};
+
+} // namespace mlpwin
+
+#endif // MLPWIN_CPU_DYNINST_HH

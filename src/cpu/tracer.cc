@@ -1,0 +1,86 @@
+#include "tracer.hh"
+
+#include <cstdio>
+
+namespace mlpwin
+{
+
+const char *
+traceCategoryName(TraceCategory c)
+{
+    switch (c) {
+      case TraceCategory::Fetch:
+        return "fetch";
+      case TraceCategory::Dispatch:
+        return "dispatch";
+      case TraceCategory::Issue:
+        return "issue";
+      case TraceCategory::Complete:
+        return "complete";
+      case TraceCategory::Commit:
+        return "commit";
+      case TraceCategory::Squash:
+        return "squash";
+      case TraceCategory::Resize:
+        return "resize";
+      case TraceCategory::Runahead:
+        return "runahead";
+    }
+    return "?";
+}
+
+unsigned
+parseTraceCategories(const std::string &spec)
+{
+    if (spec == "all")
+        return kTraceAll;
+    unsigned mask = 0;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string name = spec.substr(pos, comma - pos);
+        for (unsigned bit = 1; bit <= 0x80u; bit <<= 1) {
+            auto c = static_cast<TraceCategory>(bit);
+            if (name == traceCategoryName(c))
+                mask |= bit;
+        }
+        pos = comma + 1;
+    }
+    return mask;
+}
+
+void
+PipelineTracer::event(Cycle cycle, TraceCategory cat, const DynInst &d)
+{
+    if (!wants(cat) || cycle < startCycle_)
+        return;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%10llu %-8s sn%-8llu 0x%08llx %s%s",
+                  static_cast<unsigned long long>(cycle),
+                  traceCategoryName(cat),
+                  static_cast<unsigned long long>(d.seq),
+                  static_cast<unsigned long long>(d.pc),
+                  disassemble(d.si).c_str(),
+                  d.wrongPath ? "  [wrong-path]" : "");
+    os_ << buf << '\n';
+    ++lines_;
+}
+
+void
+PipelineTracer::note(Cycle cycle, TraceCategory cat,
+                     const std::string &msg)
+{
+    if (!wants(cat) || cycle < startCycle_)
+        return;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%10llu %-8s ",
+                  static_cast<unsigned long long>(cycle),
+                  traceCategoryName(cat));
+    os_ << buf << msg << '\n';
+    ++lines_;
+}
+
+} // namespace mlpwin

@@ -1,0 +1,205 @@
+#include "emulator.hh"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace mlpwin
+{
+
+std::uint64_t
+RegFile::checksum() const
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (unsigned r = 0; r < kNumArchRegs; ++r) {
+        std::uint64_t v = read(static_cast<RegId>(r));
+        for (unsigned i = 0; i < 8; ++i) {
+            hash ^= (v >> (8 * i)) & 0xff;
+            hash *= 0x100000001b3ULL;
+        }
+    }
+    return hash;
+}
+
+namespace
+{
+
+double toF(RegVal v) { return std::bit_cast<double>(v); }
+RegVal fromF(double d) { return std::bit_cast<RegVal>(d); }
+
+std::int64_t toS(RegVal v) { return static_cast<std::int64_t>(v); }
+
+RegVal
+safeDiv(RegVal a, RegVal b)
+{
+    std::int64_t sa = toS(a), sb = toS(b);
+    if (sb == 0)
+        return 0; // No traps in this ISA; division by zero yields 0.
+    if (sa == std::numeric_limits<std::int64_t>::min() && sb == -1)
+        return a; // Overflow case defined as identity, RISC-V style.
+    return static_cast<RegVal>(sa / sb);
+}
+
+RegVal
+safeRem(RegVal a, RegVal b)
+{
+    std::int64_t sa = toS(a), sb = toS(b);
+    if (sb == 0)
+        return a;
+    if (sa == std::numeric_limits<std::int64_t>::min() && sb == -1)
+        return 0;
+    return static_cast<RegVal>(sa % sb);
+}
+
+RegVal
+fcvtToInt(double d)
+{
+    if (std::isnan(d))
+        return 0;
+    if (d >= 9.2233720368547758e18)
+        return static_cast<RegVal>(std::numeric_limits<std::int64_t>::max());
+    if (d <= -9.2233720368547758e18)
+        return static_cast<RegVal>(std::numeric_limits<std::int64_t>::min());
+    return static_cast<RegVal>(static_cast<std::int64_t>(d));
+}
+
+} // namespace
+
+RegVal
+evalOp(Opcode op, RegVal a, RegVal b, std::int32_t imm)
+{
+    const RegVal sext = static_cast<RegVal>(
+        static_cast<std::int64_t>(imm));
+    const RegVal zext = static_cast<std::uint32_t>(imm);
+    switch (op) {
+      case Opcode::Add: return a + b;
+      case Opcode::Sub: return a - b;
+      case Opcode::And: return a & b;
+      case Opcode::Or: return a | b;
+      case Opcode::Xor: return a ^ b;
+      case Opcode::Sll: return a << (b & 63);
+      case Opcode::Srl: return a >> (b & 63);
+      case Opcode::Sra:
+        return static_cast<RegVal>(toS(a) >> (b & 63));
+      case Opcode::Slt: return toS(a) < toS(b) ? 1 : 0;
+      case Opcode::Sltu: return a < b ? 1 : 0;
+      case Opcode::Mul: return a * b;
+      case Opcode::Div: return safeDiv(a, b);
+      case Opcode::Rem: return safeRem(a, b);
+      case Opcode::Addi: return a + sext;
+      case Opcode::Andi: return a & zext;
+      case Opcode::Ori: return a | zext;
+      case Opcode::Xori: return a ^ zext;
+      case Opcode::Slli: return a << (imm & 63);
+      case Opcode::Srli: return a >> (imm & 63);
+      case Opcode::Srai:
+        return static_cast<RegVal>(toS(a) >> (imm & 63));
+      case Opcode::Slti:
+        return toS(a) < static_cast<std::int64_t>(imm) ? 1 : 0;
+      case Opcode::Lui: return zext << 32;
+      case Opcode::Fadd: return fromF(toF(a) + toF(b));
+      case Opcode::Fsub: return fromF(toF(a) - toF(b));
+      case Opcode::Fmul: return fromF(toF(a) * toF(b));
+      case Opcode::Fdiv: return fromF(toF(a) / toF(b));
+      case Opcode::Fsqrt: return fromF(std::sqrt(toF(a)));
+      case Opcode::Fmin: return fromF(std::fmin(toF(a), toF(b)));
+      case Opcode::Fmax: return fromF(std::fmax(toF(a), toF(b)));
+      case Opcode::Fcvt: return fromF(static_cast<double>(toS(a)));
+      case Opcode::Fcvti: return fcvtToInt(toF(a));
+      case Opcode::Fcmplt: return toF(a) < toF(b) ? 1 : 0;
+      case Opcode::Nop: return 0;
+      default:
+        mlpwin_panic("evalOp on non-ALU opcode %s", opcodeName(op));
+    }
+}
+
+bool
+evalBranch(Opcode op, RegVal a, RegVal b)
+{
+    switch (op) {
+      case Opcode::Beq: return a == b;
+      case Opcode::Bne: return a != b;
+      case Opcode::Blt: return toS(a) < toS(b);
+      case Opcode::Bge: return toS(a) >= toS(b);
+      case Opcode::Bltu: return a < b;
+      case Opcode::Bgeu: return a >= b;
+      default:
+        mlpwin_panic("evalBranch on non-branch opcode %s",
+                     opcodeName(op));
+    }
+}
+
+Emulator::Emulator(MainMemory &mem, Addr entry)
+    : mem_(mem), pc_(entry)
+{
+}
+
+ExecRecord
+Emulator::step()
+{
+    mlpwin_assert(!halted_);
+
+    ExecRecord rec;
+    rec.pc = pc_;
+    rec.inst = decodeInst(mem_.readU64(pc_));
+    rec.nextPc = pc_ + kInstBytes;
+
+    const StaticInst &inst = rec.inst;
+    const RegVal a = regs_.read(inst.rs1);
+    const RegVal b = regs_.read(inst.rs2);
+
+    if (inst.destReg() != kNoReg)
+        rec.prevDestVal = regs_.read(inst.destReg());
+
+    if (inst.isHalt()) {
+        rec.halted = true;
+        halted_ = true;
+    } else if (inst.isLoad()) {
+        rec.memAddr = a + static_cast<std::int64_t>(inst.imm);
+        rec.result = mem_.readU64(rec.memAddr);
+        regs_.write(inst.rd, rec.result);
+    } else if (inst.isStore()) {
+        rec.memAddr = a + static_cast<std::int64_t>(inst.imm);
+        rec.storeData = b;
+        rec.prevMemVal = mem_.readU64(rec.memAddr);
+        mem_.writeU64(rec.memAddr, b);
+    } else if (inst.isCondBranch()) {
+        rec.taken = evalBranch(inst.op, a, b);
+        if (rec.taken)
+            rec.nextPc = pc_ + static_cast<std::int64_t>(inst.imm);
+    } else if (inst.isJal()) {
+        rec.taken = true;
+        rec.result = pc_ + kInstBytes;
+        regs_.write(inst.rd, rec.result);
+        rec.nextPc = pc_ + static_cast<std::int64_t>(inst.imm);
+    } else if (inst.isJalr()) {
+        rec.taken = true;
+        rec.result = pc_ + kInstBytes;
+        rec.nextPc = a + static_cast<std::int64_t>(inst.imm);
+        regs_.write(inst.rd, rec.result);
+    } else if (!inst.isNop()) {
+        rec.result = evalOp(inst.op, a, b, inst.imm);
+        regs_.write(inst.rd, rec.result);
+    }
+
+    pc_ = rec.nextPc;
+    ++instCount_;
+    return rec;
+}
+
+void
+Emulator::undo(const ExecRecord &rec)
+{
+    if (rec.inst.isStore())
+        mem_.writeU64(rec.memAddr, rec.prevMemVal);
+    if (rec.inst.destReg() != kNoReg)
+        regs_.write(rec.inst.destReg(), rec.prevDestVal);
+    pc_ = rec.pc;
+    halted_ = false;
+    mlpwin_assert(instCount_ > 0);
+    --instCount_;
+}
+
+} // namespace mlpwin

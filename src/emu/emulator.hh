@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Functional (architectural) emulator for the mini-RISC ISA.
+ *
+ * The emulator advances architectural state one instruction at a time
+ * and reports everything the timing model needs about each dynamic
+ * instruction: the decoded static instruction, branch outcome, memory
+ * address, and result value. The out-of-order core uses one emulator
+ * instance as its correct-path oracle; the wrong-path engine and the
+ * runahead engine reuse the same evaluation helpers with their own
+ * register state.
+ */
+
+#ifndef MLPWIN_EMU_EMULATOR_HH
+#define MLPWIN_EMU_EMULATOR_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+#include "mem/main_memory.hh"
+
+namespace mlpwin
+{
+
+/** Architectural register file: flat int + fp, x0 reads as zero. */
+class RegFile
+{
+  public:
+    RegFile() { regs_.fill(0); }
+
+    RegVal
+    read(RegId r) const
+    {
+        if (r == kNoReg || r == intReg(0))
+            return 0;
+        return regs_[r];
+    }
+
+    void
+    write(RegId r, RegVal v)
+    {
+        if (r == kNoReg || r == intReg(0))
+            return;
+        regs_[r] = v;
+    }
+
+    /** FNV-1a checksum over all registers (tests compare models). */
+    std::uint64_t checksum() const;
+
+  private:
+    std::array<RegVal, kNumArchRegs> regs_;
+};
+
+/** Everything the timing model needs to know about one executed inst. */
+struct ExecRecord
+{
+    StaticInst inst;
+    Addr pc = 0;
+    Addr nextPc = 0;    ///< Architecturally correct next PC.
+    bool taken = false; ///< For control insts: was it taken?
+    Addr memAddr = kNoAddr; ///< Effective address for loads/stores.
+    RegVal storeData = 0;   ///< Value stored, for stores.
+    RegVal result = 0;      ///< Value written to the dest register.
+    bool halted = false;    ///< This instruction was Halt.
+
+    /**
+     * Undo log for speculative-episode rollback (runahead exit): the
+     * previous value of the destination register, and the previous
+     * memory word for stores. Rolling back a sequence of ExecRecords
+     * youngest-to-oldest restores the pre-sequence state exactly.
+     */
+    RegVal prevDestVal = 0;
+    RegVal prevMemVal = 0;
+};
+
+/**
+ * Pure evaluation of a non-memory, non-control operation.
+ *
+ * @param op Opcode (must not be Ld/St/Fld/Fst/branch/jump/Halt).
+ * @param a First source value (rs1).
+ * @param b Second source value (rs2).
+ * @param imm Immediate field.
+ * @return The destination value.
+ */
+RegVal evalOp(Opcode op, RegVal a, RegVal b, std::int32_t imm);
+
+/** Evaluate a conditional branch's direction. */
+bool evalBranch(Opcode op, RegVal a, RegVal b);
+
+/** Architectural-state emulator; see file comment. */
+class Emulator
+{
+  public:
+    /**
+     * @param mem Functional memory (shared with the timing model).
+     * @param entry Initial program counter.
+     */
+    Emulator(MainMemory &mem, Addr entry);
+
+    /** Execute one instruction; returns its full record. */
+    ExecRecord step();
+
+    Addr pc() const { return pc_; }
+    bool halted() const { return halted_; }
+    std::uint64_t instCount() const { return instCount_; }
+
+    RegFile &regs() { return regs_; }
+    const RegFile &regs() const { return regs_; }
+
+    /** Rewind the PC (used with ExecRecord undo logs; see above). */
+    void setPc(Addr pc) { pc_ = pc; halted_ = false; }
+
+    /**
+     * Undo one executed instruction's architectural effects. Records
+     * must be undone youngest-first.
+     */
+    void undo(const ExecRecord &rec);
+
+  private:
+    MainMemory &mem_;
+    RegFile regs_;
+    Addr pc_;
+    bool halted_ = false;
+    std::uint64_t instCount_ = 0;
+};
+
+} // namespace mlpwin
+
+#endif // MLPWIN_EMU_EMULATOR_HH

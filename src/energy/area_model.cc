@@ -1,0 +1,14 @@
+#include "area_model.hh"
+
+#include <cmath>
+
+namespace mlpwin
+{
+
+double
+AreaModel::pollackSpeedup(double extra_area, double base_area)
+{
+    return std::sqrt(1.0 + extra_area / base_area) - 1.0;
+}
+
+} // namespace mlpwin

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Analytical area model standing in for McPAT/CACTI (paper Section
+ * 5.5, Table 4). Per-entry area constants are calibrated so that the
+ * base core is ~25 mm^2, the 2MB 4-way L2 is ~8.6 mm^2, and enlarging
+ * the window to level 3 adds ~1.6 mm^2 — the paper's reported values
+ * at 32nm.
+ */
+
+#ifndef MLPWIN_ENERGY_AREA_MODEL_HH
+#define MLPWIN_ENERGY_AREA_MODEL_HH
+
+#include <cstdint>
+
+#include "resize/level_table.hh"
+
+namespace mlpwin
+{
+
+/** See file comment. All areas in mm^2 (32nm). */
+class AreaModel
+{
+  public:
+    /** Paper's base core including its 2MB L2. */
+    static constexpr double kBaseCoreArea = 25.0;
+    /** Intel Sandy Bridge single core (256KB L2 slice). */
+    static constexpr double kSandyBridgeCoreArea = 19.0;
+    /** Entire 4-core Sandy Bridge chip. */
+    static constexpr double kSandyBridgeChipArea = 216.0;
+    /** Number of cores the chip-level comparison assumes. */
+    static constexpr unsigned kChipCores = 4;
+
+    /** CAM-style IQ entry (wakeup + payload), mm^2 per entry. */
+    static constexpr double kIqEntryArea = 0.0020;
+    /** ROB entry including its physical register field. */
+    static constexpr double kRobEntryArea = 0.0022;
+    /** LSQ entry (address CAM + data). */
+    static constexpr double kLsqEntryArea = 0.0020;
+
+    /** L2 area per byte, calibrated: 2 MiB 4-way ~ 8.6 mm^2. */
+    static constexpr double kL2AreaPerByte = 8.6 / (2.0 * 1024 * 1024);
+
+    /** Area of the window structures at a given level. */
+    static double
+    windowArea(const ResourceLevel &level)
+    {
+        return kIqEntryArea * level.iqSize +
+               kRobEntryArea * level.robSize +
+               kLsqEntryArea * level.lsqSize;
+    }
+
+    /**
+     * Additional area of providing the table's largest level relative
+     * to its smallest (the paper's "additional cost": ~1.6 mm^2).
+     */
+    static double
+    extraWindowArea(const LevelTable &table)
+    {
+        return windowArea(table.at(table.maxLevel())) -
+               windowArea(table.at(1));
+    }
+
+    /** Area of an L2 cache of the given capacity. */
+    static double
+    l2Area(std::uint64_t size_bytes)
+    {
+        return kL2AreaPerByte * static_cast<double>(size_bytes);
+    }
+
+    /**
+     * Pollack's-law speedup estimate for an area increase: perf
+     * scales with sqrt(area), so speedup = sqrt(1 + delta/base) - 1.
+     */
+    static double pollackSpeedup(double extra_area, double base_area);
+};
+
+} // namespace mlpwin
+
+#endif // MLPWIN_ENERGY_AREA_MODEL_HH

@@ -1,0 +1,53 @@
+#include "energy_model.hh"
+
+namespace mlpwin
+{
+
+EnergyBreakdown
+EnergyModel::evaluate(const EnergyInputs &in) const
+{
+    const EnergyParams &p = params_;
+    EnergyBreakdown e;
+
+    e.frontend = p.fetchPerInst * static_cast<double>(in.fetched) +
+                 p.dispatchPerInst * static_cast<double>(in.dispatched);
+
+    double avg_iq = in.cycles
+        ? static_cast<double>(in.iqSizeCycles) /
+              static_cast<double>(in.cycles)
+        : 0.0;
+    double avg_lsq = in.cycles
+        ? static_cast<double>(in.lsqSizeCycles) /
+              static_cast<double>(in.cycles)
+        : 0.0;
+
+    // Wakeup broadcasts sweep every active IQ entry; LSQ searches
+    // sweep every active LSQ entry; ROB is accessed at dispatch
+    // (allocate) and commit (retire/register read).
+    e.window =
+        p.iqWakeupPerEntry * static_cast<double>(in.issued) * avg_iq +
+        p.lsqSearchPerEntry *
+            static_cast<double>(in.loads + in.stores) * avg_lsq +
+        p.robAccess * static_cast<double>(in.dispatched + in.committed);
+
+    e.execute = p.aluPerIssue * static_cast<double>(in.issued);
+
+    e.caches =
+        p.l1Access * static_cast<double>(in.l1iAccesses +
+                                         in.l1dAccesses) +
+        p.l2Access * static_cast<double>(in.l2Accesses);
+
+    e.dram = p.dramAccess * static_cast<double>(in.dramAccesses);
+
+    e.leakage =
+        p.iqLeakPerEntryCycle * static_cast<double>(in.iqSizeCycles) +
+        p.robLeakPerEntryCycle *
+            static_cast<double>(in.robSizeCycles) +
+        p.lsqLeakPerEntryCycle *
+            static_cast<double>(in.lsqSizeCycles) +
+        p.staticPerCycle * static_cast<double>(in.cycles);
+
+    return e;
+}
+
+} // namespace mlpwin

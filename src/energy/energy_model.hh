@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Analytical energy model standing in for McPAT (paper Section 5.4).
+ *
+ * Energy is accounted as per-event dynamic energies plus per-cycle
+ * leakage that scales with the *active* (non-clock-gated) size of the
+ * window structures — the paper gates signals and precharge in the
+ * unused region, so a shrunken window leaks less. Absolute joules are
+ * not the target; the paper's EDP *shapes* are. Unit constants are
+ * picojoule-flavoured values in 32nm.
+ */
+
+#ifndef MLPWIN_ENERGY_ENERGY_MODEL_HH
+#define MLPWIN_ENERGY_ENERGY_MODEL_HH
+
+#include <cstdint>
+
+namespace mlpwin
+{
+
+/** Event counts and size-cycle integrals of one finished run. */
+struct EnergyInputs
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t fetched = 0;
+    std::uint64_t dispatched = 0;
+    std::uint64_t issued = 0;
+    std::uint64_t committed = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t l1iAccesses = 0;
+    std::uint64_t l1dAccesses = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t dramAccesses = 0;
+    /** Integrals of active capacity over time (entries x cycles). */
+    std::uint64_t iqSizeCycles = 0;
+    std::uint64_t robSizeCycles = 0;
+    std::uint64_t lsqSizeCycles = 0;
+};
+
+/** Unit energies (pJ) and leakage densities (pJ/entry-cycle). */
+struct EnergyParams
+{
+    double fetchPerInst = 15.0;
+    double dispatchPerInst = 10.0;
+    double aluPerIssue = 8.0;
+    /** Wakeup broadcast: per issued inst per active IQ entry. */
+    double iqWakeupPerEntry = 0.15;
+    double robAccess = 6.0;
+    double lsqSearchPerEntry = 0.10;
+    double l1Access = 20.0;
+    double l2Access = 100.0;
+    double dramAccess = 2000.0;
+    double iqLeakPerEntryCycle = 0.012;
+    double robLeakPerEntryCycle = 0.008;
+    double lsqLeakPerEntryCycle = 0.012;
+    /** Static power of the rest of the core, per cycle. */
+    double staticPerCycle = 40.0;
+};
+
+/** Per-component energy totals in pJ. */
+struct EnergyBreakdown
+{
+    double frontend = 0.0;
+    double window = 0.0; ///< IQ + ROB + LSQ dynamic energy.
+    double execute = 0.0;
+    double caches = 0.0;
+    double dram = 0.0;
+    double leakage = 0.0;
+
+    double
+    total() const
+    {
+        return frontend + window + execute + caches + dram + leakage;
+    }
+};
+
+/** See file comment. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const EnergyParams &params = EnergyParams{})
+        : params_(params)
+    {}
+
+    EnergyBreakdown evaluate(const EnergyInputs &in) const;
+
+    /** Energy-delay product: total energy x cycles. */
+    double
+    edp(const EnergyInputs &in) const
+    {
+        return evaluate(in).total() * static_cast<double>(in.cycles);
+    }
+
+    const EnergyParams &params() const { return params_; }
+
+  private:
+    EnergyParams params_;
+};
+
+} // namespace mlpwin
+
+#endif // MLPWIN_ENERGY_ENERGY_MODEL_HH

@@ -1,0 +1,293 @@
+#include "assembler.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace mlpwin
+{
+
+Assembler::Assembler(std::string program_name, Addr code_base,
+                     Addr data_base)
+    : name_(std::move(program_name)), codeBase_(code_base),
+      dataBase_(data_base), dataPtr_(data_base)
+{
+}
+
+Label
+Assembler::newLabel()
+{
+    Label l{static_cast<std::uint32_t>(labelAddrs_.size())};
+    labelAddrs_.push_back(kNoAddr);
+    return l;
+}
+
+void
+Assembler::bind(Label l)
+{
+    mlpwin_assert(l.valid() && l.id < labelAddrs_.size());
+    mlpwin_assert(labelAddrs_[l.id] == kNoAddr);
+    labelAddrs_[l.id] = nextPc();
+}
+
+Label
+Assembler::here()
+{
+    Label l = newLabel();
+    bind(l);
+    return l;
+}
+
+Addr
+Assembler::allocBss(std::uint64_t bytes, std::uint64_t align)
+{
+    mlpwin_assert(align > 0 && (align & (align - 1)) == 0);
+    dataPtr_ = (dataPtr_ + align - 1) & ~(align - 1);
+    Addr base = dataPtr_;
+    dataPtr_ += bytes;
+    return base;
+}
+
+Addr
+Assembler::allocData(const std::vector<std::uint64_t> &words,
+                     std::uint64_t align)
+{
+    Addr base = allocBss(words.size() * 8, align);
+    DataSegment seg;
+    seg.base = base;
+    seg.bytes.resize(words.size() * 8);
+    std::memcpy(seg.bytes.data(), words.data(), seg.bytes.size());
+    data_.push_back(std::move(seg));
+    return base;
+}
+
+void
+Assembler::initData(Addr base, const std::vector<std::uint64_t> &words)
+{
+    DataSegment seg;
+    seg.base = base;
+    seg.bytes.resize(words.size() * 8);
+    std::memcpy(seg.bytes.data(), words.data(), seg.bytes.size());
+    data_.push_back(std::move(seg));
+}
+
+void
+Assembler::pokeData(Addr addr, std::uint64_t value)
+{
+    for (auto &seg : data_) {
+        if (addr >= seg.base && addr + 8 <= seg.base + seg.bytes.size()) {
+            std::memcpy(seg.bytes.data() + (addr - seg.base), &value, 8);
+            return;
+        }
+    }
+    // Address not inside an initialized segment: create a tiny one.
+    DataSegment seg;
+    seg.base = addr;
+    seg.bytes.resize(8);
+    std::memcpy(seg.bytes.data(), &value, 8);
+    data_.push_back(std::move(seg));
+}
+
+void
+Assembler::emit(const StaticInst &inst)
+{
+    mlpwin_assert(!finalized_);
+    code_.push_back(inst);
+}
+
+Addr
+Assembler::nextPc() const
+{
+    return codeBase_ + code_.size() * kInstBytes;
+}
+
+void
+Assembler::emitR(Opcode op, RegId rd, RegId rs1, RegId rs2)
+{
+    emit(StaticInst{op, rd, rs1, rs2, 0});
+}
+
+void
+Assembler::emitI(Opcode op, RegId rd, RegId rs1, std::int32_t imm)
+{
+    emit(StaticInst{op, rd, rs1, kNoReg, imm});
+}
+
+// Integer register-register forms.
+void Assembler::add(RegId rd, RegId rs1, RegId rs2)
+{ emitR(Opcode::Add, rd, rs1, rs2); }
+void Assembler::sub(RegId rd, RegId rs1, RegId rs2)
+{ emitR(Opcode::Sub, rd, rs1, rs2); }
+void Assembler::and_(RegId rd, RegId rs1, RegId rs2)
+{ emitR(Opcode::And, rd, rs1, rs2); }
+void Assembler::or_(RegId rd, RegId rs1, RegId rs2)
+{ emitR(Opcode::Or, rd, rs1, rs2); }
+void Assembler::xor_(RegId rd, RegId rs1, RegId rs2)
+{ emitR(Opcode::Xor, rd, rs1, rs2); }
+void Assembler::sll(RegId rd, RegId rs1, RegId rs2)
+{ emitR(Opcode::Sll, rd, rs1, rs2); }
+void Assembler::srl(RegId rd, RegId rs1, RegId rs2)
+{ emitR(Opcode::Srl, rd, rs1, rs2); }
+void Assembler::sra(RegId rd, RegId rs1, RegId rs2)
+{ emitR(Opcode::Sra, rd, rs1, rs2); }
+void Assembler::slt(RegId rd, RegId rs1, RegId rs2)
+{ emitR(Opcode::Slt, rd, rs1, rs2); }
+void Assembler::sltu(RegId rd, RegId rs1, RegId rs2)
+{ emitR(Opcode::Sltu, rd, rs1, rs2); }
+void Assembler::mul(RegId rd, RegId rs1, RegId rs2)
+{ emitR(Opcode::Mul, rd, rs1, rs2); }
+void Assembler::div(RegId rd, RegId rs1, RegId rs2)
+{ emitR(Opcode::Div, rd, rs1, rs2); }
+void Assembler::rem(RegId rd, RegId rs1, RegId rs2)
+{ emitR(Opcode::Rem, rd, rs1, rs2); }
+
+// Integer register-immediate forms.
+void Assembler::addi(RegId rd, RegId rs1, std::int32_t imm)
+{ emitI(Opcode::Addi, rd, rs1, imm); }
+void Assembler::andi(RegId rd, RegId rs1, std::int32_t imm)
+{ emitI(Opcode::Andi, rd, rs1, imm); }
+void Assembler::ori(RegId rd, RegId rs1, std::int32_t imm)
+{ emitI(Opcode::Ori, rd, rs1, imm); }
+void Assembler::xori(RegId rd, RegId rs1, std::int32_t imm)
+{ emitI(Opcode::Xori, rd, rs1, imm); }
+void Assembler::slli(RegId rd, RegId rs1, std::int32_t imm)
+{ emitI(Opcode::Slli, rd, rs1, imm); }
+void Assembler::srli(RegId rd, RegId rs1, std::int32_t imm)
+{ emitI(Opcode::Srli, rd, rs1, imm); }
+void Assembler::srai(RegId rd, RegId rs1, std::int32_t imm)
+{ emitI(Opcode::Srai, rd, rs1, imm); }
+void Assembler::slti(RegId rd, RegId rs1, std::int32_t imm)
+{ emitI(Opcode::Slti, rd, rs1, imm); }
+void Assembler::lui(RegId rd, std::int32_t imm)
+{ emitI(Opcode::Lui, rd, kNoReg, imm); }
+
+void
+Assembler::li(RegId rd, std::uint64_t value)
+{
+    auto lo = static_cast<std::uint32_t>(value);
+    auto hi = static_cast<std::uint32_t>(value >> 32);
+    auto svalue = static_cast<std::int64_t>(value);
+    if (svalue >= INT32_MIN && svalue <= INT32_MAX) {
+        addi(rd, intReg(0), static_cast<std::int32_t>(svalue));
+        return;
+    }
+    lui(rd, static_cast<std::int32_t>(hi));
+    if (lo != 0)
+        ori(rd, rd, static_cast<std::int32_t>(lo));
+}
+
+void
+Assembler::mov(RegId rd, RegId rs)
+{
+    addi(rd, rs, 0);
+}
+
+void Assembler::nop() { emit(StaticInst{}); }
+void Assembler::halt() { emit(StaticInst{Opcode::Halt}); }
+
+// Memory.
+void Assembler::ld(RegId rd, RegId base, std::int32_t offset)
+{ emit(StaticInst{Opcode::Ld, rd, base, kNoReg, offset}); }
+void Assembler::st(RegId src, RegId base, std::int32_t offset)
+{ emit(StaticInst{Opcode::St, kNoReg, base, src, offset}); }
+void Assembler::fld(RegId frd, RegId base, std::int32_t offset)
+{ emit(StaticInst{Opcode::Fld, frd, base, kNoReg, offset}); }
+void Assembler::fst(RegId fsrc, RegId base, std::int32_t offset)
+{ emit(StaticInst{Opcode::Fst, kNoReg, base, fsrc, offset}); }
+
+// Floating point.
+void Assembler::fadd(RegId frd, RegId frs1, RegId frs2)
+{ emitR(Opcode::Fadd, frd, frs1, frs2); }
+void Assembler::fsub(RegId frd, RegId frs1, RegId frs2)
+{ emitR(Opcode::Fsub, frd, frs1, frs2); }
+void Assembler::fmul(RegId frd, RegId frs1, RegId frs2)
+{ emitR(Opcode::Fmul, frd, frs1, frs2); }
+void Assembler::fdiv(RegId frd, RegId frs1, RegId frs2)
+{ emitR(Opcode::Fdiv, frd, frs1, frs2); }
+void Assembler::fsqrt(RegId frd, RegId frs1)
+{ emitR(Opcode::Fsqrt, frd, frs1, kNoReg); }
+void Assembler::fmin(RegId frd, RegId frs1, RegId frs2)
+{ emitR(Opcode::Fmin, frd, frs1, frs2); }
+void Assembler::fmax(RegId frd, RegId frs1, RegId frs2)
+{ emitR(Opcode::Fmax, frd, frs1, frs2); }
+void Assembler::fcvt(RegId frd, RegId rs1)
+{ emitR(Opcode::Fcvt, frd, rs1, kNoReg); }
+void Assembler::fcvti(RegId rd, RegId frs1)
+{ emitR(Opcode::Fcvti, rd, frs1, kNoReg); }
+void Assembler::fcmplt(RegId rd, RegId frs1, RegId frs2)
+{ emitR(Opcode::Fcmplt, rd, frs1, frs2); }
+
+// Control transfer.
+void
+Assembler::emitBranch(Opcode op, RegId rs1, RegId rs2, Label target)
+{
+    mlpwin_assert(target.valid() && target.id < labelAddrs_.size());
+    fixups_.push_back(Fixup{code_.size(), target.id});
+    emit(StaticInst{op, kNoReg, rs1, rs2, 0});
+}
+
+void Assembler::beq(RegId rs1, RegId rs2, Label target)
+{ emitBranch(Opcode::Beq, rs1, rs2, target); }
+void Assembler::bne(RegId rs1, RegId rs2, Label target)
+{ emitBranch(Opcode::Bne, rs1, rs2, target); }
+void Assembler::blt(RegId rs1, RegId rs2, Label target)
+{ emitBranch(Opcode::Blt, rs1, rs2, target); }
+void Assembler::bge(RegId rs1, RegId rs2, Label target)
+{ emitBranch(Opcode::Bge, rs1, rs2, target); }
+void Assembler::bltu(RegId rs1, RegId rs2, Label target)
+{ emitBranch(Opcode::Bltu, rs1, rs2, target); }
+void Assembler::bgeu(RegId rs1, RegId rs2, Label target)
+{ emitBranch(Opcode::Bgeu, rs1, rs2, target); }
+
+void
+Assembler::jal(RegId rd, Label target)
+{
+    mlpwin_assert(target.valid() && target.id < labelAddrs_.size());
+    fixups_.push_back(Fixup{code_.size(), target.id});
+    emit(StaticInst{Opcode::Jal, rd, kNoReg, kNoReg, 0});
+}
+
+void
+Assembler::jalr(RegId rd, RegId rs1, std::int32_t offset)
+{
+    emit(StaticInst{Opcode::Jalr, rd, rs1, kNoReg, offset});
+}
+
+void Assembler::j(Label target) { jal(intReg(0), target); }
+void Assembler::call(Label target) { jal(intReg(1), target); }
+void Assembler::ret() { jalr(intReg(0), intReg(1), 0); }
+
+Program
+Assembler::finalize(Label entry)
+{
+    mlpwin_assert(!finalized_);
+    finalized_ = true;
+
+    for (const Fixup &f : fixups_) {
+        Addr target = labelAddrs_.at(f.labelId);
+        if (target == kNoAddr)
+            mlpwin_fatal("unbound label %u in program %s", f.labelId,
+                         name_.c_str());
+        Addr pc = codeBase_ + f.instIndex * kInstBytes;
+        std::int64_t offset = static_cast<std::int64_t>(target) -
+                              static_cast<std::int64_t>(pc);
+        mlpwin_assert(offset >= INT32_MIN && offset <= INT32_MAX);
+        code_[f.instIndex].imm = static_cast<std::int32_t>(offset);
+    }
+
+    Addr entry_pc = codeBase_;
+    if (entry.valid()) {
+        entry_pc = labelAddrs_.at(entry.id);
+        mlpwin_assert(entry_pc != kNoAddr);
+    }
+
+    std::vector<std::uint64_t> words;
+    words.reserve(code_.size());
+    for (const StaticInst &inst : code_)
+        words.push_back(encodeInst(inst));
+
+    return Program(name_, codeBase_, std::move(words), std::move(data_),
+                   entry_pc, dataPtr_);
+}
+
+} // namespace mlpwin

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * An assembler-style program builder DSL.
+ *
+ * Workload kernels are written as C++ functions that emit instructions
+ * through this builder, using labels for control flow and the data
+ * allocator for working sets. finalize() resolves all label fixups and
+ * returns an immutable Program.
+ *
+ * Immediate semantics: Addi/Slti sign-extend their 32-bit immediate;
+ * Andi/Ori/Xori zero-extend it; Lui places the immediate in bits
+ * [63:32] (so li() builds any 64-bit constant with Lui+Ori).
+ */
+
+#ifndef MLPWIN_ISA_ASSEMBLER_HH
+#define MLPWIN_ISA_ASSEMBLER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace mlpwin
+{
+
+/** Opaque label handle returned by Assembler::newLabel(). */
+struct Label
+{
+    std::uint32_t id = ~0u;
+    bool valid() const { return id != ~0u; }
+};
+
+/** Builder for Program objects; see file comment. */
+class Assembler
+{
+  public:
+    explicit Assembler(std::string program_name,
+                       Addr code_base = kCodeBase,
+                       Addr data_base = kDataBase);
+
+    // --- labels -------------------------------------------------------
+    /** Create a fresh, unbound label. */
+    Label newLabel();
+    /** Bind a label to the current emission point. One bind per label. */
+    void bind(Label l);
+    /** Create a label already bound to the current emission point. */
+    Label here();
+
+    // --- data allocation ----------------------------------------------
+    /**
+     * Reserve a zero-initialized region.
+     * @param bytes Size in bytes.
+     * @param align Alignment, power of two.
+     * @return Base address of the region.
+     */
+    Addr allocBss(std::uint64_t bytes, std::uint64_t align = 8);
+
+    /** Reserve and initialize a region holding 64-bit words. */
+    Addr allocData(const std::vector<std::uint64_t> &words,
+                   std::uint64_t align = 8);
+
+    /** Store a 64-bit word into an already-allocated data region. */
+    void pokeData(Addr addr, std::uint64_t value);
+
+    /**
+     * Attach initial contents to an already-reserved region (e.g.
+     * from allocBss, when contents need the region's own address).
+     */
+    void initData(Addr base, const std::vector<std::uint64_t> &words);
+
+    // --- raw emission ---------------------------------------------------
+    /** Emit an arbitrary instruction (no label operands). */
+    void emit(const StaticInst &inst);
+    /** Address the next emitted instruction will occupy. */
+    Addr nextPc() const;
+    /** Number of instructions emitted so far. */
+    std::size_t numInsts() const { return code_.size(); }
+
+    // --- integer ALU ----------------------------------------------------
+    void add(RegId rd, RegId rs1, RegId rs2);
+    void sub(RegId rd, RegId rs1, RegId rs2);
+    void and_(RegId rd, RegId rs1, RegId rs2);
+    void or_(RegId rd, RegId rs1, RegId rs2);
+    void xor_(RegId rd, RegId rs1, RegId rs2);
+    void sll(RegId rd, RegId rs1, RegId rs2);
+    void srl(RegId rd, RegId rs1, RegId rs2);
+    void sra(RegId rd, RegId rs1, RegId rs2);
+    void slt(RegId rd, RegId rs1, RegId rs2);
+    void sltu(RegId rd, RegId rs1, RegId rs2);
+    void mul(RegId rd, RegId rs1, RegId rs2);
+    void div(RegId rd, RegId rs1, RegId rs2);
+    void rem(RegId rd, RegId rs1, RegId rs2);
+
+    void addi(RegId rd, RegId rs1, std::int32_t imm);
+    void andi(RegId rd, RegId rs1, std::int32_t imm);
+    void ori(RegId rd, RegId rs1, std::int32_t imm);
+    void xori(RegId rd, RegId rs1, std::int32_t imm);
+    void slli(RegId rd, RegId rs1, std::int32_t imm);
+    void srli(RegId rd, RegId rs1, std::int32_t imm);
+    void srai(RegId rd, RegId rs1, std::int32_t imm);
+    void slti(RegId rd, RegId rs1, std::int32_t imm);
+    void lui(RegId rd, std::int32_t imm);
+
+    /** Load any 64-bit constant (expands to 1-2 instructions). */
+    void li(RegId rd, std::uint64_t value);
+    /** Register move (addi rd, rs, 0). */
+    void mov(RegId rd, RegId rs);
+    void nop();
+    void halt();
+
+    // --- memory ---------------------------------------------------------
+    void ld(RegId rd, RegId base, std::int32_t offset);
+    void st(RegId src, RegId base, std::int32_t offset);
+    void fld(RegId frd, RegId base, std::int32_t offset);
+    void fst(RegId fsrc, RegId base, std::int32_t offset);
+
+    // --- floating point ---------------------------------------------------
+    void fadd(RegId frd, RegId frs1, RegId frs2);
+    void fsub(RegId frd, RegId frs1, RegId frs2);
+    void fmul(RegId frd, RegId frs1, RegId frs2);
+    void fdiv(RegId frd, RegId frs1, RegId frs2);
+    void fsqrt(RegId frd, RegId frs1);
+    void fmin(RegId frd, RegId frs1, RegId frs2);
+    void fmax(RegId frd, RegId frs1, RegId frs2);
+    void fcvt(RegId frd, RegId rs1);
+    void fcvti(RegId rd, RegId frs1);
+    void fcmplt(RegId rd, RegId frs1, RegId frs2);
+
+    // --- control transfer -------------------------------------------------
+    void beq(RegId rs1, RegId rs2, Label target);
+    void bne(RegId rs1, RegId rs2, Label target);
+    void blt(RegId rs1, RegId rs2, Label target);
+    void bge(RegId rs1, RegId rs2, Label target);
+    void bltu(RegId rs1, RegId rs2, Label target);
+    void bgeu(RegId rs1, RegId rs2, Label target);
+    void jal(RegId rd, Label target);
+    void jalr(RegId rd, RegId rs1, std::int32_t offset = 0);
+    /** Unconditional jump (jal x0). */
+    void j(Label target);
+    /** Call a label (jal x1). */
+    void call(Label target);
+    /** Return through the link register (jalr x0, x1). */
+    void ret();
+
+    // --- finalize ---------------------------------------------------------
+    /**
+     * Resolve fixups and produce the Program. The builder must have
+     * emitted at least one Halt reachable from the entry.
+     * @param entry Entry label; defaults to the first instruction.
+     */
+    Program finalize(Label entry = Label{});
+
+  private:
+    void emitBranch(Opcode op, RegId rs1, RegId rs2, Label target);
+    void emitR(Opcode op, RegId rd, RegId rs1, RegId rs2);
+    void emitI(Opcode op, RegId rd, RegId rs1, std::int32_t imm);
+
+    struct Fixup
+    {
+        std::size_t instIndex;
+        std::uint32_t labelId;
+    };
+
+    std::string name_;
+    Addr codeBase_;
+    Addr dataBase_;
+    Addr dataPtr_;
+    std::vector<StaticInst> code_;
+    std::vector<Addr> labelAddrs_;     // kNoAddr while unbound.
+    std::vector<Fixup> fixups_;
+    std::vector<DataSegment> data_;
+    bool finalized_ = false;
+};
+
+} // namespace mlpwin
+
+#endif // MLPWIN_ISA_ASSEMBLER_HH

@@ -1,0 +1,201 @@
+#include "isa.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+
+namespace mlpwin
+{
+
+FuClass
+StaticInst::fuClass() const
+{
+    switch (op) {
+      case Opcode::Nop:
+      case Opcode::Halt:
+        return FuClass::None;
+      case Opcode::Mul:
+        return FuClass::IntMul;
+      case Opcode::Div:
+      case Opcode::Rem:
+        return FuClass::IntDiv;
+      case Opcode::Ld:
+      case Opcode::St:
+      case Opcode::Fld:
+      case Opcode::Fst:
+        return FuClass::MemPort;
+      case Opcode::Fadd:
+      case Opcode::Fsub:
+      case Opcode::Fmin:
+      case Opcode::Fmax:
+      case Opcode::Fcvt:
+      case Opcode::Fcvti:
+      case Opcode::Fcmplt:
+        return FuClass::FpAlu;
+      case Opcode::Fmul:
+        return FuClass::FpMul;
+      case Opcode::Fdiv:
+        return FuClass::FpDiv;
+      case Opcode::Fsqrt:
+        return FuClass::FpSqrt;
+      default:
+        return FuClass::IntAlu;
+    }
+}
+
+unsigned
+StaticInst::execLatency() const
+{
+    // Latencies follow common SimpleScalar/commercial-core values; the
+    // paper does not specify FU latencies beyond the cache ones.
+    switch (fuClass()) {
+      case FuClass::None:
+      case FuClass::IntAlu:
+        return 1;
+      case FuClass::IntMul:
+        return 3;
+      case FuClass::IntDiv:
+        return 20;
+      case FuClass::MemPort:
+        return 1; // address generation; cache access time is added.
+      case FuClass::FpAlu:
+        return 3;
+      case FuClass::FpMul:
+        return 4;
+      case FuClass::FpDiv:
+        return 12;
+      case FuClass::FpSqrt:
+        return 24;
+    }
+    return 1;
+}
+
+bool
+StaticInst::fuPipelined() const
+{
+    switch (fuClass()) {
+      case FuClass::IntDiv:
+      case FuClass::FpDiv:
+      case FuClass::FpSqrt:
+        return false;
+      default:
+        return true;
+    }
+}
+
+namespace
+{
+
+// 64-bit instruction word layout (low to high):
+//   [7:0] opcode, [15:8] rd, [23:16] rs1, [31:24] rs2, [63:32] imm.
+constexpr unsigned kOpShift = 0;
+constexpr unsigned kRdShift = 8;
+constexpr unsigned kRs1Shift = 16;
+constexpr unsigned kRs2Shift = 24;
+constexpr unsigned kImmShift = 32;
+
+} // namespace
+
+std::uint64_t
+encodeInst(const StaticInst &inst)
+{
+    std::uint64_t w = 0;
+    w |= static_cast<std::uint64_t>(inst.op) << kOpShift;
+    w |= static_cast<std::uint64_t>(inst.rd) << kRdShift;
+    w |= static_cast<std::uint64_t>(inst.rs1) << kRs1Shift;
+    w |= static_cast<std::uint64_t>(inst.rs2) << kRs2Shift;
+    w |= static_cast<std::uint64_t>(
+             static_cast<std::uint32_t>(inst.imm)) << kImmShift;
+    return w;
+}
+
+StaticInst
+decodeInst(std::uint64_t word)
+{
+    StaticInst inst;
+    auto op_raw = static_cast<std::uint8_t>(word >> kOpShift);
+    if (op_raw >= static_cast<std::uint8_t>(Opcode::NumOpcodes)) {
+        // Fetching data or garbage (e.g. on the wrong path) yields Nop.
+        return inst;
+    }
+    inst.op = static_cast<Opcode>(op_raw);
+    inst.rd = static_cast<RegId>(word >> kRdShift);
+    inst.rs1 = static_cast<RegId>(word >> kRs1Shift);
+    inst.rs2 = static_cast<RegId>(word >> kRs2Shift);
+    inst.imm = static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(word >> kImmShift));
+    return inst;
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    static const std::array<const char *,
+        static_cast<std::size_t>(Opcode::NumOpcodes)> names = {
+        "nop", "halt",
+        "add", "sub", "and", "or", "xor", "sll", "srl", "sra", "slt",
+        "sltu", "mul", "div", "rem",
+        "addi", "andi", "ori", "xori", "slli", "srli", "srai", "slti",
+        "lui",
+        "ld", "st", "fld", "fst",
+        "fadd", "fsub", "fmul", "fdiv", "fsqrt", "fmin", "fmax",
+        "fcvt", "fcvti", "fcmplt",
+        "beq", "bne", "blt", "bge", "bltu", "bgeu",
+        "jal", "jalr",
+    };
+    auto idx = static_cast<std::size_t>(op);
+    mlpwin_assert(idx < names.size());
+    return names[idx];
+}
+
+namespace
+{
+
+std::string
+regName(RegId r)
+{
+    if (r == kNoReg)
+        return "-";
+    if (isFpRegId(r))
+        return "f" + std::to_string(r - kNumIntRegs);
+    return "x" + std::to_string(r);
+}
+
+} // namespace
+
+std::string
+disassemble(const StaticInst &inst)
+{
+    std::string s = opcodeName(inst.op);
+    if (inst.isNop() || inst.isHalt())
+        return s;
+    s += ' ';
+    if (inst.isStore()) {
+        s += regName(inst.rs2) + ", " + std::to_string(inst.imm) + "(" +
+             regName(inst.rs1) + ")";
+    } else if (inst.isLoad()) {
+        s += regName(inst.rd) + ", " + std::to_string(inst.imm) + "(" +
+             regName(inst.rs1) + ")";
+    } else if (inst.isCondBranch()) {
+        s += regName(inst.rs1) + ", " + regName(inst.rs2) + ", " +
+             std::to_string(inst.imm);
+    } else if (inst.isJal()) {
+        s += regName(inst.rd) + ", " + std::to_string(inst.imm);
+    } else if (inst.isJalr()) {
+        s += regName(inst.rd) + ", " + std::to_string(inst.imm) + "(" +
+             regName(inst.rs1) + ")";
+    } else if (inst.op == Opcode::Lui) {
+        s += regName(inst.rd) + ", " + std::to_string(inst.imm);
+    } else {
+        s += regName(inst.rd);
+        if (inst.rs1 != kNoReg)
+            s += ", " + regName(inst.rs1);
+        if (inst.rs2 != kNoReg)
+            s += ", " + regName(inst.rs2);
+        else if (inst.op >= Opcode::Addi && inst.op <= Opcode::Slti)
+            s += ", " + std::to_string(inst.imm);
+    }
+    return s;
+}
+
+} // namespace mlpwin

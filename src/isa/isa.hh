@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Definition of the mini-RISC ISA used by the simulator.
+ *
+ * The ISA is a small 64-bit load/store architecture standing in for the
+ * Alpha ISA the paper evaluated with. It has 32 integer registers
+ * (x0 hardwired to zero), 32 floating-point registers (IEEE double),
+ * fixed 8-byte instruction words, and the usual ALU / memory / control
+ * instruction classes. The window-resizing mechanism under study is
+ * ISA-agnostic; this ISA exists so workloads can be *executed*, giving
+ * real dependences, real addresses, and real wrong-path instructions.
+ */
+
+#ifndef MLPWIN_ISA_ISA_HH
+#define MLPWIN_ISA_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace mlpwin
+{
+
+/** Size of one encoded instruction word in bytes. */
+constexpr unsigned kInstBytes = 8;
+
+/** Number of integer architectural registers (x0 reads as zero). */
+constexpr unsigned kNumIntRegs = 32;
+/** Number of floating-point architectural registers. */
+constexpr unsigned kNumFpRegs = 32;
+/** Total flat architectural register ids: [0,32) int, [32,64) fp. */
+constexpr unsigned kNumArchRegs = kNumIntRegs + kNumFpRegs;
+
+/** Flat architectural register id. */
+using RegId = std::uint8_t;
+
+/** Sentinel register id meaning "no register". */
+constexpr RegId kNoReg = 0xff;
+
+/** Flat id of integer register n. */
+constexpr RegId intReg(unsigned n) { return static_cast<RegId>(n); }
+/** Flat id of floating-point register n. */
+constexpr RegId
+fpReg(unsigned n)
+{
+    return static_cast<RegId>(kNumIntRegs + n);
+}
+
+/** True if the flat id names a floating-point register. */
+constexpr bool
+isFpRegId(RegId r)
+{
+    return r != kNoReg && r >= kNumIntRegs;
+}
+
+/** Instruction opcodes. */
+enum class Opcode : std::uint8_t
+{
+    Nop = 0,
+    Halt,
+
+    // Integer register-register ALU.
+    Add, Sub, And, Or, Xor, Sll, Srl, Sra, Slt, Sltu,
+    Mul, Div, Rem,
+
+    // Integer register-immediate ALU.
+    Addi, Andi, Ori, Xori, Slli, Srli, Srai, Slti,
+    /** rd = imm << 16 (build large constants with Lui+Ori chains). */
+    Lui,
+
+    // Memory (8-byte, naturally aligned not required).
+    Ld,  ///< rd = mem[rs1 + imm]
+    St,  ///< mem[rs1 + imm] = rs2
+    Fld, ///< frd = mem[rs1 + imm]
+    Fst, ///< mem[rs1 + imm] = frs2
+
+    // Floating point (operands are fp regs; Fcvt moves int->fp etc.).
+    Fadd, Fsub, Fmul, Fdiv, Fsqrt, Fmin, Fmax,
+    Fcvt,  ///< frd = (double)(int64)rs1  (rs1 is an int reg)
+    Fcvti, ///< rd = (int64)frs1          (rd is an int reg)
+    Fcmplt, ///< rd = frs1 < frs2 (rd is an int reg)
+
+    // Control transfer. Branch targets are PC-relative byte offsets.
+    Beq, Bne, Blt, Bge, Bltu, Bgeu,
+    Jal,  ///< rd = PC+8; PC += imm
+    Jalr, ///< rd = PC+8; PC = (rs1 + imm)
+
+    NumOpcodes
+};
+
+/** Functional-unit classes (paper Table 1 mix). */
+enum class FuClass : std::uint8_t
+{
+    None,    ///< Nop/Halt: no FU needed.
+    IntAlu,  ///< 4 units, 1-cycle, also executes branches/jumps.
+    IntMul,  ///< shared iMULT/DIV pool: 2 units.
+    IntDiv,  ///< same pool as IntMul.
+    MemPort, ///< 2 load/store ports.
+    FpAlu,   ///< 4 units.
+    FpMul,   ///< shared fpMULT/DIV/SQRT pool: 2 units.
+    FpDiv,   ///< same pool as FpMul.
+    FpSqrt,  ///< same pool as FpMul.
+};
+
+/**
+ * A decoded (static) instruction. Register fields use flat RegIds;
+ * unused fields hold kNoReg. imm is sign-extended where applicable.
+ */
+struct StaticInst
+{
+    Opcode op = Opcode::Nop;
+    RegId rd = kNoReg;
+    RegId rs1 = kNoReg;
+    RegId rs2 = kNoReg;
+    std::int32_t imm = 0;
+
+    bool isNop() const { return op == Opcode::Nop; }
+    bool isHalt() const { return op == Opcode::Halt; }
+    bool isLoad() const { return op == Opcode::Ld || op == Opcode::Fld; }
+    bool isStore() const { return op == Opcode::St || op == Opcode::Fst; }
+    bool isMem() const { return isLoad() || isStore(); }
+
+    bool
+    isCondBranch() const
+    {
+        return op >= Opcode::Beq && op <= Opcode::Bgeu;
+    }
+
+    bool isJal() const { return op == Opcode::Jal; }
+    bool isJalr() const { return op == Opcode::Jalr; }
+    bool isControl() const { return isCondBranch() || isJal() || isJalr(); }
+
+    /** True if this is a call (JAL/JALR writing the link register x1). */
+    bool isCall() const { return (isJal() || isJalr()) && rd == intReg(1); }
+    /** True if this is a return (JALR through x1, no result). */
+    bool
+    isReturn() const
+    {
+        return isJalr() && rs1 == intReg(1) && rd == intReg(0);
+    }
+
+    /** Destination register, or kNoReg (x0 writes are discarded). */
+    RegId
+    destReg() const
+    {
+        if (rd == kNoReg || rd == intReg(0))
+            return kNoReg;
+        return rd;
+    }
+
+    /** Functional unit class required to execute this instruction. */
+    FuClass fuClass() const;
+
+    /** Execution latency in cycles on its functional unit. */
+    unsigned execLatency() const;
+
+    /** True if the FU is pipelined (can accept a new op every cycle). */
+    bool fuPipelined() const;
+
+    bool operator==(const StaticInst &o) const = default;
+};
+
+/** Encode an instruction into a 64-bit instruction word. */
+std::uint64_t encodeInst(const StaticInst &inst);
+
+/** Decode a 64-bit instruction word. Unknown opcodes decode as Nop. */
+StaticInst decodeInst(std::uint64_t word);
+
+/** Human-readable disassembly, e.g. "add x3, x4, x5". */
+std::string disassemble(const StaticInst &inst);
+
+/** Name of an opcode mnemonic. */
+const char *opcodeName(Opcode op);
+
+} // namespace mlpwin
+
+#endif // MLPWIN_ISA_ISA_HH

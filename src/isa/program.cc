@@ -1,0 +1,23 @@
+#include "program.hh"
+
+#include "common/logging.hh"
+
+namespace mlpwin
+{
+
+std::uint64_t
+Program::wordAt(Addr pc) const
+{
+    mlpwin_assert(validPc(pc));
+    return code_[(pc - codeBase_) / kInstBytes];
+}
+
+StaticInst
+Program::instAt(Addr pc) const
+{
+    if (!validPc(pc))
+        return StaticInst{}; // Nop: garbage fetch off the code segment.
+    return decodeInst(wordAt(pc));
+}
+
+} // namespace mlpwin

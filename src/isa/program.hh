@@ -1,0 +1,108 @@
+/**
+ * @file
+ * A linked, loadable program image: encoded code, initialized data
+ * segments, and an entry point.
+ */
+
+#ifndef MLPWIN_ISA_PROGRAM_HH
+#define MLPWIN_ISA_PROGRAM_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace mlpwin
+{
+
+/** Default base address of the code segment. */
+constexpr Addr kCodeBase = 0x10000;
+/** Default base address of builder-allocated data. */
+constexpr Addr kDataBase = 0x10000000;
+
+/** A contiguous initialized data region. */
+struct DataSegment
+{
+    Addr base = 0;
+    std::vector<std::uint8_t> bytes;
+};
+
+/**
+ * A complete program produced by the Assembler: the unit the
+ * Simulator loads and runs.
+ */
+class Program
+{
+  public:
+    Program() = default;
+    /**
+     * @param data_end End-exclusive address of the highest allocated
+     *        data byte (BSS included); 0 derives it from the
+     *        initialized segments alone.
+     */
+    Program(std::string name, Addr code_base,
+            std::vector<std::uint64_t> code,
+            std::vector<DataSegment> data, Addr entry,
+            Addr data_end = 0)
+        : name_(std::move(name)), codeBase_(code_base),
+          code_(std::move(code)), data_(std::move(data)), entry_(entry),
+          dataEnd_(data_end)
+    {
+        for (const DataSegment &seg : data_)
+            dataEnd_ = std::max(dataEnd_,
+                                seg.base + seg.bytes.size());
+    }
+
+    const std::string &name() const { return name_; }
+    Addr codeBase() const { return codeBase_; }
+    Addr entry() const { return entry_; }
+    std::size_t numInsts() const { return code_.size(); }
+
+    /** End-exclusive byte address of the code segment. */
+    Addr
+    codeEnd() const
+    {
+        return codeBase_ + code_.size() * kInstBytes;
+    }
+
+    /** True if pc lies inside the code segment and is aligned. */
+    bool
+    validPc(Addr pc) const
+    {
+        return pc >= codeBase_ && pc < codeEnd() &&
+               (pc - codeBase_) % kInstBytes == 0;
+    }
+
+    /** Encoded instruction word at pc. @pre validPc(pc). */
+    std::uint64_t wordAt(Addr pc) const;
+
+    /** Decoded instruction at pc; Nop if pc is outside the code. */
+    StaticInst instAt(Addr pc) const;
+
+    const std::vector<std::uint64_t> &code() const { return code_; }
+    const std::vector<DataSegment> &data() const { return data_; }
+
+    /** Base address of builder-allocated data. */
+    Addr dataBase() const { return kDataBase; }
+
+    /**
+     * End-exclusive address of the highest allocated data byte,
+     * including zero-initialized (BSS) regions.
+     */
+    Addr dataEnd() const { return dataEnd_; }
+
+  private:
+    std::string name_;
+    Addr codeBase_ = kCodeBase;
+    std::vector<std::uint64_t> code_;
+    std::vector<DataSegment> data_;
+    Addr entry_ = kCodeBase;
+    Addr dataEnd_ = 0;
+};
+
+} // namespace mlpwin
+
+#endif // MLPWIN_ISA_PROGRAM_HH

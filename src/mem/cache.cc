@@ -1,0 +1,169 @@
+#include "cache.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mlpwin
+{
+
+Cache::Cache(const std::string &name, const CacheConfig &cfg,
+             StatSet *stats)
+    : lineBytes_(cfg.lineBytes),
+      lineMask_(cfg.lineBytes - 1),
+      assoc_(cfg.assoc),
+      numSets_(cfg.sizeBytes / (cfg.lineBytes * cfg.assoc)),
+      hitLatency_(cfg.hitLatency),
+      mshrs_(cfg.mshrs),
+      lines_(numSets_ * assoc_),
+      accesses_(stats, name + ".accesses", "total lookups"),
+      misses_(stats, name + ".misses", "lookups that missed"),
+      mshrMergeHits_(stats, name + ".mshr_merges",
+                     "hits on lines still in flight"),
+      fillRejects_(stats, name + ".fill_rejects",
+                   "fills rejected because all MSHRs were busy")
+{
+    mlpwin_assert(cfg.lineBytes > 0 &&
+                  (cfg.lineBytes & (cfg.lineBytes - 1)) == 0);
+    mlpwin_assert(numSets_ > 0 &&
+                  (numSets_ & (numSets_ - 1)) == 0);
+}
+
+std::size_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr / lineBytes_) & (numSets_ - 1);
+}
+
+Cache::Line *
+Cache::findLine(Addr addr)
+{
+    Addr tag = lineAddr(addr);
+    std::size_t base = setIndex(addr) * assoc_;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Line &line = lines_[base + w];
+        if (line.valid && line.tag == tag)
+            return &line;
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr addr) const
+{
+    return const_cast<Cache *>(this)->findLine(addr);
+}
+
+CacheLookup
+Cache::lookup(Addr addr, Cycle now, bool demand_correct)
+{
+    ++accesses_;
+    Line *line = findLine(addr);
+    if (!line) {
+        ++misses_;
+        return CacheLookup{false, 0};
+    }
+    line->lruStamp = ++lruCounter_;
+    if (demand_correct)
+        line->touched = true;
+    CacheLookup res;
+    res.hit = true;
+    res.readyAt = std::max(line->ready, now);
+    if (line->ready > now)
+        ++mshrMergeHits_;
+    return res;
+}
+
+void
+Cache::pruneFills(Cycle now)
+{
+    std::erase_if(pendingFills_,
+                  [now](Cycle c) { return c <= now; });
+}
+
+bool
+Cache::canAllocateFill(Cycle now)
+{
+    pruneFills(now);
+    if (pendingFills_.size() >= mshrs_) {
+        ++fillRejects_;
+        return false;
+    }
+    return true;
+}
+
+Cache::Eviction
+Cache::insert(Addr addr, Cycle fill_time, Provenance prov)
+{
+    std::size_t base = setIndex(addr) * assoc_;
+    Line *victim = &lines_[base];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Line &line = lines_[base + w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (line.lruStamp < victim->lruStamp)
+            victim = &line;
+    }
+
+    Eviction ev;
+    if (victim->valid) {
+        ev.valid = true;
+        ev.dirty = victim->dirty;
+        ev.addr = victim->tag;
+        auto p = static_cast<unsigned>(victim->prov);
+        ++evictedPollution_.brought[p];
+        if (victim->touched)
+            ++evictedPollution_.useful[p];
+    }
+
+    victim->tag = lineAddr(addr);
+    victim->valid = true;
+    victim->dirty = false;
+    victim->touched = false;
+    victim->prov = prov;
+    victim->ready = fill_time;
+    victim->lruStamp = ++lruCounter_;
+    pendingFills_.push_back(fill_time);
+    return ev;
+}
+
+void
+Cache::setDirty(Addr addr)
+{
+    Line *line = findLine(addr);
+    if (line)
+        line->dirty = true;
+}
+
+void
+Cache::touch(Addr addr)
+{
+    Line *line = findLine(addr);
+    if (line)
+        line->touched = true;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+PollutionStats
+Cache::pollution() const
+{
+    PollutionStats total = evictedPollution_;
+    for (const Line &line : lines_) {
+        if (!line.valid)
+            continue;
+        auto p = static_cast<unsigned>(line.prov);
+        ++total.brought[p];
+        if (line.touched)
+            ++total.useful[p];
+    }
+    return total;
+}
+
+} // namespace mlpwin

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * A set-associative, write-back, write-allocate cache timing model
+ * with LRU replacement, a bounded number of outstanding line fills
+ * (MSHR-style non-blocking behaviour), and per-line provenance
+ * tracking used by the paper's Fig. 11 cache-pollution study.
+ */
+
+#ifndef MLPWIN_MEM_CACHE_HH
+#define MLPWIN_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/mem_config.hh"
+
+namespace mlpwin
+{
+
+/** Who caused a line to be brought into a cache. */
+enum class Provenance : std::uint8_t
+{
+    CorrPath,  ///< Demand access on the correct execution path.
+    WrongPath, ///< Demand access on a squashed (wrong) path.
+    Prefetch,  ///< Hardware prefetcher.
+    Warmup,    ///< Installed before the measured run started.
+};
+
+constexpr unsigned kNumProvenances = 4;
+
+/** Result of a cache lookup. */
+struct CacheLookup
+{
+    bool hit = false;
+    /** Cycle at which the line's data is available (>= lookup time). */
+    Cycle readyAt = 0;
+};
+
+/** Fig. 11 provenance/usefulness accounting for one cache. */
+struct PollutionStats
+{
+    /** Lines brought in, indexed by Provenance. */
+    std::uint64_t brought[kNumProvenances] = {0, 0, 0};
+    /** Of those, lines later touched by a correct-path demand load. */
+    std::uint64_t useful[kNumProvenances] = {0, 0, 0};
+};
+
+/** See file comment. */
+class Cache
+{
+  public:
+    /**
+     * @param name Stat prefix, e.g. "l2".
+     * @param cfg Geometry and timing.
+     * @param stats Owning stat set (may be nullptr).
+     */
+    Cache(const std::string &name, const CacheConfig &cfg,
+          StatSet *stats);
+
+    /** Line-aligned address of addr. */
+    Addr lineAddr(Addr addr) const { return addr & ~lineMask_; }
+    unsigned lineBytes() const { return lineBytes_; }
+    unsigned hitLatency() const { return hitLatency_; }
+
+    /**
+     * Look up a line and update LRU on hit. On a hit to a line that is
+     * still in flight, readyAt is its fill time (MSHR merge).
+     *
+     * @param addr Byte address.
+     * @param now Current cycle.
+     * @param demand_correct True for correct-path demand loads; marks
+     *        the line useful for the pollution study.
+     */
+    CacheLookup lookup(Addr addr, Cycle now, bool demand_correct);
+
+    /** True if another line fill can be started at cycle now. */
+    bool canAllocateFill(Cycle now);
+
+    /** Eviction notice produced by insert(). */
+    struct Eviction
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr addr = 0;
+    };
+
+    /**
+     * Insert a line that will be ready at fill_time, evicting the LRU
+     * victim of its set. Caller must have checked canAllocateFill().
+     *
+     * @return Information about the evicted victim (for writebacks).
+     */
+    Eviction insert(Addr addr, Cycle fill_time, Provenance prov);
+
+    /** Mark a resident line dirty (store hit or writeback from above). */
+    void setDirty(Addr addr);
+
+    /**
+     * Mark a resident line touched by a correct-path demand (for the
+     * pollution study) without a timing access; no-op if absent.
+     */
+    void touch(Addr addr);
+
+    /**
+     * Install a line as already resident at cycle 0 (pre-run cache
+     * warm-up; stands in for the paper's 16G-instruction fast-forward).
+     */
+    void warm(Addr addr) { insert(addr, 0, Provenance::Warmup); }
+
+    /** True if the line is resident (no LRU update). */
+    bool contains(Addr addr) const;
+
+    /** Pollution accounting, including still-resident lines. */
+    PollutionStats pollution() const;
+
+    std::uint64_t accesses() const { return accesses_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool touched = false;
+        Provenance prov = Provenance::CorrPath;
+        Cycle ready = 0;
+        std::uint64_t lruStamp = 0;
+    };
+
+    std::size_t setIndex(Addr addr) const;
+    Line *findLine(Addr addr);
+    const Line *findLine(Addr addr) const;
+    void pruneFills(Cycle now);
+
+    unsigned lineBytes_;
+    Addr lineMask_;
+    unsigned assoc_;
+    std::size_t numSets_;
+    unsigned hitLatency_;
+    unsigned mshrs_;
+    std::uint64_t lruCounter_ = 0;
+
+    std::vector<Line> lines_; // numSets_ * assoc_, set-major.
+    std::vector<Cycle> pendingFills_;
+
+    PollutionStats evictedPollution_;
+
+    Counter accesses_;
+    Counter misses_;
+    Counter mshrMergeHits_;
+    Counter fillRejects_;
+};
+
+} // namespace mlpwin
+
+#endif // MLPWIN_MEM_CACHE_HH

@@ -1,0 +1,40 @@
+#include "dram.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mlpwin
+{
+
+DramChannel::DramChannel(const DramConfig &cfg, unsigned line_bytes,
+                         StatSet *stats)
+    : minLatency_(cfg.minLatency),
+      transferCycles_(std::max(1u, line_bytes / cfg.bytesPerCycle)),
+      reads_(stats, "dram.reads", "line fetches from main memory"),
+      writebacks_(stats, "dram.writebacks",
+                  "dirty line writebacks to main memory"),
+      queueDelay_(stats, "dram.queue_delay",
+                  "average cycles a request waits for the data bus")
+{
+    mlpwin_assert(cfg.bytesPerCycle > 0);
+}
+
+Cycle
+DramChannel::request(Cycle t)
+{
+    Cycle start = std::max(t, busFree_);
+    queueDelay_.sample(static_cast<double>(start - t));
+    busFree_ = start + transferCycles_;
+    ++reads_;
+    return start + minLatency_;
+}
+
+void
+DramChannel::writeback(Cycle t)
+{
+    busFree_ = std::max(t, busFree_) + transferCycles_;
+    ++writebacks_;
+}
+
+} // namespace mlpwin

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Timing model of the main-memory channel: a fixed minimum latency
+ * plus a shared data bus whose bandwidth serializes line transfers
+ * (paper Table 1: 300-cycle minimum latency, 8 bytes/cycle).
+ */
+
+#ifndef MLPWIN_MEM_DRAM_HH
+#define MLPWIN_MEM_DRAM_HH
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/mem_config.hh"
+
+namespace mlpwin
+{
+
+/** Single-channel DRAM timing; contents live in MainMemory. */
+class DramChannel
+{
+  public:
+    DramChannel(const DramConfig &cfg, unsigned line_bytes,
+                StatSet *stats);
+
+    /**
+     * Schedule a line fetch whose request reaches DRAM at cycle t.
+     * @return The cycle at which the line's data is available.
+     */
+    Cycle request(Cycle t);
+
+    /** Schedule a dirty-line writeback; consumes bus bandwidth only. */
+    void writeback(Cycle t);
+
+    /** First cycle at which the data bus is free. */
+    Cycle busFreeAt() const { return busFree_; }
+
+    std::uint64_t numReads() const { return reads_.value(); }
+    std::uint64_t numWritebacks() const { return writebacks_.value(); }
+
+  private:
+    unsigned minLatency_;
+    unsigned transferCycles_;
+    Cycle busFree_ = 0;
+
+    Counter reads_;
+    Counter writebacks_;
+    Average queueDelay_;
+};
+
+} // namespace mlpwin
+
+#endif // MLPWIN_MEM_DRAM_HH

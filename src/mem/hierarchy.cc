@@ -1,0 +1,248 @@
+#include "hierarchy.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mlpwin
+{
+
+CacheHierarchy::CacheHierarchy(const MemSystemConfig &cfg, StatSet *stats)
+    : l1i_("l1i", cfg.l1i, stats),
+      l1d_("l1d", cfg.l1d, stats),
+      l2_("l2", cfg.l2, stats),
+      dram_(cfg.dram, cfg.l2.lineBytes, stats),
+      prefetcher_(cfg.prefetcher, stats),
+      streamPf_(cfg.prefetcher, cfg.l2.lineBytes, stats),
+      pfKind_(cfg.prefetcher.kind),
+      l2DemandMisses_(stats, "l2.demand_misses",
+                      "L2 misses from demand accesses"),
+      loadRejects_(stats, "mem.load_rejects",
+                   "loads rejected for MSHR occupancy"),
+      lateMerges_(stats, "l2.late_merges",
+                  "demand hits on in-flight lines counted as miss "
+                  "occurrences"),
+      missIntervals_(stats, "l2.miss_intervals",
+                     "cycles between successive L2 demand misses",
+                     /*bin_width=*/8, /*num_bins=*/128)
+{
+}
+
+CacheHierarchy::L2Result
+CacheHierarchy::accessL2(Addr addr, Cycle t, bool is_demand,
+                         bool useful_touch, Provenance prov)
+{
+    CacheLookup look = l2_.lookup(addr, t, useful_touch);
+    if (look.hit) {
+        L2Result res;
+        res.readyAt = std::max(t + l2_.hitLatency(), look.readyAt);
+        // A demand access that merges into a line still far from
+        // arriving (a late prefetch) experiences most of a miss's
+        // latency; it counts as a miss occurrence for the resize
+        // trigger, exactly as a tag-match-on-pending-MSHR does in a
+        // conventional simulator.
+        if (is_demand && look.readyAt > t + 2 * l2_.hitLatency()) {
+            ++lateMerges_;
+            noteDemandMiss(t);
+        }
+        return res;
+    }
+
+    if (!l2_.canAllocateFill(t))
+        return L2Result{false, 0, false};
+
+    Cycle fill = dram_.request(t + l2_.hitLatency());
+    Cache::Eviction ev = l2_.insert(addr, fill, prov);
+    if (ev.valid && ev.dirty)
+        dram_.writeback(t + l2_.hitLatency());
+
+    if (is_demand) {
+        ++l2DemandMisses_;
+        noteDemandMiss(t);
+    }
+
+    return L2Result{true, fill, true};
+}
+
+void
+CacheHierarchy::noteDemandMiss(Cycle t)
+{
+    if (lastL2MissCycle_ != kNoCycle)
+        missIntervals_.sample(t - lastL2MissCycle_);
+    lastL2MissCycle_ = t;
+    if (listener_)
+        listener_(t);
+}
+
+int
+CacheHierarchy::issuePrefetchLine(Addr addr, Cycle t)
+{
+    if (l2_.contains(addr))
+        return 0; // Already resident: skip, keep going.
+    if (!l2_.canAllocateFill(t))
+        return -1; // No fill slot: stop this batch.
+    Cycle fill = dram_.request(t + l2_.hitLatency());
+    Cache::Eviction ev = l2_.insert(addr, fill, Provenance::Prefetch);
+    if (ev.valid && ev.dirty)
+        dram_.writeback(t + l2_.hitLatency());
+    return 1;
+}
+
+void
+CacheHierarchy::maybePrefetch(Addr demand_addr, std::int64_t stride,
+                              Cycle t)
+{
+    // The paper prefetches 16 data items into the L2 on a miss.
+    Addr prev_line = l2_.lineAddr(demand_addr);
+    for (unsigned k = 1; k <= prefetcher_.degree(); ++k) {
+        Addr pa = demand_addr + static_cast<Addr>(stride) * k;
+        Addr pa_line = l2_.lineAddr(pa);
+        if (pa_line == prev_line)
+            continue; // Same line as previous prefetch: nothing new.
+        prev_line = pa_line;
+        if (l2_.contains(pa))
+            continue;
+        if (!l2_.canAllocateFill(t))
+            break;
+        Cycle fill = dram_.request(t + l2_.hitLatency());
+        Cache::Eviction ev =
+            l2_.insert(pa, fill, Provenance::Prefetch);
+        if (ev.valid && ev.dirty)
+            dram_.writeback(t + l2_.hitLatency());
+        prefetcher_.notePrefetchIssued();
+    }
+}
+
+void
+CacheHierarchy::writebackVictim(const Cache::Eviction &ev, Cycle t)
+{
+    if (!ev.valid || !ev.dirty)
+        return;
+    if (l2_.contains(ev.addr)) {
+        l2_.setDirty(ev.addr);
+    } else {
+        // Rare: dirty L1 victim not in L2; send straight to memory.
+        dram_.writeback(t);
+    }
+}
+
+MemAccessResult
+CacheHierarchy::load(Addr addr, Addr pc, Cycle now, Provenance prov)
+{
+    const bool correct = prov == Provenance::CorrPath;
+
+    CacheLookup look = l1d_.lookup(addr, now, correct);
+    if (look.hit) {
+        MemAccessResult res;
+        res.doneAt = std::max(now + l1d_.hitLatency(), look.readyAt);
+        res.l1Hit = look.readyAt <= now + l1d_.hitLatency();
+        // Touch the L2 copy for usefulness accounting even on L1 hits:
+        // the line was demanded by a correct-path load at some level.
+        if (correct)
+            l2_.touch(addr);
+        return res;
+    }
+
+    if (!l1d_.canAllocateFill(now)) {
+        ++loadRejects_;
+        return MemAccessResult{false, 0, false, false};
+    }
+
+    Cycle t2 = now + l1d_.hitLatency();
+
+    std::int64_t stride = 0;
+    bool have_stride = pfKind_ == PrefetcherKind::Stride && correct &&
+                       prefetcher_.observe(pc, addr, stride);
+
+    L2Result l2res = accessL2(addr, t2, true, correct, prov);
+    if (!l2res.accepted) {
+        ++loadRejects_;
+        return MemAccessResult{false, 0, false, false};
+    }
+
+    if (have_stride && l2res.wasMiss)
+        maybePrefetch(addr, stride, t2);
+
+    if (pfKind_ == PrefetcherKind::Stream && correct &&
+        l2res.wasMiss) {
+        std::vector<Addr> lines;
+        streamPf_.onDemandMiss(addr, lines);
+        for (Addr line : lines) {
+            int res = issuePrefetchLine(line, t2);
+            if (res < 0)
+                break;
+            if (res > 0)
+                streamPf_.notePrefetchIssued();
+        }
+    }
+
+    Cache::Eviction ev = l1d_.insert(addr, l2res.readyAt, prov);
+    writebackVictim(ev, t2);
+
+    MemAccessResult res;
+    res.doneAt = l2res.readyAt;
+    res.l1Hit = false;
+    res.l2DemandMiss = l2res.wasMiss;
+    return res;
+}
+
+MemAccessResult
+CacheHierarchy::store(Addr addr, Cycle now, Provenance prov)
+{
+    CacheLookup look = l1d_.lookup(addr, now, false);
+    if (look.hit) {
+        l1d_.setDirty(addr);
+        MemAccessResult res;
+        res.doneAt = std::max(now + l1d_.hitLatency(), look.readyAt);
+        res.l1Hit = true;
+        return res;
+    }
+
+    if (!l1d_.canAllocateFill(now))
+        return MemAccessResult{false, 0, false, false};
+
+    Cycle t2 = now + l1d_.hitLatency();
+    L2Result l2res = accessL2(addr, t2, true, false, prov);
+    if (!l2res.accepted)
+        return MemAccessResult{false, 0, false, false};
+
+    Cache::Eviction ev = l1d_.insert(addr, l2res.readyAt, prov);
+    writebackVictim(ev, t2);
+    l1d_.setDirty(addr);
+
+    MemAccessResult res;
+    res.doneAt = l2res.readyAt;
+    res.l1Hit = false;
+    res.l2DemandMiss = l2res.wasMiss;
+    return res;
+}
+
+MemAccessResult
+CacheHierarchy::ifetch(Addr addr, Cycle now, Provenance prov)
+{
+    CacheLookup look = l1i_.lookup(addr, now, false);
+    if (look.hit) {
+        MemAccessResult res;
+        res.doneAt = std::max(now + l1i_.hitLatency(), look.readyAt);
+        res.l1Hit = look.readyAt <= now + l1i_.hitLatency();
+        return res;
+    }
+
+    if (!l1i_.canAllocateFill(now))
+        return MemAccessResult{false, 0, false, false};
+
+    Cycle t2 = now + l1i_.hitLatency();
+    L2Result l2res = accessL2(addr, t2, true, false, prov);
+    if (!l2res.accepted)
+        return MemAccessResult{false, 0, false, false};
+
+    l1i_.insert(addr, l2res.readyAt, prov);
+
+    MemAccessResult res;
+    res.doneAt = l2res.readyAt;
+    res.l1Hit = false;
+    res.l2DemandMiss = l2res.wasMiss;
+    return res;
+}
+
+} // namespace mlpwin

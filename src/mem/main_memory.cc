@@ -1,0 +1,96 @@
+#include "main_memory.hh"
+
+#include <cstring>
+
+namespace mlpwin
+{
+
+const MainMemory::Page *
+MainMemory::findPage(Addr addr) const
+{
+    auto it = pages_.find(addr >> kPageShift);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+MainMemory::Page &
+MainMemory::getPage(Addr addr)
+{
+    auto &slot = pages_[addr >> kPageShift];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+std::uint64_t
+MainMemory::readU64(Addr addr) const
+{
+    Addr offset = addr & (kPageBytes - 1);
+    if (offset + 8 <= kPageBytes) {
+        const Page *page = findPage(addr);
+        if (!page)
+            return 0;
+        std::uint64_t v;
+        std::memcpy(&v, page->data() + offset, 8);
+        return v;
+    }
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(readU8(addr + i)) << (8 * i);
+    return v;
+}
+
+void
+MainMemory::writeU64(Addr addr, std::uint64_t value)
+{
+    Addr offset = addr & (kPageBytes - 1);
+    if (offset + 8 <= kPageBytes) {
+        std::memcpy(getPage(addr).data() + offset, &value, 8);
+        return;
+    }
+    for (unsigned i = 0; i < 8; ++i)
+        writeU8(addr + i, static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+std::uint8_t
+MainMemory::readU8(Addr addr) const
+{
+    const Page *page = findPage(addr);
+    if (!page)
+        return 0;
+    return (*page)[addr & (kPageBytes - 1)];
+}
+
+void
+MainMemory::writeU8(Addr addr, std::uint8_t value)
+{
+    getPage(addr)[addr & (kPageBytes - 1)] = value;
+}
+
+void
+MainMemory::loadProgram(const Program &prog)
+{
+    Addr pc = prog.codeBase();
+    for (std::uint64_t word : prog.code()) {
+        writeU64(pc, word);
+        pc += kInstBytes;
+    }
+    for (const DataSegment &seg : prog.data()) {
+        for (std::size_t i = 0; i < seg.bytes.size(); ++i)
+            writeU8(seg.base + i, seg.bytes[i]);
+    }
+}
+
+std::uint64_t
+MainMemory::checksumRange(Addr base, std::uint64_t bytes) const
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (std::uint64_t i = 0; i < bytes; ++i) {
+        hash ^= readU8(base + i);
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+} // namespace mlpwin

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Sparse functional main memory for the full 64-bit simulated address
+ * space, backed by demand-allocated 4 KiB pages. This models the
+ * *contents* of memory; DRAM timing lives in dram.hh.
+ */
+
+#ifndef MLPWIN_MEM_MAIN_MEMORY_HH
+#define MLPWIN_MEM_MAIN_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/program.hh"
+
+namespace mlpwin
+{
+
+/** Demand-paged functional memory; unwritten bytes read as zero. */
+class MainMemory
+{
+  public:
+    static constexpr unsigned kPageShift = 12;
+    static constexpr std::uint64_t kPageBytes = 1ULL << kPageShift;
+
+    MainMemory() = default;
+
+    /** Read an aligned-or-not 64-bit little-endian value. */
+    std::uint64_t readU64(Addr addr) const;
+    /** Write a 64-bit little-endian value. */
+    void writeU64(Addr addr, std::uint64_t value);
+
+    std::uint8_t readU8(Addr addr) const;
+    void writeU8(Addr addr, std::uint8_t value);
+
+    /** Copy a program's code and data segments into memory. */
+    void loadProgram(const Program &prog);
+
+    /** Number of distinct pages touched so far. */
+    std::size_t numPages() const { return pages_.size(); }
+
+    /**
+     * FNV-1a checksum over a byte range; used by tests to compare
+     * architectural memory state across timing models.
+     */
+    std::uint64_t checksumRange(Addr base, std::uint64_t bytes) const;
+
+  private:
+    using Page = std::array<std::uint8_t, kPageBytes>;
+
+    const Page *findPage(Addr addr) const;
+    Page &getPage(Addr addr);
+
+    std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace mlpwin
+
+#endif // MLPWIN_MEM_MAIN_MEMORY_HH

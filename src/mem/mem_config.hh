@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Configuration structs for the timing memory system (paper Table 1).
+ */
+
+#ifndef MLPWIN_MEM_MEM_CONFIG_HH
+#define MLPWIN_MEM_MEM_CONFIG_HH
+
+#include <cstdint>
+
+namespace mlpwin
+{
+
+/** Geometry and timing of one cache level. */
+struct CacheConfig
+{
+    std::uint64_t sizeBytes = 64 * 1024;
+    unsigned assoc = 2;
+    unsigned lineBytes = 32;
+    unsigned hitLatency = 2;
+    unsigned mshrs = 32; ///< Max outstanding line fills (non-blocking).
+};
+
+/** DRAM channel timing (paper: 300-cycle min latency, 8 B/cycle). */
+struct DramConfig
+{
+    unsigned minLatency = 300;
+    unsigned bytesPerCycle = 8;
+};
+
+/** Data prefetcher algorithm selection. */
+enum class PrefetcherKind
+{
+    Stride, ///< Baer-Chen PC-indexed stride table (paper default).
+    Stream, ///< Jouppi-style adjacent-line stream detection.
+};
+
+/** Stride prefetcher (paper: 4K-entry 4-way, 16-line degree, into L2). */
+struct PrefetcherConfig
+{
+    bool enabled = true;
+    PrefetcherKind kind = PrefetcherKind::Stride;
+    unsigned tableEntries = 4096;
+    unsigned tableAssoc = 4;
+    unsigned degree = 16;
+    /** Concurrent streams tracked (Stream kind only). */
+    unsigned streamEntries = 8;
+};
+
+/** The full memory system (paper Table 1 defaults). */
+struct MemSystemConfig
+{
+    CacheConfig l1i{64 * 1024, 2, 32, 1, 4};
+    CacheConfig l1d{64 * 1024, 2, 32, 2, 32};
+    CacheConfig l2{2 * 1024 * 1024, 4, 64, 12, 32};
+    DramConfig dram;
+    PrefetcherConfig prefetcher;
+};
+
+} // namespace mlpwin
+
+#endif // MLPWIN_MEM_MEM_CONFIG_HH

@@ -1,0 +1,140 @@
+#include "prefetcher.hh"
+
+#include "common/logging.hh"
+
+namespace mlpwin
+{
+
+StridePrefetcher::StridePrefetcher(const PrefetcherConfig &cfg,
+                                   StatSet *stats)
+    : enabled_(cfg.enabled),
+      assoc_(cfg.tableAssoc),
+      numSets_(cfg.tableEntries / cfg.tableAssoc),
+      degree_(cfg.degree),
+      table_(cfg.tableEntries),
+      hits_(stats, "pf.table_hits", "stride table hits"),
+      allocs_(stats, "pf.table_allocs", "stride table allocations"),
+      issued_(stats, "pf.issued", "prefetch requests issued")
+{
+    mlpwin_assert(numSets_ > 0 && (numSets_ & (numSets_ - 1)) == 0);
+}
+
+bool
+StridePrefetcher::observe(Addr pc, Addr addr, std::int64_t &stride)
+{
+    if (!enabled_)
+        return false;
+
+    std::size_t set = (pc / kInstBytes) & (numSets_ - 1);
+    std::size_t base = set * assoc_;
+
+    Entry *entry = nullptr;
+    Entry *victim = &table_[base];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Entry &e = table_[base + w];
+        if (e.valid && e.pcTag == pc) {
+            entry = &e;
+            break;
+        }
+        if (!e.valid || e.lruStamp < victim->lruStamp)
+            victim = &e;
+    }
+
+    if (!entry) {
+        ++allocs_;
+        victim->valid = true;
+        victim->pcTag = pc;
+        victim->lastAddr = addr;
+        victim->stride = 0;
+        victim->conf = 0;
+        victim->lruStamp = ++lruCounter_;
+        return false;
+    }
+
+    ++hits_;
+    entry->lruStamp = ++lruCounter_;
+    std::int64_t new_stride = static_cast<std::int64_t>(addr) -
+                              static_cast<std::int64_t>(entry->lastAddr);
+    entry->lastAddr = addr;
+
+    if (new_stride == entry->stride && new_stride != 0) {
+        if (entry->conf < 3)
+            ++entry->conf;
+    } else {
+        entry->stride = new_stride;
+        entry->conf = entry->conf > 1 ? 1 : 0;
+    }
+
+    if (entry->conf >= 2 && entry->stride != 0) {
+        stride = entry->stride;
+        return true;
+    }
+    return false;
+}
+
+StreamPrefetcher::StreamPrefetcher(const PrefetcherConfig &cfg,
+                                   unsigned line_bytes, StatSet *stats)
+    : enabled_(cfg.enabled && cfg.kind == PrefetcherKind::Stream),
+      lineBytes_(line_bytes),
+      degree_(cfg.degree),
+      streams_(cfg.streamEntries),
+      confirms_(stats, "pf.stream_confirms",
+                "misses extending a confirmed stream"),
+      allocs_(stats, "pf.stream_allocs", "stream allocations"),
+      issued_(stats, "pf.stream_issued",
+              "stream prefetch requests issued")
+{
+    mlpwin_assert(cfg.streamEntries >= 1);
+}
+
+void
+StreamPrefetcher::onDemandMiss(Addr addr, std::vector<Addr> &lines)
+{
+    if (!enabled_)
+        return;
+
+    Addr line = addr & ~static_cast<Addr>(lineBytes_ - 1);
+
+    Stream *victim = nullptr;
+    for (Stream &s : streams_) {
+        if (!s.valid) {
+            if (!victim || victim->valid)
+                victim = &s;
+            continue;
+        }
+        std::int64_t delta = static_cast<std::int64_t>(line) -
+                             static_cast<std::int64_t>(s.lastLine);
+        bool ahead = delta == lineBytes_ ||
+                     (s.direction != 0 &&
+                      delta == s.direction *
+                                   static_cast<std::int64_t>(
+                                       lineBytes_));
+        bool behind = delta == -static_cast<std::int64_t>(lineBytes_);
+        if (ahead || behind) {
+            // Adjacent-line miss: (re)confirm the stream's direction
+            // and prefetch `degree` lines ahead.
+            s.direction = delta > 0 ? 1 : -1;
+            s.lastLine = line;
+            s.lruStamp = ++lruCounter_;
+            ++confirms_;
+            for (unsigned k = 1; k <= degree_; ++k) {
+                lines.push_back(line +
+                                static_cast<Addr>(
+                                    static_cast<std::int64_t>(k) *
+                                    s.direction * lineBytes_));
+            }
+            return;
+        }
+        if (!victim || (victim->valid && s.lruStamp < victim->lruStamp))
+            victim = &s;
+    }
+
+    // No stream matched: allocate (replacing the LRU stream).
+    ++allocs_;
+    victim->valid = true;
+    victim->lastLine = line;
+    victim->direction = 0;
+    victim->lruStamp = ++lruCounter_;
+}
+
+} // namespace mlpwin

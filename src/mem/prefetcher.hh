@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Baer-Chen style stride prefetcher (paper Table 1: stride-based,
+ * 4K-entry 4-way PC-indexed table, prefetching 16 lines into the L2 on
+ * a miss). The table learns per-PC strides with a two-bit confidence
+ * state machine; the hierarchy asks it for prefetch candidates when a
+ * demand access misses in the L2.
+ */
+
+#ifndef MLPWIN_MEM_PREFETCHER_HH
+#define MLPWIN_MEM_PREFETCHER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "isa/isa.hh"
+#include "mem/mem_config.hh"
+
+namespace mlpwin
+{
+
+/** See file comment. */
+class StridePrefetcher
+{
+  public:
+    StridePrefetcher(const PrefetcherConfig &cfg, StatSet *stats);
+
+    /**
+     * Record a demand load and return the learned stride if the entry
+     * is in the steady state (confidence high).
+     *
+     * @param pc PC of the load instruction.
+     * @param addr Demand byte address.
+     * @param[out] stride Learned stride in bytes (may be negative).
+     * @retval true A confident stride exists for this PC.
+     */
+    bool observe(Addr pc, Addr addr, std::int64_t &stride);
+
+    unsigned degree() const { return degree_; }
+    bool enabled() const { return enabled_; }
+
+    std::uint64_t issued() const { return issued_.value(); }
+    /** Called by the hierarchy when it actually issues a prefetch. */
+    void notePrefetchIssued() { ++issued_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Addr pcTag = 0;
+        Addr lastAddr = 0;
+        std::int64_t stride = 0;
+        /** 0=init, 1=transient, 2=steady, 3=steady+ */
+        unsigned conf = 0;
+        std::uint64_t lruStamp = 0;
+    };
+
+    bool enabled_;
+    unsigned assoc_;
+    std::size_t numSets_;
+    unsigned degree_;
+    std::uint64_t lruCounter_ = 0;
+    std::vector<Entry> table_;
+
+    Counter hits_;
+    Counter allocs_;
+    Counter issued_;
+};
+
+/**
+ * Jouppi-style stream prefetcher (simplified): tracks a handful of
+ * address-ordered miss streams; once two misses land on adjacent
+ * lines (either direction), further misses on the stream prefetch
+ * `degree` lines ahead into the L2. PC-agnostic — the alternative
+ * commercial design the paper mentions alongside stride prefetching.
+ */
+class StreamPrefetcher
+{
+  public:
+    StreamPrefetcher(const PrefetcherConfig &cfg, unsigned line_bytes,
+                     StatSet *stats);
+
+    /**
+     * Record an L2 demand miss and collect prefetch candidates.
+     *
+     * @param addr Missed byte address.
+     * @param[out] lines Line addresses to prefetch (appended).
+     */
+    void onDemandMiss(Addr addr, std::vector<Addr> &lines);
+
+    bool enabled() const { return enabled_; }
+    std::uint64_t issued() const { return issued_.value(); }
+    void notePrefetchIssued() { ++issued_; }
+
+  private:
+    struct Stream
+    {
+        bool valid = false;
+        Addr lastLine = 0;
+        int direction = 0; ///< +1 / -1 once confirmed, 0 while new.
+        std::uint64_t lruStamp = 0;
+    };
+
+    bool enabled_;
+    unsigned lineBytes_;
+    unsigned degree_;
+    std::uint64_t lruCounter_ = 0;
+    std::vector<Stream> streams_;
+
+    Counter confirms_;
+    Counter allocs_;
+    Counter issued_;
+};
+
+} // namespace mlpwin
+
+#endif // MLPWIN_MEM_PREFETCHER_HH

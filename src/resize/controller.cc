@@ -1,0 +1,150 @@
+#include "controller.hh"
+
+namespace mlpwin
+{
+
+MlpAwareController::MlpAwareController(const LevelTable &table,
+                                       const MlpControllerConfig &cfg,
+                                       StatSet *stats)
+    : ResizeController(table), cfg_(cfg),
+      enlargements_(stats, "resize.enlargements",
+                    "level-up transitions"),
+      shrinks_(stats, "resize.shrinks", "level-down transitions"),
+      drainStallCycles_(stats, "resize.drain_stall_cycles",
+                        "cycles allocation stopped to drain for shrink")
+{
+}
+
+void
+MlpAwareController::startTransition(Cycle now)
+{
+    if (cfg_.transitionPenalty > 0) {
+        stallUntil_ = now + cfg_.transitionPenalty;
+        inTransition_ = true;
+    }
+}
+
+void
+MlpAwareController::onL2DemandMiss(Cycle now)
+{
+    // Fig. 5 lines 7-10: enlarge, rearm the shrink timer, clear flag.
+    if (level_ < table_.maxLevel()) {
+        ++level_;
+        ++ups_;
+        ++enlargements_;
+        startTransition(now);
+    }
+    shrinkTiming_ = now + cfg_.memoryLatency;
+    doShrink_ = false;
+}
+
+bool
+MlpAwareController::isShrinkable(const WindowOccupancy &occ) const
+{
+    const ResourceLevel &target = table_.at(level_ - 1);
+    return occ.rob <= target.robSize && occ.iq <= target.iqSize &&
+           occ.lsq <= target.lsqSize;
+}
+
+void
+MlpAwareController::tick(Cycle now, const WindowOccupancy &occ)
+{
+    recordResidency();
+
+    if (inTransition_ && now >= stallUntil_)
+        inTransition_ = false;
+
+    // Fig. 5 lines 11-13.
+    if (shrinkTiming_ != kNoCycle && now >= shrinkTiming_)
+        doShrink_ = true;
+
+    bool stop_alloc = false;
+
+    // Fig. 5 lines 14-23.
+    if (level_ > 1 && doShrink_) {
+        if (isShrinkable(occ)) {
+            --level_;
+            ++downs_;
+            ++shrinks_;
+            shrinkTiming_ = now + cfg_.memoryLatency;
+            doShrink_ = false;
+            startTransition(now);
+        } else {
+            stop_alloc = true;
+            ++drainStallCycles_;
+        }
+    }
+
+    allocStopped_ = stop_alloc || inTransition_;
+}
+
+OccupancyController::OccupancyController(
+        const LevelTable &table, const OccupancyControllerConfig &cfg,
+        StatSet *stats)
+    : ResizeController(table), cfg_(cfg),
+      enlargements_(stats, "resize.occ_enlargements",
+                    "occupancy-policy level-up transitions"),
+      shrinks_(stats, "resize.occ_shrinks",
+               "occupancy-policy level-down transitions")
+{
+}
+
+void
+OccupancyController::tick(Cycle now, const WindowOccupancy &occ)
+{
+    recordResidency();
+
+    if (inTransition_ && now >= stallUntil_)
+        inTransition_ = false;
+
+    bool stop_alloc = false;
+
+    if (pendingShrink_) {
+        const ResourceLevel &target = table_.at(level_ - 1);
+        if (occ.rob <= target.robSize && occ.iq <= target.iqSize &&
+            occ.lsq <= target.lsqSize) {
+            --level_;
+            ++downs_;
+            ++shrinks_;
+            pendingShrink_ = false;
+            if (cfg_.transitionPenalty > 0) {
+                stallUntil_ = now + cfg_.transitionPenalty;
+                inTransition_ = true;
+            }
+        } else {
+            stop_alloc = true;
+        }
+    }
+
+    ++periodCycles_;
+    if (occ.allocStalledFull)
+        ++periodStalls_;
+    periodIqOccSum_ += occ.iq;
+
+    if (periodCycles_ >= cfg_.samplePeriod) {
+        double avg_iq = periodIqOccSum_ /
+                        static_cast<double>(periodCycles_);
+        if (periodStalls_ > cfg_.growStallThreshold &&
+            level_ < table_.maxLevel()) {
+            ++level_;
+            ++ups_;
+            ++enlargements_;
+            pendingShrink_ = false;
+            if (cfg_.transitionPenalty > 0) {
+                stallUntil_ = now + cfg_.transitionPenalty;
+                inTransition_ = true;
+            }
+        } else if (level_ > 1 && !pendingShrink_) {
+            const ResourceLevel &target = table_.at(level_ - 1);
+            if (avg_iq < target.iqSize * cfg_.shrinkHeadroom)
+                pendingShrink_ = true;
+        }
+        periodCycles_ = 0;
+        periodStalls_ = 0;
+        periodIqOccSum_ = 0.0;
+    }
+
+    allocStopped_ = stop_alloc || inTransition_;
+}
+
+} // namespace mlpwin

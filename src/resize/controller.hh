@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Instruction-window resize controllers.
+ *
+ * ResizeController is the interface the out-of-order core consults
+ * every cycle; the three implementations are:
+ *
+ *  - FixedLevelController: the paper's "fixed size" and "ideal"
+ *    models (a constant level, never transitions).
+ *  - MlpAwareController: the paper's contribution (the Fig. 5
+ *    algorithm). Each L2 demand miss enlarges the window one level;
+ *    once a full memory latency passes without a miss, the window
+ *    shrinks one level, waiting (with allocation stopped) until the
+ *    occupancy fits the smaller size. Level transitions stall the
+ *    core for a fixed penalty (10 cycles by default).
+ *  - OccupancyController: a Ponomarev-style demand-driven policy
+ *    (paper Section 6.2) used as an ablation baseline.
+ */
+
+#ifndef MLPWIN_RESIZE_CONTROLLER_HH
+#define MLPWIN_RESIZE_CONTROLLER_HH
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "resize/level_table.hh"
+
+namespace mlpwin
+{
+
+/** Occupancy snapshot the core passes to tick(). */
+struct WindowOccupancy
+{
+    unsigned rob = 0;
+    unsigned iq = 0;
+    unsigned lsq = 0;
+    /** Did the front-end stall this cycle because a queue was full? */
+    bool allocStalledFull = false;
+};
+
+/** Per-level cycle residency, for the paper's Fig. 8. */
+struct LevelResidency
+{
+    std::vector<std::uint64_t> cyclesAtLevel; // index 0 = level 1.
+};
+
+/** Interface consulted by the core each cycle; see file comment. */
+class ResizeController
+{
+  public:
+    explicit ResizeController(LevelTable table)
+        : table_(std::move(table)),
+          residency_{std::vector<std::uint64_t>(table_.maxLevel(), 0)}
+    {}
+    virtual ~ResizeController() = default;
+
+    /** Called by the memory system on every L2 demand miss. */
+    virtual void onL2DemandMiss(Cycle now) = 0;
+
+    /**
+     * Advance one cycle. Must be called exactly once per core cycle.
+     * @param now Current cycle.
+     * @param occ Current window occupancy.
+     */
+    virtual void tick(Cycle now, const WindowOccupancy &occ) = 0;
+
+    /** Current level (1-based). */
+    unsigned level() const { return level_; }
+
+    /** Resource sizes/depths at the current level. */
+    const ResourceLevel &current() const { return table_.at(level_); }
+
+    const LevelTable &table() const { return table_; }
+
+    /**
+     * True if the front-end must not allocate window resources this
+     * cycle (transition penalty in progress, or draining to shrink).
+     */
+    bool allocStopped() const { return allocStopped_; }
+
+    /** True while a level transition penalty is being paid. */
+    bool inTransition() const { return inTransition_; }
+
+    const LevelResidency &residency() const { return residency_; }
+    std::uint64_t upTransitions() const { return ups_; }
+    std::uint64_t downTransitions() const { return downs_; }
+
+    /** Zero residency/transition accounting (measurement-window start). */
+    void
+    resetMeasurement()
+    {
+        std::fill(residency_.cyclesAtLevel.begin(),
+                  residency_.cyclesAtLevel.end(), 0);
+        ups_ = 0;
+        downs_ = 0;
+    }
+
+  protected:
+    void
+    recordResidency()
+    {
+        ++residency_.cyclesAtLevel[level_ - 1];
+    }
+
+    /** Owned: controllers outlive any caller-constructed table. */
+    LevelTable table_;
+    unsigned level_ = 1;
+    bool allocStopped_ = false;
+    bool inTransition_ = false;
+    LevelResidency residency_;
+    std::uint64_t ups_ = 0;
+    std::uint64_t downs_ = 0;
+};
+
+/** Constant level; used by the fixed-size and ideal models. */
+class FixedLevelController : public ResizeController
+{
+  public:
+    FixedLevelController(const LevelTable &table, unsigned level)
+        : ResizeController(table)
+    {
+        mlpwin_assert(level >= 1 && level <= table.maxLevel());
+        level_ = level;
+    }
+
+    void onL2DemandMiss(Cycle) override {}
+
+    void
+    tick(Cycle, const WindowOccupancy &) override
+    {
+        recordResidency();
+    }
+};
+
+/** Tunables of the MLP-aware controller. */
+struct MlpControllerConfig
+{
+    /** Cycles without an L2 miss before shrinking (= memory latency). */
+    unsigned memoryLatency = 300;
+    /** Core stall cycles on each level transition (paper: 10). */
+    unsigned transitionPenalty = 10;
+};
+
+/** The paper's Fig. 5 algorithm. */
+class MlpAwareController : public ResizeController
+{
+  public:
+    MlpAwareController(const LevelTable &table,
+                       const MlpControllerConfig &cfg, StatSet *stats);
+
+    void onL2DemandMiss(Cycle now) override;
+    void tick(Cycle now, const WindowOccupancy &occ) override;
+
+    /** True if shrinking to `level_ - 1` is possible at occupancy occ. */
+    bool isShrinkable(const WindowOccupancy &occ) const;
+
+    Cycle shrinkTiming() const { return shrinkTiming_; }
+
+  private:
+    void startTransition(Cycle now);
+
+    MlpControllerConfig cfg_;
+    Cycle shrinkTiming_ = kNoCycle;
+    bool doShrink_ = false;
+    Cycle stallUntil_ = 0;
+
+    Counter enlargements_;
+    Counter shrinks_;
+    Counter drainStallCycles_;
+};
+
+/**
+ * Ponomarev-style occupancy-driven resizing (paper Section 6.2):
+ * grow when full-queue stalls exceed a threshold within a sample
+ * period; shrink when average occupancy fits the next smaller level.
+ * Deliberately MLP-blind — the ablation shows why that matters.
+ */
+struct OccupancyControllerConfig
+{
+    unsigned samplePeriod = 2048;
+    /** Grow if full-stall cycles in the period exceed this. */
+    unsigned growStallThreshold = 256;
+    /** Shrink if avg IQ occupancy < smaller size * this factor. */
+    double shrinkHeadroom = 0.9;
+    unsigned transitionPenalty = 10;
+};
+
+/** See OccupancyControllerConfig. */
+class OccupancyController : public ResizeController
+{
+  public:
+    OccupancyController(const LevelTable &table,
+                        const OccupancyControllerConfig &cfg,
+                        StatSet *stats);
+
+    void onL2DemandMiss(Cycle) override {}
+    void tick(Cycle now, const WindowOccupancy &occ) override;
+
+  private:
+    OccupancyControllerConfig cfg_;
+    Cycle stallUntil_ = 0;
+    std::uint64_t periodCycles_ = 0;
+    std::uint64_t periodStalls_ = 0;
+    double periodIqOccSum_ = 0.0;
+    bool pendingShrink_ = false;
+
+    Counter enlargements_;
+    Counter shrinks_;
+};
+
+} // namespace mlpwin
+
+#endif // MLPWIN_RESIZE_CONTROLLER_HH

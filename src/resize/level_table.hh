@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Instruction-window resource levels (paper Table 2): per-level sizes
+ * and pipeline depths for the IQ, ROB, and LSQ, plus the extra branch
+ * misprediction penalty each level's deeper structures impose.
+ */
+
+#ifndef MLPWIN_RESIZE_LEVEL_TABLE_HH
+#define MLPWIN_RESIZE_LEVEL_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace mlpwin
+{
+
+/** One instruction-window resource level = {size, pipeline depth}. */
+struct ResourceLevel
+{
+    unsigned iqSize = 64;
+    unsigned iqDepth = 1;
+    unsigned robSize = 128;
+    unsigned robDepth = 1;
+    unsigned lsqSize = 64;
+    unsigned lsqDepth = 1;
+
+    /**
+     * Extra branch misprediction penalty in cycles relative to the
+     * base: one cycle per extra IQ pipeline stage (issue loop) plus
+     * one cycle for the pipelined read of the enlarged ROB register
+     * field (paper Sections 5.1, 5.3).
+     */
+    unsigned
+    extraMispredictPenalty() const
+    {
+        unsigned extra = iqDepth - 1;
+        if (robDepth > 1)
+            extra += 1;
+        return extra;
+    }
+};
+
+/** The set of selectable levels, 1-based as in the paper. */
+class LevelTable
+{
+  public:
+    explicit LevelTable(std::vector<ResourceLevel> levels)
+        : levels_(std::move(levels))
+    {
+        mlpwin_assert(!levels_.empty());
+    }
+
+    /** Paper Table 2: IQ 64/160/256, ROB 128/320/512, LSQ 64/160/256,
+     *  depths 1/2/2. */
+    static LevelTable
+    paperDefault()
+    {
+        return LevelTable({
+            ResourceLevel{64, 1, 128, 1, 64, 1},
+            ResourceLevel{160, 2, 320, 2, 160, 2},
+            ResourceLevel{256, 2, 512, 2, 256, 2},
+        });
+    }
+
+    unsigned maxLevel() const
+    {
+        return static_cast<unsigned>(levels_.size());
+    }
+
+    /** Level numbers are 1-based (paper convention). */
+    const ResourceLevel &
+    at(unsigned level) const
+    {
+        mlpwin_assert(level >= 1 && level <= levels_.size());
+        return levels_[level - 1];
+    }
+
+  private:
+    std::vector<ResourceLevel> levels_;
+};
+
+} // namespace mlpwin
+
+#endif // MLPWIN_RESIZE_LEVEL_TABLE_HH

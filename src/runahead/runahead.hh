@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Support structures for runahead execution (Mutlu et al., HPCA'03),
+ * the comparison scheme of the paper's Section 5.7.
+ *
+ * The runahead *episode control* lives in the out-of-order core (it
+ * reuses the core's fetch/issue machinery with pseudo-retirement);
+ * this module provides the pieces that are runahead-specific:
+ *
+ *  - RunaheadConfig: trigger and exit tunables.
+ *  - InvTracker: INV (bogus-value) propagation across pseudo-retired
+ *    instructions, plus the runahead cache's INV-address set. Loads
+ *    whose sources are INV must not access memory (a pointer-chasing
+ *    load dependent on the miss cannot prefetch in real runahead).
+ *  - RunaheadCauseStatusTable (RCST): predicts useless runahead
+ *    episodes from past per-PC usefulness, as in the paper's Section
+ *    5.7 discussion of milc.
+ */
+
+#ifndef MLPWIN_RUNAHEAD_RUNAHEAD_HH
+#define MLPWIN_RUNAHEAD_RUNAHEAD_HH
+
+#include <bitset>
+#include <unordered_set>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace mlpwin
+{
+
+/** Tunables of the runahead mechanism. */
+struct RunaheadConfig
+{
+    bool enabled = false;
+    /** Use the RCST to suppress predicted-useless episodes. */
+    bool useRcst = true;
+    /** Runahead cache size in 8-byte words (paper: 512 bytes). */
+    unsigned runaheadCacheWords = 64;
+    /** Extra cycles to resume normal mode after exit (paper: 0). */
+    unsigned exitPenalty = 0;
+};
+
+/** INV propagation state for one runahead episode. */
+class InvTracker
+{
+  public:
+    void
+    reset()
+    {
+        invRegs_.reset();
+        invAddrs_.clear();
+    }
+
+    /** Mark an architectural register INV (or valid again). */
+    void
+    setRegInv(RegId r, bool inv)
+    {
+        if (r == kNoReg || r == intReg(0))
+            return;
+        invRegs_.set(r, inv);
+    }
+
+    bool
+    regInv(RegId r) const
+    {
+        if (r == kNoReg || r == intReg(0))
+            return false;
+        return invRegs_.test(r);
+    }
+
+    /** Mark a runahead-cache word INV (store with INV data/address). */
+    void
+    setAddrInv(Addr addr)
+    {
+        if (invAddrs_.size() < kMaxInvAddrs)
+            invAddrs_.insert(addr & ~Addr(7));
+    }
+
+    bool
+    addrInv(Addr addr) const
+    {
+        return invAddrs_.count(addr & ~Addr(7)) != 0;
+    }
+
+  private:
+    /** Bound matching a small runahead cache; beyond it we saturate. */
+    static constexpr std::size_t kMaxInvAddrs = 4096;
+
+    std::bitset<kNumArchRegs> invRegs_;
+    std::unordered_set<Addr> invAddrs_;
+};
+
+/**
+ * Runahead cause status table: a small direct-mapped table of 2-bit
+ * usefulness counters indexed by the triggering load's PC.
+ */
+class RunaheadCauseStatusTable
+{
+  public:
+    explicit RunaheadCauseStatusTable(std::size_t entries = 64)
+        : counters_(entries, 2) // Weakly useful: allow first episodes.
+    {
+    }
+
+    /** Should a runahead episode be entered for this trigger PC? */
+    bool
+    predictUseful(Addr pc) const
+    {
+        return counters_[index(pc)] >= 2;
+    }
+
+    /** Train with the measured usefulness of a finished episode. */
+    void
+    train(Addr pc, bool was_useful)
+    {
+        std::uint8_t &ctr = counters_[index(pc)];
+        if (was_useful) {
+            if (ctr < 3)
+                ++ctr;
+        } else {
+            if (ctr > 0)
+                --ctr;
+        }
+    }
+
+  private:
+    std::size_t
+    index(Addr pc) const
+    {
+        return (pc / kInstBytes) % counters_.size();
+    }
+
+    std::vector<std::uint8_t> counters_;
+};
+
+} // namespace mlpwin
+
+#endif // MLPWIN_RUNAHEAD_RUNAHEAD_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Top-level simulation configuration: the paper's evaluated models
+ * (Section 5.3) and all component configs, defaulting to Table 1.
+ */
+
+#ifndef MLPWIN_SIM_SIM_CONFIG_HH
+#define MLPWIN_SIM_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "branch/predictor.hh"
+#include "cpu/core_config.hh"
+#include "mem/mem_config.hh"
+#include "resize/controller.hh"
+#include "resize/level_table.hh"
+#include "runahead/runahead.hh"
+
+namespace mlpwin
+{
+
+/** The evaluated processor models. */
+enum class ModelKind
+{
+    /** Conventional processor: fixed at level 1 (the paper's base). */
+    Base,
+    /** Fixed size at `fixedLevel`, pipelined (issue/branch penalty). */
+    Fixed,
+    /** Fixed size at `fixedLevel`, NOT pipelined (no penalties). */
+    Ideal,
+    /** The paper's MLP-aware dynamic window resizing. */
+    Resizing,
+    /** Runahead execution on the base window (Section 5.7). */
+    Runahead,
+    /** Occupancy-driven resizing ablation (Section 6.2). */
+    Occupancy,
+    /**
+     * Waiting-instruction-buffer model (Lebeck et al.; paper Section
+     * 6.3): level-3 ROB/LSQ with the small level-1 single-cycle IQ,
+     * plus a WIB that parks miss-dependent instructions.
+     */
+    Wib,
+};
+
+/** Printable model name. */
+const char *modelName(ModelKind kind);
+
+/** See file comment. */
+struct SimConfig
+{
+    CoreConfig core;
+    MemSystemConfig mem;
+    BranchPredictorConfig bp;
+    LevelTable levels = LevelTable::paperDefault();
+
+    ModelKind model = ModelKind::Base;
+    /** Level used by Fixed/Ideal models (1-based). */
+    unsigned fixedLevel = 1;
+
+    MlpControllerConfig mlp;
+    OccupancyControllerConfig occupancy;
+    RunaheadConfig runahead;
+
+    /**
+     * Pre-install the program text in the L1I/L2 before the run. The
+     * paper measures 100M-instruction samples after a 16G-instruction
+     * fast-forward, so instruction fetch is warm; our runs start cold,
+     * and this restores the paper's I-side conditions. Data stays cold.
+     */
+    bool warmInstCaches = true;
+
+    /**
+     * Pre-install the program's data segments (BSS included) in the
+     * L2 — and in the L1D too when the whole footprint fits it —
+     * before the run. Complements warmupInsts for working sets too
+     * large for a short warm-up run to touch completely; footprints
+     * beyond the L2 capacity wrap, leaving the tail resident as LRU
+     * would. Off by default; the benchmark harness enables it.
+     */
+    bool warmDataCaches = false;
+
+    /**
+     * Committed instructions to execute *before* the measurement
+     * window opens; all statistics are zeroed afterwards. Stands in
+     * for the paper's 16G-instruction fast-forward, which warms the
+     * data caches, predictors, and prefetcher tables.
+     */
+    std::uint64_t warmupInsts = 0;
+
+    /** Stop after this many committed instructions (0 = run to Halt). */
+    std::uint64_t maxInsts = 0;
+    /** Hard cycle ceiling (guards against deadlock bugs). */
+    std::uint64_t maxCycles = 4'000'000'000ULL;
+};
+
+} // namespace mlpwin
+
+#endif // MLPWIN_SIM_SIM_CONFIG_HH

@@ -1,0 +1,208 @@
+#include "simulator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "workloads/suite.hh"
+
+namespace mlpwin
+{
+
+const char *
+modelName(ModelKind kind)
+{
+    switch (kind) {
+      case ModelKind::Base:
+        return "base";
+      case ModelKind::Fixed:
+        return "fixed";
+      case ModelKind::Ideal:
+        return "ideal";
+      case ModelKind::Resizing:
+        return "resizing";
+      case ModelKind::Runahead:
+        return "runahead";
+      case ModelKind::Occupancy:
+        return "occupancy";
+      case ModelKind::Wib:
+        return "wib";
+    }
+    return "?";
+}
+
+namespace
+{
+
+std::unique_ptr<ResizeController>
+buildController(const SimConfig &cfg, StatSet *stats)
+{
+    switch (cfg.model) {
+      case ModelKind::Base:
+      case ModelKind::Runahead:
+        return std::make_unique<FixedLevelController>(cfg.levels, 1);
+      case ModelKind::Fixed:
+      case ModelKind::Ideal:
+        return std::make_unique<FixedLevelController>(cfg.levels,
+                                                      cfg.fixedLevel);
+      case ModelKind::Resizing:
+        return std::make_unique<MlpAwareController>(cfg.levels,
+                                                    cfg.mlp, stats);
+      case ModelKind::Occupancy:
+        return std::make_unique<OccupancyController>(
+            cfg.levels, cfg.occupancy, stats);
+      case ModelKind::Wib: {
+        // Large window everywhere except the IQ, which stays at the
+        // base's single-cycle size; the WIB supplies the capacity.
+        const ResourceLevel &big = cfg.levels.at(cfg.levels.maxLevel());
+        const ResourceLevel &small = cfg.levels.at(1);
+        ResourceLevel wib_level = big;
+        wib_level.iqSize = small.iqSize;
+        wib_level.iqDepth = small.iqDepth;
+        wib_level.robDepth = small.robDepth;
+        wib_level.lsqDepth = small.lsqDepth;
+        return std::make_unique<FixedLevelController>(
+            LevelTable({wib_level}), 1);
+      }
+    }
+    mlpwin_panic("bad model kind");
+}
+
+} // namespace
+
+Simulator::Simulator(const SimConfig &cfg, const Program &prog)
+    : cfg_(cfg), workloadName_(prog.name()),
+      mem_(cfg.mem, &stats_)
+{
+    // Per-model adjustments.
+    if (cfg_.model == ModelKind::Ideal)
+        cfg_.core.pipelinePenalties = false;
+    if (cfg_.model == ModelKind::Wib)
+        cfg_.core.wibEnabled = true;
+    RunaheadConfig ra = cfg_.runahead;
+    ra.enabled = cfg_.model == ModelKind::Runahead;
+
+    fmem_.loadProgram(prog);
+    if (cfg_.warmInstCaches) {
+        unsigned line = mem_.l1i().lineBytes();
+        for (Addr a = prog.codeBase(); a < prog.codeEnd(); a += line)
+            mem_.warmInstLine(a);
+    }
+    if (cfg_.warmDataCaches && prog.dataEnd() > prog.dataBase()) {
+        unsigned line = mem_.l2().lineBytes();
+        std::uint64_t bytes = prog.dataEnd() - prog.dataBase();
+        bool fits_l1d = bytes <= cfg_.mem.l1d.sizeBytes;
+        for (Addr a = prog.dataBase(); a < prog.dataEnd(); a += line)
+            mem_.warmDataLine(a, fits_l1d);
+    }
+    resize_ = buildController(cfg_, &stats_);
+    mem_.setL2MissListener(
+        [this](Cycle c) { resize_->onL2DemandMiss(c); });
+    core_ = std::make_unique<OooCore>(cfg_.core, *resize_, mem_, fmem_,
+                                      prog, &stats_, ra, cfg_.bp);
+}
+
+void
+Simulator::runUntil(std::uint64_t committed_target)
+{
+    std::uint64_t last_progress_committed = core_->committedInsts();
+    Cycle last_progress_cycle = core_->cycle();
+
+    while (!core_->halted() &&
+           core_->cycle() < cfg_.maxCycles &&
+           (committed_target == 0 ||
+            core_->committedInsts() < committed_target)) {
+        core_->tick();
+
+        // Deadlock watchdog: the core must commit something within a
+        // generous window (mispredict + full memory stall bounded).
+        if (core_->committedInsts() != last_progress_committed) {
+            last_progress_committed = core_->committedInsts();
+            last_progress_cycle = core_->cycle();
+        } else if (core_->cycle() - last_progress_cycle > 500000) {
+            mlpwin_panic("no commit progress for 500k cycles "
+                         "(workload %s, model %s, cycle %llu)",
+                         workloadName_.c_str(),
+                         modelName(cfg_.model),
+                         static_cast<unsigned long long>(
+                             core_->cycle()));
+        }
+    }
+}
+
+SimResult
+Simulator::run()
+{
+    PollutionStats pollution_base;
+
+    // Warm-up phase: execute unmeasured instructions, then zero every
+    // statistic. Stands in for the paper's 16G-instruction skip.
+    if (cfg_.warmupInsts > 0 && !core_->halted()) {
+        runUntil(cfg_.warmupInsts);
+        stats_.resetAll();
+        core_->resetMeasurement();
+        resize_->resetMeasurement();
+        pollution_base = mem_.l2().pollution();
+    }
+
+    std::uint64_t target = cfg_.maxInsts
+        ? core_->committedInsts() + cfg_.maxInsts : 0;
+    runUntil(target);
+
+    SimResult r;
+    r.workload = workloadName_;
+    r.model = modelName(cfg_.model);
+    r.halted = core_->halted();
+    r.cycles = core_->measuredCycles();
+    r.committed = core_->committedInsts();
+    r.ipc = core_->ipc();
+    r.avgLoadLatency = core_->avgLoadLatency();
+    r.observedMlp = core_->observedMlp();
+    r.committedBranches = core_->committedBranches();
+    r.committedMispredicts = core_->committedMispredicts();
+    r.squashed = core_->squashedInsts();
+    r.l2DemandMisses = mem_.l2DemandMisses();
+    r.l2Pollution = mem_.l2().pollution();
+    for (unsigned p = 0; p < kNumProvenances; ++p) {
+        r.l2Pollution.brought[p] -= std::min(
+            pollution_base.brought[p], r.l2Pollution.brought[p]);
+        r.l2Pollution.useful[p] -= std::min(
+            pollution_base.useful[p], r.l2Pollution.useful[p]);
+    }
+    r.cyclesAtLevel = resize_->residency().cyclesAtLevel;
+    r.runaheadEpisodes = core_->runaheadEpisodes();
+    r.runaheadUseless = core_->runaheadUselessEpisodes();
+    r.archRegChecksum = core_->oracle().regs().checksum();
+
+    EnergyInputs &e = r.energyInputs;
+    e.cycles = r.cycles;
+    e.fetched = core_->fetchedInsts();
+    e.dispatched = r.committed + r.squashed; // Window allocations.
+    e.issued = core_->issuedInsts();
+    e.committed = r.committed;
+    e.loads = core_->committedLoads();
+    e.stores = core_->committedStores();
+    e.l1iAccesses = mem_.l1i().accesses();
+    e.l1dAccesses = mem_.l1d().accesses();
+    e.l2Accesses = mem_.l2().accesses();
+    e.dramAccesses = mem_.dram().numReads() + mem_.dram().numWritebacks();
+    e.iqSizeCycles = core_->iqSizeCycles();
+    e.robSizeCycles = core_->robSizeCycles();
+    e.lsqSizeCycles = core_->lsqSizeCycles();
+
+    EnergyModel em;
+    r.energyTotal = em.evaluate(e).total();
+    r.edp = em.edp(e);
+    return r;
+}
+
+SimResult
+runWorkload(const std::string &name, const SimConfig &cfg,
+            std::uint64_t iterations)
+{
+    const WorkloadSpec &spec = findWorkload(name);
+    Program prog = spec.make(iterations);
+    Simulator sim(cfg, prog);
+    return sim.run();
+}
+
+} // namespace mlpwin

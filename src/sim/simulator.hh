@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The Simulator facade: builds a full system (functional memory,
+ * cache hierarchy, resize controller, out-of-order core) for one
+ * program and one model, runs it, and collects a SimResult with
+ * everything the paper's figures and tables need.
+ */
+
+#ifndef MLPWIN_SIM_SIMULATOR_HH
+#define MLPWIN_SIM_SIMULATOR_HH
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "cpu/core.hh"
+#include "energy/energy_model.hh"
+#include "isa/program.hh"
+#include "mem/hierarchy.hh"
+#include "mem/main_memory.hh"
+#include "sim/sim_config.hh"
+
+namespace mlpwin
+{
+
+/** Everything measured in one finished run. */
+struct SimResult
+{
+    std::string workload;
+    std::string model;
+    bool halted = false;
+
+    std::uint64_t cycles = 0;
+    std::uint64_t committed = 0;
+    double ipc = 0.0;
+    double avgLoadLatency = 0.0;
+    double observedMlp = 0.0;
+
+    std::uint64_t committedBranches = 0;
+    std::uint64_t committedMispredicts = 0;
+    std::uint64_t squashed = 0;
+
+    std::uint64_t l2DemandMisses = 0;
+    PollutionStats l2Pollution;
+
+    std::vector<std::uint64_t> cyclesAtLevel;
+
+    EnergyInputs energyInputs;
+    double energyTotal = 0.0; ///< pJ (model units).
+    double edp = 0.0;         ///< energy x cycles.
+
+    std::uint64_t runaheadEpisodes = 0;
+    std::uint64_t runaheadUseless = 0;
+
+    std::uint64_t archRegChecksum = 0;
+
+    /** Committed instructions per committed mispredict (Table 5). */
+    double
+    instsPerMispredict() const
+    {
+        return committedMispredicts
+            ? static_cast<double>(committed) /
+                  static_cast<double>(committedMispredicts)
+            : static_cast<double>(committed);
+    }
+};
+
+/** See file comment. */
+class Simulator
+{
+  public:
+    Simulator(const SimConfig &cfg, const Program &prog);
+
+    /** Run to Halt / instruction budget / cycle ceiling. */
+    SimResult run();
+
+    /**
+     * Tick until the committed-instruction count reaches the target
+     * (0 = until Halt), the cycle ceiling, or Halt.
+     */
+    void runUntil(std::uint64_t committed_target);
+
+    /** Advance a single cycle (fine-grained control for tests). */
+    void tick() { core_->tick(); }
+
+    /**
+     * Attach a pipeline tracer to the core (not owned). Pass nullptr
+     * to detach. See cpu/tracer.hh for categories.
+     */
+    void setTracer(PipelineTracer *t) { core_->setTracer(t); }
+
+    OooCore &core() { return *core_; }
+    CacheHierarchy &hierarchy() { return mem_; }
+    MainMemory &memory() { return fmem_; }
+    ResizeController &controller() { return *resize_; }
+    StatSet &stats() { return stats_; }
+
+    /** Dump all registered stats. */
+    void dumpStats(std::ostream &os) const { stats_.dump(os); }
+
+  private:
+    SimConfig cfg_;
+    std::string workloadName_;
+    StatSet stats_;
+    MainMemory fmem_;
+    CacheHierarchy mem_;
+    std::unique_ptr<ResizeController> resize_;
+    std::unique_ptr<OooCore> core_;
+};
+
+/**
+ * Convenience: build and run one workload under one model.
+ *
+ * @param name Workload name from the suite.
+ * @param cfg Full configuration (model field selects the model).
+ * @param iterations Outer iterations for the program generator.
+ */
+SimResult runWorkload(const std::string &name, const SimConfig &cfg,
+                      std::uint64_t iterations);
+
+} // namespace mlpwin
+
+#endif // MLPWIN_SIM_SIMULATOR_HH

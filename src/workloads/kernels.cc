@@ -1,0 +1,877 @@
+#include "kernels.hh"
+
+#include <bit>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "isa/assembler.hh"
+
+namespace mlpwin
+{
+
+namespace
+{
+
+constexpr RegId X0 = intReg(0);
+
+/** Check n is a nonzero power of two. */
+bool
+pow2(std::uint64_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+/**
+ * Emit n integer filler ops forming two interleaved dependence
+ * chains on c1/c2, mixing in `mix` so the work is not trivially dead.
+ */
+void
+emitIntFiller(Assembler &a, unsigned n, RegId c1, RegId c2, RegId mix)
+{
+    for (unsigned i = 0; i < n; ++i) {
+        switch (i % 4) {
+          case 0:
+            a.addi(c1, c1, 13);
+            break;
+          case 1:
+            a.xor_(c2, c2, mix);
+            break;
+          case 2:
+            a.sub(c2, c2, c1);
+            break;
+          default:
+            a.xor_(c1, c1, c2);
+            break;
+        }
+    }
+}
+
+/** Emit n FP filler ops on chains f3/f4 using constants f1/f2. */
+void
+emitFpFiller(Assembler &a, unsigned n)
+{
+    const RegId f1 = fpReg(1), f2 = fpReg(2);
+    const RegId f3 = fpReg(3), f4 = fpReg(4);
+    for (unsigned i = 0; i < n; ++i) {
+        switch (i % 4) {
+          case 0:
+            a.fadd(f3, f3, f1);
+            break;
+          case 1:
+            a.fmul(f4, f4, f2);
+            break;
+          case 2:
+            a.fsub(f3, f3, f2);
+            break;
+          default:
+            a.fadd(f4, f4, f1);
+            break;
+        }
+    }
+}
+
+/** Seed fp constant/chain registers f1..f4 from small integers. */
+void
+seedFpRegs(Assembler &a)
+{
+    a.addi(intReg(5), X0, 3);
+    a.fcvt(fpReg(1), intReg(5));
+    a.addi(intReg(5), X0, 2);
+    a.fcvt(fpReg(2), intReg(5));
+    a.fcvt(fpReg(3), intReg(5));
+    a.fcvt(fpReg(4), intReg(5));
+}
+
+/** Emit the standard countdown epilogue: store acc, halt. */
+void
+emitEpilogue(Assembler &a, Addr sink, RegId acc)
+{
+    a.li(intReg(9), sink);
+    a.st(acc, intReg(9), 0);
+    a.halt();
+}
+
+} // namespace
+
+Program
+makeGather(const std::string &name, const GatherParams &p,
+           std::uint64_t iterations)
+{
+    mlpwin_assert(pow2(p.tableWords) && pow2(p.idxWords));
+    mlpwin_assert(p.table2Words == 0 || pow2(p.table2Words));
+
+    Assembler a(name);
+    Rng rng(p.seed);
+
+    const bool depth2 = p.table2Words != 0;
+
+    std::vector<std::uint64_t> idx(p.idxWords);
+    for (auto &v : idx)
+        v = rng.below(p.tableWords) * 8;
+    Addr idx_base = a.allocData(idx, 64);
+
+    Addr t1_base;
+    if (depth2) {
+        std::vector<std::uint64_t> t1(p.tableWords);
+        for (auto &v : t1)
+            v = rng.below(p.table2Words) * 8;
+        t1_base = a.allocData(t1, 64);
+    } else {
+        // Initialized random payload: keeps the table pages resident
+        // in functional memory and the accumulator value non-trivial.
+        std::vector<std::uint64_t> t1(p.tableWords);
+        for (auto &v : t1)
+            v = rng.next();
+        t1_base = a.allocData(t1, 64);
+    }
+    Addr t2_base = depth2 ? a.allocBss(p.table2Words * 8, 64) : 0;
+    Addr sink = a.allocBss(8);
+
+    const RegId idxb = intReg(10), t1b = intReg(11), t2b = intReg(12);
+    const RegId cur = intReg(13), mask = intReg(14), ptr = intReg(15);
+    const RegId acc = intReg(20), c1 = intReg(21), c2 = intReg(22);
+    const RegId cnt = intReg(29);
+
+    a.li(idxb, idx_base);
+    a.li(t1b, t1_base);
+    if (depth2)
+        a.li(t2b, t2_base);
+    a.li(cur, 0);
+    a.li(mask, p.idxWords * 8 - 1);
+    a.li(cnt, iterations);
+    if (p.fpOps > 0)
+        seedFpRegs(a);
+
+    Label top = a.here();
+    a.add(ptr, idxb, cur);
+    for (unsigned u = 0; u < 4; ++u) {
+        const RegId off = intReg(5), ea = intReg(16);
+        const RegId val = intReg(17);
+        a.ld(off, ptr, static_cast<std::int32_t>(u * 8));
+        a.add(ea, t1b, off);
+        a.ld(val, ea, 0);
+        if (depth2) {
+            const RegId ea2 = intReg(18), val2 = intReg(19);
+            a.add(ea2, t2b, val);
+            a.ld(val2, ea2, 0);
+            a.add(acc, acc, val2);
+        } else {
+            a.add(acc, acc, val);
+        }
+        if (p.hardBranch && u == 0 && !depth2) {
+            // 50/50 branch on the loaded value (random table data).
+            Label skip = a.newLabel();
+            a.andi(intReg(6), val, 1);
+            a.beq(intReg(6), X0, skip);
+            a.addi(acc, acc, 13);
+            a.bind(skip);
+        }
+        emitIntFiller(a, p.intOps, c1, c2, acc);
+        emitFpFiller(a, p.fpOps);
+    }
+    a.addi(cur, cur, 32);
+    a.and_(cur, cur, mask);
+    a.addi(cnt, cnt, -1);
+    a.bne(cnt, X0, top);
+
+    emitEpilogue(a, sink, acc);
+    return a.finalize();
+}
+
+Program
+makeChase(const std::string &name, const ChaseParams &p,
+          std::uint64_t iterations)
+{
+    mlpwin_assert(p.chains >= 1 && p.chains <= 4);
+    mlpwin_assert(p.nodesPerChain >= 2);
+
+    Assembler a(name);
+    Rng rng(p.seed);
+
+    constexpr std::uint64_t kNodeBytes = 64;
+    std::vector<Addr> chain_base(p.chains);
+
+    for (unsigned c = 0; c < p.chains; ++c) {
+        Addr base = a.allocBss(p.nodesPerChain * kNodeBytes, 64);
+        chain_base[c] = base;
+
+        // Random cyclic permutation: node perm[i] -> node perm[i+1].
+        std::vector<std::uint64_t> perm(p.nodesPerChain);
+        for (std::uint64_t i = 0; i < p.nodesPerChain; ++i)
+            perm[i] = i;
+        for (std::uint64_t i = p.nodesPerChain - 1; i > 0; --i)
+            std::swap(perm[i], perm[rng.below(i + 1)]);
+
+        std::vector<std::uint64_t> mem(p.nodesPerChain * 8, 0);
+        for (std::uint64_t i = 0; i < p.nodesPerChain; ++i) {
+            std::uint64_t next = perm[(i + 1) % p.nodesPerChain];
+            mem[perm[i] * 8] = base + next * kNodeBytes;
+        }
+        a.initData(base, mem);
+    }
+
+    Addr sink = a.allocBss(8);
+
+    const RegId acc = intReg(20), c1 = intReg(21), c2 = intReg(22);
+    const RegId cnt = intReg(29);
+
+    for (unsigned c = 0; c < p.chains; ++c)
+        a.li(intReg(10 + c), chain_base[c]);
+    a.li(cnt, iterations);
+
+    Label top = a.here();
+    for (unsigned c = 0; c < p.chains; ++c)
+        a.ld(intReg(10 + c), intReg(10 + c), 0); // Serial hop.
+    emitIntFiller(a, p.hopOps * p.chains, c1, c2, acc);
+    a.add(acc, acc, intReg(10));
+    a.addi(cnt, cnt, -1);
+    a.bne(cnt, X0, top);
+
+    emitEpilogue(a, sink, acc);
+    return a.finalize();
+}
+
+Program
+makeStream(const std::string &name, const StreamParams &p,
+           std::uint64_t iterations)
+{
+    mlpwin_assert(p.streams >= 1 && p.streams <= 4);
+    mlpwin_assert(pow2(p.wordsPerStream));
+
+    Assembler a(name);
+
+    std::vector<Addr> base(p.streams);
+    for (unsigned s = 0; s < p.streams; ++s)
+        base[s] = a.allocBss(p.wordsPerStream * 8, 64);
+    Addr sink = a.allocBss(8);
+
+    const bool fp = p.fpOps > 0;
+    const RegId cur = intReg(24), mask = intReg(25), ea = intReg(26);
+    const RegId acc = intReg(20), c1 = intReg(21), c2 = intReg(22);
+    const RegId cnt = intReg(29);
+    const RegId facc = fpReg(10);
+
+    for (unsigned s = 0; s < p.streams; ++s)
+        a.li(intReg(10 + s), base[s]);
+    a.li(cur, 0);
+    a.li(mask, p.wordsPerStream * 8 - 1);
+    a.li(cnt, iterations);
+    if (fp) {
+        seedFpRegs(a);
+        a.fcvt(facc, X0);
+    }
+
+    Label top = a.here();
+    RegId s0_ea = intReg(27);
+    for (unsigned s = 0; s < p.streams; ++s) {
+        a.add(ea, intReg(10 + s), cur);
+        if (s == 0)
+            a.mov(s0_ea, ea);
+        if (fp) {
+            a.fld(fpReg(20 + s), ea, 0);
+            a.fadd(facc, facc, fpReg(20 + s));
+        } else {
+            a.ld(intReg(16 + s + 1), ea, 0);
+            a.add(acc, acc, intReg(16 + s + 1));
+        }
+    }
+    if (fp) {
+        emitFpFiller(a, p.fpOps);
+    } else {
+        emitIntFiller(a, 4, c1, c2, acc);
+        a.add(acc, acc, c1);
+    }
+    if (p.withStore) {
+        if (fp)
+            a.fst(facc, s0_ea, 0);
+        else
+            a.st(acc, s0_ea, 0);
+    }
+    a.addi(cur, cur, static_cast<std::int32_t>(p.strideWords * 8));
+    a.and_(cur, cur, mask);
+    a.addi(cnt, cnt, -1);
+    a.bne(cnt, X0, top);
+
+    emitEpilogue(a, sink, acc);
+    return a.finalize();
+}
+
+Program
+makeSpmv(const std::string &name, const SpmvParams &p,
+         std::uint64_t iterations)
+{
+    mlpwin_assert(pow2(p.xWords) && pow2(p.colWords));
+    mlpwin_assert(p.nnzPerRow >= 1 && p.nnzPerRow <= 16);
+
+    Assembler a(name);
+    Rng rng(p.seed);
+
+    std::vector<std::uint64_t> col(p.colWords);
+    for (auto &v : col)
+        v = rng.below(p.xWords) * 8;
+    Addr col_base = a.allocData(col, 64);
+    // Dense vector and matrix values: small positive doubles, so the
+    // row dot products are well-behaved and value-dependent control
+    // (hardBranch) sees effectively random parities.
+    auto random_doubles = [&rng](std::uint64_t n) {
+        std::vector<std::uint64_t> words(n);
+        for (auto &w : words) {
+            double d = 1.0 + rng.real() * 14.0;
+            w = std::bit_cast<std::uint64_t>(d);
+        }
+        return words;
+    };
+    Addr x_base = a.allocData(random_doubles(p.xWords), 64);
+    Addr val_base = a.allocData(random_doubles(p.colWords), 64);
+    Addr sink = a.allocBss(8);
+
+    const RegId colb = intReg(10), xb = intReg(11), valb = intReg(12);
+    const RegId cur = intReg(13), mask = intReg(14);
+    const RegId cp = intReg(15), vp = intReg(16);
+    const RegId acc = intReg(20);
+    const RegId cnt = intReg(29);
+    const RegId frow = fpReg(10);
+
+    a.li(colb, col_base);
+    a.li(xb, x_base);
+    a.li(valb, val_base);
+    a.li(cur, 0);
+    a.li(mask, p.colWords * 8 - 1);
+    a.li(cnt, iterations);
+    seedFpRegs(a);
+
+    Label top = a.here(); // One row per iteration.
+    a.fcvt(frow, X0);     // Row accumulator = 0.
+    a.add(cp, colb, cur);
+    a.add(vp, valb, cur);
+    for (unsigned u = 0; u < p.nnzPerRow; ++u) {
+        const RegId off = intReg(5), ea = intReg(17);
+        a.ld(off, cp, static_cast<std::int32_t>(u * 8));
+        a.add(ea, xb, off);
+        a.fld(fpReg(20), ea, 0);
+        a.fld(fpReg(21), vp, static_cast<std::int32_t>(u * 8));
+        a.fmul(fpReg(22), fpReg(20), fpReg(21));
+        a.fadd(frow, frow, fpReg(22));
+    }
+    a.fcvti(intReg(18), frow);
+    a.add(acc, acc, intReg(18));
+    if (p.hardBranch) {
+        // 50/50 branch on the row sum's parity.
+        Label skip = a.newLabel();
+        a.andi(intReg(19), intReg(18), 1);
+        a.beq(intReg(19), X0, skip);
+        a.addi(acc, acc, 7);
+        a.bind(skip);
+    }
+    a.addi(cur, cur, static_cast<std::int32_t>(p.nnzPerRow * 8));
+    a.and_(cur, cur, mask);
+    a.addi(cnt, cnt, -1);
+    a.bne(cnt, X0, top);
+
+    emitEpilogue(a, sink, acc);
+    return a.finalize();
+}
+
+Program
+makePhaseMix(const std::string &name, const PhaseMixParams &p,
+             std::uint64_t iterations)
+{
+    const GatherParams &g = p.gather;
+    mlpwin_assert(pow2(g.tableWords) && pow2(g.idxWords));
+    mlpwin_assert(p.gathersPerPhase % 4 == 0);
+    mlpwin_assert(p.computeOpsPerBranch > 0);
+
+    Assembler a(name);
+    Rng rng(g.seed);
+
+    std::vector<std::uint64_t> idx(g.idxWords);
+    for (auto &v : idx)
+        v = rng.below(g.tableWords) * 8;
+    Addr idx_base = a.allocData(idx, 64);
+    Addr t1_base = a.allocBss(g.tableWords * 8, 64);
+    Addr sink = a.allocBss(8);
+
+    const RegId idxb = intReg(10), t1b = intReg(11);
+    const RegId cur = intReg(13), mask = intReg(14), ptr = intReg(15);
+    const RegId acc = intReg(20), c1 = intReg(21), c2 = intReg(22);
+    const RegId inner = intReg(28), cnt = intReg(29);
+
+    a.li(idxb, idx_base);
+    a.li(t1b, t1_base);
+    a.li(cur, 0);
+    a.li(mask, g.idxWords * 8 - 1);
+    a.li(cnt, iterations);
+
+    Label top = a.here();
+
+    // --- memory phase: gathersPerPhase independent irregular loads.
+    a.li(inner, p.gathersPerPhase / 4);
+    Label mem_loop = a.here();
+    a.add(ptr, idxb, cur);
+    for (unsigned u = 0; u < 4; ++u) {
+        const RegId off = intReg(5), ea = intReg(16);
+        const RegId val = intReg(17);
+        a.ld(off, ptr, static_cast<std::int32_t>(u * 8));
+        a.add(ea, t1b, off);
+        a.ld(val, ea, 0);
+        a.add(acc, acc, val);
+        emitIntFiller(a, g.intOps, c1, c2, acc);
+    }
+    a.addi(cur, cur, 32);
+    a.and_(cur, cur, mask);
+    a.addi(inner, inner, -1);
+    a.bne(inner, X0, mem_loop);
+
+    // --- compute phase: dependent integer work, no LLC misses.
+    unsigned blocks = p.computeOpsPerPhase / p.computeOpsPerBranch;
+    a.li(inner, blocks > 0 ? blocks : 1);
+    Label comp_loop = a.here();
+    emitIntFiller(a, p.computeOpsPerBranch, c1, c2, acc);
+    a.addi(inner, inner, -1);
+    a.bne(inner, X0, comp_loop);
+
+    a.addi(cnt, cnt, -1);
+    a.bne(cnt, X0, top);
+
+    emitEpilogue(a, sink, acc);
+    return a.finalize();
+}
+
+Program
+makeIntMix(const std::string &name, const IntMixParams &p,
+           std::uint64_t iterations)
+{
+    mlpwin_assert(p.ilpChains >= 1 && p.ilpChains <= 4);
+    mlpwin_assert(p.hardTakenDen == 0 || pow2(p.hardTakenDen));
+    mlpwin_assert(p.tableKiB == 0 || pow2(p.tableKiB));
+
+    Assembler a(name);
+
+    Addr table_base = 0;
+    if (p.tableKiB > 0)
+        table_base = a.allocBss(p.tableKiB * 1024, 64);
+    Addr sink = a.allocBss(8);
+
+    const RegId st = intReg(6), tmp = intReg(7), bit = intReg(8);
+    const RegId tb = intReg(10);
+    const RegId acc = intReg(20);
+    const RegId cnt = intReg(29);
+
+    a.li(st, 0x243f6a8885a308d3ULL ^ p.seed);
+    if (p.tableKiB > 0)
+        a.li(tb, table_base);
+    a.li(cnt, iterations);
+
+    auto chain_reg = [](unsigned c) { return intReg(21 + c); };
+
+    Label top = a.here();
+
+    // xorshift64 PRNG step (data-dependent control below).
+    a.slli(tmp, st, 13);
+    a.xor_(st, st, tmp);
+    a.srli(tmp, st, 7);
+    a.xor_(st, st, tmp);
+    a.slli(tmp, st, 17);
+    a.xor_(st, st, tmp);
+
+    // ILP chains: opsPerChain dependent ops each, chains independent.
+    for (unsigned o = 0; o < p.opsPerChain; ++o) {
+        for (unsigned c = 0; c < p.ilpChains; ++c) {
+            RegId r = chain_reg(c);
+            if (o % 2 == 0)
+                a.addi(r, r, static_cast<std::int32_t>(3 + c));
+            else
+                a.xor_(r, r, st);
+        }
+    }
+
+    // Hard data-dependent branch.
+    if (p.hardTakenDen > 0) {
+        Label not_taken = a.newLabel();
+        Label join = a.newLabel();
+        a.andi(bit, st,
+               static_cast<std::int32_t>(p.hardTakenDen - 1));
+        a.slti(bit, bit, static_cast<std::int32_t>(p.hardTakenNum));
+        a.beq(bit, X0, not_taken);
+        a.addi(acc, acc, 17);
+        a.xor_(acc, acc, chain_reg(0));
+        a.j(join);
+        a.bind(not_taken);
+        a.sub(acc, acc, chain_reg(0));
+        a.addi(acc, acc, 5);
+        a.bind(join);
+    }
+
+    // Optional small cached-table access.
+    if (p.tableKiB > 0) {
+        const RegId off = intReg(16), ea = intReg(17);
+        const RegId val = intReg(18);
+        a.li(off, p.tableKiB * 1024 - 1);
+        a.and_(off, off, st);
+        a.andi(off, off, -8);
+        a.add(ea, tb, off);
+        a.ld(val, ea, 0);
+        a.add(acc, acc, val);
+        a.st(acc, ea, 0);
+    }
+
+    a.addi(cnt, cnt, -1);
+    a.bne(cnt, X0, top);
+
+    emitEpilogue(a, sink, acc);
+    return a.finalize();
+}
+
+Program
+makeFpMix(const std::string &name, const FpMixParams &p,
+          std::uint64_t iterations)
+{
+    mlpwin_assert(p.ilpChains >= 1 && p.ilpChains <= 6);
+    mlpwin_assert(p.streamKiB == 0 || pow2(p.streamKiB));
+
+    Assembler a(name);
+
+    Addr stream_base = 0;
+    if (p.streamKiB > 0)
+        stream_base = a.allocBss(p.streamKiB * 1024, 64);
+    Addr sink = a.allocBss(8);
+
+    const RegId sb = intReg(10), cur = intReg(13), mask = intReg(14);
+    const RegId ea = intReg(15), acc = intReg(20), cnt = intReg(29);
+
+    seedFpRegs(a);
+    // Chain registers f20..f25; divisor close to 1 in f11.
+    for (unsigned c = 0; c < p.ilpChains; ++c) {
+        a.addi(intReg(5), X0, static_cast<std::int32_t>(c + 1));
+        a.fcvt(fpReg(20 + c), intReg(5));
+    }
+    a.addi(intReg(5), X0, 1);
+    a.fcvt(fpReg(11), intReg(5));
+    if (p.streamKiB > 0) {
+        a.li(sb, stream_base);
+        a.li(cur, 0);
+        a.li(mask, p.streamKiB * 1024 - 1);
+    }
+    a.li(cnt, iterations);
+
+    Label top = a.here();
+    for (unsigned o = 0; o < p.opsPerChain; ++o) {
+        for (unsigned c = 0; c < p.ilpChains; ++c) {
+            RegId r = fpReg(20 + c);
+            if (o % 2 == 0)
+                a.fadd(r, r, fpReg(1));
+            else
+                a.fmul(r, r, fpReg(2));
+        }
+    }
+    if (p.withDiv)
+        a.fdiv(fpReg(20), fpReg(20), fpReg(11));
+    if (p.withSqrt)
+        a.fsqrt(fpReg(21), fpReg(21));
+    if (p.streamKiB > 0) {
+        a.add(ea, sb, cur);
+        a.fld(fpReg(26), ea, 0);
+        a.fadd(fpReg(20), fpReg(20), fpReg(26));
+        a.fst(fpReg(20), ea, 0);
+        a.addi(cur, cur, 8);
+        a.and_(cur, cur, mask);
+    }
+    a.fcvti(intReg(16), fpReg(20));
+    a.add(acc, acc, intReg(16));
+    a.addi(cnt, cnt, -1);
+    a.bne(cnt, X0, top);
+
+    emitEpilogue(a, sink, acc);
+    return a.finalize();
+}
+
+Program
+makeMatmul(const std::string &name, const MatmulParams &p,
+           std::uint64_t iterations)
+{
+    mlpwin_assert(p.n >= 2);
+
+    Assembler a(name);
+
+    const std::uint64_t n = p.n;
+    Addr a_base = a.allocBss(n * n * 8, 64);
+    Addr b_base = a.allocBss(n * n * 8, 64);
+    Addr c_base = a.allocBss(n * n * 8, 64);
+    Addr sink = a.allocBss(8);
+
+    const RegId ab = intReg(10), bb = intReg(11), cb = intReg(12);
+    const RegId i = intReg(13), j = intReg(14), k = intReg(15);
+    const RegId nn = intReg(16);
+    const RegId arow = intReg(17), ap = intReg(18), bp = intReg(19);
+    const RegId crow = intReg(23), cp = intReg(24), jb = intReg(25);
+    const RegId acc = intReg(20), cnt = intReg(29);
+    const RegId fa = fpReg(20), fb = fpReg(21), fm = fpReg(22);
+    const RegId fs = fpReg(23);
+
+    a.li(ab, a_base);
+    a.li(bb, b_base);
+    a.li(cb, c_base);
+    a.li(nn, n);
+    a.li(cnt, iterations);
+    seedFpRegs(a);
+
+    Label outer = a.here();
+    a.li(i, 0);
+    a.mov(arow, ab);
+    a.mov(crow, cb);
+    Label li_loop = a.here();
+    {
+        a.li(j, 0);
+        a.li(jb, 0);
+        Label lj_loop = a.here();
+        {
+            a.fcvt(fs, X0); // acc = 0
+            a.li(k, 0);
+            a.mov(ap, arow);
+            a.add(bp, bb, jb);
+            Label lk_loop = a.here();
+            {
+                a.fld(fa, ap, 0);
+                a.fld(fb, bp, 0);
+                a.fmul(fm, fa, fb);
+                a.fadd(fs, fs, fm);
+                a.addi(ap, ap, 8);
+                a.addi(bp, bp, static_cast<std::int32_t>(n * 8));
+                a.addi(k, k, 1);
+                a.blt(k, nn, lk_loop);
+            }
+            a.add(cp, crow, jb);
+            a.fst(fs, cp, 0);
+            a.addi(j, j, 1);
+            a.addi(jb, jb, 8);
+            a.blt(j, nn, lj_loop);
+        }
+        a.addi(i, i, 1);
+        a.addi(arow, arow, static_cast<std::int32_t>(n * 8));
+        a.addi(crow, crow, static_cast<std::int32_t>(n * 8));
+        a.blt(i, nn, li_loop);
+    }
+    a.addi(cnt, cnt, -1);
+    a.bne(cnt, X0, outer);
+
+    emitEpilogue(a, sink, acc);
+    return a.finalize();
+}
+
+Program
+makeTreeSearch(const std::string &name, const TreeSearchParams &p,
+               std::uint64_t iterations)
+{
+    mlpwin_assert(pow2(p.arrayWords));
+    mlpwin_assert(p.parallelSearches >= 1 && p.parallelSearches <= 4);
+
+    Assembler a(name);
+
+    // Sorted array: value[i] = 13 * i, so any key in [0, 13n) lands
+    // on a well-defined slot.
+    std::vector<std::uint64_t> arr(p.arrayWords);
+    for (std::uint64_t i = 0; i < p.arrayWords; ++i)
+        arr[i] = 13 * i;
+    Addr arr_base = a.allocData(arr, 64);
+    Addr sink = a.allocBss(8);
+
+    const unsigned steps =
+        static_cast<unsigned>(__builtin_ctzll(p.arrayWords));
+    const RegId ab = intReg(9), st = intReg(6), tmp = intReg(7);
+    const RegId acc = intReg(20), c1 = intReg(21), c2 = intReg(22);
+    const RegId cnt = intReg(29);
+    auto lo_reg = [](unsigned s) { return intReg(10 + s); };
+    auto key_reg = [](unsigned s) { return intReg(14 + s); };
+    const RegId half = intReg(8), keymask = intReg(19);
+
+    a.li(ab, arr_base);
+    a.li(st, 0x2545f4914f6cdd1dULL ^ p.seed);
+    a.li(keymask, 13 * p.arrayWords - 1);
+    a.li(cnt, iterations);
+
+    Label top = a.here();
+    // Fresh pseudo-random keys, searches restarted at the root.
+    for (unsigned s = 0; s < p.parallelSearches; ++s) {
+        a.slli(tmp, st, 13);
+        a.xor_(st, st, tmp);
+        a.srli(tmp, st, 7);
+        a.xor_(st, st, tmp);
+        a.and_(key_reg(s), st, keymask);
+        a.li(lo_reg(s), 0);
+    }
+    a.li(half, (p.arrayWords / 2) * 8);
+
+    // Branchless binary search, all searches in lock-step: each probe
+    // address depends on the previous probe's comparison (a log-depth
+    // dependent load chain per search).
+    for (unsigned step = 0; step < steps; ++step) {
+        for (unsigned s = 0; s < p.parallelSearches; ++s) {
+            const RegId ea = intReg(5), v = intReg(18);
+            const RegId take = intReg(4);
+            a.add(ea, lo_reg(s), half);
+            a.add(ea, ea, ab);
+            a.ld(v, ea, 0);
+            // lo += (v <= key) ? half : 0.
+            a.slt(take, key_reg(s), v);
+            a.xori(take, take, 1);
+            a.mul(take, take, half);
+            a.add(lo_reg(s), lo_reg(s), take);
+            emitIntFiller(a, p.stepOps, c1, c2, acc);
+        }
+        a.srli(half, half, 1);
+    }
+    for (unsigned s = 0; s < p.parallelSearches; ++s)
+        a.add(acc, acc, lo_reg(s));
+    a.addi(cnt, cnt, -1);
+    a.bne(cnt, X0, top);
+
+    emitEpilogue(a, sink, acc);
+    return a.finalize();
+}
+
+Program
+makeButterfly(const std::string &name, const ButterflyParams &p,
+              std::uint64_t iterations)
+{
+    mlpwin_assert(pow2(p.words) && p.words >= 4);
+
+    Assembler a(name);
+    Rng rng(p.seed);
+
+    std::vector<std::uint64_t> data(p.words);
+    for (auto &w : data)
+        w = std::bit_cast<std::uint64_t>(1.0 + rng.real());
+    Addr base = a.allocData(data, 64);
+    Addr sink = a.allocBss(8);
+
+    const RegId db = intReg(9), pos = intReg(10), dist = intReg(11);
+    const RegId mask = intReg(12), ea1 = intReg(13), ea2 = intReg(14);
+    const RegId cnt = intReg(29);
+    const RegId fa = fpReg(5), fb = fpReg(6), fs = fpReg(7);
+    const RegId fd = fpReg(8);
+
+    a.li(db, base);
+    a.li(pos, 0);
+    a.li(dist, 8);
+    a.li(mask, p.words * 8 - 1);
+    a.li(cnt, iterations);
+    seedFpRegs(a);
+
+    Label top = a.here();
+    // One butterfly: combine the pair at (pos, pos + dist) in place;
+    // the partner index wraps around the array like an FFT's.
+    a.add(ea1, db, pos);
+    a.add(ea2, pos, dist);
+    a.and_(ea2, ea2, mask);
+    a.add(ea2, db, ea2);
+    a.fld(fa, ea1, 0);
+    a.fld(fb, ea2, 0);
+    a.fadd(fs, fa, fb);
+    a.fsub(fd, fa, fb);
+    emitFpFiller(a, p.fpOpsPerPair);
+    a.fst(fs, ea1, 0);
+    a.fst(fd, ea2, 0);
+
+    // Advance: pos += 2*dist (wrapping); double the distance on each
+    // wrap so successive sweeps use the next power-of-two stride.
+    a.slli(ea1, dist, 1);
+    a.add(pos, pos, ea1);
+    a.and_(pos, pos, mask);
+    Label no_wrap = a.newLabel();
+    a.bne(pos, X0, no_wrap);
+    a.slli(dist, dist, 1);
+    a.and_(dist, dist, mask);
+    Label dist_ok = a.newLabel();
+    a.bne(dist, X0, dist_ok);
+    a.li(dist, 8);
+    a.bind(dist_ok);
+    a.bind(no_wrap);
+    a.addi(cnt, cnt, -1);
+    a.bne(cnt, X0, top);
+
+    emitEpilogue(a, sink, intReg(20));
+    return a.finalize();
+}
+
+Program
+makeDispatch(const std::string &name, const DispatchParams &p,
+             std::uint64_t iterations)
+{
+    mlpwin_assert(pow2(p.handlers) && pow2(p.opstreamWords));
+    mlpwin_assert(p.handlerOps >= 2);
+
+    Assembler a(name);
+    Rng rng(p.seed);
+
+    std::vector<std::uint64_t> ops(p.opstreamWords);
+    for (auto &v : ops)
+        v = rng.below(p.handlers);
+    Addr ops_base = a.allocData(ops, 64);
+    Addr sink = a.allocBss(8);
+
+    const RegId opb = intReg(10), hb = intReg(11);
+    const RegId cur = intReg(13), mask = intReg(14);
+    const RegId idx = intReg(15), tgt = intReg(16), ea = intReg(17);
+    const RegId acc = intReg(20), c1 = intReg(21), c2 = intReg(22);
+    const RegId cnt = intReg(29);
+
+    Label main = a.newLabel();
+    a.j(main);
+
+    // Handlers: contiguous, padded to a power-of-two byte stride so
+    // the dispatch target is handlers_base + (idx << shift).
+    unsigned shift = 0;
+    while ((1u << shift) < (p.handlerOps + 1) * kInstBytes)
+        ++shift;
+    const unsigned stride_insts = (1u << shift) / kInstBytes;
+
+    Addr handlers_base = a.nextPc();
+    for (unsigned h = 0; h < p.handlers; ++h) {
+        std::size_t before = a.numInsts();
+        for (unsigned o = 0; o < p.handlerOps; ++o) {
+            switch ((o + h) % 4) {
+              case 0:
+                a.addi(c1, c1, static_cast<std::int32_t>(h + 1));
+                break;
+              case 1:
+                a.xor_(c2, c2, c1);
+                break;
+              case 2:
+                a.add(acc, acc, c2);
+                break;
+              default:
+                a.sub(c1, c1, acc);
+                break;
+            }
+        }
+        a.ret();
+        while (a.numInsts() - before < stride_insts)
+            a.nop();
+        mlpwin_assert(a.numInsts() - before == stride_insts);
+    }
+
+    a.bind(main);
+    a.li(opb, ops_base);
+    a.li(hb, handlers_base);
+    a.li(cur, 0);
+    a.li(mask, p.opstreamWords * 8 - 1);
+    a.li(cnt, iterations);
+
+    Label top = a.here();
+    a.add(ea, opb, cur);
+    a.ld(idx, ea, 0);
+    // target = handlers_base + idx * roundpow2(stride bytes).
+    a.slli(tgt, idx, static_cast<std::int32_t>(shift));
+    a.add(tgt, tgt, hb);
+    a.jalr(intReg(1), tgt, 0); // Indirect call through jump table.
+    a.addi(cur, cur, 8);
+    a.and_(cur, cur, mask);
+    a.addi(cnt, cnt, -1);
+    a.bne(cnt, X0, top);
+
+    emitEpilogue(a, sink, acc);
+    return a.finalize();
+}
+
+} // namespace mlpwin

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Parameterized workload kernel generators.
+ *
+ * Each generator emits a small mini-ISA program (via the Assembler)
+ * whose memory-access, dependence, and branch structure imitates one
+ * class of SPEC CPU2006 behaviour (see DESIGN.md for the mapping):
+ *
+ *  - makeGather: independent irregular loads over a large table
+ *    (abundant MLP for a large window; prefetcher-resistant).
+ *  - makeChase: pointer chasing over K parallel linked lists
+ *    (serial misses; MLP bounded by K regardless of window size).
+ *  - makeStream: multi-stream sequential/strided sweeps (stride
+ *    prefetcher territory; bandwidth-bound).
+ *  - makeSpmv: CSR sparse matrix-vector product (bursty, clustered
+ *    misses through the dense-vector gather).
+ *  - makePhaseMix: alternating gather-heavy and compute-heavy phases
+ *    (the omnetpp case where adaptivity beats any fixed size).
+ *  - makeIntMix: integer compute with tunable branch hardness and an
+ *    optional small cached table.
+ *  - makeFpMix: floating-point compute with tunable ILP and long-
+ *    latency op fraction.
+ *  - makeMatmul: blocked cache-resident matrix multiply.
+ *  - makeDispatch: indirect-jump interpreter dispatch loop.
+ *
+ * Every generator takes an iteration count; the emitted program
+ * executes that many outer iterations and halts, so tests can run
+ * tiny instances to completion while benchmarks run effectively
+ * unbounded ones under an instruction budget.
+ */
+
+#ifndef MLPWIN_WORKLOADS_KERNELS_HH
+#define MLPWIN_WORKLOADS_KERNELS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/program.hh"
+
+namespace mlpwin
+{
+
+/** Parameters for makeGather. */
+struct GatherParams
+{
+    /** Size of the gathered table, in 8-byte words (power of two). */
+    std::uint64_t tableWords = 1 << 21; // 16 MiB.
+    /**
+     * Second-level table words; 0 selects depth-1 gather. Depth 2
+     * models hash-bucket probing (xalancbmk-like).
+     */
+    std::uint64_t table2Words = 0;
+    /** Size of the sequential index array, words (power of two). */
+    std::uint64_t idxWords = 1 << 16;
+    /** Integer filler ops per element (controls insts per miss). */
+    unsigned intOps = 10;
+    /** FP filler ops per element. */
+    unsigned fpOps = 0;
+    /**
+     * Emit one data-dependent (50/50) branch per element group on the
+     * loaded value: models the value-dependent control of soplex /
+     * sphinx3 / omnetpp (paper Table 5) and feeds wrong-path cache
+     * traffic into the Fig. 11 study.
+     */
+    bool hardBranch = false;
+    std::uint64_t seed = 1;
+};
+
+Program makeGather(const std::string &name, const GatherParams &p,
+                   std::uint64_t iterations);
+
+/** Parameters for makeChase. */
+struct ChaseParams
+{
+    /** Number of independent chains walked in parallel (<= 4). */
+    unsigned chains = 4;
+    /** Nodes per chain; nodes are 64 B (one per cache line). */
+    std::uint64_t nodesPerChain = 1 << 16;
+    /** Integer filler ops per hop. */
+    unsigned hopOps = 6;
+    std::uint64_t seed = 2;
+};
+
+Program makeChase(const std::string &name, const ChaseParams &p,
+                  std::uint64_t iterations);
+
+/** Parameters for makeStream. */
+struct StreamParams
+{
+    /** Number of concurrent streams (<= 4). */
+    unsigned streams = 3;
+    /** Words per stream (power of two). */
+    std::uint64_t wordsPerStream = 1 << 21;
+    /** Stride between consecutive accesses, in words. */
+    unsigned strideWords = 8;
+    /** FP ops per element (0 selects integer combining). */
+    unsigned fpOps = 4;
+    /** Emit a store per iteration to the first stream. */
+    bool withStore = true;
+    std::uint64_t seed = 3;
+};
+
+Program makeStream(const std::string &name, const StreamParams &p,
+                   std::uint64_t iterations);
+
+/** Parameters for makeSpmv. */
+struct SpmvParams
+{
+    /** Dense vector words (power of two); gathered irregularly. */
+    std::uint64_t xWords = 1 << 22; // 32 MiB.
+    /** Nonzeros per row (unrolled inner loop). */
+    unsigned nnzPerRow = 8;
+    /** Column-index array words (power of two). */
+    std::uint64_t colWords = 1 << 18;
+    /** One data-dependent branch per row (see GatherParams). */
+    bool hardBranch = false;
+    std::uint64_t seed = 4;
+};
+
+Program makeSpmv(const std::string &name, const SpmvParams &p,
+                 std::uint64_t iterations);
+
+/** Parameters for makePhaseMix. */
+struct PhaseMixParams
+{
+    GatherParams gather;
+    /** Gather elements per memory phase. */
+    unsigned gathersPerPhase = 48;
+    /** Dependent integer ops per compute phase. */
+    unsigned computeOpsPerPhase = 2400;
+    /** Integer ops between compute-phase branches. */
+    unsigned computeOpsPerBranch = 24;
+};
+
+Program makePhaseMix(const std::string &name, const PhaseMixParams &p,
+                     std::uint64_t iterations);
+
+/** Parameters for makeIntMix. */
+struct IntMixParams
+{
+    /** Independent integer dependence chains (ILP), <= 4. */
+    unsigned ilpChains = 3;
+    /** Ops per chain per iteration. */
+    unsigned opsPerChain = 6;
+    /**
+     * Data-dependent branch from a PRNG bit: probability the branch
+     * is taken is hardTakenNum / hardTakenDen; 50/50 is maximally
+     * hard for gshare. Set hardTakenDen = 0 to omit the hard branch.
+     */
+    unsigned hardTakenNum = 1;
+    unsigned hardTakenDen = 2;
+    /** Optional small table gathered per iteration (KiB, pow2; 0=off). */
+    std::uint64_t tableKiB = 0;
+    std::uint64_t seed = 5;
+};
+
+Program makeIntMix(const std::string &name, const IntMixParams &p,
+                   std::uint64_t iterations);
+
+/** Parameters for makeFpMix. */
+struct FpMixParams
+{
+    /** Independent FP dependence chains (ILP), <= 6. */
+    unsigned ilpChains = 4;
+    /** fadd/fmul ops per chain per iteration. */
+    unsigned opsPerChain = 4;
+    /** Emit one fdiv per iteration. */
+    bool withDiv = false;
+    /** Emit one fsqrt per iteration. */
+    bool withSqrt = false;
+    /** Optional cache-resident stream (KiB, power of two; 0 = off). */
+    std::uint64_t streamKiB = 0;
+    std::uint64_t seed = 6;
+};
+
+Program makeFpMix(const std::string &name, const FpMixParams &p,
+                  std::uint64_t iterations);
+
+/** Parameters for makeMatmul. */
+struct MatmulParams
+{
+    /** Matrix dimension; 3 n^2 doubles must fit in the L1/L2. */
+    unsigned n = 24;
+    std::uint64_t seed = 7;
+};
+
+Program makeMatmul(const std::string &name, const MatmulParams &p,
+                   std::uint64_t iterations);
+
+/** Parameters for makeTreeSearch. */
+struct TreeSearchParams
+{
+    /** Sorted-array words (power of two; the implicit tree). */
+    std::uint64_t arrayWords = 1 << 20; // 8 MiB.
+    /** Independent searches advanced in lock-step (<= 4). */
+    unsigned parallelSearches = 4;
+    /** Integer filler ops per comparison step. */
+    unsigned stepOps = 2;
+    std::uint64_t seed = 9;
+};
+
+/**
+ * Binary searches over a large sorted array: log-depth *dependent*
+ * load chains (each probe's address depends on the previous
+ * comparison), with MLP bounded by parallelSearches — a structure
+ * between makeGather (fully independent) and makeChase (fully
+ * serial).
+ */
+Program makeTreeSearch(const std::string &name,
+                       const TreeSearchParams &p,
+                       std::uint64_t iterations);
+
+/** Parameters for makeButterfly. */
+struct ButterflyParams
+{
+    /** Data words (power of two). */
+    std::uint64_t words = 1 << 19; // 4 MiB.
+    /** log2(words) butterfly stages are swept per outer iteration. */
+    unsigned fpOpsPerPair = 4;
+    std::uint64_t seed = 10;
+};
+
+/**
+ * FFT-style butterfly sweeps: pairs at power-of-two distances are
+ * loaded, combined, and stored back. Power-of-two strides antagonize
+ * set-indexed caches and the stride prefetcher's spacing.
+ */
+Program makeButterfly(const std::string &name, const ButterflyParams &p,
+                      std::uint64_t iterations);
+
+/** Parameters for makeDispatch. */
+struct DispatchParams
+{
+    /** Number of distinct handlers in the jump table (power of 2). */
+    unsigned handlers = 8;
+    /** Integer ops per handler body. */
+    unsigned handlerOps = 12;
+    /** Opcode-stream words (power of two). */
+    std::uint64_t opstreamWords = 1 << 14;
+    std::uint64_t seed = 8;
+};
+
+Program makeDispatch(const std::string &name, const DispatchParams &p,
+                     std::uint64_t iterations);
+
+} // namespace mlpwin
+
+#endif // MLPWIN_WORKLOADS_KERNELS_HH

@@ -1,0 +1,367 @@
+#include "suite.hh"
+
+#include "common/logging.hh"
+#include "workloads/kernels.hh"
+
+namespace mlpwin
+{
+
+namespace
+{
+
+std::vector<WorkloadSpec>
+buildSuite()
+{
+    std::vector<WorkloadSpec> suite;
+
+    auto add = [&suite](std::string name, bool mem, bool is_int,
+                        std::function<Program(std::uint64_t)> make) {
+        suite.push_back(
+            WorkloadSpec{std::move(name), mem, is_int, std::move(make)});
+    };
+
+    // ---- memory-intensive (paper Table 3, load latency >= 10) ------
+
+    // hmmer: DP over L2-resident profile tables (L1-missing gather).
+    add("hmmer", true, true, [](std::uint64_t it) {
+        GatherParams p;
+        p.tableWords = 1ULL << 17; // 1 MiB: L2-resident, misses L1.
+        p.idxWords = 1 << 14;
+        p.intOps = 8;
+        p.seed = 11;
+        return makeGather("hmmer", p, it);
+    });
+
+    // libquantum: state-vector sweeps; huge footprint, abundant MLP.
+    add("libquantum", true, true, [](std::uint64_t it) {
+        GatherParams p;
+        p.tableWords = 1ULL << 23; // 64 MiB.
+        p.idxWords = 1 << 16;
+        p.intOps = 12;
+        p.seed = 12;
+        return makeGather("libquantum", p, it);
+    });
+
+    // mcf: network-simplex pointer chasing; serial misses.
+    add("mcf", true, true, [](std::uint64_t it) {
+        ChaseParams p;
+        p.chains = 4;
+        p.nodesPerChain = 1 << 16; // 4 MiB per chain.
+        p.hopOps = 6;
+        p.seed = 13;
+        return makeChase("mcf", p, it);
+    });
+
+    // omnetpp: event simulation; mixed memory and compute phases.
+    add("omnetpp", true, true, [](std::uint64_t it) {
+        PhaseMixParams p;
+        p.gather.tableWords = 1ULL << 21; // 16 MiB.
+        p.gather.idxWords = 1 << 14;
+        p.gather.intOps = 10;
+        p.gather.hardBranch = true; // Paper Table 5: 1/178 insts.
+        p.gather.seed = 14;
+        p.gathersPerPhase = 48;
+        p.computeOpsPerPhase = 2400;
+        p.computeOpsPerBranch = 24;
+        return makePhaseMix("omnetpp", p, it);
+    });
+
+    // xalancbmk: DOM/hash probing; two dependent irregular loads.
+    add("xalancbmk", true, true, [](std::uint64_t it) {
+        GatherParams p;
+        p.tableWords = 1ULL << 20;  // 8 MiB bucket array.
+        p.table2Words = 1ULL << 21; // 16 MiB node pool.
+        p.idxWords = 1 << 14;
+        p.intOps = 6;
+        p.seed = 15;
+        return makeGather("xalancbmk", p, it);
+    });
+
+    // GemsFDTD: 3D stencil sweeps over large grids. Dense-ish walk:
+    // several accesses per line, so the line demand stays within the
+    // memory bandwidth and the latency is set by miss overlap.
+    add("GemsFDTD", true, false, [](std::uint64_t it) {
+        StreamParams p;
+        p.streams = 3;
+        p.wordsPerStream = 1ULL << 21; // 16 MiB each.
+        p.strideWords = 2;
+        p.fpOps = 6;
+        p.withStore = true;
+        return makeStream("GemsFDTD", p, it);
+    });
+
+    // lbm: lattice-Boltzmann streaming with stores; densest walk of
+    // the three stream programs (lowest per-load latency).
+    add("lbm", true, false, [](std::uint64_t it) {
+        StreamParams p;
+        p.streams = 3;
+        p.wordsPerStream = 1ULL << 21;
+        p.strideWords = 1;
+        p.fpOps = 4;
+        p.withStore = true;
+        return makeStream("lbm", p, it);
+    });
+
+    // leslie3d: multi-array stencil; sparser walk than GemsFDTD, so a
+    // larger share of its loads open a fresh line (highest latency).
+    add("leslie3d", true, false, [](std::uint64_t it) {
+        StreamParams p;
+        p.streams = 3;
+        p.wordsPerStream = 1ULL << 20; // 8 MiB each.
+        p.strideWords = 4;
+        p.fpOps = 8;
+        p.withStore = false;
+        return makeStream("leslie3d", p, it);
+    });
+
+    // milc: SU(3) lattice QCD; indexed sites, heavy FP per site.
+    add("milc", true, false, [](std::uint64_t it) {
+        GatherParams p;
+        p.tableWords = 1ULL << 21; // 16 MiB.
+        p.idxWords = 1 << 14;
+        p.intOps = 2;
+        p.fpOps = 10;
+        p.seed = 16;
+        return makeGather("milc", p, it);
+    });
+
+    // soplex: simplex LP; sparse matrix-vector products.
+    add("soplex", true, false, [](std::uint64_t it) {
+        SpmvParams p;
+        p.xWords = 1ULL << 22; // 32 MiB dense vector.
+        p.nnzPerRow = 8;
+        p.colWords = 1 << 18;
+        p.hardBranch = true; // Paper Table 5: 1 mispredict/154 insts.
+        p.seed = 17;
+        return makeSpmv("soplex", p, it);
+    });
+
+    // sphinx3: acoustic scoring; medium tables, partial L2 residency.
+    add("sphinx3", true, false, [](std::uint64_t it) {
+        GatherParams p;
+        p.tableWords = 1ULL << 19; // 4 MiB.
+        p.idxWords = 1 << 14;
+        p.intOps = 2;
+        p.fpOps = 6;
+        p.hardBranch = true; // Paper Table 5: 1 mispredict/327 insts.
+        p.seed = 18;
+        return makeGather("sphinx3", p, it);
+    });
+
+    // ---- compute-intensive ------------------------------------------
+
+    // astar: path search; cached grid, data-dependent branches.
+    add("astar", false, true, [](std::uint64_t it) {
+        IntMixParams p;
+        p.ilpChains = 2;
+        p.opsPerChain = 6;
+        p.hardTakenNum = 1;
+        p.hardTakenDen = 4;
+        p.tableKiB = 64;
+        p.seed = 21;
+        return makeIntMix("astar", p, it);
+    });
+
+    // bzip2: byte-stream transforms over cached buffers.
+    add("bzip2", false, true, [](std::uint64_t it) {
+        StreamParams p;
+        p.streams = 1;
+        p.wordsPerStream = 1 << 15; // 256 KiB.
+        p.strideWords = 1;
+        p.fpOps = 0;
+        p.withStore = true;
+        return makeStream("bzip2", p, it);
+    });
+
+    // gcc: integer work, mostly predictable branches, small tables.
+    add("gcc", false, true, [](std::uint64_t it) {
+        IntMixParams p;
+        p.ilpChains = 3;
+        p.opsPerChain = 8;
+        p.hardTakenNum = 1;
+        p.hardTakenDen = 16;
+        p.tableKiB = 32;
+        p.seed = 22;
+        return makeIntMix("gcc", p, it);
+    });
+
+    // gobmk: Go engine; notoriously hard branches.
+    add("gobmk", false, true, [](std::uint64_t it) {
+        IntMixParams p;
+        p.ilpChains = 2;
+        p.opsPerChain = 5;
+        p.hardTakenNum = 1;
+        p.hardTakenDen = 2; // 50/50: unlearnable.
+        p.tableKiB = 16;
+        p.seed = 23;
+        return makeIntMix("gobmk", p, it);
+    });
+
+    // h264ref: SAD-style integer streaming over cached frames.
+    add("h264ref", false, true, [](std::uint64_t it) {
+        StreamParams p;
+        p.streams = 2;
+        p.wordsPerStream = 1 << 15;
+        p.strideWords = 1;
+        p.fpOps = 0;
+        p.withStore = true;
+        return makeStream("h264ref", p, it);
+    });
+
+    // perlbench: interpreter dispatch through indirect calls.
+    add("perlbench", false, true, [](std::uint64_t it) {
+        DispatchParams p;
+        p.handlers = 8;
+        p.handlerOps = 12;
+        p.opstreamWords = 1 << 14;
+        p.seed = 24;
+        return makeDispatch("perlbench", p, it);
+    });
+
+    // sjeng: chess search; medium-hard branches, bit fiddling.
+    add("sjeng", false, true, [](std::uint64_t it) {
+        IntMixParams p;
+        p.ilpChains = 2;
+        p.opsPerChain = 6;
+        p.hardTakenNum = 1;
+        p.hardTakenDen = 4;
+        p.tableKiB = 16;
+        p.seed = 25;
+        return makeIntMix("sjeng", p, it);
+    });
+
+    // bwaves: blocked FP solver over cache-resident panels.
+    add("bwaves", false, false, [](std::uint64_t it) {
+        FpMixParams p;
+        p.ilpChains = 4;
+        p.opsPerChain = 6;
+        p.streamKiB = 1024;
+        p.seed = 26;
+        return makeFpMix("bwaves", p, it);
+    });
+
+    // cactusADM: relativity kernels; FP with modest reuse.
+    add("cactusADM", false, false, [](std::uint64_t it) {
+        FpMixParams p;
+        p.ilpChains = 3;
+        p.opsPerChain = 8;
+        p.streamKiB = 1024;
+        p.seed = 27;
+        return makeFpMix("cactusADM", p, it);
+    });
+
+    // calculix: FE kernels; small dense matrix multiplies.
+    add("calculix", false, false, [](std::uint64_t it) {
+        MatmulParams p;
+        p.n = 20;
+        return makeMatmul("calculix", p, it);
+    });
+
+    // dealII: FE library; small dense linear algebra.
+    add("dealII", false, false, [](std::uint64_t it) {
+        MatmulParams p;
+        p.n = 16;
+        return makeMatmul("dealII", p, it);
+    });
+
+    // gamess: quantum chemistry; pure FP compute, high ILP.
+    add("gamess", false, false, [](std::uint64_t it) {
+        FpMixParams p;
+        p.ilpChains = 4;
+        p.opsPerChain = 8;
+        p.streamKiB = 0;
+        p.seed = 28;
+        return makeFpMix("gamess", p, it);
+    });
+
+    // gromacs: MD; FP with reciprocal square roots.
+    add("gromacs", false, false, [](std::uint64_t it) {
+        FpMixParams p;
+        p.ilpChains = 3;
+        p.opsPerChain = 6;
+        p.withSqrt = true;
+        p.streamKiB = 64;
+        p.seed = 29;
+        return makeFpMix("gromacs", p, it);
+    });
+
+    // namd: MD; wide independent FP chains.
+    add("namd", false, false, [](std::uint64_t it) {
+        FpMixParams p;
+        p.ilpChains = 5;
+        p.opsPerChain = 6;
+        p.streamKiB = 256;
+        p.seed = 30;
+        return makeFpMix("namd", p, it);
+    });
+
+    // povray: ray tracing; long-latency divide/sqrt chains.
+    add("povray", false, false, [](std::uint64_t it) {
+        FpMixParams p;
+        p.ilpChains = 2;
+        p.opsPerChain = 4;
+        p.withDiv = true;
+        p.withSqrt = true;
+        p.streamKiB = 0;
+        p.seed = 31;
+        return makeFpMix("povray", p, it);
+    });
+
+    // tonto: quantum crystallography; serial-ish FP chains.
+    add("tonto", false, false, [](std::uint64_t it) {
+        FpMixParams p;
+        p.ilpChains = 2;
+        p.opsPerChain = 8;
+        p.streamKiB = 128;
+        p.seed = 32;
+        return makeFpMix("tonto", p, it);
+    });
+
+    // zeusmp: astrophysics CFD; dense L2-resident sweeps (most
+    // accesses hit the L1 line brought by their predecessor).
+    add("zeusmp", false, false, [](std::uint64_t it) {
+        StreamParams p;
+        p.streams = 2;
+        p.wordsPerStream = 1 << 17; // 1 MiB each: L2-resident.
+        p.strideWords = 1;
+        p.fpOps = 6;
+        p.withStore = true;
+        return makeStream("zeusmp", p, it);
+    });
+
+    return suite;
+}
+
+} // namespace
+
+const std::vector<WorkloadSpec> &
+spec2006Suite()
+{
+    static const std::vector<WorkloadSpec> suite = buildSuite();
+    return suite;
+}
+
+const WorkloadSpec &
+findWorkload(const std::string &name)
+{
+    for (const WorkloadSpec &w : spec2006Suite()) {
+        if (w.name == name)
+            return w;
+    }
+    mlpwin_fatal("unknown workload: %s", name.c_str());
+}
+
+std::vector<std::string>
+selectedMemPrograms()
+{
+    return {"libquantum", "omnetpp", "GemsFDTD", "lbm",
+            "leslie3d", "milc", "soplex", "sphinx3"};
+}
+
+std::vector<std::string>
+selectedCompPrograms()
+{
+    return {"bwaves", "gcc", "gobmk", "sjeng", "dealII", "tonto"};
+}
+
+} // namespace mlpwin

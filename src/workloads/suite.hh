@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The SPEC CPU2006-like workload suite: 28 named programs (12 int +
+ * 16 fp, wrf excluded, matching the paper's Table 3 list), each built
+ * from a kernel generator parameterized to imitate the corresponding
+ * program's memory/branch behaviour. See DESIGN.md for the mapping
+ * rationale.
+ */
+
+#ifndef MLPWIN_WORKLOADS_SUITE_HH
+#define MLPWIN_WORKLOADS_SUITE_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace mlpwin
+{
+
+/** One suite entry. */
+struct WorkloadSpec
+{
+    std::string name;
+    /** Expected category per the paper's Table 3 (load lat >= 10). */
+    bool memIntensive = false;
+    /** Integer (true) vs floating-point (false) suite half. */
+    bool isInt = false;
+    /**
+     * Build the program with a given outer-iteration budget. Bench
+     * runs pass a huge count and stop on an instruction budget;
+     * tests pass small counts and run to Halt.
+     */
+    std::function<Program(std::uint64_t iterations)> make;
+};
+
+/** All 28 programs. Order matches the paper's Table 3. */
+const std::vector<WorkloadSpec> &spec2006Suite();
+
+/** Find a suite entry by name (fatal if absent). */
+const WorkloadSpec &findWorkload(const std::string &name);
+
+/** The 8 memory-intensive programs shown in the paper's Fig. 7. */
+std::vector<std::string> selectedMemPrograms();
+
+/** The 6 compute-intensive programs shown in the paper's Fig. 7. */
+std::vector<std::string> selectedCompPrograms();
+
+} // namespace mlpwin
+
+#endif // MLPWIN_WORKLOADS_SUITE_HH

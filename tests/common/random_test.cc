@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for the deterministic PRNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace mlpwin
+{
+namespace
+{
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(RngTest, BetweenIsInclusive)
+{
+    Rng r(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 10000; ++i) {
+        std::uint64_t v = r.between(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u); // All four values appear.
+}
+
+TEST(RngTest, RealInUnitInterval)
+{
+    Rng r(11);
+    for (int i = 0; i < 10000; ++i) {
+        double v = r.real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(RngTest, ChanceRoughlyCalibrated)
+{
+    Rng r(13);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        if (r.chance(0.25))
+            ++hits;
+    }
+    EXPECT_NEAR(hits / static_cast<double>(n), 0.25, 0.01);
+}
+
+// Parameterized sweep: rough uniformity of below() across bounds.
+class RngBoundTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RngBoundTest, RoughUniformity)
+{
+    const std::uint64_t bound = GetParam();
+    Rng r(bound * 31 + 1);
+    std::vector<unsigned> counts(bound, 0);
+    const unsigned per = 2000;
+    for (std::uint64_t i = 0; i < bound * per; ++i)
+        ++counts[r.below(bound)];
+    for (std::uint64_t b = 0; b < bound; ++b) {
+        EXPECT_GT(counts[b], per / 2) << "bucket " << b;
+        EXPECT_LT(counts[b], per * 2) << "bucket " << b;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundTest,
+                         ::testing::Values(2, 3, 8, 13, 64));
+
+} // namespace
+} // namespace mlpwin

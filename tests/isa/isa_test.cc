@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit and property tests for ISA definitions, encoding, and
+ * disassembly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "isa/isa.hh"
+
+namespace mlpwin
+{
+namespace
+{
+
+TEST(RegIdTest, FlatMapping)
+{
+    EXPECT_EQ(intReg(0), 0);
+    EXPECT_EQ(intReg(31), 31);
+    EXPECT_EQ(fpReg(0), 32);
+    EXPECT_EQ(fpReg(31), 63);
+    EXPECT_FALSE(isFpRegId(intReg(5)));
+    EXPECT_TRUE(isFpRegId(fpReg(5)));
+    EXPECT_FALSE(isFpRegId(kNoReg));
+}
+
+TEST(StaticInstTest, Classification)
+{
+    StaticInst ld{Opcode::Ld, intReg(3), intReg(4), kNoReg, 8};
+    EXPECT_TRUE(ld.isLoad());
+    EXPECT_TRUE(ld.isMem());
+    EXPECT_FALSE(ld.isStore());
+    EXPECT_FALSE(ld.isControl());
+
+    StaticInst st{Opcode::St, kNoReg, intReg(4), intReg(5), 8};
+    EXPECT_TRUE(st.isStore());
+    EXPECT_TRUE(st.isMem());
+
+    StaticInst beq{Opcode::Beq, kNoReg, intReg(1), intReg(2), -16};
+    EXPECT_TRUE(beq.isCondBranch());
+    EXPECT_TRUE(beq.isControl());
+    EXPECT_FALSE(beq.isMem());
+
+    StaticInst jal{Opcode::Jal, intReg(1), kNoReg, kNoReg, 64};
+    EXPECT_TRUE(jal.isJal());
+    EXPECT_TRUE(jal.isCall());
+
+    StaticInst ret{Opcode::Jalr, intReg(0), intReg(1), kNoReg, 0};
+    EXPECT_TRUE(ret.isReturn());
+    EXPECT_FALSE(ret.isCall());
+}
+
+TEST(StaticInstTest, DestRegDiscardsX0)
+{
+    StaticInst add{Opcode::Add, intReg(0), intReg(1), intReg(2), 0};
+    EXPECT_EQ(add.destReg(), kNoReg);
+    add.rd = intReg(7);
+    EXPECT_EQ(add.destReg(), intReg(7));
+}
+
+TEST(StaticInstTest, FuClasses)
+{
+    EXPECT_EQ((StaticInst{Opcode::Add}).fuClass(), FuClass::IntAlu);
+    EXPECT_EQ((StaticInst{Opcode::Mul}).fuClass(), FuClass::IntMul);
+    EXPECT_EQ((StaticInst{Opcode::Div}).fuClass(), FuClass::IntDiv);
+    EXPECT_EQ((StaticInst{Opcode::Ld}).fuClass(), FuClass::MemPort);
+    EXPECT_EQ((StaticInst{Opcode::Fst}).fuClass(), FuClass::MemPort);
+    EXPECT_EQ((StaticInst{Opcode::Fadd}).fuClass(), FuClass::FpAlu);
+    EXPECT_EQ((StaticInst{Opcode::Fmul}).fuClass(), FuClass::FpMul);
+    EXPECT_EQ((StaticInst{Opcode::Fsqrt}).fuClass(), FuClass::FpSqrt);
+    EXPECT_EQ((StaticInst{Opcode::Beq}).fuClass(), FuClass::IntAlu);
+    EXPECT_EQ((StaticInst{Opcode::Nop}).fuClass(), FuClass::None);
+}
+
+TEST(StaticInstTest, LatenciesArePositiveAndOrdered)
+{
+    EXPECT_EQ((StaticInst{Opcode::Add}).execLatency(), 1u);
+    EXPECT_GT((StaticInst{Opcode::Div}).execLatency(),
+              (StaticInst{Opcode::Mul}).execLatency());
+    EXPECT_GT((StaticInst{Opcode::Fsqrt}).execLatency(),
+              (StaticInst{Opcode::Fadd}).execLatency());
+}
+
+TEST(StaticInstTest, UnpipelinedUnits)
+{
+    EXPECT_FALSE((StaticInst{Opcode::Div}).fuPipelined());
+    EXPECT_FALSE((StaticInst{Opcode::Fdiv}).fuPipelined());
+    EXPECT_FALSE((StaticInst{Opcode::Fsqrt}).fuPipelined());
+    EXPECT_TRUE((StaticInst{Opcode::Mul}).fuPipelined());
+    EXPECT_TRUE((StaticInst{Opcode::Add}).fuPipelined());
+}
+
+TEST(EncodingTest, RoundTripSimple)
+{
+    StaticInst inst{Opcode::Addi, intReg(5), intReg(6), kNoReg, -42};
+    StaticInst back = decodeInst(encodeInst(inst));
+    EXPECT_EQ(inst, back);
+}
+
+TEST(EncodingTest, RoundTripNegativeImmediates)
+{
+    StaticInst inst{Opcode::Beq, kNoReg, intReg(1), intReg(2),
+                    -2147483647};
+    EXPECT_EQ(decodeInst(encodeInst(inst)), inst);
+}
+
+TEST(EncodingTest, UnknownOpcodeDecodesAsNop)
+{
+    EXPECT_TRUE(decodeInst(0xffffffffffffffffULL).isNop());
+    EXPECT_TRUE(decodeInst(200).isNop()); // opcode 200 out of range.
+}
+
+// Property: encode/decode round-trips for every opcode with random
+// fields.
+class EncodingRoundTrip : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(EncodingRoundTrip, AllFieldsPreserved)
+{
+    Rng rng(GetParam() * 7919 + 3);
+    auto op = static_cast<Opcode>(GetParam());
+    for (int i = 0; i < 200; ++i) {
+        StaticInst inst;
+        inst.op = op;
+        inst.rd = static_cast<RegId>(rng.below(64));
+        inst.rs1 = static_cast<RegId>(rng.below(64));
+        inst.rs2 = static_cast<RegId>(rng.below(64));
+        inst.imm = static_cast<std::int32_t>(rng.next());
+        EXPECT_EQ(decodeInst(encodeInst(inst)), inst);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, EncodingRoundTrip,
+    ::testing::Range(0u,
+                     static_cast<unsigned>(Opcode::NumOpcodes)));
+
+TEST(DisasmTest, FormatsCommonForms)
+{
+    EXPECT_EQ(disassemble(StaticInst{Opcode::Add, intReg(3), intReg(4),
+                                     intReg(5), 0}),
+              "add x3, x4, x5");
+    EXPECT_EQ(disassemble(StaticInst{Opcode::Ld, intReg(3), intReg(4),
+                                     kNoReg, 16}),
+              "ld x3, 16(x4)");
+    EXPECT_EQ(disassemble(StaticInst{Opcode::St, kNoReg, intReg(4),
+                                     intReg(5), -8}),
+              "st x5, -8(x4)");
+    EXPECT_EQ(disassemble(StaticInst{Opcode::Fadd, fpReg(1), fpReg(2),
+                                     fpReg(3), 0}),
+              "fadd f1, f2, f3");
+    EXPECT_EQ(disassemble(StaticInst{}), "nop");
+    EXPECT_EQ(disassemble(StaticInst{Opcode::Halt}), "halt");
+}
+
+TEST(DisasmTest, EveryOpcodeHasAName)
+{
+    for (unsigned o = 0;
+         o < static_cast<unsigned>(Opcode::NumOpcodes); ++o) {
+        const char *name = opcodeName(static_cast<Opcode>(o));
+        ASSERT_NE(name, nullptr);
+        EXPECT_GT(std::string(name).size(), 0u);
+    }
+}
+
+} // namespace
+} // namespace mlpwin

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Unit tests for the DRAM channel timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+
+namespace mlpwin
+{
+namespace
+{
+
+TEST(DramTest, MinimumLatency)
+{
+    DramChannel d(DramConfig{300, 8}, 64, nullptr);
+    EXPECT_EQ(d.request(100), 400u);
+}
+
+TEST(DramTest, BandwidthSerializesBackToBack)
+{
+    // 64B line at 8 B/cycle = 8 bus cycles per transfer.
+    DramChannel d(DramConfig{300, 8}, 64, nullptr);
+    EXPECT_EQ(d.request(0), 300u);
+    EXPECT_EQ(d.request(0), 308u); // Queued behind the first.
+    EXPECT_EQ(d.request(0), 316u);
+    EXPECT_EQ(d.request(0), 324u);
+}
+
+TEST(DramTest, IdleChannelDoesNotQueue)
+{
+    DramChannel d(DramConfig{300, 8}, 64, nullptr);
+    EXPECT_EQ(d.request(0), 300u);
+    // Request arriving after the bus is free sees no queueing.
+    EXPECT_EQ(d.request(50), 350u);
+}
+
+TEST(DramTest, WritebacksConsumeBandwidth)
+{
+    DramChannel d(DramConfig{300, 8}, 64, nullptr);
+    d.writeback(0);
+    EXPECT_EQ(d.request(0), 308u); // Read waits for the writeback.
+    EXPECT_EQ(d.numWritebacks(), 1u);
+    EXPECT_EQ(d.numReads(), 1u);
+}
+
+TEST(DramTest, HigherBandwidthShortensTransfers)
+{
+    DramChannel d(DramConfig{300, 16}, 64, nullptr); // 4-cycle lines.
+    EXPECT_EQ(d.request(0), 300u);
+    EXPECT_EQ(d.request(0), 304u);
+}
+
+TEST(DramTest, SustainedBandwidthBound)
+{
+    // Issue 100 simultaneous requests; the last completes at
+    // 300 + 99*8 cycles: exactly the bus serialization bound.
+    DramChannel d(DramConfig{300, 8}, 64, nullptr);
+    Cycle last = 0;
+    for (int i = 0; i < 100; ++i)
+        last = d.request(0);
+    EXPECT_EQ(last, 300u + 99u * 8u);
+    EXPECT_EQ(d.numReads(), 100u);
+}
+
+} // namespace
+} // namespace mlpwin

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Integration tests for the composed memory hierarchy: latencies,
+ * miss propagation, MSHR merging, the demand-miss listener, and
+ * prefetch issue.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/hierarchy.hh"
+
+namespace mlpwin
+{
+namespace
+{
+
+MemSystemConfig
+paperCfg()
+{
+    return MemSystemConfig{}; // Defaults are the paper's Table 1.
+}
+
+TEST(HierarchyTest, ColdLoadGoesToDram)
+{
+    CacheHierarchy h(paperCfg(), nullptr);
+    MemAccessResult r = h.load(0x100000, 0x1000, 0,
+                               Provenance::CorrPath);
+    ASSERT_TRUE(r.accepted);
+    EXPECT_FALSE(r.l1Hit);
+    EXPECT_TRUE(r.l2DemandMiss);
+    // L1 lat (2) + L2 lat (12) + DRAM (300).
+    EXPECT_EQ(r.doneAt, 2u + 12u + 300u);
+}
+
+TEST(HierarchyTest, L1HitAfterFill)
+{
+    CacheHierarchy h(paperCfg(), nullptr);
+    MemAccessResult r1 = h.load(0x100000, 0x1000, 0,
+                                Provenance::CorrPath);
+    Cycle later = r1.doneAt + 10;
+    MemAccessResult r2 = h.load(0x100000, 0x1000, later,
+                                Provenance::CorrPath);
+    EXPECT_TRUE(r2.l1Hit);
+    EXPECT_FALSE(r2.l2DemandMiss);
+    EXPECT_EQ(r2.doneAt, later + 2);
+}
+
+TEST(HierarchyTest, L2HitLatency)
+{
+    MemSystemConfig cfg = paperCfg();
+    cfg.prefetcher.enabled = false;
+    CacheHierarchy h(cfg, nullptr);
+    MemAccessResult r1 = h.load(0x100000, 0x1000, 0,
+                                Provenance::CorrPath);
+    // A different L1 line, same L2 line (L1 32B, L2 64B lines).
+    MemAccessResult r2 = h.load(0x100020, 0x1000, r1.doneAt + 10,
+                                Provenance::CorrPath);
+    EXPECT_FALSE(r2.l1Hit);
+    EXPECT_FALSE(r2.l2DemandMiss);
+    EXPECT_EQ(r2.doneAt, r1.doneAt + 10 + 2 + 12);
+}
+
+TEST(HierarchyTest, SameLineMissesMerge)
+{
+    CacheHierarchy h(paperCfg(), nullptr);
+    MemAccessResult r1 = h.load(0x200000, 0x1000, 0,
+                                Provenance::CorrPath);
+    MemAccessResult r2 = h.load(0x200008, 0x1000, 5,
+                                Provenance::CorrPath);
+    ASSERT_TRUE(r2.accepted);
+    EXPECT_FALSE(r2.l2DemandMiss); // Merged, not a new miss.
+    EXPECT_EQ(r2.doneAt, r1.doneAt); // Completes with the fill.
+    EXPECT_EQ(h.l2DemandMisses(), 1u);
+}
+
+TEST(HierarchyTest, ListenerFiresOnDemandMissOnly)
+{
+    MemSystemConfig cfg = paperCfg();
+    cfg.prefetcher.enabled = false;
+    CacheHierarchy h(cfg, nullptr);
+    std::vector<Cycle> misses;
+    h.setL2MissListener([&](Cycle c) { misses.push_back(c); });
+
+    h.load(0x300000, 0x1000, 0, Provenance::CorrPath);
+    h.load(0x300000, 0x1000, 500, Provenance::CorrPath); // Hit.
+    h.load(0x310000, 0x1000, 600, Provenance::CorrPath); // Miss.
+    ASSERT_EQ(misses.size(), 2u);
+    EXPECT_EQ(misses[0], 2u);   // After L1 lookup.
+    EXPECT_EQ(misses[1], 602u);
+}
+
+TEST(HierarchyTest, MshrExhaustionRejects)
+{
+    MemSystemConfig cfg = paperCfg();
+    cfg.l1d.mshrs = 2;
+    CacheHierarchy h(cfg, nullptr);
+    EXPECT_TRUE(h.load(0x000000, 1, 0, Provenance::CorrPath).accepted);
+    EXPECT_TRUE(h.load(0x010000, 1, 0, Provenance::CorrPath).accepted);
+    MemAccessResult r = h.load(0x020000, 1, 0, Provenance::CorrPath);
+    EXPECT_FALSE(r.accepted);
+    // After fills complete, accepts again.
+    EXPECT_TRUE(
+        h.load(0x020000, 1, 1000, Provenance::CorrPath).accepted);
+}
+
+TEST(HierarchyTest, StridePrefetchFillsAhead)
+{
+    CacheHierarchy h(paperCfg(), nullptr);
+    Addr pc = 0x1000;
+    Addr base = 0x4000000;
+    Cycle t = 0;
+    // Train the stride table with 64B-strided misses.
+    for (int i = 0; i < 6; ++i) {
+        h.load(base + 64 * i, pc, t, Provenance::CorrPath);
+        t += 400;
+    }
+    std::uint64_t issued = h.prefetcher().issued();
+    EXPECT_GT(issued, 0u);
+    // Lines ahead of the last demand access should now be in the L2.
+    EXPECT_TRUE(h.l2().contains(base + 64 * 8));
+}
+
+TEST(HierarchyTest, PrefetchDoesNotFireListener)
+{
+    CacheHierarchy h(paperCfg(), nullptr);
+    unsigned count = 0;
+    h.setL2MissListener([&](Cycle) { ++count; });
+    Addr pc = 0x1000;
+    Cycle t = 0;
+    for (int i = 0; i < 8; ++i) {
+        h.load(0x5000000 + 64 * i, pc, t, Provenance::CorrPath);
+        t += 400;
+    }
+    // Prefetches were issued but only *demand* misses were reported.
+    EXPECT_GT(h.prefetcher().issued(), 0u);
+    EXPECT_EQ(count, h.l2DemandMisses());
+}
+
+TEST(HierarchyTest, StoreAllocatesAndDirties)
+{
+    CacheHierarchy h(paperCfg(), nullptr);
+    MemAccessResult r = h.store(0x600000, 0, Provenance::CorrPath);
+    ASSERT_TRUE(r.accepted);
+    EXPECT_TRUE(r.l2DemandMiss);
+    // Subsequent store hits in the L1.
+    MemAccessResult r2 = h.store(0x600000, r.doneAt + 1,
+                                 Provenance::CorrPath);
+    EXPECT_TRUE(r2.l1Hit);
+}
+
+TEST(HierarchyTest, IfetchPathWorks)
+{
+    CacheHierarchy h(paperCfg(), nullptr);
+    MemAccessResult r = h.ifetch(0x10000, 0, Provenance::CorrPath);
+    ASSERT_TRUE(r.accepted);
+    EXPECT_FALSE(r.l1Hit);
+    MemAccessResult r2 = h.ifetch(0x10008, r.doneAt + 1,
+                                  Provenance::CorrPath);
+    EXPECT_TRUE(r2.l1Hit); // Same 32B line.
+    EXPECT_EQ(r2.doneAt, r.doneAt + 1 + 1); // 1-cycle L1I.
+}
+
+TEST(HierarchyTest, MissIntervalHistogramRecordsGaps)
+{
+    MemSystemConfig cfg = paperCfg();
+    cfg.prefetcher.enabled = false;
+    CacheHierarchy h(cfg, nullptr);
+    h.load(0x700000, 1, 0, Provenance::CorrPath);
+    h.load(0x710000, 1, 10, Provenance::CorrPath);
+    h.load(0x720000, 1, 330, Provenance::CorrPath);
+    const Histogram &hist = h.missIntervalHist();
+    EXPECT_EQ(hist.totalSamples(), 2u);
+    EXPECT_EQ(hist.binCount(1), 1u); // Gap of 10 -> bin [8,16).
+    EXPECT_EQ(hist.binCount(40), 1u); // Gap of 320 -> bin [320,328).
+}
+
+TEST(HierarchyTest, LateMergeFiresMissListener)
+{
+    // A demand load that merges into a line still in flight counts as
+    // a miss occurrence for the resize trigger (it experiences most
+    // of the miss latency), even though it allocates no new fill.
+    MemSystemConfig cfg = paperCfg();
+    cfg.prefetcher.enabled = false;
+    CacheHierarchy h(cfg, nullptr);
+    unsigned events = 0;
+    h.setL2MissListener([&events](Cycle) { ++events; });
+
+    h.load(0x900000, 1, 0, Provenance::CorrPath);
+    EXPECT_EQ(events, 1u);
+    // Same L2 line, different L1 line, 50 cycles later: the line is
+    // still ~260 cycles away.
+    MemAccessResult r = h.load(0x900020, 1, 50, Provenance::CorrPath);
+    ASSERT_TRUE(r.accepted);
+    EXPECT_FALSE(r.l2DemandMiss); // Not a *new* miss...
+    EXPECT_EQ(events, 2u);        // ...but a miss occurrence.
+
+    // After the fill, the same access is a plain hit: no event.
+    h.load(0x900020, 1, 2000, Provenance::CorrPath);
+    EXPECT_EQ(events, 2u);
+}
+
+TEST(HierarchyTest, WarmedLinesHitImmediately)
+{
+    MemSystemConfig cfg = paperCfg();
+    cfg.prefetcher.enabled = false;
+    CacheHierarchy h(cfg, nullptr);
+    h.warmInstLine(0xA00000);
+    h.warmDataLine(0xB00000, true);
+    h.warmDataLine(0xC00000, false);
+
+    MemAccessResult fi = h.ifetch(0xA00000, 0, Provenance::CorrPath);
+    EXPECT_TRUE(fi.l1Hit);
+
+    MemAccessResult d1 = h.load(0xB00000, 1, 0, Provenance::CorrPath);
+    EXPECT_TRUE(d1.l1Hit);
+
+    MemAccessResult d2 = h.load(0xC00000, 1, 0, Provenance::CorrPath);
+    EXPECT_FALSE(d2.l1Hit);          // Only warmed into the L2.
+    EXPECT_FALSE(d2.l2DemandMiss);   // ...which hits.
+    EXPECT_LT(d2.doneAt, 50u);
+}
+
+TEST(HierarchyTest, WrongPathProvenanceRecorded)
+{
+    MemSystemConfig cfg = paperCfg();
+    cfg.prefetcher.enabled = false;
+    CacheHierarchy h(cfg, nullptr);
+    h.load(0x800000, 1, 0, Provenance::WrongPath);
+    PollutionStats ps = h.l2().pollution();
+    EXPECT_EQ(ps.brought[static_cast<unsigned>(Provenance::WrongPath)],
+              1u);
+    // A later correct-path load makes it useful.
+    h.load(0x800000, 1, 1000, Provenance::CorrPath);
+    ps = h.l2().pollution();
+    EXPECT_EQ(ps.useful[static_cast<unsigned>(Provenance::WrongPath)],
+              1u);
+}
+
+} // namespace
+} // namespace mlpwin

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Unit tests for the runahead support structures (INV tracking and
+ * the runahead cause status table) and behavioural tests of runahead
+ * episodes on the full core.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "runahead/runahead.hh"
+#include "sim/simulator.hh"
+
+namespace mlpwin
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// InvTracker
+// ---------------------------------------------------------------------
+
+TEST(InvTrackerTest, RegsDefaultValid)
+{
+    InvTracker inv;
+    for (unsigned r = 0; r < kNumArchRegs; ++r)
+        EXPECT_FALSE(inv.regInv(static_cast<RegId>(r)));
+}
+
+TEST(InvTrackerTest, SetAndClearRegInv)
+{
+    InvTracker inv;
+    inv.setRegInv(intReg(5), true);
+    EXPECT_TRUE(inv.regInv(intReg(5)));
+    EXPECT_FALSE(inv.regInv(intReg(6)));
+    inv.setRegInv(intReg(5), false);
+    EXPECT_FALSE(inv.regInv(intReg(5)));
+}
+
+TEST(InvTrackerTest, X0AndNoRegNeverInv)
+{
+    InvTracker inv;
+    inv.setRegInv(intReg(0), true);
+    inv.setRegInv(kNoReg, true);
+    EXPECT_FALSE(inv.regInv(intReg(0)));
+    EXPECT_FALSE(inv.regInv(kNoReg));
+}
+
+TEST(InvTrackerTest, FpRegsTracked)
+{
+    InvTracker inv;
+    inv.setRegInv(fpReg(3), true);
+    EXPECT_TRUE(inv.regInv(fpReg(3)));
+    EXPECT_FALSE(inv.regInv(fpReg(4)));
+}
+
+TEST(InvTrackerTest, AddrInvIsWordGranular)
+{
+    InvTracker inv;
+    inv.setAddrInv(0x1003); // Within word [0x1000, 0x1008).
+    EXPECT_TRUE(inv.addrInv(0x1000));
+    EXPECT_TRUE(inv.addrInv(0x1007));
+    EXPECT_FALSE(inv.addrInv(0x1008));
+}
+
+TEST(InvTrackerTest, ResetClearsEverything)
+{
+    InvTracker inv;
+    inv.setRegInv(intReg(7), true);
+    inv.setAddrInv(0x2000);
+    inv.reset();
+    EXPECT_FALSE(inv.regInv(intReg(7)));
+    EXPECT_FALSE(inv.addrInv(0x2000));
+}
+
+// ---------------------------------------------------------------------
+// RunaheadCauseStatusTable
+// ---------------------------------------------------------------------
+
+TEST(RcstTest, InitiallyPredictsUseful)
+{
+    RunaheadCauseStatusTable rcst;
+    EXPECT_TRUE(rcst.predictUseful(0x1000));
+}
+
+TEST(RcstTest, LearnsUselessAfterTwoStrikes)
+{
+    RunaheadCauseStatusTable rcst;
+    rcst.train(0x1000, false);
+    EXPECT_FALSE(rcst.predictUseful(0x1000)); // 2 -> 1: suppressed.
+    rcst.train(0x1000, false);
+    EXPECT_FALSE(rcst.predictUseful(0x1000));
+}
+
+TEST(RcstTest, RecoversWithUsefulEpisodes)
+{
+    RunaheadCauseStatusTable rcst;
+    rcst.train(0x1000, false);
+    rcst.train(0x1000, false); // Counter at 0.
+    rcst.train(0x1000, true);
+    EXPECT_FALSE(rcst.predictUseful(0x1000)); // 1: still suppressed.
+    rcst.train(0x1000, true);
+    EXPECT_TRUE(rcst.predictUseful(0x1000)); // 2: allowed again.
+}
+
+TEST(RcstTest, DistinctPcsTrackedSeparately)
+{
+    RunaheadCauseStatusTable rcst(64);
+    rcst.train(0x1000, false);
+    EXPECT_FALSE(rcst.predictUseful(0x1000));
+    EXPECT_TRUE(rcst.predictUseful(0x1008)); // Different entry.
+}
+
+// ---------------------------------------------------------------------
+// Episode behaviour on the full core
+// ---------------------------------------------------------------------
+
+/**
+ * Independent far-apart loads with compute spacing: runahead episodes
+ * should prefetch the next misses (useful episodes).
+ */
+Program
+independentMissProgram()
+{
+    Assembler a("ra_ind");
+    Addr buf = a.allocBss(32 << 20, 64);
+    a.li(intReg(1), buf);
+    a.li(intReg(2), 0);
+    a.li(intReg(7), (32ull << 20) - 1);
+    a.li(intReg(9), 600);
+    Label top = a.here();
+    a.add(intReg(3), intReg(1), intReg(2));
+    a.ld(intReg(4), intReg(3), 0);
+    a.add(intReg(5), intReg(5), intReg(4));
+    for (int i = 0; i < 16; ++i)
+        a.addi(intReg(10 + (i % 4)), intReg(10 + (i % 4)), 1);
+    a.addi(intReg(2), intReg(2), 519 * 64);
+    a.and_(intReg(2), intReg(2), intReg(7));
+    a.addi(intReg(9), intReg(9), -1);
+    a.bne(intReg(9), intReg(0), top);
+    a.halt();
+    return a.finalize();
+}
+
+TEST(RunaheadCoreTest, EntersEpisodesOnMissStalls)
+{
+    SimConfig cfg;
+    cfg.model = ModelKind::Runahead;
+    SimResult r = Simulator(cfg, independentMissProgram()).run();
+    EXPECT_TRUE(r.halted);
+    // Each episode prefetches several of the following misses, so a
+    // few tens of episodes cover the 600 miss-bearing iterations.
+    EXPECT_GT(r.runaheadEpisodes, 10u);
+}
+
+TEST(RunaheadCoreTest, EpisodesPrefetchUsefully)
+{
+    Program p = independentMissProgram();
+    SimConfig base_cfg;
+    SimResult base = Simulator(base_cfg, p).run();
+
+    SimConfig ra_cfg;
+    ra_cfg.model = ModelKind::Runahead;
+    SimResult ra = Simulator(ra_cfg, p).run();
+
+    // Independent misses: runahead overlaps them and must win.
+    EXPECT_GT(ra.ipc, base.ipc * 1.2);
+    // Most episodes found another miss (useful).
+    EXPECT_LT(ra.runaheadUseless, ra.runaheadEpisodes / 2 + 1);
+}
+
+TEST(RunaheadCoreTest, ArchStateUnaffectedByEpisodes)
+{
+    Program p = independentMissProgram();
+
+    MainMemory ref_mem;
+    ref_mem.loadProgram(p);
+    Emulator ref(ref_mem, p.entry());
+    while (!ref.halted())
+        ref.step();
+
+    SimConfig cfg;
+    cfg.model = ModelKind::Runahead;
+    SimResult r = Simulator(cfg, p).run();
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(r.archRegChecksum, ref.regs().checksum());
+}
+
+TEST(RunaheadCoreTest, RcstSuppressesUselessEpisodesOnPointerChase)
+{
+    // A single dependent chain: the load feeding the next miss is INV
+    // during runahead, so episodes never prefetch anything. With the
+    // RCST the core learns to stop entering them.
+    Assembler a("ra_chase");
+    constexpr std::uint64_t kNodes = 1 << 12;
+    Addr arena = a.allocBss(kNodes * 64, 64);
+    std::vector<std::uint64_t> words(kNodes * 8, 0);
+    // Fixed large-stride permutation cycle: every hop misses.
+    for (std::uint64_t i = 0; i < kNodes; ++i)
+        words[i * 8] = arena + ((i + 2731) % kNodes) * 64;
+    a.initData(arena, words);
+    a.li(intReg(1), arena);
+    a.li(intReg(9), 3000);
+    Label top = a.here();
+    a.ld(intReg(1), intReg(1), 0);
+    a.addi(intReg(9), intReg(9), -1);
+    a.bne(intReg(9), intReg(0), top);
+    a.halt();
+    Program p = a.finalize();
+
+    SimConfig with_rcst;
+    with_rcst.model = ModelKind::Runahead;
+    SimResult r1 = Simulator(with_rcst, p).run();
+
+    SimConfig no_rcst = with_rcst;
+    no_rcst.runahead.useRcst = false;
+    SimResult r2 = Simulator(no_rcst, p).run();
+
+    // Without the filter, every miss stall enters a useless episode.
+    EXPECT_GT(r2.runaheadEpisodes, r1.runaheadEpisodes * 3);
+    EXPECT_GT(r2.runaheadUseless, r2.runaheadEpisodes / 2);
+}
+
+} // namespace
+} // namespace mlpwin

@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Tests for the workload kernel generators and the SPEC2006-like
+ * suite: every program must build, run to Halt on the functional
+ * emulator, and be bit-deterministic across builds.
+ */
+
+#include <bit>
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "emu/emulator.hh"
+#include "sim/simulator.hh"
+#include "mem/main_memory.hh"
+#include "workloads/kernels.hh"
+#include "workloads/suite.hh"
+
+namespace mlpwin
+{
+namespace
+{
+
+/** Functionally run a program to Halt; returns executed inst count. */
+std::uint64_t
+emulateToHalt(const Program &p, std::uint64_t max_steps,
+              std::uint64_t *reg_checksum = nullptr)
+{
+    MainMemory mem;
+    mem.loadProgram(p);
+    Emulator emu(mem, p.entry());
+    while (!emu.halted()) {
+        if (emu.instCount() >= max_steps)
+            return emu.instCount(); // Caller detects non-halt.
+        emu.step();
+    }
+    if (reg_checksum)
+        *reg_checksum = emu.regs().checksum();
+    return emu.instCount();
+}
+
+TEST(SuiteTest, Has28ProgramsMatchingTable3)
+{
+    const auto &suite = spec2006Suite();
+    EXPECT_EQ(suite.size(), 28u);
+    unsigned ints = 0, mems = 0;
+    for (const auto &w : suite) {
+        if (w.isInt)
+            ++ints;
+        if (w.memIntensive)
+            ++mems;
+    }
+    EXPECT_EQ(ints, 12u); // SPECint2006.
+    EXPECT_EQ(mems, 11u); // Paper Table 3 memory-intensive count.
+}
+
+TEST(SuiteTest, SelectedProgramsExistInSuite)
+{
+    for (const auto &name : selectedMemPrograms()) {
+        EXPECT_TRUE(findWorkload(name).memIntensive) << name;
+    }
+    for (const auto &name : selectedCompPrograms()) {
+        EXPECT_FALSE(findWorkload(name).memIntensive) << name;
+    }
+    EXPECT_EQ(selectedMemPrograms().size(), 8u);
+    EXPECT_EQ(selectedCompPrograms().size(), 6u);
+}
+
+TEST(SuiteTest, NamesAreUnique)
+{
+    const auto &suite = spec2006Suite();
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        for (std::size_t j = i + 1; j < suite.size(); ++j)
+            EXPECT_NE(suite[i].name, suite[j].name);
+    }
+}
+
+/** Every program halts and is deterministic. */
+class SuiteProgramTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SuiteProgramTest, BuildsAndHalts)
+{
+    const WorkloadSpec &w = findWorkload(GetParam());
+    Program p = w.make(20);
+    EXPECT_GT(p.numInsts(), 4u);
+    std::uint64_t steps = emulateToHalt(p, 20'000'000);
+    EXPECT_LT(steps, 20'000'000u) << "program did not halt";
+    EXPECT_GT(steps, 20u); // At least one inst per iteration.
+}
+
+TEST_P(SuiteProgramTest, DeterministicAcrossBuilds)
+{
+    const WorkloadSpec &w = findWorkload(GetParam());
+    Program p1 = w.make(10);
+    Program p2 = w.make(10);
+    ASSERT_EQ(p1.code().size(), p2.code().size());
+    EXPECT_EQ(p1.code(), p2.code());
+    std::uint64_t c1 = 0, c2 = 0;
+    emulateToHalt(p1, 20'000'000, &c1);
+    emulateToHalt(p2, 20'000'000, &c2);
+    EXPECT_EQ(c1, c2);
+}
+
+TEST_P(SuiteProgramTest, IterationCountScalesWork)
+{
+    const WorkloadSpec &w = findWorkload(GetParam());
+    std::uint64_t small = emulateToHalt(w.make(8), 50'000'000);
+    std::uint64_t large = emulateToHalt(w.make(16), 50'000'000);
+    EXPECT_GT(large, small);
+}
+
+namespace
+{
+
+std::vector<std::string>
+allNames()
+{
+    std::vector<std::string> names;
+    for (const auto &w : spec2006Suite())
+        names.push_back(w.name);
+    return names;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrograms, SuiteProgramTest, ::testing::ValuesIn(allNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+TEST(KernelTest, GatherTouchesLargeFootprint)
+{
+    GatherParams p;
+    p.tableWords = 1 << 16;
+    p.idxWords = 1 << 10;
+    p.intOps = 2;
+    Program prog = makeGather("g", p, 400);
+    MainMemory mem;
+    mem.loadProgram(prog);
+    Emulator emu(mem, prog.entry());
+    while (!emu.halted())
+        emu.step();
+    // 400 iterations x 4 gathers over a random table: many distinct
+    // pages of the 512 KiB table must have been touched.
+    EXPECT_GT(mem.numPages(), 100u);
+}
+
+TEST(KernelTest, ChaseVisitsAllNodes)
+{
+    ChaseParams p;
+    p.chains = 2;
+    p.nodesPerChain = 64;
+    p.hopOps = 0;
+    // One full cycle visits every node exactly once.
+    Program prog = makeChase("c", p, 64);
+    std::uint64_t steps = emulateToHalt(prog, 1'000'000);
+    EXPECT_LT(steps, 1'000'000u);
+}
+
+TEST(KernelTest, DispatchExecutesHandlers)
+{
+    DispatchParams p;
+    p.handlers = 4;
+    p.handlerOps = 8;
+    p.opstreamWords = 1 << 8;
+    Program prog = makeDispatch("d", p, 100);
+    std::uint64_t checksum = 0;
+    std::uint64_t steps = emulateToHalt(prog, 1'000'000, &checksum);
+    EXPECT_LT(steps, 1'000'000u);
+    // ~100 dispatches x (9 handler insts + ~8 loop insts).
+    EXPECT_GT(steps, 100u * 12u);
+}
+
+TEST(KernelTest, MatmulInstCountScalesWithN)
+{
+    MatmulParams p8{8, 7};
+    MatmulParams p16{16, 7};
+    std::uint64_t s8 = emulateToHalt(makeMatmul("m8", p8, 1),
+                                     10'000'000);
+    std::uint64_t s16 = emulateToHalt(makeMatmul("m16", p16, 1),
+                                      10'000'000);
+    // Inner work is O(n^3): 16^3/8^3 = 8x, modulo loop overhead.
+    EXPECT_GT(s16, 5 * s8);
+}
+
+TEST(KernelTest, StreamStoresWriteMemory)
+{
+    StreamParams p;
+    p.streams = 1;
+    p.wordsPerStream = 1 << 8;
+    p.strideWords = 1;
+    p.fpOps = 0;
+    p.withStore = true;
+    Program prog = makeStream("s", p, 16);
+    MainMemory mem;
+    mem.loadProgram(prog);
+    Emulator emu(mem, prog.entry());
+    while (!emu.halted())
+        emu.step();
+    // The first stream's region base must have been written: data
+    // region begins at kDataBase (first allocation, 64-aligned).
+    bool any_nonzero = false;
+    for (unsigned i = 0; i < 16 && !any_nonzero; ++i)
+        any_nonzero = mem.readU64(kDataBase + 8 * i) != 0;
+    EXPECT_TRUE(any_nonzero);
+}
+
+TEST(KernelTest, TreeSearchFindsCorrectSlots)
+{
+    // With value[i] = 13*i, a search for key k must end with
+    // lo/8 == floor(k/13) (the greatest i with value[i] <= k). The
+    // accumulator sums the final byte offsets, which we can replay.
+    TreeSearchParams p;
+    p.arrayWords = 1 << 10;
+    p.parallelSearches = 2;
+    p.stepOps = 0;
+    Program prog = makeTreeSearch("ts", p, 50);
+    MainMemory mem;
+    mem.loadProgram(prog);
+    Emulator emu(mem, prog.entry());
+    while (!emu.halted())
+        emu.step();
+
+    // Replay the program's xorshift key stream and binary searches.
+    std::uint64_t st = 0x2545f4914f6cdd1dULL ^ p.seed;
+    std::uint64_t keymask = 13 * p.arrayWords - 1;
+    std::uint64_t expect_acc = 0;
+    for (int it = 0; it < 50; ++it) {
+        for (unsigned s = 0; s < p.parallelSearches; ++s) {
+            st ^= st << 13;
+            st ^= st >> 7;
+            std::uint64_t key = st & keymask;
+            std::uint64_t lo = 0;
+            for (std::uint64_t half = (p.arrayWords / 2) * 8;
+                 half >= 8; half >>= 1) {
+                std::uint64_t v = 13 * ((lo + half) / 8);
+                if (v <= key)
+                    lo += half;
+            }
+            expect_acc += lo;
+        }
+    }
+    // The program stores acc to its sink (last BSS allocation).
+    Addr sink = kDataBase + p.arrayWords * 8;
+    EXPECT_EQ(mem.readU64(sink), expect_acc);
+}
+
+TEST(KernelTest, TreeSearchHasBoundedMlp)
+{
+    // Probe chains are serial within one search: observed MLP must
+    // sit near the number of parallel searches even on a big window.
+    TreeSearchParams p;
+    p.arrayWords = 1 << 20; // 8 MiB: probes miss.
+    p.parallelSearches = 2;
+    Program prog = makeTreeSearch("ts", p, 1 << 20);
+    SimConfig cfg;
+    cfg.model = ModelKind::Fixed;
+    cfg.fixedLevel = 3;
+    cfg.maxInsts = 30000;
+    SimResult r = Simulator(cfg, prog).run();
+    EXPECT_GT(r.observedMlp, 1.0);
+    EXPECT_LT(r.observedMlp, 4.0);
+}
+
+TEST(KernelTest, ButterflyRunsAndWritesBack)
+{
+    ButterflyParams p;
+    p.words = 1 << 8;
+    Program prog = makeButterfly("bf", p, 600);
+    MainMemory mem;
+    mem.loadProgram(prog);
+    Emulator emu(mem, prog.entry());
+    while (!emu.halted())
+        emu.step();
+    EXPECT_GT(emu.instCount(), 600u * 15u);
+    // The in-place butterflies must have changed the array contents.
+    bool changed = false;
+    Rng rng(p.seed);
+    for (unsigned i = 0; i < (1u << 8) && !changed; ++i) {
+        std::uint64_t init =
+            std::bit_cast<std::uint64_t>(1.0 + rng.real());
+        changed = mem.readU64(kDataBase + 8 * i) != init;
+    }
+    EXPECT_TRUE(changed);
+}
+
+TEST(KernelTest, ButterflyTimingMatchesEmulatorState)
+{
+    ButterflyParams p;
+    p.words = 1 << 8;
+    Program prog = makeButterfly("bf", p, 300);
+
+    MainMemory ref;
+    ref.loadProgram(prog);
+    Emulator emu(ref, prog.entry());
+    while (!emu.halted())
+        emu.step();
+
+    SimConfig cfg;
+    cfg.model = ModelKind::Resizing;
+    SimResult r = Simulator(cfg, prog).run();
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(r.archRegChecksum, emu.regs().checksum());
+}
+
+} // namespace
+} // namespace mlpwin

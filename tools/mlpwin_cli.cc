@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Command-line simulator driver: run any suite workload under any
+ * model with overridable parameters and print the result (and
+ * optionally every internal statistic).
+ *
+ * Usage:
+ *   mlpwin --list
+ *   mlpwin --workload soplex --model resizing --insts 300000
+ *   mlpwin -w gcc -m fixed --level 3 --stats
+ *   mlpwin -w lbm -m resizing --mem-latency 500 --penalty 30
+ *
+ * Exit code 0 on success; 2 on a usage error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "cpu/tracer.hh"
+#include "sim/simulator.hh"
+#include "workloads/suite.hh"
+
+using namespace mlpwin;
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(stderr,
+        "usage: mlpwin [options]\n"
+        "  --list                 list suite workloads and exit\n"
+        "  -w, --workload NAME    workload to run (required)\n"
+        "  -m, --model NAME       base|fixed|ideal|resizing|runahead|"
+        "occupancy (default base)\n"
+        "      --level N          level for fixed/ideal models "
+        "(default 3)\n"
+        "      --insts N          measured instructions "
+        "(default 300000)\n"
+        "      --warmup N         warm-up instructions "
+        "(default 100000)\n"
+        "      --no-warm-caches   start with cold I/D caches\n"
+        "      --mem-latency N    DRAM minimum latency, cycles\n"
+        "      --penalty N        level-transition penalty, cycles\n"
+        "      --no-prefetch      disable the data prefetcher\n"
+        "      --prefetcher K     stride (default) or stream\n"
+        "      --stats            dump every internal statistic\n"
+        "      --trace CATS       pipeline trace to stderr; CATS is\n"
+        "                         'all' or a comma list of fetch,\n"
+        "                         dispatch,issue,complete,commit,\n"
+        "                         squash,resize,runahead\n"
+        "      --trace-start N    first cycle to trace (default 0)\n");
+}
+
+bool
+parseModel(const std::string &s, ModelKind &out)
+{
+    for (ModelKind m : {ModelKind::Base, ModelKind::Fixed,
+                        ModelKind::Ideal, ModelKind::Resizing,
+                        ModelKind::Runahead, ModelKind::Occupancy,
+                        ModelKind::Wib}) {
+        if (s == modelName(m)) {
+            out = m;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload;
+    SimConfig cfg;
+    cfg.model = ModelKind::Base;
+    cfg.fixedLevel = 3;
+    cfg.warmupInsts = 100000;
+    cfg.warmDataCaches = true;
+    cfg.maxInsts = 300000;
+    bool dump_stats = false;
+    unsigned trace_mask = 0;
+    Cycle trace_start = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+
+        if (arg == "--list") {
+            std::printf("%-12s %5s  %s\n", "name", "type", "category");
+            for (const WorkloadSpec &w : spec2006Suite())
+                std::printf("%-12s %5s  %s\n", w.name.c_str(),
+                            w.isInt ? "int" : "fp",
+                            w.memIntensive ? "memory-intensive"
+                                           : "compute-intensive");
+            return 0;
+        } else if (arg == "-w" || arg == "--workload") {
+            workload = next();
+        } else if (arg == "-m" || arg == "--model") {
+            std::string name = next();
+            if (!parseModel(name, cfg.model)) {
+                std::fprintf(stderr, "unknown model: %s\n",
+                             name.c_str());
+                return 2;
+            }
+        } else if (arg == "--level") {
+            cfg.fixedLevel =
+                static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--insts") {
+            cfg.maxInsts = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--warmup") {
+            cfg.warmupInsts = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--no-warm-caches") {
+            cfg.warmInstCaches = false;
+            cfg.warmDataCaches = false;
+        } else if (arg == "--mem-latency") {
+            unsigned lat = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+            cfg.mem.dram.minLatency = lat;
+            cfg.mlp.memoryLatency = lat;
+        } else if (arg == "--penalty") {
+            cfg.mlp.transitionPenalty = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--no-prefetch") {
+            cfg.mem.prefetcher.enabled = false;
+        } else if (arg == "--prefetcher") {
+            std::string kind = next();
+            if (kind == "stride") {
+                cfg.mem.prefetcher.kind = PrefetcherKind::Stride;
+            } else if (kind == "stream") {
+                cfg.mem.prefetcher.kind = PrefetcherKind::Stream;
+            } else {
+                std::fprintf(stderr, "unknown prefetcher: %s\n",
+                             kind.c_str());
+                return 2;
+            }
+        } else if (arg == "--stats") {
+            dump_stats = true;
+        } else if (arg == "--trace") {
+            trace_mask = parseTraceCategories(next());
+        } else if (arg == "--trace-start") {
+            trace_start = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "-h" || arg == "--help") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            usage();
+            return 2;
+        }
+    }
+
+    if (workload.empty()) {
+        usage();
+        return 2;
+    }
+
+    const WorkloadSpec &spec = findWorkload(workload);
+    Program prog = spec.make(1ull << 40);
+    Simulator sim(cfg, prog);
+    std::unique_ptr<PipelineTracer> tracer;
+    if (trace_mask) {
+        tracer = std::make_unique<PipelineTracer>(std::cerr,
+                                                  trace_mask,
+                                                  trace_start);
+        sim.setTracer(tracer.get());
+    }
+    SimResult r = sim.run();
+
+    std::printf("workload            %s (%s)\n", r.workload.c_str(),
+                spec.memIntensive ? "memory-intensive"
+                                  : "compute-intensive");
+    std::printf("model               %s", r.model.c_str());
+    if (cfg.model == ModelKind::Fixed || cfg.model == ModelKind::Ideal)
+        std::printf(" (level %u)", cfg.fixedLevel);
+    std::printf("\n");
+    std::printf("committed insts     %llu\n",
+                static_cast<unsigned long long>(r.committed));
+    std::printf("cycles              %llu\n",
+                static_cast<unsigned long long>(r.cycles));
+    std::printf("IPC                 %.4f\n", r.ipc);
+    std::printf("avg load latency    %.1f cycles\n", r.avgLoadLatency);
+    std::printf("observed MLP        %.2f\n", r.observedMlp);
+    std::printf("L2 demand misses    %llu\n",
+                static_cast<unsigned long long>(r.l2DemandMisses));
+    std::printf("branch mispredicts  %llu (1 per %.0f insts)\n",
+                static_cast<unsigned long long>(r.committedMispredicts),
+                r.instsPerMispredict());
+    std::printf("squashed insts      %llu\n",
+                static_cast<unsigned long long>(r.squashed));
+    if (!r.cyclesAtLevel.empty()) {
+        std::uint64_t total = 0;
+        for (std::uint64_t c : r.cyclesAtLevel)
+            total += c;
+        std::printf("level residency    ");
+        for (std::size_t l = 0; l < r.cyclesAtLevel.size(); ++l)
+            std::printf(" L%zu %.1f%%", l + 1,
+                        total ? 100.0 *
+                                    static_cast<double>(
+                                        r.cyclesAtLevel[l]) /
+                                    static_cast<double>(total)
+                              : 0.0);
+        std::printf("\n");
+    }
+    if (cfg.model == ModelKind::Runahead)
+        std::printf("runahead episodes   %llu (%llu useless)\n",
+                    static_cast<unsigned long long>(r.runaheadEpisodes),
+                    static_cast<unsigned long long>(r.runaheadUseless));
+    std::printf("energy (model pJ)   %.3e   EDP %.3e\n", r.energyTotal,
+                r.edp);
+
+    if (dump_stats) {
+        std::printf("\n---- all statistics ----\n");
+        sim.dumpStats(std::cout);
+    }
+    return 0;
+}
