@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_levels.dir/abl_levels.cc.o"
+  "CMakeFiles/abl_levels.dir/abl_levels.cc.o.d"
+  "abl_levels"
+  "abl_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_memlat.dir/abl_memlat.cc.o"
+  "CMakeFiles/abl_memlat.dir/abl_memlat.cc.o.d"
+  "abl_memlat"
+  "abl_memlat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_memlat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

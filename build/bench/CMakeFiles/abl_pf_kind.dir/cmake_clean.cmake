@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_pf_kind.dir/abl_pf_kind.cc.o"
+  "CMakeFiles/abl_pf_kind.dir/abl_pf_kind.cc.o.d"
+  "abl_pf_kind"
+  "abl_pf_kind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pf_kind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

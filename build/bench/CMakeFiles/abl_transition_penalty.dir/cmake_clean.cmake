@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_transition_penalty.dir/abl_transition_penalty.cc.o"
+  "CMakeFiles/abl_transition_penalty.dir/abl_transition_penalty.cc.o.d"
+  "abl_transition_penalty"
+  "abl_transition_penalty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_transition_penalty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

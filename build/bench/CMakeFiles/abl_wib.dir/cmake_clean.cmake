@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_wib.dir/abl_wib.cc.o"
+  "CMakeFiles/abl_wib.dir/abl_wib.cc.o.d"
+  "abl_wib"
+  "abl_wib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_wib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_tradeoff.dir/fig02_tradeoff.cc.o"
+  "CMakeFiles/fig02_tradeoff.dir/fig02_tradeoff.cc.o.d"
+  "fig02_tradeoff"
+  "fig02_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

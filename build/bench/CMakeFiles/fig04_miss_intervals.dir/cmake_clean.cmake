@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_miss_intervals.dir/fig04_miss_intervals.cc.o"
+  "CMakeFiles/fig04_miss_intervals.dir/fig04_miss_intervals.cc.o.d"
+  "fig04_miss_intervals"
+  "fig04_miss_intervals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_miss_intervals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

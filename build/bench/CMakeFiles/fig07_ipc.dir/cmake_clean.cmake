@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_ipc.dir/fig07_ipc.cc.o"
+  "CMakeFiles/fig07_ipc.dir/fig07_ipc.cc.o.d"
+  "fig07_ipc"
+  "fig07_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_level_residency.dir/fig08_level_residency.cc.o"
+  "CMakeFiles/fig08_level_residency.dir/fig08_level_residency.cc.o.d"
+  "fig08_level_residency"
+  "fig08_level_residency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_level_residency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_edp.dir/fig09_edp.cc.o"
+  "CMakeFiles/fig09_edp.dir/fig09_edp.cc.o.d"
+  "fig09_edp"
+  "fig09_edp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_edp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_bigl2.dir/fig10_bigl2.cc.o"
+  "CMakeFiles/fig10_bigl2.dir/fig10_bigl2.cc.o.d"
+  "fig10_bigl2"
+  "fig10_bigl2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_bigl2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

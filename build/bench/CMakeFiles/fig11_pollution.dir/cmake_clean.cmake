@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_pollution.dir/fig11_pollution.cc.o"
+  "CMakeFiles/fig11_pollution.dir/fig11_pollution.cc.o.d"
+  "fig11_pollution"
+  "fig11_pollution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_pollution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

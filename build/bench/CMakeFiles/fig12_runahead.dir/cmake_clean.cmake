@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_runahead.dir/fig12_runahead.cc.o"
+  "CMakeFiles/fig12_runahead.dir/fig12_runahead.cc.o.d"
+  "fig12_runahead"
+  "fig12_runahead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_runahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

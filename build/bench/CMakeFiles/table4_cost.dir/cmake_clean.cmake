@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_cost.dir/table4_cost.cc.o"
+  "CMakeFiles/table4_cost.dir/table4_cost.cc.o.d"
+  "table4_cost"
+  "table4_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

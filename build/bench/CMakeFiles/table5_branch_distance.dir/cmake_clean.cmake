@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_branch_distance.dir/table5_branch_distance.cc.o"
+  "CMakeFiles/table5_branch_distance.dir/table5_branch_distance.cc.o.d"
+  "table5_branch_distance"
+  "table5_branch_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_branch_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

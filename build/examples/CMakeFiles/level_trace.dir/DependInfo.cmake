@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/level_trace.cpp" "examples/CMakeFiles/level_trace.dir/level_trace.cpp.o" "gcc" "examples/CMakeFiles/level_trace.dir/level_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mlpwin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/mlpwin_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/mlpwin_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mlpwin_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/mlpwin_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/mlpwin_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/resize/CMakeFiles/mlpwin_resize.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/mlpwin_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mlpwin_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mlpwin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/level_trace.dir/level_trace.cpp.o"
+  "CMakeFiles/level_trace.dir/level_trace.cpp.o.d"
+  "level_trace"
+  "level_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/level_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

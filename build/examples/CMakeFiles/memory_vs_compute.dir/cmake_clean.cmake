@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_vs_compute.dir/memory_vs_compute.cpp.o"
+  "CMakeFiles/memory_vs_compute.dir/memory_vs_compute.cpp.o.d"
+  "memory_vs_compute"
+  "memory_vs_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_vs_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

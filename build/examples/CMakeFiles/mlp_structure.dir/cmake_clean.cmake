@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlp_structure.dir/mlp_structure.cpp.o"
+  "CMakeFiles/mlp_structure.dir/mlp_structure.cpp.o.d"
+  "mlp_structure"
+  "mlp_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlp_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

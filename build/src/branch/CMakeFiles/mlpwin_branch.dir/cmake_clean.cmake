@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlpwin_branch.dir/predictor.cc.o"
+  "CMakeFiles/mlpwin_branch.dir/predictor.cc.o.d"
+  "libmlpwin_branch.a"
+  "libmlpwin_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlpwin_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlpwin_common.dir/logging.cc.o"
+  "CMakeFiles/mlpwin_common.dir/logging.cc.o.d"
+  "CMakeFiles/mlpwin_common.dir/stats.cc.o"
+  "CMakeFiles/mlpwin_common.dir/stats.cc.o.d"
+  "libmlpwin_common.a"
+  "libmlpwin_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlpwin_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlpwin_cpu.dir/core.cc.o"
+  "CMakeFiles/mlpwin_cpu.dir/core.cc.o.d"
+  "CMakeFiles/mlpwin_cpu.dir/tracer.cc.o"
+  "CMakeFiles/mlpwin_cpu.dir/tracer.cc.o.d"
+  "libmlpwin_cpu.a"
+  "libmlpwin_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlpwin_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

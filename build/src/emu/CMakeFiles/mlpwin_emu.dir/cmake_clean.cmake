@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlpwin_emu.dir/emulator.cc.o"
+  "CMakeFiles/mlpwin_emu.dir/emulator.cc.o.d"
+  "libmlpwin_emu.a"
+  "libmlpwin_emu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlpwin_emu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlpwin_energy.dir/area_model.cc.o"
+  "CMakeFiles/mlpwin_energy.dir/area_model.cc.o.d"
+  "CMakeFiles/mlpwin_energy.dir/energy_model.cc.o"
+  "CMakeFiles/mlpwin_energy.dir/energy_model.cc.o.d"
+  "libmlpwin_energy.a"
+  "libmlpwin_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlpwin_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

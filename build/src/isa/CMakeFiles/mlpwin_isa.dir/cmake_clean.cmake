@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlpwin_isa.dir/assembler.cc.o"
+  "CMakeFiles/mlpwin_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/mlpwin_isa.dir/isa.cc.o"
+  "CMakeFiles/mlpwin_isa.dir/isa.cc.o.d"
+  "CMakeFiles/mlpwin_isa.dir/program.cc.o"
+  "CMakeFiles/mlpwin_isa.dir/program.cc.o.d"
+  "libmlpwin_isa.a"
+  "libmlpwin_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlpwin_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

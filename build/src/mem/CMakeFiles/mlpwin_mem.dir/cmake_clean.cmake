@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlpwin_mem.dir/cache.cc.o"
+  "CMakeFiles/mlpwin_mem.dir/cache.cc.o.d"
+  "CMakeFiles/mlpwin_mem.dir/dram.cc.o"
+  "CMakeFiles/mlpwin_mem.dir/dram.cc.o.d"
+  "CMakeFiles/mlpwin_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/mlpwin_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/mlpwin_mem.dir/main_memory.cc.o"
+  "CMakeFiles/mlpwin_mem.dir/main_memory.cc.o.d"
+  "CMakeFiles/mlpwin_mem.dir/prefetcher.cc.o"
+  "CMakeFiles/mlpwin_mem.dir/prefetcher.cc.o.d"
+  "libmlpwin_mem.a"
+  "libmlpwin_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlpwin_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

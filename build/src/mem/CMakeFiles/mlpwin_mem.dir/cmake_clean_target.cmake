@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmlpwin_mem.a"
+)

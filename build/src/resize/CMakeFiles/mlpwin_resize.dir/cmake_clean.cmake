@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlpwin_resize.dir/controller.cc.o"
+  "CMakeFiles/mlpwin_resize.dir/controller.cc.o.d"
+  "libmlpwin_resize.a"
+  "libmlpwin_resize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlpwin_resize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

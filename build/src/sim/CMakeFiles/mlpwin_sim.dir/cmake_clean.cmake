@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlpwin_sim.dir/simulator.cc.o"
+  "CMakeFiles/mlpwin_sim.dir/simulator.cc.o.d"
+  "libmlpwin_sim.a"
+  "libmlpwin_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlpwin_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlpwin_workloads.dir/kernels.cc.o"
+  "CMakeFiles/mlpwin_workloads.dir/kernels.cc.o.d"
+  "CMakeFiles/mlpwin_workloads.dir/suite.cc.o"
+  "CMakeFiles/mlpwin_workloads.dir/suite.cc.o.d"
+  "libmlpwin_workloads.a"
+  "libmlpwin_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlpwin_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runahead.dir/runahead/runahead_test.cc.o"
+  "CMakeFiles/test_runahead.dir/runahead/runahead_test.cc.o.d"
+  "test_runahead"
+  "test_runahead.pdb"
+  "test_runahead[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlpwin.dir/mlpwin_cli.cc.o"
+  "CMakeFiles/mlpwin.dir/mlpwin_cli.cc.o.d"
+  "mlpwin"
+  "mlpwin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlpwin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
