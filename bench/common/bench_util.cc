@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/parse.hh"
 #include "common/stats.hh"
 
 namespace mlpwin
@@ -10,20 +11,50 @@ namespace mlpwin
 namespace bench
 {
 
+namespace
+{
+
+/** Strictly parse an env-var override; reject garbage loudly. */
+std::uint64_t
+envBudget(const char *var, std::uint64_t fallback)
+{
+    const char *env = std::getenv(var);
+    if (!env)
+        return fallback;
+    std::uint64_t v = 0;
+    if (!parseU64(env, v)) {
+        std::fprintf(stderr, "%s: not a number: '%s'\n", var, env);
+        std::exit(2);
+    }
+    return v;
+}
+
+} // namespace
+
 std::uint64_t
 instBudget()
 {
-    if (const char *env = std::getenv("MLPWIN_BENCH_INSTS"))
-        return std::strtoull(env, nullptr, 10);
-    return kDefaultBudget;
+    return envBudget("MLPWIN_BENCH_INSTS", kDefaultBudget);
 }
 
 std::uint64_t
 warmupBudget()
 {
-    if (const char *env = std::getenv("MLPWIN_BENCH_WARMUP"))
-        return std::strtoull(env, nullptr, 10);
-    return kDefaultWarmup;
+    return envBudget("MLPWIN_BENCH_WARMUP", kDefaultWarmup);
+}
+
+unsigned
+benchJobs()
+{
+    std::uint64_t v = envBudget("MLPWIN_BENCH_JOBS", 0);
+    if (v > 1024) {
+        std::fprintf(stderr,
+                     "MLPWIN_BENCH_JOBS: implausible thread count "
+                     "%llu\n",
+                     static_cast<unsigned long long>(v));
+        std::exit(2);
+    }
+    return static_cast<unsigned>(v);
 }
 
 SimConfig
@@ -54,6 +85,20 @@ runConfig(const std::string &workload, const SimConfig &cfg,
     progress(workload + " [" + r.model + "]: ipc " +
              std::to_string(r.ipc));
     return r;
+}
+
+std::vector<SimResult>
+runMatrix(const std::vector<std::string> &workloads,
+          const std::vector<exp::ModelSpec> &models,
+          std::uint64_t max_insts)
+{
+    exp::ExperimentSpec spec;
+    spec.workloads = workloads;
+    spec.models = models;
+    spec.base = benchConfig(ModelKind::Base, 1);
+    spec.base.maxInsts = max_insts;
+    spec.iterations = kForever;
+    return exp::ExperimentRunner(benchJobs()).run(spec);
 }
 
 std::vector<std::string>

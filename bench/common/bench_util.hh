@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/experiment.hh"
 #include "sim/simulator.hh"
 #include "workloads/suite.hh"
 
@@ -37,6 +38,12 @@ std::uint64_t instBudget();
 std::uint64_t warmupBudget();
 
 /**
+ * Worker-thread override from the environment (MLPWIN_BENCH_JOBS).
+ * Defaults to 0 (one worker per hardware thread).
+ */
+unsigned benchJobs();
+
+/**
  * Default benchmark configuration: warm instruction and data caches,
  * warm-up window, and the given model/level.
  */
@@ -49,6 +56,19 @@ SimResult runModel(const std::string &workload, ModelKind model,
 /** Run one workload under an explicit configuration. */
 SimResult runConfig(const std::string &workload, const SimConfig &cfg,
                     std::uint64_t max_insts);
+
+/**
+ * Run the full (workloads x models) matrix in parallel across
+ * MLPWIN_BENCH_JOBS worker threads (default: all hardware threads),
+ * each cell under the default bench configuration. Results are in
+ * workload-major submission order: result of workloads[w] under
+ * models[m] is at index w * models.size() + m — bit-identical to a
+ * serial run regardless of job count.
+ */
+std::vector<SimResult> runMatrix(
+    const std::vector<std::string> &workloads,
+    const std::vector<exp::ModelSpec> &models,
+    std::uint64_t max_insts);
 
 /** All 28 suite program names, paper Table 3 order. */
 std::vector<std::string> allWorkloadNames();

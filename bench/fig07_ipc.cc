@@ -30,6 +30,19 @@ main()
     const std::uint64_t budget = instBudget();
     const std::vector<std::string> progs = allWorkloadNames();
 
+    // The whole matrix runs in parallel (MLPWIN_BENCH_JOBS workers);
+    // results come back in workload-major submission order.
+    const std::vector<exp::ModelSpec> models{
+        {ModelKind::Base, 1, "Fix1"},
+        {ModelKind::Fixed, 2, "Fix2"},
+        {ModelKind::Fixed, 3, "Fix3"},
+        {ModelKind::Resizing, 1, "Res"},
+        {ModelKind::Ideal, 2, "Ideal2"},
+        {ModelKind::Ideal, 3, "Ideal3"},
+    };
+    const std::vector<SimResult> results =
+        runMatrix(progs, models, budget);
+
     Series fix1{"Fix1", {}};
     Series fix2{"Fix2", {}};
     Series fix3{"Fix3", {}};
@@ -37,19 +50,16 @@ main()
     Series ideal2{"Ideal2", {}};
     Series ideal3{"Ideal3", {}};
 
-    for (const std::string &w : progs) {
-        double base = runModel(w, ModelKind::Base, 1, budget).ipc;
+    for (std::size_t wi = 0; wi < progs.size(); ++wi) {
+        const std::string &w = progs[wi];
+        const SimResult *row = &results[wi * models.size()];
+        double base = row[0].ipc;
         fix1.byWorkload[w] = 1.0;
-        fix2.byWorkload[w] =
-            runModel(w, ModelKind::Fixed, 2, budget).ipc / base;
-        fix3.byWorkload[w] =
-            runModel(w, ModelKind::Fixed, 3, budget).ipc / base;
-        res.byWorkload[w] =
-            runModel(w, ModelKind::Resizing, 1, budget).ipc / base;
-        ideal2.byWorkload[w] =
-            runModel(w, ModelKind::Ideal, 2, budget).ipc / base;
-        ideal3.byWorkload[w] =
-            runModel(w, ModelKind::Ideal, 3, budget).ipc / base;
+        fix2.byWorkload[w] = row[1].ipc / base;
+        fix3.byWorkload[w] = row[2].ipc / base;
+        res.byWorkload[w] = row[3].ipc / base;
+        ideal2.byWorkload[w] = row[4].ipc / base;
+        ideal3.byWorkload[w] = row[5].ipc / base;
     }
 
     std::vector<Series> cols{fix1, fix2, fix3, res, ideal2, ideal3};

@@ -24,12 +24,21 @@ main()
     const std::uint64_t budget = instBudget();
     const std::vector<std::string> progs = allWorkloadNames();
 
+    // Both models of every workload run in parallel
+    // (MLPWIN_BENCH_JOBS workers), workload-major result order.
+    const std::vector<exp::ModelSpec> models{
+        {ModelKind::Base, 1, ""},
+        {ModelKind::Resizing, 1, ""},
+    };
+    const std::vector<SimResult> results =
+        runMatrix(progs, models, budget);
+
     Series rel{"1/EDP vs base", {}};
-    for (const std::string &w : progs) {
-        SimResult base = runModel(w, ModelKind::Base, 1, budget);
-        SimResult res = runModel(w, ModelKind::Resizing, 1, budget);
+    for (std::size_t wi = 0; wi < progs.size(); ++wi) {
+        const SimResult &base = results[wi * models.size()];
+        const SimResult &res = results[wi * models.size() + 1];
         // Higher 1/EDP is better; normalize so base = 1.0.
-        rel.byWorkload[w] = base.edp / res.edp;
+        rel.byWorkload[progs[wi]] = base.edp / res.edp;
     }
 
     printTable("Fig. 9: energy efficiency (1/EDP) vs base", progs,

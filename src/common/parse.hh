@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Strict numeric parsing for command-line flags and environment
+ * overrides. Unlike bare strtoull (which silently yields 0 for
+ * garbage), these reject partial and empty parses so a typo fails
+ * loudly instead of running a zero-length experiment.
+ */
+
+#ifndef MLPWIN_COMMON_PARSE_HH
+#define MLPWIN_COMMON_PARSE_HH
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+
+namespace mlpwin
+{
+
+/**
+ * Parse a full string as a base-10 unsigned 64-bit integer.
+ *
+ * @return false on empty input, trailing junk, a leading '-', or
+ *         overflow; out is untouched in that case.
+ */
+inline bool
+parseU64(const char *s, std::uint64_t &out)
+{
+    if (s == nullptr || *s == '\0' || *s == '-')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(s, &end, 10);
+    if (errno == ERANGE || end == s || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+/** parseU64 restricted to values that fit an unsigned. */
+inline bool
+parseUnsigned(const char *s, unsigned &out)
+{
+    std::uint64_t v = 0;
+    if (!parseU64(s, v) || v > 0xffffffffULL)
+        return false;
+    out = static_cast<unsigned>(v);
+    return true;
+}
+
+} // namespace mlpwin
+
+#endif // MLPWIN_COMMON_PARSE_HH

@@ -1,0 +1,154 @@
+#include "exp/experiment.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+
+#include "exp/thread_pool.hh"
+#include "workloads/suite.hh"
+
+namespace mlpwin
+{
+namespace exp
+{
+
+std::string
+ModelSpec::displayLabel() const
+{
+    if (!label.empty())
+        return label;
+    std::string s = modelName(model);
+    if (model == ModelKind::Fixed || model == ModelKind::Ideal)
+        s += std::to_string(level);
+    return s;
+}
+
+bool
+parseModelSpec(const std::string &token, ModelSpec &out)
+{
+    std::string name = token;
+    std::string level;
+    if (auto colon = token.find(':'); colon != std::string::npos) {
+        name = token.substr(0, colon);
+        level = token.substr(colon + 1);
+    }
+    bool found = false;
+    for (ModelKind m : {ModelKind::Base, ModelKind::Fixed,
+                        ModelKind::Ideal, ModelKind::Resizing,
+                        ModelKind::Runahead, ModelKind::Occupancy,
+                        ModelKind::Wib}) {
+        if (name == modelName(m)) {
+            out.model = m;
+            found = true;
+            break;
+        }
+    }
+    if (!found)
+        return false;
+    out.level = 1;
+    if (!level.empty()) {
+        char *end = nullptr;
+        unsigned long v = std::strtoul(level.c_str(), &end, 10);
+        if (*end != '\0' || v == 0 || v > 16)
+            return false;
+        out.level = static_cast<unsigned>(v);
+    }
+    out.label.clear();
+    return true;
+}
+
+std::vector<ExperimentJob>
+expandSpec(const ExperimentSpec &spec)
+{
+    std::vector<ExperimentJob> jobs;
+    jobs.reserve(spec.jobCount());
+    for (const std::string &w : spec.workloads) {
+        for (const ModelSpec &m : spec.models) {
+            ExperimentJob job;
+            job.index = jobs.size();
+            job.workload = w;
+            job.model = m;
+            job.cfg = spec.base;
+            job.cfg.model = m.model;
+            job.cfg.fixedLevel = m.level;
+            if (spec.configure)
+                spec.configure(job.cfg, job);
+            jobs.push_back(std::move(job));
+        }
+    }
+    return jobs;
+}
+
+ExperimentRunner::ExperimentRunner(unsigned jobs, bool progress)
+    : jobs_(ThreadPool::resolveThreads(jobs)), progress_(progress)
+{}
+
+std::vector<SimResult>
+ExperimentRunner::run(const ExperimentSpec &spec) const
+{
+    // Force suite construction (and its magic static) before any
+    // worker races to it, and fail fast on unknown workload names.
+    for (const std::string &w : spec.workloads)
+        findWorkload(w);
+
+    const std::vector<ExperimentJob> jobs = expandSpec(spec);
+    std::vector<SimResult> results(jobs.size());
+    std::vector<std::exception_ptr> errors(jobs.size());
+
+    const auto start = std::chrono::steady_clock::now();
+    std::atomic<std::size_t> done{0};
+    std::mutex progress_mutex;
+
+    auto run_one = [&](const ExperimentJob &job) {
+        try {
+            results[job.index] =
+                runWorkload(job.workload, job.cfg, spec.iterations);
+        } catch (...) {
+            errors[job.index] = std::current_exception();
+        }
+        std::size_t n = ++done;
+        if (!progress_)
+            return;
+        double elapsed =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        double eta = n ? elapsed / static_cast<double>(n) *
+                             static_cast<double>(jobs.size() - n)
+                       : 0.0;
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        std::fprintf(stderr,
+                     "  [%zu/%zu] %s/%s ipc %.3f  elapsed %.1fs eta "
+                     "%.1fs\n",
+                     n, jobs.size(), job.workload.c_str(),
+                     job.model.displayLabel().c_str(),
+                     results[job.index].ipc, elapsed, eta);
+    };
+
+    if (jobs_ <= 1) {
+        // Serial reference path: no pool, same submission order.
+        for (const ExperimentJob &job : jobs)
+            run_one(job);
+    } else {
+        ThreadPool pool(jobs_);
+        std::vector<std::future<void>> futures;
+        futures.reserve(jobs.size());
+        for (const ExperimentJob &job : jobs)
+            futures.push_back(pool.submit([&run_one, &job] {
+                run_one(job);
+            }));
+        for (std::future<void> &f : futures)
+            f.get();
+    }
+
+    for (std::exception_ptr &e : errors)
+        if (e)
+            std::rethrow_exception(e);
+    return results;
+}
+
+} // namespace exp
+} // namespace mlpwin

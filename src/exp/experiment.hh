@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Declarative batch experiments: an ExperimentSpec names a run matrix
+ * (workloads x models, with optional per-job config overrides), and
+ * an ExperimentRunner expands it into independent jobs and executes
+ * them across a thread pool — one private Simulator per job, results
+ * aggregated in submission order so parallel output is bit-identical
+ * to a serial run of the same spec.
+ */
+
+#ifndef MLPWIN_EXP_EXPERIMENT_HH
+#define MLPWIN_EXP_EXPERIMENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/sim_config.hh"
+#include "sim/simulator.hh"
+
+namespace mlpwin
+{
+namespace exp
+{
+
+/** One column of the run matrix: a model at a window level. */
+struct ModelSpec
+{
+    ModelKind model = ModelKind::Base;
+    /** Level used by Fixed/Ideal models (1-based). */
+    unsigned level = 1;
+    /** Display label; defaults to modelName (+ level for fixed/ideal). */
+    std::string label;
+
+    /** The label, or the default derived from model/level. */
+    std::string displayLabel() const;
+};
+
+/**
+ * Parse a model token of the form "name" or "name:level", e.g.
+ * "resizing" or "fixed:3".
+ *
+ * @return false if the name or level is invalid.
+ */
+bool parseModelSpec(const std::string &token, ModelSpec &out);
+
+struct ExperimentJob;
+
+/** The full (workload x model) run matrix. */
+struct ExperimentSpec
+{
+    /** Suite workload names (rows). */
+    std::vector<std::string> workloads;
+    /** Models (columns). */
+    std::vector<ModelSpec> models;
+    /**
+     * Configuration shared by every job; model and fixedLevel are
+     * overwritten from the job's ModelSpec.
+     */
+    SimConfig base;
+    /** Program-generator outer iterations (bench runs use "forever"). */
+    std::uint64_t iterations = 1ULL << 40;
+    /**
+     * Optional last-chance hook to tweak one job's config (e.g. a
+     * per-cell parameter sweep). Runs after model/level are applied.
+     */
+    std::function<void(SimConfig &, const ExperimentJob &)> configure;
+
+    /** workloads.size() * models.size(). */
+    std::size_t jobCount() const
+    {
+        return workloads.size() * models.size();
+    }
+};
+
+/** One expanded cell of the matrix, ready to simulate. */
+struct ExperimentJob
+{
+    /** Submission-order index: workload-major, model-minor. */
+    std::size_t index = 0;
+    std::string workload;
+    ModelSpec model;
+    SimConfig cfg;
+};
+
+/**
+ * Expand a spec into its job list, workload-major (all models of
+ * workloads[0] first). Job i corresponds to
+ * workloads[i / models.size()] x models[i % models.size()].
+ */
+std::vector<ExperimentJob> expandSpec(const ExperimentSpec &spec);
+
+/** See file comment. */
+class ExperimentRunner
+{
+  public:
+    /**
+     * @param jobs Worker threads; 0 = one per hardware thread.
+     * @param progress Report per-job completion, ETA included, to
+     *        stderr.
+     */
+    explicit ExperimentRunner(unsigned jobs = 0, bool progress = true);
+
+    /**
+     * Run every job of the spec and return results indexed like
+     * expandSpec's job list (submission order), independent of the
+     * order jobs actually finished in. If any job throws, the first
+     * failure (in submission order) is rethrown after the whole
+     * batch has settled.
+     */
+    std::vector<SimResult> run(const ExperimentSpec &spec) const;
+
+    unsigned jobs() const { return jobs_; }
+
+  private:
+    unsigned jobs_;
+    bool progress_;
+};
+
+} // namespace exp
+} // namespace mlpwin
+
+#endif // MLPWIN_EXP_EXPERIMENT_HH

@@ -1,0 +1,571 @@
+#include "exp/result_writer.hh"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+#include "mem/cache.hh"
+
+namespace mlpwin
+{
+namespace exp
+{
+
+namespace
+{
+
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    // 17 significant digits round-trip any IEEE-754 double exactly.
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+fmtU64(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+template <typename T, typename Fmt>
+std::string
+joinArray(const T *vals, std::size_t n, Fmt fmt, const char *sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i)
+            out += sep;
+        out += fmt(vals[i]);
+    }
+    return out;
+}
+
+/**
+ * The subset of JSON our schema uses, parsed into a tagged tree.
+ * Numbers keep their raw text so 64-bit integers survive without a
+ * trip through double.
+ */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    std::string text; // raw number text, or decoded string
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    const JsonValue &
+    field(const std::string &key) const
+    {
+        if (kind != Kind::Object)
+            throw std::runtime_error("JSON: not an object");
+        for (const auto &[k, v] : object)
+            if (k == key)
+                return v;
+        throw std::runtime_error("JSON: missing field '" + key + "'");
+    }
+
+    std::uint64_t
+    asU64() const
+    {
+        if (kind != Kind::Number)
+            throw std::runtime_error("JSON: expected number");
+        char *end = nullptr;
+        std::uint64_t v = std::strtoull(text.c_str(), &end, 10);
+        if (end == text.c_str() || *end != '\0')
+            throw std::runtime_error("JSON: bad integer '" + text +
+                                     "'");
+        return v;
+    }
+
+    double
+    asDouble() const
+    {
+        if (kind != Kind::Number)
+            throw std::runtime_error("JSON: expected number");
+        char *end = nullptr;
+        double v = std::strtod(text.c_str(), &end);
+        if (end == text.c_str() || *end != '\0')
+            throw std::runtime_error("JSON: bad number '" + text +
+                                     "'");
+        return v;
+    }
+
+    bool
+    asBool() const
+    {
+        if (kind != Kind::Bool)
+            throw std::runtime_error("JSON: expected bool");
+        return boolean;
+    }
+
+    const std::string &
+    asString() const
+    {
+        if (kind != Kind::String)
+            throw std::runtime_error("JSON: expected string");
+        return text;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &src) : src_(src) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        if (pos_ != src_.size())
+            fail("trailing characters");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw std::runtime_error("JSON parse error at offset " +
+                                 std::to_string(pos_) + ": " + why);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < src_.size() &&
+               std::isspace(static_cast<unsigned char>(src_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= src_.size())
+            fail("unexpected end of input");
+        return src_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeLiteral(const char *lit)
+    {
+        std::size_t n = std::char_traits<char>::length(lit);
+        if (src_.compare(pos_, n, lit) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipWs();
+        char c = peek();
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return parseString();
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
+            return parseNumber();
+        JsonValue v;
+        if (consumeLiteral("true")) {
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = true;
+            return v;
+        }
+        if (consumeLiteral("false")) {
+            v.kind = JsonValue::Kind::Bool;
+            return v;
+        }
+        if (consumeLiteral("null"))
+            return v;
+        fail("unexpected character");
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            skipWs();
+            JsonValue key = parseString();
+            skipWs();
+            expect(':');
+            v.object.emplace_back(key.text, parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            v.array.push_back(parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    JsonValue
+    parseString()
+    {
+        expect('"');
+        JsonValue v;
+        v.kind = JsonValue::Kind::String;
+        for (;;) {
+            char c = peek();
+            ++pos_;
+            if (c == '"')
+                return v;
+            if (c != '\\') {
+                v.text += c;
+                continue;
+            }
+            char esc = peek();
+            ++pos_;
+            switch (esc) {
+              case '"':
+                v.text += '"';
+                break;
+              case '\\':
+                v.text += '\\';
+                break;
+              case '/':
+                v.text += '/';
+                break;
+              case 'n':
+                v.text += '\n';
+                break;
+              case 't':
+                v.text += '\t';
+                break;
+              case 'r':
+                v.text += '\r';
+                break;
+              default:
+                fail("unsupported escape");
+            }
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        auto digits = [&] {
+            while (pos_ < src_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(src_[pos_])))
+                ++pos_;
+        };
+        digits();
+        if (pos_ < src_.size() && src_[pos_] == '.') {
+            ++pos_;
+            digits();
+        }
+        if (pos_ < src_.size() &&
+            (src_[pos_] == 'e' || src_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < src_.size() &&
+                (src_[pos_] == '+' || src_[pos_] == '-'))
+                ++pos_;
+            digits();
+        }
+        if (pos_ == start)
+            fail("bad number");
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        v.text = src_.substr(start, pos_ - start);
+        return v;
+    }
+
+    const std::string &src_;
+    std::size_t pos_ = 0;
+};
+
+void
+readU64Array(const JsonValue &v, std::uint64_t *out, std::size_t n)
+{
+    if (v.kind != JsonValue::Kind::Array || v.array.size() != n)
+        throw std::runtime_error("JSON: expected array of " +
+                                 std::to_string(n));
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = v.array[i].asU64();
+}
+
+} // namespace
+
+std::string
+resultToJson(const SimResult &r)
+{
+    auto u64s = [](const std::uint64_t *vals, std::size_t n) {
+        return "[" + joinArray(vals, n, fmtU64, ",") + "]";
+    };
+
+    std::string s = "{";
+    s += "\"workload\":\"" + jsonEscape(r.workload) + "\"";
+    s += ",\"model\":\"" + jsonEscape(r.model) + "\"";
+    s += std::string(",\"halted\":") + (r.halted ? "true" : "false");
+    s += ",\"cycles\":" + fmtU64(r.cycles);
+    s += ",\"committed\":" + fmtU64(r.committed);
+    s += ",\"ipc\":" + fmtDouble(r.ipc);
+    s += ",\"avg_load_latency\":" + fmtDouble(r.avgLoadLatency);
+    s += ",\"observed_mlp\":" + fmtDouble(r.observedMlp);
+    s += ",\"committed_branches\":" + fmtU64(r.committedBranches);
+    s += ",\"committed_mispredicts\":" +
+         fmtU64(r.committedMispredicts);
+    s += ",\"squashed\":" + fmtU64(r.squashed);
+    s += ",\"l2_demand_misses\":" + fmtU64(r.l2DemandMisses);
+    s += ",\"l2_pollution\":{\"brought\":" +
+         u64s(r.l2Pollution.brought, kNumProvenances) +
+         ",\"useful\":" + u64s(r.l2Pollution.useful, kNumProvenances) +
+         "}";
+    s += ",\"cycles_at_level\":" +
+         u64s(r.cyclesAtLevel.data(), r.cyclesAtLevel.size());
+    const EnergyInputs &e = r.energyInputs;
+    s += ",\"energy_inputs\":{";
+    s += "\"cycles\":" + fmtU64(e.cycles);
+    s += ",\"fetched\":" + fmtU64(e.fetched);
+    s += ",\"dispatched\":" + fmtU64(e.dispatched);
+    s += ",\"issued\":" + fmtU64(e.issued);
+    s += ",\"committed\":" + fmtU64(e.committed);
+    s += ",\"loads\":" + fmtU64(e.loads);
+    s += ",\"stores\":" + fmtU64(e.stores);
+    s += ",\"l1i_accesses\":" + fmtU64(e.l1iAccesses);
+    s += ",\"l1d_accesses\":" + fmtU64(e.l1dAccesses);
+    s += ",\"l2_accesses\":" + fmtU64(e.l2Accesses);
+    s += ",\"dram_accesses\":" + fmtU64(e.dramAccesses);
+    s += ",\"iq_size_cycles\":" + fmtU64(e.iqSizeCycles);
+    s += ",\"rob_size_cycles\":" + fmtU64(e.robSizeCycles);
+    s += ",\"lsq_size_cycles\":" + fmtU64(e.lsqSizeCycles);
+    s += "}";
+    s += ",\"energy_total\":" + fmtDouble(r.energyTotal);
+    s += ",\"edp\":" + fmtDouble(r.edp);
+    s += ",\"runahead_episodes\":" + fmtU64(r.runaheadEpisodes);
+    s += ",\"runahead_useless\":" + fmtU64(r.runaheadUseless);
+    s += ",\"arch_reg_checksum\":" + fmtU64(r.archRegChecksum);
+    s += "}";
+    return s;
+}
+
+SimResult
+resultFromJson(const std::string &json)
+{
+    JsonValue root = JsonParser(json).parse();
+    if (root.kind != JsonValue::Kind::Object)
+        throw std::runtime_error("JSON: result must be an object");
+
+    SimResult r;
+    r.workload = root.field("workload").asString();
+    r.model = root.field("model").asString();
+    r.halted = root.field("halted").asBool();
+    r.cycles = root.field("cycles").asU64();
+    r.committed = root.field("committed").asU64();
+    r.ipc = root.field("ipc").asDouble();
+    r.avgLoadLatency = root.field("avg_load_latency").asDouble();
+    r.observedMlp = root.field("observed_mlp").asDouble();
+    r.committedBranches = root.field("committed_branches").asU64();
+    r.committedMispredicts =
+        root.field("committed_mispredicts").asU64();
+    r.squashed = root.field("squashed").asU64();
+    r.l2DemandMisses = root.field("l2_demand_misses").asU64();
+
+    const JsonValue &pol = root.field("l2_pollution");
+    readU64Array(pol.field("brought"), r.l2Pollution.brought,
+                 kNumProvenances);
+    readU64Array(pol.field("useful"), r.l2Pollution.useful,
+                 kNumProvenances);
+
+    const JsonValue &levels = root.field("cycles_at_level");
+    if (levels.kind != JsonValue::Kind::Array)
+        throw std::runtime_error("JSON: cycles_at_level not an array");
+    for (const JsonValue &v : levels.array)
+        r.cyclesAtLevel.push_back(v.asU64());
+
+    const JsonValue &en = root.field("energy_inputs");
+    EnergyInputs &e = r.energyInputs;
+    e.cycles = en.field("cycles").asU64();
+    e.fetched = en.field("fetched").asU64();
+    e.dispatched = en.field("dispatched").asU64();
+    e.issued = en.field("issued").asU64();
+    e.committed = en.field("committed").asU64();
+    e.loads = en.field("loads").asU64();
+    e.stores = en.field("stores").asU64();
+    e.l1iAccesses = en.field("l1i_accesses").asU64();
+    e.l1dAccesses = en.field("l1d_accesses").asU64();
+    e.l2Accesses = en.field("l2_accesses").asU64();
+    e.dramAccesses = en.field("dram_accesses").asU64();
+    e.iqSizeCycles = en.field("iq_size_cycles").asU64();
+    e.robSizeCycles = en.field("rob_size_cycles").asU64();
+    e.lsqSizeCycles = en.field("lsq_size_cycles").asU64();
+
+    r.energyTotal = root.field("energy_total").asDouble();
+    r.edp = root.field("edp").asDouble();
+    r.runaheadEpisodes = root.field("runahead_episodes").asU64();
+    r.runaheadUseless = root.field("runahead_useless").asU64();
+    r.archRegChecksum = root.field("arch_reg_checksum").asU64();
+    return r;
+}
+
+std::string
+csvHeader()
+{
+    return "workload,model,halted,cycles,committed,ipc,"
+           "avg_load_latency,observed_mlp,committed_branches,"
+           "committed_mispredicts,squashed,l2_demand_misses,"
+           "l2_brought,l2_useful,cycles_at_level,e_cycles,e_fetched,"
+           "e_dispatched,e_issued,e_committed,e_loads,e_stores,"
+           "e_l1i_accesses,e_l1d_accesses,e_l2_accesses,"
+           "e_dram_accesses,e_iq_size_cycles,e_rob_size_cycles,"
+           "e_lsq_size_cycles,energy_total,edp,runahead_episodes,"
+           "runahead_useless,arch_reg_checksum";
+}
+
+std::string
+resultToCsv(const SimResult &r)
+{
+    // Workload/model names contain no commas or quotes by
+    // construction; arrays are ';'-joined inside one cell.
+    std::string s;
+    s += r.workload + "," + r.model + ",";
+    s += r.halted ? "1," : "0,";
+    s += fmtU64(r.cycles) + "," + fmtU64(r.committed) + ",";
+    s += fmtDouble(r.ipc) + "," + fmtDouble(r.avgLoadLatency) + "," +
+         fmtDouble(r.observedMlp) + ",";
+    s += fmtU64(r.committedBranches) + "," +
+         fmtU64(r.committedMispredicts) + "," + fmtU64(r.squashed) +
+         "," + fmtU64(r.l2DemandMisses) + ",";
+    s += joinArray(r.l2Pollution.brought, kNumProvenances, fmtU64,
+                   ";") +
+         ",";
+    s += joinArray(r.l2Pollution.useful, kNumProvenances, fmtU64,
+                   ";") +
+         ",";
+    s += joinArray(r.cyclesAtLevel.data(), r.cyclesAtLevel.size(),
+                   fmtU64, ";") +
+         ",";
+    const EnergyInputs &e = r.energyInputs;
+    for (std::uint64_t v :
+         {e.cycles, e.fetched, e.dispatched, e.issued, e.committed,
+          e.loads, e.stores, e.l1iAccesses, e.l1dAccesses,
+          e.l2Accesses, e.dramAccesses, e.iqSizeCycles,
+          e.robSizeCycles, e.lsqSizeCycles})
+        s += fmtU64(v) + ",";
+    s += fmtDouble(r.energyTotal) + "," + fmtDouble(r.edp) + ",";
+    s += fmtU64(r.runaheadEpisodes) + "," +
+         fmtU64(r.runaheadUseless) + ",";
+    s += fmtU64(r.archRegChecksum);
+    return s;
+}
+
+ResultWriter::ResultWriter(std::ostream &os, Format format)
+    : os_(os), format_(format)
+{}
+
+void
+ResultWriter::write(const SimResult &r)
+{
+    if (format_ == Format::Csv) {
+        if (rows_ == 0)
+            os_ << csvHeader() << "\n";
+        os_ << resultToCsv(r) << "\n";
+    } else {
+        os_ << resultToJson(r) << "\n";
+    }
+    ++rows_;
+}
+
+void
+ResultWriter::writeAll(const std::vector<SimResult> &results)
+{
+    for (const SimResult &r : results)
+        write(r);
+}
+
+} // namespace exp
+} // namespace mlpwin

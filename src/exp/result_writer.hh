@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Machine-readable SimResult serialization: one-line JSON objects
+ * (JSON Lines) and CSV, covering every field — per-level cycle
+ * residency, energy inputs, and pollution provenance included — plus
+ * a parser for the same JSON schema so pipelines (and tests) can
+ * round-trip results exactly. Doubles are printed with %.17g, so a
+ * parse of the output reproduces the in-memory value bit-for-bit.
+ */
+
+#ifndef MLPWIN_EXP_RESULT_WRITER_HH
+#define MLPWIN_EXP_RESULT_WRITER_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace mlpwin
+{
+namespace exp
+{
+
+/** Serialize one result as a single-line JSON object (no newline). */
+std::string resultToJson(const SimResult &r);
+
+/**
+ * Parse a JSON object produced by resultToJson back into a
+ * SimResult.
+ *
+ * @throws std::runtime_error on malformed input or a missing field.
+ */
+SimResult resultFromJson(const std::string &json);
+
+/** CSV column header matching resultToCsv (no newline). */
+std::string csvHeader();
+
+/**
+ * One CSV row (no newline). Array-valued fields (cyclesAtLevel,
+ * pollution provenance counts) are ';'-joined inside one cell.
+ */
+std::string resultToCsv(const SimResult &r);
+
+/** Streams results as JSONL or CSV (header emitted on first row). */
+class ResultWriter
+{
+  public:
+    enum class Format
+    {
+        Jsonl,
+        Csv,
+    };
+
+    /** @param os Sink; must outlive the writer. */
+    ResultWriter(std::ostream &os, Format format);
+
+    /** Append one result (writes the CSV header before row one). */
+    void write(const SimResult &r);
+
+    /** Convenience: write a whole batch in order. */
+    void writeAll(const std::vector<SimResult> &results);
+
+    std::size_t rowsWritten() const { return rows_; }
+
+  private:
+    std::ostream &os_;
+    Format format_;
+    std::size_t rows_ = 0;
+};
+
+} // namespace exp
+} // namespace mlpwin
+
+#endif // MLPWIN_EXP_RESULT_WRITER_HH

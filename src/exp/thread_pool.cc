@@ -1,0 +1,84 @@
+#include "exp/thread_pool.hh"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mlpwin
+{
+namespace exp
+{
+
+unsigned
+ThreadPool::resolveThreads(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads)
+{
+    unsigned n = resolveThreads(num_threads);
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    shutdown();
+}
+
+std::future<void>
+ThreadPool::submit(std::function<void()> job)
+{
+    std::packaged_task<void()> task(std::move(job));
+    std::future<void> fut = task.get_future();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            throw std::runtime_error(
+                "ThreadPool::submit after shutdown");
+        queue_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+    return fut;
+}
+
+void
+ThreadPool::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_ && workers_.empty())
+            return;
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &w : workers_)
+        if (w.joinable())
+            w.join();
+    workers_.clear();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::packaged_task<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock,
+                       [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping_ and nothing left to drain
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task(); // Exceptions land in the associated future.
+    }
+}
+
+} // namespace exp
+} // namespace mlpwin

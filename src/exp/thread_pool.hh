@@ -1,0 +1,80 @@
+/**
+ * @file
+ * A fixed-size worker pool with a plain FIFO job queue. No work
+ * stealing, no priorities: jobs run in submission order as workers
+ * free up, which keeps batch-experiment scheduling easy to reason
+ * about. Exceptions thrown by a job are captured in the future
+ * returned by submit(); shutdown() drains the queue, joins every
+ * worker, and is safe to call more than once (the destructor calls
+ * it too).
+ */
+
+#ifndef MLPWIN_EXP_THREAD_POOL_HH
+#define MLPWIN_EXP_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mlpwin
+{
+namespace exp
+{
+
+/** See file comment. */
+class ThreadPool
+{
+  public:
+    /**
+     * Start the workers immediately.
+     *
+     * @param num_threads Worker count; 0 means one worker per
+     *        hardware thread (at least 1).
+     */
+    explicit ThreadPool(unsigned num_threads);
+
+    /** Joins all workers (drains the queue first). */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+    /**
+     * Enqueue a job. The returned future becomes ready when the job
+     * finishes; if the job throws, future.get() rethrows.
+     *
+     * @throws std::runtime_error if called after shutdown().
+     */
+    std::future<void> submit(std::function<void()> job);
+
+    /**
+     * Stop accepting jobs, run everything already queued, and join
+     * the workers. Idempotent: later calls return immediately.
+     */
+    void shutdown();
+
+    /** Resolve a requested worker count (0 = hardware concurrency). */
+    static unsigned resolveThreads(unsigned requested);
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::deque<std::packaged_task<void()>> queue_;
+    std::vector<std::thread> workers_;
+    bool stopping_ = false;
+};
+
+} // namespace exp
+} // namespace mlpwin
+
+#endif // MLPWIN_EXP_THREAD_POOL_HH

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * ResultWriter tests: exact JSON round-trip of every SimResult field
+ * (including 64-bit values beyond double precision), a golden-file
+ * check pinning the JSONL schema, CSV shape, and a round-trip of a
+ * real simulation result.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "exp/result_writer.hh"
+#include "mem/cache.hh"
+
+namespace mlpwin
+{
+namespace exp
+{
+namespace
+{
+
+/** Every field nonzero and distinctive, doubles full-precision. */
+SimResult
+fixtureResult()
+{
+    SimResult r;
+    r.workload = "libquantum";
+    r.model = "resizing";
+    r.halted = true;
+    r.cycles = 123456789;
+    r.committed = 300000;
+    r.ipc = 2.4300000000000002;
+    r.avgLoadLatency = 17.125;
+    r.observedMlp = 3.9999999999999996;
+    r.committedBranches = 42001;
+    r.committedMispredicts = 417;
+    r.squashed = 9001;
+    r.l2DemandMisses = 5150;
+    for (unsigned i = 0; i < kNumProvenances; ++i) {
+        r.l2Pollution.brought[i] = 100 + i;
+        r.l2Pollution.useful[i] = 50 + i;
+    }
+    r.cyclesAtLevel = {1000, 2000, 3000};
+    r.energyInputs.cycles = 123456789;
+    r.energyInputs.fetched = 410000;
+    r.energyInputs.dispatched = 405000;
+    r.energyInputs.issued = 402000;
+    r.energyInputs.committed = 300000;
+    r.energyInputs.loads = 90000;
+    r.energyInputs.stores = 30000;
+    r.energyInputs.l1iAccesses = 410000;
+    r.energyInputs.l1dAccesses = 120000;
+    r.energyInputs.l2Accesses = 15000;
+    r.energyInputs.dramAccesses = 5200;
+    r.energyInputs.iqSizeCycles = 7654321;
+    r.energyInputs.robSizeCycles = 87654321;
+    r.energyInputs.lsqSizeCycles = 4567890;
+    r.energyTotal = 1.2345678901234567e10;
+    r.edp = 9.8765432109876543e17;
+    r.runaheadEpisodes = 77;
+    r.runaheadUseless = 11;
+    // Deliberately above 2^53: must survive without a double trip.
+    r.archRegChecksum = 16045690984833335023ULL;
+    return r;
+}
+
+void
+expectEqualResults(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.model, b.model);
+    EXPECT_EQ(a.halted, b.halted);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.committed, b.committed);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.avgLoadLatency, b.avgLoadLatency);
+    EXPECT_EQ(a.observedMlp, b.observedMlp);
+    EXPECT_EQ(a.committedBranches, b.committedBranches);
+    EXPECT_EQ(a.committedMispredicts, b.committedMispredicts);
+    EXPECT_EQ(a.squashed, b.squashed);
+    EXPECT_EQ(a.l2DemandMisses, b.l2DemandMisses);
+    for (unsigned i = 0; i < kNumProvenances; ++i) {
+        EXPECT_EQ(a.l2Pollution.brought[i], b.l2Pollution.brought[i]);
+        EXPECT_EQ(a.l2Pollution.useful[i], b.l2Pollution.useful[i]);
+    }
+    EXPECT_EQ(a.cyclesAtLevel, b.cyclesAtLevel);
+    EXPECT_EQ(a.energyInputs.cycles, b.energyInputs.cycles);
+    EXPECT_EQ(a.energyInputs.fetched, b.energyInputs.fetched);
+    EXPECT_EQ(a.energyInputs.dispatched, b.energyInputs.dispatched);
+    EXPECT_EQ(a.energyInputs.issued, b.energyInputs.issued);
+    EXPECT_EQ(a.energyInputs.committed, b.energyInputs.committed);
+    EXPECT_EQ(a.energyInputs.loads, b.energyInputs.loads);
+    EXPECT_EQ(a.energyInputs.stores, b.energyInputs.stores);
+    EXPECT_EQ(a.energyInputs.l1iAccesses, b.energyInputs.l1iAccesses);
+    EXPECT_EQ(a.energyInputs.l1dAccesses, b.energyInputs.l1dAccesses);
+    EXPECT_EQ(a.energyInputs.l2Accesses, b.energyInputs.l2Accesses);
+    EXPECT_EQ(a.energyInputs.dramAccesses,
+              b.energyInputs.dramAccesses);
+    EXPECT_EQ(a.energyInputs.iqSizeCycles,
+              b.energyInputs.iqSizeCycles);
+    EXPECT_EQ(a.energyInputs.robSizeCycles,
+              b.energyInputs.robSizeCycles);
+    EXPECT_EQ(a.energyInputs.lsqSizeCycles,
+              b.energyInputs.lsqSizeCycles);
+    EXPECT_EQ(a.energyTotal, b.energyTotal);
+    EXPECT_EQ(a.edp, b.edp);
+    EXPECT_EQ(a.runaheadEpisodes, b.runaheadEpisodes);
+    EXPECT_EQ(a.runaheadUseless, b.runaheadUseless);
+    EXPECT_EQ(a.archRegChecksum, b.archRegChecksum);
+}
+
+TEST(ResultWriterTest, JsonRoundTripsEveryField)
+{
+    SimResult r = fixtureResult();
+    SimResult back = resultFromJson(resultToJson(r));
+    expectEqualResults(back, r);
+    // And the re-serialization is stable.
+    EXPECT_EQ(resultToJson(back), resultToJson(r));
+}
+
+TEST(ResultWriterTest, JsonRoundTripsARealSimulation)
+{
+    SimConfig cfg;
+    cfg.model = ModelKind::Resizing;
+    cfg.maxInsts = 8000;
+    SimResult r = runWorkload("libquantum", cfg, 1ULL << 40);
+    SimResult back = resultFromJson(resultToJson(r));
+    expectEqualResults(back, r);
+}
+
+TEST(ResultWriterTest, GoldenFilePinsTheJsonlSchema)
+{
+    std::ifstream golden(std::string(MLPWIN_TEST_DATA_DIR) +
+                         "/golden_result.jsonl");
+    ASSERT_TRUE(golden.is_open())
+        << "missing golden file under " MLPWIN_TEST_DATA_DIR;
+    std::string expected;
+    std::getline(golden, expected);
+    EXPECT_EQ(resultToJson(fixtureResult()), expected)
+        << "JSONL schema changed; update tests/exp/data/"
+           "golden_result.jsonl deliberately if so";
+}
+
+TEST(ResultWriterTest, ParserRejectsGarbage)
+{
+    EXPECT_THROW(resultFromJson(""), std::runtime_error);
+    EXPECT_THROW(resultFromJson("{"), std::runtime_error);
+    EXPECT_THROW(resultFromJson("[1,2]"), std::runtime_error);
+    EXPECT_THROW(resultFromJson("{\"workload\":\"x\"}"),
+                 std::runtime_error); // missing fields
+    std::string json = resultToJson(fixtureResult());
+    EXPECT_THROW(resultFromJson(json + "trailing"),
+                 std::runtime_error);
+}
+
+TEST(ResultWriterTest, CsvRowMatchesHeaderShape)
+{
+    auto count = [](const std::string &s) {
+        std::size_t n = 1;
+        for (char c : s)
+            if (c == ',')
+                ++n;
+        return n;
+    };
+    SimResult r = fixtureResult();
+    EXPECT_EQ(count(resultToCsv(r)), count(csvHeader()));
+
+    std::ostringstream os;
+    ResultWriter w(os, ResultWriter::Format::Csv);
+    w.write(r);
+    w.write(r);
+    EXPECT_EQ(w.rowsWritten(), 2u);
+    std::string text = os.str();
+    // Header exactly once, then two rows.
+    EXPECT_EQ(text.find(csvHeader()), 0u);
+    EXPECT_EQ(text.find(csvHeader(), 1), std::string::npos);
+}
+
+TEST(ResultWriterTest, JsonlWriterEmitsOneLinePerResult)
+{
+    std::ostringstream os;
+    ResultWriter w(os, ResultWriter::Format::Jsonl);
+    w.writeAll({fixtureResult(), fixtureResult()});
+    std::string text = os.str();
+    std::size_t newlines = 0;
+    for (char c : text)
+        if (c == '\n')
+            ++newlines;
+    EXPECT_EQ(newlines, 2u);
+}
+
+} // namespace
+} // namespace exp
+} // namespace mlpwin

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * ExperimentRunner tests: matrix expansion order, the determinism
+ * guarantee (a parallel run is bit-identical to a serial run of the
+ * same spec), and model-spec parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exp/experiment.hh"
+#include "exp/result_writer.hh"
+
+namespace mlpwin
+{
+namespace exp
+{
+namespace
+{
+
+/** 3 workloads x 2 models, small budgets so the test stays quick. */
+ExperimentSpec
+smallSpec()
+{
+    ExperimentSpec spec;
+    spec.workloads = {"libquantum", "mcf", "gamess"};
+    spec.models = {{ModelKind::Base, 1, ""},
+                   {ModelKind::Resizing, 1, ""}};
+    spec.base.warmupInsts = 2000;
+    spec.base.warmDataCaches = true;
+    spec.base.maxInsts = 12000;
+    return spec;
+}
+
+TEST(ExperimentSpecTest, ExpandsWorkloadMajor)
+{
+    ExperimentSpec spec = smallSpec();
+    std::vector<ExperimentJob> jobs = expandSpec(spec);
+    ASSERT_EQ(jobs.size(), 6u);
+    EXPECT_EQ(jobs[0].workload, "libquantum");
+    EXPECT_EQ(jobs[0].model.model, ModelKind::Base);
+    EXPECT_EQ(jobs[1].workload, "libquantum");
+    EXPECT_EQ(jobs[1].model.model, ModelKind::Resizing);
+    EXPECT_EQ(jobs[4].workload, "gamess");
+    EXPECT_EQ(jobs[4].model.model, ModelKind::Base);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(jobs[i].index, i);
+        EXPECT_EQ(jobs[i].cfg.maxInsts, 12000u);
+    }
+}
+
+TEST(ExperimentSpecTest, ConfigureHookTweaksOneCell)
+{
+    ExperimentSpec spec = smallSpec();
+    spec.configure = [](SimConfig &cfg, const ExperimentJob &job) {
+        if (job.workload == "mcf")
+            cfg.maxInsts = 777;
+    };
+    std::vector<ExperimentJob> jobs = expandSpec(spec);
+    EXPECT_EQ(jobs[0].cfg.maxInsts, 12000u);
+    EXPECT_EQ(jobs[2].cfg.maxInsts, 777u);
+    EXPECT_EQ(jobs[3].cfg.maxInsts, 777u);
+}
+
+TEST(ModelSpecTest, ParsesNamesAndLevels)
+{
+    ModelSpec m;
+    ASSERT_TRUE(parseModelSpec("resizing", m));
+    EXPECT_EQ(m.model, ModelKind::Resizing);
+    EXPECT_EQ(m.level, 1u);
+    EXPECT_EQ(m.displayLabel(), "resizing");
+
+    ASSERT_TRUE(parseModelSpec("fixed:3", m));
+    EXPECT_EQ(m.model, ModelKind::Fixed);
+    EXPECT_EQ(m.level, 3u);
+    EXPECT_EQ(m.displayLabel(), "fixed3");
+
+    EXPECT_FALSE(parseModelSpec("bogus", m));
+    EXPECT_FALSE(parseModelSpec("fixed:0", m));
+    EXPECT_FALSE(parseModelSpec("fixed:x", m));
+}
+
+/**
+ * The tentpole guarantee: -j 4 must produce results bit-identical to
+ * -j 1 for the same spec — same cycles, IPC, and architectural
+ * register checksum in the same submission order.
+ */
+TEST(ExperimentRunnerTest, ParallelMatchesSerialBitExact)
+{
+    ExperimentSpec spec = smallSpec();
+    std::vector<SimResult> serial =
+        ExperimentRunner(1, false).run(spec);
+    std::vector<SimResult> parallel =
+        ExperimentRunner(4, false).run(spec);
+
+    ASSERT_EQ(serial.size(), 6u);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE(serial[i].workload + "/" + serial[i].model);
+        EXPECT_EQ(parallel[i].workload, serial[i].workload);
+        EXPECT_EQ(parallel[i].model, serial[i].model);
+        EXPECT_EQ(parallel[i].cycles, serial[i].cycles);
+        EXPECT_EQ(parallel[i].committed, serial[i].committed);
+        EXPECT_EQ(parallel[i].ipc, serial[i].ipc);
+        EXPECT_EQ(parallel[i].archRegChecksum,
+                  serial[i].archRegChecksum);
+        EXPECT_EQ(parallel[i].l2DemandMisses,
+                  serial[i].l2DemandMisses);
+        EXPECT_EQ(parallel[i].edp, serial[i].edp);
+        // Strongest form: the serialized records must be identical
+        // byte for byte (covers every remaining field).
+        EXPECT_EQ(resultToJson(parallel[i]),
+                  resultToJson(serial[i]));
+    }
+
+    // Sanity: results are real simulations, not zeroed stubs.
+    for (const SimResult &r : serial) {
+        EXPECT_GE(r.committed, 12000u);
+        EXPECT_GT(r.cycles, 0u);
+        EXPECT_GT(r.ipc, 0.0);
+    }
+}
+
+} // namespace
+} // namespace exp
+} // namespace mlpwin

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * ThreadPool unit tests: FIFO draining under heavy oversubscription,
+ * exception propagation through futures, and shutdown semantics
+ * (drains the queue, idempotent, rejects late submissions).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exp/thread_pool.hh"
+
+namespace mlpwin
+{
+namespace exp
+{
+namespace
+{
+
+TEST(ThreadPoolTest, RunsEveryJobWhenOversubscribed)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+
+    constexpr int kJobs = 2000; // >> pool size
+    std::atomic<int> ran{0};
+    std::vector<std::future<void>> futures;
+    futures.reserve(kJobs);
+    for (int i = 0; i < kJobs; ++i)
+        futures.push_back(pool.submit([&ran] { ++ran; }));
+    for (auto &f : futures)
+        f.get();
+    EXPECT_EQ(ran.load(), kJobs);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsMeansHardwareConcurrency)
+{
+    ThreadPool pool(0);
+    EXPECT_GE(pool.size(), 1u);
+
+    std::atomic<int> ran{0};
+    pool.submit([&ran] { ++ran; }).get();
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, ExceptionsSurfaceThroughFutures)
+{
+    ThreadPool pool(2);
+    std::future<void> ok = pool.submit([] {});
+    std::future<void> bad =
+        pool.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_NO_THROW(ok.get());
+    EXPECT_THROW(bad.get(), std::runtime_error);
+
+    // The pool must survive a throwing job.
+    std::atomic<int> ran{0};
+    pool.submit([&ran] { ++ran; }).get();
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedJobs)
+{
+    std::atomic<int> ran{0};
+    ThreadPool pool(1);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 50; ++i)
+        futures.push_back(pool.submit([&ran] {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+            ++ran;
+        }));
+    pool.shutdown(); // must run everything already queued
+    EXPECT_EQ(ran.load(), 50);
+    for (auto &f : futures)
+        EXPECT_NO_THROW(f.get());
+}
+
+TEST(ThreadPoolTest, DoubleShutdownIsSafe)
+{
+    ThreadPool pool(2);
+    pool.submit([] {}).get();
+    pool.shutdown();
+    EXPECT_NO_THROW(pool.shutdown());
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownThrows)
+{
+    ThreadPool pool(2);
+    pool.shutdown();
+    EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+}
+
+} // namespace
+} // namespace exp
+} // namespace mlpwin

@@ -20,6 +20,7 @@
 #include <memory>
 #include <string>
 
+#include "common/parse.hh"
 #include "cpu/tracer.hh"
 #include "sim/simulator.hh"
 #include "workloads/suite.hh"
@@ -55,6 +56,19 @@ usage()
         "                         dispatch,issue,complete,commit,\n"
         "                         squash,resize,runahead\n"
         "      --trace-start N    first cycle to trace (default 0)\n");
+}
+
+/** Parse a numeric flag value strictly; usage-error exit on junk. */
+std::uint64_t
+numericFlag(const std::string &flag, const char *value)
+{
+    std::uint64_t v = 0;
+    if (!parseU64(value, v)) {
+        std::fprintf(stderr, "%s: not a number: '%s'\n", flag.c_str(),
+                     value);
+        std::exit(2);
+    }
+    return v;
 }
 
 bool
@@ -118,22 +132,22 @@ main(int argc, char **argv)
             }
         } else if (arg == "--level") {
             cfg.fixedLevel =
-                static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+                static_cast<unsigned>(numericFlag(arg, next()));
         } else if (arg == "--insts") {
-            cfg.maxInsts = std::strtoull(next(), nullptr, 10);
+            cfg.maxInsts = numericFlag(arg, next());
         } else if (arg == "--warmup") {
-            cfg.warmupInsts = std::strtoull(next(), nullptr, 10);
+            cfg.warmupInsts = numericFlag(arg, next());
         } else if (arg == "--no-warm-caches") {
             cfg.warmInstCaches = false;
             cfg.warmDataCaches = false;
         } else if (arg == "--mem-latency") {
-            unsigned lat = static_cast<unsigned>(
-                std::strtoul(next(), nullptr, 10));
+            unsigned lat =
+                static_cast<unsigned>(numericFlag(arg, next()));
             cfg.mem.dram.minLatency = lat;
             cfg.mlp.memoryLatency = lat;
         } else if (arg == "--penalty") {
-            cfg.mlp.transitionPenalty = static_cast<unsigned>(
-                std::strtoul(next(), nullptr, 10));
+            cfg.mlp.transitionPenalty =
+                static_cast<unsigned>(numericFlag(arg, next()));
         } else if (arg == "--no-prefetch") {
             cfg.mem.prefetcher.enabled = false;
         } else if (arg == "--prefetcher") {
@@ -152,7 +166,7 @@ main(int argc, char **argv)
         } else if (arg == "--trace") {
             trace_mask = parseTraceCategories(next());
         } else if (arg == "--trace-start") {
-            trace_start = std::strtoull(next(), nullptr, 10);
+            trace_start = numericFlag(arg, next());
         } else if (arg == "-h" || arg == "--help") {
             usage();
             return 0;
