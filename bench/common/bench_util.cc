@@ -57,6 +57,26 @@ benchJobs()
     return static_cast<unsigned>(v);
 }
 
+std::string
+telemetryDir()
+{
+    const char *env = std::getenv("MLPWIN_BENCH_TELEMETRY_DIR");
+    return env ? std::string(env) : std::string();
+}
+
+Cycle
+telemetryInterval()
+{
+    std::uint64_t v = envBudget("MLPWIN_BENCH_TELEMETRY_INTERVAL",
+                                kDefaultTelemetryInterval);
+    if (v == 0) {
+        std::fprintf(stderr,
+                     "MLPWIN_BENCH_TELEMETRY_INTERVAL: must be >= 1\n");
+        std::exit(2);
+    }
+    return v;
+}
+
 SimConfig
 benchConfig(ModelKind model, unsigned level)
 {
@@ -81,7 +101,27 @@ runConfig(const std::string &workload, const SimConfig &cfg,
 {
     SimConfig c = cfg;
     c.maxInsts = max_insts;
-    SimResult r = runWorkload(workload, c, kForever);
+    SimResult r;
+    std::string dir = telemetryDir();
+    if (dir.empty()) {
+        r = runWorkload(workload, c, kForever);
+    } else {
+        // Route through the experiment runner's telemetry path so a
+        // single-cell run produces the same per-job files a matrix
+        // would. Repeated runs of the same workload/model cell
+        // overwrite their files; last run wins.
+        exp::ExperimentSpec spec;
+        spec.workloads = {workload};
+        exp::ModelSpec m;
+        m.model = c.model;
+        m.level = c.fixedLevel;
+        spec.models = {m};
+        spec.base = c;
+        spec.iterations = kForever;
+        spec.telemetryDir = dir;
+        spec.telemetryInterval = telemetryInterval();
+        r = exp::ExperimentRunner(1, false).run(spec).front();
+    }
     progress(workload + " [" + r.model + "]: ipc " +
              std::to_string(r.ipc));
     return r;
@@ -98,6 +138,8 @@ runMatrix(const std::vector<std::string> &workloads,
     spec.base = benchConfig(ModelKind::Base, 1);
     spec.base.maxInsts = max_insts;
     spec.iterations = kForever;
+    spec.telemetryDir = telemetryDir();
+    spec.telemetryInterval = telemetryInterval();
     return exp::ExperimentRunner(benchJobs()).run(spec);
 }
 

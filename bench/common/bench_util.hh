@@ -44,6 +44,22 @@ std::uint64_t warmupBudget();
 unsigned benchJobs();
 
 /**
+ * Telemetry output directory from the environment
+ * (MLPWIN_BENCH_TELEMETRY_DIR). When set, every bench run (both
+ * runConfig and runMatrix) additionally writes
+ * DIR/<workload>.<model>.telemetry.jsonl (interval time series —
+ * window level vs. time, the raw data behind Fig. 8) and
+ * DIR/<workload>.<model>.trace.json (event timeline). Empty = off.
+ */
+std::string telemetryDir();
+
+/**
+ * Telemetry sampling interval in cycles from the environment
+ * (MLPWIN_BENCH_TELEMETRY_INTERVAL, default 10000).
+ */
+Cycle telemetryInterval();
+
+/**
  * Default benchmark configuration: warm instruction and data caches,
  * warm-up window, and the given model/level.
  */

@@ -1,0 +1,330 @@
+#include "json.hh"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace mlpwin
+{
+
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    // 17 significant digits round-trip any IEEE-754 double exactly.
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+fmtU64(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+const JsonValue &
+JsonValue::field(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        throw std::runtime_error("JSON: not an object");
+    for (const auto &[k, v] : object)
+        if (k == key)
+            return v;
+    throw std::runtime_error("JSON: missing field '" + key + "'");
+}
+
+bool
+JsonValue::hasField(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return false;
+    for (const auto &[k, v] : object)
+        if (k == key)
+            return true;
+    return false;
+}
+
+std::uint64_t
+JsonValue::asU64() const
+{
+    if (kind != Kind::Number)
+        throw std::runtime_error("JSON: expected number");
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0')
+        throw std::runtime_error("JSON: bad integer '" + text + "'");
+    return v;
+}
+
+double
+JsonValue::asDouble() const
+{
+    if (kind != Kind::Number)
+        throw std::runtime_error("JSON: expected number");
+    char *end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0')
+        throw std::runtime_error("JSON: bad number '" + text + "'");
+    return v;
+}
+
+bool
+JsonValue::asBool() const
+{
+    if (kind != Kind::Bool)
+        throw std::runtime_error("JSON: expected bool");
+    return boolean;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (kind != Kind::String)
+        throw std::runtime_error("JSON: expected string");
+    return text;
+}
+
+JsonValue
+JsonParser::parse()
+{
+    JsonValue v = parseValue();
+    skipWs();
+    if (pos_ != src_.size())
+        fail("trailing characters");
+    return v;
+}
+
+void
+JsonParser::fail(const std::string &why) const
+{
+    throw std::runtime_error("JSON parse error at offset " +
+                             std::to_string(pos_) + ": " + why);
+}
+
+void
+JsonParser::skipWs()
+{
+    while (pos_ < src_.size() &&
+           std::isspace(static_cast<unsigned char>(src_[pos_])))
+        ++pos_;
+}
+
+char
+JsonParser::peek()
+{
+    if (pos_ >= src_.size())
+        fail("unexpected end of input");
+    return src_[pos_];
+}
+
+void
+JsonParser::expect(char c)
+{
+    if (peek() != c)
+        fail(std::string("expected '") + c + "'");
+    ++pos_;
+}
+
+bool
+JsonParser::consumeLiteral(const char *lit)
+{
+    std::size_t n = std::char_traits<char>::length(lit);
+    if (src_.compare(pos_, n, lit) == 0) {
+        pos_ += n;
+        return true;
+    }
+    return false;
+}
+
+JsonValue
+JsonParser::parseValue()
+{
+    skipWs();
+    char c = peek();
+    if (c == '{')
+        return parseObject();
+    if (c == '[')
+        return parseArray();
+    if (c == '"')
+        return parseString();
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
+        return parseNumber();
+    JsonValue v;
+    if (consumeLiteral("true")) {
+        v.kind = JsonValue::Kind::Bool;
+        v.boolean = true;
+        return v;
+    }
+    if (consumeLiteral("false")) {
+        v.kind = JsonValue::Kind::Bool;
+        return v;
+    }
+    if (consumeLiteral("null"))
+        return v;
+    fail("unexpected character");
+}
+
+JsonValue
+JsonParser::parseObject()
+{
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Object;
+    skipWs();
+    if (peek() == '}') {
+        ++pos_;
+        return v;
+    }
+    for (;;) {
+        skipWs();
+        JsonValue key = parseString();
+        skipWs();
+        expect(':');
+        v.object.emplace_back(key.text, parseValue());
+        skipWs();
+        if (peek() == ',') {
+            ++pos_;
+            continue;
+        }
+        expect('}');
+        return v;
+    }
+}
+
+JsonValue
+JsonParser::parseArray()
+{
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Array;
+    skipWs();
+    if (peek() == ']') {
+        ++pos_;
+        return v;
+    }
+    for (;;) {
+        v.array.push_back(parseValue());
+        skipWs();
+        if (peek() == ',') {
+            ++pos_;
+            continue;
+        }
+        expect(']');
+        return v;
+    }
+}
+
+JsonValue
+JsonParser::parseString()
+{
+    expect('"');
+    JsonValue v;
+    v.kind = JsonValue::Kind::String;
+    for (;;) {
+        char c = peek();
+        ++pos_;
+        if (c == '"')
+            return v;
+        if (c != '\\') {
+            v.text += c;
+            continue;
+        }
+        char esc = peek();
+        ++pos_;
+        switch (esc) {
+          case '"':
+            v.text += '"';
+            break;
+          case '\\':
+            v.text += '\\';
+            break;
+          case '/':
+            v.text += '/';
+            break;
+          case 'n':
+            v.text += '\n';
+            break;
+          case 't':
+            v.text += '\t';
+            break;
+          case 'r':
+            v.text += '\r';
+            break;
+          default:
+            fail("unsupported escape");
+        }
+    }
+}
+
+JsonValue
+JsonParser::parseNumber()
+{
+    std::size_t start = pos_;
+    if (peek() == '-')
+        ++pos_;
+    auto digits = [&] {
+        while (pos_ < src_.size() &&
+               std::isdigit(static_cast<unsigned char>(src_[pos_])))
+            ++pos_;
+    };
+    digits();
+    if (pos_ < src_.size() && src_[pos_] == '.') {
+        ++pos_;
+        digits();
+    }
+    if (pos_ < src_.size() &&
+        (src_[pos_] == 'e' || src_[pos_] == 'E')) {
+        ++pos_;
+        if (pos_ < src_.size() &&
+            (src_[pos_] == '+' || src_[pos_] == '-'))
+            ++pos_;
+        digits();
+    }
+    if (pos_ == start)
+        fail("bad number");
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    v.text = src_.substr(start, pos_ - start);
+    return v;
+}
+
+JsonValue
+parseJson(const std::string &src)
+{
+    return JsonParser(src).parse();
+}
+
+} // namespace mlpwin

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Minimal JSON utilities shared by every machine-readable exporter
+ * (batch results, telemetry time series, timelines, stats dumps):
+ * formatting helpers that round-trip exactly, string escaping, and a
+ * parser for the subset of JSON the exporters emit. Numbers keep
+ * their raw text in the parse tree so 64-bit integers survive
+ * without a trip through double.
+ */
+
+#ifndef MLPWIN_COMMON_JSON_HH
+#define MLPWIN_COMMON_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mlpwin
+{
+
+/** %.17g — 17 significant digits round-trip any IEEE-754 double. */
+std::string fmtDouble(double v);
+
+/** Decimal text of an unsigned 64-bit value. */
+std::string fmtU64(std::uint64_t v);
+
+/** Escape a string for embedding inside JSON double quotes. */
+std::string jsonEscape(const std::string &s);
+
+/** A parsed JSON value; see file comment. */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    std::string text; // raw number text, or decoded string
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    /** @throws std::runtime_error if not an object / key missing. */
+    const JsonValue &field(const std::string &key) const;
+
+    /** True if this is an object containing `key`. */
+    bool hasField(const std::string &key) const;
+
+    std::uint64_t asU64() const;
+    double asDouble() const;
+    bool asBool() const;
+    const std::string &asString() const;
+};
+
+/**
+ * Recursive-descent parser for the exporters' JSON subset.
+ * @throws std::runtime_error with the offending offset on bad input.
+ */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &src) : src_(src) {}
+
+    JsonValue parse();
+
+  private:
+    [[noreturn]] void fail(const std::string &why) const;
+    void skipWs();
+    char peek();
+    void expect(char c);
+    bool consumeLiteral(const char *lit);
+    JsonValue parseValue();
+    JsonValue parseObject();
+    JsonValue parseArray();
+    JsonValue parseString();
+    JsonValue parseNumber();
+
+    const std::string &src_;
+    std::size_t pos_ = 0;
+};
+
+/** Convenience: parse a complete JSON document. */
+JsonValue parseJson(const std::string &src);
+
+} // namespace mlpwin
+
+#endif // MLPWIN_COMMON_JSON_HH

@@ -3,33 +3,54 @@
 #include <cmath>
 #include <iomanip>
 
+#include "json.hh"
 #include "logging.hh"
 
 namespace mlpwin
 {
 
 Stat::Stat(StatSet *parent, std::string name, std::string desc)
-    : name_(std::move(name)), desc_(std::move(desc))
+    : parent_(parent), name_(std::move(name)), desc_(std::move(desc))
 {
     if (parent)
         parent->add(this);
 }
 
+std::string
+Stat::fullName() const
+{
+    return parent_ ? parent_->qualify(name_) : name_;
+}
+
 void
 Counter::print(std::ostream &os) const
 {
-    os << std::left << std::setw(40) << name() << ' '
+    os << std::left << std::setw(40) << fullName() << ' '
        << std::right << std::setw(16) << value_
        << "  # " << desc() << '\n';
 }
 
 void
+Counter::printJson(std::ostream &os) const
+{
+    os << fmtU64(value_);
+}
+
+void
 Average::print(std::ostream &os) const
 {
-    os << std::left << std::setw(40) << name() << ' '
+    os << std::left << std::setw(40) << fullName() << ' '
        << std::right << std::setw(16) << std::fixed
        << std::setprecision(4) << mean()
        << "  # " << desc() << " (n=" << count_ << ")\n";
+}
+
+void
+Average::printJson(std::ostream &os) const
+{
+    os << "{\"mean\":" << fmtDouble(mean())
+       << ",\"count\":" << fmtU64(count_)
+       << ",\"sum\":" << fmtDouble(sum_) << "}";
 }
 
 Histogram::Histogram(StatSet *parent, std::string name, std::string desc,
@@ -55,7 +76,8 @@ Histogram::sample(std::uint64_t v)
 void
 Histogram::print(std::ostream &os) const
 {
-    os << name() << "  # " << desc() << " (total=" << total_ << ")\n";
+    os << fullName() << "  # " << desc() << " (total=" << total_
+       << ")\n";
     for (std::size_t i = 0; i < bins_.size(); ++i) {
         if (bins_[i] == 0)
             continue;
@@ -67,11 +89,31 @@ Histogram::print(std::ostream &os) const
 }
 
 void
+Histogram::printJson(std::ostream &os) const
+{
+    os << "{\"bin_width\":" << fmtU64(binWidth_) << ",\"bins\":[";
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        if (i)
+            os << ',';
+        os << fmtU64(bins_[i]);
+    }
+    os << "],\"overflow\":" << fmtU64(overflow_)
+       << ",\"total\":" << fmtU64(total_) << "}";
+}
+
+void
 Histogram::reset()
 {
     std::fill(bins_.begin(), bins_.end(), 0);
     overflow_ = 0;
     total_ = 0;
+}
+
+StatSet::StatSet(StatSet *parent, std::string prefix)
+    : parent_(parent), prefix_(std::move(prefix))
+{
+    if (parent_)
+        parent_->children_.push_back(this);
 }
 
 void
@@ -80,11 +122,44 @@ StatSet::add(Stat *s)
     stats_.push_back(s);
 }
 
+std::string
+StatSet::qualify(const std::string &name) const
+{
+    std::string full =
+        prefix_.empty() ? name : prefix_ + "." + name;
+    return parent_ ? parent_->qualify(full) : full;
+}
+
 void
 StatSet::dump(std::ostream &os) const
 {
     for (const Stat *s : stats_)
         s->print(os);
+    for (const StatSet *c : children_)
+        c->dump(os);
+}
+
+void
+StatSet::dumpJson(std::ostream &os) const
+{
+    os << '{';
+    bool first = true;
+    dumpJsonInner(os, first);
+    os << '}';
+}
+
+void
+StatSet::dumpJsonInner(std::ostream &os, bool &first) const
+{
+    for (const Stat *s : stats_) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << '"' << jsonEscape(s->fullName()) << "\":";
+        s->printJson(os);
+    }
+    for (const StatSet *c : children_)
+        c->dumpJsonInner(os, first);
 }
 
 void
@@ -92,6 +167,8 @@ StatSet::resetAll()
 {
     for (Stat *s : stats_)
         s->reset();
+    for (StatSet *c : children_)
+        c->resetAll();
 }
 
 double

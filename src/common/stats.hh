@@ -40,13 +40,30 @@ class Stat
     const std::string &name() const { return name_; }
     const std::string &desc() const { return desc_; }
 
+    /**
+     * The name with every owning-set prefix prepended with dots
+     * ("telemetry.samples" for a stat "samples" registered in a
+     * child set prefixed "telemetry"). Equals name() for stats in
+     * prefix-less sets.
+     */
+    std::string fullName() const;
+
     /** Print this stat ("name value  # desc" style) to a stream. */
     virtual void print(std::ostream &os) const = 0;
+
+    /**
+     * Print this stat's *value* as a JSON value (no name, no
+     * trailing newline): a number for counters, an object for
+     * averages and histograms. The StatSet::dumpJson visitor pairs
+     * it with the full dotted name.
+     */
+    virtual void printJson(std::ostream &os) const = 0;
 
     /** Reset to the initial (zero) state. */
     virtual void reset() = 0;
 
   private:
+    StatSet *parent_ = nullptr;
     std::string name_;
     std::string desc_;
 };
@@ -65,6 +82,7 @@ class Counter : public Stat
     std::uint64_t value() const { return value_; }
 
     void print(std::ostream &os) const override;
+    void printJson(std::ostream &os) const override;
     void reset() override { value_ = 0; }
 
   private:
@@ -86,6 +104,7 @@ class Average : public Stat
     double sum() const { return sum_; }
 
     void print(std::ostream &os) const override;
+    void printJson(std::ostream &os) const override;
     void reset() override { sum_ = 0.0; count_ = 0; }
 
   private:
@@ -116,6 +135,7 @@ class Histogram : public Stat
     std::uint64_t totalSamples() const { return total_; }
 
     void print(std::ostream &os) const override;
+    void printJson(std::ostream &os) const override;
     void reset() override;
 
   private:
@@ -127,13 +147,28 @@ class Histogram : public Stat
 
 /**
  * A container of statistics that can dump all of its members.
- * StatSets can nest via a parent pointer; names are flat.
+ *
+ * StatSets nest: a child set constructed with a parent and a prefix
+ * registers itself with the parent, and every stat below it dumps
+ * (text and JSON alike) through the parent with "prefix." prepended
+ * to its name — arbitrarily deep, giving dotted hierarchical names
+ * ("telemetry.sampler.dropped") without the stats knowing anything
+ * about the tree they live in.
  */
 class StatSet
 {
   public:
     StatSet() = default;
-    explicit StatSet(StatSet *parent) : parent_(parent) {}
+
+    /**
+     * Construct a child set.
+     *
+     * @param parent Set this one nests under (must outlive it).
+     * @param prefix Name segment prepended (with a '.') to every
+     *        stat registered here or in deeper children; may be
+     *        empty for pure grouping without renaming.
+     */
+    StatSet(StatSet *parent, std::string prefix);
 
     StatSet(const StatSet &) = delete;
     StatSet &operator=(const StatSet &) = delete;
@@ -141,17 +176,36 @@ class StatSet
     /** Called by Stat's constructor. */
     void add(Stat *s);
 
-    /** Print every registered stat, in registration order. */
+    /** A stat name qualified with this set's and ancestors' prefixes. */
+    std::string qualify(const std::string &name) const;
+
+    /**
+     * Print every registered stat, in registration order, then
+     * recurse into child sets.
+     */
     void dump(std::ostream &os) const;
 
-    /** Reset every registered stat. */
+    /**
+     * Dump the whole tree as one flat JSON object keyed by the full
+     * dotted stat names, using each stat's printJson visitor. Emits
+     * a single line, no trailing newline.
+     */
+    void dumpJson(std::ostream &os) const;
+
+    /** Reset every registered stat, child sets included. */
     void resetAll();
 
     const std::vector<Stat *> &stats() const { return stats_; }
+    const std::vector<StatSet *> &children() const { return children_; }
+    const std::string &prefix() const { return prefix_; }
 
   private:
+    void dumpJsonInner(std::ostream &os, bool &first) const;
+
     StatSet *parent_ = nullptr;
+    std::string prefix_;
     std::vector<Stat *> stats_;
+    std::vector<StatSet *> children_;
 };
 
 /** Geometric mean of a sequence of positive values. */

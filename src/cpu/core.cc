@@ -815,6 +815,8 @@ OooCore::maybeEnterRunahead(DynInst &head)
     raUndoLog_.clear();
     inv_.reset();
     ++raEpisodes_;
+    if (timeline_)
+        timeline_->beginRunahead(cycle_, raTriggerPc_);
     traceNote(TraceCategory::Runahead,
               "enter runahead (trigger pc 0x" +
                   std::to_string(raTriggerPc_) + ")");
@@ -862,6 +864,8 @@ OooCore::exitRunahead()
     fetchHalted_ = false;
     fetchWaitBranch_ = false;
 
+    if (timeline_)
+        timeline_->endRunahead(cycle_, raEpisodeMisses_);
     traceNote(TraceCategory::Runahead, "exit runahead");
     redirectAt_ = cycle_ + 1 + raCfg_.exitPenalty;
     fetchPc_ = oracle_.pc();

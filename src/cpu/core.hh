@@ -158,6 +158,25 @@ class OooCore
     /** Attach a pipeline tracer (not owned; nullptr disables). */
     void setTracer(PipelineTracer *t) { tracer_ = t; }
 
+    /**
+     * Attach an event timeline recording runahead episodes (not
+     * owned; nullptr disables — one pointer test per event site).
+     */
+    void setTimeline(EventTimeline *t) { timeline_ = t; }
+
+    // --- telemetry occupancy accessors --------------------------------
+    unsigned robOccupancy() const
+    {
+        return static_cast<unsigned>(window_.size());
+    }
+    unsigned iqOccupancy() const { return iqOcc_; }
+    unsigned lsqOccupancy() const { return lsqOcc_; }
+    /** # of loads currently waiting on an L2 miss (observed MLP). */
+    unsigned outstandingL2Misses() const
+    {
+        return static_cast<unsigned>(activeMissDone_.size());
+    }
+
     /** Committed instructions at which Halt was reached, if any. */
     bool fetchHalted() const { return fetchHalted_; }
 
@@ -228,6 +247,7 @@ class OooCore
     BranchPredictor bp_;
     Emulator oracle_;
     PipelineTracer *tracer_ = nullptr;
+    EventTimeline *timeline_ = nullptr;
 
     // --- core state -----------------------------------------------------
     Cycle cycle_ = 0;

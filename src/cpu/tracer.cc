@@ -29,9 +29,24 @@ traceCategoryName(TraceCategory c)
     return "?";
 }
 
-unsigned
-parseTraceCategories(const std::string &spec)
+std::string
+traceCategoryNames()
 {
+    std::string names;
+    for (unsigned bit = 1; bit <= 0x80u; bit <<= 1) {
+        if (!names.empty())
+            names += ", ";
+        names += traceCategoryName(static_cast<TraceCategory>(bit));
+    }
+    names += ", all";
+    return names;
+}
+
+unsigned
+parseTraceCategories(const std::string &spec, std::string *error)
+{
+    if (error)
+        error->clear();
     if (spec == "all")
         return kTraceAll;
     unsigned mask = 0;
@@ -41,10 +56,19 @@ parseTraceCategories(const std::string &spec)
         if (comma == std::string::npos)
             comma = spec.size();
         std::string name = spec.substr(pos, comma - pos);
+        bool known = name.empty(); // Empty segments are harmless.
         for (unsigned bit = 1; bit <= 0x80u; bit <<= 1) {
             auto c = static_cast<TraceCategory>(bit);
-            if (name == traceCategoryName(c))
+            if (name == traceCategoryName(c)) {
                 mask |= bit;
+                known = true;
+            }
+        }
+        if (!known) {
+            if (error)
+                *error = "unknown trace category '" + name +
+                         "' (valid: " + traceCategoryNames() + ")";
+            return 0;
         }
         pos = comma + 1;
     }

@@ -38,9 +38,15 @@ constexpr unsigned kTraceAll = 0xff;
 
 /**
  * Parse a comma-separated category list ("issue,commit,resize") into
- * a mask; "all" selects every category. Unknown names are ignored.
+ * a mask; "all" selects every category. An unknown name yields mask 0
+ * and, if @p error is non-null, a diagnostic naming the offender and
+ * listing every valid category.
  */
-unsigned parseTraceCategories(const std::string &spec);
+unsigned parseTraceCategories(const std::string &spec,
+                              std::string *error = nullptr);
+
+/** Comma-separated list of every valid category name (plus "all"). */
+std::string traceCategoryNames();
 
 /** Printable name of a single category. */
 const char *traceCategoryName(TraceCategory c);

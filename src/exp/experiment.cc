@@ -5,9 +5,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <filesystem>
+#include <fstream>
 #include <mutex>
+#include <stdexcept>
 
 #include "exp/thread_pool.hh"
+#include "telemetry/export.hh"
+#include "telemetry/timeline.hh"
 #include "workloads/suite.hh"
 
 namespace mlpwin
@@ -82,6 +87,52 @@ expandSpec(const ExperimentSpec &spec)
     return jobs;
 }
 
+namespace
+{
+
+/** Per-job telemetry file stem: "<workload>.<label>". */
+std::string
+jobFileStem(const ExperimentJob &job)
+{
+    return job.workload + "." + job.model.displayLabel();
+}
+
+/**
+ * Like runWorkload, but with an interval sampler and event timeline
+ * attached; both are written under spec.telemetryDir after the run.
+ */
+SimResult
+runJobWithTelemetry(const ExperimentSpec &spec,
+                    const ExperimentJob &job)
+{
+    const WorkloadSpec &ws = findWorkload(job.workload);
+    Program prog = ws.make(spec.iterations);
+    Simulator sim(job.cfg, prog);
+
+    IntervalSampler sampler(spec.telemetryInterval);
+    EventTimeline timeline;
+    sim.setSampler(&sampler);
+    sim.setTimeline(&timeline);
+
+    SimResult r = sim.run();
+
+    std::string stem = spec.telemetryDir + "/" + jobFileStem(job);
+    std::ofstream series(stem + ".telemetry.jsonl");
+    if (!series)
+        throw std::runtime_error("cannot open " + stem +
+                                 ".telemetry.jsonl");
+    writeTelemetryJsonl(series, sampler);
+
+    std::ofstream trace(stem + ".trace.json");
+    if (!trace)
+        throw std::runtime_error("cannot open " + stem +
+                                 ".trace.json");
+    writeChromeTrace(trace, timeline, jobFileStem(job));
+    return r;
+}
+
+} // namespace
+
 ExperimentRunner::ExperimentRunner(unsigned jobs, bool progress)
     : jobs_(ThreadPool::resolveThreads(jobs)), progress_(progress)
 {}
@@ -94,6 +145,11 @@ ExperimentRunner::run(const ExperimentSpec &spec) const
     for (const std::string &w : spec.workloads)
         findWorkload(w);
 
+    // Create the telemetry directory once, before workers race to
+    // open files inside it.
+    if (!spec.telemetryDir.empty())
+        std::filesystem::create_directories(spec.telemetryDir);
+
     const std::vector<ExperimentJob> jobs = expandSpec(spec);
     std::vector<SimResult> results(jobs.size());
     std::vector<std::exception_ptr> errors(jobs.size());
@@ -104,8 +160,9 @@ ExperimentRunner::run(const ExperimentSpec &spec) const
 
     auto run_one = [&](const ExperimentJob &job) {
         try {
-            results[job.index] =
-                runWorkload(job.workload, job.cfg, spec.iterations);
+            results[job.index] = spec.telemetryDir.empty()
+                ? runWorkload(job.workload, job.cfg, spec.iterations)
+                : runJobWithTelemetry(spec, job);
         } catch (...) {
             errors[job.index] = std::current_exception();
         }

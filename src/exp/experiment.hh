@@ -18,6 +18,7 @@
 
 #include "sim/sim_config.hh"
 #include "sim/simulator.hh"
+#include "telemetry/sampler.hh"
 
 namespace mlpwin
 {
@@ -66,6 +67,16 @@ struct ExperimentSpec
      * per-cell parameter sweep). Runs after model/level are applied.
      */
     std::function<void(SimConfig &, const ExperimentJob &)> configure;
+
+    /**
+     * If non-empty, every job also writes interval telemetry and an
+     * event timeline into this directory (created if missing) as
+     * <workload>.<label>.telemetry.jsonl and
+     * <workload>.<label>.trace.json.
+     */
+    std::string telemetryDir;
+    /** Sampling interval for per-job telemetry, cycles. */
+    Cycle telemetryInterval = kDefaultTelemetryInterval;
 
     /** workloads.size() * models.size(). */
     std::size_t jobCount() const

@@ -1,12 +1,8 @@
 #include "exp/result_writer.hh"
 
-#include <cctype>
-#include <cinttypes>
-#include <cstdio>
-#include <cstdlib>
 #include <stdexcept>
-#include <utility>
 
+#include "common/json.hh"
 #include "mem/cache.hh"
 
 namespace mlpwin
@@ -16,52 +12,6 @@ namespace exp
 
 namespace
 {
-
-std::string
-fmtDouble(double v)
-{
-    char buf[64];
-    // 17 significant digits round-trip any IEEE-754 double exactly.
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    return buf;
-}
-
-std::string
-fmtU64(std::uint64_t v)
-{
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
-    return buf;
-}
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size() + 2);
-    for (char c : s) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          case '\r':
-            out += "\\r";
-            break;
-          default:
-            out += c;
-        }
-    }
-    return out;
-}
 
 template <typename T, typename Fmt>
 std::string
@@ -75,298 +25,6 @@ joinArray(const T *vals, std::size_t n, Fmt fmt, const char *sep)
     }
     return out;
 }
-
-/**
- * The subset of JSON our schema uses, parsed into a tagged tree.
- * Numbers keep their raw text so 64-bit integers survive without a
- * trip through double.
- */
-struct JsonValue
-{
-    enum class Kind
-    {
-        Null,
-        Bool,
-        Number,
-        String,
-        Array,
-        Object,
-    };
-
-    Kind kind = Kind::Null;
-    bool boolean = false;
-    std::string text; // raw number text, or decoded string
-    std::vector<JsonValue> array;
-    std::vector<std::pair<std::string, JsonValue>> object;
-
-    const JsonValue &
-    field(const std::string &key) const
-    {
-        if (kind != Kind::Object)
-            throw std::runtime_error("JSON: not an object");
-        for (const auto &[k, v] : object)
-            if (k == key)
-                return v;
-        throw std::runtime_error("JSON: missing field '" + key + "'");
-    }
-
-    std::uint64_t
-    asU64() const
-    {
-        if (kind != Kind::Number)
-            throw std::runtime_error("JSON: expected number");
-        char *end = nullptr;
-        std::uint64_t v = std::strtoull(text.c_str(), &end, 10);
-        if (end == text.c_str() || *end != '\0')
-            throw std::runtime_error("JSON: bad integer '" + text +
-                                     "'");
-        return v;
-    }
-
-    double
-    asDouble() const
-    {
-        if (kind != Kind::Number)
-            throw std::runtime_error("JSON: expected number");
-        char *end = nullptr;
-        double v = std::strtod(text.c_str(), &end);
-        if (end == text.c_str() || *end != '\0')
-            throw std::runtime_error("JSON: bad number '" + text +
-                                     "'");
-        return v;
-    }
-
-    bool
-    asBool() const
-    {
-        if (kind != Kind::Bool)
-            throw std::runtime_error("JSON: expected bool");
-        return boolean;
-    }
-
-    const std::string &
-    asString() const
-    {
-        if (kind != Kind::String)
-            throw std::runtime_error("JSON: expected string");
-        return text;
-    }
-};
-
-class JsonParser
-{
-  public:
-    explicit JsonParser(const std::string &src) : src_(src) {}
-
-    JsonValue
-    parse()
-    {
-        JsonValue v = parseValue();
-        skipWs();
-        if (pos_ != src_.size())
-            fail("trailing characters");
-        return v;
-    }
-
-  private:
-    [[noreturn]] void
-    fail(const std::string &why) const
-    {
-        throw std::runtime_error("JSON parse error at offset " +
-                                 std::to_string(pos_) + ": " + why);
-    }
-
-    void
-    skipWs()
-    {
-        while (pos_ < src_.size() &&
-               std::isspace(static_cast<unsigned char>(src_[pos_])))
-            ++pos_;
-    }
-
-    char
-    peek()
-    {
-        if (pos_ >= src_.size())
-            fail("unexpected end of input");
-        return src_[pos_];
-    }
-
-    void
-    expect(char c)
-    {
-        if (peek() != c)
-            fail(std::string("expected '") + c + "'");
-        ++pos_;
-    }
-
-    bool
-    consumeLiteral(const char *lit)
-    {
-        std::size_t n = std::char_traits<char>::length(lit);
-        if (src_.compare(pos_, n, lit) == 0) {
-            pos_ += n;
-            return true;
-        }
-        return false;
-    }
-
-    JsonValue
-    parseValue()
-    {
-        skipWs();
-        char c = peek();
-        if (c == '{')
-            return parseObject();
-        if (c == '[')
-            return parseArray();
-        if (c == '"')
-            return parseString();
-        if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
-            return parseNumber();
-        JsonValue v;
-        if (consumeLiteral("true")) {
-            v.kind = JsonValue::Kind::Bool;
-            v.boolean = true;
-            return v;
-        }
-        if (consumeLiteral("false")) {
-            v.kind = JsonValue::Kind::Bool;
-            return v;
-        }
-        if (consumeLiteral("null"))
-            return v;
-        fail("unexpected character");
-    }
-
-    JsonValue
-    parseObject()
-    {
-        expect('{');
-        JsonValue v;
-        v.kind = JsonValue::Kind::Object;
-        skipWs();
-        if (peek() == '}') {
-            ++pos_;
-            return v;
-        }
-        for (;;) {
-            skipWs();
-            JsonValue key = parseString();
-            skipWs();
-            expect(':');
-            v.object.emplace_back(key.text, parseValue());
-            skipWs();
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            expect('}');
-            return v;
-        }
-    }
-
-    JsonValue
-    parseArray()
-    {
-        expect('[');
-        JsonValue v;
-        v.kind = JsonValue::Kind::Array;
-        skipWs();
-        if (peek() == ']') {
-            ++pos_;
-            return v;
-        }
-        for (;;) {
-            v.array.push_back(parseValue());
-            skipWs();
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            expect(']');
-            return v;
-        }
-    }
-
-    JsonValue
-    parseString()
-    {
-        expect('"');
-        JsonValue v;
-        v.kind = JsonValue::Kind::String;
-        for (;;) {
-            char c = peek();
-            ++pos_;
-            if (c == '"')
-                return v;
-            if (c != '\\') {
-                v.text += c;
-                continue;
-            }
-            char esc = peek();
-            ++pos_;
-            switch (esc) {
-              case '"':
-                v.text += '"';
-                break;
-              case '\\':
-                v.text += '\\';
-                break;
-              case '/':
-                v.text += '/';
-                break;
-              case 'n':
-                v.text += '\n';
-                break;
-              case 't':
-                v.text += '\t';
-                break;
-              case 'r':
-                v.text += '\r';
-                break;
-              default:
-                fail("unsupported escape");
-            }
-        }
-    }
-
-    JsonValue
-    parseNumber()
-    {
-        std::size_t start = pos_;
-        if (peek() == '-')
-            ++pos_;
-        auto digits = [&] {
-            while (pos_ < src_.size() &&
-                   std::isdigit(
-                       static_cast<unsigned char>(src_[pos_])))
-                ++pos_;
-        };
-        digits();
-        if (pos_ < src_.size() && src_[pos_] == '.') {
-            ++pos_;
-            digits();
-        }
-        if (pos_ < src_.size() &&
-            (src_[pos_] == 'e' || src_[pos_] == 'E')) {
-            ++pos_;
-            if (pos_ < src_.size() &&
-                (src_[pos_] == '+' || src_[pos_] == '-'))
-                ++pos_;
-            digits();
-        }
-        if (pos_ == start)
-            fail("bad number");
-        JsonValue v;
-        v.kind = JsonValue::Kind::Number;
-        v.text = src_.substr(start, pos_ - start);
-        return v;
-    }
-
-    const std::string &src_;
-    std::size_t pos_ = 0;
-};
 
 void
 readU64Array(const JsonValue &v, std::uint64_t *out, std::size_t n)

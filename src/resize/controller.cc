@@ -33,9 +33,17 @@ MlpAwareController::onL2DemandMiss(Cycle now)
         ++ups_;
         ++enlargements_;
         startTransition(now);
+        if (timeline_)
+            timeline_->recordResize(now,
+                                    now + cfg_.transitionPenalty,
+                                    level_ - 1, level_);
     }
     shrinkTiming_ = now + cfg_.memoryLatency;
     doShrink_ = false;
+    // The miss cancels any pending shrink, so a drain in progress
+    // ends here.
+    if (timeline_)
+        timeline_->endDrainStall(now);
 }
 
 bool
@@ -69,9 +77,17 @@ MlpAwareController::tick(Cycle now, const WindowOccupancy &occ)
             shrinkTiming_ = now + cfg_.memoryLatency;
             doShrink_ = false;
             startTransition(now);
+            if (timeline_) {
+                timeline_->endDrainStall(now);
+                timeline_->recordResize(
+                    now, now + cfg_.transitionPenalty, level_ + 1,
+                    level_);
+            }
         } else {
             stop_alloc = true;
             ++drainStallCycles_;
+            if (timeline_)
+                timeline_->beginDrainStall(now);
         }
     }
 
@@ -111,8 +127,16 @@ OccupancyController::tick(Cycle now, const WindowOccupancy &occ)
                 stallUntil_ = now + cfg_.transitionPenalty;
                 inTransition_ = true;
             }
+            if (timeline_) {
+                timeline_->endDrainStall(now);
+                timeline_->recordResize(
+                    now, now + cfg_.transitionPenalty, level_ + 1,
+                    level_);
+            }
         } else {
             stop_alloc = true;
+            if (timeline_)
+                timeline_->beginDrainStall(now);
         }
     }
 
@@ -133,6 +157,12 @@ OccupancyController::tick(Cycle now, const WindowOccupancy &occ)
             if (cfg_.transitionPenalty > 0) {
                 stallUntil_ = now + cfg_.transitionPenalty;
                 inTransition_ = true;
+            }
+            if (timeline_) {
+                timeline_->endDrainStall(now);
+                timeline_->recordResize(
+                    now, now + cfg_.transitionPenalty, level_ - 1,
+                    level_);
             }
         } else if (level_ > 1 && !pendingShrink_) {
             const ResourceLevel &target = table_.at(level_ - 1);

@@ -27,6 +27,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "resize/level_table.hh"
+#include "telemetry/timeline.hh"
 
 namespace mlpwin
 {
@@ -88,6 +89,13 @@ class ResizeController
     std::uint64_t upTransitions() const { return ups_; }
     std::uint64_t downTransitions() const { return downs_; }
 
+    /**
+     * Attach an event timeline recording grow/shrink transitions and
+     * drain stalls (not owned; nullptr disables — one pointer test
+     * per event site).
+     */
+    void setTimeline(EventTimeline *t) { timeline_ = t; }
+
     /** Zero residency/transition accounting (measurement-window start). */
     void
     resetMeasurement()
@@ -107,6 +115,7 @@ class ResizeController
 
     /** Owned: controllers outlive any caller-constructed table. */
     LevelTable table_;
+    EventTimeline *timeline_ = nullptr;
     unsigned level_ = 1;
     bool allocStopped_ = false;
     bool inTransition_ = false;

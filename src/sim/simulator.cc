@@ -101,6 +101,26 @@ Simulator::Simulator(const SimConfig &cfg, const Program &prog)
                                       prog, &stats_, ra, cfg_.bp);
 }
 
+IntervalSnapshot
+Simulator::snapshot() const
+{
+    IntervalSnapshot s;
+    s.cycle = core_->cycle();
+    s.committed = core_->committedInsts();
+    s.l2DemandMisses = mem_.l2DemandMisses();
+    s.level = resize_->level();
+    s.robOcc = core_->robOccupancy();
+    s.iqOcc = core_->iqOccupancy();
+    s.lsqOcc = core_->lsqOccupancy();
+    s.outstandingMisses = core_->outstandingL2Misses();
+    // The DRAM model is analytic (no literal queue); report the bus
+    // backlog — how far ahead of "now" the bus is already booked.
+    Cycle bus_free = mem_.dram().busFreeAt();
+    s.dramBacklog = bus_free > s.cycle
+        ? static_cast<std::uint64_t>(bus_free - s.cycle) : 0;
+    return s;
+}
+
 void
 Simulator::runUntil(std::uint64_t committed_target)
 {
@@ -111,7 +131,7 @@ Simulator::runUntil(std::uint64_t committed_target)
            core_->cycle() < cfg_.maxCycles &&
            (committed_target == 0 ||
             core_->committedInsts() < committed_target)) {
-        core_->tick();
+        stepCycle();
 
         // Deadlock watchdog: the core must commit something within a
         // generous window (mispredict + full memory stall bounded).
@@ -141,12 +161,20 @@ Simulator::run()
         stats_.resetAll();
         core_->resetMeasurement();
         resize_->resetMeasurement();
+        if (sampler_)
+            sampler_->notifyReset(core_->cycle());
         pollution_base = mem_.l2().pollution();
     }
 
     std::uint64_t target = cfg_.maxInsts
         ? core_->committedInsts() + cfg_.maxInsts : 0;
     runUntil(target);
+
+    // Flush the trailing partial interval and close any open episode.
+    if (sampler_)
+        sampler_->finish(snapshot());
+    if (timeline_)
+        timeline_->finish(core_->cycle());
 
     SimResult r;
     r.workload = workloadName_;

@@ -21,6 +21,8 @@
 #include "mem/hierarchy.hh"
 #include "mem/main_memory.hh"
 #include "sim/sim_config.hh"
+#include "telemetry/sampler.hh"
+#include "telemetry/timeline.hh"
 
 namespace mlpwin
 {
@@ -83,13 +85,36 @@ class Simulator
     void runUntil(std::uint64_t committed_target);
 
     /** Advance a single cycle (fine-grained control for tests). */
-    void tick() { core_->tick(); }
+    void tick() { stepCycle(); }
 
     /**
      * Attach a pipeline tracer to the core (not owned). Pass nullptr
      * to detach. See cpu/tracer.hh for categories.
      */
     void setTracer(PipelineTracer *t) { core_->setTracer(t); }
+
+    /**
+     * Attach an interval sampler (not owned; nullptr detaches). The
+     * simulator polls it once per cycle and snapshots when a sample is
+     * due — one pointer test per cycle when disabled.
+     */
+    void setSampler(IntervalSampler *s) { sampler_ = s; }
+
+    /**
+     * Attach an event timeline (not owned; nullptr detaches). Wired
+     * through to the core (runahead episodes) and the resize
+     * controller (grow/shrink transitions, drain stalls).
+     */
+    void
+    setTimeline(EventTimeline *t)
+    {
+        timeline_ = t;
+        core_->setTimeline(t);
+        resize_->setTimeline(t);
+    }
+
+    /** Build a telemetry snapshot of the current machine state. */
+    IntervalSnapshot snapshot() const;
 
     OooCore &core() { return *core_; }
     CacheHierarchy &hierarchy() { return mem_; }
@@ -101,6 +126,15 @@ class Simulator
     void dumpStats(std::ostream &os) const { stats_.dump(os); }
 
   private:
+    /** One core cycle plus the telemetry sampling poll. */
+    void
+    stepCycle()
+    {
+        core_->tick();
+        if (sampler_ && sampler_->due(core_->cycle()))
+            sampler_->record(snapshot());
+    }
+
     SimConfig cfg_;
     std::string workloadName_;
     StatSet stats_;
@@ -108,6 +142,8 @@ class Simulator
     CacheHierarchy mem_;
     std::unique_ptr<ResizeController> resize_;
     std::unique_ptr<OooCore> core_;
+    IntervalSampler *sampler_ = nullptr;
+    EventTimeline *timeline_ = nullptr;
 };
 
 /**

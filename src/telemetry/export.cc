@@ -1,0 +1,146 @@
+#include "export.hh"
+
+#include "common/json.hh"
+
+namespace mlpwin
+{
+
+std::string
+intervalSampleToJson(const IntervalSample &s)
+{
+    std::string out = "{";
+    out += "\"cycle\":" + fmtU64(s.cycleEnd);
+    out += ",\"cycle_begin\":" + fmtU64(s.cycleBegin);
+    out += ",\"committed\":" + fmtU64(s.committed);
+    out += ",\"ipc\":" + fmtDouble(s.ipc);
+    out += ",\"level\":" + fmtU64(s.level);
+    out += ",\"rob\":" + fmtU64(s.robOcc);
+    out += ",\"iq\":" + fmtU64(s.iqOcc);
+    out += ",\"lsq\":" + fmtU64(s.lsqOcc);
+    out += ",\"l2_misses\":" + fmtU64(s.l2Misses);
+    out += ",\"l2_mpki\":" + fmtDouble(s.l2Mpki);
+    out += ",\"outstanding_misses\":" + fmtU64(s.outstandingMisses);
+    out += ",\"dram_backlog\":" + fmtU64(s.dramBacklog);
+    out += "}";
+    return out;
+}
+
+void
+writeTelemetryJsonl(std::ostream &os, const IntervalSampler &s)
+{
+    for (const IntervalSample &sample : s.samples())
+        os << intervalSampleToJson(sample) << '\n';
+}
+
+namespace
+{
+
+/** Thread tracks of the exported trace (tid values). */
+enum : unsigned
+{
+    kTidResize = 0,
+    kTidDrain = 1,
+    kTidRunahead = 2,
+};
+
+std::string
+metaEvent(const char *name, unsigned tid, const std::string &value,
+          bool process_scope)
+{
+    std::string e = "{\"name\":\"";
+    e += name;
+    e += "\",\"ph\":\"M\",\"pid\":0";
+    if (!process_scope)
+        e += ",\"tid\":" + fmtU64(tid);
+    e += ",\"args\":{\"name\":\"" + jsonEscape(value) + "\"}}";
+    return e;
+}
+
+std::string
+counterEvent(Cycle ts, unsigned level)
+{
+    return "{\"name\":\"window level\",\"ph\":\"C\",\"ts\":" +
+           fmtU64(ts) + ",\"pid\":0,\"args\":{\"level\":" +
+           fmtU64(level) + "}}";
+}
+
+std::string
+eventToTrace(const TimelineEvent &e)
+{
+    const char *kind = timelineEventKindName(e.kind);
+    std::string out = "{\"name\":\"";
+    if (e.kind == TimelineEventKind::Grow ||
+        e.kind == TimelineEventKind::Shrink) {
+        out += std::string(kind) + " L" +
+               fmtU64(e.fromLevel) + "-L" + fmtU64(e.toLevel);
+    } else {
+        out += kind;
+    }
+    out += "\",\"cat\":\"";
+    out += kind;
+    out += "\"";
+
+    switch (e.kind) {
+      case TimelineEventKind::Grow:
+      case TimelineEventKind::Shrink:
+        // Transitions may overlap in time when misses arrive inside
+        // a pending stall penalty, and overlapping "X" slices on one
+        // track are rejected by strict importers — emit transitions
+        // as instant events and carry the stall window in args.
+        out += ",\"ph\":\"i\",\"s\":\"t\",\"ts\":" + fmtU64(e.begin);
+        out += ",\"pid\":0,\"tid\":" + fmtU64(kTidResize);
+        out += ",\"args\":{\"from\":" + fmtU64(e.fromLevel) +
+               ",\"to\":" + fmtU64(e.toLevel) +
+               ",\"stall_end\":" + fmtU64(e.end) + "}";
+        break;
+      case TimelineEventKind::DrainStall:
+        out += ",\"ph\":\"X\",\"ts\":" + fmtU64(e.begin);
+        out += ",\"dur\":" + fmtU64(e.end - e.begin);
+        out += ",\"pid\":0,\"tid\":" + fmtU64(kTidDrain);
+        out += ",\"args\":{}";
+        break;
+      case TimelineEventKind::Runahead:
+        out += ",\"ph\":\"X\",\"ts\":" + fmtU64(e.begin);
+        out += ",\"dur\":" + fmtU64(e.end - e.begin);
+        out += ",\"pid\":0,\"tid\":" + fmtU64(kTidRunahead);
+        out += ",\"args\":{\"trigger_pc\":" + fmtU64(e.triggerPc) +
+               ",\"episode_misses\":" + fmtU64(e.misses) + "}";
+        break;
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os, const EventTimeline &t,
+                 const std::string &process_name)
+{
+    os << "{\"traceEvents\":[\n";
+    os << metaEvent("process_name", 0, process_name, true) << ",\n";
+    os << metaEvent("thread_name", kTidResize, "resize", false)
+       << ",\n";
+    os << metaEvent("thread_name", kTidDrain, "drain", false)
+       << ",\n";
+    os << metaEvent("thread_name", kTidRunahead, "runahead", false);
+
+    // Seed the level counter track with the pre-transition level so
+    // the first step renders from the right baseline.
+    bool seeded = false;
+    for (const TimelineEvent &e : t.events()) {
+        if (e.kind == TimelineEventKind::Grow ||
+            e.kind == TimelineEventKind::Shrink) {
+            if (!seeded && e.begin > 0) {
+                os << ",\n" << counterEvent(0, e.fromLevel);
+                seeded = true;
+            }
+            os << ",\n" << counterEvent(e.begin, e.toLevel);
+        }
+        os << ",\n" << eventToTrace(e);
+    }
+
+    os << "\n]}\n";
+}
+
+} // namespace mlpwin

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Telemetry exporters: the interval time series as JSON Lines (one
+ * object per sample, plotting-friendly; schema in tools/TELEMETRY.md)
+ * and the event timeline in Chrome trace_event format, loadable
+ * directly in chrome://tracing and Perfetto. Both formats are
+ * documented in tools/TELEMETRY.md.
+ */
+
+#ifndef MLPWIN_TELEMETRY_EXPORT_HH
+#define MLPWIN_TELEMETRY_EXPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "telemetry/sampler.hh"
+#include "telemetry/timeline.hh"
+
+namespace mlpwin
+{
+
+/** Serialize one interval sample as a single-line JSON object. */
+std::string intervalSampleToJson(const IntervalSample &s);
+
+/** Write the whole series as JSON Lines (one sample per line). */
+void writeTelemetryJsonl(std::ostream &os, const IntervalSampler &s);
+
+/**
+ * Write the timeline as a Chrome trace_event JSON document:
+ * complete ("X") duration events on per-kind tracks plus a
+ * "window level" counter track sampled at every resize.
+ *
+ * Cycle numbers are emitted as the microsecond timestamps the format
+ * requires, so 1 us in the viewer = 1 core cycle.
+ *
+ * @param process_name Label for the process track (e.g.
+ *        "soplex/resizing").
+ */
+void writeChromeTrace(std::ostream &os, const EventTimeline &t,
+                      const std::string &process_name = "mlpwin");
+
+} // namespace mlpwin
+
+#endif // MLPWIN_TELEMETRY_EXPORT_HH

@@ -1,0 +1,79 @@
+#include "sampler.hh"
+
+#include "common/logging.hh"
+
+namespace mlpwin
+{
+
+IntervalSampler::IntervalSampler(Cycle interval, std::size_t capacity)
+    : interval_(interval), next_(interval), capacity_(capacity)
+{
+    mlpwin_assert(interval > 0);
+    mlpwin_assert(capacity > 0);
+}
+
+void
+IntervalSampler::push(const IntervalSnapshot &snap)
+{
+    IntervalSample s;
+    s.cycleBegin = prevCycle_;
+    s.cycleEnd = snap.cycle;
+
+    // Cumulative counters restart from zero at the measurement-window
+    // reset; a snapshot below the baseline means notifyReset was not
+    // seen (direct tick() driving) — fall back to the absolute value.
+    s.committed = snap.committed >= prevCommitted_
+        ? snap.committed - prevCommitted_ : snap.committed;
+    s.l2Misses = snap.l2DemandMisses >= prevMisses_
+        ? snap.l2DemandMisses - prevMisses_ : snap.l2DemandMisses;
+
+    Cycle dt = snap.cycle - prevCycle_;
+    s.ipc = dt ? static_cast<double>(s.committed) /
+                     static_cast<double>(dt)
+               : 0.0;
+    s.l2Mpki = s.committed
+        ? 1000.0 * static_cast<double>(s.l2Misses) /
+              static_cast<double>(s.committed)
+        : 0.0;
+
+    s.level = snap.level;
+    s.robOcc = snap.robOcc;
+    s.iqOcc = snap.iqOcc;
+    s.lsqOcc = snap.lsqOcc;
+    s.outstandingMisses = snap.outstandingMisses;
+    s.dramBacklog = snap.dramBacklog;
+
+    if (samples_.size() >= capacity_) {
+        samples_.pop_front();
+        ++dropped_;
+    }
+    samples_.push_back(s);
+
+    prevCycle_ = snap.cycle;
+    prevCommitted_ = snap.committed;
+    prevMisses_ = snap.l2DemandMisses;
+}
+
+void
+IntervalSampler::record(const IntervalSnapshot &snap)
+{
+    push(snap);
+    next_ = snap.cycle + interval_;
+}
+
+void
+IntervalSampler::finish(const IntervalSnapshot &snap)
+{
+    if (snap.cycle > prevCycle_)
+        push(snap);
+}
+
+void
+IntervalSampler::notifyReset(Cycle now)
+{
+    prevCycle_ = now;
+    prevCommitted_ = 0;
+    prevMisses_ = 0;
+}
+
+} // namespace mlpwin

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Interval telemetry: the IntervalSampler turns a running simulation
+ * into a phase-level time series. Every N cycles (configurable,
+ * default 10K) the Simulator snapshots IPC, the current window
+ * level, ROB/IQ/LSQ occupancy, L2 demand misses (and MPKI), the
+ * outstanding-miss count (observed MLP), and the DRAM bus backlog
+ * into a ring-buffered series — the data behind the paper's
+ * level-vs-time plots (Figs. 3-4, 8) that end-of-run aggregates
+ * erase. Disabled telemetry costs the simulation one pointer test
+ * per cycle, same discipline as the PipelineTracer.
+ */
+
+#ifndef MLPWIN_TELEMETRY_SAMPLER_HH
+#define MLPWIN_TELEMETRY_SAMPLER_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "common/types.hh"
+
+namespace mlpwin
+{
+
+/** Default sampling interval, in cycles. */
+constexpr Cycle kDefaultTelemetryInterval = 10000;
+
+/**
+ * Absolute state captured at one sampling point. Committed/miss
+ * counts are cumulative; the sampler differences consecutive
+ * snapshots into per-interval rates.
+ */
+struct IntervalSnapshot
+{
+    Cycle cycle = 0;
+    std::uint64_t committed = 0;
+    std::uint64_t l2DemandMisses = 0;
+    /** Current window level (1-based). */
+    unsigned level = 0;
+    unsigned robOcc = 0;
+    unsigned iqOcc = 0;
+    unsigned lsqOcc = 0;
+    /** In-flight L2-miss loads this cycle (instantaneous MLP). */
+    unsigned outstandingMisses = 0;
+    /** Cycles until the DRAM data bus is free (queue backlog). */
+    std::uint64_t dramBacklog = 0;
+};
+
+/** One per-interval record derived from consecutive snapshots. */
+struct IntervalSample
+{
+    Cycle cycleBegin = 0;
+    Cycle cycleEnd = 0;
+    /** Instructions committed within [cycleBegin, cycleEnd). */
+    std::uint64_t committed = 0;
+    /** committed / (cycleEnd - cycleBegin). */
+    double ipc = 0.0;
+    unsigned level = 0;
+    unsigned robOcc = 0;
+    unsigned iqOcc = 0;
+    unsigned lsqOcc = 0;
+    /** L2 demand misses within the interval. */
+    std::uint64_t l2Misses = 0;
+    /** Interval misses per 1000 interval-committed instructions. */
+    double l2Mpki = 0.0;
+    unsigned outstandingMisses = 0;
+    std::uint64_t dramBacklog = 0;
+};
+
+/** See file comment. */
+class IntervalSampler
+{
+  public:
+    /** Ring capacity bounding memory on very long runs. */
+    static constexpr std::size_t kDefaultCapacity = 1u << 20;
+
+    /**
+     * @param interval Cycles between samples (> 0).
+     * @param capacity Ring size; the oldest samples are dropped
+     *        (and counted) once the series exceeds it.
+     */
+    explicit IntervalSampler(
+        Cycle interval = kDefaultTelemetryInterval,
+        std::size_t capacity = kDefaultCapacity);
+
+    Cycle interval() const { return interval_; }
+
+    /** True when the next sample is due; tested every cycle. */
+    bool due(Cycle now) const { return now >= next_; }
+
+    /** Record one snapshot and schedule the next sample. */
+    void record(const IntervalSnapshot &snap);
+
+    /**
+     * Flush a final partial interval at end of run (no-op when no
+     * cycle has elapsed since the last sample).
+     */
+    void finish(const IntervalSnapshot &snap);
+
+    /**
+     * Rebase the delta baseline after the cumulative counters were
+     * zeroed (the Simulator's measurement-window reset).
+     */
+    void notifyReset(Cycle now);
+
+    const std::deque<IntervalSample> &samples() const
+    {
+        return samples_;
+    }
+
+    /** Samples discarded because the ring was full. */
+    std::uint64_t dropped() const { return dropped_; }
+
+  private:
+    void push(const IntervalSnapshot &snap);
+
+    Cycle interval_;
+    Cycle next_;
+    std::size_t capacity_;
+
+    Cycle prevCycle_ = 0;
+    std::uint64_t prevCommitted_ = 0;
+    std::uint64_t prevMisses_ = 0;
+
+    std::deque<IntervalSample> samples_;
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace mlpwin
+
+#endif // MLPWIN_TELEMETRY_SAMPLER_HH

@@ -1,0 +1,109 @@
+#include "timeline.hh"
+
+#include "common/logging.hh"
+
+namespace mlpwin
+{
+
+const char *
+timelineEventKindName(TimelineEventKind k)
+{
+    switch (k) {
+      case TimelineEventKind::Grow:
+        return "grow";
+      case TimelineEventKind::Shrink:
+        return "shrink";
+      case TimelineEventKind::DrainStall:
+        return "drain-stall";
+      case TimelineEventKind::Runahead:
+        return "runahead";
+    }
+    return "?";
+}
+
+EventTimeline::EventTimeline(std::size_t capacity)
+    : capacity_(capacity)
+{
+    mlpwin_assert(capacity > 0);
+}
+
+void
+EventTimeline::push(const TimelineEvent &e)
+{
+    mlpwin_assert(e.begin <= e.end);
+    if (events_.size() >= capacity_) {
+        events_.pop_front();
+        ++dropped_;
+    }
+    events_.push_back(e);
+}
+
+void
+EventTimeline::recordResize(Cycle begin, Cycle end, unsigned from,
+                            unsigned to)
+{
+    TimelineEvent e;
+    e.kind = to > from ? TimelineEventKind::Grow
+                       : TimelineEventKind::Shrink;
+    e.begin = begin;
+    e.end = end;
+    e.fromLevel = from;
+    e.toLevel = to;
+    push(e);
+}
+
+void
+EventTimeline::beginDrainStall(Cycle now)
+{
+    if (drainOpen_)
+        return;
+    drainOpen_ = true;
+    drainBegin_ = now;
+}
+
+void
+EventTimeline::endDrainStall(Cycle now)
+{
+    if (!drainOpen_)
+        return;
+    drainOpen_ = false;
+    TimelineEvent e;
+    e.kind = TimelineEventKind::DrainStall;
+    e.begin = drainBegin_;
+    e.end = now;
+    push(e);
+}
+
+void
+EventTimeline::beginRunahead(Cycle now, std::uint64_t trigger_pc)
+{
+    if (raOpen_)
+        return;
+    raOpen_ = true;
+    raBegin_ = now;
+    raPc_ = trigger_pc;
+}
+
+void
+EventTimeline::endRunahead(Cycle now, std::uint64_t misses)
+{
+    if (!raOpen_)
+        return;
+    raOpen_ = false;
+    TimelineEvent e;
+    e.kind = TimelineEventKind::Runahead;
+    e.begin = raBegin_;
+    e.end = now;
+    e.triggerPc = raPc_;
+    e.misses = misses;
+    push(e);
+}
+
+void
+EventTimeline::finish(Cycle now)
+{
+    endDrainStall(now);
+    endRunahead(now, 0);
+}
+
+} // namespace mlpwin

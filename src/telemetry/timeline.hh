@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The EventTimeline records every discrete control episode the
+ * resize/runahead machinery goes through — window grow and shrink
+ * transitions (with their stall penalty as the event duration),
+ * drain stalls while waiting to shrink, and runahead episodes — as
+ * begin/end cycle pairs. The ResizeController and OooCore carry a
+ * nullable pointer to it (one pointer test per site when disabled,
+ * same discipline as the PipelineTracer); the Chrome trace_event
+ * exporter turns the result into a file chrome://tracing and
+ * Perfetto open directly.
+ */
+
+#ifndef MLPWIN_TELEMETRY_TIMELINE_HH
+#define MLPWIN_TELEMETRY_TIMELINE_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "common/types.hh"
+
+namespace mlpwin
+{
+
+/** Episode kinds recorded on the timeline. */
+enum class TimelineEventKind
+{
+    Grow,       ///< Window level up-transition (+ stall penalty).
+    Shrink,     ///< Window level down-transition (+ stall penalty).
+    DrainStall, ///< Allocation stopped, draining to fit the
+                ///< smaller level.
+    Runahead,   ///< Runahead episode, enter to exit.
+};
+
+/** Printable kind name ("grow", "shrink", ...). */
+const char *timelineEventKindName(TimelineEventKind k);
+
+/** One closed episode; begin <= end always holds. */
+struct TimelineEvent
+{
+    TimelineEventKind kind = TimelineEventKind::Grow;
+    Cycle begin = 0;
+    Cycle end = 0;
+    /** Grow/Shrink: levels before/after the transition. */
+    unsigned fromLevel = 0;
+    unsigned toLevel = 0;
+    /** Runahead: PC of the triggering load. */
+    std::uint64_t triggerPc = 0;
+    /** Runahead: L2 misses generated during the episode. */
+    std::uint64_t misses = 0;
+};
+
+/** See file comment. */
+class EventTimeline
+{
+  public:
+    /** Ring capacity bounding memory on very long runs. */
+    static constexpr std::size_t kDefaultCapacity = 1u << 20;
+
+    explicit EventTimeline(std::size_t capacity = kDefaultCapacity);
+
+    /** A level transition paying its stall penalty over [begin,end]. */
+    void recordResize(Cycle begin, Cycle end, unsigned from,
+                      unsigned to);
+
+    /** Open a drain-stall episode (no-op while one is open). */
+    void beginDrainStall(Cycle now);
+    /** Close the open drain-stall episode (no-op when none is). */
+    void endDrainStall(Cycle now);
+    bool drainStallOpen() const { return drainOpen_; }
+
+    /** Open a runahead episode (no-op while one is open). */
+    void beginRunahead(Cycle now, std::uint64_t trigger_pc);
+    /** Close the open runahead episode (no-op when none is). */
+    void endRunahead(Cycle now, std::uint64_t misses);
+    bool runaheadOpen() const { return raOpen_; }
+
+    /** Close any episode still open at end-of-run cycle `now`. */
+    void finish(Cycle now);
+
+    const std::deque<TimelineEvent> &events() const
+    {
+        return events_;
+    }
+
+    /** Events discarded because the ring was full. */
+    std::uint64_t dropped() const { return dropped_; }
+
+  private:
+    void push(const TimelineEvent &e);
+
+    std::size_t capacity_;
+    std::deque<TimelineEvent> events_;
+    std::uint64_t dropped_ = 0;
+
+    bool drainOpen_ = false;
+    Cycle drainBegin_ = 0;
+    bool raOpen_ = false;
+    Cycle raBegin_ = 0;
+    std::uint64_t raPc_ = 0;
+};
+
+} // namespace mlpwin
+
+#endif // MLPWIN_TELEMETRY_TIMELINE_HH

@@ -8,6 +8,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/json.hh"
 #include "common/stats.hh"
 
 namespace mlpwin
@@ -78,6 +79,43 @@ TEST(HistogramTest, ResetClearsBins)
     EXPECT_EQ(h.totalSamples(), 0u);
 }
 
+TEST(HistogramTest, OverflowBoundaryIsExact)
+{
+    StatSet set;
+    Histogram h(&set, "h", "a histogram", 8, 4);
+    h.sample(31); // Last regular bin: [24, 32).
+    h.sample(32); // First overflow value.
+    EXPECT_EQ(h.binCount(3), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.totalSamples(), 2u);
+}
+
+TEST(HistogramTest, OverflowSurvivesHeavySampling)
+{
+    StatSet set;
+    Histogram h(&set, "h", "a histogram", 1, 2);
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        h.sample(i);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.overflow(), 998u);
+    EXPECT_EQ(h.totalSamples(), 1000u);
+}
+
+TEST(HistogramTest, ResetThenSampleStartsFresh)
+{
+    StatSet set;
+    Histogram h(&set, "h", "a histogram", 4, 4);
+    h.sample(3);
+    h.sample(100);
+    h.reset();
+    h.sample(5); // bin 1
+    EXPECT_EQ(h.binCount(0), 0u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.totalSamples(), 1u);
+}
+
 TEST(StatSetTest, DumpsAllRegisteredStats)
 {
     StatSet set;
@@ -92,12 +130,101 @@ TEST(StatSetTest, DumpsAllRegisteredStats)
     EXPECT_NE(out.find("first"), std::string::npos);
 }
 
+TEST(StatSetTest, ChildSetsPrefixDottedNames)
+{
+    StatSet root;
+    StatSet telemetry(&root, "telemetry");
+    StatSet sampler(&telemetry, "sampler");
+    Counter top(&root, "cycles", "top-level");
+    Counter mid(&telemetry, "events", "mid-level");
+    Counter leaf(&sampler, "dropped", "leaf-level");
+
+    EXPECT_EQ(top.fullName(), "cycles");
+    EXPECT_EQ(mid.fullName(), "telemetry.events");
+    EXPECT_EQ(leaf.fullName(), "telemetry.sampler.dropped");
+
+    // dump() recurses into children and prints qualified names.
+    std::ostringstream os;
+    root.dump(os);
+    EXPECT_NE(os.str().find("telemetry.sampler.dropped"),
+              std::string::npos);
+}
+
+TEST(StatSetTest, EmptyPrefixGroupsWithoutRenaming)
+{
+    StatSet root;
+    StatSet group(&root, "");
+    Counter c(&group, "plain", "grouped but unrenamed");
+    EXPECT_EQ(c.fullName(), "plain");
+}
+
+TEST(StatSetTest, ResetAllRecursesIntoChildren)
+{
+    StatSet root;
+    StatSet child(&root, "child");
+    Counter c(&child, "c", "nested counter");
+    Histogram h(&child, "h", "nested histogram", 4, 4);
+    c += 3;
+    h.sample(100);
+    root.resetAll();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(h.totalSamples(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(StatSetTest, DumpJsonEmitsEveryStatByFullName)
+{
+    StatSet root;
+    StatSet child(&root, "mem");
+    Counter c(&root, "cycles", "a counter");
+    Average a(&root, "lat", "an average");
+    Histogram h(&child, "intervals", "a histogram", 8, 2);
+    c += 42;
+    a.sample(2.0);
+    a.sample(4.0);
+    h.sample(0);
+    h.sample(9);
+    h.sample(100);
+
+    std::ostringstream os;
+    root.dumpJson(os);
+    JsonValue v = parseJson(os.str());
+
+    EXPECT_EQ(v.field("cycles").asU64(), 42u);
+    EXPECT_DOUBLE_EQ(v.field("lat").field("mean").asDouble(), 3.0);
+    EXPECT_EQ(v.field("lat").field("count").asU64(), 2u);
+    EXPECT_DOUBLE_EQ(v.field("lat").field("sum").asDouble(), 6.0);
+
+    const JsonValue &hist = v.field("mem.intervals");
+    EXPECT_EQ(hist.field("bin_width").asU64(), 8u);
+    ASSERT_EQ(hist.field("bins").array.size(), 2u);
+    EXPECT_EQ(hist.field("bins").array[0].asU64(), 1u);
+    EXPECT_EQ(hist.field("bins").array[1].asU64(), 1u);
+    EXPECT_EQ(hist.field("overflow").asU64(), 1u);
+    EXPECT_EQ(hist.field("total").asU64(), 3u);
+}
+
 TEST(GeomeanTest, KnownValues)
 {
     EXPECT_DOUBLE_EQ(geomean({4.0, 9.0}), 6.0);
     EXPECT_NEAR(geomean({1.0, 1.0, 8.0}), 2.0, 1e-12);
     EXPECT_DOUBLE_EQ(geomean({}), 0.0);
     EXPECT_DOUBLE_EQ(geomean({5.0}), 5.0);
+}
+
+TEST(GeomeanTest, LogDomainAvoidsProductOverflow)
+{
+    // A naive product of these would overflow to inf; the log-domain
+    // implementation must not.
+    EXPECT_NEAR(geomean({1e154, 1e154}), 1e154, 1e141);
+    EXPECT_NEAR(geomean({1e-154, 1e-154}), 1e-154, 1e-167);
+}
+
+TEST(GeomeanTest, TinyValuesStayFinite)
+{
+    double g = geomean({1e-300, 1e300});
+    EXPECT_TRUE(std::isfinite(g));
+    EXPECT_NEAR(g, 1.0, 1e-9);
 }
 
 TEST(GeomeanTest, ScaleInvariance)

@@ -30,6 +30,44 @@ TEST(TraceCategoryTest, ParseSingleAndList)
     EXPECT_EQ(parseTraceCategories(""), 0u);
 }
 
+TEST(TraceCategoryTest, UnknownNameReportsErrorListingValidOnes)
+{
+    std::string err;
+    EXPECT_EQ(parseTraceCategories("bogus", &err), 0u);
+    EXPECT_NE(err.find("bogus"), std::string::npos);
+    // The diagnostic lists every valid category name.
+    for (unsigned bit = 1; bit <= 0x80u; bit <<= 1) {
+        auto c = static_cast<TraceCategory>(bit);
+        EXPECT_NE(err.find(traceCategoryName(c)), std::string::npos)
+            << traceCategoryName(c);
+    }
+    EXPECT_NE(err.find("all"), std::string::npos);
+}
+
+TEST(TraceCategoryTest, OneBadNameInAListFailsTheWholeParse)
+{
+    std::string err;
+    EXPECT_EQ(parseTraceCategories("fetch,nope,commit", &err), 0u);
+    EXPECT_NE(err.find("nope"), std::string::npos);
+}
+
+TEST(TraceCategoryTest, ValidSpecClearsAStaleError)
+{
+    std::string err;
+    parseTraceCategories("bogus", &err);
+    ASSERT_FALSE(err.empty());
+    EXPECT_EQ(parseTraceCategories("issue", &err),
+              static_cast<unsigned>(TraceCategory::Issue));
+    EXPECT_TRUE(err.empty());
+    // Empty specs and stray commas are harmless.
+    EXPECT_EQ(parseTraceCategories("", &err), 0u);
+    EXPECT_TRUE(err.empty());
+    EXPECT_EQ(parseTraceCategories("issue,,commit", &err),
+              static_cast<unsigned>(TraceCategory::Issue) |
+                  static_cast<unsigned>(TraceCategory::Commit));
+    EXPECT_TRUE(err.empty());
+}
+
 TEST(TraceCategoryTest, EveryCategoryRoundTripsThroughItsName)
 {
     for (unsigned bit = 1; bit <= 0x80u; bit <<= 1) {

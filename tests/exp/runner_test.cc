@@ -7,6 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.hh"
 #include "exp/experiment.hh"
 #include "exp/result_writer.hh"
 
@@ -118,6 +123,58 @@ TEST(ExperimentRunnerTest, ParallelMatchesSerialBitExact)
         EXPECT_GT(r.cycles, 0u);
         EXPECT_GT(r.ipc, 0.0);
     }
+}
+
+/**
+ * With telemetryDir set, every job leaves a parseable pair of
+ * telemetry files named after its matrix cell.
+ */
+TEST(ExperimentRunnerTest, TelemetryDirGetsPerJobFiles)
+{
+    ExperimentSpec spec;
+    spec.workloads = {"libquantum", "mcf"};
+    spec.models = {{ModelKind::Base, 1, ""},
+                   {ModelKind::Resizing, 1, ""}};
+    spec.base.warmupInsts = 2000;
+    spec.base.warmDataCaches = true;
+    spec.base.maxInsts = 12000;
+    spec.telemetryDir =
+        testing::TempDir() + "mlpwin_runner_telemetry";
+    spec.telemetryInterval = 1000;
+    std::filesystem::remove_all(spec.telemetryDir);
+
+    std::vector<SimResult> results =
+        ExperimentRunner(2, false).run(spec);
+    ASSERT_EQ(results.size(), 4u);
+
+    for (const std::string &w : spec.workloads) {
+        for (const ModelSpec &m : spec.models) {
+            std::string stem = spec.telemetryDir + "/" + w + "." +
+                               m.displayLabel();
+            SCOPED_TRACE(stem);
+
+            std::ifstream series(stem + ".telemetry.jsonl");
+            ASSERT_TRUE(series.good());
+            std::string line;
+            std::size_t lines = 0;
+            while (std::getline(series, line)) {
+                JsonValue v = parseJson(line);
+                EXPECT_TRUE(v.hasField("cycle"));
+                EXPECT_TRUE(v.hasField("level"));
+                ++lines;
+            }
+            EXPECT_GT(lines, 0u);
+
+            std::ifstream trace(stem + ".trace.json");
+            ASSERT_TRUE(trace.good());
+            std::stringstream buf;
+            buf << trace.rdbuf();
+            JsonValue doc = parseJson(buf.str());
+            EXPECT_EQ(doc.field("traceEvents").kind,
+                      JsonValue::Kind::Array);
+        }
+    }
+    std::filesystem::remove_all(spec.telemetryDir);
 }
 
 } // namespace

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Exporter tests: every emitted artifact must parse as JSON with the
+ * documented schema — one object per JSONL line for the time series,
+ * and a trace_event document (metadata + counter + duration/instant
+ * events) for the timeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/json.hh"
+#include "telemetry/export.hh"
+
+namespace mlpwin
+{
+namespace
+{
+
+TEST(TelemetryJsonlTest, SampleSerializesWithTheDocumentedSchema)
+{
+    IntervalSample s;
+    s.cycleBegin = 10000;
+    s.cycleEnd = 20000;
+    s.committed = 12345;
+    s.ipc = 1.2345;
+    s.level = 4;
+    s.robOcc = 100;
+    s.iqOcc = 20;
+    s.lsqOcc = 30;
+    s.l2Misses = 42;
+    s.l2Mpki = 3.4021;
+    s.outstandingMisses = 5;
+    s.dramBacklog = 77;
+
+    JsonValue v = parseJson(intervalSampleToJson(s));
+    EXPECT_EQ(v.field("cycle").asU64(), 20000u);
+    EXPECT_EQ(v.field("cycle_begin").asU64(), 10000u);
+    EXPECT_EQ(v.field("committed").asU64(), 12345u);
+    EXPECT_DOUBLE_EQ(v.field("ipc").asDouble(), 1.2345);
+    EXPECT_EQ(v.field("level").asU64(), 4u);
+    EXPECT_EQ(v.field("rob").asU64(), 100u);
+    EXPECT_EQ(v.field("iq").asU64(), 20u);
+    EXPECT_EQ(v.field("lsq").asU64(), 30u);
+    EXPECT_EQ(v.field("l2_misses").asU64(), 42u);
+    EXPECT_DOUBLE_EQ(v.field("l2_mpki").asDouble(), 3.4021);
+    EXPECT_EQ(v.field("outstanding_misses").asU64(), 5u);
+    EXPECT_EQ(v.field("dram_backlog").asU64(), 77u);
+}
+
+TEST(TelemetryJsonlTest, EveryLineIsOneValidObject)
+{
+    IntervalSampler sampler(100);
+    for (int i = 1; i <= 4; ++i) {
+        IntervalSnapshot snap;
+        snap.cycle = static_cast<Cycle>(100 * i);
+        snap.committed = static_cast<std::uint64_t>(42 * i);
+        snap.level = static_cast<unsigned>(i);
+        sampler.record(snap);
+    }
+
+    std::ostringstream os;
+    writeTelemetryJsonl(os, sampler);
+    std::istringstream is(os.str());
+    std::string line;
+    int lines = 0;
+    while (std::getline(is, line)) {
+        JsonValue v = parseJson(line);
+        EXPECT_EQ(v.kind, JsonValue::Kind::Object);
+        EXPECT_TRUE(v.hasField("cycle"));
+        EXPECT_TRUE(v.hasField("ipc"));
+        EXPECT_TRUE(v.hasField("level"));
+        ++lines;
+    }
+    EXPECT_EQ(lines, 4);
+}
+
+TEST(ChromeTraceTest, DocumentParsesWithMetadataAndEvents)
+{
+    EventTimeline t;
+    t.recordResize(100, 110, 1, 2);
+    t.beginDrainStall(300);
+    t.endDrainStall(360);
+    t.beginRunahead(500, 0x4000);
+    t.endRunahead(900, 2);
+    t.recordResize(1000, 1010, 2, 1);
+
+    std::ostringstream os;
+    writeChromeTrace(os, t, "soplex.resizing");
+    JsonValue doc = parseJson(os.str());
+
+    const JsonValue &events = doc.field("traceEvents");
+    ASSERT_EQ(events.kind, JsonValue::Kind::Array);
+
+    int meta = 0, counter = 0, duration = 0, instant = 0;
+    bool process_named = false;
+    for (const JsonValue &e : events.array) {
+        const std::string &ph = e.field("ph").asString();
+        if (ph == "M") {
+            ++meta;
+            if (e.field("name").asString() == "process_name" &&
+                e.field("args").field("name").asString() ==
+                    "soplex.resizing")
+                process_named = true;
+            continue;
+        }
+        // Every non-metadata event sits on the common timeline.
+        EXPECT_TRUE(e.hasField("ts"));
+        EXPECT_TRUE(e.hasField("pid"));
+        if (ph == "C") {
+            ++counter;
+            EXPECT_EQ(e.field("name").asString(), "window level");
+            EXPECT_TRUE(e.field("args").hasField("level"));
+        } else if (ph == "X") {
+            ++duration;
+            EXPECT_GE(e.field("dur").asU64(), 0u);
+        } else if (ph == "i") {
+            ++instant;
+            EXPECT_TRUE(e.field("args").hasField("from"));
+            EXPECT_TRUE(e.field("args").hasField("to"));
+        } else {
+            ADD_FAILURE() << "unexpected phase " << ph;
+        }
+    }
+    // process_name + three thread_name entries.
+    EXPECT_EQ(meta, 4);
+    EXPECT_TRUE(process_named);
+    // One seed sample + one per resize.
+    EXPECT_EQ(counter, 3);
+    // Drain stall + runahead.
+    EXPECT_EQ(duration, 2);
+    // Grow + shrink transitions.
+    EXPECT_EQ(instant, 2);
+}
+
+TEST(ChromeTraceTest, EmptyTimelineStillParses)
+{
+    EventTimeline t;
+    std::ostringstream os;
+    writeChromeTrace(os, t);
+    JsonValue doc = parseJson(os.str());
+    // Only the metadata events remain.
+    EXPECT_EQ(doc.field("traceEvents").array.size(), 4u);
+}
+
+} // namespace
+} // namespace mlpwin

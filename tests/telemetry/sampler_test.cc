@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests of the IntervalSampler: sampling cadence, delta
+ * computation between snapshots, the final partial interval, ring
+ * eviction, and the measurement-window reset rebase.
+ */
+
+#include <gtest/gtest.h>
+
+#include "telemetry/sampler.hh"
+
+namespace mlpwin
+{
+namespace
+{
+
+IntervalSnapshot
+snap(Cycle cycle, std::uint64_t committed, std::uint64_t misses,
+     unsigned level = 1)
+{
+    IntervalSnapshot s;
+    s.cycle = cycle;
+    s.committed = committed;
+    s.l2DemandMisses = misses;
+    s.level = level;
+    return s;
+}
+
+TEST(IntervalSamplerTest, DueFollowsTheConfiguredCadence)
+{
+    IntervalSampler s(100);
+    EXPECT_EQ(s.interval(), 100u);
+    EXPECT_FALSE(s.due(0));
+    EXPECT_FALSE(s.due(99));
+    EXPECT_TRUE(s.due(100));
+    s.record(snap(100, 50, 0));
+    EXPECT_FALSE(s.due(199));
+    EXPECT_TRUE(s.due(200));
+    // A late sample reschedules relative to its own cycle.
+    s.record(snap(230, 80, 0));
+    EXPECT_FALSE(s.due(329));
+    EXPECT_TRUE(s.due(330));
+}
+
+TEST(IntervalSamplerTest, SamplesAreDeltasBetweenSnapshots)
+{
+    IntervalSampler s(100);
+    s.record(snap(100, 40, 2, 1));
+    s.record(snap(200, 100, 5, 3));
+    ASSERT_EQ(s.samples().size(), 2u);
+
+    const IntervalSample &a = s.samples()[0];
+    EXPECT_EQ(a.cycleBegin, 0u);
+    EXPECT_EQ(a.cycleEnd, 100u);
+    EXPECT_EQ(a.committed, 40u);
+    EXPECT_EQ(a.l2Misses, 2u);
+    EXPECT_DOUBLE_EQ(a.ipc, 0.4);
+    EXPECT_DOUBLE_EQ(a.l2Mpki, 1000.0 * 2 / 40);
+    EXPECT_EQ(a.level, 1u);
+
+    const IntervalSample &b = s.samples()[1];
+    EXPECT_EQ(b.cycleBegin, 100u);
+    EXPECT_EQ(b.cycleEnd, 200u);
+    EXPECT_EQ(b.committed, 60u);
+    EXPECT_EQ(b.l2Misses, 3u);
+    EXPECT_DOUBLE_EQ(b.ipc, 0.6);
+    EXPECT_EQ(b.level, 3u);
+}
+
+TEST(IntervalSamplerTest, FinishFlushesOnlyAPartialInterval)
+{
+    IntervalSampler s(100);
+    s.record(snap(100, 10, 0));
+    s.finish(snap(100, 10, 0)); // Nothing elapsed: no-op.
+    EXPECT_EQ(s.samples().size(), 1u);
+    s.finish(snap(130, 25, 1)); // 30-cycle tail.
+    ASSERT_EQ(s.samples().size(), 2u);
+    EXPECT_EQ(s.samples()[1].cycleBegin, 100u);
+    EXPECT_EQ(s.samples()[1].cycleEnd, 130u);
+    EXPECT_EQ(s.samples()[1].committed, 15u);
+    EXPECT_DOUBLE_EQ(s.samples()[1].ipc, 0.5);
+}
+
+TEST(IntervalSamplerTest, RingEvictsOldestAndCountsDropped)
+{
+    IntervalSampler s(10, 3);
+    for (int i = 1; i <= 5; ++i)
+        s.record(snap(static_cast<Cycle>(10 * i),
+                      static_cast<std::uint64_t>(10 * i), 0));
+    EXPECT_EQ(s.samples().size(), 3u);
+    EXPECT_EQ(s.dropped(), 2u);
+    // Oldest two intervals were discarded; the window slid forward.
+    EXPECT_EQ(s.samples().front().cycleEnd, 30u);
+    EXPECT_EQ(s.samples().back().cycleEnd, 50u);
+}
+
+TEST(IntervalSamplerTest, NotifyResetRebasesTheDeltaBaseline)
+{
+    IntervalSampler s(100);
+    s.record(snap(100, 90, 7));
+    // Measurement-window reset at cycle 150: cumulative counters are
+    // zeroed, and the next interval starts there.
+    s.notifyReset(150);
+    s.record(snap(200, 30, 2));
+    ASSERT_EQ(s.samples().size(), 2u);
+    const IntervalSample &b = s.samples()[1];
+    EXPECT_EQ(b.cycleBegin, 150u);
+    EXPECT_EQ(b.cycleEnd, 200u);
+    EXPECT_EQ(b.committed, 30u);
+    EXPECT_EQ(b.l2Misses, 2u);
+    EXPECT_DOUBLE_EQ(b.ipc, 0.6);
+}
+
+TEST(IntervalSamplerTest, CounterRegressionWithoutResetFallsBack)
+{
+    // If the counters were zeroed but notifyReset never arrived (a
+    // test driving tick() directly), the sampler must not underflow.
+    IntervalSampler s(100);
+    s.record(snap(100, 90, 7));
+    s.record(snap(200, 25, 1)); // Below the previous cumulative.
+    ASSERT_EQ(s.samples().size(), 2u);
+    EXPECT_EQ(s.samples()[1].committed, 25u);
+    EXPECT_EQ(s.samples()[1].l2Misses, 1u);
+}
+
+} // namespace
+} // namespace mlpwin

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests of the EventTimeline: grow/shrink kind inference,
+ * begin/end pairing for drain-stall and runahead episodes, the
+ * end-of-run finish() sweep, and ring eviction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "telemetry/timeline.hh"
+
+namespace mlpwin
+{
+namespace
+{
+
+TEST(EventTimelineTest, ResizeKindFollowsLevelDirection)
+{
+    EventTimeline t;
+    t.recordResize(100, 110, 1, 2);
+    t.recordResize(500, 510, 2, 1);
+    ASSERT_EQ(t.events().size(), 2u);
+
+    const TimelineEvent &grow = t.events()[0];
+    EXPECT_EQ(grow.kind, TimelineEventKind::Grow);
+    EXPECT_EQ(grow.begin, 100u);
+    EXPECT_EQ(grow.end, 110u);
+    EXPECT_EQ(grow.fromLevel, 1u);
+    EXPECT_EQ(grow.toLevel, 2u);
+
+    const TimelineEvent &shrink = t.events()[1];
+    EXPECT_EQ(shrink.kind, TimelineEventKind::Shrink);
+    EXPECT_EQ(shrink.fromLevel, 2u);
+    EXPECT_EQ(shrink.toLevel, 1u);
+}
+
+TEST(EventTimelineTest, DrainStallPairsBeginWithEnd)
+{
+    EventTimeline t;
+    EXPECT_FALSE(t.drainStallOpen());
+    t.endDrainStall(50); // No-op: nothing open.
+    EXPECT_TRUE(t.events().empty());
+
+    t.beginDrainStall(100);
+    EXPECT_TRUE(t.drainStallOpen());
+    t.beginDrainStall(120); // Idempotent while open.
+    t.endDrainStall(180);
+    EXPECT_FALSE(t.drainStallOpen());
+
+    ASSERT_EQ(t.events().size(), 1u);
+    EXPECT_EQ(t.events()[0].kind, TimelineEventKind::DrainStall);
+    EXPECT_EQ(t.events()[0].begin, 100u);
+    EXPECT_EQ(t.events()[0].end, 180u);
+}
+
+TEST(EventTimelineTest, RunaheadCarriesTriggerPcAndMisses)
+{
+    EventTimeline t;
+    t.beginRunahead(1000, 0x4008);
+    EXPECT_TRUE(t.runaheadOpen());
+    t.endRunahead(1400, 3);
+    EXPECT_FALSE(t.runaheadOpen());
+
+    ASSERT_EQ(t.events().size(), 1u);
+    const TimelineEvent &e = t.events()[0];
+    EXPECT_EQ(e.kind, TimelineEventKind::Runahead);
+    EXPECT_EQ(e.begin, 1000u);
+    EXPECT_EQ(e.end, 1400u);
+    EXPECT_EQ(e.triggerPc, 0x4008u);
+    EXPECT_EQ(e.misses, 3u);
+}
+
+TEST(EventTimelineTest, FinishClosesOpenEpisodes)
+{
+    EventTimeline t;
+    t.beginDrainStall(100);
+    t.beginRunahead(200, 0x10);
+    t.finish(300);
+    EXPECT_FALSE(t.drainStallOpen());
+    EXPECT_FALSE(t.runaheadOpen());
+    ASSERT_EQ(t.events().size(), 2u);
+    for (const TimelineEvent &e : t.events())
+        EXPECT_EQ(e.end, 300u);
+
+    // finish() is idempotent.
+    t.finish(400);
+    EXPECT_EQ(t.events().size(), 2u);
+}
+
+TEST(EventTimelineTest, EveryEventHasOrderedBeginEnd)
+{
+    EventTimeline t;
+    t.recordResize(10, 20, 1, 2);
+    t.beginDrainStall(30);
+    t.endDrainStall(30); // Zero-length episodes are legal.
+    t.beginRunahead(40, 0);
+    t.endRunahead(90, 1);
+    for (const TimelineEvent &e : t.events())
+        EXPECT_LE(e.begin, e.end);
+}
+
+TEST(EventTimelineTest, RingEvictsOldestAndCountsDropped)
+{
+    EventTimeline t(2);
+    t.recordResize(10, 20, 1, 2);
+    t.recordResize(30, 40, 2, 3);
+    t.recordResize(50, 60, 3, 4);
+    EXPECT_EQ(t.events().size(), 2u);
+    EXPECT_EQ(t.dropped(), 1u);
+    EXPECT_EQ(t.events().front().begin, 30u);
+}
+
+TEST(EventTimelineTest, KindNamesAreStable)
+{
+    EXPECT_STREQ(timelineEventKindName(TimelineEventKind::Grow),
+                 "grow");
+    EXPECT_STREQ(timelineEventKindName(TimelineEventKind::Shrink),
+                 "shrink");
+    EXPECT_STREQ(timelineEventKindName(TimelineEventKind::DrainStall),
+                 "drain-stall");
+    EXPECT_STREQ(timelineEventKindName(TimelineEventKind::Runahead),
+                 "runahead");
+}
+
+} // namespace
+} // namespace mlpwin

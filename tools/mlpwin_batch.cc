@@ -52,6 +52,15 @@ usage()
         "  --warmup N            warm-up instructions (default "
         "100000)\n"
         "  --no-warm-caches      start with cold I/D caches\n"
+        "  --telemetry-dir DIR   per-job interval telemetry + event\n"
+        "                        timeline files, written as\n"
+        "                        DIR/<workload>.<model>.telemetry."
+        "jsonl\n"
+        "                        and DIR/<workload>.<model>.trace."
+        "json\n"
+        "  --telemetry-interval N\n"
+        "                        sampling interval, cycles (default "
+        "10000)\n"
         "  --quiet               suppress per-job progress on "
         "stderr\n");
 }
@@ -175,6 +184,15 @@ main(int argc, char **argv)
         } else if (arg == "--no-warm-caches") {
             spec.base.warmInstCaches = false;
             spec.base.warmDataCaches = false;
+        } else if (arg == "--telemetry-dir") {
+            spec.telemetryDir = next();
+        } else if (arg == "--telemetry-interval") {
+            spec.telemetryInterval = numericFlag(arg, next());
+            if (spec.telemetryInterval == 0) {
+                std::fprintf(stderr,
+                             "--telemetry-interval: must be >= 1\n");
+                return 2;
+            }
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "-h" || arg == "--help") {

@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -23,6 +24,7 @@
 #include "common/parse.hh"
 #include "cpu/tracer.hh"
 #include "sim/simulator.hh"
+#include "telemetry/export.hh"
 #include "workloads/suite.hh"
 
 using namespace mlpwin;
@@ -51,6 +53,15 @@ usage()
         "      --no-prefetch      disable the data prefetcher\n"
         "      --prefetcher K     stride (default) or stream\n"
         "      --stats            dump every internal statistic\n"
+        "      --stats-json FILE  write every statistic as JSON\n"
+        "      --telemetry FILE   write interval telemetry time\n"
+        "                         series as JSON Lines\n"
+        "      --telemetry-interval N\n"
+        "                         sampling interval, cycles\n"
+        "                         (default 10000)\n"
+        "      --timeline FILE    write resize/runahead/drain event\n"
+        "                         timeline as Chrome trace_event\n"
+        "                         JSON (chrome://tracing, Perfetto)\n"
         "      --trace CATS       pipeline trace to stderr; CATS is\n"
         "                         'all' or a comma list of fetch,\n"
         "                         dispatch,issue,complete,commit,\n"
@@ -101,6 +112,10 @@ main(int argc, char **argv)
     bool dump_stats = false;
     unsigned trace_mask = 0;
     Cycle trace_start = 0;
+    std::string telemetry_path;
+    std::string timeline_path;
+    std::string stats_json_path;
+    Cycle telemetry_interval = kDefaultTelemetryInterval;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -163,8 +178,26 @@ main(int argc, char **argv)
             }
         } else if (arg == "--stats") {
             dump_stats = true;
+        } else if (arg == "--stats-json") {
+            stats_json_path = next();
+        } else if (arg == "--telemetry") {
+            telemetry_path = next();
+        } else if (arg == "--telemetry-interval") {
+            telemetry_interval = numericFlag(arg, next());
+            if (telemetry_interval == 0) {
+                std::fprintf(stderr,
+                             "--telemetry-interval: must be >= 1\n");
+                return 2;
+            }
+        } else if (arg == "--timeline") {
+            timeline_path = next();
         } else if (arg == "--trace") {
-            trace_mask = parseTraceCategories(next());
+            std::string err;
+            trace_mask = parseTraceCategories(next(), &err);
+            if (!err.empty()) {
+                std::fprintf(stderr, "--trace: %s\n", err.c_str());
+                return 2;
+            }
         } else if (arg == "--trace-start") {
             trace_start = numericFlag(arg, next());
         } else if (arg == "-h" || arg == "--help") {
@@ -192,7 +225,47 @@ main(int argc, char **argv)
                                                   trace_start);
         sim.setTracer(tracer.get());
     }
+    std::unique_ptr<IntervalSampler> sampler;
+    if (!telemetry_path.empty()) {
+        sampler = std::make_unique<IntervalSampler>(telemetry_interval);
+        sim.setSampler(sampler.get());
+    }
+    std::unique_ptr<EventTimeline> timeline;
+    if (!timeline_path.empty()) {
+        timeline = std::make_unique<EventTimeline>();
+        sim.setTimeline(timeline.get());
+    }
     SimResult r = sim.run();
+
+    if (sampler) {
+        std::ofstream os(telemetry_path);
+        if (!os) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         telemetry_path.c_str());
+            return 1;
+        }
+        writeTelemetryJsonl(os, *sampler);
+    }
+    if (timeline) {
+        std::ofstream os(timeline_path);
+        if (!os) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         timeline_path.c_str());
+            return 1;
+        }
+        writeChromeTrace(os, *timeline,
+                         workload + "." + modelName(cfg.model));
+    }
+    if (!stats_json_path.empty()) {
+        std::ofstream os(stats_json_path);
+        if (!os) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         stats_json_path.c_str());
+            return 1;
+        }
+        sim.stats().dumpJson(os);
+        os << '\n';
+    }
 
     std::printf("workload            %s (%s)\n", r.workload.c_str(),
                 spec.memIntensive ? "memory-intensive"
