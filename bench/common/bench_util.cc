@@ -140,7 +140,31 @@ runMatrix(const std::vector<std::string> &workloads,
     spec.iterations = kForever;
     spec.telemetryDir = telemetryDir();
     spec.telemetryInterval = telemetryInterval();
-    return exp::ExperimentRunner(benchJobs()).run(spec);
+
+    // Contain per-cell failures: a wedged or crashing cell leaves a
+    // default (zeroed) SimResult in its slot — tables print its IPC
+    // as 0 and geomeans skip it — instead of killing the whole
+    // figure run. The failure details still land on stderr.
+    exp::BatchOutcome batch =
+        exp::ExperimentRunner(benchJobs()).runAll(spec);
+    std::size_t bad = 0;
+    for (std::size_t i = 0; i < batch.outcomes.size(); ++i) {
+        const exp::JobOutcome &o = batch.outcomes[i];
+        if (o.state == exp::JobState::Ok)
+            continue;
+        ++bad;
+        progress("FAILED " + exp::jobKey(batch.jobs[i]) + " (" +
+                 exp::jobStateName(o.state) + "): " + o.errorDetail);
+    }
+    if (bad)
+        progress(std::to_string(bad) +
+                 " cell(s) failed; their table entries are zero");
+
+    std::vector<SimResult> results;
+    results.reserve(batch.outcomes.size());
+    for (exp::JobOutcome &o : batch.outcomes)
+        results.push_back(std::move(o.result));
+    return results;
 }
 
 std::vector<std::string>

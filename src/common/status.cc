@@ -1,0 +1,123 @@
+#include "status.hh"
+
+#include <sstream>
+
+#include "common/json.hh"
+
+namespace mlpwin
+{
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok:
+        return "ok";
+      case ErrorCode::InvalidArgument:
+        return "invalid_argument";
+      case ErrorCode::NoProgress:
+        return "no_progress";
+      case ErrorCode::InvariantViolation:
+        return "invariant_violation";
+      case ErrorCode::Io:
+        return "io";
+      case ErrorCode::Timeout:
+        return "timeout";
+      case ErrorCode::Interrupted:
+        return "interrupted";
+      case ErrorCode::Internal:
+        return "internal";
+    }
+    return "?";
+}
+
+bool
+errorCodeTransient(ErrorCode code)
+{
+    return code == ErrorCode::Io;
+}
+
+std::string
+DiagnosticDump::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"workload\":\"" << jsonEscape(workload) << '"'
+       << ",\"model\":\"" << jsonEscape(model) << '"'
+       << ",\"cycle\":" << fmtU64(cycle)
+       << ",\"committed\":" << fmtU64(committed)
+       << ",\"lastCommitCycle\":" << fmtU64(lastCommitCycle)
+       << ",\"robEmpty\":" << (robEmpty ? "true" : "false")
+       << ",\"robHeadSeq\":" << fmtU64(robHeadSeq)
+       << ",\"robHeadPc\":" << fmtU64(robHeadPc)
+       << ",\"robHeadCompleted\":"
+       << (robHeadCompleted ? "true" : "false")
+       << ",\"robOcc\":" << robOcc << ",\"robCap\":" << robCap
+       << ",\"iqOcc\":" << iqOcc << ",\"iqCap\":" << iqCap
+       << ",\"lsqOcc\":" << lsqOcc << ",\"lsqCap\":" << lsqCap
+       << ",\"level\":" << level
+       << ",\"allocStopped\":" << (allocStopped ? "true" : "false")
+       << ",\"inTransition\":" << (inTransition ? "true" : "false")
+       << ",\"outstandingMisses\":" << outstandingMisses
+       << ",\"dramBacklog\":" << fmtU64(dramBacklog)
+       << ",\"fetchHalted\":" << (fetchHalted ? "true" : "false")
+       << ",\"recentEvents\":[";
+    for (std::size_t i = 0; i < recentEvents.size(); ++i) {
+        if (i)
+            os << ',';
+        os << '"' << jsonEscape(recentEvents[i]) << '"';
+    }
+    os << "]}";
+    return os.str();
+}
+
+std::string
+DiagnosticDump::pretty() const
+{
+    std::ostringstream os;
+    os << "  workload/model   " << workload << '/' << model << '\n'
+       << "  cycle            " << cycle << " (last commit at "
+       << lastCommitCycle << ", " << committed << " committed)\n";
+    if (robEmpty) {
+        os << "  ROB head         <empty>\n";
+    } else {
+        os << "  ROB head         seq " << robHeadSeq << " pc 0x"
+           << std::hex << robHeadPc << std::dec
+           << (robHeadCompleted ? " (completed)" : " (not completed)")
+           << '\n';
+    }
+    os << "  occupancy        rob " << robOcc << '/' << robCap
+       << "  iq " << iqOcc << '/' << iqCap << "  lsq " << lsqOcc
+       << '/' << lsqCap << '\n'
+       << "  controller       level " << level
+       << (allocStopped ? ", alloc stopped" : "")
+       << (inTransition ? ", in transition" : "") << '\n'
+       << "  memory           " << outstandingMisses
+       << " outstanding L2 misses, DRAM backlog " << dramBacklog
+       << " cycles\n"
+       << "  fetch halted     " << (fetchHalted ? "yes" : "no")
+       << '\n';
+    if (!recentEvents.empty()) {
+        os << "  recent events";
+        for (const std::string &e : recentEvents)
+            os << "\n    " << e;
+        os << '\n';
+    }
+    return os.str();
+}
+
+SimError::SimError(ErrorCode code, const std::string &message)
+    : std::runtime_error(std::string("[") + errorCodeName(code) +
+                         "] " + message),
+      code_(code), message_(message)
+{
+}
+
+SimError::SimError(ErrorCode code, const std::string &message,
+                   DiagnosticDump dump)
+    : std::runtime_error(std::string("[") + errorCodeName(code) +
+                         "] " + message),
+      code_(code), message_(message), dump_(std::move(dump))
+{
+}
+
+} // namespace mlpwin

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Recoverable error reporting for library paths.
+ *
+ * The logging macros (mlpwin_fatal / mlpwin_panic) terminate the
+ * process, which is the right call for a single interactive run but
+ * destroys a whole batch when one cell misbehaves. Library code that
+ * batch drivers call — workload lookup, Simulator::run, job
+ * execution — reports failures through this header instead:
+ *
+ *  - Status: a cheap ok/error value for query-style checks
+ *    (Simulator::checkInvariants).
+ *  - SimError: the exception thrown out of a failing run, carrying an
+ *    ErrorCode (so callers can classify: retry transient I/O, never
+ *    retry an invariant violation) and, for watchdog aborts, a
+ *    DiagnosticDump of the wedged machine state.
+ */
+
+#ifndef MLPWIN_COMMON_STATUS_HH
+#define MLPWIN_COMMON_STATUS_HH
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mlpwin
+{
+
+/** Classification of a recoverable failure. */
+enum class ErrorCode
+{
+    Ok,                 ///< No error (Status only).
+    InvalidArgument,    ///< Bad user input (unknown workload, ...).
+    NoProgress,         ///< Watchdog: no commit for a full window.
+    InvariantViolation, ///< Structural invariant broke (occupancy
+                        ///< over capacity, drain never completes).
+    Io,                 ///< Filesystem trouble; typically transient.
+    Timeout,            ///< Per-job wall-clock budget exhausted.
+    Interrupted,        ///< Run aborted by a cancellation request.
+    Internal,           ///< Unclassified failure.
+};
+
+/** Printable code name ("ok", "no_progress", ...). */
+const char *errorCodeName(ErrorCode code);
+
+/**
+ * True for failure classes worth retrying (currently only Io:
+ * telemetry/checkpoint files on contended filesystems). Simulation
+ * failures are deterministic and never retried.
+ */
+bool errorCodeTransient(ErrorCode code);
+
+/**
+ * Machine-state snapshot attached to watchdog/invariant aborts: the
+ * pipeline heads, window occupancies against their capacities,
+ * controller state, outstanding misses, and the tail of the event
+ * timeline (when one is attached). Everything a postmortem needs to
+ * tell "deadlocked drain" from "lost wakeup" without re-running.
+ */
+struct DiagnosticDump
+{
+    std::string workload;
+    std::string model;
+
+    Cycle cycle = 0;
+    std::uint64_t committed = 0;
+    /** Cycle of the most recent commit before the abort. */
+    Cycle lastCommitCycle = 0;
+
+    // --- pipeline head -------------------------------------------------
+    bool robEmpty = true;
+    InstSeqNum robHeadSeq = 0;
+    Addr robHeadPc = 0;
+    bool robHeadCompleted = false;
+
+    // --- window occupancy vs. capacity (at the current level) ---------
+    unsigned robOcc = 0, robCap = 0;
+    unsigned iqOcc = 0, iqCap = 0;
+    unsigned lsqOcc = 0, lsqCap = 0;
+
+    // --- controller state ---------------------------------------------
+    unsigned level = 0;
+    bool allocStopped = false;
+    bool inTransition = false;
+
+    // --- memory system -------------------------------------------------
+    unsigned outstandingMisses = 0;
+    std::uint64_t dramBacklog = 0;
+
+    bool fetchHalted = false;
+
+    /**
+     * Last few timeline events ("grow 1->2 @[120,130]", ...), newest
+     * last; empty when no EventTimeline was attached to the run.
+     */
+    std::vector<std::string> recentEvents;
+
+    /** Single-line JSON object (schema documented in EXPERIMENTS.md). */
+    std::string toJson() const;
+
+    /** Multi-line human-readable rendering for stderr. */
+    std::string pretty() const;
+};
+
+/** See file comment. */
+class SimError : public std::runtime_error
+{
+  public:
+    SimError(ErrorCode code, const std::string &message);
+    SimError(ErrorCode code, const std::string &message,
+             DiagnosticDump dump);
+
+    ErrorCode code() const { return code_; }
+
+    /** The bare message, without the "[code]" prefix what() carries. */
+    const std::string &message() const { return message_; }
+
+    bool hasDump() const { return dump_.has_value(); }
+    /** Precondition: hasDump(). */
+    const DiagnosticDump &dump() const { return *dump_; }
+
+    bool transient() const { return errorCodeTransient(code_); }
+
+  private:
+    ErrorCode code_;
+    std::string message_;
+    std::optional<DiagnosticDump> dump_;
+};
+
+/** Cheap ok/error value for checks that should not throw. */
+class Status
+{
+  public:
+    /** Default: ok. */
+    Status() = default;
+
+    static Status
+    error(ErrorCode code, std::string message)
+    {
+        Status s;
+        s.code_ = code;
+        s.message_ = std::move(message);
+        return s;
+    }
+
+    bool ok() const { return code_ == ErrorCode::Ok; }
+    ErrorCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+  private:
+    ErrorCode code_ = ErrorCode::Ok;
+    std::string message_;
+};
+
+} // namespace mlpwin
+
+#endif // MLPWIN_COMMON_STATUS_HH

@@ -902,6 +902,10 @@ OooCore::commitStage()
     if (halted_)
         return;
 
+    // Synthetic no-commit wedge for watchdog/fault-tolerance tests.
+    if (cycle_ >= cfg_.debugStallCommitAt)
+        return;
+
     if (inRunahead_) {
         if (cycle_ >= raExitAt_) {
             exitRunahead();

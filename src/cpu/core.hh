@@ -180,6 +180,24 @@ class OooCore
     /** Committed instructions at which Halt was reached, if any. */
     bool fetchHalted() const { return fetchHalted_; }
 
+    // --- ROB head view (watchdog diagnostic dumps) --------------------
+    bool robEmpty() const { return window_.empty(); }
+    InstSeqNum
+    robHeadSeq() const
+    {
+        return window_.empty() ? 0 : window_.front().seq;
+    }
+    Addr
+    robHeadPc() const
+    {
+        return window_.empty() ? 0 : window_.front().pc;
+    }
+    bool
+    robHeadCompleted() const
+    {
+        return !window_.empty() && window_.front().completed;
+    }
+
   private:
     // --- pipeline stages (called in reverse order each tick) ----------
     void commitStage();

@@ -6,6 +6,8 @@
 #ifndef MLPWIN_CPU_CORE_CONFIG_HH
 #define MLPWIN_CPU_CORE_CONFIG_HH
 
+#include "common/types.hh"
+
 namespace mlpwin
 {
 
@@ -60,6 +62,14 @@ struct CoreConfig
     unsigned wibReinsertWidth = 4;
     /** Cycles from the blocking miss's completion to re-insertion. */
     unsigned wibReinsertDelay = 2;
+
+    /**
+     * Test-only fault injection: once this cycle is reached the
+     * commit stage stops retiring (a synthetic no-commit wedge in the
+     * real commit path). Exercises the forward-progress watchdog and
+     * the batch harness's failure containment; kNoCycle = never.
+     */
+    Cycle debugStallCommitAt = kNoCycle;
 };
 
 } // namespace mlpwin

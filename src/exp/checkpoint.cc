@@ -1,0 +1,113 @@
+#include "exp/checkpoint.hh"
+
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "exp/result_writer.hh"
+
+namespace mlpwin
+{
+namespace exp
+{
+
+std::string
+checkpointRecord(const ExperimentJob &job, const JobOutcome &outcome)
+{
+    std::ostringstream os;
+    os << "{\"key\":\"" << jsonEscape(jobKey(job)) << '"'
+       << ",\"workload\":\"" << jsonEscape(job.workload) << '"'
+       << ",\"model\":\"" << jsonEscape(job.model.displayLabel())
+       << '"' << ",\"state\":\"" << jobStateName(outcome.state) << '"'
+       << ",\"error\":\"" << errorCodeName(outcome.error) << '"'
+       << ",\"detail\":\"" << jsonEscape(outcome.errorDetail) << '"'
+       << ",\"attempts\":" << outcome.attempts;
+    if (!outcome.dumpJson.empty())
+        os << ",\"dump\":" << outcome.dumpJson;
+    if (outcome.state == JobState::Ok)
+        os << ",\"result\":" << resultToJson(outcome.result);
+    os << '}';
+    return os.str();
+}
+
+std::map<std::string, SimResult>
+loadCheckpoint(const std::string &path)
+{
+    std::map<std::string, SimResult> done;
+    std::ifstream is(path);
+    if (!is)
+        return done;
+
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        try {
+            JsonValue v = parseJson(line);
+            if (v.field("state").asString() != "ok")
+                continue;
+            // "result" is by construction the record's last field:
+            // slice it out textually so resultFromJson sees exactly
+            // the bytes resultToJson wrote.
+            const std::string marker = "\"result\":";
+            std::size_t pos = line.find(marker);
+            if (pos == std::string::npos)
+                throw std::runtime_error("ok record without result");
+            std::string result_json = line.substr(
+                pos + marker.size(),
+                line.size() - (pos + marker.size()) - 1);
+            done[v.field("key").asString()] =
+                resultFromJson(result_json);
+        } catch (const std::exception &e) {
+            mlpwin_warn("checkpoint %s line %zu unusable (%s); "
+                        "cell will re-run",
+                        path.c_str(), lineno, e.what());
+        }
+    }
+    return done;
+}
+
+CheckpointWriter::CheckpointWriter(const std::string &path,
+                                   bool append)
+    : path_(path)
+{
+    // A batch killed mid-write leaves a torn final line with no
+    // newline; appending straight after it would corrupt the first
+    // new record too. Terminate it first.
+    bool terminate_torn_line = false;
+    if (append) {
+        std::ifstream in(path, std::ios::binary | std::ios::ate);
+        if (in && in.tellg() > 0) {
+            in.seekg(-1, std::ios::end);
+            char last = '\n';
+            in.get(last);
+            terminate_torn_line = last != '\n';
+        }
+    }
+    os_.open(path, append ? std::ios::app : std::ios::trunc);
+    if (!os_)
+        throw SimError(ErrorCode::Io,
+                       "cannot open checkpoint file " + path);
+    if (terminate_torn_line)
+        os_ << '\n';
+}
+
+void
+CheckpointWriter::append(const ExperimentJob &job,
+                         const JobOutcome &outcome)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    os_ << checkpointRecord(job, outcome) << '\n';
+    os_.flush();
+    if (!os_ && !warned_) {
+        warned_ = true;
+        mlpwin_warn("checkpoint writes to %s are failing; a resume "
+                    "will re-run the affected cells",
+                    path_.c_str());
+    }
+}
+
+} // namespace exp
+} // namespace mlpwin

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Incremental batch checkpointing: as each job of a batch finishes,
+ * one self-contained JSONL record is appended (and flushed) to a
+ * sidecar file, so a crashed or interrupted batch can be resumed with
+ * only the in-flight jobs lost.
+ *
+ * Record schema (one line per finished job, completion order):
+ *
+ *   {"key":"<workload>/<label>","workload":"...","model":"...",
+ *    "state":"ok|failed|timeout","error":"<code>","detail":"...",
+ *    "attempts":N,"dump":{...}?,"result":{...}?}
+ *
+ * "result" is present only for ok records and is exactly the
+ * resultToJson serialization — doubles print with %.17g, so a resumed
+ * batch reproduces the in-memory SimResult bit-for-bit and its final
+ * output is byte-identical to an uninterrupted run's. "result" is
+ * always the record's last field (loadCheckpoint slices it out by
+ * position after validating the line as JSON).
+ *
+ * On resume, only "ok" records are adopted; failed/timeout cells are
+ * re-executed. A torn final line (batch killed mid-write) is skipped
+ * with a warning.
+ */
+
+#ifndef MLPWIN_EXP_CHECKPOINT_HH
+#define MLPWIN_EXP_CHECKPOINT_HH
+
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "exp/experiment.hh"
+
+namespace mlpwin
+{
+namespace exp
+{
+
+/** Serialize one finished job as a checkpoint line (no newline). */
+std::string checkpointRecord(const ExperimentJob &job,
+                             const JobOutcome &outcome);
+
+/**
+ * Read a checkpoint file and return the ok-state results keyed by
+ * jobKey. A missing file yields an empty map (fresh start); malformed
+ * lines are skipped with a warning rather than failing the resume.
+ */
+std::map<std::string, SimResult>
+loadCheckpoint(const std::string &path);
+
+/** Thread-safe append-and-flush writer for checkpoint records. */
+class CheckpointWriter
+{
+  public:
+    /**
+     * @param path Checkpoint file to create or extend.
+     * @param append Keep existing records (resume) instead of
+     *        truncating.
+     * @throws SimError{Io} if the file cannot be opened.
+     */
+    CheckpointWriter(const std::string &path, bool append);
+
+    /**
+     * Append one record and flush. I/O trouble here degrades to a
+     * warning: losing checkpoint durability must not fail the batch.
+     */
+    void append(const ExperimentJob &job, const JobOutcome &outcome);
+
+  private:
+    std::mutex mutex_;
+    std::ofstream os_;
+    std::string path_;
+    bool warned_ = false;
+};
+
+} // namespace exp
+} // namespace mlpwin
+
+#endif // MLPWIN_EXP_CHECKPOINT_HH

@@ -9,7 +9,9 @@
 #include <fstream>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 
+#include "exp/checkpoint.hh"
 #include "exp/thread_pool.hh"
 #include "telemetry/export.hh"
 #include "telemetry/timeline.hh"
@@ -87,6 +89,38 @@ expandSpec(const ExperimentSpec &spec)
     return jobs;
 }
 
+std::string
+jobKey(const ExperimentJob &job)
+{
+    return job.workload + "/" + job.model.displayLabel();
+}
+
+const char *
+jobStateName(JobState s)
+{
+    switch (s) {
+      case JobState::Ok:
+        return "ok";
+      case JobState::Failed:
+        return "failed";
+      case JobState::Timeout:
+        return "timeout";
+      case JobState::Skipped:
+        return "skipped";
+    }
+    return "?";
+}
+
+std::size_t
+BatchOutcome::count(JobState s) const
+{
+    std::size_t n = 0;
+    for (const JobOutcome &o : outcomes)
+        if (o.state == s)
+            ++n;
+    return n;
+}
+
 namespace
 {
 
@@ -98,16 +132,32 @@ jobFileStem(const ExperimentJob &job)
 }
 
 /**
- * Like runWorkload, but with an interval sampler and event timeline
- * attached; both are written under spec.telemetryDir after the run.
+ * Execute one job: build its Simulator (with the spec's deadline /
+ * abort wiring and optional telemetry), run, and write the per-job
+ * telemetry files. Telemetry-file trouble throws SimError{Io}, the
+ * one failure class the retry loop treats as transient.
  */
 SimResult
-runJobWithTelemetry(const ExperimentSpec &spec,
-                    const ExperimentJob &job)
+executeJob(const ExperimentSpec &spec, const ExperimentJob &job)
 {
+    if (spec.executor)
+        return spec.executor(job);
+
     const WorkloadSpec &ws = findWorkload(job.workload);
     Program prog = ws.make(spec.iterations);
     Simulator sim(job.cfg, prog);
+
+    if (spec.jobTimeoutSeconds > 0.0)
+        sim.setDeadline(std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(
+                                spec.jobTimeoutSeconds)));
+    if (spec.abortFlag)
+        sim.setAbortFlag(spec.abortFlag);
+
+    if (spec.telemetryDir.empty())
+        return sim.run();
 
     IntervalSampler sampler(spec.telemetryInterval);
     EventTimeline timeline;
@@ -119,16 +169,37 @@ runJobWithTelemetry(const ExperimentSpec &spec,
     std::string stem = spec.telemetryDir + "/" + jobFileStem(job);
     std::ofstream series(stem + ".telemetry.jsonl");
     if (!series)
-        throw std::runtime_error("cannot open " + stem +
-                                 ".telemetry.jsonl");
+        throw SimError(ErrorCode::Io, "cannot open " + stem +
+                                          ".telemetry.jsonl");
     writeTelemetryJsonl(series, sampler);
 
     std::ofstream trace(stem + ".trace.json");
     if (!trace)
-        throw std::runtime_error("cannot open " + stem +
-                                 ".trace.json");
+        throw SimError(ErrorCode::Io,
+                       "cannot open " + stem + ".trace.json");
     writeChromeTrace(trace, timeline, jobFileStem(job));
     return r;
+}
+
+/** Map a caught SimError onto the outcome record. */
+void
+recordFailure(JobOutcome &out, const SimError &e)
+{
+    out.error = e.code();
+    out.errorDetail = e.message();
+    if (e.hasDump())
+        out.dumpJson = e.dump().toJson();
+    switch (e.code()) {
+      case ErrorCode::Timeout:
+        out.state = JobState::Timeout;
+        break;
+      case ErrorCode::Interrupted:
+        out.state = JobState::Skipped;
+        break;
+      default:
+        out.state = JobState::Failed;
+        break;
+    }
 }
 
 } // namespace
@@ -137,35 +208,39 @@ ExperimentRunner::ExperimentRunner(unsigned jobs, bool progress)
     : jobs_(ThreadPool::resolveThreads(jobs)), progress_(progress)
 {}
 
-std::vector<SimResult>
-ExperimentRunner::run(const ExperimentSpec &spec) const
+BatchOutcome
+ExperimentRunner::runAll(const ExperimentSpec &spec) const
 {
     // Force suite construction (and its magic static) before any
-    // worker races to it, and fail fast on unknown workload names.
-    for (const std::string &w : spec.workloads)
-        findWorkload(w);
+    // worker races to it, and fail fast on unknown workload names —
+    // findWorkload throws a SimError listing the valid names. The
+    // test-seam executor may use synthetic names, so skip then.
+    if (!spec.executor)
+        for (const std::string &w : spec.workloads)
+            findWorkload(w);
 
     // Create the telemetry directory once, before workers race to
     // open files inside it.
     if (!spec.telemetryDir.empty())
         std::filesystem::create_directories(spec.telemetryDir);
 
-    const std::vector<ExperimentJob> jobs = expandSpec(spec);
-    std::vector<SimResult> results(jobs.size());
-    std::vector<std::exception_ptr> errors(jobs.size());
+    BatchOutcome batch;
+    batch.jobs = expandSpec(spec);
+    batch.outcomes.resize(batch.jobs.size());
+
+    std::map<std::string, SimResult> resumed;
+    if (spec.resume && !spec.checkpointPath.empty())
+        resumed = loadCheckpoint(spec.checkpointPath);
+    std::unique_ptr<CheckpointWriter> ckpt;
+    if (!spec.checkpointPath.empty())
+        ckpt = std::make_unique<CheckpointWriter>(spec.checkpointPath,
+                                                  spec.resume);
 
     const auto start = std::chrono::steady_clock::now();
     std::atomic<std::size_t> done{0};
     std::mutex progress_mutex;
 
-    auto run_one = [&](const ExperimentJob &job) {
-        try {
-            results[job.index] = spec.telemetryDir.empty()
-                ? runWorkload(job.workload, job.cfg, spec.iterations)
-                : runJobWithTelemetry(spec, job);
-        } catch (...) {
-            errors[job.index] = std::current_exception();
-        }
+    auto note = [&](const ExperimentJob &job, const JobOutcome &out) {
         std::size_t n = ++done;
         if (!progress_)
             return;
@@ -174,36 +249,120 @@ ExperimentRunner::run(const ExperimentSpec &spec) const
                 std::chrono::steady_clock::now() - start)
                 .count();
         double eta = n ? elapsed / static_cast<double>(n) *
-                             static_cast<double>(jobs.size() - n)
+                             static_cast<double>(batch.jobs.size() - n)
                        : 0.0;
         std::lock_guard<std::mutex> lock(progress_mutex);
-        std::fprintf(stderr,
-                     "  [%zu/%zu] %s/%s ipc %.3f  elapsed %.1fs eta "
-                     "%.1fs\n",
-                     n, jobs.size(), job.workload.c_str(),
-                     job.model.displayLabel().c_str(),
-                     results[job.index].ipc, elapsed, eta);
+        if (out.state == JobState::Ok) {
+            std::fprintf(
+                stderr,
+                "  [%zu/%zu] %s%s ipc %.3f  elapsed %.1fs eta "
+                "%.1fs\n",
+                n, batch.jobs.size(), jobKey(job).c_str(),
+                out.resumed ? " [resumed]" : "", out.result.ipc,
+                elapsed, eta);
+        } else {
+            std::fprintf(stderr, "  [%zu/%zu] %s %s: %s\n", n,
+                         batch.jobs.size(), jobKey(job).c_str(),
+                         jobStateName(out.state),
+                         out.errorDetail.c_str());
+        }
+    };
+
+    auto run_one = [&](const ExperimentJob &job) {
+        JobOutcome &out = batch.outcomes[job.index];
+
+        if (auto it = resumed.find(jobKey(job));
+            it != resumed.end()) {
+            out.state = JobState::Ok;
+            out.result = it->second;
+            out.resumed = true;
+            note(job, out);
+            return;
+        }
+        if (spec.cancelRequested && spec.cancelRequested()) {
+            out.state = JobState::Skipped;
+            out.error = ErrorCode::Interrupted;
+            out.errorDetail = "cancelled before start";
+            note(job, out);
+            return;
+        }
+
+        const auto job_start = std::chrono::steady_clock::now();
+        for (unsigned attempt = 1;; ++attempt) {
+            out.attempts = attempt;
+            try {
+                out.result = executeJob(spec, job);
+                out.state = JobState::Ok;
+                out.error = ErrorCode::Ok;
+                out.errorDetail.clear();
+                out.dumpJson.clear();
+                break;
+            } catch (const SimError &e) {
+                recordFailure(out, e);
+            } catch (const std::exception &e) {
+                out.state = JobState::Failed;
+                out.error = ErrorCode::Internal;
+                out.errorDetail = e.what();
+            }
+            bool cancelled =
+                spec.cancelRequested && spec.cancelRequested();
+            if (!errorCodeTransient(out.error) ||
+                attempt >= std::max(spec.maxAttempts, 1u) ||
+                cancelled)
+                break;
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                static_cast<std::uint64_t>(spec.retryBackoffMs) *
+                attempt));
+        }
+        out.wallSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - job_start)
+                .count();
+
+        // Skipped jobs are deliberately NOT checkpointed: a resume
+        // must re-run interrupted cells. Failed/timeout records are
+        // kept for postmortems but never adopted by loadCheckpoint.
+        if (ckpt && out.state != JobState::Skipped)
+            ckpt->append(job, out);
+        note(job, out);
     };
 
     if (jobs_ <= 1) {
         // Serial reference path: no pool, same submission order.
-        for (const ExperimentJob &job : jobs)
+        for (const ExperimentJob &job : batch.jobs)
             run_one(job);
     } else {
         ThreadPool pool(jobs_);
         std::vector<std::future<void>> futures;
-        futures.reserve(jobs.size());
-        for (const ExperimentJob &job : jobs)
+        futures.reserve(batch.jobs.size());
+        for (const ExperimentJob &job : batch.jobs)
             futures.push_back(pool.submit([&run_one, &job] {
                 run_one(job);
             }));
         for (std::future<void> &f : futures)
             f.get();
     }
+    return batch;
+}
 
-    for (std::exception_ptr &e : errors)
-        if (e)
-            std::rethrow_exception(e);
+std::vector<SimResult>
+ExperimentRunner::run(const ExperimentSpec &spec) const
+{
+    BatchOutcome batch = runAll(spec);
+    for (std::size_t i = 0; i < batch.outcomes.size(); ++i) {
+        const JobOutcome &o = batch.outcomes[i];
+        if (o.state == JobState::Ok)
+            continue;
+        throw SimError(o.error == ErrorCode::Ok ? ErrorCode::Internal
+                                                : o.error,
+                       jobKey(batch.jobs[i]) + " " +
+                           jobStateName(o.state) + ": " +
+                           o.errorDetail);
+    }
+    std::vector<SimResult> results;
+    results.reserve(batch.outcomes.size());
+    for (JobOutcome &o : batch.outcomes)
+        results.push_back(std::move(o.result));
     return results;
 }
 

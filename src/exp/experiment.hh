@@ -11,11 +11,13 @@
 #ifndef MLPWIN_EXP_EXPERIMENT_HH
 #define MLPWIN_EXP_EXPERIMENT_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "common/status.hh"
 #include "sim/sim_config.hh"
 #include "sim/simulator.hh"
 #include "telemetry/sampler.hh"
@@ -78,6 +80,60 @@ struct ExperimentSpec
     /** Sampling interval for per-job telemetry, cycles. */
     Cycle telemetryInterval = kDefaultTelemetryInterval;
 
+    // --- fault tolerance ------------------------------------------------
+
+    /**
+     * Execution attempts per job. Only *transient* failures (see
+     * errorCodeTransient: filesystem trouble writing telemetry or
+     * checkpoint data) are retried; simulation failures are
+     * deterministic, so re-running them would reproduce the error.
+     */
+    unsigned maxAttempts = 2;
+    /** Backoff before retry k is k * this many milliseconds. */
+    unsigned retryBackoffMs = 100;
+
+    /**
+     * Per-job wall-clock budget in seconds (0 = unlimited). Enforced
+     * cooperatively by the Simulator's watchdog poll, so overshoot is
+     * bounded by one checkInterval. An over-budget job is reported
+     * JobState::Timeout; the rest of the batch continues.
+     */
+    double jobTimeoutSeconds = 0.0;
+
+    /**
+     * Polled before each job starts; return true to stop launching
+     * new jobs (they finish as JobState::Skipped). In-flight jobs
+     * drain normally — wire `abortFlag` to cut those short too.
+     */
+    std::function<bool()> cancelRequested;
+
+    /**
+     * When non-null and set to true, in-flight simulations abort at
+     * their next watchdog poll (reported Skipped/interrupted). Safe
+     * to set from a signal handler.
+     */
+    const std::atomic<bool> *abortFlag = nullptr;
+
+    /**
+     * If non-empty, every finished job appends one JSONL record here
+     * (flushed immediately), so a killed batch loses at most the
+     * in-flight jobs. See exp/checkpoint.hh for the schema.
+     */
+    std::string checkpointPath;
+    /**
+     * Skip jobs whose cell already has an `ok` record in
+     * checkpointPath, adopting the recorded result verbatim — the
+     * final output is bit-identical to an uninterrupted run.
+     */
+    bool resume = false;
+
+    /**
+     * Test seam: when set, jobs call this instead of building a
+     * Simulator. Lets harness tests inject failures/timeouts without
+     * burning simulation time. Thread-safe callables only.
+     */
+    std::function<SimResult(const ExperimentJob &)> executor;
+
     /** workloads.size() * models.size(). */
     std::size_t jobCount() const
     {
@@ -102,6 +158,50 @@ struct ExperimentJob
  */
 std::vector<ExperimentJob> expandSpec(const ExperimentSpec &spec);
 
+/** Stable identity of one matrix cell: "<workload>/<label>". */
+std::string jobKey(const ExperimentJob &job);
+
+/** Terminal state of one batch job. */
+enum class JobState
+{
+    Ok,      ///< Simulated (or adopted from a checkpoint on resume).
+    Failed,  ///< Simulation error; see error / errorDetail.
+    Timeout, ///< Per-job wall-clock budget exhausted.
+    Skipped, ///< Never ran (cancelled) or interrupted mid-run.
+};
+
+/** Printable state name ("ok", "failed", "timeout", "skipped"). */
+const char *jobStateName(JobState s);
+
+/** Everything known about one job after the batch settles. */
+struct JobOutcome
+{
+    JobState state = JobState::Skipped;
+    /** Meaningful only when state == Ok. */
+    SimResult result;
+    ErrorCode error = ErrorCode::Ok;
+    /** Failure message (SimError::message or exception what()). */
+    std::string errorDetail;
+    /** DiagnosticDump JSON when the failure carried one, else "". */
+    std::string dumpJson;
+    /** Execution attempts consumed; 0 = adopted from checkpoint. */
+    unsigned attempts = 0;
+    bool resumed = false;
+    /** Wall-clock spent across all attempts, seconds. */
+    double wallSeconds = 0.0;
+};
+
+/** Per-job outcomes of a whole batch, submission order. */
+struct BatchOutcome
+{
+    /** The expanded matrix (parallel to outcomes). */
+    std::vector<ExperimentJob> jobs;
+    std::vector<JobOutcome> outcomes;
+
+    std::size_t count(JobState s) const;
+    bool allOk() const { return count(JobState::Ok) == jobs.size(); }
+};
+
 /** See file comment. */
 class ExperimentRunner
 {
@@ -114,11 +214,22 @@ class ExperimentRunner
     explicit ExperimentRunner(unsigned jobs = 0, bool progress = true);
 
     /**
-     * Run every job of the spec and return results indexed like
-     * expandSpec's job list (submission order), independent of the
-     * order jobs actually finished in. If any job throws, the first
-     * failure (in submission order) is rethrown after the whole
-     * batch has settled.
+     * Run every job of the spec, containing failures per job: one
+     * wedged or crashing cell is recorded in its JobOutcome (with
+     * retry for transient errors, timeout classification, and
+     * checkpointing per the spec) while every other cell still runs.
+     * Outcomes are indexed like expandSpec's job list (submission
+     * order), independent of completion order.
+     *
+     * @throws SimError{InvalidArgument} before any job runs if the
+     *         spec names an unknown workload.
+     */
+    BatchOutcome runAll(const ExperimentSpec &spec) const;
+
+    /**
+     * Legacy strict interface: as runAll, but returns bare results
+     * and throws the first non-ok job's SimError (in submission
+     * order) after the whole batch has settled.
      */
     std::vector<SimResult> run(const ExperimentSpec &spec) const;
 

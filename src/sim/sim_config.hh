@@ -46,6 +46,33 @@ enum class ModelKind
 /** Printable model name. */
 const char *modelName(ModelKind kind);
 
+/**
+ * Forward-progress watchdog (see Simulator::runUntil). A wedged core
+ * — a lost wakeup, a drain that can never complete, a leaked window
+ * entry — would otherwise spin silently to the 4-billion-cycle
+ * maxCycles ceiling; the watchdog turns that into a prompt SimError
+ * carrying a DiagnosticDump of the stuck machine state.
+ */
+struct WatchdogConfig
+{
+    bool enabled = true;
+
+    /**
+     * Abort if no instruction commits for this many cycles. 0 = auto:
+     * 2 x MLP-controller memory latency x the largest level's ROB
+     * size — a full window of back-to-back DRAM misses, doubled.
+     * Any legitimate stall (mispredict recovery + a chain of misses)
+     * resolves well inside that.
+     */
+    Cycle noCommitWindow = 0;
+
+    /**
+     * Structural-invariant / deadline / cancellation poll period in
+     * cycles. Checks are O(1); the default adds no measurable cost.
+     */
+    Cycle checkInterval = 1024;
+};
+
 /** See file comment. */
 struct SimConfig
 {
@@ -92,6 +119,9 @@ struct SimConfig
     std::uint64_t maxInsts = 0;
     /** Hard cycle ceiling (guards against deadlock bugs). */
     std::uint64_t maxCycles = 4'000'000'000ULL;
+
+    /** Forward-progress watchdog; on by default. */
+    WatchdogConfig watchdog;
 };
 
 } // namespace mlpwin

@@ -1,6 +1,7 @@
 #include "simulator.hh"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/logging.hh"
 #include "workloads/suite.hh"
@@ -121,11 +122,151 @@ Simulator::snapshot() const
     return s;
 }
 
+Cycle
+Simulator::watchdogWindow() const
+{
+    if (!cfg_.watchdog.enabled)
+        return 0;
+    if (cfg_.watchdog.noCommitWindow)
+        return cfg_.watchdog.noCommitWindow;
+    const LevelTable &table = resize_->table();
+    Cycle window = 2ULL * cfg_.mlp.memoryLatency *
+                   table.at(table.maxLevel()).robSize;
+    return std::max<Cycle>(window, 1);
+}
+
+DiagnosticDump
+Simulator::diagnosticDump() const
+{
+    DiagnosticDump d;
+    d.workload = workloadName_;
+    d.model = modelName(cfg_.model);
+    d.cycle = core_->cycle();
+    d.committed = core_->committedInsts();
+    d.lastCommitCycle = lastCommitCycle_;
+
+    d.robEmpty = core_->robEmpty();
+    d.robHeadSeq = core_->robHeadSeq();
+    d.robHeadPc = core_->robHeadPc();
+    d.robHeadCompleted = core_->robHeadCompleted();
+
+    const LevelTable &table = resize_->table();
+    const ResourceLevel &cap = table.at(table.maxLevel());
+    d.robOcc = core_->robOccupancy();
+    d.robCap = cap.robSize;
+    d.iqOcc = core_->iqOccupancy();
+    d.iqCap = cap.iqSize;
+    d.lsqOcc = core_->lsqOccupancy();
+    d.lsqCap = cap.lsqSize;
+
+    d.level = resize_->level();
+    d.allocStopped = resize_->allocStopped();
+    d.inTransition = resize_->inTransition();
+
+    d.outstandingMisses = core_->outstandingL2Misses();
+    Cycle bus_free = mem_.dram().busFreeAt();
+    d.dramBacklog = bus_free > d.cycle
+        ? static_cast<std::uint64_t>(bus_free - d.cycle) : 0;
+    d.fetchHalted = core_->fetchHalted();
+
+    // Tail of the event timeline, when a recorder is attached: the
+    // grow/shrink/drain/runahead episodes leading up to the wedge.
+    if (timeline_) {
+        constexpr std::size_t kTail = 8;
+        const std::deque<TimelineEvent> &events = timeline_->events();
+        std::size_t first =
+            events.size() > kTail ? events.size() - kTail : 0;
+        for (std::size_t i = first; i < events.size(); ++i) {
+            const TimelineEvent &e = events[i];
+            std::ostringstream os;
+            os << timelineEventKindName(e.kind);
+            if (e.kind == TimelineEventKind::Grow ||
+                e.kind == TimelineEventKind::Shrink)
+                os << ' ' << e.fromLevel << "->" << e.toLevel;
+            if (e.kind == TimelineEventKind::Runahead)
+                os << " pc=0x" << std::hex << e.triggerPc << std::dec
+                   << " misses=" << e.misses;
+            os << " @[" << e.begin << ',' << e.end << ']';
+            d.recentEvents.push_back(os.str());
+        }
+    }
+    return d;
+}
+
+Status
+Simulator::checkInvariants() const
+{
+    const LevelTable &table = resize_->table();
+    const ResourceLevel &cap = table.at(table.maxLevel());
+    if (core_->robOccupancy() > cap.robSize)
+        return Status::error(
+            ErrorCode::InvariantViolation,
+            "ROB occupancy " +
+                std::to_string(core_->robOccupancy()) +
+                " exceeds largest-level capacity " +
+                std::to_string(cap.robSize));
+    if (core_->iqOccupancy() > cap.iqSize)
+        return Status::error(
+            ErrorCode::InvariantViolation,
+            "IQ occupancy " + std::to_string(core_->iqOccupancy()) +
+                " exceeds largest-level capacity " +
+                std::to_string(cap.iqSize));
+    if (core_->lsqOccupancy() > cap.lsqSize)
+        return Status::error(
+            ErrorCode::InvariantViolation,
+            "LSQ occupancy " + std::to_string(core_->lsqOccupancy()) +
+                " exceeds largest-level capacity " +
+                std::to_string(cap.lsqSize));
+    // A miss entry outlives its load only until its fill cycle; a
+    // count beyond every structure that can source misses means a
+    // leaked entry (e.g. a bogus completion cycle).
+    unsigned miss_bound = cap.robSize + cap.lsqSize + 64;
+    if (core_->outstandingL2Misses() > miss_bound)
+        return Status::error(
+            ErrorCode::InvariantViolation,
+            "outstanding L2-miss count " +
+                std::to_string(core_->outstandingL2Misses()) +
+                " exceeds plausibility bound " +
+                std::to_string(miss_bound) + " (leaked entry?)");
+    return Status();
+}
+
+void
+Simulator::abortRun(ErrorCode code, const std::string &why) const
+{
+    throw SimError(code,
+                   why + " (workload " + workloadName_ + ", model " +
+                       modelName(cfg_.model) + ", cycle " +
+                       std::to_string(core_->cycle()) + ")",
+                   diagnosticDump());
+}
+
+void
+Simulator::pollWatchdog(Cycle window)
+{
+    if (window) {
+        Status s = checkInvariants();
+        if (!s.ok())
+            abortRun(s.code(), s.message());
+    }
+    if (abortFlag_ && abortFlag_->load(std::memory_order_relaxed))
+        abortRun(ErrorCode::Interrupted,
+                 "run aborted by cancellation request");
+    if (hasDeadline_ &&
+        std::chrono::steady_clock::now() >= deadline_)
+        abortRun(ErrorCode::Timeout,
+                 "wall-clock budget exhausted");
+}
+
 void
 Simulator::runUntil(std::uint64_t committed_target)
 {
-    std::uint64_t last_progress_committed = core_->committedInsts();
-    Cycle last_progress_cycle = core_->cycle();
+    std::uint64_t last_committed = core_->committedInsts();
+    lastCommitCycle_ = core_->cycle();
+
+    const Cycle window = watchdogWindow();
+    const Cycle interval =
+        std::max<Cycle>(cfg_.watchdog.checkInterval, 1);
 
     while (!core_->halted() &&
            core_->cycle() < cfg_.maxCycles &&
@@ -133,19 +274,33 @@ Simulator::runUntil(std::uint64_t committed_target)
             core_->committedInsts() < committed_target)) {
         stepCycle();
 
-        // Deadlock watchdog: the core must commit something within a
-        // generous window (mispredict + full memory stall bounded).
-        if (core_->committedInsts() != last_progress_committed) {
-            last_progress_committed = core_->committedInsts();
-            last_progress_cycle = core_->cycle();
-        } else if (core_->cycle() - last_progress_cycle > 500000) {
-            mlpwin_panic("no commit progress for 500k cycles "
-                         "(workload %s, model %s, cycle %llu)",
-                         workloadName_.c_str(),
-                         modelName(cfg_.model),
-                         static_cast<unsigned long long>(
-                             core_->cycle()));
+        const Cycle now = core_->cycle();
+        if (core_->committedInsts() != last_committed) {
+            last_committed = core_->committedInsts();
+            lastCommitCycle_ = now;
         }
+        // Drain tracking: allocation stopped for longer than the
+        // watchdog window means a shrink (or transition) that can
+        // never complete, even if the ROB keeps retiring meanwhile.
+        if (resize_->allocStopped())
+            ++allocStoppedRun_;
+        else
+            allocStoppedRun_ = 0;
+
+        if (window) {
+            if (now - lastCommitCycle_ > window)
+                abortRun(ErrorCode::NoProgress,
+                         "no instruction committed for " +
+                             std::to_string(window) + " cycles");
+            if (allocStoppedRun_ > window)
+                abortRun(ErrorCode::InvariantViolation,
+                         "window resize drain still incomplete "
+                         "after " +
+                             std::to_string(allocStoppedRun_) +
+                             " cycles of stopped allocation");
+        }
+        if (now % interval == 0)
+            pollWatchdog(window);
     }
 }
 

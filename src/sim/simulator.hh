@@ -9,12 +9,15 @@
 #ifndef MLPWIN_SIM_SIMULATOR_HH
 #define MLPWIN_SIM_SIMULATOR_HH
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/status.hh"
 #include "cpu/core.hh"
 #include "energy/energy_model.hh"
 #include "isa/program.hh"
@@ -75,14 +78,62 @@ class Simulator
   public:
     Simulator(const SimConfig &cfg, const Program &prog);
 
-    /** Run to Halt / instruction budget / cycle ceiling. */
+    /**
+     * Run to Halt / instruction budget / cycle ceiling.
+     *
+     * @throws SimError (NoProgress / InvariantViolation) if the
+     *         forward-progress watchdog fires, with a DiagnosticDump
+     *         of the wedged machine state; (Timeout) past a deadline
+     *         set via setDeadline; (Interrupted) once an attached
+     *         abort flag goes true.
+     */
     SimResult run();
 
     /**
      * Tick until the committed-instruction count reaches the target
-     * (0 = until Halt), the cycle ceiling, or Halt.
+     * (0 = until Halt), the cycle ceiling, or Halt. Watchdog/deadline
+     * semantics as in run().
      */
     void runUntil(std::uint64_t committed_target);
+
+    /**
+     * Abort the run (SimError{Timeout}) once the wall clock passes
+     * `deadline`. Polled every watchdog.checkInterval cycles, so
+     * enforcement lags by at most one poll period.
+     */
+    void
+    setDeadline(std::chrono::steady_clock::time_point deadline)
+    {
+        deadline_ = deadline;
+        hasDeadline_ = true;
+    }
+
+    /**
+     * Abort the run (SimError{Interrupted}) once *flag becomes true
+     * (not owned; nullptr detaches). Lets a batch driver cancel
+     * in-flight simulations from a signal handler.
+     */
+    void setAbortFlag(const std::atomic<bool> *flag)
+    {
+        abortFlag_ = flag;
+    }
+
+    /**
+     * Check the structural invariants the watchdog enforces (window
+     * occupancies within the largest level's capacities, outstanding
+     * misses bounded). Cheap; callable any time.
+     */
+    Status checkInvariants() const;
+
+    /**
+     * The effective no-commit window in cycles: the configured value,
+     * or the auto default (2 x memory latency x max ROB size) when
+     * the configuration says 0. Returns 0 if the watchdog is off.
+     */
+    Cycle watchdogWindow() const;
+
+    /** Build the machine-state dump a watchdog abort would carry. */
+    DiagnosticDump diagnosticDump() const;
 
     /** Advance a single cycle (fine-grained control for tests). */
     void tick() { stepCycle(); }
@@ -135,6 +186,13 @@ class Simulator
             sampler_->record(snapshot());
     }
 
+    /** Periodic (checkInterval) watchdog work; throws SimError. */
+    void pollWatchdog(Cycle window);
+
+    /** Throw a watchdog SimError with the diagnostic dump attached. */
+    [[noreturn]] void abortRun(ErrorCode code,
+                               const std::string &why) const;
+
     SimConfig cfg_;
     std::string workloadName_;
     StatSet stats_;
@@ -144,6 +202,15 @@ class Simulator
     std::unique_ptr<OooCore> core_;
     IntervalSampler *sampler_ = nullptr;
     EventTimeline *timeline_ = nullptr;
+
+    // --- watchdog state -----------------------------------------------
+    /** Cycle of the most recent commit (watchdog + dumps). */
+    Cycle lastCommitCycle_ = 0;
+    /** Consecutive cycles with allocation stopped (drain tracking). */
+    Cycle allocStoppedRun_ = 0;
+    bool hasDeadline_ = false;
+    std::chrono::steady_clock::time_point deadline_;
+    const std::atomic<bool> *abortFlag_ = nullptr;
 };
 
 /**

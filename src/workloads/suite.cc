@@ -1,6 +1,6 @@
 #include "suite.hh"
 
-#include "common/logging.hh"
+#include "common/status.hh"
 #include "workloads/kernels.hh"
 
 namespace mlpwin
@@ -341,14 +341,36 @@ spec2006Suite()
     return suite;
 }
 
-const WorkloadSpec &
-findWorkload(const std::string &name)
+const WorkloadSpec *
+tryFindWorkload(const std::string &name)
 {
     for (const WorkloadSpec &w : spec2006Suite()) {
         if (w.name == name)
-            return w;
+            return &w;
     }
-    mlpwin_fatal("unknown workload: %s", name.c_str());
+    return nullptr;
+}
+
+std::string
+suiteWorkloadNames()
+{
+    std::string names;
+    for (const WorkloadSpec &w : spec2006Suite()) {
+        if (!names.empty())
+            names += ", ";
+        names += w.name;
+    }
+    return names;
+}
+
+const WorkloadSpec &
+findWorkload(const std::string &name)
+{
+    if (const WorkloadSpec *w = tryFindWorkload(name))
+        return *w;
+    throw SimError(ErrorCode::InvalidArgument,
+                   "unknown workload '" + name + "'; valid names: " +
+                       suiteWorkloadNames());
 }
 
 std::vector<std::string>

@@ -38,7 +38,19 @@ struct WorkloadSpec
 /** All 28 programs. Order matches the paper's Table 3. */
 const std::vector<WorkloadSpec> &spec2006Suite();
 
-/** Find a suite entry by name (fatal if absent). */
+/** Find a suite entry by name; nullptr if absent. */
+const WorkloadSpec *tryFindWorkload(const std::string &name);
+
+/** Comma-separated list of every suite name (error messages). */
+std::string suiteWorkloadNames();
+
+/**
+ * Find a suite entry by name.
+ *
+ * @throws SimError{InvalidArgument} listing the valid names if
+ *         absent, so one typo in a batch's workload list is a
+ *         recoverable per-batch error, not process death.
+ */
 const WorkloadSpec &findWorkload(const std::string &name);
 
 /** The 8 memory-intensive programs shown in the paper's Fig. 7. */

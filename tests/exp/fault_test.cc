@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Fault-tolerance tests for the batch harness: per-job containment
+ * (one wedged cell fails alone), recoverable workload lookup, retry
+ * with backoff for transient errors, timeout classification,
+ * checkpoint/resume bit-identity, and cancellation semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "exp/checkpoint.hh"
+#include "exp/experiment.hh"
+#include "exp/result_writer.hh"
+#include "workloads/suite.hh"
+
+namespace mlpwin
+{
+namespace exp
+{
+namespace
+{
+
+/** Scratch file path under the gtest temp dir, removed up-front. */
+std::string
+scratchFile(const std::string &name)
+{
+    std::string path = testing::TempDir() + name;
+    std::filesystem::remove(path);
+    return path;
+}
+
+/** Cheap synthetic executor: derives a result from the job cell. */
+SimResult
+syntheticResult(const ExperimentJob &job)
+{
+    SimResult r;
+    r.workload = job.workload;
+    r.model = job.model.displayLabel();
+    r.halted = true;
+    r.committed = 1000 + job.index;
+    r.cycles = 3000 + 7 * job.index;
+    // Non-terminating decimal: exercises the %.17g round-trip.
+    r.ipc = static_cast<double>(r.committed) /
+            static_cast<double>(r.cycles);
+    return r;
+}
+
+/** Spec over synthetic cells, run through the executor seam. */
+ExperimentSpec
+syntheticSpec(std::size_t workloads)
+{
+    ExperimentSpec spec;
+    for (std::size_t i = 0; i < workloads; ++i)
+        spec.workloads.push_back("wl" + std::to_string(i));
+    spec.models = {{ModelKind::Base, 1, ""}};
+    spec.executor = syntheticResult;
+    return spec;
+}
+
+TEST(WorkloadLookupTest, UnknownNameIsRecoverable)
+{
+    EXPECT_EQ(tryFindWorkload("no_such_program"), nullptr);
+    ASSERT_NE(tryFindWorkload("mcf"), nullptr);
+    EXPECT_EQ(tryFindWorkload("mcf")->name, "mcf");
+
+    try {
+        findWorkload("no_such_program");
+        FAIL() << "findWorkload accepted a bogus name";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::InvalidArgument);
+        // The message lists the valid names.
+        EXPECT_NE(e.message().find("mcf"), std::string::npos);
+        EXPECT_NE(e.message().find("libquantum"), std::string::npos);
+    }
+}
+
+TEST(FaultRunnerTest, UnknownWorkloadFailsBeforeAnyJobRuns)
+{
+    ExperimentSpec spec;
+    spec.workloads = {"libquantum", "no_such_program"};
+    spec.models = {{ModelKind::Base, 1, ""}};
+    EXPECT_THROW(ExperimentRunner(1, false).runAll(spec), SimError);
+}
+
+/**
+ * The containment guarantee, on the real simulation path: one cell
+ * wedges (commit stage stalls, watchdog fires) while every other
+ * cell of the batch still completes and reports.
+ */
+TEST(FaultRunnerTest, WedgedCellFailsAloneOthersComplete)
+{
+    ExperimentSpec spec;
+    spec.workloads = {"libquantum", "mcf"};
+    spec.models = {{ModelKind::Base, 1, ""},
+                   {ModelKind::Resizing, 1, ""}};
+    spec.base.warmupInsts = 2000;
+    spec.base.warmDataCaches = true;
+    spec.base.maxInsts = 12000;
+    spec.configure = [](SimConfig &cfg, const ExperimentJob &job) {
+        if (job.workload == "mcf" &&
+            job.model.model == ModelKind::Base) {
+            cfg.core.debugStallCommitAt = 500;
+            cfg.watchdog.noCommitWindow = 3000;
+        }
+    };
+
+    BatchOutcome batch = ExperimentRunner(2, false).runAll(spec);
+    ASSERT_EQ(batch.outcomes.size(), 4u);
+    EXPECT_EQ(batch.count(JobState::Ok), 3u);
+    EXPECT_EQ(batch.count(JobState::Failed), 1u);
+
+    const JobOutcome &bad = batch.outcomes[2]; // mcf/base
+    EXPECT_EQ(jobKey(batch.jobs[2]), "mcf/base");
+    EXPECT_EQ(bad.state, JobState::Failed);
+    EXPECT_EQ(bad.error, ErrorCode::NoProgress);
+    EXPECT_EQ(bad.attempts, 1u); // Deterministic: never retried.
+    EXPECT_FALSE(bad.dumpJson.empty());
+    EXPECT_NE(bad.errorDetail.find("no instruction committed"),
+              std::string::npos);
+
+    for (std::size_t i : {0u, 1u, 3u}) {
+        SCOPED_TRACE(jobKey(batch.jobs[i]));
+        EXPECT_EQ(batch.outcomes[i].state, JobState::Ok);
+        EXPECT_GT(batch.outcomes[i].result.ipc, 0.0);
+    }
+
+    // The legacy strict interface surfaces that same first failure.
+    try {
+        ExperimentRunner(2, false).run(spec);
+        FAIL() << "run() swallowed a failed cell";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::NoProgress);
+        EXPECT_NE(e.message().find("mcf/base"), std::string::npos);
+    }
+}
+
+TEST(FaultRunnerTest, TransientErrorsRetryDeterministicOnesDoNot)
+{
+    ExperimentSpec spec = syntheticSpec(3);
+    spec.retryBackoffMs = 1;
+    spec.maxAttempts = 3;
+    static std::atomic<unsigned> wl0_calls;
+    static std::atomic<unsigned> wl1_calls;
+    wl0_calls = 0;
+    wl1_calls = 0;
+    spec.executor = [](const ExperimentJob &job) {
+        if (job.workload == "wl0" && ++wl0_calls == 1)
+            throw SimError(ErrorCode::Io, "flaky filesystem");
+        if (job.workload == "wl1") {
+            ++wl1_calls;
+            throw SimError(ErrorCode::InvariantViolation,
+                           "deterministic failure");
+        }
+        return syntheticResult(job);
+    };
+
+    BatchOutcome batch = ExperimentRunner(1, false).runAll(spec);
+    // Transient Io: failed once, succeeded on the retry.
+    EXPECT_EQ(batch.outcomes[0].state, JobState::Ok);
+    EXPECT_EQ(batch.outcomes[0].attempts, 2u);
+    EXPECT_EQ(wl0_calls.load(), 2u);
+    // Deterministic failure: one attempt, no retry.
+    EXPECT_EQ(batch.outcomes[1].state, JobState::Failed);
+    EXPECT_EQ(batch.outcomes[1].attempts, 1u);
+    EXPECT_EQ(wl1_calls.load(), 1u);
+    EXPECT_EQ(batch.outcomes[2].state, JobState::Ok);
+}
+
+TEST(FaultRunnerTest, TimeoutAndInterruptClassification)
+{
+    ExperimentSpec spec = syntheticSpec(2);
+    spec.executor = [](const ExperimentJob &job) -> SimResult {
+        if (job.workload == "wl0")
+            throw SimError(ErrorCode::Timeout,
+                           "wall-clock budget exhausted");
+        throw SimError(ErrorCode::Interrupted,
+                       "run aborted by cancellation request");
+    };
+    BatchOutcome batch = ExperimentRunner(1, false).runAll(spec);
+    EXPECT_EQ(batch.outcomes[0].state, JobState::Timeout);
+    EXPECT_EQ(batch.outcomes[1].state, JobState::Skipped);
+    EXPECT_FALSE(batch.allOk());
+}
+
+TEST(FaultRunnerTest, JobTimeoutBoundsARealSimulation)
+{
+    // A deliberately enormous instruction budget with a tiny
+    // wall-clock budget: the deadline poll must cut the cell short
+    // and classify it Timeout, in well under the test timeout.
+    ExperimentSpec spec;
+    spec.workloads = {"mcf"};
+    spec.models = {{ModelKind::Base, 1, ""}};
+    spec.base.maxInsts = 4'000'000'000ULL;
+    spec.jobTimeoutSeconds = 0.05;
+
+    BatchOutcome batch = ExperimentRunner(1, false).runAll(spec);
+    ASSERT_EQ(batch.outcomes.size(), 1u);
+    EXPECT_EQ(batch.outcomes[0].state, JobState::Timeout);
+    EXPECT_EQ(batch.outcomes[0].error, ErrorCode::Timeout);
+    EXPECT_LT(batch.outcomes[0].wallSeconds, 30.0);
+}
+
+TEST(FaultRunnerTest, CancellationSkipsPendingJobs)
+{
+    ExperimentSpec spec = syntheticSpec(4);
+    static std::atomic<unsigned> started;
+    started = 0;
+    SimResult (*base)(const ExperimentJob &) = syntheticResult;
+    spec.executor = [base](const ExperimentJob &job) {
+        ++started;
+        return base(job);
+    };
+    spec.cancelRequested = [] { return started.load() >= 2; };
+    spec.checkpointPath = scratchFile("mlpwin_cancel.ckpt");
+
+    BatchOutcome batch = ExperimentRunner(1, false).runAll(spec);
+    EXPECT_EQ(batch.count(JobState::Ok), 2u);
+    EXPECT_EQ(batch.count(JobState::Skipped), 2u);
+    EXPECT_EQ(batch.outcomes[3].errorDetail, "cancelled before start");
+
+    // Skipped cells must NOT be checkpointed: a resume re-runs them.
+    std::ifstream is(spec.checkpointPath);
+    std::string line;
+    std::size_t records = 0;
+    while (std::getline(is, line))
+        ++records;
+    EXPECT_EQ(records, 2u);
+    std::filesystem::remove(spec.checkpointPath);
+}
+
+/** All ok-state result lines of a batch, submission order. */
+std::string
+jsonlOf(const BatchOutcome &batch)
+{
+    std::ostringstream os;
+    for (const JobOutcome &o : batch.outcomes)
+        if (o.state == JobState::Ok)
+            os << resultToJson(o.result) << '\n';
+    return os.str();
+}
+
+/**
+ * The resume guarantee, on the real simulation path: interrupt a
+ * batch (simulated by truncating its checkpoint), resume it, and the
+ * final JSONL output is byte-identical to an uninterrupted run's.
+ */
+TEST(FaultRunnerTest, ResumeReproducesUninterruptedOutputBitExact)
+{
+    ExperimentSpec spec;
+    spec.workloads = {"libquantum", "mcf"};
+    spec.models = {{ModelKind::Base, 1, ""},
+                   {ModelKind::Resizing, 1, ""}};
+    spec.base.warmupInsts = 2000;
+    spec.base.warmDataCaches = true;
+    spec.base.maxInsts = 12000;
+    spec.checkpointPath = scratchFile("mlpwin_resume.ckpt");
+
+    BatchOutcome full = ExperimentRunner(1, false).runAll(spec);
+    ASSERT_TRUE(full.allOk());
+    std::string reference = jsonlOf(full);
+
+    // Simulate a batch killed after two cells: keep the first two
+    // checkpoint records, plus a torn final line (killed mid-write).
+    std::vector<std::string> lines;
+    {
+        std::ifstream is(spec.checkpointPath);
+        std::string line;
+        while (std::getline(is, line))
+            lines.push_back(line);
+    }
+    ASSERT_EQ(lines.size(), 4u);
+    {
+        std::ofstream os(spec.checkpointPath, std::ios::trunc);
+        os << lines[0] << '\n' << lines[1] << '\n';
+        os << lines[2].substr(0, lines[2].size() / 2); // Torn.
+    }
+
+    spec.resume = true;
+    BatchOutcome resumed = ExperimentRunner(1, false).runAll(spec);
+    ASSERT_TRUE(resumed.allOk());
+    EXPECT_TRUE(resumed.outcomes[0].resumed);
+    EXPECT_TRUE(resumed.outcomes[1].resumed);
+    EXPECT_FALSE(resumed.outcomes[2].resumed); // Torn: re-ran.
+    EXPECT_FALSE(resumed.outcomes[3].resumed);
+    EXPECT_EQ(resumed.outcomes[0].attempts, 0u);
+
+    EXPECT_EQ(jsonlOf(resumed), reference);
+
+    // The resumed run appended its re-executed cells, so a second
+    // resume adopts everything.
+    spec.resume = true;
+    BatchOutcome again = ExperimentRunner(1, false).runAll(spec);
+    ASSERT_TRUE(again.allOk());
+    for (const JobOutcome &o : again.outcomes)
+        EXPECT_TRUE(o.resumed);
+    EXPECT_EQ(jsonlOf(again), reference);
+    std::filesystem::remove(spec.checkpointPath);
+}
+
+TEST(CheckpointTest, RecordRoundTripsResultExactly)
+{
+    ExperimentJob job;
+    job.workload = "wl7";
+    job.model = {ModelKind::Resizing, 1, ""};
+    JobOutcome out;
+    out.state = JobState::Ok;
+    out.attempts = 1;
+    out.result = syntheticResult(job);
+
+    std::string path = scratchFile("mlpwin_roundtrip.ckpt");
+    {
+        CheckpointWriter w(path, false);
+        w.append(job, out);
+    }
+    std::map<std::string, SimResult> loaded = loadCheckpoint(path);
+    ASSERT_EQ(loaded.size(), 1u);
+    ASSERT_TRUE(loaded.count("wl7/resizing"));
+    EXPECT_EQ(resultToJson(loaded["wl7/resizing"]),
+              resultToJson(out.result));
+    std::filesystem::remove(path);
+}
+
+TEST(CheckpointTest, OnlyOkRecordsAreAdopted)
+{
+    ExperimentJob job;
+    job.workload = "wl0";
+    job.model = {ModelKind::Base, 1, ""};
+    JobOutcome failed;
+    failed.state = JobState::Failed;
+    failed.error = ErrorCode::NoProgress;
+    failed.errorDetail = "no instruction committed for 3000 cycles";
+    failed.attempts = 1;
+
+    std::string path = scratchFile("mlpwin_failedrec.ckpt");
+    {
+        CheckpointWriter w(path, false);
+        w.append(job, failed);
+    }
+    EXPECT_TRUE(loadCheckpoint(path).empty());
+    EXPECT_TRUE(loadCheckpoint("/nonexistent/none.ckpt").empty());
+    std::filesystem::remove(path);
+}
+
+} // namespace
+} // namespace exp
+} // namespace mlpwin

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Forward-progress watchdog tests: a wedged core must terminate with
+ * a structured SimError (carrying a DiagnosticDump) well before the
+ * 4-billion-cycle maxCycles ceiling, deadlines and abort flags must
+ * classify correctly, and a healthy machine must pass the structural
+ * invariants and never trip the watchdog.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+#include "common/json.hh"
+#include "isa/assembler.hh"
+#include "sim/simulator.hh"
+#include "telemetry/timeline.hh"
+
+namespace mlpwin
+{
+namespace
+{
+
+/** A loop of `iters` iterations, ~8 instructions each. */
+Program
+smallLoop(std::uint64_t iters)
+{
+    Assembler a("loop");
+    Addr buf = a.allocBss(4096);
+    a.li(intReg(1), buf);
+    a.li(intReg(9), iters);
+    Label top = a.here();
+    a.ld(intReg(2), intReg(1), 0);
+    a.addi(intReg(2), intReg(2), 1);
+    a.st(intReg(2), intReg(1), 0);
+    a.addi(intReg(3), intReg(3), 7);
+    a.xor_(intReg(4), intReg(4), intReg(3));
+    a.addi(intReg(9), intReg(9), -1);
+    a.bne(intReg(9), intReg(0), top);
+    a.halt();
+    return a.finalize();
+}
+
+/** Config whose commit stage wedges at `at` cycles. */
+SimConfig
+wedgedConfig(Cycle at, Cycle window)
+{
+    SimConfig cfg;
+    cfg.core.debugStallCommitAt = at;
+    cfg.watchdog.noCommitWindow = window;
+    return cfg;
+}
+
+TEST(WatchdogTest, WedgedCoreTripsNoProgressAbort)
+{
+    Program p = smallLoop(10'000'000);
+    Simulator sim(wedgedConfig(500, 4000), p);
+    try {
+        sim.run();
+        FAIL() << "wedged run returned normally";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::NoProgress);
+        EXPECT_FALSE(e.transient());
+        ASSERT_TRUE(e.hasDump());
+        const DiagnosticDump &d = e.dump();
+        // Fired one window past the wedge point, not anywhere near
+        // the 4-billion-cycle maxCycles ceiling.
+        EXPECT_GT(d.cycle, 4000u);
+        EXPECT_LT(d.cycle, 20000u);
+        EXPECT_EQ(d.workload, "loop");
+        EXPECT_EQ(d.model, "base");
+        // The machine was mid-flight: instructions stuck in the ROB.
+        EXPECT_FALSE(d.robEmpty);
+        EXPECT_GT(d.robOcc, 0u);
+        EXPECT_GT(d.robCap, 0u);
+        EXPECT_GT(d.cycle, d.lastCommitCycle);
+    }
+}
+
+TEST(WatchdogTest, DumpJsonCarriesExpectedFields)
+{
+    Program p = smallLoop(10'000'000);
+    Simulator sim(wedgedConfig(200, 2000), p);
+    try {
+        sim.run();
+        FAIL() << "wedged run returned normally";
+    } catch (const SimError &e) {
+        ASSERT_TRUE(e.hasDump());
+        JsonValue v = parseJson(e.dump().toJson());
+        for (const char *field :
+             {"workload", "model", "cycle", "committed",
+              "lastCommitCycle", "robEmpty", "robHeadSeq",
+              "robHeadPc", "robHeadCompleted", "robOcc", "robCap",
+              "iqOcc", "iqCap", "lsqOcc", "lsqCap", "level",
+              "allocStopped", "inTransition", "outstandingMisses",
+              "dramBacklog", "fetchHalted", "recentEvents"}) {
+            EXPECT_TRUE(v.hasField(field)) << field;
+        }
+        EXPECT_EQ(v.field("recentEvents").kind,
+                  JsonValue::Kind::Array);
+        // The human rendering mentions the stuck occupancy line.
+        EXPECT_NE(e.dump().pretty().find("occupancy"),
+                  std::string::npos);
+        // what() carries the machine-parseable code name.
+        EXPECT_NE(std::string(e.what()).find("[no_progress]"),
+                  std::string::npos);
+    }
+}
+
+TEST(WatchdogTest, DumpEmbedsTimelineTail)
+{
+    Program p = smallLoop(10'000'000);
+    SimConfig cfg;
+    Simulator sim(cfg, p);
+    EventTimeline timeline;
+    sim.setTimeline(&timeline);
+    timeline.recordResize(120, 130, 1, 2);
+    timeline.recordResize(400, 415, 2, 3);
+
+    DiagnosticDump d = sim.diagnosticDump();
+    ASSERT_EQ(d.recentEvents.size(), 2u);
+    EXPECT_NE(d.recentEvents[0].find("grow 1->2"), std::string::npos);
+    EXPECT_NE(d.recentEvents[1].find("grow 2->3"), std::string::npos);
+}
+
+TEST(WatchdogTest, PastDeadlineClassifiesAsTimeout)
+{
+    Program p = smallLoop(10'000'000);
+    SimConfig cfg;
+    Simulator sim(cfg, p);
+    sim.setDeadline(std::chrono::steady_clock::now() -
+                    std::chrono::seconds(1));
+    try {
+        sim.run();
+        FAIL() << "run ignored an expired deadline";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::Timeout);
+        ASSERT_TRUE(e.hasDump());
+        // Enforcement lags by at most one poll period.
+        EXPECT_LE(e.dump().cycle, 2 * cfg.watchdog.checkInterval);
+    }
+}
+
+TEST(WatchdogTest, AbortFlagClassifiesAsInterrupted)
+{
+    Program p = smallLoop(10'000'000);
+    SimConfig cfg;
+    Simulator sim(cfg, p);
+    std::atomic<bool> abort{true};
+    sim.setAbortFlag(&abort);
+    try {
+        sim.run();
+        FAIL() << "run ignored the abort flag";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::Interrupted);
+        EXPECT_LE(e.dump().cycle, 2 * cfg.watchdog.checkInterval);
+    }
+}
+
+TEST(WatchdogTest, DisabledWatchdogFallsBackToCycleCeiling)
+{
+    // With the watchdog off, a wedged run is still bounded — by the
+    // (here deliberately tiny) maxCycles ceiling — and returns
+    // normally rather than throwing.
+    Program p = smallLoop(10'000'000);
+    SimConfig cfg = wedgedConfig(500, 4000);
+    cfg.watchdog.enabled = false;
+    cfg.maxCycles = 30000;
+    SimResult r = Simulator(cfg, p).run();
+    EXPECT_FALSE(r.halted);
+    EXPECT_EQ(r.cycles, 30000u);
+}
+
+TEST(WatchdogTest, HealthyRunNeverTrips)
+{
+    // A tight watchdog on a healthy run: commits land constantly, so
+    // the run completes without any abort.
+    Program p = smallLoop(20000);
+    SimConfig cfg;
+    cfg.watchdog.noCommitWindow = 2000;
+    cfg.maxInsts = 50000;
+    Simulator sim(cfg, p);
+    SimResult r;
+    ASSERT_NO_THROW(r = sim.run());
+    EXPECT_GE(r.committed, 50000u);
+    EXPECT_TRUE(sim.checkInvariants().ok());
+}
+
+TEST(WatchdogTest, WindowConfigResolution)
+{
+    Program p = smallLoop(100);
+
+    SimConfig cfg;
+    cfg.watchdog.noCommitWindow = 1234;
+    EXPECT_EQ(Simulator(cfg, p).watchdogWindow(), 1234u);
+
+    cfg.watchdog.noCommitWindow = 0;
+    // Auto window: 2 x memory latency x largest-level ROB size.
+    EXPECT_GT(Simulator(cfg, p).watchdogWindow(),
+              2ULL * cfg.mlp.memoryLatency);
+
+    cfg.watchdog.enabled = false;
+    EXPECT_EQ(Simulator(cfg, p).watchdogWindow(), 0u);
+}
+
+} // namespace
+} // namespace mlpwin

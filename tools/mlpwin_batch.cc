@@ -5,15 +5,29 @@
  * and emit machine-readable results (JSON Lines and/or CSV) in
  * deterministic submission order — byte-identical for any -j.
  *
+ * Fault tolerance: each cell is contained — a wedged core is cut
+ * short by the forward-progress watchdog, a crash or timeout is
+ * recorded per cell while the rest of the batch completes, transient
+ * I/O failures retry with backoff, and every finished cell is
+ * checkpointed to <out>.ckpt so an interrupted batch resumes with
+ * --resume (final output byte-identical to an uninterrupted run).
+ * SIGINT/SIGTERM stop new cells and drain in-flight ones; a second
+ * signal aborts in-flight simulations at their next watchdog poll.
+ *
  * Usage:
  *   mlpwin_batch --workloads all --models base,resizing -j 8 \
  *       --out results.jsonl
  *   mlpwin_batch --workloads mem --models base,fixed:2,fixed:3 \
  *       --insts 100000 --csv results.csv
+ *   mlpwin_batch --workloads all --models base,resizing \
+ *       --out results.jsonl --resume   # after an interruption
  *
- * Exit code 0 on success; 2 on a usage error.
+ * Exit codes: 0 success; 1 internal error; 2 usage error; 3 at least
+ * one cell failed or timed out; 4 interrupted (cells skipped).
  */
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -30,6 +44,19 @@ using namespace mlpwin;
 
 namespace
 {
+
+/** Signals received so far; the handler only does atomic stores. */
+volatile std::sig_atomic_t g_signals = 0;
+/** Second signal: hard-abort in-flight simulations. */
+std::atomic<bool> g_abort{false};
+
+extern "C" void
+onSignal(int)
+{
+    if (g_signals >= 1)
+        g_abort.store(true);
+    g_signals = g_signals + 1;
+}
 
 void
 usage()
@@ -61,6 +88,17 @@ usage()
         "  --telemetry-interval N\n"
         "                        sampling interval, cycles (default "
         "10000)\n"
+        "  --resume              skip cells already completed in\n"
+        "                        FILE.ckpt (requires --out FILE)\n"
+        "  --retries N           attempts per cell for transient\n"
+        "                        (I/O) failures (default 2)\n"
+        "  --job-timeout SECS    wall-clock budget per cell\n"
+        "                        (default 0 = unlimited)\n"
+        "  --watchdog-cycles N   abort a cell after N cycles without\n"
+        "                        a commit (default 0 = auto: 2 x\n"
+        "                        memory latency x max ROB size)\n"
+        "  --no-watchdog         disable the forward-progress\n"
+        "                        watchdog\n"
         "  --quiet               suppress per-job progress on "
         "stderr\n");
 }
@@ -97,17 +135,10 @@ resolveWorkloads(const std::string &arg, std::vector<std::string> &out)
         return true;
     }
     for (const std::string &name : splitList(arg)) {
-        bool known = false;
-        for (const WorkloadSpec &w : spec2006Suite())
-            if (w.name == name) {
-                known = true;
-                break;
-            }
-        if (!known) {
+        if (!tryFindWorkload(name)) {
             std::fprintf(stderr,
-                         "unknown workload: %s (--list shows the "
-                         "suite)\n",
-                         name.c_str());
+                         "unknown workload: %s\nvalid names: %s\n",
+                         name.c_str(), suiteWorkloadNames().c_str());
             return false;
         }
         out.push_back(name);
@@ -138,6 +169,7 @@ main(int argc, char **argv)
     std::string csv_path;
     unsigned jobs = 0;
     bool quiet = false;
+    bool resume = false;
 
     exp::ExperimentSpec spec;
     spec.base.warmupInsts = 100000;
@@ -193,6 +225,23 @@ main(int argc, char **argv)
                              "--telemetry-interval: must be >= 1\n");
                 return 2;
             }
+        } else if (arg == "--resume") {
+            resume = true;
+        } else if (arg == "--retries") {
+            spec.maxAttempts =
+                static_cast<unsigned>(numericFlag(arg, next()));
+            if (spec.maxAttempts == 0) {
+                std::fprintf(stderr, "--retries: must be >= 1\n");
+                return 2;
+            }
+        } else if (arg == "--job-timeout") {
+            spec.jobTimeoutSeconds =
+                static_cast<double>(numericFlag(arg, next()));
+        } else if (arg == "--watchdog-cycles") {
+            spec.base.watchdog.noCommitWindow =
+                numericFlag(arg, next());
+        } else if (arg == "--no-watchdog") {
+            spec.base.watchdog.enabled = false;
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "-h" || arg == "--help") {
@@ -220,6 +269,26 @@ main(int argc, char **argv)
         std::fprintf(stderr, "empty run matrix\n");
         return 2;
     }
+
+    // Checkpointing rides alongside the final output file; stdout
+    // output has no stable identity to resume against.
+    if (out_path != "-")
+        spec.checkpointPath = out_path + ".ckpt";
+    if (resume && spec.checkpointPath.empty()) {
+        std::fprintf(stderr,
+                     "--resume requires --out FILE (the checkpoint "
+                     "lives at FILE.ckpt)\n");
+        return 2;
+    }
+    spec.resume = resume;
+
+    // First signal: stop launching cells, drain in-flight ones and
+    // flush their checkpoints. Second signal: abort in-flight
+    // simulations at their next watchdog poll.
+    spec.cancelRequested = [] { return g_signals > 0; };
+    spec.abortFlag = &g_abort;
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
 
     // Open every sink before burning simulation time, so a bad path
     // fails in milliseconds rather than after the whole batch.
@@ -251,16 +320,66 @@ main(int argc, char **argv)
                      "on %u threads\n",
                      spec.jobCount(), spec.workloads.size(),
                      spec.models.size(), runner.jobs());
-    std::vector<SimResult> results = runner.run(spec);
 
+    exp::BatchOutcome batch;
+    try {
+        batch = runner.runAll(spec);
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return e.code() == ErrorCode::InvalidArgument ? 2 : 1;
+    }
+
+    // Final outputs carry the ok cells only, in submission order;
+    // failures are reported on stderr and in the exit code. On
+    // resume, adopted results serialize byte-identically, so the
+    // final file matches an uninterrupted run's.
     exp::ResultWriter jsonl(*out, exp::ResultWriter::Format::Jsonl);
-    jsonl.writeAll(results);
+    for (const exp::JobOutcome &o : batch.outcomes)
+        if (o.state == exp::JobState::Ok)
+            jsonl.write(o.result);
     out->flush();
 
     if (csv_file.is_open()) {
         exp::ResultWriter csv(csv_file,
                               exp::ResultWriter::Format::Csv);
-        csv.writeAll(results);
+        for (const exp::JobOutcome &o : batch.outcomes)
+            if (o.state == exp::JobState::Ok)
+                csv.write(o.result);
     }
-    return 0;
+
+    // Per-cell failure summary on stderr.
+    std::size_t failed = batch.count(exp::JobState::Failed) +
+                         batch.count(exp::JobState::Timeout);
+    std::size_t skipped = batch.count(exp::JobState::Skipped);
+    for (std::size_t i = 0; i < batch.outcomes.size(); ++i) {
+        const exp::JobOutcome &o = batch.outcomes[i];
+        if (o.state == exp::JobState::Ok)
+            continue;
+        std::fprintf(stderr, "%s: %s [%s] %s (attempts %u)\n",
+                     jobKey(batch.jobs[i]).c_str(),
+                     jobStateName(o.state), errorCodeName(o.error),
+                     o.errorDetail.c_str(), o.attempts);
+        if (!o.dumpJson.empty())
+            std::fprintf(stderr, "  dump: %s\n", o.dumpJson.c_str());
+    }
+    if (!quiet || failed || skipped)
+        std::fprintf(stderr,
+                     "batch: %zu ok (%zu resumed), %zu failed, %zu "
+                     "timeout, %zu skipped of %zu cells\n",
+                     batch.count(exp::JobState::Ok),
+                     [&] {
+                         std::size_t n = 0;
+                         for (const exp::JobOutcome &o :
+                              batch.outcomes)
+                             if (o.resumed)
+                                 ++n;
+                         return n;
+                     }(),
+                     batch.count(exp::JobState::Failed),
+                     batch.count(exp::JobState::Timeout), skipped,
+                     batch.jobs.size());
+
+    if (g_signals > 0 || skipped)
+        return 4;
+    return failed ? 3 : 0;
 }

@@ -10,7 +10,9 @@
  *   mlpwin -w gcc -m fixed --level 3 --stats
  *   mlpwin -w lbm -m resizing --mem-latency 500 --penalty 30
  *
- * Exit code 0 on success; 2 on a usage error.
+ * Exit code 0 on success; 2 on a usage error; 3 if the run aborted
+ * with a SimError (watchdog, invariant violation) — the diagnostic
+ * dump is printed to stderr.
  */
 
 #include <cstdio>
@@ -52,6 +54,15 @@ usage()
         "      --penalty N        level-transition penalty, cycles\n"
         "      --no-prefetch      disable the data prefetcher\n"
         "      --prefetcher K     stride (default) or stream\n"
+        "      --watchdog-cycles N\n"
+        "                         abort after N cycles without a\n"
+        "                         commit (default 0 = auto: 2 x\n"
+        "                         memory latency x max ROB size)\n"
+        "      --no-watchdog      disable the forward-progress\n"
+        "                         watchdog\n"
+        "      --debug-wedge-at N (testing) stall the commit stage\n"
+        "                         from cycle N on, to exercise the\n"
+        "                         watchdog\n"
         "      --stats            dump every internal statistic\n"
         "      --stats-json FILE  write every statistic as JSON\n"
         "      --telemetry FILE   write interval telemetry time\n"
@@ -165,6 +176,12 @@ main(int argc, char **argv)
                 static_cast<unsigned>(numericFlag(arg, next()));
         } else if (arg == "--no-prefetch") {
             cfg.mem.prefetcher.enabled = false;
+        } else if (arg == "--watchdog-cycles") {
+            cfg.watchdog.noCommitWindow = numericFlag(arg, next());
+        } else if (arg == "--no-watchdog") {
+            cfg.watchdog.enabled = false;
+        } else if (arg == "--debug-wedge-at") {
+            cfg.core.debugStallCommitAt = numericFlag(arg, next());
         } else if (arg == "--prefetcher") {
             std::string kind = next();
             if (kind == "stride") {
@@ -215,7 +232,13 @@ main(int argc, char **argv)
         return 2;
     }
 
-    const WorkloadSpec &spec = findWorkload(workload);
+    const WorkloadSpec *wspec = tryFindWorkload(workload);
+    if (!wspec) {
+        std::fprintf(stderr, "unknown workload: %s\nvalid names: %s\n",
+                     workload.c_str(), suiteWorkloadNames().c_str());
+        return 2;
+    }
+    const WorkloadSpec &spec = *wspec;
     Program prog = spec.make(1ull << 40);
     Simulator sim(cfg, prog);
     std::unique_ptr<PipelineTracer> tracer;
@@ -235,7 +258,16 @@ main(int argc, char **argv)
         timeline = std::make_unique<EventTimeline>();
         sim.setTimeline(timeline.get());
     }
-    SimResult r = sim.run();
+    SimResult r;
+    try {
+        r = sim.run();
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        if (e.hasDump())
+            std::fprintf(stderr, "diagnostic dump:\n%s",
+                         e.dump().pretty().c_str());
+        return 3;
+    }
 
     if (sampler) {
         std::ofstream os(telemetry_path);
