@@ -1,0 +1,160 @@
+#include "differential.hh"
+
+#include <sstream>
+
+#include "common/parse.hh"
+#include "sim/simulator.hh"
+
+namespace mlpwin
+{
+
+std::string
+DiffModel::label() const
+{
+    std::string s = modelName(model);
+    if (model == ModelKind::Fixed || model == ModelKind::Ideal)
+        s += ":" + std::to_string(level);
+    return s;
+}
+
+std::vector<DiffModel>
+defaultDiffModels()
+{
+    return {
+        {ModelKind::Base, 1},     {ModelKind::Fixed, 3},
+        {ModelKind::Ideal, 3},    {ModelKind::Resizing, 1},
+        {ModelKind::Runahead, 1}, {ModelKind::Occupancy, 1},
+        {ModelKind::Wib, 1},
+    };
+}
+
+bool
+parseDiffModels(const std::string &list, std::vector<DiffModel> &out,
+                std::string *err)
+{
+    out.clear();
+    std::istringstream is(list);
+    std::string token;
+    while (std::getline(is, token, ',')) {
+        if (token.empty())
+            continue;
+        std::string name = token;
+        unsigned level = 1;
+        std::size_t colon = token.find(':');
+        if (colon != std::string::npos) {
+            name = token.substr(0, colon);
+            std::uint64_t v = 0;
+            if (!parseU64(token.substr(colon + 1).c_str(), v) ||
+                v < 1 || v > 8) {
+                if (err)
+                    *err = "bad level in '" + token + "'";
+                return false;
+            }
+            level = static_cast<unsigned>(v);
+        }
+        bool found = false;
+        for (ModelKind m :
+             {ModelKind::Base, ModelKind::Fixed, ModelKind::Ideal,
+              ModelKind::Resizing, ModelKind::Runahead,
+              ModelKind::Occupancy, ModelKind::Wib}) {
+            if (name == modelName(m)) {
+                out.push_back(DiffModel{m, level});
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            if (err)
+                *err = "unknown model '" + name + "'";
+            return false;
+        }
+    }
+    if (out.empty()) {
+        if (err)
+            *err = "empty model list";
+        return false;
+    }
+    return true;
+}
+
+const char *
+diffStatusName(DiffStatus s)
+{
+    switch (s) {
+      case DiffStatus::Pass:
+        return "pass";
+      case DiffStatus::Divergence:
+        return "divergence";
+      case DiffStatus::Error:
+        return "error";
+      case DiffStatus::Budget:
+        return "budget";
+    }
+    return "?";
+}
+
+DiffOutcome
+runDifferential(const Program &prog, const DifferentialConfig &cfg)
+{
+    DiffOutcome out;
+    for (const DiffModel &m : cfg.models) {
+        SimConfig sc = cfg.base;
+        sc.model = m.model;
+        sc.fixedLevel = m.level;
+        sc.lockstepCheck = true;
+        sc.maxInsts = cfg.maxInsts;
+
+        DiffModelResult r;
+        r.label = m.label();
+        try {
+            Simulator sim(sc, prog);
+            SimResult sr = sim.run();
+            r.ran = true;
+            r.halted = sr.halted;
+            r.commits = sr.committed;
+            r.streamHash = sr.commitStreamHash;
+            r.cycles = sr.cycles;
+        } catch (const SimError &e) {
+            r.error = e.what();
+            if (e.hasDump())
+                r.dumpJson = e.dump().toJson();
+        }
+        out.models.push_back(std::move(r));
+    }
+
+    // Verdict: any abort beats any budget miss beats a stream
+    // mismatch; all clean = pass.
+    for (const DiffModelResult &r : out.models) {
+        if (!r.ran) {
+            out.status = DiffStatus::Error;
+            out.detail = r.label + ": " + r.error;
+            return out;
+        }
+    }
+    for (const DiffModelResult &r : out.models) {
+        if (!r.halted) {
+            out.status = DiffStatus::Budget;
+            out.detail = r.label + ": not halted after " +
+                         std::to_string(r.commits) + " commits";
+            return out;
+        }
+    }
+    const DiffModelResult &first = out.models.front();
+    for (const DiffModelResult &r : out.models) {
+        if (r.commits != first.commits ||
+            r.streamHash != first.streamHash) {
+            out.status = DiffStatus::Divergence;
+            std::ostringstream os;
+            os << r.label << " committed " << r.commits << " (hash 0x"
+               << std::hex << r.streamHash << ") vs " << first.label
+               << " " << std::dec << first.commits << " (hash 0x"
+               << std::hex << first.streamHash << ")" << std::dec;
+            out.detail = os.str();
+            return out;
+        }
+    }
+    out.status = DiffStatus::Pass;
+    return out;
+}
+
+} // namespace mlpwin

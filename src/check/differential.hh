@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Differential model checking: run one program under every timing
+ * model with the lockstep checker enabled and require that all of
+ * them commit the *identical* instruction stream (equal commit counts
+ * and equal commit-stream fingerprints). Timing models may disagree
+ * on cycles, never on architecture — any disagreement, or any
+ * checker/watchdog abort in a single model, is a bug repro.
+ */
+
+#ifndef MLPWIN_CHECK_DIFFERENTIAL_HH
+#define MLPWIN_CHECK_DIFFERENTIAL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+#include "sim/sim_config.hh"
+
+namespace mlpwin
+{
+
+/** One model column of the differential matrix. */
+struct DiffModel
+{
+    ModelKind model = ModelKind::Base;
+    /** Level for Fixed/Ideal models (1-based). */
+    unsigned level = 1;
+
+    /** "base", "fixed:3", ... */
+    std::string label() const;
+};
+
+/** The default matrix: every evaluated model. */
+std::vector<DiffModel> defaultDiffModels();
+
+/** Parse a comma list of model tokens ("base,fixed:3,runahead"). */
+bool parseDiffModels(const std::string &list,
+                     std::vector<DiffModel> &out, std::string *err);
+
+/** What one model's run produced. */
+struct DiffModelResult
+{
+    std::string label;
+    bool ran = false;    ///< No SimError was thrown.
+    bool halted = false; ///< Reached Halt inside the budget.
+    std::uint64_t commits = 0;
+    std::uint64_t streamHash = 0;
+    std::uint64_t cycles = 0;
+    /** SimError message when ran == false. */
+    std::string error;
+    /** DiagnosticDump JSON when the error carried one. */
+    std::string dumpJson;
+};
+
+/** Aggregate verdict of one differential run. */
+enum class DiffStatus
+{
+    Pass,       ///< Every model halted with identical streams.
+    Divergence, ///< Models halted but commit streams differ.
+    Error,      ///< A model aborted (checker divergence, watchdog...).
+    Budget,     ///< A model failed to halt inside the inst budget.
+};
+
+/** Printable status name ("pass", "divergence", ...). */
+const char *diffStatusName(DiffStatus s);
+
+struct DiffOutcome
+{
+    DiffStatus status = DiffStatus::Pass;
+    /** One-line failure description; empty on Pass. */
+    std::string detail;
+    std::vector<DiffModelResult> models;
+
+    /**
+     * True for genuine correctness failures worth minimizing. Budget
+     * exhaustion is excluded: the minimizer nops instructions, which
+     * can turn a bounded loop infinite — such mutants must read as
+     * "not a repro", or minimization would chase non-bugs.
+     */
+    bool failed() const
+    {
+        return status == DiffStatus::Divergence ||
+               status == DiffStatus::Error;
+    }
+};
+
+/** Knobs for one differential run. */
+struct DifferentialConfig
+{
+    std::vector<DiffModel> models = defaultDiffModels();
+
+    /**
+     * Per-model committed-instruction budget; a model still running
+     * at the budget reports Budget (fuzz programs must terminate
+     * well inside it).
+     */
+    std::uint64_t maxInsts = 2'000'000;
+
+    /**
+     * Template configuration applied to every model (lockstepCheck
+     * is forced on; model/fixedLevel/maxInsts are overwritten).
+     */
+    SimConfig base;
+};
+
+/** Run prog under every model of the matrix; see file comment. */
+DiffOutcome runDifferential(const Program &prog,
+                            const DifferentialConfig &cfg);
+
+} // namespace mlpwin
+
+#endif // MLPWIN_CHECK_DIFFERENTIAL_HH

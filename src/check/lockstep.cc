@@ -1,0 +1,158 @@
+#include "lockstep.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mlpwin
+{
+
+namespace
+{
+
+void
+fnv(std::uint64_t &hash, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i) {
+        hash ^= (v >> (8 * i)) & 0xff;
+        hash *= 0x100000001b3ULL;
+    }
+}
+
+} // namespace
+
+std::vector<MemDiff>
+diffMemoryImages(const MainMemory &expected, const MainMemory &actual,
+                 std::size_t maxDiffs)
+{
+    // Union of both images' page sets, ascending; a page missing from
+    // one side reads as zero.
+    std::vector<Addr> bases = expected.pageBases();
+    std::vector<Addr> abases = actual.pageBases();
+    bases.insert(bases.end(), abases.begin(), abases.end());
+    std::sort(bases.begin(), bases.end());
+    bases.erase(std::unique(bases.begin(), bases.end()), bases.end());
+
+    std::vector<MemDiff> diffs;
+    for (Addr base : bases) {
+        const std::uint8_t *e = expected.pageData(base);
+        const std::uint8_t *a = actual.pageData(base);
+        if (e && a && std::equal(e, e + MainMemory::kPageBytes, a))
+            continue;
+        for (std::uint64_t off = 0; off < MainMemory::kPageBytes;
+             ++off) {
+            std::uint8_t eb = e ? e[off] : 0;
+            std::uint8_t ab = a ? a[off] : 0;
+            if (eb == ab)
+                continue;
+            diffs.push_back(MemDiff{base + off, eb, ab});
+            if (diffs.size() >= maxDiffs)
+                return diffs;
+        }
+    }
+    return diffs;
+}
+
+LockstepChecker::LockstepChecker(const Program &prog)
+    : ref_(shadowMem_, prog.entry())
+{
+    shadowMem_.loadProgram(prog);
+}
+
+void
+LockstepChecker::flag(const ExecRecord &ref, const std::string &field,
+                      std::uint64_t expected, std::uint64_t actual)
+{
+    if (divergence_)
+        return;
+    Divergence d;
+    d.commitIndex = commits_;
+    d.pc = ref.pc;
+    d.field = field;
+    d.expected = expected;
+    d.actual = actual;
+    d.inst = disassemble(ref.inst);
+    divergence_ = std::move(d);
+}
+
+void
+LockstepChecker::onCommit(const ExecRecord &rec)
+{
+    if (divergence_)
+        return; // First divergence wins; the run is about to abort.
+
+    if (ref_.halted()) {
+        // The reference program ended but the core kept committing.
+        ExecRecord ghost;
+        ghost.pc = rec.pc;
+        ghost.inst = rec.inst;
+        flag(ghost, "commit-past-halt", 0, 1);
+        return;
+    }
+
+    ExecRecord ref = ref_.step();
+
+    if (rec.pc != ref.pc) {
+        flag(ref, "pc", ref.pc, rec.pc);
+    } else if (rec.inst != ref.inst) {
+        flag(ref, "inst", encodeInst(ref.inst), encodeInst(rec.inst));
+    } else if (rec.nextPc != ref.nextPc) {
+        flag(ref, "nextPc", ref.nextPc, rec.nextPc);
+    } else if (ref.inst.isMem() && rec.memAddr != ref.memAddr) {
+        // Address before result: a wrong effective address is the
+        // root cause, the wrong loaded value only its symptom.
+        flag(ref, "memAddr", ref.memAddr, rec.memAddr);
+    } else if (ref.inst.isStore() && rec.storeData != ref.storeData) {
+        flag(ref, "storeData", ref.storeData, rec.storeData);
+    } else if (ref.inst.destReg() != kNoReg &&
+               rec.result != ref.result) {
+        flag(ref, "result", ref.result, rec.result);
+    }
+
+    fnv(streamHash_, rec.pc);
+    fnv(streamHash_, rec.result);
+    fnv(streamHash_, rec.inst.isMem() ? rec.memAddr : 0);
+    fnv(streamHash_, rec.inst.isStore() ? rec.storeData : 0);
+    ++commits_;
+}
+
+Status
+LockstepChecker::verifyFinalState(const Emulator &oracle,
+                                  const MainMemory &fmem) const
+{
+    if (divergence_)
+        return Status::error(ErrorCode::ArchDivergence,
+                             "commit-time divergence already flagged");
+    for (unsigned r = 0; r < kNumArchRegs; ++r) {
+        RegId id = static_cast<RegId>(r);
+        RegVal want = ref_.regs().read(id);
+        RegVal got = oracle.regs().read(id);
+        if (want != got) {
+            std::ostringstream os;
+            os << "final register " << (isFpRegId(id) ? "f" : "x")
+               << (isFpRegId(id) ? r - kNumIntRegs : r)
+               << " mismatch: reference 0x" << std::hex << want
+               << ", oracle 0x" << got;
+            return Status::error(ErrorCode::ArchDivergence, os.str());
+        }
+    }
+    if (oracle.pc() != ref_.pc()) {
+        std::ostringstream os;
+        os << "final pc mismatch: reference 0x" << std::hex
+           << ref_.pc() << ", oracle 0x" << oracle.pc();
+        return Status::error(ErrorCode::ArchDivergence, os.str());
+    }
+    std::vector<MemDiff> diffs = diffMemoryImages(shadowMem_, fmem, 4);
+    if (!diffs.empty()) {
+        std::ostringstream os;
+        os << "final memory image differs at " << diffs.size()
+           << "+ bytes:";
+        for (const MemDiff &d : diffs)
+            os << " [0x" << std::hex << d.addr << "]=0x"
+               << static_cast<unsigned>(d.actual) << " (want 0x"
+               << static_cast<unsigned>(d.expected) << ")" << std::dec;
+        return Status::error(ErrorCode::ArchDivergence, os.str());
+    }
+    return Status();
+}
+
+} // namespace mlpwin

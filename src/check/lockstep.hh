@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Lockstep architectural checker.
+ *
+ * A second, fully independent Emulator running against its own shadow
+ * MainMemory, stepped once per *committed* instruction by the core's
+ * commit hook. Every commit is cross-checked against the reference:
+ * PC, destination value, effective address, and store data. The first
+ * divergent commit is recorded (the run aborts with ErrorCode::
+ * ArchDivergence and a DiagnosticDump naming the PC and field), so a
+ * rollback or squash bug surfaces at the exact instruction it corrupts
+ * instead of as a checksum mismatch billions of cycles later.
+ *
+ * The checker also folds every committed instruction into a running
+ * FNV hash — the commit-stream fingerprint the differential fuzzer
+ * compares across models — and offers an end-of-run verification of
+ * the full architectural state: all 64 registers plus a page-wise
+ * sparse memory-image diff between the timing model's functional
+ * memory and the shadow memory.
+ */
+
+#ifndef MLPWIN_CHECK_LOCKSTEP_HH
+#define MLPWIN_CHECK_LOCKSTEP_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/status.hh"
+#include "common/types.hh"
+#include "emu/emulator.hh"
+#include "isa/program.hh"
+#include "mem/main_memory.hh"
+
+namespace mlpwin
+{
+
+/** One byte-level difference between two sparse memory images. */
+struct MemDiff
+{
+    Addr addr = 0;
+    std::uint8_t expected = 0;
+    std::uint8_t actual = 0;
+};
+
+/**
+ * Page-wise comparison of two sparse memory images. A page allocated
+ * in only one image is compared against all-zeroes (untouched memory
+ * reads as zero). Returns up to maxDiffs differing bytes, lowest
+ * address first.
+ *
+ * @param expected The reference image.
+ * @param actual The image under test.
+ */
+std::vector<MemDiff> diffMemoryImages(const MainMemory &expected,
+                                      const MainMemory &actual,
+                                      std::size_t maxDiffs = 8);
+
+/** See file comment. */
+class LockstepChecker
+{
+  public:
+    /** Everything known about the first divergent commit. */
+    struct Divergence
+    {
+        /** Zero-based index in the committed-instruction stream. */
+        std::uint64_t commitIndex = 0;
+        Addr pc = 0;
+        /** "pc", "result", "memAddr", "storeData", "nextPc", ... */
+        std::string field;
+        std::uint64_t expected = 0;
+        std::uint64_t actual = 0;
+        /** Disassembly of the reference instruction. */
+        std::string inst;
+    };
+
+    /** Builds the shadow memory and reference emulator from prog. */
+    explicit LockstepChecker(const Program &prog);
+
+    /**
+     * Cross-check one committed instruction against the reference.
+     * Called from the core's commit path; O(1) per commit, no effect
+     * on timing state. After the first divergence further commits are
+     * ignored (the simulator aborts at its next poll).
+     */
+    void onCommit(const ExecRecord &rec);
+
+    bool diverged() const { return divergence_.has_value(); }
+    /** Precondition: diverged(). */
+    const Divergence &divergence() const { return *divergence_; }
+
+    /** Commits checked so far. */
+    std::uint64_t commits() const { return commits_; }
+
+    /**
+     * FNV-1a fingerprint over the committed stream (pc, result,
+     * memAddr, storeData per instruction). Two runs with equal hashes
+     * committed the same instructions with the same effects.
+     */
+    std::uint64_t streamHash() const { return streamHash_; }
+
+    /**
+     * End-of-run check of the complete architectural state: every
+     * register, the PC, and the full sparse memory image, compared
+     * page-wise. Only meaningful once the core has halted (all stores
+     * drained to functional memory).
+     *
+     * @param oracle The core's oracle emulator (register reference).
+     * @param fmem The timing model's functional memory.
+     * @return ok, or InvariantViolation naming the first difference.
+     */
+    Status verifyFinalState(const Emulator &oracle,
+                            const MainMemory &fmem) const;
+
+  private:
+    void flag(const ExecRecord &ref, const std::string &field,
+              std::uint64_t expected, std::uint64_t actual);
+
+    MainMemory shadowMem_;
+    Emulator ref_;
+    std::uint64_t commits_ = 0;
+    std::uint64_t streamHash_ = 0xcbf29ce484222325ULL;
+    std::optional<Divergence> divergence_;
+};
+
+} // namespace mlpwin
+
+#endif // MLPWIN_CHECK_LOCKSTEP_HH

@@ -1,0 +1,160 @@
+#include "minimize.hh"
+
+#include <algorithm>
+#include <vector>
+
+namespace mlpwin
+{
+
+namespace
+{
+
+const std::uint64_t kNopWord = encodeInst(StaticInst{});
+
+/** Rebuild a program with some instruction words replaced by Nops. */
+Program
+substitute(const Program &orig, const std::vector<bool> &nopped)
+{
+    std::vector<std::uint64_t> code = orig.code();
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        if (nopped[i])
+            code[i] = kNopWord;
+    }
+    return Program(orig.name(), orig.codeBase(), std::move(code),
+                   orig.data(), orig.entry(), orig.dataEnd());
+}
+
+/**
+ * Basic-block leaders: the entry, every branch/jump target inside the
+ * code, and every instruction after a control transfer.
+ */
+std::vector<std::size_t>
+blockLeaders(const Program &prog)
+{
+    const std::vector<std::uint64_t> &code = prog.code();
+    std::vector<bool> leader(code.size(), false);
+    if (!code.empty())
+        leader[0] = true;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        StaticInst si = decodeInst(code[i]);
+        if (!si.isControl())
+            continue;
+        if (i + 1 < code.size())
+            leader[i + 1] = true;
+        if (si.isJalr())
+            continue; // Indirect; target unknowable statically.
+        Addr pc = prog.codeBase() + i * kInstBytes;
+        Addr target = pc + static_cast<std::int64_t>(si.imm);
+        if (prog.validPc(target))
+            leader[(target - prog.codeBase()) / kInstBytes] = true;
+    }
+    std::vector<std::size_t> leaders;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        if (leader[i])
+            leaders.push_back(i);
+    }
+    return leaders;
+}
+
+/** Units (index ranges) eligible for nopping; Halts are kept. */
+struct Unit
+{
+    std::size_t begin;
+    std::size_t end; // exclusive
+};
+
+/**
+ * Coarse-to-fine chunk removal over a unit list: try nopping runs of
+ * `chunk` consecutive units, halving chunk down to 1, re-testing from
+ * the coarsest granularity after any success at the finest (classic
+ * ddmin without the complement step — complements are implicit in
+ * Nop substitution, since unselected units keep their prior state).
+ */
+void
+ddmin(const Program &orig, const std::vector<Unit> &units,
+      std::vector<bool> &nopped, const MinimizePredicate &stillFails,
+      MinimizeStats &st)
+{
+    auto unitNopped = [&](const Unit &u) {
+        for (std::size_t i = u.begin; i < u.end; ++i) {
+            StaticInst si = decodeInst(orig.code()[i]);
+            if (!nopped[i] && !si.isNop() && !si.isHalt())
+                return false;
+        }
+        return true;
+    };
+    auto setUnit = [&](const Unit &u, bool v) {
+        for (std::size_t i = u.begin; i < u.end; ++i) {
+            StaticInst si = decodeInst(orig.code()[i]);
+            if (!si.isHalt()) // Keep Halts: the program must still end.
+                nopped[i] = v;
+        }
+    };
+
+    for (std::size_t chunk = std::max<std::size_t>(units.size() / 2, 1);
+         chunk >= 1; chunk /= 2) {
+        for (std::size_t at = 0; at < units.size(); at += chunk) {
+            std::size_t hi = std::min(at + chunk, units.size());
+            bool anyLive = false;
+            for (std::size_t u = at; u < hi; ++u) {
+                if (!unitNopped(units[u]))
+                    anyLive = true;
+            }
+            if (!anyLive)
+                continue;
+            std::vector<bool> saved = nopped;
+            for (std::size_t u = at; u < hi; ++u)
+                setUnit(units[u], true);
+            ++st.tested;
+            if (!stillFails(substitute(orig, nopped)))
+                nopped = std::move(saved); // Revert; chunk was needed.
+        }
+        if (chunk == 1)
+            break;
+    }
+}
+
+} // namespace
+
+Program
+minimizeProgram(const Program &prog,
+                const MinimizePredicate &stillFails,
+                MinimizeStats *stats)
+{
+    MinimizeStats st;
+    const std::size_t n = prog.numInsts();
+    std::vector<bool> nopped(n, false);
+
+    // Phase 1: whole basic blocks, coarse to fine.
+    std::vector<std::size_t> leaders = blockLeaders(prog);
+    std::vector<Unit> blocks;
+    for (std::size_t b = 0; b < leaders.size(); ++b) {
+        std::size_t end =
+            b + 1 < leaders.size() ? leaders[b + 1] : n;
+        blocks.push_back(Unit{leaders[b], end});
+    }
+    ddmin(prog, blocks, nopped, stillFails, st);
+
+    // Phase 2: single instructions within what survived.
+    std::vector<Unit> singles;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!nopped[i])
+            singles.push_back(Unit{i, i + 1});
+    }
+    ddmin(prog, singles, nopped, stillFails, st);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        if (nopped[i])
+            ++st.nopped;
+    }
+    Program result = substitute(prog, nopped);
+    for (std::uint64_t w : result.code()) {
+        if (!decodeInst(w).isNop())
+            ++st.remaining;
+    }
+    if (stats)
+        *stats = st;
+    return result;
+}
+
+} // namespace mlpwin

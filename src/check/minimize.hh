@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Delta-debugging minimizer for failing fuzz programs.
+ *
+ * Given a program and a predicate "does this still fail?", shrink the
+ * program by replacing instructions with Nops — first whole basic
+ * blocks, coarse to fine, then single instructions — keeping each
+ * mutation only if the failure persists. Nop substitution (rather
+ * than deletion) preserves every branch offset and data address, so
+ * any subset of substitutions yields a well-formed program. The
+ * predicate must treat a non-terminating mutant as NOT failing
+ * (nopping a loop decrement makes the loop infinite); DiffOutcome::
+ * failed() already encodes that rule.
+ */
+
+#ifndef MLPWIN_CHECK_MINIMIZE_HH
+#define MLPWIN_CHECK_MINIMIZE_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "isa/program.hh"
+
+namespace mlpwin
+{
+
+/** Returns true when the candidate program still reproduces the bug. */
+using MinimizePredicate = std::function<bool(const Program &)>;
+
+struct MinimizeStats
+{
+    /** Candidate programs evaluated (predicate invocations). */
+    std::uint64_t tested = 0;
+    /** Instructions nopped out of the original. */
+    std::size_t nopped = 0;
+    /** Non-Nop instructions remaining. */
+    std::size_t remaining = 0;
+};
+
+/**
+ * Minimize a failing program; see file comment.
+ *
+ * @param prog The failing program (stillFails(prog) must be true —
+ *        callers verify before minimizing).
+ * @param stillFails The repro predicate.
+ * @param stats Optional counters for reporting.
+ * @return The minimized program (same name, bases, and data image).
+ */
+Program minimizeProgram(const Program &prog,
+                        const MinimizePredicate &stillFails,
+                        MinimizeStats *stats = nullptr);
+
+} // namespace mlpwin
+
+#endif // MLPWIN_CHECK_MINIMIZE_HH

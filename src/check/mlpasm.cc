@@ -1,0 +1,199 @@
+#include "mlpasm.hh"
+
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+namespace mlpwin
+{
+
+namespace
+{
+
+std::string
+stripComment(const std::string &line)
+{
+    std::size_t hash = line.find('#');
+    std::string s =
+        hash == std::string::npos ? line : line.substr(0, hash);
+    std::size_t b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+[[noreturn]] void
+parseFail(unsigned lineno, const std::string &why)
+{
+    throw SimError(ErrorCode::InvalidArgument,
+                   ".mlpasm line " + std::to_string(lineno) + ": " +
+                       why);
+}
+
+std::uint64_t
+parseWord(const std::string &tok, unsigned lineno)
+{
+    try {
+        std::size_t pos = 0;
+        std::uint64_t v = std::stoull(tok, &pos, 0);
+        if (pos != tok.size())
+            parseFail(lineno, "trailing junk in '" + tok + "'");
+        return v;
+    } catch (const std::logic_error &) {
+        parseFail(lineno, "not a number: '" + tok + "'");
+    }
+}
+
+} // namespace
+
+void
+writeMlpasm(std::ostream &os, const Program &prog)
+{
+    os << ".mlpasm 1\n";
+    if (!prog.name().empty())
+        os << ".name " << prog.name() << '\n';
+    os << ".codebase 0x" << std::hex << prog.codeBase() << '\n'
+       << ".entry 0x" << prog.entry() << '\n';
+    if (prog.dataEnd())
+        os << ".dataend 0x" << prog.dataEnd() << '\n';
+    os << ".code\n";
+    for (std::uint64_t word : prog.code()) {
+        os << "0x" << std::setw(16) << std::setfill('0') << word
+           << "  # " << disassemble(decodeInst(word)) << '\n';
+    }
+    for (const DataSegment &seg : prog.data()) {
+        os << ".seg 0x" << seg.base << '\n';
+        // Segments are built from 64-bit words; a trailing partial
+        // word (if any) is zero-padded, which loadProgram's byte-wise
+        // copy makes invisible only when the pad bytes are zero — the
+        // Assembler only produces whole words, so this is exact.
+        for (std::size_t i = 0; i < seg.bytes.size(); i += 8) {
+            std::uint64_t w = 0;
+            for (std::size_t b = 0; b < 8 && i + b < seg.bytes.size();
+                 ++b)
+                w |= static_cast<std::uint64_t>(seg.bytes[i + b])
+                     << (8 * b);
+            os << "0x" << std::setw(16) << std::setfill('0') << w
+               << '\n';
+        }
+    }
+    os << std::dec;
+}
+
+Status
+saveMlpasm(const std::string &path, const Program &prog,
+           const std::string &headerComment)
+{
+    std::ofstream os(path);
+    if (!os)
+        return Status::error(ErrorCode::Io,
+                             "cannot open " + path + " for writing");
+    if (!headerComment.empty()) {
+        std::istringstream lines(headerComment);
+        std::string line;
+        while (std::getline(lines, line))
+            os << "# " << line << '\n';
+    }
+    writeMlpasm(os, prog);
+    os.flush();
+    if (!os)
+        return Status::error(ErrorCode::Io, "write failed: " + path);
+    return Status();
+}
+
+Program
+parseMlpasm(std::istream &is)
+{
+    std::string name = "mlpasm";
+    Addr code_base = kCodeBase;
+    Addr entry = 0;
+    bool entry_set = false;
+    Addr data_end = 0;
+    std::vector<std::uint64_t> code;
+    std::vector<DataSegment> data;
+
+    enum class Section
+    {
+        Header,
+        Code,
+        Seg
+    } section = Section::Header;
+    bool versioned = false;
+
+    std::string raw;
+    unsigned lineno = 0;
+    while (std::getline(is, raw)) {
+        ++lineno;
+        std::string line = stripComment(raw);
+        if (line.empty())
+            continue;
+        std::istringstream tok(line);
+        std::string head;
+        tok >> head;
+
+        if (head == ".mlpasm") {
+            std::string ver;
+            tok >> ver;
+            if (ver != "1")
+                parseFail(lineno, "unsupported version '" + ver + "'");
+            versioned = true;
+        } else if (head == ".name") {
+            tok >> name;
+        } else if (head == ".codebase") {
+            std::string v;
+            tok >> v;
+            code_base = parseWord(v, lineno);
+        } else if (head == ".entry") {
+            std::string v;
+            tok >> v;
+            entry = parseWord(v, lineno);
+            entry_set = true;
+        } else if (head == ".dataend") {
+            std::string v;
+            tok >> v;
+            data_end = parseWord(v, lineno);
+        } else if (head == ".code") {
+            section = Section::Code;
+        } else if (head == ".seg") {
+            std::string v;
+            tok >> v;
+            data.push_back(DataSegment{parseWord(v, lineno), {}});
+            section = Section::Seg;
+        } else if (head[0] == '.') {
+            parseFail(lineno, "unknown directive '" + head + "'");
+        } else {
+            std::uint64_t w = parseWord(head, lineno);
+            if (section == Section::Code) {
+                code.push_back(w);
+            } else if (section == Section::Seg) {
+                for (unsigned b = 0; b < 8; ++b)
+                    data.back().bytes.push_back(
+                        static_cast<std::uint8_t>(w >> (8 * b)));
+            } else {
+                parseFail(lineno, "word outside .code/.seg section");
+            }
+        }
+    }
+    if (!versioned)
+        parseFail(lineno, "missing .mlpasm version line");
+    if (code.empty())
+        parseFail(lineno, "empty .code section");
+    if (!entry_set)
+        entry = code_base;
+    return Program(name, code_base, std::move(code), std::move(data),
+                   entry, data_end);
+}
+
+Program
+loadMlpasm(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        throw SimError(ErrorCode::Io, "cannot open " + path);
+    return parseMlpasm(is);
+}
+
+} // namespace mlpwin

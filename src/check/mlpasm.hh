@@ -1,0 +1,59 @@
+/**
+ * @file
+ * .mlpasm — a plain-text serialization of a Program, used to save
+ * minimized fuzzer repros into the corpus and replay them later.
+ *
+ * Format (line-oriented, '#' starts a comment anywhere):
+ *
+ *   .mlpasm 1
+ *   .name fuzz_42
+ *   .codebase 0x10000
+ *   .entry 0x10000
+ *   .dataend 0x12000000
+ *   .code
+ *   0x0000000000000002            # halt
+ *   ...
+ *   .seg 0x10000000
+ *   0x0000000000000007
+ *   ...
+ *
+ * Code lines are encoded 64-bit instruction words (the writer appends
+ * the disassembly as a comment); .seg lines are little-endian 64-bit
+ * data words at consecutive addresses from the segment base. The
+ * format round-trips exactly: parse(write(p)) loads as the same
+ * program image.
+ */
+
+#ifndef MLPWIN_CHECK_MLPASM_HH
+#define MLPWIN_CHECK_MLPASM_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.hh"
+#include "isa/program.hh"
+
+namespace mlpwin
+{
+
+/** Serialize a program as .mlpasm text. */
+void writeMlpasm(std::ostream &os, const Program &prog);
+
+/** writeMlpasm into a file. @return ok or Io. */
+Status saveMlpasm(const std::string &path, const Program &prog,
+                  const std::string &headerComment = "");
+
+/**
+ * Parse .mlpasm text into a Program.
+ *
+ * @throws SimError{InvalidArgument} on malformed input, naming the
+ *         offending line.
+ */
+Program parseMlpasm(std::istream &is);
+
+/** Parse a .mlpasm file. @throws SimError{InvalidArgument, Io}. */
+Program loadMlpasm(const std::string &path);
+
+} // namespace mlpwin
+
+#endif // MLPWIN_CHECK_MLPASM_HH

@@ -19,6 +19,8 @@ errorCodeName(ErrorCode code)
         return "no_progress";
       case ErrorCode::InvariantViolation:
         return "invariant_violation";
+      case ErrorCode::ArchDivergence:
+        return "arch_divergence";
       case ErrorCode::Io:
         return "io";
       case ErrorCode::Timeout:
@@ -59,8 +61,18 @@ DiagnosticDump::toJson() const
        << ",\"inTransition\":" << (inTransition ? "true" : "false")
        << ",\"outstandingMisses\":" << outstandingMisses
        << ",\"dramBacklog\":" << fmtU64(dramBacklog)
-       << ",\"fetchHalted\":" << (fetchHalted ? "true" : "false")
-       << ",\"recentEvents\":[";
+       << ",\"fetchHalted\":" << (fetchHalted ? "true" : "false");
+    if (hasDivergence) {
+        os << ",\"divergenceCommit\":" << fmtU64(divergenceCommit)
+           << ",\"divergencePc\":" << fmtU64(divergencePc)
+           << ",\"divergenceField\":\"" << jsonEscape(divergenceField)
+           << '"'
+           << ",\"divergenceExpected\":" << fmtU64(divergenceExpected)
+           << ",\"divergenceActual\":" << fmtU64(divergenceActual)
+           << ",\"divergenceInst\":\"" << jsonEscape(divergenceInst)
+           << '"';
+    }
+    os << ",\"recentEvents\":[";
     for (std::size_t i = 0; i < recentEvents.size(); ++i) {
         if (i)
             os << ',';
@@ -96,6 +108,14 @@ DiagnosticDump::pretty() const
        << " cycles\n"
        << "  fetch halted     " << (fetchHalted ? "yes" : "no")
        << '\n';
+    if (hasDivergence) {
+        os << "  divergence       commit #" << divergenceCommit
+           << " pc 0x" << std::hex << divergencePc << std::dec << "  "
+           << divergenceInst << '\n'
+           << "    field " << divergenceField << ": expected 0x"
+           << std::hex << divergenceExpected << ", got 0x"
+           << divergenceActual << std::dec << '\n';
+    }
     if (!recentEvents.empty()) {
         os << "  recent events";
         for (const std::string &e : recentEvents)

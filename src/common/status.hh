@@ -38,6 +38,8 @@ enum class ErrorCode
     NoProgress,         ///< Watchdog: no commit for a full window.
     InvariantViolation, ///< Structural invariant broke (occupancy
                         ///< over capacity, drain never completes).
+    ArchDivergence,     ///< Lockstep checker: a committed instruction
+                        ///< disagreed with the reference emulator.
     Io,                 ///< Filesystem trouble; typically transient.
     Timeout,            ///< Per-job wall-clock budget exhausted.
     Interrupted,        ///< Run aborted by a cancellation request.
@@ -92,6 +94,20 @@ struct DiagnosticDump
     std::uint64_t dramBacklog = 0;
 
     bool fetchHalted = false;
+
+    // --- lockstep-checker divergence (ArchDivergence aborts) ----------
+    /** True when the fields below describe a checker divergence. */
+    bool hasDivergence = false;
+    /** Zero-based index of the divergent commit in the commit stream. */
+    std::uint64_t divergenceCommit = 0;
+    /** PC of the divergent instruction. */
+    Addr divergencePc = 0;
+    /** Mismatching field: "pc", "result", "memAddr", "storeData", ... */
+    std::string divergenceField;
+    std::uint64_t divergenceExpected = 0;
+    std::uint64_t divergenceActual = 0;
+    /** Disassembly of the reference instruction at the divergence. */
+    std::string divergenceInst;
 
     /**
      * Last few timeline events ("grow 1->2 @[120,130]", ...), newest

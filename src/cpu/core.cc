@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "check/lockstep.hh"
 #include "common/logging.hh"
+#include "common/status.hh"
 
 namespace mlpwin
 {
@@ -682,8 +684,19 @@ OooCore::resolveMispredict(DynInst &branch)
     fetchWaitBranch_ = false;
     lastFetchLine_ = kNoAddr;
     icacheBusyUntil_ = 0;
-    // The oracle stopped exactly at the divergence point.
-    mlpwin_assert(oracle_.pc() == branch.rec.nextPc);
+    // The oracle stopped exactly at the divergence point. A promoted
+    // structural invariant (not an assert): release builds report the
+    // corruption through the SimError path with a diagnostic dump
+    // instead of aborting the whole batch.
+    if (oracle_.pc() != branch.rec.nextPc) {
+        throw SimError(
+            ErrorCode::InvariantViolation,
+            "squash recovery: oracle pc 0x" +
+                std::to_string(oracle_.pc()) +
+                " does not match resolved branch target 0x" +
+                std::to_string(branch.rec.nextPc) + " (branch pc 0x" +
+                std::to_string(branch.pc) + ")");
+    }
 }
 
 void
@@ -787,6 +800,9 @@ OooCore::retireHead(bool pseudo)
             ++committedLoads_;
         }
         ++committed_;
+        ++committedTotal_;
+        if (checker_)
+            checker_->onCommit(head.rec);
     }
 
     trace(pseudo ? TraceCategory::Runahead : TraceCategory::Commit,
@@ -840,6 +856,43 @@ OooCore::exitRunahead()
     for (auto it = raUndoLog_.rbegin(); it != raUndoLog_.rend(); ++it)
         oracle_.undo(*it);
 
+    // Promoted structural invariants over the rollback: the oracle
+    // must be back at the trigger, both in PC and in instruction
+    // count (one count per real commit). Violations report through
+    // the SimError path with a dump instead of aborting.
+    if (oracle_.pc() != raTriggerPc_) {
+        throw SimError(
+            ErrorCode::InvariantViolation,
+            "runahead rollback: oracle pc 0x" +
+                std::to_string(oracle_.pc()) +
+                " does not match trigger pc 0x" +
+                std::to_string(raTriggerPc_));
+    }
+    if (oracle_.instCount() != committedTotal_) {
+        throw SimError(
+            ErrorCode::InvariantViolation,
+            "runahead rollback: oracle instruction count " +
+                std::to_string(oracle_.instCount()) +
+                " does not match committed count " +
+                std::to_string(committedTotal_) +
+                " (undo log incomplete?)");
+    }
+
+    // Test-only fault injection: emulate a lost undo record by
+    // perturbing the trigger load's base register after an otherwise
+    // clean rollback. The lockstep checker must flag the trigger's
+    // re-commit with a "memAddr" divergence. Bit 3 keeps the address
+    // inside the trigger's own (just-fetched) cache line, so the
+    // corrupted re-fetch hits and reaches commit instead of missing
+    // again and re-entering runahead.
+    if (cfg_.debugCorruptUndo) {
+        StaticInst trigger = decodeInst(fmem_.readU64(raTriggerPc_));
+        if (trigger.rs1 != kNoReg && trigger.rs1 != intReg(0)) {
+            RegVal v = oracle_.regs().read(trigger.rs1);
+            oracle_.regs().write(trigger.rs1, v ^ 0x8);
+        }
+    }
+
     rcst_.train(raTriggerPc_, raEpisodeMisses_ > 0);
     if (raEpisodeMisses_ == 0)
         ++raUseless_;
@@ -868,8 +921,9 @@ OooCore::exitRunahead()
         timeline_->endRunahead(cycle_, raEpisodeMisses_);
     traceNote(TraceCategory::Runahead, "exit runahead");
     redirectAt_ = cycle_ + 1 + raCfg_.exitPenalty;
-    fetchPc_ = oracle_.pc();
-    mlpwin_assert(fetchPc_ == raTriggerPc_);
+    // Refetch from the trigger; the invariant above already proved
+    // oracle_.pc() == raTriggerPc_.
+    fetchPc_ = raTriggerPc_;
     lastFetchLine_ = kNoAddr;
     icacheBusyUntil_ = 0;
 }

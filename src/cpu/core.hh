@@ -48,6 +48,8 @@
 namespace mlpwin
 {
 
+class LockstepChecker;
+
 /** See file comment. */
 class OooCore
 {
@@ -164,6 +166,14 @@ class OooCore
      */
     void setTimeline(EventTimeline *t) { timeline_ = t; }
 
+    /**
+     * Attach a lockstep architectural checker (not owned; nullptr
+     * disables). Same zero-overhead contract as the tracer: one
+     * pointer test per committed instruction when detached, and no
+     * effect whatsoever on timing state when attached.
+     */
+    void setChecker(LockstepChecker *c) { checker_ = c; }
+
     // --- telemetry occupancy accessors --------------------------------
     unsigned robOccupancy() const
     {
@@ -266,12 +276,21 @@ class OooCore
     Emulator oracle_;
     PipelineTracer *tracer_ = nullptr;
     EventTimeline *timeline_ = nullptr;
+    LockstepChecker *checker_ = nullptr;
 
     // --- core state -----------------------------------------------------
     Cycle cycle_ = 0;
     Cycle measureStartCycle_ = 0;
     InstSeqNum nextSeq_ = 1;
     bool halted_ = false;
+    /**
+     * Lifetime count of real (non-pseudo) commits. Unlike the
+     * committed_ Counter this is never reset by the measurement
+     * window, so it must equal the oracle's instruction count
+     * whenever the oracle sits at the next-to-commit instruction —
+     * the structural invariant checked after runahead rollback.
+     */
+    std::uint64_t committedTotal_ = 0;
 
     /**
      * ROB, oldest at front. A std::deque keeps element addresses

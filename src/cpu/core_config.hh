@@ -70,6 +70,15 @@ struct CoreConfig
      * the batch harness's failure containment; kNoCycle = never.
      */
     Cycle debugStallCommitAt = kNoCycle;
+
+    /**
+     * Test-only fault injection: corrupt the runahead rollback by
+     * perturbing the trigger load's base register after the undo
+     * walk, as if one undo record had been lost. The mutation test
+     * uses this to prove the lockstep checker catches a rollback bug
+     * at the exact divergent commit (field "memAddr", trigger PC).
+     */
+    bool debugCorruptUndo = false;
 };
 
 } // namespace mlpwin

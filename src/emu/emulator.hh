@@ -109,6 +109,9 @@ class Emulator
     RegFile &regs() { return regs_; }
     const RegFile &regs() const { return regs_; }
 
+    /** The functional memory this emulator executes against. */
+    const MainMemory &memory() const { return mem_; }
+
     /** Rewind the PC (used with ExecRecord undo logs; see above). */
     void setPc(Addr pc) { pc_ = pc; halted_ = false; }
 

@@ -1,0 +1,340 @@
+#include "fuzz_builder.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "isa/assembler.hh"
+
+namespace mlpwin
+{
+
+namespace
+{
+
+// Register roles. Random instructions write scratch registers only;
+// the structure registers that guarantee termination (counters, arena
+// bases, the chase pointer) are written exclusively by the fixed
+// idiom code below.
+constexpr RegId kLink = 1;        // x1: call/ret linkage.
+constexpr RegId kOuterCnt = 2;    // x2: outer-loop counter.
+constexpr RegId kStrideBase = 3;  // x3: stride arena base.
+constexpr RegId kSmallBase = 4;   // x4: small arena base.
+constexpr RegId kStrideCur = 5;   // x5: stride cursor.
+constexpr RegId kInnerCnt = 16;   // x16: inner-loop counter.
+constexpr RegId kChasePtr = 21;   // x21: pointer-chase cursor.
+
+const RegId kScratch[] = {6,  7,  8,  9,  10, 11, 12, 13,
+                          14, 15, 17, 18, 19, 20, 22, 23};
+constexpr unsigned kNumScratch = 16;
+constexpr unsigned kNumFpScratch = 8; // f0..f7.
+
+class FuzzBuilder
+{
+  public:
+    FuzzBuilder(std::uint64_t seed, const FuzzParams &p)
+        : rng_(seed), p_(p),
+          as_("fuzz_" + std::to_string(seed))
+    {
+    }
+
+    Program build();
+
+  private:
+    RegId scr() { return kScratch[rng_.below(kNumScratch)]; }
+    RegId fscr() { return fpReg(rng_.below(kNumFpScratch)); }
+
+    void emitBlock(bool allowLoop);
+    void emitChase();
+    void emitStrideBurst();
+    void emitAluMix();
+    void emitFpMix();
+    void emitAliasPair();
+    void emitForwardBranch(bool allowLoop);
+    void emitCountedLoop();
+    void emitCall();
+
+    Rng rng_;
+    FuzzParams p_;
+    Assembler as_;
+    Addr chaseHead_ = 0;
+    unsigned branchDepth_ = 0;
+    std::vector<Label> helpers_;
+};
+
+void
+FuzzBuilder::emitChase()
+{
+    // Serially dependent loads walking the pointer ring: each load's
+    // address is the previous load's data, the paper's
+    // isolated-miss worst case (mcf/omnetpp).
+    unsigned hops = static_cast<unsigned>(rng_.between(1, 4));
+    for (unsigned i = 0; i < hops; ++i)
+        as_.ld(kChasePtr, kChasePtr, 0);
+}
+
+void
+FuzzBuilder::emitStrideBurst()
+{
+    // A burst of independent loads at large strides — overlappable
+    // misses, the MLP the resizing mechanism exists to expose. The
+    // cursor wraps with a power-of-two mask so every address stays
+    // inside the arena.
+    unsigned burst = static_cast<unsigned>(rng_.between(2, 6));
+    std::uint64_t stride = 64 * rng_.between(7, 97);
+    for (unsigned i = 0; i < burst; ++i)
+        as_.ld(scr(), kStrideCur,
+               static_cast<std::int32_t>(i * stride));
+    RegId t = scr();
+    as_.li(t, burst * stride + 8 * rng_.between(1, 64));
+    as_.add(kStrideCur, kStrideCur, t);
+    as_.sub(t, kStrideCur, kStrideBase);
+    as_.andi(t, t, static_cast<std::int32_t>(p_.strideBytes - 1));
+    as_.add(kStrideCur, kStrideBase, t);
+}
+
+void
+FuzzBuilder::emitAluMix()
+{
+    unsigned n = static_cast<unsigned>(rng_.between(2, 6));
+    for (unsigned i = 0; i < n; ++i) {
+        switch (rng_.below(8)) {
+          case 0:
+            as_.add(scr(), scr(), scr());
+            break;
+          case 1:
+            as_.sub(scr(), scr(), scr());
+            break;
+          case 2:
+            as_.xor_(scr(), scr(), scr());
+            break;
+          case 3:
+            as_.mul(scr(), scr(), scr());
+            break;
+          case 4:
+            as_.div(scr(), scr(), scr());
+            break;
+          case 5:
+            as_.slli(scr(), scr(),
+                     static_cast<std::int32_t>(rng_.below(63)));
+            break;
+          case 6:
+            as_.addi(scr(), scr(),
+                     static_cast<std::int32_t>(rng_.between(1, 4096)));
+            break;
+          default:
+            as_.srl(scr(), scr(), scr());
+            break;
+        }
+    }
+}
+
+void
+FuzzBuilder::emitFpMix()
+{
+    // Load a couple of doubles from the small arena, combine them,
+    // occasionally store one back. Long-latency fp units interleave
+    // with the memory idioms.
+    std::int32_t off = static_cast<std::int32_t>(
+        8 * rng_.below(p_.smallBytes / 8));
+    as_.fld(fscr(), kSmallBase, off);
+    unsigned n = static_cast<unsigned>(rng_.between(1, 4));
+    for (unsigned i = 0; i < n; ++i) {
+        switch (rng_.below(5)) {
+          case 0:
+            as_.fadd(fscr(), fscr(), fscr());
+            break;
+          case 1:
+            as_.fsub(fscr(), fscr(), fscr());
+            break;
+          case 2:
+            as_.fmul(fscr(), fscr(), fscr());
+            break;
+          case 3:
+            as_.fmin(fscr(), fscr(), fscr());
+            break;
+          default:
+            as_.fcvt(fscr(), scr());
+            break;
+        }
+    }
+    if (rng_.chance(0.5))
+        as_.fst(fscr(), kSmallBase,
+                static_cast<std::int32_t>(
+                    8 * rng_.below(p_.smallBytes / 8)));
+}
+
+void
+FuzzBuilder::emitAliasPair()
+{
+    // Store then load the same hot-arena slot (plus neighbours):
+    // exercises store-to-load forwarding and LSQ disambiguation.
+    std::int32_t off = static_cast<std::int32_t>(
+        8 * rng_.below(p_.smallBytes / 8));
+    as_.st(scr(), kSmallBase, off);
+    as_.ld(scr(), kSmallBase, off);
+    if (rng_.chance(0.4))
+        as_.st(scr(), kSmallBase,
+               static_cast<std::int32_t>(
+                   8 * rng_.below(p_.smallBytes / 8)));
+}
+
+void
+FuzzBuilder::emitForwardBranch(bool allowLoop)
+{
+    // A data-dependent branch over the next 1-2 blocks. Forward-only,
+    // so it cannot create a loop; the condition hangs off scratch
+    // state, so both directions and mispredictions occur in practice.
+    if (branchDepth_ >= 3) { // Bound the nested-block recursion.
+        emitAluMix();
+        return;
+    }
+    ++branchDepth_;
+    Label skip = as_.newLabel();
+    RegId a = scr(), b = scr();
+    switch (rng_.below(4)) {
+      case 0:
+        as_.beq(a, b, skip);
+        break;
+      case 1:
+        as_.bne(a, b, skip);
+        break;
+      case 2:
+        as_.blt(a, b, skip);
+        break;
+      default:
+        as_.bgeu(a, b, skip);
+        break;
+    }
+    unsigned inner = static_cast<unsigned>(rng_.between(1, 2));
+    for (unsigned i = 0; i < inner; ++i)
+        emitBlock(allowLoop);
+    as_.bind(skip);
+    --branchDepth_;
+}
+
+void
+FuzzBuilder::emitCountedLoop()
+{
+    // Bounded inner loop; the latch counter is a structure register
+    // no random instruction writes, so the trip count is exact.
+    std::uint64_t trips = rng_.between(2, 8);
+    as_.li(kInnerCnt, trips);
+    Label top = as_.here();
+    emitBlock(/*allowLoop=*/false);
+    as_.addi(kInnerCnt, kInnerCnt, -1);
+    as_.bne(kInnerCnt, intReg(0), top);
+}
+
+void
+FuzzBuilder::emitCall()
+{
+    if (helpers_.empty())
+        return;
+    as_.call(helpers_[rng_.below(helpers_.size())]);
+}
+
+void
+FuzzBuilder::emitBlock(bool allowLoop)
+{
+    // Weighted idiom choice, biased toward the memory behaviours the
+    // paper cares about.
+    std::uint64_t roll = rng_.below(100);
+    if (roll < 15) {
+        emitChase();
+    } else if (roll < 35) {
+        emitStrideBurst();
+    } else if (roll < 55) {
+        emitAluMix();
+    } else if (roll < 67) {
+        emitFpMix();
+    } else if (roll < 77) {
+        emitAliasPair();
+    } else if (roll < 89) {
+        emitForwardBranch(allowLoop);
+    } else if (roll < 97 && allowLoop) {
+        emitCountedLoop();
+    } else {
+        emitCall();
+    }
+}
+
+Program
+FuzzBuilder::build()
+{
+    mlpwin_assert(p_.chaseNodes >= 2 &&
+                  (p_.chaseNodes & (p_.chaseNodes - 1)) == 0);
+    mlpwin_assert(p_.strideBytes >= 4096 &&
+                  (p_.strideBytes & (p_.strideBytes - 1)) == 0);
+    mlpwin_assert(p_.smallBytes >= 64);
+
+    // --- data -----------------------------------------------------------
+    Addr stride_arena = as_.allocBss(p_.strideBytes, 4096);
+    Addr small_arena = as_.allocBss(p_.smallBytes, 64);
+    std::vector<std::uint64_t> small_init(p_.smallBytes / 8);
+    for (std::uint64_t &w : small_init)
+        w = rng_.next();
+    as_.initData(small_arena, small_init);
+
+    // Pointer ring: nodes at fixed spacing, linked by a single-cycle
+    // permutation (i -> i + odd step mod power-of-two size), so the
+    // chase revisits every node before repeating. Each node is one
+    // poked word in an otherwise-zero (sparse) arena.
+    Addr chase_arena =
+        as_.allocBss(p_.chaseNodes * p_.chaseSpacing, 4096);
+    std::uint64_t step = rng_.between(1, p_.chaseNodes / 2) * 2 + 1;
+    for (unsigned i = 0; i < p_.chaseNodes; ++i) {
+        unsigned next = (i + step) & (p_.chaseNodes - 1);
+        as_.pokeData(chase_arena + i * p_.chaseSpacing,
+                     chase_arena + next * p_.chaseSpacing);
+    }
+    chaseHead_ = chase_arena;
+
+    // --- helper stubs (bound after the halt) ----------------------------
+    for (unsigned h = 0; h < p_.helpers; ++h)
+        helpers_.push_back(as_.newLabel());
+
+    // --- main body ------------------------------------------------------
+    Label entry = as_.here();
+    as_.li(kStrideBase, stride_arena);
+    as_.li(kSmallBase, small_arena);
+    as_.li(kChasePtr, chaseHead_);
+    as_.mov(kStrideCur, kStrideBase);
+    for (unsigned i = 0; i < kNumScratch; ++i)
+        as_.li(kScratch[i], rng_.next());
+    as_.li(kOuterCnt, p_.outerIters);
+
+    Label outer = as_.here();
+    for (unsigned b = 0; b < p_.blocks; ++b)
+        emitBlock(/*allowLoop=*/true);
+    as_.addi(kOuterCnt, kOuterCnt, -1);
+    as_.bne(kOuterCnt, intReg(0), outer);
+    as_.halt();
+
+    // --- helpers --------------------------------------------------------
+    for (Label l : helpers_) {
+        as_.bind(l);
+        unsigned n = static_cast<unsigned>(rng_.between(2, 5));
+        for (unsigned i = 0; i < n; ++i) {
+            if (rng_.chance(0.3))
+                as_.ld(scr(), kSmallBase,
+                       static_cast<std::int32_t>(
+                           8 * rng_.below(p_.smallBytes / 8)));
+            else
+                as_.add(scr(), scr(), scr());
+        }
+        as_.ret();
+    }
+
+    return as_.finalize(entry);
+}
+
+} // namespace
+
+Program
+generateFuzzProgram(std::uint64_t seed, const FuzzParams &params)
+{
+    return FuzzBuilder(seed, params).build();
+}
+
+} // namespace mlpwin

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Grammar-driven random program generator for the differential fuzzer.
+ *
+ * Programs are built through the Assembler DSL from a weighted grammar
+ * biased toward the hazards the paper's machinery stresses: dependent
+ * load chains over a sparse pointer ring (serialized L2 misses — the
+ * runahead trigger), stride loops over a larger-than-L2 arena
+ * (overlappable misses — the resizing win), dense data-dependent
+ * branches (squash recovery), store-to-load aliasing on a hot arena,
+ * mixed int/fp arithmetic, counted inner loops, and calls to tiny
+ * helpers.
+ *
+ * Every generated program provably terminates: the only backward
+ * branches are counter-decrementing loop latches over registers no
+ * random instruction can touch, and random conditional branches are
+ * forward-only. Generation is fully deterministic in (seed, params) —
+ * the portable xorshift128+ Rng, no library randomness — so any
+ * failure reproduces from the seed alone.
+ */
+
+#ifndef MLPWIN_ISA_FUZZ_BUILDER_HH
+#define MLPWIN_ISA_FUZZ_BUILDER_HH
+
+#include <cstdint>
+
+#include "isa/program.hh"
+
+namespace mlpwin
+{
+
+/** Shape knobs for generated programs (defaults suit CI smokes). */
+struct FuzzParams
+{
+    /** Idiom blocks emitted per outer iteration. */
+    unsigned blocks = 12;
+    /** Outer-loop iterations (total work scales linearly). */
+    std::uint64_t outerIters = 6;
+
+    /** Pointer-chase ring nodes (power of two). */
+    unsigned chaseNodes = 256;
+    /** Byte distance between consecutive ring nodes. */
+    std::uint64_t chaseSpacing = 16384;
+
+    /** Stride-loop arena size in bytes (power of two; > L2 to miss). */
+    std::uint64_t strideBytes = 4 << 20;
+
+    /** Hot small arena for aliasing stores and fp spills (bytes). */
+    std::uint64_t smallBytes = 2048;
+
+    /** Tiny callable helper functions emitted after the main body. */
+    unsigned helpers = 3;
+};
+
+/**
+ * Generate a seeded, terminating random program (named
+ * "fuzz_<seed>"). Identical (seed, params) produce bit-identical
+ * programs on every platform.
+ */
+Program generateFuzzProgram(std::uint64_t seed,
+                            const FuzzParams &params = FuzzParams{});
+
+} // namespace mlpwin
+
+#endif // MLPWIN_ISA_FUZZ_BUILDER_HH

@@ -1,5 +1,6 @@
 #include "main_memory.hh"
 
+#include <algorithm>
 #include <cstring>
 
 namespace mlpwin
@@ -80,6 +81,24 @@ MainMemory::loadProgram(const Program &prog)
         for (std::size_t i = 0; i < seg.bytes.size(); ++i)
             writeU8(seg.base + i, seg.bytes[i]);
     }
+}
+
+std::vector<Addr>
+MainMemory::pageBases() const
+{
+    std::vector<Addr> bases;
+    bases.reserve(pages_.size());
+    for (const auto &[key, page] : pages_)
+        bases.push_back(key << kPageShift);
+    std::sort(bases.begin(), bases.end());
+    return bases;
+}
+
+const std::uint8_t *
+MainMemory::pageData(Addr addr) const
+{
+    const Page *page = findPage(addr);
+    return page ? page->data() : nullptr;
 }
 
 std::uint64_t

@@ -44,6 +44,19 @@ class MainMemory
     std::size_t numPages() const { return pages_.size(); }
 
     /**
+     * Base addresses of every allocated page, sorted ascending. Lets
+     * checkers iterate two sparse images deterministically; a page
+     * absent from one image compares equal to an all-zero page.
+     */
+    std::vector<Addr> pageBases() const;
+
+    /**
+     * Raw bytes of the page containing addr (kPageBytes of them), or
+     * nullptr if that page was never touched (reads as zero).
+     */
+    const std::uint8_t *pageData(Addr addr) const;
+
+    /**
      * FNV-1a checksum over a byte range; used by tests to compare
      * architectural memory state across timing models.
      */

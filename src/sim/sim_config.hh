@@ -115,6 +115,17 @@ struct SimConfig
      */
     std::uint64_t warmupInsts = 0;
 
+    /**
+     * Run a lockstep architectural checker alongside the core: an
+     * independent reference emulator on a shadow memory, stepped and
+     * cross-checked at every commit (see check/lockstep.hh). The
+     * first divergent commit aborts the run with ErrorCode::
+     * ArchDivergence and a dump naming the PC and field. Purely
+     * observational: a checked run's cycles and statistics are
+     * bit-identical to an unchecked run.
+     */
+    bool lockstepCheck = false;
+
     /** Stop after this many committed instructions (0 = run to Halt). */
     std::uint64_t maxInsts = 0;
     /** Hard cycle ceiling (guards against deadlock bugs). */

@@ -100,6 +100,10 @@ Simulator::Simulator(const SimConfig &cfg, const Program &prog)
         [this](Cycle c) { resize_->onL2DemandMiss(c); });
     core_ = std::make_unique<OooCore>(cfg_.core, *resize_, mem_, fmem_,
                                       prog, &stats_, ra, cfg_.bp);
+    if (cfg_.lockstepCheck) {
+        checker_ = std::make_unique<LockstepChecker>(prog);
+        core_->setChecker(checker_.get());
+    }
 }
 
 IntervalSnapshot
@@ -242,6 +246,30 @@ Simulator::abortRun(ErrorCode code, const std::string &why) const
 }
 
 void
+Simulator::abortDivergence() const
+{
+    const LockstepChecker::Divergence &d = checker_->divergence();
+    DiagnosticDump dump = diagnosticDump();
+    dump.hasDivergence = true;
+    dump.divergenceCommit = d.commitIndex;
+    dump.divergencePc = d.pc;
+    dump.divergenceField = d.field;
+    dump.divergenceExpected = d.expected;
+    dump.divergenceActual = d.actual;
+    dump.divergenceInst = d.inst;
+
+    std::ostringstream os;
+    os << "lockstep divergence at commit #" << d.commitIndex
+       << ": pc 0x" << std::hex << d.pc << " (" << d.inst
+       << ") field " << d.field << " expected 0x" << d.expected
+       << ", got 0x" << d.actual << std::dec << " (workload "
+       << workloadName_ << ", model " << modelName(cfg_.model)
+       << ", cycle " << core_->cycle() << ")";
+    throw SimError(ErrorCode::ArchDivergence, os.str(),
+                   std::move(dump));
+}
+
+void
 Simulator::pollWatchdog(Cycle window)
 {
     if (window) {
@@ -268,39 +296,49 @@ Simulator::runUntil(std::uint64_t committed_target)
     const Cycle interval =
         std::max<Cycle>(cfg_.watchdog.checkInterval, 1);
 
-    while (!core_->halted() &&
-           core_->cycle() < cfg_.maxCycles &&
-           (committed_target == 0 ||
-            core_->committedInsts() < committed_target)) {
-        stepCycle();
+    try {
+        while (!core_->halted() &&
+               core_->cycle() < cfg_.maxCycles &&
+               (committed_target == 0 ||
+                core_->committedInsts() < committed_target)) {
+            stepCycle();
 
-        const Cycle now = core_->cycle();
-        if (core_->committedInsts() != last_committed) {
-            last_committed = core_->committedInsts();
-            lastCommitCycle_ = now;
-        }
-        // Drain tracking: allocation stopped for longer than the
-        // watchdog window means a shrink (or transition) that can
-        // never complete, even if the ROB keeps retiring meanwhile.
-        if (resize_->allocStopped())
-            ++allocStoppedRun_;
-        else
-            allocStoppedRun_ = 0;
+            const Cycle now = core_->cycle();
+            if (core_->committedInsts() != last_committed) {
+                last_committed = core_->committedInsts();
+                lastCommitCycle_ = now;
+            }
+            // Drain tracking: allocation stopped for longer than the
+            // watchdog window means a shrink (or transition) that can
+            // never complete, even if the ROB keeps retiring
+            // meanwhile.
+            if (resize_->allocStopped())
+                ++allocStoppedRun_;
+            else
+                allocStoppedRun_ = 0;
 
-        if (window) {
-            if (now - lastCommitCycle_ > window)
-                abortRun(ErrorCode::NoProgress,
-                         "no instruction committed for " +
-                             std::to_string(window) + " cycles");
-            if (allocStoppedRun_ > window)
-                abortRun(ErrorCode::InvariantViolation,
-                         "window resize drain still incomplete "
-                         "after " +
-                             std::to_string(allocStoppedRun_) +
-                             " cycles of stopped allocation");
+            if (window) {
+                if (now - lastCommitCycle_ > window)
+                    abortRun(ErrorCode::NoProgress,
+                             "no instruction committed for " +
+                                 std::to_string(window) + " cycles");
+                if (allocStoppedRun_ > window)
+                    abortRun(ErrorCode::InvariantViolation,
+                             "window resize drain still incomplete "
+                             "after " +
+                                 std::to_string(allocStoppedRun_) +
+                                 " cycles of stopped allocation");
+            }
+            if (now % interval == 0)
+                pollWatchdog(window);
         }
-        if (now % interval == 0)
-            pollWatchdog(window);
+    } catch (const SimError &e) {
+        if (e.hasDump())
+            throw;
+        // Structural invariants promoted out of the core throw bare
+        // SimErrors; attach the machine-state dump and run identity
+        // they could not build themselves.
+        abortRun(e.code(), e.message());
     }
 }
 
@@ -324,6 +362,17 @@ Simulator::run()
     std::uint64_t target = cfg_.maxInsts
         ? core_->committedInsts() + cfg_.maxInsts : 0;
     runUntil(target);
+
+    // End-of-run full-state verification: registers, PC, and the
+    // complete sparse memory image. Only meaningful at Halt — before
+    // that, committed stores may legitimately still sit in the store
+    // buffer ahead of functional memory.
+    if (checker_ && core_->halted()) {
+        Status s =
+            checker_->verifyFinalState(core_->oracle(), fmem_);
+        if (!s.ok())
+            abortRun(s.code(), s.message());
+    }
 
     // Flush the trailing partial interval and close any open episode.
     if (sampler_)
@@ -355,6 +404,7 @@ Simulator::run()
     r.runaheadEpisodes = core_->runaheadEpisodes();
     r.runaheadUseless = core_->runaheadUselessEpisodes();
     r.archRegChecksum = core_->oracle().regs().checksum();
+    r.commitStreamHash = checker_ ? checker_->streamHash() : 0;
 
     EnergyInputs &e = r.energyInputs;
     e.cycles = r.cycles;

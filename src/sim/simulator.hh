@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "check/lockstep.hh"
 #include "common/stats.hh"
 #include "common/status.hh"
 #include "cpu/core.hh"
@@ -60,6 +61,15 @@ struct SimResult
     std::uint64_t runaheadUseless = 0;
 
     std::uint64_t archRegChecksum = 0;
+
+    /**
+     * Commit-stream fingerprint from the lockstep checker (pc,
+     * result, memAddr, storeData of every committed instruction);
+     * 0 when the run was unchecked. Two checked runs with equal
+     * hashes committed identical instruction streams — the property
+     * the differential fuzzer requires across models.
+     */
+    std::uint64_t commitStreamHash = 0;
 
     /** Committed instructions per committed mispredict (Table 5). */
     double
@@ -167,6 +177,9 @@ class Simulator
     /** Build a telemetry snapshot of the current machine state. */
     IntervalSnapshot snapshot() const;
 
+    /** The lockstep checker, when cfg.lockstepCheck enabled one. */
+    const LockstepChecker *checker() const { return checker_.get(); }
+
     OooCore &core() { return *core_; }
     CacheHierarchy &hierarchy() { return mem_; }
     MainMemory &memory() { return fmem_; }
@@ -182,6 +195,8 @@ class Simulator
     stepCycle()
     {
         core_->tick();
+        if (checker_ && checker_->diverged())
+            abortDivergence();
         if (sampler_ && sampler_->due(core_->cycle()))
             sampler_->record(snapshot());
     }
@@ -193,6 +208,12 @@ class Simulator
     [[noreturn]] void abortRun(ErrorCode code,
                                const std::string &why) const;
 
+    /**
+     * Throw the ArchDivergence SimError for the checker's recorded
+     * first divergent commit, dump attached.
+     */
+    [[noreturn]] void abortDivergence() const;
+
     SimConfig cfg_;
     std::string workloadName_;
     StatSet stats_;
@@ -200,6 +221,7 @@ class Simulator
     CacheHierarchy mem_;
     std::unique_ptr<ResizeController> resize_;
     std::unique_ptr<OooCore> core_;
+    std::unique_ptr<LockstepChecker> checker_;
     IntervalSampler *sampler_ = nullptr;
     EventTimeline *timeline_ = nullptr;
 

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Fuzzer-infrastructure tests: deterministic seeded generation,
+ * guaranteed termination of generated programs, the differential
+ * model matrix, and the delta-debugging minimizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/differential.hh"
+#include "check/minimize.hh"
+#include "emu/emulator.hh"
+#include "isa/assembler.hh"
+#include "isa/fuzz_builder.hh"
+#include "mem/main_memory.hh"
+
+namespace mlpwin
+{
+namespace
+{
+
+FuzzParams
+smallParams()
+{
+    FuzzParams p;
+    p.blocks = 6;
+    p.outerIters = 2;
+    p.chaseNodes = 16;
+    p.chaseSpacing = 4096;
+    p.strideBytes = 1 << 20;
+    p.smallBytes = 512;
+    return p;
+}
+
+TEST(FuzzBuilderTest, SameSeedSameProgram)
+{
+    Program a = generateFuzzProgram(42, smallParams());
+    Program b = generateFuzzProgram(42, smallParams());
+    EXPECT_EQ(a.code(), b.code());
+    EXPECT_EQ(a.entry(), b.entry());
+    ASSERT_EQ(a.data().size(), b.data().size());
+    for (std::size_t i = 0; i < a.data().size(); ++i)
+        EXPECT_EQ(a.data()[i].bytes, b.data()[i].bytes);
+}
+
+TEST(FuzzBuilderTest, DifferentSeedsDifferentPrograms)
+{
+    Program a = generateFuzzProgram(1, smallParams());
+    Program b = generateFuzzProgram(2, smallParams());
+    EXPECT_NE(a.code(), b.code());
+}
+
+TEST(FuzzBuilderTest, GeneratedProgramsTerminate)
+{
+    // The termination argument (forward-only random branches, exact
+    // counter latches) must hold for every seed; spot-check a spread.
+    for (std::uint64_t seed : {1, 2, 3, 10, 77, 1000}) {
+        Program p = generateFuzzProgram(seed, smallParams());
+        MainMemory mem;
+        mem.loadProgram(p);
+        Emulator emu(mem, p.entry());
+        std::uint64_t steps = 0;
+        while (!emu.halted() && steps < 5'000'000) {
+            emu.step();
+            ++steps;
+        }
+        EXPECT_TRUE(emu.halted()) << "seed " << seed;
+        EXPECT_GT(steps, 20u) << "seed " << seed;
+    }
+}
+
+TEST(DifferentialTest, DefaultMatrixCoversEveryModel)
+{
+    std::vector<DiffModel> models = defaultDiffModels();
+    EXPECT_EQ(models.size(), 7u);
+}
+
+TEST(DifferentialTest, ParseModelList)
+{
+    std::vector<DiffModel> models;
+    std::string err;
+    ASSERT_TRUE(parseDiffModels("base,fixed:3,runahead", models, &err))
+        << err;
+    ASSERT_EQ(models.size(), 3u);
+    EXPECT_EQ(models[0].label(), "base");
+    EXPECT_EQ(models[1].label(), "fixed:3");
+    EXPECT_EQ(models[2].label(), "runahead");
+    EXPECT_FALSE(parseDiffModels("base,bogus", models, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(DifferentialTest, CleanProgramPasses)
+{
+    Program p = generateFuzzProgram(9, smallParams());
+    DiffOutcome o = runDifferential(p, DifferentialConfig{});
+    EXPECT_EQ(o.status, DiffStatus::Pass) << o.detail;
+    EXPECT_FALSE(o.failed());
+    ASSERT_EQ(o.models.size(), 7u);
+    for (const DiffModelResult &m : o.models) {
+        EXPECT_TRUE(m.halted) << m.label;
+        EXPECT_EQ(m.streamHash, o.models.front().streamHash) << m.label;
+        EXPECT_EQ(m.commits, o.models.front().commits) << m.label;
+    }
+}
+
+TEST(DifferentialTest, BudgetExhaustionIsNotARepro)
+{
+    Assembler a("spin");
+    Label top = a.here();
+    a.addi(intReg(1), intReg(1), 1);
+    a.jal(intReg(0), top);
+    a.halt();
+    Program p = a.finalize();
+
+    DifferentialConfig cfg;
+    cfg.maxInsts = 5000;
+    cfg.models = {{ModelKind::Base, 1}};
+    DiffOutcome o = runDifferential(p, cfg);
+    EXPECT_EQ(o.status, DiffStatus::Budget);
+    // Non-terminating mutants must read as "not a repro", or the
+    // minimizer would chase loops it created itself.
+    EXPECT_FALSE(o.failed());
+}
+
+// --- minimizer -----------------------------------------------------------
+
+/** Junk-padded program whose observable effect is x5 = 42. */
+Program
+paddedProgram()
+{
+    Assembler a("padded");
+    for (unsigned i = 0; i < 30; ++i)
+        a.addi(intReg(6 + (i % 8)), intReg(0),
+               static_cast<std::int32_t>(i + 1));
+    a.li(intReg(5), 42);
+    for (unsigned i = 0; i < 30; ++i)
+        a.xor_(intReg(14), intReg(14), intReg(15));
+    a.halt();
+    return a.finalize();
+}
+
+std::uint64_t
+finalX5(const Program &p)
+{
+    MainMemory mem;
+    mem.loadProgram(p);
+    Emulator emu(mem, p.entry());
+    std::uint64_t steps = 0;
+    while (!emu.halted() && steps++ < 1'000'000)
+        emu.step();
+    return emu.halted() ? emu.regs().read(intReg(5)) : ~0ULL;
+}
+
+TEST(MinimizeTest, ShrinksToEssentialInstructions)
+{
+    Program p = paddedProgram();
+    ASSERT_EQ(finalX5(p), 42u);
+
+    MinimizeStats stats;
+    Program min = minimizeProgram(
+        p, [](const Program &cand) { return finalX5(cand) == 42; },
+        &stats);
+
+    // Everything but the li (and the protected halt) is junk.
+    EXPECT_EQ(finalX5(min), 42u);
+    EXPECT_LE(stats.remaining, 3u);
+    EXPECT_GE(stats.nopped, 58u);
+    EXPECT_GT(stats.tested, 0u);
+    EXPECT_EQ(min.numInsts(), p.numInsts());
+    EXPECT_EQ(min.entry(), p.entry());
+}
+
+TEST(MinimizeTest, KeepsDependentChain)
+{
+    // x3 = ((0 + 7) * 3) - 1 = 20 through a strict dependence chain;
+    // no link may be nopped.
+    Assembler a("chain");
+    for (unsigned i = 0; i < 20; ++i)
+        a.addi(intReg(10 + (i % 4)), intReg(0), 5);
+    a.addi(intReg(3), intReg(0), 7);
+    a.li(intReg(4), 3);
+    a.mul(intReg(3), intReg(3), intReg(4));
+    a.addi(intReg(3), intReg(3), -1);
+    a.halt();
+    Program p = a.finalize();
+
+    auto x3is20 = [](const Program &cand) {
+        MainMemory mem;
+        mem.loadProgram(cand);
+        Emulator emu(mem, cand.entry());
+        std::uint64_t steps = 0;
+        while (!emu.halted() && steps++ < 100'000)
+            emu.step();
+        return emu.halted() && emu.regs().read(intReg(3)) == 20;
+    };
+    ASSERT_TRUE(x3is20(p));
+
+    MinimizeStats stats;
+    Program min = minimizeProgram(p, x3is20, &stats);
+    EXPECT_TRUE(x3is20(min));
+    // The four chain links plus halt survive; the 20 pad insts go.
+    EXPECT_EQ(stats.remaining, 5u);
+}
+
+TEST(MinimizeTest, MinimizedFuzzProgramStillRuns)
+{
+    // Minimizing against a trivially-true predicate must still yield
+    // a well-formed terminating program (branch targets intact).
+    Program p = generateFuzzProgram(13, smallParams());
+    Program min = minimizeProgram(
+        p, [](const Program &cand) {
+            MainMemory mem;
+            mem.loadProgram(cand);
+            Emulator emu(mem, cand.entry());
+            std::uint64_t steps = 0;
+            while (!emu.halted() && steps++ < 2'000'000)
+                emu.step();
+            return emu.halted();
+        });
+    MainMemory mem;
+    mem.loadProgram(min);
+    Emulator emu(mem, min.entry());
+    std::uint64_t steps = 0;
+    while (!emu.halted() && steps++ < 2'000'000)
+        emu.step();
+    EXPECT_TRUE(emu.halted());
+}
+
+} // namespace
+} // namespace mlpwin

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * .mlpasm serialization tests: exact round-tripping of generated
+ * programs (code, data segments, entry, bases) and error reporting on
+ * malformed input.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "check/mlpasm.hh"
+#include "emu/emulator.hh"
+#include "isa/fuzz_builder.hh"
+#include "mem/main_memory.hh"
+
+namespace mlpwin
+{
+namespace
+{
+
+FuzzParams
+smallParams()
+{
+    FuzzParams p;
+    p.blocks = 6;
+    p.outerIters = 2;
+    p.chaseNodes = 16;
+    p.chaseSpacing = 4096;
+    p.strideBytes = 1 << 20;
+    p.smallBytes = 512;
+    return p;
+}
+
+TEST(MlpasmTest, RoundTripPreservesImage)
+{
+    Program orig = generateFuzzProgram(7, smallParams());
+    std::ostringstream os;
+    writeMlpasm(os, orig);
+    std::istringstream is(os.str());
+    Program back = parseMlpasm(is);
+
+    EXPECT_EQ(back.name(), orig.name());
+    EXPECT_EQ(back.codeBase(), orig.codeBase());
+    EXPECT_EQ(back.entry(), orig.entry());
+    EXPECT_EQ(back.dataEnd(), orig.dataEnd());
+    EXPECT_EQ(back.code(), orig.code());
+    ASSERT_EQ(back.data().size(), orig.data().size());
+    for (std::size_t i = 0; i < orig.data().size(); ++i) {
+        EXPECT_EQ(back.data()[i].base, orig.data()[i].base);
+        EXPECT_EQ(back.data()[i].bytes, orig.data()[i].bytes);
+    }
+}
+
+TEST(MlpasmTest, RoundTripExecutesIdentically)
+{
+    Program orig = generateFuzzProgram(11, smallParams());
+    std::ostringstream os;
+    writeMlpasm(os, orig);
+    std::istringstream is(os.str());
+    Program back = parseMlpasm(is);
+
+    auto run = [](const Program &p) {
+        MainMemory mem;
+        mem.loadProgram(p);
+        Emulator emu(mem, p.entry());
+        while (!emu.halted())
+            emu.step();
+        return std::make_pair(emu.instCount(), emu.regs().checksum());
+    };
+    EXPECT_EQ(run(orig), run(back));
+}
+
+TEST(MlpasmTest, SecondWriteIsStable)
+{
+    Program orig = generateFuzzProgram(3, smallParams());
+    std::ostringstream a;
+    writeMlpasm(a, orig);
+    std::istringstream is(a.str());
+    std::ostringstream b;
+    writeMlpasm(b, parseMlpasm(is));
+    EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(MlpasmTest, RejectsMissingMagic)
+{
+    std::istringstream is(".name x\n.code\n0x2\n");
+    EXPECT_THROW(parseMlpasm(is), SimError);
+}
+
+TEST(MlpasmTest, RejectsBadWord)
+{
+    std::istringstream is(
+        ".mlpasm 1\n.name x\n.code\nnot_a_number\n");
+    try {
+        parseMlpasm(is);
+        FAIL() << "parse accepted junk";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::InvalidArgument);
+        // The error names the offending line.
+        EXPECT_NE(std::string(e.what()).find("line"),
+                  std::string::npos);
+    }
+}
+
+TEST(MlpasmTest, RejectsDataOutsideSegment)
+{
+    std::istringstream is(".mlpasm 1\n.name x\n0xdead\n");
+    EXPECT_THROW(parseMlpasm(is), SimError);
+}
+
+TEST(MlpasmTest, LoadMissingFileIsIoError)
+{
+    try {
+        loadMlpasm("/nonexistent/nope.mlpasm");
+        FAIL() << "load of missing file succeeded";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::Io);
+    }
+}
+
+TEST(MlpasmTest, CommentsAndBlankLinesIgnored)
+{
+    Program orig = generateFuzzProgram(5, smallParams());
+    std::ostringstream os;
+    os << "# leading comment\n\n";
+    writeMlpasm(os, orig);
+    os << "\n# trailing comment\n";
+    std::istringstream is(os.str());
+    Program back = parseMlpasm(is);
+    EXPECT_EQ(back.code(), orig.code());
+}
+
+} // namespace
+} // namespace mlpwin

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "check/lockstep.hh"
 #include "emu/emulator.hh"
 #include "sim/simulator.hh"
 #include "workloads/suite.hh"
@@ -23,17 +24,21 @@ struct Ref
 {
     std::uint64_t insts;
     std::uint64_t checksum;
+    /** Final memory image of the reference run. */
+    MainMemory mem;
 };
 
 Ref
 emulatorRef(const Program &p)
 {
-    MainMemory mem;
-    mem.loadProgram(p);
-    Emulator emu(mem, p.entry());
+    Ref ref;
+    ref.mem.loadProgram(p);
+    Emulator emu(ref.mem, p.entry());
     while (!emu.halted())
         emu.step();
-    return Ref{emu.instCount(), emu.regs().checksum()};
+    ref.insts = emu.instCount();
+    ref.checksum = emu.regs().checksum();
+    return ref;
 }
 
 struct Case
@@ -68,11 +73,24 @@ TEST_P(ModelCorrectness, ArchStateMatchesEmulator)
     SimConfig cfg;
     cfg.model = c.model;
     cfg.fixedLevel = c.level;
-    SimResult r = runWorkload(c.workload, cfg, 24);
+    Simulator sim(cfg, p);
+    SimResult r = sim.run();
 
     EXPECT_TRUE(r.halted);
     EXPECT_EQ(r.committed, ref.insts);
     EXPECT_EQ(r.archRegChecksum, ref.checksum);
+
+    // The full final memory image must match page for page: wrong-path
+    // or runahead stores leaking into functional memory, or committed
+    // stores lost in a squash, surface here even when no register
+    // still depends on them.
+    std::vector<MemDiff> diffs = diffMemoryImages(ref.mem,
+                                                  sim.memory(), 4);
+    EXPECT_TRUE(diffs.empty())
+        << diffs.size() << "+ differing bytes, first at 0x" << std::hex
+        << diffs.front().addr << ": expected 0x"
+        << unsigned(diffs.front().expected) << ", got 0x"
+        << unsigned(diffs.front().actual);
 }
 
 std::vector<Case>

@@ -79,6 +79,8 @@ usage()
         "  --warmup N            warm-up instructions (default "
         "100000)\n"
         "  --no-warm-caches      start with cold I/D caches\n"
+        "  --check               run every cell with the lockstep\n"
+        "                        architectural checker attached\n"
         "  --telemetry-dir DIR   per-job interval telemetry + event\n"
         "                        timeline files, written as\n"
         "                        DIR/<workload>.<model>.telemetry."
@@ -216,6 +218,8 @@ main(int argc, char **argv)
         } else if (arg == "--no-warm-caches") {
             spec.base.warmInstCaches = false;
             spec.base.warmDataCaches = false;
+        } else if (arg == "--check") {
+            spec.base.lockstepCheck = true;
         } else if (arg == "--telemetry-dir") {
             spec.telemetryDir = next();
         } else if (arg == "--telemetry-interval") {

@@ -53,6 +53,10 @@ usage()
         "      --mem-latency N    DRAM minimum latency, cycles\n"
         "      --penalty N        level-transition penalty, cycles\n"
         "      --no-prefetch      disable the data prefetcher\n"
+        "      --check            run the lockstep architectural\n"
+        "                         checker alongside the core; abort\n"
+        "                         with a divergence dump on the first\n"
+        "                         mismatched commit\n"
         "      --prefetcher K     stride (default) or stream\n"
         "      --watchdog-cycles N\n"
         "                         abort after N cycles without a\n"
@@ -176,6 +180,8 @@ main(int argc, char **argv)
                 static_cast<unsigned>(numericFlag(arg, next()));
         } else if (arg == "--no-prefetch") {
             cfg.mem.prefetcher.enabled = false;
+        } else if (arg == "--check") {
+            cfg.lockstepCheck = true;
         } else if (arg == "--watchdog-cycles") {
             cfg.watchdog.noCommitWindow = numericFlag(arg, next());
         } else if (arg == "--no-watchdog") {
