@@ -84,6 +84,9 @@ benchConfig(ModelKind model, unsigned level)
     cfg.model = model;
     cfg.fixedLevel = level;
     cfg.warmupInsts = warmupBudget();
+    // Warm functionally: same architectural state at the measurement
+    // boundary, at emulator speed instead of pipeline speed.
+    cfg.functionalWarmup = true;
     cfg.warmDataCaches = true;
     return cfg;
 }

@@ -28,8 +28,11 @@ constexpr std::uint64_t kForever = 1ULL << 40;
 /** Default committed-instruction budget per run. */
 constexpr std::uint64_t kDefaultBudget = 300000;
 
-/** Default warm-up instructions before the measurement window. */
-constexpr std::uint64_t kDefaultWarmup = 100000;
+/**
+ * Default warm-up instructions before the measurement window — the
+ * one shared literal (sample/sample_config.hh) the CLI tools use too.
+ */
+constexpr std::uint64_t kDefaultWarmup = kDefaultWarmupInsts;
 
 /** Budget override from the environment (MLPWIN_BENCH_INSTS). */
 std::uint64_t instBudget();

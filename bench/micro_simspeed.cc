@@ -14,6 +14,7 @@
 #include "common/bench_util.hh"
 #include "emu/emulator.hh"
 #include "mem/cache.hh"
+#include "sample/fastforward.hh"
 
 using namespace mlpwin;
 using namespace mlpwin::bench;
@@ -68,6 +69,79 @@ BM_SimLibquantumRunahead(benchmark::State &state)
     simModel(state, "libquantum", ModelKind::Runahead);
 }
 
+/**
+ * Sampled-mode throughput: same workload/model/budget as simModel,
+ * but under SMARTS sampling. The sim_insts_per_s counter covers the
+ * whole post-warmup region (fast-forwarded + detailed), so the ratio
+ * to the matching detailed benchmark is the sampling speedup.
+ */
+void
+simSampled(benchmark::State &state, const std::string &workload,
+           ModelKind model)
+{
+    for (auto _ : state) {
+        SimConfig cfg = benchConfig(model, 1);
+        cfg.warmupInsts = 0;
+        cfg.maxInsts = 20000;
+        cfg.sampling.enabled = true;
+        cfg.sampling.intervalInsts = 500;
+        cfg.sampling.periodInsts = 4000;
+        cfg.sampling.detailedWarmupInsts = 500;
+        SimResult r = runWorkload(workload, cfg, kForever);
+        benchmark::DoNotOptimize(r.cycles);
+        state.counters["sim_insts_per_s"] = benchmark::Counter(
+            static_cast<double>(r.committed + r.ffInsts),
+            benchmark::Counter::kIsIterationInvariantRate);
+    }
+}
+
+void
+BM_SimGccBaseSampled(benchmark::State &state)
+{
+    simSampled(state, "gcc", ModelKind::Base);
+}
+
+/**
+ * A full fig07-style cell (default warm-up + 300k measured insts,
+ * resizing model), detailed vs sampled under the default regime.
+ * The wall-clock ratio of this pair is the headline sampling
+ * speedup; the sampled variant must stay >= 5x faster.
+ */
+void
+BM_Fig07CellGccDetailed(benchmark::State &state)
+{
+    for (auto _ : state) {
+        SimConfig cfg = benchConfig(ModelKind::Resizing, 1);
+        cfg.maxInsts = 300000;
+        SimResult r = runWorkload("gcc", cfg, kForever);
+        benchmark::DoNotOptimize(r.cycles);
+        state.counters["sim_insts_per_s"] = benchmark::Counter(
+            static_cast<double>(r.committed),
+            benchmark::Counter::kIsIterationInvariantRate);
+    }
+}
+
+void
+BM_Fig07CellGccSampled(benchmark::State &state)
+{
+    for (auto _ : state) {
+        SimConfig cfg = benchConfig(ModelKind::Resizing, 1);
+        cfg.maxInsts = 300000;
+        cfg.sampling.enabled = true; // default 1000/20000/1000 regime
+        SimResult r = runWorkload("gcc", cfg, kForever);
+        benchmark::DoNotOptimize(r.cycles);
+        state.counters["sim_insts_per_s"] = benchmark::Counter(
+            static_cast<double>(r.committed + r.ffInsts),
+            benchmark::Counter::kIsIterationInvariantRate);
+    }
+}
+
+void
+BM_SimLibquantumResizingSampled(benchmark::State &state)
+{
+    simSampled(state, "libquantum", ModelKind::Resizing);
+}
+
 void
 BM_EmulatorStep(benchmark::State &state)
 {
@@ -79,6 +153,28 @@ BM_EmulatorStep(benchmark::State &state)
     for (auto _ : state)
         benchmark::DoNotOptimize(emu.step().result);
     state.SetItemsProcessed(state.iterations());
+}
+
+/**
+ * Functional-emulation MIPS with warming attached — the fast-forward
+ * configuration sampled runs and functional warm-ups actually use
+ * (emulator step + cache warmTouch + predictor warm per instruction).
+ */
+void
+BM_FunctionalFastForward(benchmark::State &state)
+{
+    const WorkloadSpec &spec = findWorkload("gcc");
+    Program prog = spec.make(kForever);
+    MainMemory mem;
+    mem.loadProgram(prog);
+    Emulator emu(mem, prog.entry());
+    StatSet stats;
+    CacheHierarchy hier(MemSystemConfig{}, &stats);
+    BranchPredictor bp(BranchPredictorConfig{}, nullptr);
+    FastForwarder ff(emu, &hier, &bp);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ff.run(1000));
+    state.SetItemsProcessed(state.iterations() * 1000);
 }
 
 void
@@ -122,7 +218,13 @@ BENCHMARK(BM_SimGccResizing)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimLibquantumBase)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimLibquantumResizing)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimLibquantumRunahead)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimGccBaseSampled)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig07CellGccDetailed)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig07CellGccSampled)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimLibquantumResizingSampled)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EmulatorStep);
+BENCHMARK(BM_FunctionalFastForward);
 BENCHMARK(BM_CacheLookupHit);
 BENCHMARK(BM_BranchPredict);
 

@@ -177,6 +177,22 @@ BranchPredictor::update(Addr pc, const StaticInst &inst, bool taken,
 }
 
 void
+BranchPredictor::warm(Addr pc, const StaticInst &inst, bool taken,
+                      Addr target)
+{
+    // On the detailed core the PHT is trained with the history as of
+    // predict time; in a fast-forward every earlier branch has already
+    // resolved, so the current history is exactly that snapshot.
+    update(pc, inst, taken, target, history_);
+    if (inst.isCondBranch())
+        history_ = ((history_ << 1) | (taken ? 1 : 0)) & historyMask_;
+    if (inst.isCall())
+        ras_[rasTop_++ % rasEntries_] = pc + kInstBytes;
+    else if (inst.isReturn() && rasTop_ > 0)
+        --rasTop_;
+}
+
+void
 BranchPredictor::restoreHistory(std::uint64_t snapshot, bool taken)
 {
     history_ = ((snapshot << 1) | (taken ? 1 : 0)) & historyMask_;

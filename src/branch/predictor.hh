@@ -79,6 +79,15 @@ class BranchPredictor
     /** Restore the speculative global history after a squash. */
     void restoreHistory(std::uint64_t snapshot, bool taken);
 
+    /**
+     * Functional-warming update for one committed control instruction
+     * during a native-speed fast-forward: trains the direction tables
+     * and BTB exactly as a committed-and-correct detailed-mode branch
+     * would, advances the global history with the true outcome, and
+     * mirrors call/return traffic into the RAS. Counts no stats.
+     */
+    void warm(Addr pc, const StaticInst &inst, bool taken, Addr target);
+
     std::uint64_t history() const { return history_; }
 
     std::uint64_t lookups() const { return lookups_.value(); }

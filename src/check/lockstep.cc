@@ -115,6 +115,22 @@ LockstepChecker::onCommit(const ExecRecord &rec)
     ++commits_;
 }
 
+void
+LockstepChecker::skip(std::uint64_t n)
+{
+    for (std::uint64_t i = 0; i < n && !ref_.halted(); ++i)
+        ref_.step();
+}
+
+void
+LockstepChecker::restoreState(const RegFile &regs, Addr pc,
+                              std::uint64_t inst_count,
+                              const MainMemory &image)
+{
+    shadowMem_.cloneFrom(image);
+    ref_.restoreState(regs, pc, inst_count);
+}
+
 Status
 LockstepChecker::verifyFinalState(const Emulator &oracle,
                                   const MainMemory &fmem) const

@@ -93,6 +93,25 @@ class LockstepChecker
     std::uint64_t commits() const { return commits_; }
 
     /**
+     * Advance the reference emulator n instructions without checking
+     * or hashing, mirroring a functional fast-forward on the core
+     * side: the shadow memory stays in sync (the reference performs
+     * the same stores), and checking resumes seamlessly at the next
+     * detailed commit. Stops early at Halt.
+     */
+    void skip(std::uint64_t n);
+
+    /**
+     * Overwrite the reference's architectural state from a resumed
+     * checkpoint: registers, PC, instruction count, and a deep copy
+     * of the checkpointed memory image. Commit checking then covers
+     * exactly the post-resume instruction stream.
+     */
+    void restoreState(const RegFile &regs, Addr pc,
+                      std::uint64_t inst_count,
+                      const MainMemory &image);
+
+    /**
      * FNV-1a fingerprint over the committed stream (pc, result,
      * memAddr, storeData per instruction). Two runs with equal hashes
      * committed the same instructions with the same effects.

@@ -53,6 +53,21 @@ Average::printJson(std::ostream &os) const
        << ",\"sum\":" << fmtDouble(sum_) << "}";
 }
 
+void
+Gauge::print(std::ostream &os) const
+{
+    os << std::left << std::setw(40) << fullName() << ' '
+       << std::right << std::setw(16) << std::fixed
+       << std::setprecision(4) << value_
+       << "  # " << desc() << '\n';
+}
+
+void
+Gauge::printJson(std::ostream &os) const
+{
+    os << fmtDouble(value_);
+}
+
 Histogram::Histogram(StatSet *parent, std::string name, std::string desc,
                      std::uint64_t bin_width, std::size_t num_bins)
     : Stat(parent, std::move(name), std::move(desc)),

@@ -113,6 +113,31 @@ class Average : public Stat
 };
 
 /**
+ * A last-written scalar measurement: unlike a Counter it does not
+ * accumulate events, it records the most recent value of a derived
+ * quantity (a confidence-interval width, an estimate). Used by the
+ * sampling subsystem to surface its whole-run IPC estimate in the
+ * stats JSON.
+ */
+class Gauge : public Stat
+{
+  public:
+    Gauge(StatSet *parent, std::string name, std::string desc)
+        : Stat(parent, std::move(name), std::move(desc))
+    {}
+
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+
+    void print(std::ostream &os) const override;
+    void printJson(std::ostream &os) const override;
+    void reset() override { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
  * Fixed-bin-width histogram with an overflow bucket, as used for the
  * paper's Fig. 4 L2-miss-interval plot (8-cycle bins).
  */

@@ -64,6 +64,39 @@ OooCore::resetMeasurement()
     lsqSizeCycles_ = 0;
 }
 
+void
+OooCore::resumeAfterFastForward()
+{
+    mlpwin_assert(readyForFastForward());
+    committedTotal_ = oracle_.instCount();
+    fetchPc_ = oracle_.pc();
+    if (oracle_.halted()) {
+        // The program's Halt was consumed functionally; the run is
+        // architecturally complete.
+        halted_ = true;
+        fetchHalted_ = true;
+    }
+    fetchWaitBranch_ = false;
+    shadowStores_.clear();
+    // The fast-forward is outside simulated time: the front end
+    // starts the next interval clean, with no stale redirect or
+    // I-cache busy window carried across the boundary.
+    redirectAt_ = 0;
+    icacheBusyUntil_ = 0;
+    lastFetchLine_ = kNoAddr;
+}
+
+void
+OooCore::restoreArchState(const RegFile &regs, Addr pc,
+                          std::uint64_t inst_count)
+{
+    mlpwin_assert(cycle_ == 0 && window_.empty() &&
+                  fetchQueue_.empty());
+    oracle_.restoreState(regs, pc, inst_count);
+    committedTotal_ = inst_count;
+    fetchPc_ = pc;
+}
+
 // ---------------------------------------------------------------------
 // Helpers
 // ---------------------------------------------------------------------
@@ -380,7 +413,7 @@ OooCore::fetchOne()
 void
 OooCore::fetchStage()
 {
-    if (halted_ || fetchHalted_ || fetchWaitBranch_)
+    if (halted_ || fetchHalted_ || fetchWaitBranch_ || fetchPaused_)
         return;
     if (cycle_ < redirectAt_ || icacheBusyUntil_ > cycle_)
         return;

@@ -157,6 +157,58 @@ class OooCore
     /** Oracle view (for end-of-run architectural state checks). */
     const Emulator &oracle() const { return oracle_; }
 
+    // --- sampled-simulation support (see sample/) ---------------------
+    /**
+     * Mutable oracle access for the Simulator's functional
+     * fast-forward. Only legal while the pipeline is drained
+     * (readyForFastForward()): with nothing in flight, the oracle sits
+     * exactly at the next instruction to fetch, so stepping it ahead
+     * natively and then calling resumeAfterFastForward() is
+     * architecturally seamless.
+     */
+    Emulator &oracleForFastForward() { return oracle_; }
+
+    /** Mutable predictor access for functional warming. */
+    BranchPredictor &predictorForWarming() { return bp_; }
+
+    /**
+     * Stop (true) or re-allow (false) instruction fetch, so the
+     * pipeline can be drained to an architectural boundary between a
+     * measured interval and the next fast-forward.
+     */
+    void setFetchPaused(bool paused) { fetchPaused_ = paused; }
+
+    /**
+     * True when no speculative or in-flight state remains: the oracle
+     * is exactly at the architectural boundary and a functional
+     * fast-forward may run.
+     */
+    bool
+    readyForFastForward() const
+    {
+        return window_.empty() && fetchQueue_.empty() &&
+               storeBuffer_.empty() && !inRunahead_ && !onWrongPath_;
+    }
+
+    /**
+     * Re-sync the front end with the oracle after an external
+     * functional fast-forward: fetch resumes at the oracle's PC, the
+     * lifetime commit count adopts the oracle's instruction count
+     * (instructions executed functionally are architecturally
+     * committed), and stale fetch state is discarded. Pre:
+     * readyForFastForward().
+     */
+    void resumeAfterFastForward();
+
+    /**
+     * Adopt checkpointed architectural state before the first cycle:
+     * oracle registers/PC/instruction count and the fetch PC. The
+     * caller restores functional memory separately. Pre: the core has
+     * never ticked.
+     */
+    void restoreArchState(const RegFile &regs, Addr pc,
+                          std::uint64_t inst_count);
+
     /** Attach a pipeline tracer (not owned; nullptr disables). */
     void setTracer(PipelineTracer *t) { tracer_ = t; }
 
@@ -334,6 +386,8 @@ class OooCore
     // --- fetch state -----------------------------------------------------
     Addr fetchPc_ = 0;
     bool fetchHalted_ = false;
+    /** Fetch suspended while draining toward a fast-forward. */
+    bool fetchPaused_ = false;
     /** Fetch may not produce instructions before this cycle. */
     Cycle redirectAt_ = 0;
     Cycle icacheBusyUntil_ = 0;

@@ -116,6 +116,21 @@ class Emulator
     void setPc(Addr pc) { pc_ = pc; halted_ = false; }
 
     /**
+     * Overwrite the architectural register/PC/instruction-count state
+     * wholesale — resuming from an architectural checkpoint. Memory
+     * is restored separately (the emulator does not own it).
+     */
+    void
+    restoreState(const RegFile &regs, Addr pc,
+                 std::uint64_t inst_count)
+    {
+        regs_ = regs;
+        pc_ = pc;
+        instCount_ = inst_count;
+        halted_ = false;
+    }
+
+    /**
      * Undo one executed instruction's architectural effects. Records
      * must be undone youngest-first.
      */

@@ -13,6 +13,7 @@
 
 #include "exp/checkpoint.hh"
 #include "exp/thread_pool.hh"
+#include "sample/checkpoint.hh"
 #include "telemetry/export.hh"
 #include "telemetry/timeline.hh"
 #include "workloads/suite.hh"
@@ -138,14 +139,17 @@ jobFileStem(const ExperimentJob &job)
  * one failure class the retry loop treats as transient.
  */
 SimResult
-executeJob(const ExperimentSpec &spec, const ExperimentJob &job)
+executeJob(const ExperimentSpec &spec, const ExperimentJob &job,
+           const ArchCheckpoint *arch_ckpt)
 {
     if (spec.executor)
         return spec.executor(job);
 
     const WorkloadSpec &ws = findWorkload(job.workload);
     Program prog = ws.make(spec.iterations);
-    Simulator sim(job.cfg, prog);
+    SimConfig cfg = job.cfg;
+    cfg.startCheckpoint = arch_ckpt;
+    Simulator sim(cfg, prog);
 
     if (spec.jobTimeoutSeconds > 0.0)
         sim.setDeadline(std::chrono::steady_clock::now() +
@@ -228,6 +232,21 @@ ExperimentRunner::runAll(const ExperimentSpec &spec) const
     batch.jobs = expandSpec(spec);
     batch.outcomes.resize(batch.jobs.size());
 
+    // Load each workload's architectural checkpoint exactly once, up
+    // front: a missing file fails the batch before simulation time is
+    // spent, and the (read-only) image is shared by every cell of
+    // that workload's row.
+    std::map<std::string, ArchCheckpoint> arch_ckpts;
+    if (!spec.archCheckpointDir.empty() && !spec.executor) {
+        for (const std::string &w : spec.workloads) {
+            if (arch_ckpts.count(w))
+                continue;
+            arch_ckpts.emplace(
+                w, ArchCheckpoint::loadFile(spec.archCheckpointDir +
+                                            "/" + w + ".ckpt"));
+        }
+    }
+
     std::map<std::string, SimResult> resumed;
     if (spec.resume && !spec.checkpointPath.empty())
         resumed = loadCheckpoint(spec.checkpointPath);
@@ -290,8 +309,12 @@ ExperimentRunner::runAll(const ExperimentSpec &spec) const
         const auto job_start = std::chrono::steady_clock::now();
         for (unsigned attempt = 1;; ++attempt) {
             out.attempts = attempt;
+            const ArchCheckpoint *arch = nullptr;
+            if (auto ck = arch_ckpts.find(job.workload);
+                ck != arch_ckpts.end())
+                arch = &ck->second;
             try {
-                out.result = executeJob(spec, job);
+                out.result = executeJob(spec, job, arch);
                 out.state = JobState::Ok;
                 out.error = ErrorCode::Ok;
                 out.errorDetail.clear();

@@ -71,6 +71,17 @@ struct ExperimentSpec
     std::function<void(SimConfig &, const ExperimentJob &)> configure;
 
     /**
+     * If non-empty, resume every job from an architectural checkpoint
+     * <archCheckpointDir>/<workload>.ckpt (created once with
+     * mlpwin_ckpt). Each workload's checkpoint is loaded exactly once
+     * and shared read-only across all of its matrix cells. A missing
+     * or mismatched checkpoint fails the batch up front with
+     * SimError{Io/InvalidArgument} — before any simulation time is
+     * spent.
+     */
+    std::string archCheckpointDir;
+
+    /**
      * If non-empty, every job also writes interval telemetry and an
      * event timeline into this directory (created if missing) as
      * <workload>.<label>.telemetry.jsonl and

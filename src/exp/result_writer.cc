@@ -87,6 +87,10 @@ resultToJson(const SimResult &r)
     s += ",\"runahead_episodes\":" + fmtU64(r.runaheadEpisodes);
     s += ",\"runahead_useless\":" + fmtU64(r.runaheadUseless);
     s += ",\"arch_reg_checksum\":" + fmtU64(r.archRegChecksum);
+    s += std::string(",\"sampled\":") + (r.sampled ? "true" : "false");
+    s += ",\"sample_intervals\":" + fmtU64(r.sampleIntervals);
+    s += ",\"ff_insts\":" + fmtU64(r.ffInsts);
+    s += ",\"ipc_ci95\":" + fmtDouble(r.ipcCi95);
     s += "}";
     return s;
 }
@@ -147,6 +151,14 @@ resultFromJson(const std::string &json)
     r.runaheadEpisodes = root.field("runahead_episodes").asU64();
     r.runaheadUseless = root.field("runahead_useless").asU64();
     r.archRegChecksum = root.field("arch_reg_checksum").asU64();
+    // Sampling fields postdate the v1 schema; records written before
+    // them load with the (correct) unsampled defaults.
+    if (root.hasField("sampled")) {
+        r.sampled = root.field("sampled").asBool();
+        r.sampleIntervals = root.field("sample_intervals").asU64();
+        r.ffInsts = root.field("ff_insts").asU64();
+        r.ipcCi95 = root.field("ipc_ci95").asDouble();
+    }
     return r;
 }
 
@@ -161,7 +173,8 @@ csvHeader()
            "e_l1i_accesses,e_l1d_accesses,e_l2_accesses,"
            "e_dram_accesses,e_iq_size_cycles,e_rob_size_cycles,"
            "e_lsq_size_cycles,energy_total,edp,runahead_episodes,"
-           "runahead_useless,arch_reg_checksum";
+           "runahead_useless,arch_reg_checksum,sampled,"
+           "sample_intervals,ff_insts,ipc_ci95";
 }
 
 std::string
@@ -197,7 +210,10 @@ resultToCsv(const SimResult &r)
     s += fmtDouble(r.energyTotal) + "," + fmtDouble(r.edp) + ",";
     s += fmtU64(r.runaheadEpisodes) + "," +
          fmtU64(r.runaheadUseless) + ",";
-    s += fmtU64(r.archRegChecksum);
+    s += fmtU64(r.archRegChecksum) + ",";
+    s += r.sampled ? "1," : "0,";
+    s += fmtU64(r.sampleIntervals) + "," + fmtU64(r.ffInsts) + ",";
+    s += fmtDouble(r.ipcCi95);
     return s;
 }
 

@@ -129,6 +129,23 @@ Cache::insert(Addr addr, Cycle fill_time, Provenance prov)
     return ev;
 }
 
+bool
+Cache::warmTouch(Addr addr)
+{
+    Line *line = findLine(addr);
+    if (line) {
+        line->lruStamp = ++lruCounter_;
+        return true;
+    }
+    insert(addr, 0, Provenance::Warmup);
+    // A warm fill is ready immediately and happens outside simulated
+    // time; leaving it in the pending-fill list would let a long
+    // fast-forward grow the list without bound (it is only pruned on
+    // timing accesses).
+    pendingFills_.pop_back();
+    return false;
+}
+
 void
 Cache::setDirty(Addr addr)
 {

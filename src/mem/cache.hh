@@ -110,6 +110,17 @@ class Cache
      */
     void warm(Addr addr) { insert(addr, 0, Provenance::Warmup); }
 
+    /**
+     * Functional-warming access: recency-update the line if resident,
+     * install it (Warmup provenance, ready immediately) if not. Unlike
+     * lookup()/insert() this counts no stats and checks no fill slots
+     * — it reconstructs tag/LRU state during native-speed emulation,
+     * outside simulated time.
+     *
+     * @return True if the line was already resident.
+     */
+    bool warmTouch(Addr addr);
+
     /** True if the line is resident (no LRU update). */
     bool contains(Addr addr) const;
 

@@ -84,6 +84,35 @@ class CacheHierarchy
             l1d_.warm(addr);
     }
 
+    /**
+     * Functional-warming hook for one committed load or store during
+     * a native-speed fast-forward: recency-update or install the line
+     * in the L1D, and on an L1D miss in the L2 too — the state a
+     * detailed-mode access would have left, minus timing. Counts no
+     * stats and consumes no MSHRs (the access is outside simulated
+     * time).
+     */
+    void
+    warmDemandAccess(Addr addr, bool is_store)
+    {
+        if (!l1d_.warmTouch(addr))
+            l2_.warmTouch(addr);
+        if (is_store)
+            l1d_.setDirty(addr);
+    }
+
+    /**
+     * Functional-warming hook for one fetched instruction during a
+     * fast-forward: keep the L1I (and on a miss the L2) resident and
+     * recency-ordered for the instruction working set.
+     */
+    void
+    warmFetchLine(Addr addr)
+    {
+        if (!l1i_.warmTouch(addr))
+            l2_.warmTouch(addr);
+    }
+
     void setL2MissListener(L2MissListener fn) { listener_ = std::move(fn); }
 
     const Cache &l1i() const { return l1i_; }

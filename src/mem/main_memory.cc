@@ -83,6 +83,20 @@ MainMemory::loadProgram(const Program &prog)
     }
 }
 
+void
+MainMemory::installPage(Addr base, const std::uint8_t *bytes)
+{
+    std::memcpy(getPage(base).data(), bytes, kPageBytes);
+}
+
+void
+MainMemory::cloneFrom(const MainMemory &other)
+{
+    pages_.clear();
+    for (const auto &[key, page] : other.pages_)
+        installPage(key << kPageShift, page->data());
+}
+
 std::vector<Addr>
 MainMemory::pageBases() const
 {

@@ -40,6 +40,16 @@ class MainMemory
     /** Copy a program's code and data segments into memory. */
     void loadProgram(const Program &prog);
 
+    /**
+     * Install one whole page (kPageBytes from bytes) at the
+     * page-aligned address base, replacing any existing content.
+     * Used to restore architectural-checkpoint memory images.
+     */
+    void installPage(Addr base, const std::uint8_t *bytes);
+
+    /** Replace this image with a deep copy of other's pages. */
+    void cloneFrom(const MainMemory &other);
+
     /** Number of distinct pages touched so far. */
     std::size_t numPages() const { return pages_.size(); }
 

@@ -1,0 +1,213 @@
+#include "checkpoint.hh"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/status.hh"
+
+namespace mlpwin
+{
+
+namespace
+{
+
+void
+fnv(std::uint64_t &hash, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i) {
+        hash ^= (v >> (8 * i)) & 0xff;
+        hash *= 0x100000001b3ULL;
+    }
+}
+
+void
+putU32(std::ostream &os, std::uint32_t v)
+{
+    std::uint8_t b[4];
+    for (unsigned i = 0; i < 4; ++i)
+        b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    os.write(reinterpret_cast<const char *>(b), 4);
+}
+
+void
+putU64(std::ostream &os, std::uint64_t v)
+{
+    std::uint8_t b[8];
+    for (unsigned i = 0; i < 8; ++i)
+        b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    os.write(reinterpret_cast<const char *>(b), 8);
+}
+
+std::uint32_t
+getU32(std::istream &is)
+{
+    std::uint8_t b[4];
+    is.read(reinterpret_cast<char *>(b), 4);
+    std::uint32_t v = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(std::istream &is)
+{
+    std::uint8_t b[8];
+    is.read(reinterpret_cast<char *>(b), 8);
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+std::uint64_t
+programHash(const Program &prog)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    fnv(hash, prog.codeBase());
+    fnv(hash, prog.entry());
+    fnv(hash, prog.dataEnd());
+    fnv(hash, prog.code().size());
+    for (std::uint64_t word : prog.code())
+        fnv(hash, word);
+    for (const DataSegment &seg : prog.data()) {
+        fnv(hash, seg.base);
+        fnv(hash, seg.bytes.size());
+        for (std::uint8_t b : seg.bytes) {
+            hash ^= b;
+            hash *= 0x100000001b3ULL;
+        }
+    }
+    return hash;
+}
+
+ArchCheckpoint
+ArchCheckpoint::capture(const Emulator &emu,
+                        const std::string &workload,
+                        std::uint64_t program_hash)
+{
+    ArchCheckpoint ck;
+    ck.workload_ = workload;
+    ck.programHash_ = program_hash;
+    ck.instCount_ = emu.instCount();
+    ck.pc_ = emu.pc();
+    ck.regs_ = emu.regs();
+
+    const MainMemory &mem = emu.memory();
+    for (Addr base : mem.pageBases()) {
+        const std::uint8_t *data = mem.pageData(base);
+        PageImage page;
+        page.base = base;
+        page.bytes.assign(data, data + MainMemory::kPageBytes);
+        ck.pages_.push_back(std::move(page));
+    }
+    return ck;
+}
+
+void
+ArchCheckpoint::save(std::ostream &os) const
+{
+    putU64(os, kMagic);
+    putU32(os, kVersion);
+    putU32(os, static_cast<std::uint32_t>(workload_.size()));
+    os.write(workload_.data(),
+             static_cast<std::streamsize>(workload_.size()));
+    putU64(os, programHash_);
+    putU64(os, instCount_);
+    putU64(os, pc_);
+    for (unsigned r = 0; r < kNumArchRegs; ++r)
+        putU64(os, regs_.read(static_cast<RegId>(r)));
+    putU64(os, pages_.size());
+    for (const PageImage &page : pages_) {
+        putU64(os, page.base);
+        os.write(reinterpret_cast<const char *>(page.bytes.data()),
+                 static_cast<std::streamsize>(page.bytes.size()));
+    }
+    if (!os)
+        throw SimError(ErrorCode::Io, "checkpoint write failed");
+}
+
+void
+ArchCheckpoint::saveFile(const std::string &path) const
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        throw SimError(ErrorCode::Io,
+                       "cannot create checkpoint file " + path);
+    save(os);
+    os.flush();
+    if (!os)
+        throw SimError(ErrorCode::Io,
+                       "cannot write checkpoint file " + path);
+}
+
+ArchCheckpoint
+ArchCheckpoint::load(std::istream &is)
+{
+    std::uint64_t magic = getU64(is);
+    if (!is || magic != kMagic)
+        throw SimError(ErrorCode::InvalidArgument,
+                       "not a checkpoint file (bad magic)");
+    std::uint32_t version = getU32(is);
+    if (!is || version != kVersion)
+        throw SimError(ErrorCode::InvalidArgument,
+                       "unsupported checkpoint version " +
+                           std::to_string(version) + " (expected " +
+                           std::to_string(kVersion) + ")");
+
+    ArchCheckpoint ck;
+    std::uint32_t name_len = getU32(is);
+    // A name longer than any plausible workload means a corrupt or
+    // truncated header; refuse before allocating from it.
+    if (!is || name_len > 4096)
+        throw SimError(ErrorCode::InvalidArgument,
+                       "corrupt checkpoint header (name length)");
+    ck.workload_.resize(name_len);
+    is.read(ck.workload_.data(), name_len);
+
+    ck.programHash_ = getU64(is);
+    ck.instCount_ = getU64(is);
+    ck.pc_ = getU64(is);
+    for (unsigned r = 0; r < kNumArchRegs; ++r)
+        ck.regs_.write(static_cast<RegId>(r), getU64(is));
+    std::uint64_t num_pages = getU64(is);
+    if (!is)
+        throw SimError(ErrorCode::Io, "truncated checkpoint header");
+    for (std::uint64_t i = 0; i < num_pages; ++i) {
+        PageImage page;
+        page.base = getU64(is);
+        if ((page.base & (MainMemory::kPageBytes - 1)) != 0)
+            throw SimError(ErrorCode::InvalidArgument,
+                           "corrupt checkpoint (unaligned page base)");
+        page.bytes.resize(MainMemory::kPageBytes);
+        is.read(reinterpret_cast<char *>(page.bytes.data()),
+                MainMemory::kPageBytes);
+        if (!is)
+            throw SimError(ErrorCode::Io,
+                           "truncated checkpoint page data");
+        ck.pages_.push_back(std::move(page));
+    }
+    return ck;
+}
+
+ArchCheckpoint
+ArchCheckpoint::loadFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw SimError(ErrorCode::Io,
+                       "cannot open checkpoint file " + path);
+    return load(is);
+}
+
+void
+ArchCheckpoint::restoreMemory(MainMemory &mem) const
+{
+    for (const PageImage &page : pages_)
+        mem.installPage(page.base, page.bytes.data());
+}
+
+} // namespace mlpwin

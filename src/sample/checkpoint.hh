@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Architectural checkpoints: a versioned binary serialization of the
+ * complete architectural state of a workload at some instruction
+ * count — all 64 registers, the PC, the instruction count, and every
+ * touched page of the sparse functional memory — plus a program
+ * identity hash so a checkpoint can never silently resume the wrong
+ * binary.
+ *
+ * Checkpoints are created once per workload (tools/mlpwin_ckpt) by
+ * fast-forwarding the functional emulator, then reused across every
+ * cell of a sweep matrix: the Simulator restores memory, core, and
+ * (when attached) the lockstep checker from the image and begins
+ * detailed or sampled execution at the checkpointed instruction.
+ *
+ * File format (version 1, little-endian):
+ *   u64  magic "MLPWCKPT"
+ *   u32  version
+ *   u32  workload-name length, followed by that many bytes
+ *   u64  program identity hash (programHash())
+ *   u64  instruction count
+ *   u64  pc
+ *   u64  regs[kNumArchRegs]
+ *   u64  page count, then per page: u64 base + kPageBytes raw bytes
+ *
+ * Version policy: the loader rejects any file whose magic or version
+ * does not match exactly. Field additions bump the version; there is
+ * no in-place migration — checkpoints are cheap to regenerate from
+ * the deterministic program generators, so stale files are simply
+ * rebuilt with mlpwin_ckpt.
+ */
+
+#ifndef MLPWIN_SAMPLE_CHECKPOINT_HH
+#define MLPWIN_SAMPLE_CHECKPOINT_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "emu/emulator.hh"
+#include "isa/program.hh"
+#include "mem/main_memory.hh"
+
+namespace mlpwin
+{
+
+/**
+ * FNV-1a fingerprint of a program's identity: code words, initialized
+ * data segments, entry point, and data extent. Two programs with
+ * equal hashes load identical initial memory images, so a checkpoint
+ * taken under one resumes correctly under the other.
+ */
+std::uint64_t programHash(const Program &prog);
+
+/** See file comment. */
+class ArchCheckpoint
+{
+  public:
+    static constexpr std::uint64_t kMagic = 0x54504b4357504c4dULL;
+    static constexpr std::uint32_t kVersion = 1;
+
+    ArchCheckpoint() = default;
+
+    /**
+     * Snapshot the emulator's architectural state (registers, PC,
+     * instruction count, and its full sparse memory image).
+     *
+     * @param emu The emulator to snapshot.
+     * @param workload Suite workload name recorded in the file.
+     * @param program_hash Identity hash of the program being run.
+     */
+    static ArchCheckpoint capture(const Emulator &emu,
+                                  const std::string &workload,
+                                  std::uint64_t program_hash);
+
+    /** Serialize to a binary stream. @throws SimError{Io} */
+    void save(std::ostream &os) const;
+    /** Write to a file via save(). @throws SimError{Io} */
+    void saveFile(const std::string &path) const;
+
+    /**
+     * Deserialize from a binary stream.
+     * @throws SimError{InvalidArgument} on bad magic/version/layout,
+     *         SimError{Io} on read failure.
+     */
+    static ArchCheckpoint load(std::istream &is);
+    /** Read a file via load(). @throws SimError{Io,InvalidArgument} */
+    static ArchCheckpoint loadFile(const std::string &path);
+
+    /**
+     * Install the checkpointed memory image into mem. Pages are
+     * copied on top of whatever mem already holds; the image is a
+     * superset of the loaded program (the capture-time memory was
+     * itself program-loaded), so the result is exactly the
+     * checkpoint-time image.
+     */
+    void restoreMemory(MainMemory &mem) const;
+
+    const std::string &workload() const { return workload_; }
+    std::uint64_t programHash() const { return programHash_; }
+    std::uint64_t instCount() const { return instCount_; }
+    Addr pc() const { return pc_; }
+    const RegFile &regs() const { return regs_; }
+    std::size_t numPages() const { return pages_.size(); }
+
+  private:
+    struct PageImage
+    {
+        Addr base = 0;
+        std::vector<std::uint8_t> bytes;
+    };
+
+    std::string workload_;
+    std::uint64_t programHash_ = 0;
+    std::uint64_t instCount_ = 0;
+    Addr pc_ = 0;
+    RegFile regs_;
+    std::vector<PageImage> pages_;
+};
+
+} // namespace mlpwin
+
+#endif // MLPWIN_SAMPLE_CHECKPOINT_HH

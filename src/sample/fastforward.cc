@@ -1,0 +1,30 @@
+#include "fastforward.hh"
+
+namespace mlpwin
+{
+
+std::uint64_t
+FastForwarder::run(std::uint64_t n)
+{
+    std::uint64_t done = 0;
+    while (done < n && !emu_.halted()) {
+        ExecRecord rec = emu_.step();
+        ++done;
+        if (mem_) {
+            Addr line = mem_->l1i().lineAddr(rec.pc);
+            if (line != lastFetchLine_) {
+                mem_->warmFetchLine(rec.pc);
+                lastFetchLine_ = line;
+            }
+            if (rec.inst.isMem())
+                mem_->warmDemandAccess(rec.memAddr,
+                                       rec.inst.isStore());
+        }
+        if (bp_ && rec.inst.isControl())
+            bp_->warm(rec.pc, rec.inst, rec.taken, rec.nextPc);
+    }
+    executed_ += done;
+    return done;
+}
+
+} // namespace mlpwin

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Functional fast-forward with functional warming: drives an Emulator
+ * at native speed (no pipeline, no timing) while feeding each
+ * committed load/store line into the data caches, each fetched line
+ * into the instruction cache, and each control instruction into the
+ * branch predictor. At the end of a fast-forward the architectural
+ * state is exact and the cache/predictor state is warm — the
+ * precondition for SMARTS-style sampled measurement and for the
+ * functional replacement of the old detailed-mode warmupInsts path.
+ */
+
+#ifndef MLPWIN_SAMPLE_FASTFORWARD_HH
+#define MLPWIN_SAMPLE_FASTFORWARD_HH
+
+#include <cstdint>
+
+#include "branch/predictor.hh"
+#include "common/types.hh"
+#include "emu/emulator.hh"
+#include "mem/hierarchy.hh"
+
+namespace mlpwin
+{
+
+/** See file comment. */
+class FastForwarder
+{
+  public:
+    /**
+     * @param emu Emulator to drive (architectural state advances).
+     * @param mem Hierarchy to warm; nullptr skips cache warming.
+     * @param bp Predictor to warm; nullptr skips predictor warming.
+     */
+    FastForwarder(Emulator &emu, CacheHierarchy *mem,
+                  BranchPredictor *bp)
+        : emu_(emu), mem_(mem), bp_(bp)
+    {}
+
+    /**
+     * Execute up to n instructions, stopping early at Halt.
+     *
+     * @return Instructions actually executed.
+     */
+    std::uint64_t run(std::uint64_t n);
+
+    /** Total instructions executed across all run() calls. */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    Emulator &emu_;
+    CacheHierarchy *mem_;
+    BranchPredictor *bp_;
+    std::uint64_t executed_ = 0;
+    /** Last I-line touched (skip redundant per-inst L1I touches). */
+    Addr lastFetchLine_ = kNoAddr;
+};
+
+} // namespace mlpwin
+
+#endif // MLPWIN_SAMPLE_FASTFORWARD_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Configuration for the sampled-simulation subsystem: SMARTS-style
+ * systematic sampling parameters, plus the single shared definition
+ * of the default warm-up budget that the CLI tools and the benchmark
+ * harness previously each hard-coded.
+ */
+
+#ifndef MLPWIN_SAMPLE_SAMPLE_CONFIG_HH
+#define MLPWIN_SAMPLE_SAMPLE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace mlpwin
+{
+
+/**
+ * Instructions executed before the measurement window opens, shared
+ * by mlpwin_cli, mlpwin_batch, and the benchmark harness. With the
+ * sampling subsystem this warm-up runs functionally (native-speed
+ * emulation with cache/predictor warming) instead of on the detailed
+ * core.
+ */
+constexpr std::uint64_t kDefaultWarmupInsts = 100000;
+
+/**
+ * Systematic (SMARTS-style) sampling: every `periodInsts` committed
+ * instructions, the simulator runs `detailedWarmupInsts` on the
+ * detailed core unmeasured (to re-warm pipeline-local state after a
+ * functional fast-forward), then measures `intervalInsts` in detail;
+ * the rest of the period executes on the functional emulator with
+ * cache and branch-predictor warming. The per-interval IPCs form the
+ * whole-run estimate with a CLT confidence interval.
+ */
+struct SamplingConfig
+{
+    bool enabled = false;
+
+    /** U: committed instructions measured in detail per period. */
+    std::uint64_t intervalInsts = 1000;
+
+    /**
+     * W: total committed instructions per sampling period (fast
+     * forward + detailed warm-up + measured interval). The defaults
+     * give a 10% detailed fraction — roughly an order of magnitude
+     * of speedup at <2% typical IPC error on the suite.
+     */
+    std::uint64_t periodInsts = 20000;
+
+    /**
+     * Detailed-mode (unmeasured) instructions run immediately before
+     * each measured interval, so ROB/IQ/MSHR occupancy and in-flight
+     * misses are realistic when measurement starts. Functional
+     * warming covers caches and the predictor; this burst covers the
+     * state functional warming cannot reconstruct.
+     */
+    std::uint64_t detailedWarmupInsts = 1000;
+
+    /** Instructions fast-forwarded functionally per period. */
+    std::uint64_t
+    ffInstsPerPeriod() const
+    {
+        std::uint64_t detailed = intervalInsts + detailedWarmupInsts;
+        return periodInsts > detailed ? periodInsts - detailed : 0;
+    }
+
+    /**
+     * Empty when the configuration is usable; otherwise a message
+     * naming the problem.
+     */
+    std::string
+    validate() const
+    {
+        if (!enabled)
+            return "";
+        if (intervalInsts == 0)
+            return "sampling interval must be > 0 instructions";
+        if (periodInsts < intervalInsts + detailedWarmupInsts)
+            return "sampling period must cover the detailed warm-up "
+                   "burst plus the measured interval";
+        return "";
+    }
+};
+
+} // namespace mlpwin
+
+#endif // MLPWIN_SAMPLE_SAMPLE_CONFIG_HH

@@ -1,0 +1,89 @@
+#include "sampling.hh"
+
+#include <cmath>
+
+namespace mlpwin
+{
+
+SamplingController::SamplingController(const SamplingConfig &cfg,
+                                       StatSet *stats)
+    : cfg_(cfg),
+      intervalsStat_(stats, "sample.intervals",
+                     "fully measured sampling intervals"),
+      ffInstsStat_(stats, "sample.ff_insts",
+                   "instructions fast-forwarded functionally"),
+      detailedInstsStat_(stats, "sample.detailed_insts",
+                         "instructions measured in detail"),
+      intervalLenStat_(stats, "sample.interval_insts",
+                       "configured measured-interval length (U)"),
+      periodLenStat_(stats, "sample.period_insts",
+                     "configured sampling period (W)"),
+      ipcMeanStat_(stats, "sample.ipc_mean",
+                   "sampled whole-run IPC estimate"),
+      ipcCi95Stat_(stats, "sample.ipc_ci95",
+                   "95% confidence half-width on the IPC estimate"),
+      ipcStddevStat_(stats, "sample.ipc_stddev",
+                     "per-interval IPC sample standard deviation")
+{
+    intervalLenStat_.set(static_cast<double>(cfg.intervalInsts));
+    periodLenStat_.set(static_cast<double>(cfg.periodInsts));
+}
+
+void
+SamplingController::recordInterval(std::uint64_t insts, Cycle cycles)
+{
+    if (cycles == 0)
+        return;
+    ipcSamples_.push_back(static_cast<double>(insts) /
+                          static_cast<double>(cycles));
+    ++intervalsStat_;
+    detailedInstsStat_ += insts;
+}
+
+double
+SamplingController::ipcMean() const
+{
+    if (ipcSamples_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : ipcSamples_)
+        sum += v;
+    return sum / static_cast<double>(ipcSamples_.size());
+}
+
+double
+SamplingController::ipcStddev() const
+{
+    std::size_t n = ipcSamples_.size();
+    if (n < 2)
+        return 0.0;
+    double mean = ipcMean();
+    double ss = 0.0;
+    for (double v : ipcSamples_)
+        ss += (v - mean) * (v - mean);
+    return std::sqrt(ss / static_cast<double>(n - 1));
+}
+
+double
+SamplingController::ipcCi95() const
+{
+    std::size_t n = ipcSamples_.size();
+    if (n < 2)
+        return 0.0;
+    return 1.96 * ipcStddev() / std::sqrt(static_cast<double>(n));
+}
+
+void
+SamplingController::finalize()
+{
+    // The configured lengths are re-published here as well: a
+    // measurement-window stats reset zeroes every stat, gauges
+    // included.
+    intervalLenStat_.set(static_cast<double>(cfg_.intervalInsts));
+    periodLenStat_.set(static_cast<double>(cfg_.periodInsts));
+    ipcMeanStat_.set(ipcMean());
+    ipcCi95Stat_.set(ipcCi95());
+    ipcStddevStat_.set(ipcStddev());
+}
+
+} // namespace mlpwin

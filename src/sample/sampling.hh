@@ -1,0 +1,80 @@
+/**
+ * @file
+ * SMARTS-style systematic-sampling estimator. The Simulator records
+ * one (instructions, cycles) pair per fully measured interval; the
+ * controller turns those into a whole-run IPC estimate with a CLT
+ * 95% confidence interval, and surfaces everything through the stats
+ * JSON (sample.* names) so batch pipelines can audit the sampling
+ * regime of every result.
+ */
+
+#ifndef MLPWIN_SAMPLE_SAMPLING_HH
+#define MLPWIN_SAMPLE_SAMPLING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "sample/sample_config.hh"
+
+namespace mlpwin
+{
+
+/** See file comment. */
+class SamplingController
+{
+  public:
+    /**
+     * @param cfg Sampling regime (validated by the Simulator).
+     * @param stats Stat registry for the sample.* gauges/counters
+     *        (may be nullptr).
+     */
+    SamplingController(const SamplingConfig &cfg, StatSet *stats);
+
+    /** Record one fully measured interval. */
+    void recordInterval(std::uint64_t insts, Cycle cycles);
+
+    /** Account instructions fast-forwarded between intervals. */
+    void
+    recordFastForward(std::uint64_t insts)
+    {
+        ffInsts_ += insts;
+        ffInstsStat_ += insts;
+    }
+
+    std::uint64_t intervals() const { return ipcSamples_.size(); }
+    std::uint64_t ffInsts() const { return ffInsts_; }
+
+    /** Mean of the per-interval IPCs (the whole-run estimate). */
+    double ipcMean() const;
+    /** Sample standard deviation of the per-interval IPCs. */
+    double ipcStddev() const;
+    /**
+     * Half-width of the CLT 95% confidence interval on the mean IPC
+     * (1.96 * s / sqrt(n)); 0 with fewer than two intervals, where
+     * no spread is observable.
+     */
+    double ipcCi95() const;
+
+    /** Publish the estimate into the sample.* gauges. */
+    void finalize();
+
+  private:
+    SamplingConfig cfg_;
+    std::vector<double> ipcSamples_;
+    std::uint64_t ffInsts_ = 0;
+
+    Counter intervalsStat_;
+    Counter ffInstsStat_;
+    Counter detailedInstsStat_;
+    Gauge intervalLenStat_;
+    Gauge periodLenStat_;
+    Gauge ipcMeanStat_;
+    Gauge ipcCi95Stat_;
+    Gauge ipcStddevStat_;
+};
+
+} // namespace mlpwin
+
+#endif // MLPWIN_SAMPLE_SAMPLING_HH

@@ -16,9 +16,12 @@
 #include "resize/controller.hh"
 #include "resize/level_table.hh"
 #include "runahead/runahead.hh"
+#include "sample/sample_config.hh"
 
 namespace mlpwin
 {
+
+class ArchCheckpoint;
 
 /** The evaluated processor models. */
 enum class ModelKind
@@ -114,6 +117,34 @@ struct SimConfig
      * data caches, predictors, and prefetcher tables.
      */
     std::uint64_t warmupInsts = 0;
+
+    /**
+     * Execute the warm-up phase on the functional emulator with
+     * cache/predictor warming (sample/fastforward.hh) instead of on
+     * the detailed core — orders of magnitude faster, with the same
+     * architectural state and near-identical cache/predictor contents
+     * at the measurement boundary. The CLI tools and the benchmark
+     * harness enable this; the default stays detailed so existing
+     * configurations measure exactly what they did before.
+     */
+    bool functionalWarmup = false;
+
+    /**
+     * SMARTS-style systematic sampling (see sample/sample_config.hh).
+     * When enabled, maxInsts bounds the *total* instructions executed
+     * after warm-up (fast-forwarded + detailed), and SimResult.ipc
+     * becomes the sampled estimate with a confidence interval.
+     */
+    SamplingConfig sampling;
+
+    /**
+     * Resume from an architectural checkpoint (not owned; must
+     * outlive the Simulator). The checkpoint's program hash must
+     * match the program, or the Simulator constructor throws
+     * SimError{InvalidArgument}. One checkpoint, being read-only
+     * here, may be shared by every cell of a sweep matrix.
+     */
+    const ArchCheckpoint *startCheckpoint = nullptr;
 
     /**
      * Run a lockstep architectural checker alongside the core: an

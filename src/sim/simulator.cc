@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "sample/fastforward.hh"
 #include "workloads/suite.hh"
 
 namespace mlpwin
@@ -103,6 +104,27 @@ Simulator::Simulator(const SimConfig &cfg, const Program &prog)
     if (cfg_.lockstepCheck) {
         checker_ = std::make_unique<LockstepChecker>(prog);
         core_->setChecker(checker_.get());
+    }
+    std::string sampling_err = cfg_.sampling.validate();
+    if (!sampling_err.empty())
+        throw SimError(ErrorCode::InvalidArgument, sampling_err);
+    if (cfg_.sampling.enabled)
+        sampling_ = std::make_unique<SamplingController>(cfg_.sampling,
+                                                         &stats_);
+    if (cfg_.startCheckpoint) {
+        const ArchCheckpoint &ck = *cfg_.startCheckpoint;
+        if (ck.programHash() != programHash(prog))
+            throw SimError(
+                ErrorCode::InvalidArgument,
+                "checkpoint (workload " + ck.workload() +
+                    ", inst " + std::to_string(ck.instCount()) +
+                    ") was taken from a different program than " +
+                    prog.name() + " (identity hash mismatch)");
+        ck.restoreMemory(fmem_);
+        core_->restoreArchState(ck.regs(), ck.pc(), ck.instCount());
+        if (checker_)
+            checker_->restoreState(ck.regs(), ck.pc(), ck.instCount(),
+                                   fmem_);
     }
 }
 
@@ -342,15 +364,53 @@ Simulator::runUntil(std::uint64_t committed_target)
     }
 }
 
-SimResult
-Simulator::run()
+std::uint64_t
+Simulator::fastForward(std::uint64_t n)
+{
+    if (n == 0 || core_->halted())
+        return 0;
+    mlpwin_assert(core_->readyForFastForward());
+    FastForwarder ff(core_->oracleForFastForward(), &mem_,
+                     &core_->predictorForWarming());
+    std::uint64_t done = ff.run(n);
+    if (checker_)
+        checker_->skip(done);
+    core_->resumeAfterFastForward();
+    return done;
+}
+
+void
+Simulator::drainPipeline()
+{
+    core_->setFetchPaused(true);
+    const Cycle window = watchdogWindow();
+    const Cycle limit = window ? window : 1'000'000;
+    const Cycle start = core_->cycle();
+    while (!core_->readyForFastForward() && !core_->halted()) {
+        stepCycle();
+        if (core_->cycle() - start > limit)
+            abortRun(ErrorCode::NoProgress,
+                     "pipeline drain toward a fast-forward boundary "
+                     "did not complete within " +
+                         std::to_string(limit) + " cycles");
+    }
+    core_->setFetchPaused(false);
+}
+
+PollutionStats
+Simulator::warmupPhase()
 {
     PollutionStats pollution_base;
 
     // Warm-up phase: execute unmeasured instructions, then zero every
     // statistic. Stands in for the paper's 16G-instruction skip.
+    // Sampled runs always warm up functionally — their whole premise
+    // is that detailed cycles are spent only where measured.
     if (cfg_.warmupInsts > 0 && !core_->halted()) {
-        runUntil(cfg_.warmupInsts);
+        if (cfg_.functionalWarmup || cfg_.sampling.enabled)
+            fastForward(cfg_.warmupInsts);
+        else
+            runUntil(core_->committedInsts() + cfg_.warmupInsts);
         stats_.resetAll();
         core_->resetMeasurement();
         resize_->resetMeasurement();
@@ -358,11 +418,95 @@ Simulator::run()
             sampler_->notifyReset(core_->cycle());
         pollution_base = mem_.l2().pollution();
     }
+    return pollution_base;
+}
 
+SimResult
+Simulator::run()
+{
+    if (cfg_.sampling.enabled)
+        return runSampled();
+
+    PollutionStats pollution_base = warmupPhase();
     std::uint64_t target = cfg_.maxInsts
         ? core_->committedInsts() + cfg_.maxInsts : 0;
     runUntil(target);
+    return collectResult(pollution_base);
+}
 
+SimResult
+Simulator::runSampled()
+{
+    const SamplingConfig &sc = cfg_.sampling;
+    PollutionStats pollution_base = warmupPhase();
+
+    // In sampled mode maxInsts bounds the total post-warm-up
+    // instructions, fast-forwarded and detailed together, so a
+    // sampled cell covers the same program region as a full-detail
+    // cell with the same budget.
+    const std::uint64_t budget = cfg_.maxInsts;
+    const std::uint64_t burst =
+        sc.detailedWarmupInsts + sc.intervalInsts;
+
+    while (!core_->halted()) {
+        std::uint64_t used =
+            sampling_->ffInsts() + core_->committedInsts();
+        if (budget && used >= budget)
+            break;
+        std::uint64_t remaining = budget ? budget - used : 0;
+        if (budget && remaining <= burst) {
+            // The tail cannot fit a warm-up burst plus a full
+            // interval; finish it in detail, unmeasured.
+            runUntil(core_->committedInsts() + remaining);
+            break;
+        }
+
+        std::uint64_t ff_len = sc.ffInstsPerPeriod();
+        if (budget)
+            ff_len = std::min(ff_len, remaining - burst);
+        if (ff_len) {
+            sampling_->recordFastForward(fastForward(ff_len));
+            if (core_->halted())
+                break;
+        }
+
+        // Detailed warm-up burst: unmeasured detailed execution that
+        // rebuilds the in-flight state (ROB/IQ/MSHR occupancy)
+        // functional warming cannot reconstruct.
+        runUntil(core_->committedInsts() + sc.detailedWarmupInsts);
+        if (core_->halted())
+            break;
+
+        const Cycle c0 = core_->cycle();
+        const std::uint64_t i0 = core_->committedInsts();
+        runUntil(i0 + sc.intervalInsts);
+        std::uint64_t insts = core_->committedInsts() - i0;
+        // A full interval may overshoot by up to commit-width-1
+        // instructions in its final cycle; the overshoot stays in the
+        // interval's own IPC. Short intervals (Halt mid-measurement)
+        // are discarded: they would bias the per-interval population.
+        if (insts >= sc.intervalInsts)
+            sampling_->recordInterval(insts, core_->cycle() - c0);
+
+        // Return to an architectural boundary so the next period can
+        // fast-forward. Drain cycles are outside the measured deltas.
+        drainPipeline();
+    }
+
+    sampling_->finalize();
+    SimResult r = collectResult(pollution_base);
+    r.sampled = true;
+    r.sampleIntervals = sampling_->intervals();
+    r.ffInsts = sampling_->ffInsts();
+    r.ipcCi95 = sampling_->ipcCi95();
+    if (r.sampleIntervals > 0)
+        r.ipc = sampling_->ipcMean();
+    return r;
+}
+
+SimResult
+Simulator::collectResult(const PollutionStats &pollution_base)
+{
     // End-of-run full-state verification: registers, PC, and the
     // complete sparse memory image. Only meaningful at Halt — before
     // that, committed stores may legitimately still sit in the store

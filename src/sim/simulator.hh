@@ -24,6 +24,8 @@
 #include "isa/program.hh"
 #include "mem/hierarchy.hh"
 #include "mem/main_memory.hh"
+#include "sample/checkpoint.hh"
+#include "sample/sampling.hh"
 #include "sim/sim_config.hh"
 #include "telemetry/sampler.hh"
 #include "telemetry/timeline.hh"
@@ -71,6 +73,22 @@ struct SimResult
      */
     std::uint64_t commitStreamHash = 0;
 
+    // --- sampled-simulation fields (sampled == true runs) -------------
+    /** True when this result came from a sampled run. */
+    bool sampled = false;
+    /** Fully measured sampling intervals behind the IPC estimate. */
+    std::uint64_t sampleIntervals = 0;
+    /** Instructions fast-forwarded functionally (excluded from
+     *  `committed`, which counts detailed-mode instructions only). */
+    std::uint64_t ffInsts = 0;
+    /**
+     * Half-width of the CLT 95% confidence interval on `ipc`. In a
+     * sampled run, `ipc` is the mean of the per-interval IPCs; the
+     * full-detail IPC is expected inside ipc +/- ipcCi95. Zero for
+     * unsampled runs and for runs with fewer than two intervals.
+     */
+    double ipcCi95 = 0.0;
+
     /** Committed instructions per committed mispredict (Table 5). */
     double
     instsPerMispredict() const
@@ -105,6 +123,24 @@ class Simulator
      * semantics as in run().
      */
     void runUntil(std::uint64_t committed_target);
+
+    /**
+     * Execute up to n instructions on the functional emulator with
+     * cache/predictor warming, from a drained pipeline (the core must
+     * satisfy readyForFastForward(); trivially true before the first
+     * cycle and after drainPipeline()). The lockstep checker, when
+     * attached, skips in lockstep so checking resumes seamlessly.
+     *
+     * @return Instructions actually executed (less than n at Halt).
+     */
+    std::uint64_t fastForward(std::uint64_t n);
+
+    /**
+     * Pause fetch and tick until nothing is in flight, leaving the
+     * core at an architectural boundary (readyForFastForward()), then
+     * re-allow fetch. Watchdog-bounded.
+     */
+    void drainPipeline();
 
     /**
      * Abort the run (SimError{Timeout}) once the wall clock passes
@@ -204,6 +240,15 @@ class Simulator
     /** Periodic (checkInterval) watchdog work; throws SimError. */
     void pollWatchdog(Cycle window);
 
+    /** The sampled-mode run loop (cfg.sampling.enabled). */
+    SimResult runSampled();
+
+    /** Warm-up phase shared by run() and runSampled(). */
+    PollutionStats warmupPhase();
+
+    /** End-of-run bookkeeping + SimResult assembly (both modes). */
+    SimResult collectResult(const PollutionStats &pollution_base);
+
     /** Throw a watchdog SimError with the diagnostic dump attached. */
     [[noreturn]] void abortRun(ErrorCode code,
                                const std::string &why) const;
@@ -222,6 +267,7 @@ class Simulator
     std::unique_ptr<ResizeController> resize_;
     std::unique_ptr<OooCore> core_;
     std::unique_ptr<LockstepChecker> checker_;
+    std::unique_ptr<SamplingController> sampling_;
     IntervalSampler *sampler_ = nullptr;
     EventTimeline *timeline_ = nullptr;
 

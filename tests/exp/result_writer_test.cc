@@ -65,6 +65,10 @@ fixtureResult()
     r.runaheadUseless = 11;
     // Deliberately above 2^53: must survive without a double trip.
     r.archRegChecksum = 16045690984833335023ULL;
+    r.sampled = true;
+    r.sampleIntervals = 97;
+    r.ffInsts = 1940000;
+    r.ipcCi95 = 0.0312499999999999;
     return r;
 }
 
@@ -111,6 +115,10 @@ expectEqualResults(const SimResult &a, const SimResult &b)
     EXPECT_EQ(a.runaheadEpisodes, b.runaheadEpisodes);
     EXPECT_EQ(a.runaheadUseless, b.runaheadUseless);
     EXPECT_EQ(a.archRegChecksum, b.archRegChecksum);
+    EXPECT_EQ(a.sampled, b.sampled);
+    EXPECT_EQ(a.sampleIntervals, b.sampleIntervals);
+    EXPECT_EQ(a.ffInsts, b.ffInsts);
+    EXPECT_EQ(a.ipcCi95, b.ipcCi95);
 }
 
 TEST(ResultWriterTest, JsonRoundTripsEveryField)
@@ -143,6 +151,22 @@ TEST(ResultWriterTest, GoldenFilePinsTheJsonlSchema)
     EXPECT_EQ(resultToJson(fixtureResult()), expected)
         << "JSONL schema changed; update tests/exp/data/"
            "golden_result.jsonl deliberately if so";
+}
+
+TEST(ResultWriterTest, ParserAcceptsPreSamplingRecords)
+{
+    // Records written before the sampling fields existed must still
+    // load, with the unsampled defaults.
+    std::string json = resultToJson(fixtureResult());
+    std::size_t cut = json.find(",\"sampled\":");
+    ASSERT_NE(cut, std::string::npos);
+    std::string old = json.substr(0, cut) + "}";
+    SimResult back = resultFromJson(old);
+    EXPECT_FALSE(back.sampled);
+    EXPECT_EQ(back.sampleIntervals, 0u);
+    EXPECT_EQ(back.ffInsts, 0u);
+    EXPECT_EQ(back.ipcCi95, 0.0);
+    EXPECT_EQ(back.cycles, fixtureResult().cycles);
 }
 
 TEST(ResultWriterTest, ParserRejectsGarbage)

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * ArchCheckpoint tests: program-identity hashing, byte-exact
+ * save/load round-trips, format rejection (magic, version,
+ * truncation), wrong-program rejection at Simulator construction,
+ * and end-to-end resume fidelity — a run resumed from a checkpoint
+ * commits the identical instruction stream (lockstep-checked) and
+ * halts with the identical architectural state and memory image as
+ * an unbroken run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "check/lockstep.hh"
+#include "emu/emulator.hh"
+#include "mem/main_memory.hh"
+#include "sample/checkpoint.hh"
+#include "sample/fastforward.hh"
+#include "sim/simulator.hh"
+#include "workloads/suite.hh"
+
+namespace mlpwin
+{
+namespace
+{
+
+/** Iterations giving runs of ~90k instructions (finite, halting). */
+constexpr std::uint64_t kIterations = 2000;
+/** Instruction count the checkpoints in these tests are taken at. */
+constexpr std::uint64_t kCkptInsts = 30000;
+
+/** Fast-forward a fresh emulator and capture at `insts`. */
+ArchCheckpoint
+makeCheckpoint(const std::string &workload, std::uint64_t iterations,
+               std::uint64_t insts)
+{
+    Program prog = findWorkload(workload).make(iterations);
+    MainMemory mem;
+    mem.loadProgram(prog);
+    Emulator emu(mem, prog.entry());
+    FastForwarder ff(emu, nullptr, nullptr);
+    EXPECT_EQ(ff.run(insts), insts);
+    return ArchCheckpoint::capture(emu, workload, programHash(prog));
+}
+
+TEST(ProgramHashTest, StableAndDiscriminating)
+{
+    Program a1 = findWorkload("gcc").make(kIterations);
+    Program a2 = findWorkload("gcc").make(kIterations);
+    Program b = findWorkload("mcf").make(kIterations);
+    Program a3 = findWorkload("gcc").make(kIterations + 1);
+    EXPECT_EQ(programHash(a1), programHash(a2));
+    EXPECT_NE(programHash(a1), programHash(b));
+    // Iteration count changes the generated code/data, so it must
+    // change the identity too.
+    EXPECT_NE(programHash(a1), programHash(a3));
+}
+
+TEST(ArchCheckpointTest, SaveLoadRoundTripIsByteIdentical)
+{
+    ArchCheckpoint ck =
+        makeCheckpoint("libquantum", kIterations, kCkptInsts);
+    std::ostringstream first;
+    ck.save(first);
+
+    std::istringstream in(first.str());
+    ArchCheckpoint back = ArchCheckpoint::load(in);
+    EXPECT_EQ(back.workload(), ck.workload());
+    EXPECT_EQ(back.programHash(), ck.programHash());
+    EXPECT_EQ(back.instCount(), ck.instCount());
+    EXPECT_EQ(back.pc(), ck.pc());
+    EXPECT_EQ(back.regs().checksum(), ck.regs().checksum());
+    EXPECT_EQ(back.numPages(), ck.numPages());
+
+    std::ostringstream second;
+    back.save(second);
+    EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(ArchCheckpointTest, LoadRejectsBadMagicVersionAndTruncation)
+{
+    ArchCheckpoint ck = makeCheckpoint("gcc", 100, 1000);
+    std::ostringstream os;
+    ck.save(os);
+    std::string bytes = os.str();
+
+    {
+        std::string bad = bytes;
+        bad[0] ^= 0xff;
+        std::istringstream in(bad);
+        try {
+            ArchCheckpoint::load(in);
+            FAIL() << "bad magic accepted";
+        } catch (const SimError &e) {
+            EXPECT_EQ(e.code(), ErrorCode::InvalidArgument);
+        }
+    }
+    {
+        std::string bad = bytes;
+        bad[8] = static_cast<char>(ArchCheckpoint::kVersion + 1);
+        std::istringstream in(bad);
+        try {
+            ArchCheckpoint::load(in);
+            FAIL() << "future version accepted";
+        } catch (const SimError &e) {
+            EXPECT_EQ(e.code(), ErrorCode::InvalidArgument);
+        }
+    }
+    {
+        std::istringstream in(bytes.substr(0, bytes.size() / 2));
+        try {
+            ArchCheckpoint::load(in);
+            FAIL() << "truncated file accepted";
+        } catch (const SimError &e) {
+            EXPECT_EQ(e.code(), ErrorCode::Io);
+        }
+    }
+}
+
+TEST(ArchCheckpointTest, SimulatorRejectsWrongProgramCheckpoint)
+{
+    ArchCheckpoint ck = makeCheckpoint("gcc", 100, 1000);
+    Program other = findWorkload("mcf").make(100);
+    SimConfig cfg;
+    cfg.startCheckpoint = &ck;
+    try {
+        Simulator sim(cfg, other);
+        FAIL() << "checkpoint from another program accepted";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::InvalidArgument);
+    }
+}
+
+/**
+ * The fidelity property: (A) an unbroken fully-detailed run, (B) an
+ * unbroken run whose first kCkptInsts are functionally fast-forwarded
+ * in-process, and (C) a run resumed from a saved-and-reloaded
+ * checkpoint at kCkptInsts must all halt with identical architectural
+ * state; B and C (which commit the same detailed suffix under the
+ * lockstep checker) must also agree on the commit-stream hash, and
+ * every final memory image must be identical page for page.
+ */
+TEST(ArchCheckpointTest, ResumeMatchesUnbrokenRun)
+{
+    const std::string workload = "gcc";
+    Program prog = findWorkload(workload).make(kIterations);
+
+    SimConfig cfg;
+    cfg.model = ModelKind::Resizing;
+    cfg.lockstepCheck = true;
+    cfg.maxInsts = 0; // to Halt
+
+    // A: fully detailed from instruction 0.
+    Simulator simA(cfg, prog);
+    SimResult a = simA.run();
+    ASSERT_TRUE(a.halted);
+
+    // B: functional fast-forward of the prefix, then detailed.
+    SimConfig cfgB = cfg;
+    cfgB.functionalWarmup = true;
+    cfgB.warmupInsts = kCkptInsts;
+    Simulator simB(cfgB, prog);
+    SimResult b = simB.run();
+    ASSERT_TRUE(b.halted);
+
+    // C: resumed from a checkpoint that went through save/load.
+    ArchCheckpoint fresh =
+        makeCheckpoint(workload, kIterations, kCkptInsts);
+    std::ostringstream os;
+    fresh.save(os);
+    std::istringstream is(os.str());
+    ArchCheckpoint ck = ArchCheckpoint::load(is);
+    SimConfig cfgC = cfg;
+    cfgC.startCheckpoint = &ck;
+    Simulator simC(cfgC, prog);
+    SimResult c = simC.run();
+    ASSERT_TRUE(c.halted);
+
+    // Identical final architectural state everywhere.
+    EXPECT_EQ(a.archRegChecksum, b.archRegChecksum);
+    EXPECT_EQ(a.archRegChecksum, c.archRegChecksum);
+
+    // B and C commit the identical detailed suffix, verified commit
+    // by commit against the lockstep reference.
+    EXPECT_NE(b.commitStreamHash, 0u);
+    EXPECT_EQ(b.commitStreamHash, c.commitStreamHash);
+    // Timing (cycles) legitimately differs: B's fast-forward warmed
+    // the caches and predictor in-process, while C resumes from pure
+    // architectural state with them cold. Architecture must agree.
+    EXPECT_EQ(b.committed, c.committed);
+
+    // Byte-identical final memory images.
+    EXPECT_TRUE(
+        diffMemoryImages(simA.memory(), simB.memory()).empty());
+    EXPECT_TRUE(
+        diffMemoryImages(simA.memory(), simC.memory()).empty());
+}
+
+} // namespace
+} // namespace mlpwin

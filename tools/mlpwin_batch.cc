@@ -78,6 +78,18 @@ usage()
         "                        (default 300000)\n"
         "  --warmup N            warm-up instructions (default "
         "100000)\n"
+        "  --no-functional-warmup\n"
+        "                        run warm-ups on the detailed core\n"
+        "                        instead of the functional emulator\n"
+        "  --ckpt-dir DIR        resume every cell from an\n"
+        "                        architectural checkpoint\n"
+        "                        DIR/<workload>.ckpt (see\n"
+        "                        mlpwin_ckpt --all)\n"
+        "  --sample-interval N   enable SMARTS sampling: measure N\n"
+        "                        instructions in detail per period\n"
+        "  --sample-period N     sampling period (default 20000)\n"
+        "  --detailed-warmup N   detailed pre-interval warm-up burst\n"
+        "                        (default 1000)\n"
         "  --no-warm-caches      start with cold I/D caches\n"
         "  --check               run every cell with the lockstep\n"
         "                        architectural checker attached\n"
@@ -174,7 +186,8 @@ main(int argc, char **argv)
     bool resume = false;
 
     exp::ExperimentSpec spec;
-    spec.base.warmupInsts = 100000;
+    spec.base.warmupInsts = kDefaultWarmupInsts;
+    spec.base.functionalWarmup = true;
     spec.base.warmDataCaches = true;
     spec.base.maxInsts = 300000;
 
@@ -215,6 +228,19 @@ main(int argc, char **argv)
             spec.base.maxInsts = numericFlag(arg, next());
         } else if (arg == "--warmup") {
             spec.base.warmupInsts = numericFlag(arg, next());
+        } else if (arg == "--no-functional-warmup") {
+            spec.base.functionalWarmup = false;
+        } else if (arg == "--ckpt-dir") {
+            spec.archCheckpointDir = next();
+        } else if (arg == "--sample-interval") {
+            spec.base.sampling.enabled = true;
+            spec.base.sampling.intervalInsts = numericFlag(arg, next());
+        } else if (arg == "--sample-period") {
+            spec.base.sampling.enabled = true;
+            spec.base.sampling.periodInsts = numericFlag(arg, next());
+        } else if (arg == "--detailed-warmup") {
+            spec.base.sampling.detailedWarmupInsts =
+                numericFlag(arg, next());
         } else if (arg == "--no-warm-caches") {
             spec.base.warmInstCaches = false;
             spec.base.warmDataCaches = false;

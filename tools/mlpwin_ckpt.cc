@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Architectural checkpoint tool: fast-forward a suite workload on the
+ * functional emulator and save its complete architectural state, so
+ * detailed or sampled runs (mlpwin --ckpt, mlpwin_batch --ckpt-dir)
+ * can resume at the checkpointed instruction without re-executing the
+ * prefix. Checkpoints are versioned and program-hash-stamped; see
+ * sample/checkpoint.hh for the format and version policy.
+ *
+ * Usage:
+ *   mlpwin_ckpt --workload mcf --insts 1000000 --out mcf.ckpt
+ *   mlpwin_ckpt --all --insts 1000000 --out-dir ckpts/
+ *   mlpwin_ckpt --info mcf.ckpt
+ *
+ * Exit code 0 on success; 2 on a usage error; 3 on an I/O or
+ * checkpoint-format error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/parse.hh"
+#include "common/status.hh"
+#include "mem/main_memory.hh"
+#include "sample/checkpoint.hh"
+#include "sample/fastforward.hh"
+#include "workloads/suite.hh"
+
+using namespace mlpwin;
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(stderr,
+        "usage: mlpwin_ckpt [options]\n"
+        "  -w, --workload NAME  workload to checkpoint\n"
+        "      --all            checkpoint every suite workload\n"
+        "      --insts N        instructions to fast-forward before\n"
+        "                       the snapshot (default 1000000)\n"
+        "      --iterations N   program-generator outer iterations\n"
+        "                       (default 2^40, as the batch driver)\n"
+        "      --out FILE       output file (with --workload)\n"
+        "      --out-dir DIR    output directory (with --all;\n"
+        "                       created if missing); files are\n"
+        "                       DIR/<workload>.ckpt\n"
+        "      --info FILE      print a checkpoint's header and exit\n"
+        "      --list           list suite workloads and exit\n");
+}
+
+std::uint64_t
+numericFlag(const std::string &flag, const char *value)
+{
+    std::uint64_t v = 0;
+    if (!parseU64(value, v)) {
+        std::fprintf(stderr, "%s: not a number: '%s'\n", flag.c_str(),
+                     value);
+        std::exit(2);
+    }
+    return v;
+}
+
+/** Fast-forward one workload and write its checkpoint. */
+void
+writeCheckpoint(const WorkloadSpec &spec, std::uint64_t insts,
+                std::uint64_t iterations, const std::string &path)
+{
+    Program prog = spec.make(iterations);
+    MainMemory mem;
+    mem.loadProgram(prog);
+    Emulator emu(mem, prog.entry());
+    // No cache/predictor warming: a checkpoint is pure architectural
+    // state, and the consumer re-warms microarchitecture per run.
+    FastForwarder ff(emu, nullptr, nullptr);
+    std::uint64_t done = ff.run(insts);
+    if (done < insts)
+        std::fprintf(stderr,
+                     "%s: halted after %llu of %llu instructions; "
+                     "checkpointing the halt state\n",
+                     spec.name.c_str(),
+                     static_cast<unsigned long long>(done),
+                     static_cast<unsigned long long>(insts));
+    ArchCheckpoint ck =
+        ArchCheckpoint::capture(emu, spec.name, programHash(prog));
+    ck.saveFile(path);
+    std::printf("%-12s %10llu insts  %4zu pages  -> %s\n",
+                spec.name.c_str(),
+                static_cast<unsigned long long>(ck.instCount()),
+                ck.numPages(), path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload;
+    std::string out_path;
+    std::string out_dir;
+    std::string info_path;
+    bool all = false;
+    std::uint64_t insts = 1000000;
+    std::uint64_t iterations = 1ULL << 40;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+
+        if (arg == "--list") {
+            for (const WorkloadSpec &w : spec2006Suite())
+                std::printf("%s\n", w.name.c_str());
+            return 0;
+        } else if (arg == "-w" || arg == "--workload") {
+            workload = next();
+        } else if (arg == "--all") {
+            all = true;
+        } else if (arg == "--insts") {
+            insts = numericFlag(arg, next());
+        } else if (arg == "--iterations") {
+            iterations = numericFlag(arg, next());
+        } else if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--out-dir") {
+            out_dir = next();
+        } else if (arg == "--info") {
+            info_path = next();
+        } else if (arg == "-h" || arg == "--help") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            usage();
+            return 2;
+        }
+    }
+
+    try {
+        if (!info_path.empty()) {
+            ArchCheckpoint ck = ArchCheckpoint::loadFile(info_path);
+            std::printf("workload      %s\n", ck.workload().c_str());
+            std::printf("version       %u\n", ArchCheckpoint::kVersion);
+            std::printf("program hash  %016llx\n",
+                        static_cast<unsigned long long>(
+                            ck.programHash()));
+            std::printf("insts         %llu\n",
+                        static_cast<unsigned long long>(
+                            ck.instCount()));
+            std::printf("pc            0x%llx\n",
+                        static_cast<unsigned long long>(ck.pc()));
+            std::printf("memory pages  %zu (%zu KiB)\n", ck.numPages(),
+                        ck.numPages() * MainMemory::kPageBytes / 1024);
+            return 0;
+        }
+
+        if (all) {
+            if (out_dir.empty()) {
+                std::fprintf(stderr, "--all requires --out-dir DIR\n");
+                return 2;
+            }
+            std::filesystem::create_directories(out_dir);
+            for (const WorkloadSpec &w : spec2006Suite())
+                writeCheckpoint(w, insts, iterations,
+                                out_dir + "/" + w.name + ".ckpt");
+            return 0;
+        }
+
+        if (workload.empty() || out_path.empty()) {
+            usage();
+            return 2;
+        }
+        const WorkloadSpec *spec = tryFindWorkload(workload);
+        if (!spec) {
+            std::fprintf(stderr,
+                         "unknown workload: %s\nvalid names: %s\n",
+                         workload.c_str(),
+                         suiteWorkloadNames().c_str());
+            return 2;
+        }
+        writeCheckpoint(*spec, insts, iterations, out_path);
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 3;
+    }
+    return 0;
+}

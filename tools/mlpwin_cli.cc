@@ -49,6 +49,21 @@ usage()
         "(default 300000)\n"
         "      --warmup N         warm-up instructions "
         "(default 100000)\n"
+        "      --no-functional-warmup\n"
+        "                         run the warm-up on the detailed\n"
+        "                         core instead of the functional\n"
+        "                         emulator (slower; pre-sampling\n"
+        "                         behaviour)\n"
+        "      --ckpt FILE        resume from an architectural\n"
+        "                         checkpoint (see mlpwin_ckpt)\n"
+        "      --sample-interval N\n"
+        "                         enable SMARTS sampling: measure N\n"
+        "                         instructions in detail per period\n"
+        "      --sample-period N  sampling period (fast-forward +\n"
+        "                         warm-up + interval; default 20000)\n"
+        "      --detailed-warmup N\n"
+        "                         detailed pre-interval warm-up burst\n"
+        "                         (default 1000)\n"
         "      --no-warm-caches   start with cold I/D caches\n"
         "      --mem-latency N    DRAM minimum latency, cycles\n"
         "      --penalty N        level-transition penalty, cycles\n"
@@ -121,7 +136,8 @@ main(int argc, char **argv)
     SimConfig cfg;
     cfg.model = ModelKind::Base;
     cfg.fixedLevel = 3;
-    cfg.warmupInsts = 100000;
+    cfg.warmupInsts = kDefaultWarmupInsts;
+    cfg.functionalWarmup = true;
     cfg.warmDataCaches = true;
     cfg.maxInsts = 300000;
     bool dump_stats = false;
@@ -130,6 +146,7 @@ main(int argc, char **argv)
     std::string telemetry_path;
     std::string timeline_path;
     std::string stats_json_path;
+    std::string ckpt_path;
     Cycle telemetry_interval = kDefaultTelemetryInterval;
 
     for (int i = 1; i < argc; ++i) {
@@ -167,6 +184,18 @@ main(int argc, char **argv)
             cfg.maxInsts = numericFlag(arg, next());
         } else if (arg == "--warmup") {
             cfg.warmupInsts = numericFlag(arg, next());
+        } else if (arg == "--no-functional-warmup") {
+            cfg.functionalWarmup = false;
+        } else if (arg == "--ckpt") {
+            ckpt_path = next();
+        } else if (arg == "--sample-interval") {
+            cfg.sampling.enabled = true;
+            cfg.sampling.intervalInsts = numericFlag(arg, next());
+        } else if (arg == "--sample-period") {
+            cfg.sampling.enabled = true;
+            cfg.sampling.periodInsts = numericFlag(arg, next());
+        } else if (arg == "--detailed-warmup") {
+            cfg.sampling.detailedWarmupInsts = numericFlag(arg, next());
         } else if (arg == "--no-warm-caches") {
             cfg.warmInstCaches = false;
             cfg.warmDataCaches = false;
@@ -246,7 +275,25 @@ main(int argc, char **argv)
     }
     const WorkloadSpec &spec = *wspec;
     Program prog = spec.make(1ull << 40);
-    Simulator sim(cfg, prog);
+    std::unique_ptr<ArchCheckpoint> ckpt;
+    if (!ckpt_path.empty()) {
+        try {
+            ckpt = std::make_unique<ArchCheckpoint>(
+                ArchCheckpoint::loadFile(ckpt_path));
+        } catch (const SimError &e) {
+            std::fprintf(stderr, "--ckpt: %s\n", e.what());
+            return 2;
+        }
+        cfg.startCheckpoint = ckpt.get();
+    }
+    std::unique_ptr<Simulator> simp;
+    try {
+        simp = std::make_unique<Simulator>(cfg, prog);
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+    Simulator &sim = *simp;
     std::unique_ptr<PipelineTracer> tracer;
     if (trace_mask) {
         tracer = std::make_unique<PipelineTracer>(std::cerr,
@@ -316,7 +363,16 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(r.committed));
     std::printf("cycles              %llu\n",
                 static_cast<unsigned long long>(r.cycles));
-    std::printf("IPC                 %.4f\n", r.ipc);
+    if (r.sampled) {
+        std::printf("IPC                 %.4f +/- %.4f (95%% CI, "
+                    "%llu intervals)\n",
+                    r.ipc, r.ipcCi95,
+                    static_cast<unsigned long long>(r.sampleIntervals));
+        std::printf("fast-forwarded      %llu insts (functional)\n",
+                    static_cast<unsigned long long>(r.ffInsts));
+    } else {
+        std::printf("IPC                 %.4f\n", r.ipc);
+    }
     std::printf("avg load latency    %.1f cycles\n", r.avgLoadLatency);
     std::printf("observed MLP        %.2f\n", r.observedMlp);
     std::printf("L2 demand misses    %llu\n",
