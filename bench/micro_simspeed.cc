@@ -10,6 +10,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <fstream>
+
 #include "branch/predictor.hh"
 #include "common/bench_util.hh"
 #include "emu/emulator.hh"
@@ -211,6 +215,98 @@ BM_BranchPredict(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 
+// ---------------------------------------------------------------------
+// --bench-json: one-shot summary for CI artifacts
+// ---------------------------------------------------------------------
+
+/** Wall-clock seconds spent in f(). */
+template <typename F>
+double
+timeSeconds(F &&f)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    f();
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/**
+ * Measure the headline throughput numbers directly (no
+ * google-benchmark repetition machinery — CI wants one cheap,
+ * robust datapoint per build, not a statistics run) and write them
+ * as a small JSON object: detailed-core MIPS, functional-emulation
+ * MIPS, the SMARTS sampling wall-clock speedup on a fig07-style
+ * cell, and the 2-thread SMT detailed MIPS.
+ */
+int
+writeBenchJson(const char *path)
+{
+    // Detailed-core simulation speed (gcc, base model).
+    SimConfig det = benchConfig(ModelKind::Base, 1);
+    det.warmupInsts = 0;
+    det.maxInsts = 100000;
+    SimResult det_r;
+    double det_s = timeSeconds(
+        [&] { det_r = runWorkload("gcc", det, kForever); });
+    double detailed_mips = static_cast<double>(det_r.committed) /
+                           det_s / 1e6;
+
+    // Functional fast-forward speed (emulator + warming).
+    const WorkloadSpec &spec = findWorkload("gcc");
+    Program prog = spec.make(kForever);
+    MainMemory mem;
+    mem.loadProgram(prog);
+    Emulator emu(mem, prog.entry());
+    StatSet stats;
+    CacheHierarchy hier(MemSystemConfig{}, &stats);
+    BranchPredictor bp(BranchPredictorConfig{}, nullptr);
+    FastForwarder ff(emu, &hier, &bp);
+    constexpr std::uint64_t kFfInsts = 2'000'000;
+    double ff_s = timeSeconds([&] { ff.run(kFfInsts); });
+    double functional_mips =
+        static_cast<double>(kFfInsts) / ff_s / 1e6;
+
+    // Sampling speedup on a fig07-style cell (resizing, 300k insts).
+    SimConfig cell = benchConfig(ModelKind::Resizing, 1);
+    cell.maxInsts = 300000;
+    double full_s = timeSeconds(
+        [&] { runWorkload("gcc", cell, kForever); });
+    cell.sampling.enabled = true; // default 1000/20000/1000 regime
+    double samp_s = timeSeconds(
+        [&] { runWorkload("gcc", cell, kForever); });
+    double sampled_speedup = samp_s > 0.0 ? full_s / samp_s : 0.0;
+
+    // 2-thread SMT cell (mem-bound + compute-bound co-schedule).
+    SimConfig smt = benchConfig(ModelKind::Base, 1);
+    smt.warmupInsts = 0;
+    smt.maxInsts = 100000;
+    smt.core.smt.nThreads = 2;
+    smt.core.smt.partitionPolicy = PartitionPolicy::MlpAware;
+    SimResult smt_r;
+    double smt_s = timeSeconds(
+        [&] { smt_r = runWorkload("mcf+gcc", smt, kForever); });
+    double smt_detailed_mips =
+        static_cast<double>(smt_r.committed) / smt_s / 1e6;
+
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "cannot open %s for writing\n", path);
+        return 1;
+    }
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "{\"bench\":\"micro_simspeed\","
+                  "\"detailed_mips\":%.4f,"
+                  "\"functional_mips\":%.4f,"
+                  "\"sampled_speedup\":%.2f,"
+                  "\"smt_detailed_mips\":%.4f}\n",
+                  detailed_mips, functional_mips, sampled_speedup,
+                  smt_detailed_mips);
+    os << buf;
+    std::printf("%s", buf);
+    return 0;
+}
+
 } // namespace
 
 BENCHMARK(BM_SimGccBase)->Unit(benchmark::kMillisecond);
@@ -228,4 +324,19 @@ BENCHMARK(BM_FunctionalFastForward);
 BENCHMARK(BM_CacheLookupHit);
 BENCHMARK(BM_BranchPredict);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // --bench-json FILE: skip the google-benchmark run and write the
+    // one-shot throughput summary instead (the CI artifact path).
+    for (int i = 1; i + 1 < argc; ++i)
+        if (!std::strcmp(argv[i], "--bench-json"))
+            return writeBenchJson(argv[i + 1]);
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

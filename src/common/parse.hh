@@ -47,6 +47,22 @@ parseUnsigned(const char *s, unsigned &out)
     return true;
 }
 
+/**
+ * parseUnsigned additionally requiring lo <= value <= hi (both
+ * inclusive); out is untouched on a range violation, so range checks
+ * on flags like --threads fail as loudly as syntax errors do.
+ */
+inline bool
+parseBoundedUnsigned(const char *s, unsigned lo, unsigned hi,
+                     unsigned &out)
+{
+    unsigned v = 0;
+    if (!parseUnsigned(s, v) || v < lo || v > hi)
+        return false;
+    out = v;
+    return true;
+}
+
 } // namespace mlpwin
 
 #endif // MLPWIN_COMMON_PARSE_HH

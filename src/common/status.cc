@@ -63,7 +63,8 @@ DiagnosticDump::toJson() const
        << ",\"dramBacklog\":" << fmtU64(dramBacklog)
        << ",\"fetchHalted\":" << (fetchHalted ? "true" : "false");
     if (hasDivergence) {
-        os << ",\"divergenceCommit\":" << fmtU64(divergenceCommit)
+        os << ",\"divergenceThread\":" << divergenceThread
+           << ",\"divergenceCommit\":" << fmtU64(divergenceCommit)
            << ",\"divergencePc\":" << fmtU64(divergencePc)
            << ",\"divergenceField\":\"" << jsonEscape(divergenceField)
            << '"'
@@ -109,7 +110,8 @@ DiagnosticDump::pretty() const
        << "  fetch halted     " << (fetchHalted ? "yes" : "no")
        << '\n';
     if (hasDivergence) {
-        os << "  divergence       commit #" << divergenceCommit
+        os << "  divergence       thread " << divergenceThread
+           << " commit #" << divergenceCommit
            << " pc 0x" << std::hex << divergencePc << std::dec << "  "
            << divergenceInst << '\n'
            << "    field " << divergenceField << ": expected 0x"

@@ -98,6 +98,8 @@ struct DiagnosticDump
     // --- lockstep-checker divergence (ArchDivergence aborts) ----------
     /** True when the fields below describe a checker divergence. */
     bool hasDivergence = false;
+    /** Hardware thread whose commit stream diverged (0 if 1-thread). */
+    unsigned divergenceThread = 0;
     /** Zero-based index of the divergent commit in the commit stream. */
     std::uint64_t divergenceCommit = 0;
     /** PC of the divergent instruction. */

@@ -9,15 +9,51 @@
 namespace mlpwin
 {
 
+std::vector<std::unique_ptr<ThreadContext>>
+OooCore::makeThreads(const CoreConfig &cfg,
+                     const std::vector<SmtThreadSpec> &specs,
+                     StatSet *stats,
+                     const BranchPredictorConfig &bp_cfg)
+{
+    mlpwin_assert(!specs.empty() &&
+                  specs.size() <= kMaxSmtThreads &&
+                  specs.size() == cfg.smt.nThreads);
+    std::vector<std::unique_ptr<ThreadContext>> threads;
+    threads.reserve(specs.size());
+    for (unsigned tid = 0; tid < specs.size(); ++tid) {
+        mlpwin_assert(specs[tid].fmem && specs[tid].prog);
+        // Stat names are per-core, so only thread 0's branch
+        // predictor registers; co-runner predictors are private but
+        // unregistered.
+        threads.push_back(std::make_unique<ThreadContext>(
+            tid, *specs[tid].fmem, *specs[tid].prog, cfg.smt,
+            tid == 0 ? stats : nullptr, bp_cfg));
+    }
+    return threads;
+}
+
 OooCore::OooCore(const CoreConfig &cfg, ResizeController &resize,
                  CacheHierarchy &mem, MainMemory &fmem,
                  const Program &prog, StatSet *stats,
                  const RunaheadConfig &ra,
                  const BranchPredictorConfig &bp_cfg)
-    : cfg_(cfg), resize_(resize), mem_(mem), fmem_(fmem), raCfg_(ra),
-      bp_(bp_cfg, stats),
-      oracle_(fmem, prog.entry()),
-      fetchPc_(prog.entry()),
+    : OooCore(cfg, &resize, nullptr, mem,
+              std::vector<SmtThreadSpec>{{&fmem, &prog}}, stats, ra,
+              bp_cfg)
+{
+}
+
+OooCore::OooCore(const CoreConfig &cfg, ResizeController *resize,
+                 SmtPartitionController *partition,
+                 CacheHierarchy &mem,
+                 const std::vector<SmtThreadSpec> &specs,
+                 StatSet *stats, const RunaheadConfig &ra,
+                 const BranchPredictorConfig &bp_cfg)
+    : cfg_(cfg), resize_(resize), partition_(partition), mem_(mem),
+      raCfg_(ra),
+      threads_(makeThreads(cfg_, specs, stats, bp_cfg)),
+      smtActive_(threads_.size() > 1),
+      fetchEngine_(cfg_.smt),
       intMulDivFree_(cfg.numIntMulDiv, 0),
       fpMulDivFree_(cfg.numFpMulDiv, 0),
       fetched_(stats, "core.fetched", "instructions fetched"),
@@ -50,7 +86,14 @@ OooCore::OooCore(const CoreConfig &cfg, ResizeController &resize,
       loadLatency_(stats, "core.load_latency",
                    "committed load latency, issue to data (cycles)")
 {
-    renameMap_.fill(kNoProducer);
+    // Exactly one controller: resize for single thread, partition for
+    // SMT (it owns the per-thread level state and the shared budget).
+    mlpwin_assert(smtActive_ ? (partition_ && !resize_)
+                             : (resize_ && !partition_));
+    if (partition_)
+        mlpwin_assert(partition_->nThreads() == threads_.size());
+    fetchStates_.resize(threads_.size());
+    partitionInputs_.resize(threads_.size());
 }
 
 void
@@ -62,39 +105,49 @@ OooCore::resetMeasurement()
     iqSizeCycles_ = 0;
     robSizeCycles_ = 0;
     lsqSizeCycles_ = 0;
+    for (auto &t : threads_) {
+        t->committedMeasured = 0;
+        t->mlpOverlapSum = 0.0;
+        t->mlpActiveCycles = 0;
+    }
 }
 
 void
 OooCore::resumeAfterFastForward()
 {
+    mlpwin_assert(!smtActive_);
     mlpwin_assert(readyForFastForward());
-    committedTotal_ = oracle_.instCount();
-    fetchPc_ = oracle_.pc();
-    if (oracle_.halted()) {
+    ThreadContext &t = *threads_[0];
+    t.committedTotal = t.oracle.instCount();
+    t.fetchPc = t.oracle.pc();
+    if (t.oracle.halted()) {
         // The program's Halt was consumed functionally; the run is
         // architecturally complete.
+        t.halted = true;
         halted_ = true;
-        fetchHalted_ = true;
+        t.fetchHalted = true;
     }
-    fetchWaitBranch_ = false;
-    shadowStores_.clear();
+    t.fetchWaitBranch = false;
+    t.shadowStores.clear();
     // The fast-forward is outside simulated time: the front end
     // starts the next interval clean, with no stale redirect or
     // I-cache busy window carried across the boundary.
-    redirectAt_ = 0;
-    icacheBusyUntil_ = 0;
-    lastFetchLine_ = kNoAddr;
+    t.redirectAt = 0;
+    t.icacheBusyUntil = 0;
+    t.lastFetchLine = kNoAddr;
 }
 
 void
 OooCore::restoreArchState(const RegFile &regs, Addr pc,
                           std::uint64_t inst_count)
 {
-    mlpwin_assert(cycle_ == 0 && window_.empty() &&
-                  fetchQueue_.empty());
-    oracle_.restoreState(regs, pc, inst_count);
-    committedTotal_ = inst_count;
-    fetchPc_ = pc;
+    mlpwin_assert(!smtActive_);
+    ThreadContext &t = *threads_[0];
+    mlpwin_assert(cycle_ == 0 && t.window.empty() &&
+                  t.fetchQueue.empty());
+    t.oracle.restoreState(regs, pc, inst_count);
+    t.committedTotal = inst_count;
+    t.fetchPc = pc;
 }
 
 // ---------------------------------------------------------------------
@@ -109,17 +162,46 @@ OooCore::findInst(InstSeqNum seq)
 }
 
 unsigned
-OooCore::iqDepthEff() const
+OooCore::iqDepthEff(const ThreadContext &t) const
 {
-    return cfg_.pipelinePenalties ? resize_.current().iqDepth : 1;
+    return cfg_.pipelinePenalties ? levelFor(t).iqDepth : 1;
 }
 
 unsigned
-OooCore::mispredictRedirectPenalty() const
+OooCore::mispredictRedirectPenalty(const ThreadContext &t) const
 {
     unsigned extra = cfg_.pipelinePenalties
-        ? resize_.current().extraMispredictPenalty() : 0;
+        ? levelFor(t).extraMispredictPenalty() : 0;
     return cfg_.mispredictPenalty + extra;
+}
+
+bool
+OooCore::allHalted() const
+{
+    for (const auto &t : threads_) {
+        if (!t->halted)
+            return false;
+    }
+    return true;
+}
+
+bool
+OooCore::globalRoomFor(const DynInst &d, bool needs_iq) const
+{
+    const ResourceLevel &cap = partition_->budget();
+    unsigned rob = 0, iq = 0, lsq = 0;
+    for (const auto &t : threads_) {
+        rob += static_cast<unsigned>(t->window.size());
+        iq += t->iqOcc;
+        lsq += t->lsqOcc;
+    }
+    if (rob >= cap.robSize)
+        return false;
+    if (needs_iq && iq >= cap.iqSize)
+        return false;
+    if (d.si.isMem() && lsq >= cap.lsqSize)
+        return false;
+    return true;
 }
 
 void
@@ -135,7 +217,7 @@ OooCore::setupSources(DynInst &d)
 }
 
 bool
-OooCore::srcReady(DynInst &d, unsigned i, bool &inv)
+OooCore::srcReady(ThreadContext &t, DynInst &d, unsigned i, bool &inv)
 {
     if (d.srcDone[i]) {
         inv |= d.srcInv[i];
@@ -156,7 +238,7 @@ OooCore::srcReady(DynInst &d, unsigned i, bool &inv)
             // else: producer retired (committed or pseudo-retired);
             // the value is architectural.
         }
-        if (!src_inv && inRunahead_ && inv_.regInv(r))
+        if (!src_inv && t.inRunahead && t.inv.regInv(r))
             src_inv = true;
     }
     d.srcDone[i] = true;
@@ -170,9 +252,9 @@ OooCore::srcReady(DynInst &d, unsigned i, bool &inv)
 // ---------------------------------------------------------------------
 
 bool
-OooCore::maybeMoveToWib(DynInst &inst)
+OooCore::maybeMoveToWib(ThreadContext &t, DynInst &inst)
 {
-    if (!cfg_.wibEnabled || wibOcc_ >= cfg_.wibSize)
+    if (!cfg_.wibEnabled || t.wibOcc >= cfg_.wibSize)
         return false;
 
     for (unsigned i = 0; i < 2; ++i) {
@@ -191,11 +273,11 @@ OooCore::maybeMoveToWib(DynInst &inst)
             continue;
 
         inst.inIq = false;
-        --iqOcc_;
+        --t.iqOcc;
         inst.inWib = true;
         inst.wibBlockedOn = prod->seq;
-        ++wibOcc_;
-        wibWaiters_[prod->seq].push_back(inst.seq);
+        ++t.wibOcc;
+        t.wibWaiters[prod->seq].push_back(inst.seq);
         ++wibMoves_;
         return true;
     }
@@ -203,15 +285,15 @@ OooCore::maybeMoveToWib(DynInst &inst)
 }
 
 void
-OooCore::wakeWibWaiters(const DynInst &completed)
+OooCore::wakeWibWaiters(ThreadContext &t, const DynInst &completed)
 {
-    auto it = wibWaiters_.find(completed.seq);
-    if (it == wibWaiters_.end())
+    auto it = t.wibWaiters.find(completed.seq);
+    if (it == t.wibWaiters.end())
         return;
     Cycle when = cycle_ + cfg_.wibReinsertDelay;
     for (InstSeqNum seq : it->second)
-        wibReady_.push_back({when, seq});
-    wibWaiters_.erase(it);
+        t.wibReady.push_back({when, seq});
+    t.wibWaiters.erase(it);
 }
 
 void
@@ -219,26 +301,30 @@ OooCore::wibReinsertStage()
 {
     if (!cfg_.wibEnabled)
         return;
-    unsigned n = 0;
-    while (n < cfg_.wibReinsertWidth && !wibReady_.empty() &&
-           wibReady_.front().first <= cycle_) {
-        InstSeqNum seq = wibReady_.front().second;
-        DynInst *inst = findInst(seq);
-        if (!inst || !inst->inWib) {
-            wibReady_.pop_front(); // Squashed or stale.
-            continue;
+    unsigned nt = nThreads();
+    for (unsigned k = 0; k < nt; ++k) {
+        ThreadContext &t = *threads_[(cycle_ + k) % nt];
+        unsigned n = 0;
+        while (n < cfg_.wibReinsertWidth && !t.wibReady.empty() &&
+               t.wibReady.front().first <= cycle_) {
+            InstSeqNum seq = t.wibReady.front().second;
+            DynInst *inst = findInst(seq);
+            if (!inst || !inst->inWib) {
+                t.wibReady.pop_front(); // Squashed or stale.
+                continue;
+            }
+            if (t.iqOcc >= levelFor(t).iqSize)
+                break; // IQ full: retry next cycle.
+            t.wibReady.pop_front();
+            inst->inWib = false;
+            inst->wibBlockedOn = kNoProducer;
+            --t.wibOcc;
+            inst->inIq = true;
+            ++t.iqOcc;
+            iqList_.push_back(inst);
+            ++wibReinserts_;
+            ++n;
         }
-        if (iqOcc_ >= resize_.current().iqSize)
-            break; // IQ full: retry next cycle.
-        wibReady_.pop_front();
-        inst->inWib = false;
-        inst->wibBlockedOn = kNoProducer;
-        --wibOcc_;
-        inst->inIq = true;
-        ++iqOcc_;
-        iqList_.push_back(inst);
-        ++wibReinserts_;
-        ++n;
     }
 }
 
@@ -291,10 +377,10 @@ OooCore::acquireFu(const StaticInst &si)
 }
 
 bool
-OooCore::storeBufferMatch(Addr addr) const
+OooCore::storeBufferMatch(const ThreadContext &t, Addr addr) const
 {
     Addr a8 = addr & ~Addr(7);
-    for (const PendingStore &s : storeBuffer_) {
+    for (const PendingStore &s : t.storeBuffer) {
         if ((s.addr & ~Addr(7)) == a8)
             return true;
     }
@@ -306,7 +392,7 @@ OooCore::storeBufferMatch(Addr addr) const
 // ---------------------------------------------------------------------
 
 void
-OooCore::buildShadowRecord(DynInst &d)
+OooCore::buildShadowRecord(ThreadContext &t, DynInst &d)
 {
     const StaticInst &si = d.si;
     ExecRecord rec;
@@ -314,24 +400,24 @@ OooCore::buildShadowRecord(DynInst &d)
     rec.pc = d.pc;
     rec.nextPc = d.pc + kInstBytes;
 
-    RegVal a = shadowRegs_.read(si.rs1);
-    RegVal b = shadowRegs_.read(si.rs2);
+    RegVal a = t.shadowRegs.read(si.rs1);
+    RegVal b = t.shadowRegs.read(si.rs2);
 
     if (si.isLoad()) {
         Addr addr = a + static_cast<std::int64_t>(si.imm);
         rec.memAddr = addr;
-        auto it = shadowStores_.find(addr & ~Addr(7));
-        RegVal v = it != shadowStores_.end() ? it->second
-                                             : fmem_.readU64(addr);
+        auto it = t.shadowStores.find(addr & ~Addr(7));
+        RegVal v = it != t.shadowStores.end() ? it->second
+                                              : t.fmem.readU64(addr);
         rec.result = v;
-        shadowRegs_.write(si.rd, v);
+        t.shadowRegs.write(si.rd, v);
     } else if (si.isStore()) {
         Addr addr = a + static_cast<std::int64_t>(si.imm);
         rec.memAddr = addr;
         rec.storeData = b;
-        shadowStores_[addr & ~Addr(7)] = b;
+        t.shadowStores[addr & ~Addr(7)] = b;
     } else if (si.isControl()) {
-        BranchPrediction pred = bp_.predict(d.pc, si);
+        BranchPrediction pred = t.bp.predict(d.pc, si);
         d.predTaken = pred.taken;
         d.predTarget = pred.target;
         d.histSnapshot = pred.historySnapshot;
@@ -339,36 +425,37 @@ OooCore::buildShadowRecord(DynInst &d)
         rec.nextPc = pred.taken ? pred.target : d.pc + kInstBytes;
         if (si.isJal() || si.isJalr()) {
             rec.result = d.pc + kInstBytes;
-            shadowRegs_.write(si.rd, rec.result);
+            t.shadowRegs.write(si.rd, rec.result);
         }
     } else if (!si.isNop()) {
         rec.result = evalOp(si.op, a, b, si.imm);
-        shadowRegs_.write(si.rd, rec.result);
+        t.shadowRegs.write(si.rd, rec.result);
     }
 
     d.rec = rec;
-    fetchPc_ = rec.nextPc;
+    t.fetchPc = rec.nextPc;
 }
 
 bool
-OooCore::fetchOne()
+OooCore::fetchOne(ThreadContext &t)
 {
     DynInst d;
     d.seq = nextSeq_++;
+    d.tid = static_cast<std::uint8_t>(t.tid);
     d.fetchCycle = cycle_;
-    d.wrongPath = onWrongPath_;
+    d.wrongPath = t.onWrongPath;
     bool keep_fetching = true;
 
-    if (!onWrongPath_) {
-        d.rec = oracle_.step();
+    if (!t.onWrongPath) {
+        d.rec = t.oracle.step();
         d.si = d.rec.inst;
         d.pc = d.rec.pc;
 
         if (d.si.isHalt()) {
-            fetchHalted_ = true;
+            t.fetchHalted = true;
             keep_fetching = false;
         } else if (d.si.isControl()) {
-            BranchPrediction pred = bp_.predict(d.pc, d.si);
+            BranchPrediction pred = t.bp.predict(d.pc, d.si);
             d.predTaken = pred.taken;
             d.predTarget = pred.target;
             d.histSnapshot = pred.historySnapshot;
@@ -377,28 +464,28 @@ OooCore::fetchOne()
             if (pred_next != d.rec.nextPc) {
                 d.mispredicted = true;
                 if (cfg_.wrongPathExecution) {
-                    onWrongPath_ = true;
-                    shadowRegs_ = oracle_.regs();
-                    shadowStores_.clear();
-                    fetchPc_ = pred_next;
+                    t.onWrongPath = true;
+                    t.shadowRegs = t.oracle.regs();
+                    t.shadowStores.clear();
+                    t.fetchPc = pred_next;
                 } else {
-                    fetchWaitBranch_ = true;
+                    t.fetchWaitBranch = true;
                     keep_fetching = false;
                 }
             } else {
-                fetchPc_ = d.rec.nextPc;
+                t.fetchPc = d.rec.nextPc;
             }
             if (pred.taken)
                 keep_fetching = false; // Can't fetch past a taken br.
         } else {
-            fetchPc_ = d.rec.nextPc;
+            t.fetchPc = d.rec.nextPc;
         }
     } else {
-        d.pc = fetchPc_;
-        d.si = decodeInst(fmem_.readU64(fetchPc_));
+        d.pc = t.fetchPc;
+        d.si = decodeInst(t.fmem.readU64(t.fetchPc));
         if (d.si.isHalt())
             d.si = StaticInst{}; // Wrong-path Halt flows as a Nop.
-        buildShadowRecord(d);
+        buildShadowRecord(t, d);
         if (d.si.isControl() && d.predTaken)
             keep_fetching = false;
     }
@@ -406,39 +493,71 @@ OooCore::fetchOne()
     setupSources(d);
     ++fetched_;
     trace(TraceCategory::Fetch, d);
-    fetchQueue_.push_back(std::move(d));
+    t.fetchQueue.push_back(std::move(d));
     return keep_fetching;
+}
+
+void
+OooCore::fetchThread(ThreadContext &t)
+{
+    for (unsigned slot = 0; slot < cfg_.fetchWidth; ++slot) {
+        if (t.fetchQueue.size() >= cfg_.fetchQueueSize)
+            break;
+
+        Addr line = mem_.l1i().lineAddr(t.addrBase + t.fetchPc);
+        if (line != t.lastFetchLine) {
+            Provenance prov = t.onWrongPath ? Provenance::WrongPath
+                                            : Provenance::CorrPath;
+            MemAccessResult res =
+                mem_.ifetch(t.addrBase + t.fetchPc, cycle_, prov);
+            if (!res.accepted)
+                break;
+            t.lastFetchLine = line;
+            if (res.doneAt > cycle_ + mem_.l1i().hitLatency()) {
+                t.icacheBusyUntil = res.doneAt;
+                break;
+            }
+        }
+
+        if (!fetchOne(t))
+            break;
+    }
 }
 
 void
 OooCore::fetchStage()
 {
-    if (halted_ || fetchHalted_ || fetchWaitBranch_ || fetchPaused_)
-        return;
-    if (cycle_ < redirectAt_ || icacheBusyUntil_ > cycle_)
+    if (halted_ || fetchPaused_)
         return;
 
-    for (unsigned slot = 0; slot < cfg_.fetchWidth; ++slot) {
-        if (fetchQueue_.size() >= cfg_.fetchQueueSize)
-            break;
+    auto eligible = [this](const ThreadContext &t) {
+        return !t.halted && !t.fetchHalted && !t.fetchWaitBranch &&
+               cycle_ >= t.redirectAt && t.icacheBusyUntil <= cycle_ &&
+               t.fetchQueue.size() < cfg_.fetchQueueSize;
+    };
 
-        Addr line = mem_.l1i().lineAddr(fetchPc_);
-        if (line != lastFetchLine_) {
-            Provenance prov = onWrongPath_ ? Provenance::WrongPath
-                                           : Provenance::CorrPath;
-            MemAccessResult res = mem_.ifetch(fetchPc_, cycle_, prov);
-            if (!res.accepted)
-                break;
-            lastFetchLine_ = line;
-            if (res.doneAt > cycle_ + mem_.l1i().hitLatency()) {
-                icacheBusyUntil_ = res.doneAt;
-                break;
-            }
-        }
-
-        if (!fetchOne())
-            break;
+    if (!smtActive_) {
+        ThreadContext &t = *threads_[0];
+        if (!eligible(t))
+            return;
+        fetchThread(t);
+        return;
     }
+
+    // SMT: the fetch policy picks one thread per cycle.
+    for (unsigned tid = 0; tid < threads_.size(); ++tid) {
+        const ThreadContext &t = *threads_[tid];
+        FetchThreadState &s = fetchStates_[tid];
+        s.eligible = eligible(t);
+        s.frontEndCount =
+            static_cast<unsigned>(t.fetchQueue.size()) + t.iqOcc;
+        s.outstandingMisses =
+            static_cast<unsigned>(t.activeMissDone.size());
+        s.mlpEstimate = t.predictor.mlpEstimate();
+    }
+    int pick = fetchEngine_.pick(fetchStates_);
+    if (pick >= 0)
+        fetchThread(*threads_[pick]);
 }
 
 // ---------------------------------------------------------------------
@@ -446,42 +565,48 @@ OooCore::fetchStage()
 // ---------------------------------------------------------------------
 
 void
-OooCore::dispatchStage()
+OooCore::dispatchThread(ThreadContext &t, unsigned &budget)
 {
-    unsigned n = 0;
-    while (n < cfg_.decodeWidth && !fetchQueue_.empty()) {
-        if (resize_.allocStopped())
+    while (budget > 0 && !t.fetchQueue.empty()) {
+        if (allocStoppedFor(t))
             break;
 
-        const ResourceLevel &level = resize_.current();
-        DynInst &d = fetchQueue_.front();
+        const ResourceLevel &level = levelFor(t);
+        DynInst &d = t.fetchQueue.front();
 
-        if (window_.size() >= level.robSize) {
-            allocStalledFull_ = true;
+        if (t.window.size() >= level.robSize) {
+            t.allocStalledFull = true;
             break;
         }
         bool needs_iq = !(d.si.isNop() || d.si.isHalt());
-        if (needs_iq && iqOcc_ >= level.iqSize) {
-            allocStalledFull_ = true;
+        if (needs_iq && t.iqOcc >= level.iqSize) {
+            t.allocStalledFull = true;
             break;
         }
-        if (d.si.isMem() && lsqOcc_ >= level.lsqSize) {
-            allocStalledFull_ = true;
+        if (d.si.isMem() && t.lsqOcc >= level.lsqSize) {
+            t.allocStalledFull = true;
+            break;
+        }
+        // SMT: per-thread levels may transiently over-commit the
+        // shared physical windows; the dispatch gate enforces the
+        // hard budget.
+        if (smtActive_ && !globalRoomFor(d, needs_iq)) {
+            t.allocStalledFull = true;
             break;
         }
 
         d.dispatchCycle = cycle_;
         for (unsigned i = 0; i < 2; ++i) {
             if (d.srcReg[i] != kNoReg)
-                d.srcProducer[i] = renameMap_[d.srcReg[i]];
+                d.srcProducer[i] = t.renameMap[d.srcReg[i]];
         }
         RegId dest = d.si.destReg();
         if (dest != kNoReg)
-            renameMap_[dest] = d.seq;
+            t.renameMap[dest] = d.seq;
 
         if (needs_iq) {
             d.inIq = true;
-            ++iqOcc_;
+            ++t.iqOcc;
         } else {
             d.completed = true;
             d.completeAt = cycle_;
@@ -489,21 +614,30 @@ OooCore::dispatchStage()
         }
         if (d.si.isMem()) {
             d.inLsq = true;
-            ++lsqOcc_;
+            ++t.lsqOcc;
         }
 
-        window_.push_back(std::move(d));
-        DynInst &back = window_.back();
+        t.window.push_back(std::move(d));
+        DynInst &back = t.window.back();
         trace(TraceCategory::Dispatch, back);
         seqMap_.emplace(back.seq, &back);
         if (back.inIq)
             iqList_.push_back(&back);
         if (back.inLsq)
-            lsqList_.push_back(&back);
-        fetchQueue_.pop_front();
-        ++n;
+            t.lsqList.push_back(&back);
+        t.fetchQueue.pop_front();
+        --budget;
         ++dispatched_;
     }
+}
+
+void
+OooCore::dispatchStage()
+{
+    unsigned budget = cfg_.decodeWidth;
+    unsigned nt = nThreads();
+    for (unsigned k = 0; k < nt && budget > 0; ++k)
+        dispatchThread(*threads_[(cycle_ + k) % nt], budget);
 }
 
 // ---------------------------------------------------------------------
@@ -530,12 +664,14 @@ OooCore::issueStage()
             continue;
         }
 
+        ThreadContext &t = *threads_[inst->tid];
+
         bool inv = false;
         bool ready = true;
         for (unsigned i = 0; i < 2 && ready; ++i)
-            ready = srcReady(*inst, i, inv);
+            ready = srcReady(t, *inst, i, inv);
         if (!ready) {
-            if (!maybeMoveToWib(*inst))
+            if (!maybeMoveToWib(t, *inst))
                 surviving.push_back(inst);
             continue;
         }
@@ -545,7 +681,7 @@ OooCore::issueStage()
             // without using an FU or touching memory.
             inst->invalid = true;
             inst->inIq = false;
-            --iqOcc_;
+            --t.iqOcc;
             inst->issued = true;
             inst->issueCycle = cycle_;
             inst->completeAt = cycle_ + 1;
@@ -553,6 +689,7 @@ OooCore::issueStage()
             inst->memDone = true;
             completions_.push({inst->completeAt, inst->seq});
             ++issuedThisCycle_;
+            ++t.issuedThisCycle;
             continue;
         }
 
@@ -563,9 +700,10 @@ OooCore::issueStage()
 
         inst->issued = true;
         inst->inIq = false;
-        --iqOcc_;
+        --t.iqOcc;
         inst->issueCycle = cycle_;
         ++issuedThisCycle_;
+        ++t.issuedThisCycle;
         ++issuedCnt_;
         trace(TraceCategory::Issue, *inst);
 
@@ -581,7 +719,7 @@ OooCore::issueStage()
         } else {
             unsigned lat = inst->si.execLatency();
             inst->completeAt = cycle_ + lat;
-            inst->wakeupAt = inst->completeAt + (iqDepthEff() - 1);
+            inst->wakeupAt = inst->completeAt + (iqDepthEff(t) - 1);
             completions_.push({inst->completeAt, inst->seq});
         }
     }
@@ -594,13 +732,12 @@ OooCore::issueStage()
 // ---------------------------------------------------------------------
 
 void
-OooCore::lsuStage()
+OooCore::lsuThread(ThreadContext &t, unsigned &ports)
 {
-    unsigned ports = cfg_.numMemPorts;
     bool older_store_unknown = false;
     std::unordered_map<Addr, const DynInst *> last_store;
 
-    for (DynInst *inst : lsqList_) {
+    for (DynInst *inst : t.lsqList) {
         if (ports == 0)
             break;
         mlpwin_assert(inst->inLsq);
@@ -613,7 +750,7 @@ OooCore::lsuStage()
             // younger loads to other addresses may then proceed.
             if (!inst->addrKnown) {
                 bool inv = false;
-                if (srcReady(*inst, 0, inv) && !inv)
+                if (srcReady(t, *inst, 0, inv) && !inv)
                     inst->addrKnown = true;
             }
             if (inst->addrKnown)
@@ -633,7 +770,7 @@ OooCore::lsuStage()
             --ports;
             inst->memDone = true;
             inst->completeAt = cycle_ + 1;
-            inst->wakeupAt = inst->completeAt + (iqDepthEff() - 1);
+            inst->wakeupAt = inst->completeAt + (iqDepthEff(t) - 1);
             completions_.push({inst->completeAt, inst->seq});
             ++forwards_;
         };
@@ -648,7 +785,7 @@ OooCore::lsuStage()
         }
         if (older_store_unknown)
             continue; // Conservative disambiguation.
-        if (storeBufferMatch(inst->rec.memAddr)) {
+        if (storeBufferMatch(t, inst->rec.memAddr)) {
             schedule_forward();
             continue;
         }
@@ -656,31 +793,47 @@ OooCore::lsuStage()
         Provenance prov = inst->wrongPath ? Provenance::WrongPath
                                           : Provenance::CorrPath;
         MemAccessResult res =
-            mem_.load(inst->rec.memAddr, inst->pc, cycle_, prov);
+            mem_.load(t.addrBase + inst->rec.memAddr,
+                      t.addrBase + inst->pc, cycle_, prov);
         --ports;
         if (!res.accepted)
             continue; // MSHRs busy; retry next cycle.
 
         inst->memDone = true;
         inst->completeAt = res.doneAt;
-        inst->wakeupAt = res.doneAt + (iqDepthEff() - 1);
+        inst->wakeupAt = res.doneAt + (iqDepthEff(t) - 1);
         inst->l2Miss = res.l2DemandMiss;
         completions_.push({inst->completeAt, inst->seq});
         if (inst->wrongPath)
             ++wpLoads_;
         if (res.l2DemandMiss) {
-            activeMissDone_.push_back(res.doneAt);
-            if (inRunahead_ && !inst->wrongPath)
-                ++raEpisodeMisses_;
+            t.activeMissDone.push_back(res.doneAt);
+            if (t.inRunahead && !inst->wrongPath)
+                ++t.raEpisodeMisses;
         }
     }
+}
 
-    // Drain one committed store per spare port.
-    if (ports > 0 && !storeBuffer_.empty()) {
-        MemAccessResult res = mem_.store(storeBuffer_.front().addr,
-                                         cycle_, Provenance::CorrPath);
+void
+OooCore::lsuStage()
+{
+    unsigned ports = cfg_.numMemPorts;
+    unsigned nt = nThreads();
+
+    for (unsigned k = 0; k < nt && ports > 0; ++k)
+        lsuThread(*threads_[(cycle_ + k) % nt], ports);
+
+    // Drain one committed store per thread per spare port.
+    for (unsigned k = 0; k < nt && ports > 0; ++k) {
+        ThreadContext &t = *threads_[(cycle_ + k) % nt];
+        if (t.storeBuffer.empty())
+            continue;
+        MemAccessResult res =
+            mem_.store(t.addrBase + t.storeBuffer.front().addr, cycle_,
+                       Provenance::CorrPath);
         if (res.accepted)
-            storeBuffer_.pop_front();
+            t.storeBuffer.pop_front();
+        --ports;
     }
 }
 
@@ -701,7 +854,7 @@ OooCore::completeStage()
         inst->completed = true;
         trace(TraceCategory::Complete, *inst);
         if (cfg_.wibEnabled)
-            wakeWibWaiters(*inst);
+            wakeWibWaiters(*threads_[inst->tid], *inst);
         if (inst->mispredicted && !inst->wrongPath)
             resolveMispredict(*inst);
     }
@@ -710,79 +863,88 @@ OooCore::completeStage()
 void
 OooCore::resolveMispredict(DynInst &branch)
 {
-    squashYoungerThan(branch.seq);
-    bp_.restoreHistory(branch.histSnapshot, branch.rec.taken);
-    redirectAt_ = cycle_ + mispredictRedirectPenalty();
-    fetchPc_ = branch.rec.nextPc;
-    fetchWaitBranch_ = false;
-    lastFetchLine_ = kNoAddr;
-    icacheBusyUntil_ = 0;
+    ThreadContext &t = *threads_[branch.tid];
+    squashYoungerThan(t, branch.seq);
+    t.bp.restoreHistory(branch.histSnapshot, branch.rec.taken);
+    t.redirectAt = cycle_ + mispredictRedirectPenalty(t);
+    t.fetchPc = branch.rec.nextPc;
+    t.fetchWaitBranch = false;
+    t.lastFetchLine = kNoAddr;
+    t.icacheBusyUntil = 0;
     // The oracle stopped exactly at the divergence point. A promoted
     // structural invariant (not an assert): release builds report the
     // corruption through the SimError path with a diagnostic dump
     // instead of aborting the whole batch.
-    if (oracle_.pc() != branch.rec.nextPc) {
+    if (t.oracle.pc() != branch.rec.nextPc) {
         throw SimError(
             ErrorCode::InvariantViolation,
             "squash recovery: oracle pc 0x" +
-                std::to_string(oracle_.pc()) +
+                std::to_string(t.oracle.pc()) +
                 " does not match resolved branch target 0x" +
                 std::to_string(branch.rec.nextPc) + " (branch pc 0x" +
-                std::to_string(branch.pc) + ")");
+                std::to_string(branch.pc) + ", thread " +
+                std::to_string(t.tid) + ")");
     }
 }
 
 void
-OooCore::squashYoungerThan(InstSeqNum seq)
+OooCore::squashYoungerThan(ThreadContext &t, InstSeqNum seq)
 {
     if (tracer_) {
         traceNote(TraceCategory::Squash,
                   "squash younger than sn" + std::to_string(seq));
     }
-    while (!window_.empty() && window_.back().seq > seq) {
-        DynInst &b = window_.back();
+    // Drop this thread's IQ entries while the window entries they
+    // point at are still alive; the pop loop below frees them.
+    // Co-runner entries keep their relative age order.
+    std::erase_if(iqList_, [&t](const DynInst *p) {
+        return p->tid == t.tid;
+    });
+    while (!t.window.empty() && t.window.back().seq > seq) {
+        DynInst &b = t.window.back();
         mlpwin_assert(b.wrongPath);
         if (b.inIq)
-            --iqOcc_;
+            --t.iqOcc;
         if (b.inLsq)
-            --lsqOcc_;
+            --t.lsqOcc;
         if (b.inWib)
-            --wibOcc_;
+            --t.wibOcc;
         ++squashed_;
         seqMap_.erase(b.seq);
-        window_.pop_back();
+        t.window.pop_back();
     }
-    squashed_ += fetchQueue_.size();
-    fetchQueue_.clear();
-    onWrongPath_ = false;
-    shadowStores_.clear();
-    rebuildAfterSquash();
+    squashed_ += t.fetchQueue.size();
+    t.fetchQueue.clear();
+    t.onWrongPath = false;
+    t.shadowStores.clear();
+    rebuildAfterSquash(t);
 }
 
 void
-OooCore::rebuildAfterSquash()
+OooCore::rebuildAfterSquash(ThreadContext &t)
 {
-    renameMap_.fill(kNoProducer);
-    iqList_.clear();
-    lsqList_.clear();
-    wibWaiters_.clear();
-    for (DynInst &d : window_) {
+    t.renameMap.fill(kNoProducer);
+    // The caller already removed this thread's IQ entries; survivors
+    // re-enter below in window (age) order.
+    t.lsqList.clear();
+    t.wibWaiters.clear();
+    for (DynInst &d : t.window) {
         RegId dest = d.si.destReg();
         if (dest != kNoReg)
-            renameMap_[dest] = d.seq;
+            t.renameMap[dest] = d.seq;
         if (d.inIq)
             iqList_.push_back(&d);
         if (d.inLsq)
-            lsqList_.push_back(&d);
+            t.lsqList.push_back(&d);
         if (d.inWib) {
             // Re-register the waiter; if its blocking producer has
             // already completed (or retired), wake it now instead —
             // its wake event fired before the squash rebuilt us.
             DynInst *prod = findInst(d.wibBlockedOn);
             if (prod && !prod->completed)
-                wibWaiters_[prod->seq].push_back(d.seq);
+                t.wibWaiters[prod->seq].push_back(d.seq);
             else
-                wibReady_.push_back({cycle_ + 1, d.seq});
+                t.wibReady.push_back({cycle_ + 1, d.seq});
         }
     }
 }
@@ -792,37 +954,38 @@ OooCore::rebuildAfterSquash()
 // ---------------------------------------------------------------------
 
 void
-OooCore::retireHead(bool pseudo)
+OooCore::retireHead(ThreadContext &t, bool pseudo)
 {
-    DynInst &head = window_.front();
+    DynInst &head = t.window.front();
     mlpwin_assert(!head.wrongPath);
     mlpwin_assert(!head.inIq && !head.inWib);
 
     if (head.inLsq) {
-        --lsqOcc_;
-        mlpwin_assert(!lsqList_.empty() && lsqList_.front() == &head);
-        lsqList_.pop_front();
+        --t.lsqOcc;
+        mlpwin_assert(!t.lsqList.empty() &&
+                      t.lsqList.front() == &head);
+        t.lsqList.pop_front();
     }
     RegId dest = head.si.destReg();
-    if (dest != kNoReg && renameMap_[dest] == head.seq)
-        renameMap_[dest] = kNoProducer;
+    if (dest != kNoReg && t.renameMap[dest] == head.seq)
+        t.renameMap[dest] = kNoProducer;
 
     if (pseudo) {
-        raUndoLog_.push_back(head.rec);
+        t.raUndoLog.push_back(head.rec);
         if (dest != kNoReg)
-            inv_.setRegInv(dest, head.invalid);
+            t.inv.setRegInv(dest, head.invalid);
         if (head.isStore() && head.invalid && head.addrKnown)
-            inv_.setAddrInv(head.rec.memAddr);
+            t.inv.setAddrInv(head.rec.memAddr);
         ++raPseudoRetired_;
     } else {
         if (head.isStore()) {
-            storeBuffer_.push_back(
+            t.storeBuffer.push_back(
                 PendingStore{head.rec.memAddr, head.rec.storeData});
             ++committedStores_;
         }
         if (head.isControl()) {
-            bp_.update(head.pc, head.si, head.rec.taken,
-                       head.rec.nextPc, head.histSnapshot);
+            t.bp.update(head.pc, head.si, head.rec.taken,
+                        head.rec.nextPc, head.histSnapshot);
             ++committedBranches_;
             if (head.mispredicted)
                 ++committedMispredicts_;
@@ -833,81 +996,83 @@ OooCore::retireHead(bool pseudo)
             ++committedLoads_;
         }
         ++committed_;
-        ++committedTotal_;
-        if (checker_)
-            checker_->onCommit(head.rec);
+        ++t.committedTotal;
+        ++t.committedMeasured;
+        if (t.checker)
+            t.checker->onCommit(head.rec);
     }
 
     trace(pseudo ? TraceCategory::Runahead : TraceCategory::Commit,
           head);
     seqMap_.erase(head.seq);
-    window_.pop_front();
+    t.window.pop_front();
 }
 
 void
-OooCore::maybeEnterRunahead(DynInst &head)
+OooCore::maybeEnterRunahead(ThreadContext &t, DynInst &head)
 {
-    if (!raCfg_.enabled || inRunahead_)
+    if (!raCfg_.enabled || t.inRunahead)
         return;
     if (!head.isLoad() || !head.memDone || head.completed)
         return;
     // Only long (L2-miss) stalls are worth running ahead of.
     if (head.completeAt == kNoCycle || head.completeAt <= cycle_ + 20)
         return;
-    if (raCfg_.useRcst && !rcst_.predictUseful(head.pc))
+    if (raCfg_.useRcst && !t.rcst.predictUseful(head.pc))
         return;
 
-    inRunahead_ = true;
-    raTriggerPc_ = head.pc;
-    raExitAt_ = head.completeAt;
-    raEpisodeMisses_ = 0;
-    raUndoLog_.clear();
-    inv_.reset();
+    t.inRunahead = true;
+    t.raTriggerPc = head.pc;
+    t.raExitAt = head.completeAt;
+    t.raEpisodeMisses = 0;
+    t.raUndoLog.clear();
+    t.inv.reset();
     ++raEpisodes_;
     if (timeline_)
-        timeline_->beginRunahead(cycle_, raTriggerPc_);
+        timeline_->beginRunahead(cycle_, t.raTriggerPc);
     traceNote(TraceCategory::Runahead,
               "enter runahead (trigger pc 0x" +
-                  std::to_string(raTriggerPc_) + ")");
+                  std::to_string(t.raTriggerPc) + ")");
 
     head.invalid = true; // Trigger load pseudo-retires INV.
 }
 
 void
-OooCore::exitRunahead()
+OooCore::exitRunahead(ThreadContext &t)
 {
     // Roll the oracle back to the trigger, youngest effect first.
-    for (auto it = fetchQueue_.rbegin(); it != fetchQueue_.rend();
+    for (auto it = t.fetchQueue.rbegin(); it != t.fetchQueue.rend();
          ++it) {
         if (!it->wrongPath)
-            oracle_.undo(it->rec);
+            t.oracle.undo(it->rec);
     }
-    for (auto it = window_.rbegin(); it != window_.rend(); ++it) {
+    for (auto it = t.window.rbegin(); it != t.window.rend(); ++it) {
         if (!it->wrongPath)
-            oracle_.undo(it->rec);
+            t.oracle.undo(it->rec);
     }
-    for (auto it = raUndoLog_.rbegin(); it != raUndoLog_.rend(); ++it)
-        oracle_.undo(*it);
+    for (auto it = t.raUndoLog.rbegin(); it != t.raUndoLog.rend();
+         ++it)
+        t.oracle.undo(*it);
 
     // Promoted structural invariants over the rollback: the oracle
     // must be back at the trigger, both in PC and in instruction
     // count (one count per real commit). Violations report through
     // the SimError path with a dump instead of aborting.
-    if (oracle_.pc() != raTriggerPc_) {
+    if (t.oracle.pc() != t.raTriggerPc) {
         throw SimError(
             ErrorCode::InvariantViolation,
             "runahead rollback: oracle pc 0x" +
-                std::to_string(oracle_.pc()) +
+                std::to_string(t.oracle.pc()) +
                 " does not match trigger pc 0x" +
-                std::to_string(raTriggerPc_));
+                std::to_string(t.raTriggerPc));
     }
-    if (oracle_.instCount() != committedTotal_) {
+    if (t.oracle.instCount() != t.committedTotal) {
         throw SimError(
             ErrorCode::InvariantViolation,
             "runahead rollback: oracle instruction count " +
-                std::to_string(oracle_.instCount()) +
+                std::to_string(t.oracle.instCount()) +
                 " does not match committed count " +
-                std::to_string(committedTotal_) +
+                std::to_string(t.committedTotal) +
                 " (undo log incomplete?)");
     }
 
@@ -919,67 +1084,111 @@ OooCore::exitRunahead()
     // corrupted re-fetch hits and reaches commit instead of missing
     // again and re-entering runahead.
     if (cfg_.debugCorruptUndo) {
-        StaticInst trigger = decodeInst(fmem_.readU64(raTriggerPc_));
+        StaticInst trigger =
+            decodeInst(t.fmem.readU64(t.raTriggerPc));
         if (trigger.rs1 != kNoReg && trigger.rs1 != intReg(0)) {
-            RegVal v = oracle_.regs().read(trigger.rs1);
-            oracle_.regs().write(trigger.rs1, v ^ 0x8);
+            RegVal v = t.oracle.regs().read(trigger.rs1);
+            t.oracle.regs().write(trigger.rs1, v ^ 0x8);
         }
     }
 
-    rcst_.train(raTriggerPc_, raEpisodeMisses_ > 0);
-    if (raEpisodeMisses_ == 0)
+    t.rcst.train(t.raTriggerPc, t.raEpisodeMisses > 0);
+    if (t.raEpisodeMisses == 0)
         ++raUseless_;
 
-    squashed_ += window_.size() + fetchQueue_.size();
-    window_.clear();
-    seqMap_.clear();
-    fetchQueue_.clear();
-    iqOcc_ = 0;
-    lsqOcc_ = 0;
-    wibOcc_ = 0;
-    iqList_.clear();
-    lsqList_.clear();
-    wibWaiters_.clear();
-    wibReady_.clear();
-    renameMap_.fill(kNoProducer);
-    raUndoLog_.clear();
-    inv_.reset();
-    inRunahead_ = false;
-    onWrongPath_ = false;
-    shadowStores_.clear();
-    fetchHalted_ = false;
-    fetchWaitBranch_ = false;
+    squashed_ += t.window.size() + t.fetchQueue.size();
+    for (const DynInst &d : t.window)
+        seqMap_.erase(d.seq);
+    // Drop the shared-IQ entries before the window frees the
+    // instructions they point at.
+    std::erase_if(iqList_, [&t](const DynInst *p) {
+        return p->tid == t.tid;
+    });
+    t.window.clear();
+    t.fetchQueue.clear();
+    t.iqOcc = 0;
+    t.lsqOcc = 0;
+    t.wibOcc = 0;
+    t.lsqList.clear();
+    t.wibWaiters.clear();
+    t.wibReady.clear();
+    t.renameMap.fill(kNoProducer);
+    t.raUndoLog.clear();
+    t.inv.reset();
+    t.inRunahead = false;
+    t.onWrongPath = false;
+    t.shadowStores.clear();
+    t.fetchHalted = false;
+    t.fetchWaitBranch = false;
 
     if (timeline_)
-        timeline_->endRunahead(cycle_, raEpisodeMisses_);
+        timeline_->endRunahead(cycle_, t.raEpisodeMisses);
     traceNote(TraceCategory::Runahead, "exit runahead");
-    redirectAt_ = cycle_ + 1 + raCfg_.exitPenalty;
+    t.redirectAt = cycle_ + 1 + raCfg_.exitPenalty;
     // Refetch from the trigger; the invariant above already proved
-    // oracle_.pc() == raTriggerPc_.
-    fetchPc_ = raTriggerPc_;
-    lastFetchLine_ = kNoAddr;
-    icacheBusyUntil_ = 0;
+    // the oracle is at raTriggerPc.
+    t.fetchPc = t.raTriggerPc;
+    t.lastFetchLine = kNoAddr;
+    t.icacheBusyUntil = 0;
 }
 
 void
-OooCore::pseudoRetireLoop()
+OooCore::pseudoRetireLoop(ThreadContext &t)
 {
-    for (unsigned n = 0; n < cfg_.commitWidth && !window_.empty();
+    for (unsigned n = 0; n < cfg_.commitWidth && !t.window.empty();
          ++n) {
-        DynInst &head = window_.front();
+        DynInst &head = t.window.front();
         if (head.wrongPath)
             break; // An unresolved branch precedes it; wait.
         if (head.completed) {
-            retireHead(true);
+            retireHead(t, true);
             continue;
         }
         if (head.invalid || (head.isLoad() && head.memDone)) {
             // Pending-miss load (or already-INV inst): retire INV.
             head.invalid = true;
-            retireHead(true);
+            retireHead(t, true);
             continue;
         }
         break; // Wait for short-latency execution to finish.
+    }
+}
+
+void
+OooCore::commitThread(ThreadContext &t, unsigned &budget)
+{
+    if (t.inRunahead) {
+        if (cycle_ >= t.raExitAt) {
+            exitRunahead(t);
+            return;
+        }
+        pseudoRetireLoop(t);
+        return;
+    }
+
+    while (budget > 0 && !t.window.empty()) {
+        DynInst &head = t.window.front();
+
+        if (!head.completed) {
+            maybeEnterRunahead(t, head);
+            if (t.inRunahead)
+                pseudoRetireLoop(t);
+            break;
+        }
+        if (head.si.isHalt()) {
+            retireHead(t, false);
+            --budget;
+            t.halted = true;
+            if (allHalted())
+                halted_ = true;
+            break;
+        }
+        if (head.isStore() &&
+            t.storeBuffer.size() >= cfg_.storeBufferSize) {
+            break;
+        }
+        retireHead(t, false);
+        --budget;
     }
 }
 
@@ -993,35 +1202,15 @@ OooCore::commitStage()
     if (cycle_ >= cfg_.debugStallCommitAt)
         return;
 
-    if (inRunahead_) {
-        if (cycle_ >= raExitAt_) {
-            exitRunahead();
+    unsigned budget = cfg_.commitWidth;
+    unsigned nt = nThreads();
+    for (unsigned k = 0; k < nt && budget > 0; ++k) {
+        ThreadContext &t = *threads_[(cycle_ + k) % nt];
+        if (t.halted)
+            continue;
+        commitThread(t, budget);
+        if (halted_)
             return;
-        }
-        pseudoRetireLoop();
-        return;
-    }
-
-    for (unsigned n = 0; n < cfg_.commitWidth && !window_.empty();
-         ++n) {
-        DynInst &head = window_.front();
-
-        if (!head.completed) {
-            maybeEnterRunahead(head);
-            if (inRunahead_)
-                pseudoRetireLoop();
-            break;
-        }
-        if (head.si.isHalt()) {
-            retireHead(false);
-            halted_ = true;
-            break;
-        }
-        if (head.isStore() &&
-            storeBuffer_.size() >= cfg_.storeBufferSize) {
-            break;
-        }
-        retireHead(false);
     }
 }
 
@@ -1032,7 +1221,10 @@ OooCore::commitStage()
 void
 OooCore::tick()
 {
-    allocStalledFull_ = false;
+    for (auto &tp : threads_) {
+        tp->allocStalledFull = false;
+        tp->issuedThisCycle = 0;
+    }
 
     commitStage();
     completeStage();
@@ -1042,23 +1234,64 @@ OooCore::tick()
     dispatchStage();
     fetchStage();
 
-    WindowOccupancy occ;
-    occ.rob = static_cast<unsigned>(window_.size());
-    occ.iq = iqOcc_;
-    occ.lsq = lsqOcc_;
-    occ.allocStalledFull = allocStalledFull_;
-    resize_.tick(cycle_, occ);
+    if (!smtActive_) {
+        ThreadContext &t = *threads_[0];
+        WindowOccupancy occ;
+        occ.rob = static_cast<unsigned>(t.window.size());
+        occ.iq = t.iqOcc;
+        occ.lsq = t.lsqOcc;
+        occ.allocStalledFull = t.allocStalledFull;
+        resize_->tick(cycle_, occ);
 
-    const ResourceLevel &lvl = resize_.current();
-    iqSizeCycles_ += lvl.iqSize;
-    robSizeCycles_ += lvl.robSize;
-    lsqSizeCycles_ += lvl.lsqSize;
+        const ResourceLevel &lvl = resize_->current();
+        iqSizeCycles_ += lvl.iqSize;
+        robSizeCycles_ += lvl.robSize;
+        lsqSizeCycles_ += lvl.lsqSize;
+    } else {
+        for (unsigned tid = 0; tid < threads_.size(); ++tid) {
+            ThreadContext &t = *threads_[tid];
+            ThreadPartitionInput &in = partitionInputs_[tid];
+            in.occ.rob = static_cast<unsigned>(t.window.size());
+            in.occ.iq = t.iqOcc;
+            in.occ.lsq = t.lsqOcc;
+            in.occ.allocStalledFull = t.allocStalledFull;
+            in.halted = t.halted;
+        }
+        partition_->tick(cycle_, partitionInputs_);
 
-    std::erase_if(activeMissDone_,
-                  [this](Cycle c) { return c <= cycle_; });
-    if (!activeMissDone_.empty()) {
-        mlpOverlapSum_ += static_cast<double>(activeMissDone_.size());
+        for (unsigned tid = 0; tid < threads_.size(); ++tid) {
+            if (threads_[tid]->halted)
+                continue;
+            const ResourceLevel &lvl = partition_->currentFor(tid);
+            iqSizeCycles_ += lvl.iqSize;
+            robSizeCycles_ += lvl.robSize;
+            lsqSizeCycles_ += lvl.lsqSize;
+        }
+    }
+
+    unsigned total_active = 0;
+    for (auto &tp : threads_) {
+        ThreadContext &t = *tp;
+        std::erase_if(t.activeMissDone,
+                      [this](Cycle c) { return c <= cycle_; });
+        auto sz = static_cast<unsigned>(t.activeMissDone.size());
+        total_active += sz;
+        if (sz > 0) {
+            t.mlpOverlapSum += static_cast<double>(sz);
+            ++t.mlpActiveCycles;
+        }
+    }
+    if (total_active > 0) {
+        mlpOverlapSum_ += static_cast<double>(total_active);
         ++mlpActiveCycles_;
+    }
+
+    if (smtActive_) {
+        for (auto &tp : threads_) {
+            tp->predictor.tick(
+                static_cast<unsigned>(tp->activeMissDone.size()),
+                tp->issuedThisCycle);
+        }
     }
 
     ++cycle_;

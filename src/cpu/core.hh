@@ -20,15 +20,22 @@
  * pseudo-retiring episode with INV propagation and full architectural
  * rollback via per-instruction undo logs.
  *
- * The window resources consult a ResizeController every cycle: the
- * MLP-aware controller implements the paper's contribution; fixed
- * controllers implement the baseline/ideal models.
+ * The core runs 1-4 SMT hardware threads (cfg.smt.nThreads). All
+ * per-thread state lives in smt/thread.hh ThreadContexts; fetch,
+ * rename/dispatch, the LSQ, and commit are thread-indexed, while the
+ * issue queue list, functional units, completion events, and the
+ * cycle clock are shared. Single-thread cores consult a
+ * ResizeController every cycle exactly as before (the MLP-aware
+ * controller implements the paper's contribution); multi-thread
+ * cores consult an SmtPartitionController that allocates level-table
+ * entries per thread from the shared largest-level budget.
  */
 
 #ifndef MLPWIN_CPU_CORE_HH
 #define MLPWIN_CPU_CORE_HH
 
 #include <deque>
+#include <memory>
 #include <queue>
 #include <unordered_map>
 #include <vector>
@@ -44,17 +51,30 @@
 #include "mem/main_memory.hh"
 #include "resize/controller.hh"
 #include "runahead/runahead.hh"
+#include "smt/fetch_policy.hh"
+#include "smt/partition.hh"
+#include "smt/thread.hh"
 
 namespace mlpwin
 {
 
 class LockstepChecker;
 
+/** One hardware thread's program and functional memory (not owned). */
+struct SmtThreadSpec
+{
+    MainMemory *fmem = nullptr;
+    const Program *prog = nullptr;
+};
+
 /** See file comment. */
 class OooCore
 {
   public:
     /**
+     * Single-thread core (the original construction; behaviour is
+     * bit-identical to the pre-SMT core).
+     *
      * @param cfg Core widths/penalties.
      * @param resize Window-size controller (not owned).
      * @param mem Timing memory hierarchy (not owned).
@@ -70,14 +90,27 @@ class OooCore
             const BranchPredictorConfig &bp_cfg =
                 BranchPredictorConfig{});
 
+    /**
+     * SMT-capable core. Exactly one of resize/partition must be
+     * non-null: resize for cfg.smt.nThreads == 1, partition for
+     * more. threads.size() must equal cfg.smt.nThreads.
+     */
+    OooCore(const CoreConfig &cfg, ResizeController *resize,
+            SmtPartitionController *partition, CacheHierarchy &mem,
+            const std::vector<SmtThreadSpec> &threads, StatSet *stats,
+            const RunaheadConfig &ra = RunaheadConfig{},
+            const BranchPredictorConfig &bp_cfg =
+                BranchPredictorConfig{});
+
     /** Advance one clock cycle. */
     void tick();
 
     /**
      * Start the measurement window at the current cycle: zeroes the
      * core's non-Stat accumulators (MLP observation, energy size
-     * integrals) and rebases cycle-derived rates. The Simulator calls
-     * this after the warm-up phase, together with StatSet::resetAll().
+     * integrals, per-thread commit counts) and rebases cycle-derived
+     * rates. The Simulator calls this after the warm-up phase,
+     * together with StatSet::resetAll().
      */
     void resetMeasurement();
 
@@ -88,7 +121,7 @@ class OooCore
         return cycle_ - measureStartCycle_;
     }
 
-    /** True once the program's Halt instruction has committed. */
+    /** True once every thread's Halt instruction has committed. */
     bool halted() const { return halted_; }
 
     Cycle cycle() const { return cycle_; }
@@ -134,7 +167,13 @@ class OooCore
     }
     std::uint64_t wibMoves() const { return wibMoves_.value(); }
     std::uint64_t wibReinserts() const { return wibReinserts_.value(); }
-    unsigned wibOccupancy() const { return wibOcc_; }
+    unsigned wibOccupancy() const
+    {
+        unsigned n = 0;
+        for (const auto &t : threads_)
+            n += t->wibOcc;
+        return n;
+    }
 
     /** Average # of in-flight L2-miss loads over miss-active cycles. */
     double
@@ -151,11 +190,36 @@ class OooCore
     std::uint64_t robSizeCycles() const { return robSizeCycles_; }
     std::uint64_t lsqSizeCycles() const { return lsqSizeCycles_; }
 
-    const BranchPredictor &predictor() const { return bp_; }
-    const ResizeController &resizer() const { return resize_; }
+    const BranchPredictor &predictor() const { return threads_[0]->bp; }
+    /** Single-thread only (SMT cores use a partition controller). */
+    const ResizeController &resizer() const { return *resize_; }
+
+    // --- SMT thread views ----------------------------------------------
+    unsigned nThreads() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+    /** Read-only view of one thread's context. */
+    const ThreadContext &thread(unsigned tid) const
+    {
+        return *threads_[tid];
+    }
+
+    /** Thread tid's current window level (1-based). */
+    unsigned
+    threadLevel(unsigned tid) const
+    {
+        return partition_ ? partition_->levelFor(tid)
+                          : resize_->level();
+    }
 
     /** Oracle view (for end-of-run architectural state checks). */
-    const Emulator &oracle() const { return oracle_; }
+    const Emulator &oracle() const { return threads_[0]->oracle; }
+    const Emulator &oracle(unsigned tid) const
+    {
+        return threads_[tid]->oracle;
+    }
 
     // --- sampled-simulation support (see sample/) ---------------------
     /**
@@ -164,12 +228,12 @@ class OooCore
      * (readyForFastForward()): with nothing in flight, the oracle sits
      * exactly at the next instruction to fetch, so stepping it ahead
      * natively and then calling resumeAfterFastForward() is
-     * architecturally seamless.
+     * architecturally seamless. Single-thread only.
      */
-    Emulator &oracleForFastForward() { return oracle_; }
+    Emulator &oracleForFastForward() { return threads_[0]->oracle; }
 
     /** Mutable predictor access for functional warming. */
-    BranchPredictor &predictorForWarming() { return bp_; }
+    BranchPredictor &predictorForWarming() { return threads_[0]->bp; }
 
     /**
      * Stop (true) or re-allow (false) instruction fetch, so the
@@ -179,15 +243,20 @@ class OooCore
     void setFetchPaused(bool paused) { fetchPaused_ = paused; }
 
     /**
-     * True when no speculative or in-flight state remains: the oracle
-     * is exactly at the architectural boundary and a functional
-     * fast-forward may run.
+     * True when no speculative or in-flight state remains on any
+     * thread: the oracles are exactly at the architectural boundary
+     * and a functional fast-forward may run.
      */
     bool
     readyForFastForward() const
     {
-        return window_.empty() && fetchQueue_.empty() &&
-               storeBuffer_.empty() && !inRunahead_ && !onWrongPath_;
+        for (const auto &t : threads_) {
+            if (!t->window.empty() || !t->fetchQueue.empty() ||
+                !t->storeBuffer.empty() || t->inRunahead ||
+                t->onWrongPath)
+                return false;
+        }
+        return true;
     }
 
     /**
@@ -196,7 +265,7 @@ class OooCore
      * lifetime commit count adopts the oracle's instruction count
      * (instructions executed functionally are architecturally
      * committed), and stale fetch state is discarded. Pre:
-     * readyForFastForward().
+     * readyForFastForward(); single-thread core.
      */
     void resumeAfterFastForward();
 
@@ -204,7 +273,7 @@ class OooCore
      * Adopt checkpointed architectural state before the first cycle:
      * oracle registers/PC/instruction count and the fetch PC. The
      * caller restores functional memory separately. Pre: the core has
-     * never ticked.
+     * never ticked; single-thread core.
      */
     void restoreArchState(const RegFile &regs, Addr pc,
                           std::uint64_t inst_count);
@@ -219,45 +288,85 @@ class OooCore
     void setTimeline(EventTimeline *t) { timeline_ = t; }
 
     /**
-     * Attach a lockstep architectural checker (not owned; nullptr
-     * disables). Same zero-overhead contract as the tracer: one
-     * pointer test per committed instruction when detached, and no
-     * effect whatsoever on timing state when attached.
+     * Attach a lockstep architectural checker to thread 0 (not
+     * owned; nullptr disables). Same zero-overhead contract as the
+     * tracer: one pointer test per committed instruction when
+     * detached, and no effect whatsoever on timing state when
+     * attached.
      */
-    void setChecker(LockstepChecker *c) { checker_ = c; }
+    void setChecker(LockstepChecker *c) { threads_[0]->checker = c; }
 
-    // --- telemetry occupancy accessors --------------------------------
-    unsigned robOccupancy() const
+    /** Attach a per-thread lockstep checker. */
+    void setChecker(unsigned tid, LockstepChecker *c)
     {
-        return static_cast<unsigned>(window_.size());
+        threads_[tid]->checker = c;
     }
-    unsigned iqOccupancy() const { return iqOcc_; }
-    unsigned lsqOccupancy() const { return lsqOcc_; }
+
+    // --- telemetry occupancy accessors (summed over threads) ----------
+    unsigned
+    robOccupancy() const
+    {
+        unsigned n = 0;
+        for (const auto &t : threads_)
+            n += static_cast<unsigned>(t->window.size());
+        return n;
+    }
+    unsigned
+    iqOccupancy() const
+    {
+        unsigned n = 0;
+        for (const auto &t : threads_)
+            n += t->iqOcc;
+        return n;
+    }
+    unsigned
+    lsqOccupancy() const
+    {
+        unsigned n = 0;
+        for (const auto &t : threads_)
+            n += t->lsqOcc;
+        return n;
+    }
     /** # of loads currently waiting on an L2 miss (observed MLP). */
-    unsigned outstandingL2Misses() const
+    unsigned
+    outstandingL2Misses() const
     {
-        return static_cast<unsigned>(activeMissDone_.size());
+        unsigned n = 0;
+        for (const auto &t : threads_)
+            n += static_cast<unsigned>(t->activeMissDone.size());
+        return n;
     }
 
-    /** Committed instructions at which Halt was reached, if any. */
-    bool fetchHalted() const { return fetchHalted_; }
+    /** True once every thread's fetch has seen its Halt. */
+    bool
+    fetchHalted() const
+    {
+        for (const auto &t : threads_) {
+            if (!t->fetchHalted)
+                return false;
+        }
+        return true;
+    }
 
-    // --- ROB head view (watchdog diagnostic dumps) --------------------
-    bool robEmpty() const { return window_.empty(); }
+    // --- ROB head view (watchdog diagnostic dumps; thread 0) ----------
+    bool robEmpty() const { return threads_[0]->window.empty(); }
     InstSeqNum
     robHeadSeq() const
     {
-        return window_.empty() ? 0 : window_.front().seq;
+        const auto &w = threads_[0]->window;
+        return w.empty() ? 0 : w.front().seq;
     }
     Addr
     robHeadPc() const
     {
-        return window_.empty() ? 0 : window_.front().pc;
+        const auto &w = threads_[0]->window;
+        return w.empty() ? 0 : w.front().pc;
     }
     bool
     robHeadCompleted() const
     {
-        return !window_.empty() && window_.front().completed;
+        const auto &w = threads_[0]->window;
+        return !w.empty() && w.front().completed;
     }
 
   private:
@@ -269,39 +378,69 @@ class OooCore
     void dispatchStage();
     void fetchStage();
 
+    // --- per-thread stage bodies ---------------------------------------
+    void commitThread(ThreadContext &t, unsigned &budget);
+    void lsuThread(ThreadContext &t, unsigned &ports);
+    void dispatchThread(ThreadContext &t, unsigned &budget);
+    void fetchThread(ThreadContext &t);
+
     // --- WIB (Lebeck et al. related-work model) -----------------------
     /**
      * If inst (not ready in the IQ) directly depends on an
      * outstanding L2-miss load or on a WIB-resident instruction, park
      * it in the WIB and free its IQ entry. @return true if moved.
      */
-    bool maybeMoveToWib(DynInst &inst);
+    bool maybeMoveToWib(ThreadContext &t, DynInst &inst);
     /** Wake WIB entries blocked on the just-completed instruction. */
-    void wakeWibWaiters(const DynInst &completed);
+    void wakeWibWaiters(ThreadContext &t, const DynInst &completed);
     /** Re-insert woken WIB entries into the IQ (bandwidth-limited). */
     void wibReinsertStage();
 
     // --- helpers -------------------------------------------------------
     DynInst *findInst(InstSeqNum seq);
-    bool fetchOne();
-    void buildShadowRecord(DynInst &d);
+    bool fetchOne(ThreadContext &t);
+    void buildShadowRecord(ThreadContext &t, DynInst &d);
     void setupSources(DynInst &d);
     /**
      * True once source i's value is available (memoized in d); sets
      * inv if the value is a runahead INV.
      */
-    bool srcReady(DynInst &d, unsigned i, bool &inv);
+    bool srcReady(ThreadContext &t, DynInst &d, unsigned i, bool &inv);
     bool acquireFu(const StaticInst &si);
-    unsigned iqDepthEff() const;
-    unsigned mispredictRedirectPenalty() const;
+    /** Thread t's resource caps this cycle. */
+    const ResourceLevel &
+    levelFor(const ThreadContext &t) const
+    {
+        return partition_ ? partition_->currentFor(t.tid)
+                          : resize_->current();
+    }
+    bool
+    allocStoppedFor(const ThreadContext &t) const
+    {
+        return partition_ ? partition_->allocStoppedFor(t.tid)
+                          : resize_->allocStopped();
+    }
+    unsigned iqDepthEff(const ThreadContext &t) const;
+    unsigned mispredictRedirectPenalty(const ThreadContext &t) const;
+    /**
+     * SMT only: true if dispatching d would keep the summed
+     * occupancies inside the shared largest-level budget.
+     */
+    bool globalRoomFor(const DynInst &d, bool needs_iq) const;
+    bool allHalted() const;
     void resolveMispredict(DynInst &branch);
-    void squashYoungerThan(InstSeqNum seq);
-    void rebuildAfterSquash();
-    bool storeBufferMatch(Addr addr) const;
-    void retireHead(bool pseudo);
-    void maybeEnterRunahead(DynInst &head);
-    void exitRunahead();
-    void pseudoRetireLoop();
+    void squashYoungerThan(ThreadContext &t, InstSeqNum seq);
+    void rebuildAfterSquash(ThreadContext &t);
+    bool storeBufferMatch(const ThreadContext &t, Addr addr) const;
+    void retireHead(ThreadContext &t, bool pseudo);
+    void maybeEnterRunahead(ThreadContext &t, DynInst &head);
+    void exitRunahead(ThreadContext &t);
+    void pseudoRetireLoop(ThreadContext &t);
+
+    static std::vector<std::unique_ptr<ThreadContext>>
+    makeThreads(const CoreConfig &cfg,
+                const std::vector<SmtThreadSpec> &specs,
+                StatSet *stats, const BranchPredictorConfig &bp_cfg);
 
     // --- configuration & shared structure references -------------------
     /** Emit a trace event if a tracer is attached. */
@@ -320,55 +459,40 @@ class OooCore
     }
 
     CoreConfig cfg_;
-    ResizeController &resize_;
+    /** Single-thread window controller (null on SMT cores). */
+    ResizeController *resize_ = nullptr;
+    /** SMT per-thread partition controller (null on 1-thread cores). */
+    SmtPartitionController *partition_ = nullptr;
     CacheHierarchy &mem_;
-    MainMemory &fmem_;
     RunaheadConfig raCfg_;
-    BranchPredictor bp_;
-    Emulator oracle_;
     PipelineTracer *tracer_ = nullptr;
     EventTimeline *timeline_ = nullptr;
-    LockstepChecker *checker_ = nullptr;
 
-    // --- core state -----------------------------------------------------
+    /**
+     * Thread contexts (declared before the Counters so thread 0's
+     * branch predictor registers its stats first, exactly as the
+     * pre-SMT member order did).
+     */
+    std::vector<std::unique_ptr<ThreadContext>> threads_;
+    /** True for nThreads > 1: SMT arbitration paths engaged. */
+    bool smtActive_ = false;
+    FetchPolicyEngine fetchEngine_;
+    /** Scratch for fetch arbitration / partition tick (no realloc). */
+    std::vector<FetchThreadState> fetchStates_;
+    std::vector<ThreadPartitionInput> partitionInputs_;
+
+    // --- shared core state ----------------------------------------------
     Cycle cycle_ = 0;
     Cycle measureStartCycle_ = 0;
     InstSeqNum nextSeq_ = 1;
     bool halted_ = false;
-    /**
-     * Lifetime count of real (non-pseudo) commits. Unlike the
-     * committed_ Counter this is never reset by the measurement
-     * window, so it must equal the oracle's instruction count
-     * whenever the oracle sits at the next-to-commit instruction —
-     * the structural invariant checked after runahead rollback.
-     */
-    std::uint64_t committedTotal_ = 0;
+    /** Fetch suspended while draining toward a fast-forward. */
+    bool fetchPaused_ = false;
 
-    /**
-     * ROB, oldest at front. A std::deque keeps element addresses
-     * stable under push_back/pop_front/pop_back, so the IQ/LSQ lists
-     * below may hold raw pointers into it; every operation that
-     * removes window entries (squash, runahead exit, retire) removes
-     * the corresponding list entries in the same cycle.
-     */
-    std::deque<DynInst> window_;
-    /** O(1) seq -> window entry (kept in sync with window_). */
+    /** O(1) seq -> window entry (all threads; pointer-stable deques). */
     std::unordered_map<InstSeqNum, DynInst *> seqMap_;
-    unsigned iqOcc_ = 0;
-    unsigned lsqOcc_ = 0;
-    std::vector<DynInst *> iqList_; ///< IQ entries, age order.
-    std::deque<DynInst *> lsqList_; ///< LSQ entries, age order.
-    std::array<InstSeqNum, kNumArchRegs> renameMap_{};
-
-    std::deque<DynInst> fetchQueue_;
-
-    // --- WIB state ------------------------------------------------------
-    unsigned wibOcc_ = 0;
-    /** Blocking seq -> WIB entries waiting on it. */
-    std::unordered_map<InstSeqNum, std::vector<InstSeqNum>>
-        wibWaiters_;
-    /** (earliest re-insert cycle, seq) woken entries, FIFO. */
-    std::deque<std::pair<Cycle, InstSeqNum>> wibReady_;
+    /** IQ entries of every thread, dispatch-age order. */
+    std::vector<DynInst *> iqList_;
 
     using CompletionEvent = std::pair<Cycle, InstSeqNum>;
     std::priority_queue<CompletionEvent,
@@ -376,31 +500,7 @@ class OooCore
                         std::greater<CompletionEvent>>
         completions_;
 
-    struct PendingStore
-    {
-        Addr addr;
-        RegVal data;
-    };
-    std::deque<PendingStore> storeBuffer_;
-
-    // --- fetch state -----------------------------------------------------
-    Addr fetchPc_ = 0;
-    bool fetchHalted_ = false;
-    /** Fetch suspended while draining toward a fast-forward. */
-    bool fetchPaused_ = false;
-    /** Fetch may not produce instructions before this cycle. */
-    Cycle redirectAt_ = 0;
-    Cycle icacheBusyUntil_ = 0;
-    Addr lastFetchLine_ = kNoAddr;
-    /** Waiting for a mispredicted branch (wrong-path exec disabled). */
-    bool fetchWaitBranch_ = false;
-
-    // --- wrong-path state ---------------------------------------------
-    bool onWrongPath_ = false;
-    RegFile shadowRegs_;
-    std::unordered_map<Addr, RegVal> shadowStores_;
-
-    // --- functional-unit pools --------------------------------------------
+    // --- functional-unit pools (shared) ----------------------------------
     unsigned aluUsed_ = 0;
     unsigned fpAluUsed_ = 0;
     unsigned aguUsed_ = 0;
@@ -408,20 +508,7 @@ class OooCore
     std::vector<Cycle> fpMulDivFree_;
     unsigned issuedThisCycle_ = 0;
 
-    // --- runahead state -----------------------------------------------
-    bool inRunahead_ = false;
-    Addr raTriggerPc_ = 0;
-    Cycle raExitAt_ = 0;
-    std::uint64_t raEpisodeMisses_ = 0;
-    std::vector<ExecRecord> raUndoLog_;
-    InvTracker inv_;
-    RunaheadCauseStatusTable rcst_;
-
-    // --- per-cycle scratch ------------------------------------------------
-    bool allocStalledFull_ = false;
-
-    // --- MLP observation ---------------------------------------------------
-    std::vector<Cycle> activeMissDone_;
+    // --- MLP observation (all threads) -----------------------------------
     double mlpOverlapSum_ = 0.0;
     std::uint64_t mlpActiveCycles_ = 0;
 

@@ -7,6 +7,7 @@
 #define MLPWIN_CPU_CORE_CONFIG_HH
 
 #include "common/types.hh"
+#include "smt/smt_config.hh"
 
 namespace mlpwin
 {
@@ -14,6 +15,9 @@ namespace mlpwin
 /** Core parameters; defaults are the paper's base processor. */
 struct CoreConfig
 {
+    /** SMT configuration (1 thread keeps the original core exactly). */
+    SmtConfig smt;
+
     unsigned fetchWidth = 4;
     unsigned decodeWidth = 4;
     unsigned issueWidth = 4;

@@ -25,6 +25,8 @@ struct DynInst
     InstSeqNum seq = 0;
     StaticInst si;
     Addr pc = 0;
+    /** Hardware thread that fetched this instruction (0-based). */
+    std::uint8_t tid = 0;
     bool wrongPath = false;
 
     /** Functional record: oracle for correct path, shadow otherwise. */

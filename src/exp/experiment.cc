@@ -145,11 +145,19 @@ executeJob(const ExperimentSpec &spec, const ExperimentJob &job,
     if (spec.executor)
         return spec.executor(job);
 
-    const WorkloadSpec &ws = findWorkload(job.workload);
-    Program prog = ws.make(spec.iterations);
     SimConfig cfg = job.cfg;
     cfg.startCheckpoint = arch_ckpt;
-    Simulator sim(cfg, prog);
+
+    // A '+'-separated workload is an SMT co-schedule; a single name
+    // on a multi-thread config is replicated onto every thread.
+    std::vector<std::string> parts = splitWorkloadSpec(job.workload);
+    if (parts.size() == 1 && cfg.core.smt.nThreads > 1)
+        parts.assign(cfg.core.smt.nThreads, parts[0]);
+    std::vector<Program> progs;
+    progs.reserve(parts.size());
+    for (const std::string &part : parts)
+        progs.push_back(findWorkload(part).make(spec.iterations));
+    Simulator sim(cfg, progs);
 
     if (spec.jobTimeoutSeconds > 0.0)
         sim.setDeadline(std::chrono::steady_clock::now() +
@@ -221,7 +229,8 @@ ExperimentRunner::runAll(const ExperimentSpec &spec) const
     // test-seam executor may use synthetic names, so skip then.
     if (!spec.executor)
         for (const std::string &w : spec.workloads)
-            findWorkload(w);
+            for (const std::string &part : splitWorkloadSpec(w))
+                findWorkload(part);
 
     // Create the telemetry directory once, before workers race to
     // open files inside it.

@@ -91,6 +91,25 @@ resultToJson(const SimResult &r)
     s += ",\"sample_intervals\":" + fmtU64(r.sampleIntervals);
     s += ",\"ff_insts\":" + fmtU64(r.ffInsts);
     s += ",\"ipc_ci95\":" + fmtDouble(r.ipcCi95);
+    s += ",\"commit_stream_hash\":" + fmtU64(r.commitStreamHash);
+    s += ",\"n_threads\":" + fmtU64(r.nThreads);
+    s += ",\"fetch_policy\":\"" + jsonEscape(r.fetchPolicy) + "\"";
+    s += ",\"partition_policy\":\"" + jsonEscape(r.partitionPolicy) +
+         "\"";
+    auto dbls = [](const double *vals, std::size_t n) {
+        return "[" + joinArray(vals, n, fmtDouble, ",") + "]";
+    };
+    s += ",\"thread_ipc\":" +
+         dbls(r.threadIpc.data(), r.threadIpc.size());
+    s += ",\"thread_committed\":" +
+         u64s(r.threadCommitted.data(), r.threadCommitted.size());
+    s += ",\"thread_commit_hash\":" +
+         u64s(r.threadCommitHash.data(), r.threadCommitHash.size());
+    s += ",\"thread_observed_mlp\":" +
+         dbls(r.threadObservedMlp.data(), r.threadObservedMlp.size());
+    s += ",\"stp\":" + fmtDouble(r.stp);
+    s += ",\"antt\":" + fmtDouble(r.antt);
+    s += ",\"hmean_speedup\":" + fmtDouble(r.hmeanSpeedup);
     s += "}";
     return s;
 }
@@ -159,6 +178,41 @@ resultFromJson(const std::string &json)
         r.ffInsts = root.field("ff_insts").asU64();
         r.ipcCi95 = root.field("ipc_ci95").asDouble();
     }
+    // SMT fields postdate the sampling schema; older records load
+    // with the single-thread defaults.
+    if (root.hasField("n_threads")) {
+        r.commitStreamHash =
+            root.field("commit_stream_hash").asU64();
+        r.nThreads =
+            static_cast<unsigned>(root.field("n_threads").asU64());
+        r.fetchPolicy = root.field("fetch_policy").asString();
+        r.partitionPolicy = root.field("partition_policy").asString();
+        auto readDoubles = [](const JsonValue &v,
+                              std::vector<double> &out) {
+            if (v.kind != JsonValue::Kind::Array)
+                throw std::runtime_error(
+                    "JSON: expected an array of doubles");
+            for (const JsonValue &x : v.array)
+                out.push_back(x.asDouble());
+        };
+        auto readU64s = [](const JsonValue &v,
+                           std::vector<std::uint64_t> &out) {
+            if (v.kind != JsonValue::Kind::Array)
+                throw std::runtime_error(
+                    "JSON: expected an array of u64");
+            for (const JsonValue &x : v.array)
+                out.push_back(x.asU64());
+        };
+        readDoubles(root.field("thread_ipc"), r.threadIpc);
+        readU64s(root.field("thread_committed"), r.threadCommitted);
+        readU64s(root.field("thread_commit_hash"),
+                 r.threadCommitHash);
+        readDoubles(root.field("thread_observed_mlp"),
+                    r.threadObservedMlp);
+        r.stp = root.field("stp").asDouble();
+        r.antt = root.field("antt").asDouble();
+        r.hmeanSpeedup = root.field("hmean_speedup").asDouble();
+    }
     return r;
 }
 
@@ -174,7 +228,10 @@ csvHeader()
            "e_dram_accesses,e_iq_size_cycles,e_rob_size_cycles,"
            "e_lsq_size_cycles,energy_total,edp,runahead_episodes,"
            "runahead_useless,arch_reg_checksum,sampled,"
-           "sample_intervals,ff_insts,ipc_ci95";
+           "sample_intervals,ff_insts,ipc_ci95,commit_stream_hash,"
+           "n_threads,fetch_policy,partition_policy,thread_ipc,"
+           "thread_committed,thread_commit_hash,thread_observed_mlp,"
+           "stp,antt,hmean_speedup";
 }
 
 std::string
@@ -213,7 +270,24 @@ resultToCsv(const SimResult &r)
     s += fmtU64(r.archRegChecksum) + ",";
     s += r.sampled ? "1," : "0,";
     s += fmtU64(r.sampleIntervals) + "," + fmtU64(r.ffInsts) + ",";
-    s += fmtDouble(r.ipcCi95);
+    s += fmtDouble(r.ipcCi95) + ",";
+    s += fmtU64(r.commitStreamHash) + ",";
+    s += fmtU64(r.nThreads) + ",";
+    s += r.fetchPolicy + "," + r.partitionPolicy + ",";
+    s += joinArray(r.threadIpc.data(), r.threadIpc.size(), fmtDouble,
+                   ";") +
+         ",";
+    s += joinArray(r.threadCommitted.data(), r.threadCommitted.size(),
+                   fmtU64, ";") +
+         ",";
+    s += joinArray(r.threadCommitHash.data(),
+                   r.threadCommitHash.size(), fmtU64, ";") +
+         ",";
+    s += joinArray(r.threadObservedMlp.data(),
+                   r.threadObservedMlp.size(), fmtDouble, ";") +
+         ",";
+    s += fmtDouble(r.stp) + "," + fmtDouble(r.antt) + "," +
+         fmtDouble(r.hmeanSpeedup);
     return s;
 }
 

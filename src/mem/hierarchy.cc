@@ -43,7 +43,7 @@ CacheHierarchy::accessL2(Addr addr, Cycle t, bool is_demand,
         // conventional simulator.
         if (is_demand && look.readyAt > t + 2 * l2_.hitLatency()) {
             ++lateMerges_;
-            noteDemandMiss(t);
+            noteDemandMiss(addr, t);
         }
         return res;
     }
@@ -58,20 +58,20 @@ CacheHierarchy::accessL2(Addr addr, Cycle t, bool is_demand,
 
     if (is_demand) {
         ++l2DemandMisses_;
-        noteDemandMiss(t);
+        noteDemandMiss(addr, t);
     }
 
     return L2Result{true, fill, true};
 }
 
 void
-CacheHierarchy::noteDemandMiss(Cycle t)
+CacheHierarchy::noteDemandMiss(Addr addr, Cycle t)
 {
     if (lastL2MissCycle_ != kNoCycle)
         missIntervals_.sample(t - lastL2MissCycle_);
     lastL2MissCycle_ = t;
     if (listener_)
-        listener_(t);
+        listener_(addr, t);
 }
 
 int

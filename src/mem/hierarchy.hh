@@ -42,8 +42,12 @@ struct MemAccessResult
 class CacheHierarchy
 {
   public:
-    /** Callback invoked on every L2 demand miss, with its cycle. */
-    using L2MissListener = std::function<void(Cycle)>;
+    /**
+     * Callback invoked on every L2 demand miss, with the missing
+     * address and its cycle. On an SMT core the address's high bits
+     * (smt/smt_config.hh kThreadAddrShift) identify the thread.
+     */
+    using L2MissListener = std::function<void(Addr, Cycle)>;
 
     CacheHierarchy(const MemSystemConfig &cfg, StatSet *stats);
 
@@ -145,7 +149,7 @@ class CacheHierarchy
                       bool useful_touch, Provenance prov);
 
     /** Record a miss occurrence: interval histogram + listener. */
-    void noteDemandMiss(Cycle t);
+    void noteDemandMiss(Addr addr, Cycle t);
 
     void maybePrefetch(Addr demand_addr, std::int64_t stride, Cycle t);
     /**

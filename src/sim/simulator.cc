@@ -69,12 +69,63 @@ buildController(const SimConfig &cfg, StatSet *stats)
     mlpwin_panic("bad model kind");
 }
 
+std::string
+joinNames(const std::vector<Program> &progs)
+{
+    std::string s;
+    for (const Program &p : progs) {
+        if (!s.empty())
+            s += '+';
+        s += p.name();
+    }
+    return s;
+}
+
 } // namespace
 
 Simulator::Simulator(const SimConfig &cfg, const Program &prog)
-    : cfg_(cfg), workloadName_(prog.name()),
+    : Simulator(cfg, std::vector<Program>{prog})
+{
+}
+
+Simulator::Simulator(const SimConfig &cfg,
+                     const std::vector<Program> &progs)
+    : cfg_(cfg), workloadName_(joinNames(progs)),
       mem_(cfg.mem, &stats_)
 {
+    const SmtConfig &smt = cfg_.core.smt;
+    if (smt.nThreads < 1 || smt.nThreads > kMaxSmtThreads)
+        throw SimError(ErrorCode::InvalidArgument,
+                       "nThreads must be in [1, " +
+                           std::to_string(kMaxSmtThreads) + "], got " +
+                           std::to_string(smt.nThreads));
+    if (progs.size() != smt.nThreads)
+        throw SimError(ErrorCode::InvalidArgument,
+                       "SMT run needs one program per thread: " +
+                           std::to_string(smt.nThreads) +
+                           " threads but " +
+                           std::to_string(progs.size()) +
+                           " programs");
+    const bool smt_run = smt.nThreads > 1;
+    if (smt_run) {
+        // The partition policy is authoritative over window sizing on
+        // an SMT core; single-thread-only machinery is rejected
+        // rather than silently misbehaving.
+        if (cfg_.model != ModelKind::Base)
+            throw SimError(
+                ErrorCode::InvalidArgument,
+                std::string("SMT runs support only the base model "
+                            "(the partition policy governs window "
+                            "sizing); got ") +
+                    modelName(cfg_.model));
+        if (cfg_.sampling.enabled)
+            throw SimError(ErrorCode::InvalidArgument,
+                           "sampled simulation is single-thread only");
+        if (cfg_.startCheckpoint)
+            throw SimError(ErrorCode::InvalidArgument,
+                           "checkpoint resume is single-thread only");
+    }
+
     // Per-model adjustments.
     if (cfg_.model == ModelKind::Ideal)
         cfg_.core.pipelinePenalties = false;
@@ -83,27 +134,58 @@ Simulator::Simulator(const SimConfig &cfg, const Program &prog)
     RunaheadConfig ra = cfg_.runahead;
     ra.enabled = cfg_.model == ModelKind::Runahead;
 
-    fmem_.loadProgram(prog);
-    if (cfg_.warmInstCaches) {
-        unsigned line = mem_.l1i().lineBytes();
-        for (Addr a = prog.codeBase(); a < prog.codeEnd(); a += line)
-            mem_.warmInstLine(a);
+    for (unsigned tid = 0; tid < progs.size(); ++tid) {
+        const Program &prog = progs[tid];
+        fmems_.emplace_back().loadProgram(prog);
+        // Timing-side warming at the thread's address offset (thread
+        // 0's offset is zero, preserving single-thread behaviour).
+        Addr base = static_cast<Addr>(tid) << kThreadAddrShift;
+        if (cfg_.warmInstCaches) {
+            unsigned line = mem_.l1i().lineBytes();
+            for (Addr a = prog.codeBase(); a < prog.codeEnd();
+                 a += line)
+                mem_.warmInstLine(base + a);
+        }
+        if (cfg_.warmDataCaches && prog.dataEnd() > prog.dataBase()) {
+            unsigned line = mem_.l2().lineBytes();
+            std::uint64_t bytes = prog.dataEnd() - prog.dataBase();
+            bool fits_l1d = bytes <= cfg_.mem.l1d.sizeBytes;
+            for (Addr a = prog.dataBase(); a < prog.dataEnd();
+                 a += line)
+                mem_.warmDataLine(base + a, fits_l1d);
+        }
     }
-    if (cfg_.warmDataCaches && prog.dataEnd() > prog.dataBase()) {
-        unsigned line = mem_.l2().lineBytes();
-        std::uint64_t bytes = prog.dataEnd() - prog.dataBase();
-        bool fits_l1d = bytes <= cfg_.mem.l1d.sizeBytes;
-        for (Addr a = prog.dataBase(); a < prog.dataEnd(); a += line)
-            mem_.warmDataLine(a, fits_l1d);
+
+    if (smt_run) {
+        partition_ = std::make_unique<SmtPartitionController>(
+            cfg_.levels, smt, cfg_.mlp, &stats_);
+        mem_.setL2MissListener([this](Addr a, Cycle c) {
+            // The address's high bits name the missing thread.
+            auto tid = static_cast<unsigned>(a >> kThreadAddrShift);
+            if (tid < partition_->nThreads())
+                partition_->onL2DemandMiss(tid, c);
+        });
+    } else {
+        resize_ = buildController(cfg_, &stats_);
+        mem_.setL2MissListener([this](Addr, Cycle c) {
+            resize_->onL2DemandMiss(c);
+        });
     }
-    resize_ = buildController(cfg_, &stats_);
-    mem_.setL2MissListener(
-        [this](Cycle c) { resize_->onL2DemandMiss(c); });
-    core_ = std::make_unique<OooCore>(cfg_.core, *resize_, mem_, fmem_,
-                                      prog, &stats_, ra, cfg_.bp);
+
+    std::vector<SmtThreadSpec> specs;
+    specs.reserve(progs.size());
+    for (unsigned tid = 0; tid < progs.size(); ++tid)
+        specs.push_back(SmtThreadSpec{&fmems_[tid], &progs[tid]});
+    core_ = std::make_unique<OooCore>(cfg_.core, resize_.get(),
+                                      partition_.get(), mem_, specs,
+                                      &stats_, ra, cfg_.bp);
     if (cfg_.lockstepCheck) {
-        checker_ = std::make_unique<LockstepChecker>(prog);
-        core_->setChecker(checker_.get());
+        checkers_.reserve(progs.size());
+        for (unsigned tid = 0; tid < progs.size(); ++tid) {
+            checkers_.push_back(
+                std::make_unique<LockstepChecker>(progs[tid]));
+            core_->setChecker(tid, checkers_[tid].get());
+        }
     }
     std::string sampling_err = cfg_.sampling.validate();
     if (!sampling_err.empty())
@@ -113,19 +195,25 @@ Simulator::Simulator(const SimConfig &cfg, const Program &prog)
                                                          &stats_);
     if (cfg_.startCheckpoint) {
         const ArchCheckpoint &ck = *cfg_.startCheckpoint;
-        if (ck.programHash() != programHash(prog))
+        if (ck.programHash() != programHash(progs[0]))
             throw SimError(
                 ErrorCode::InvalidArgument,
                 "checkpoint (workload " + ck.workload() +
                     ", inst " + std::to_string(ck.instCount()) +
                     ") was taken from a different program than " +
-                    prog.name() + " (identity hash mismatch)");
-        ck.restoreMemory(fmem_);
+                    progs[0].name() + " (identity hash mismatch)");
+        ck.restoreMemory(fmems_[0]);
         core_->restoreArchState(ck.regs(), ck.pc(), ck.instCount());
-        if (checker_)
-            checker_->restoreState(ck.regs(), ck.pc(), ck.instCount(),
-                                   fmem_);
+        if (!checkers_.empty())
+            checkers_[0]->restoreState(ck.regs(), ck.pc(),
+                                       ck.instCount(), fmems_[0]);
     }
+}
+
+const LevelTable &
+Simulator::activeTable() const
+{
+    return resize_ ? resize_->table() : partition_->table();
 }
 
 IntervalSnapshot
@@ -135,7 +223,7 @@ Simulator::snapshot() const
     s.cycle = core_->cycle();
     s.committed = core_->committedInsts();
     s.l2DemandMisses = mem_.l2DemandMisses();
-    s.level = resize_->level();
+    s.level = resize_ ? resize_->level() : partition_->levelFor(0);
     s.robOcc = core_->robOccupancy();
     s.iqOcc = core_->iqOccupancy();
     s.lsqOcc = core_->lsqOccupancy();
@@ -145,6 +233,18 @@ Simulator::snapshot() const
     Cycle bus_free = mem_.dram().busFreeAt();
     s.dramBacklog = bus_free > s.cycle
         ? static_cast<std::uint64_t>(bus_free - s.cycle) : 0;
+    // Per-thread series (one entry per hardware thread; a single
+    // entry on single-thread runs).
+    for (unsigned tid = 0; tid < core_->nThreads(); ++tid) {
+        const ThreadContext &t = core_->thread(tid);
+        ThreadSnapshot ts;
+        ts.committed = t.committedMeasured;
+        ts.level = core_->threadLevel(tid);
+        ts.robOcc = static_cast<unsigned>(t.window.size());
+        ts.outstandingMisses =
+            static_cast<unsigned>(t.activeMissDone.size());
+        s.threads.push_back(ts);
+    }
     return s;
 }
 
@@ -155,7 +255,7 @@ Simulator::watchdogWindow() const
         return 0;
     if (cfg_.watchdog.noCommitWindow)
         return cfg_.watchdog.noCommitWindow;
-    const LevelTable &table = resize_->table();
+    const LevelTable &table = activeTable();
     Cycle window = 2ULL * cfg_.mlp.memoryLatency *
                    table.at(table.maxLevel()).robSize;
     return std::max<Cycle>(window, 1);
@@ -176,7 +276,7 @@ Simulator::diagnosticDump() const
     d.robHeadPc = core_->robHeadPc();
     d.robHeadCompleted = core_->robHeadCompleted();
 
-    const LevelTable &table = resize_->table();
+    const LevelTable &table = activeTable();
     const ResourceLevel &cap = table.at(table.maxLevel());
     d.robOcc = core_->robOccupancy();
     d.robCap = cap.robSize;
@@ -185,9 +285,15 @@ Simulator::diagnosticDump() const
     d.lsqOcc = core_->lsqOccupancy();
     d.lsqCap = cap.lsqSize;
 
-    d.level = resize_->level();
-    d.allocStopped = resize_->allocStopped();
-    d.inTransition = resize_->inTransition();
+    if (resize_) {
+        d.level = resize_->level();
+        d.allocStopped = resize_->allocStopped();
+        d.inTransition = resize_->inTransition();
+    } else {
+        d.level = partition_->levelFor(0);
+        d.allocStopped = partition_->anyAllocStopped();
+        d.inTransition = partition_->inTransitionFor(0);
+    }
 
     d.outstandingMisses = core_->outstandingL2Misses();
     Cycle bus_free = mem_.dram().busFreeAt();
@@ -222,7 +328,7 @@ Simulator::diagnosticDump() const
 Status
 Simulator::checkInvariants() const
 {
-    const LevelTable &table = resize_->table();
+    const LevelTable &table = activeTable();
     const ResourceLevel &cap = table.at(table.maxLevel());
     if (core_->robOccupancy() > cap.robSize)
         return Status::error(
@@ -268,11 +374,13 @@ Simulator::abortRun(ErrorCode code, const std::string &why) const
 }
 
 void
-Simulator::abortDivergence() const
+Simulator::abortDivergence(unsigned tid) const
 {
-    const LockstepChecker::Divergence &d = checker_->divergence();
+    const LockstepChecker::Divergence &d =
+        checkers_[tid]->divergence();
     DiagnosticDump dump = diagnosticDump();
     dump.hasDivergence = true;
+    dump.divergenceThread = tid;
     dump.divergenceCommit = d.commitIndex;
     dump.divergencePc = d.pc;
     dump.divergenceField = d.field;
@@ -281,12 +389,13 @@ Simulator::abortDivergence() const
     dump.divergenceInst = d.inst;
 
     std::ostringstream os;
-    os << "lockstep divergence at commit #" << d.commitIndex
-       << ": pc 0x" << std::hex << d.pc << " (" << d.inst
-       << ") field " << d.field << " expected 0x" << d.expected
-       << ", got 0x" << d.actual << std::dec << " (workload "
-       << workloadName_ << ", model " << modelName(cfg_.model)
-       << ", cycle " << core_->cycle() << ")";
+    os << "lockstep divergence on thread " << tid << " at commit #"
+       << d.commitIndex << ": pc 0x" << std::hex << d.pc << " ("
+       << d.inst << ") field " << d.field << " expected 0x"
+       << d.expected << ", got 0x" << d.actual << std::dec
+       << " (workload " << workloadName_ << ", model "
+       << modelName(cfg_.model) << ", cycle " << core_->cycle()
+       << ")";
     throw SimError(ErrorCode::ArchDivergence, os.str(),
                    std::move(dump));
 }
@@ -334,7 +443,10 @@ Simulator::runUntil(std::uint64_t committed_target)
             // watchdog window means a shrink (or transition) that can
             // never complete, even if the ROB keeps retiring
             // meanwhile.
-            if (resize_->allocStopped())
+            bool alloc_stopped = resize_
+                ? resize_->allocStopped()
+                : partition_->anyAllocStopped();
+            if (alloc_stopped)
                 ++allocStoppedRun_;
             else
                 allocStoppedRun_ = 0;
@@ -369,12 +481,13 @@ Simulator::fastForward(std::uint64_t n)
 {
     if (n == 0 || core_->halted())
         return 0;
+    mlpwin_assert(core_->nThreads() == 1);
     mlpwin_assert(core_->readyForFastForward());
     FastForwarder ff(core_->oracleForFastForward(), &mem_,
                      &core_->predictorForWarming());
     std::uint64_t done = ff.run(n);
-    if (checker_)
-        checker_->skip(done);
+    if (!checkers_.empty())
+        checkers_[0]->skip(done);
     core_->resumeAfterFastForward();
     return done;
 }
@@ -405,15 +518,23 @@ Simulator::warmupPhase()
     // Warm-up phase: execute unmeasured instructions, then zero every
     // statistic. Stands in for the paper's 16G-instruction skip.
     // Sampled runs always warm up functionally — their whole premise
-    // is that detailed cycles are spent only where measured.
+    // is that detailed cycles are spent only where measured. SMT runs
+    // always warm up in detail: the functional fast-forward drives a
+    // single oracle.
     if (cfg_.warmupInsts > 0 && !core_->halted()) {
-        if (cfg_.functionalWarmup || cfg_.sampling.enabled)
+        bool functional = (cfg_.functionalWarmup ||
+                           cfg_.sampling.enabled) &&
+                          core_->nThreads() == 1;
+        if (functional)
             fastForward(cfg_.warmupInsts);
         else
             runUntil(core_->committedInsts() + cfg_.warmupInsts);
         stats_.resetAll();
         core_->resetMeasurement();
-        resize_->resetMeasurement();
+        if (resize_)
+            resize_->resetMeasurement();
+        else
+            partition_->resetMeasurement();
         if (sampler_)
             sampler_->notifyReset(core_->cycle());
         pollution_base = mem_.l2().pollution();
@@ -508,14 +629,18 @@ SimResult
 Simulator::collectResult(const PollutionStats &pollution_base)
 {
     // End-of-run full-state verification: registers, PC, and the
-    // complete sparse memory image. Only meaningful at Halt — before
-    // that, committed stores may legitimately still sit in the store
-    // buffer ahead of functional memory.
-    if (checker_ && core_->halted()) {
-        Status s =
-            checker_->verifyFinalState(core_->oracle(), fmem_);
-        if (!s.ok())
-            abortRun(s.code(), s.message());
+    // complete sparse memory image, per thread. Only meaningful at
+    // Halt — before that, committed stores may legitimately still sit
+    // in the store buffer ahead of functional memory.
+    if (!checkers_.empty() && core_->halted()) {
+        for (unsigned tid = 0; tid < checkers_.size(); ++tid) {
+            Status s = checkers_[tid]->verifyFinalState(
+                core_->oracle(tid), fmems_[tid]);
+            if (!s.ok())
+                abortRun(s.code(),
+                         "thread " + std::to_string(tid) + ": " +
+                             s.message());
+        }
     }
 
     // Flush the trailing partial interval and close any open episode.
@@ -544,11 +669,53 @@ Simulator::collectResult(const PollutionStats &pollution_base)
         r.l2Pollution.useful[p] -= std::min(
             pollution_base.useful[p], r.l2Pollution.useful[p]);
     }
-    r.cyclesAtLevel = resize_->residency().cyclesAtLevel;
+    if (resize_) {
+        r.cyclesAtLevel = resize_->residency().cyclesAtLevel;
+    } else {
+        // Element-wise sum of the per-thread level residencies: total
+        // thread-cycles spent at each level.
+        r.cyclesAtLevel.assign(activeTable().maxLevel(), 0);
+        for (unsigned tid = 0; tid < core_->nThreads(); ++tid) {
+            const LevelResidency &res = partition_->residencyFor(tid);
+            for (std::size_t l = 0;
+                 l < res.cyclesAtLevel.size() &&
+                 l < r.cyclesAtLevel.size();
+                 ++l)
+                r.cyclesAtLevel[l] += res.cyclesAtLevel[l];
+        }
+    }
     r.runaheadEpisodes = core_->runaheadEpisodes();
     r.runaheadUseless = core_->runaheadUselessEpisodes();
     r.archRegChecksum = core_->oracle().regs().checksum();
-    r.commitStreamHash = checker_ ? checker_->streamHash() : 0;
+
+    r.nThreads = core_->nThreads();
+    r.fetchPolicy = fetchPolicyName(cfg_.core.smt.fetchPolicy);
+    r.partitionPolicy =
+        partitionPolicyName(cfg_.core.smt.partitionPolicy);
+    const Cycle mc = core_->measuredCycles();
+    for (unsigned tid = 0; tid < core_->nThreads(); ++tid) {
+        const ThreadContext &t = core_->thread(tid);
+        r.threadCommitted.push_back(t.committedMeasured);
+        r.threadIpc.push_back(
+            mc ? static_cast<double>(t.committedMeasured) / mc : 0.0);
+        r.threadObservedMlp.push_back(t.observedMlp());
+        r.threadCommitHash.push_back(
+            tid < checkers_.size() && checkers_[tid]
+                ? checkers_[tid]->streamHash() : 0);
+    }
+    if (r.nThreads == 1) {
+        // Single-thread runs keep the original fingerprint exactly.
+        r.commitStreamHash = checkers_.empty()
+            ? 0 : checkers_[0]->streamHash();
+    } else if (!checkers_.empty()) {
+        // FNV-1a fold of the per-thread stream hashes.
+        std::uint64_t h = 0xcbf29ce484222325ULL;
+        for (std::uint64_t th : r.threadCommitHash) {
+            h ^= th;
+            h *= 0x100000001b3ULL;
+        }
+        r.commitStreamHash = h;
+    }
 
     EnergyInputs &e = r.energyInputs;
     e.cycles = r.cycles;
@@ -572,13 +739,47 @@ Simulator::collectResult(const PollutionStats &pollution_base)
     return r;
 }
 
+std::vector<std::string>
+splitWorkloadSpec(const std::string &name)
+{
+    std::vector<std::string> parts;
+    std::string cur;
+    for (char c : name) {
+        if (c == '+') {
+            parts.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    parts.push_back(cur);
+    return parts;
+}
+
 SimResult
 runWorkload(const std::string &name, const SimConfig &cfg,
             std::uint64_t iterations)
 {
-    const WorkloadSpec &spec = findWorkload(name);
-    Program prog = spec.make(iterations);
-    Simulator sim(cfg, prog);
+    std::vector<std::string> parts = splitWorkloadSpec(name);
+    unsigned n = cfg.core.smt.nThreads;
+    if (parts.size() == 1 && n > 1) {
+        // A single name on an SMT config co-schedules n copies.
+        parts.assign(n, parts[0]);
+    }
+    if (parts.size() != n) {
+        throw SimError(ErrorCode::InvalidArgument,
+                       "workload spec '" + name + "' names " +
+                           std::to_string(parts.size()) +
+                           " programs but the configuration has " +
+                           std::to_string(n) + " threads");
+    }
+    std::vector<Program> progs;
+    progs.reserve(parts.size());
+    for (const std::string &part : parts) {
+        const WorkloadSpec &spec = findWorkload(part);
+        progs.push_back(spec.make(iterations));
+    }
+    Simulator sim(cfg, progs);
     return sim.run();
 }
 

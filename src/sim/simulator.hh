@@ -4,6 +4,13 @@
  * cache hierarchy, resize controller, out-of-order core) for one
  * program and one model, runs it, and collects a SimResult with
  * everything the paper's figures and tables need.
+ *
+ * With cfg.core.smt.nThreads > 1 the facade builds an SMT system
+ * instead: one functional memory, program, and lockstep checker per
+ * hardware thread, co-scheduled on one core whose shared windows are
+ * divided by an SmtPartitionController. SMT runs use the base model
+ * (the partition policy governs window sizing) and report per-thread
+ * IPC alongside the aggregates.
  */
 
 #ifndef MLPWIN_SIM_SIMULATOR_HH
@@ -11,6 +18,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <deque>
 #include <memory>
 #include <ostream>
 #include <string>
@@ -27,6 +35,7 @@
 #include "sample/checkpoint.hh"
 #include "sample/sampling.hh"
 #include "sim/sim_config.hh"
+#include "smt/partition.hh"
 #include "telemetry/sampler.hh"
 #include "telemetry/timeline.hh"
 
@@ -69,9 +78,33 @@ struct SimResult
      * result, memAddr, storeData of every committed instruction);
      * 0 when the run was unchecked. Two checked runs with equal
      * hashes committed identical instruction streams — the property
-     * the differential fuzzer requires across models.
+     * the differential fuzzer requires across models. On SMT runs
+     * this is an FNV fold of the per-thread stream hashes.
      */
     std::uint64_t commitStreamHash = 0;
+
+    // --- SMT fields (nThreads > 1 runs) --------------------------------
+    unsigned nThreads = 1;
+    std::string fetchPolicy;     ///< "rr"/"icount"/"predictive".
+    std::string partitionPolicy; ///< "static"/"shared"/"mlp".
+    /** Per-thread IPC over the measurement window. */
+    std::vector<double> threadIpc;
+    /** Per-thread committed instructions (measurement window). */
+    std::vector<std::uint64_t> threadCommitted;
+    /** Per-thread commit-stream hashes (0 when unchecked). */
+    std::vector<std::uint64_t> threadCommitHash;
+    /** Per-thread observed MLP. */
+    std::vector<double> threadObservedMlp;
+    /**
+     * Fairness aggregates vs single-thread alone-run IPC baselines:
+     * system throughput Σ(smt/alone), average normalized turnaround
+     * mean(alone/smt), and harmonic mean of speedups. Filled by the
+     * experiment driver (smt/metrics.hh) when baselines exist; 0
+     * otherwise.
+     */
+    double stp = 0.0;
+    double antt = 0.0;
+    double hmeanSpeedup = 0.0;
 
     // --- sampled-simulation fields (sampled == true runs) -------------
     /** True when this result came from a sampled run. */
@@ -107,6 +140,14 @@ class Simulator
     Simulator(const SimConfig &cfg, const Program &prog);
 
     /**
+     * SMT construction: one program per hardware thread.
+     * progs.size() must equal cfg.core.smt.nThreads; with more than
+     * one thread the model must be Base and sampling / checkpoints /
+     * functional warm-up are unavailable.
+     */
+    Simulator(const SimConfig &cfg, const std::vector<Program> &progs);
+
+    /**
      * Run to Halt / instruction budget / cycle ceiling.
      *
      * @throws SimError (NoProgress / InvariantViolation) if the
@@ -130,6 +171,7 @@ class Simulator
      * satisfy readyForFastForward(); trivially true before the first
      * cycle and after drainPipeline()). The lockstep checker, when
      * attached, skips in lockstep so checking resumes seamlessly.
+     * Single-thread runs only.
      *
      * @return Instructions actually executed (less than n at Halt).
      */
@@ -199,27 +241,49 @@ class Simulator
 
     /**
      * Attach an event timeline (not owned; nullptr detaches). Wired
-     * through to the core (runahead episodes) and the resize
-     * controller (grow/shrink transitions, drain stalls).
+     * through to the core (runahead episodes) and, on single-thread
+     * runs, the resize controller (grow/shrink transitions).
      */
     void
     setTimeline(EventTimeline *t)
     {
         timeline_ = t;
         core_->setTimeline(t);
-        resize_->setTimeline(t);
+        if (resize_)
+            resize_->setTimeline(t);
     }
 
     /** Build a telemetry snapshot of the current machine state. */
     IntervalSnapshot snapshot() const;
 
-    /** The lockstep checker, when cfg.lockstepCheck enabled one. */
-    const LockstepChecker *checker() const { return checker_.get(); }
+    /** Thread 0's lockstep checker, when cfg.lockstepCheck enabled. */
+    const LockstepChecker *
+    checker() const
+    {
+        return checkers_.empty() ? nullptr : checkers_[0].get();
+    }
+
+    /** Per-thread checker (nullptr when unchecked). */
+    const LockstepChecker *
+    checker(unsigned tid) const
+    {
+        return tid < checkers_.size() ? checkers_[tid].get() : nullptr;
+    }
+
+    unsigned nThreads() const { return core_->nThreads(); }
 
     OooCore &core() { return *core_; }
     CacheHierarchy &hierarchy() { return mem_; }
-    MainMemory &memory() { return fmem_; }
+    MainMemory &memory() { return fmems_.front(); }
+    MainMemory &memory(unsigned tid) { return fmems_[tid]; }
+    /** Single-thread runs only (SMT uses partitionController()). */
     ResizeController &controller() { return *resize_; }
+    /** SMT runs only (nullptr on single-thread runs). */
+    const SmtPartitionController *
+    partitionController() const
+    {
+        return partition_.get();
+    }
     StatSet &stats() { return stats_; }
 
     /** Dump all registered stats. */
@@ -231,11 +295,16 @@ class Simulator
     stepCycle()
     {
         core_->tick();
-        if (checker_ && checker_->diverged())
-            abortDivergence();
+        for (unsigned tid = 0; tid < checkers_.size(); ++tid) {
+            if (checkers_[tid] && checkers_[tid]->diverged())
+                abortDivergence(tid);
+        }
         if (sampler_ && sampler_->due(core_->cycle()))
             sampler_->record(snapshot());
     }
+
+    /** The level table in force: resize controller's or partition's. */
+    const LevelTable &activeTable() const;
 
     /** Periodic (checkInterval) watchdog work; throws SimError. */
     void pollWatchdog(Cycle window);
@@ -254,19 +323,22 @@ class Simulator
                                const std::string &why) const;
 
     /**
-     * Throw the ArchDivergence SimError for the checker's recorded
+     * Throw the ArchDivergence SimError for thread tid's recorded
      * first divergent commit, dump attached.
      */
-    [[noreturn]] void abortDivergence() const;
+    [[noreturn]] void abortDivergence(unsigned tid) const;
 
     SimConfig cfg_;
     std::string workloadName_;
     StatSet stats_;
-    MainMemory fmem_;
+    /** One functional memory per hardware thread (address-stable). */
+    std::deque<MainMemory> fmems_;
     CacheHierarchy mem_;
     std::unique_ptr<ResizeController> resize_;
+    std::unique_ptr<SmtPartitionController> partition_;
     std::unique_ptr<OooCore> core_;
-    std::unique_ptr<LockstepChecker> checker_;
+    /** One checker per thread (empty when unchecked). */
+    std::vector<std::unique_ptr<LockstepChecker>> checkers_;
     std::unique_ptr<SamplingController> sampling_;
     IntervalSampler *sampler_ = nullptr;
     EventTimeline *timeline_ = nullptr;
@@ -282,14 +354,20 @@ class Simulator
 };
 
 /**
- * Convenience: build and run one workload under one model.
+ * Convenience: build and run one workload under one model. With
+ * cfg.core.smt.nThreads > 1, `name` may be a '+'-separated pair/quad
+ * of workload names ("mcf+gamess") co-scheduled one per thread; a
+ * single name is replicated across all threads.
  *
- * @param name Workload name from the suite.
+ * @param name Workload name (or '+'-separated co-schedule).
  * @param cfg Full configuration (model field selects the model).
  * @param iterations Outer iterations for the program generator.
  */
 SimResult runWorkload(const std::string &name, const SimConfig &cfg,
                       std::uint64_t iterations);
+
+/** Split a '+'-separated co-schedule spec into workload names. */
+std::vector<std::string> splitWorkloadSpec(const std::string &name);
 
 } // namespace mlpwin
 

@@ -1,0 +1,43 @@
+#include "fetch_policy.hh"
+
+namespace mlpwin
+{
+
+int
+FetchPolicyEngine::pick(const std::vector<FetchThreadState> &threads)
+{
+    const unsigned n = static_cast<unsigned>(threads.size());
+    int best = -1;
+    std::uint64_t best_count = 0;
+
+    for (unsigned k = 1; k <= n; ++k) {
+        unsigned tid = (lastPicked_ + k) % n;
+        const FetchThreadState &t = threads[tid];
+        if (!t.eligible)
+            continue;
+
+        if (cfg_.fetchPolicy == FetchPolicy::RoundRobin) {
+            best = static_cast<int>(tid);
+            break;
+        }
+
+        std::uint64_t count = t.frontEndCount;
+        if (cfg_.fetchPolicy == FetchPolicy::Predictive &&
+            t.outstandingMisses > 0 &&
+            t.mlpEstimate < cfg_.mlpFetchThreshold) {
+            // Miss-stalled with little overlap left to expose:
+            // filling its window starves the other threads.
+            count += cfg_.fetchThrottlePenalty;
+        }
+        if (best < 0 || count < best_count) {
+            best = static_cast<int>(tid);
+            best_count = count;
+        }
+    }
+
+    if (best >= 0)
+        lastPicked_ = static_cast<unsigned>(best);
+    return best;
+}
+
+} // namespace mlpwin

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * SMT fetch arbitration: picks the one thread that owns the fetch
+ * stage each cycle. Three policies (see SmtConfig::FetchPolicy):
+ * round-robin, ICOUNT (Tullsen et al.: fewest in-flight front-end
+ * instructions), and a predictor-driven MLP-aware variant that
+ * throttles a thread stalled on L2 misses it cannot overlap.
+ */
+
+#ifndef MLPWIN_SMT_FETCH_POLICY_HH
+#define MLPWIN_SMT_FETCH_POLICY_HH
+
+#include <vector>
+
+#include "smt/smt_config.hh"
+
+namespace mlpwin
+{
+
+/** Per-thread inputs the core supplies to pick(). */
+struct FetchThreadState
+{
+    /** May fetch this cycle (not halted/stalled/redirecting/full). */
+    bool eligible = false;
+    /** Fetch-queue + IQ occupancy (the ICOUNT metric). */
+    unsigned frontEndCount = 0;
+    /** In-flight L2-miss loads. */
+    unsigned outstandingMisses = 0;
+    /** Predicted MLP (ThreadPredictor::mlpEstimate). */
+    double mlpEstimate = 0.0;
+};
+
+/** See file comment. */
+class FetchPolicyEngine
+{
+  public:
+    explicit FetchPolicyEngine(const SmtConfig &cfg)
+        : cfg_(cfg), lastPicked_(cfg.nThreads - 1)
+    {}
+
+    /**
+     * Choose the fetching thread. Deterministic: ties break in
+     * rotation order after the previously picked thread.
+     * @return Thread id, or -1 if no thread is eligible.
+     */
+    int pick(const std::vector<FetchThreadState> &threads);
+
+  private:
+    SmtConfig cfg_;
+    unsigned lastPicked_;
+};
+
+} // namespace mlpwin
+
+#endif // MLPWIN_SMT_FETCH_POLICY_HH

@@ -1,0 +1,72 @@
+#include "metrics.hh"
+
+#include <limits>
+
+#include "common/status.hh"
+
+namespace mlpwin
+{
+
+namespace
+{
+
+void
+checkInputs(const std::vector<double> &smt_ipc,
+            const std::vector<double> &alone_ipc)
+{
+    if (smt_ipc.empty() || smt_ipc.size() != alone_ipc.size())
+        throw SimError(ErrorCode::InvalidArgument,
+                       "fairness metrics need one SMT IPC and one "
+                       "alone IPC per thread (got " +
+                           std::to_string(smt_ipc.size()) + " and " +
+                           std::to_string(alone_ipc.size()) + ")");
+    for (double a : alone_ipc) {
+        if (a <= 0.0)
+            throw SimError(ErrorCode::InvalidArgument,
+                           "fairness metrics need positive "
+                           "single-thread (alone) IPCs");
+    }
+}
+
+} // namespace
+
+double
+stp(const std::vector<double> &smt_ipc,
+    const std::vector<double> &alone_ipc)
+{
+    checkInputs(smt_ipc, alone_ipc);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < smt_ipc.size(); ++i)
+        sum += smt_ipc[i] / alone_ipc[i];
+    return sum;
+}
+
+double
+antt(const std::vector<double> &smt_ipc,
+     const std::vector<double> &alone_ipc)
+{
+    checkInputs(smt_ipc, alone_ipc);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < smt_ipc.size(); ++i) {
+        if (smt_ipc[i] <= 0.0)
+            return std::numeric_limits<double>::infinity();
+        sum += alone_ipc[i] / smt_ipc[i];
+    }
+    return sum / static_cast<double>(smt_ipc.size());
+}
+
+double
+harmonicSpeedup(const std::vector<double> &smt_ipc,
+                const std::vector<double> &alone_ipc)
+{
+    checkInputs(smt_ipc, alone_ipc);
+    double denom = 0.0;
+    for (std::size_t i = 0; i < smt_ipc.size(); ++i) {
+        if (smt_ipc[i] <= 0.0)
+            return 0.0;
+        denom += alone_ipc[i] / smt_ipc[i];
+    }
+    return static_cast<double>(smt_ipc.size()) / denom;
+}
+
+} // namespace mlpwin

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Multiprogram throughput/fairness metrics (Eyerman & Eeckhout):
+ * system throughput (STP, a.k.a. weighted speedup), average
+ * normalized turnaround time (ANTT), and the harmonic mean of
+ * per-thread speedups. All take the co-scheduled (SMT) per-thread
+ * IPCs and the same programs' single-thread (alone) IPCs.
+ */
+
+#ifndef MLPWIN_SMT_METRICS_HH
+#define MLPWIN_SMT_METRICS_HH
+
+#include <vector>
+
+namespace mlpwin
+{
+
+/**
+ * System throughput: sum over threads of IPC_smt / IPC_alone.
+ * Ranges up to nThreads; 1.0 means "as much total work as one
+ * program running alone".
+ *
+ * @throws SimError{InvalidArgument} on empty or mismatched inputs,
+ *         or a non-positive alone IPC.
+ */
+double stp(const std::vector<double> &smt_ipc,
+           const std::vector<double> &alone_ipc);
+
+/**
+ * Average normalized turnaround time: mean over threads of
+ * IPC_alone / IPC_smt (per-thread slowdown; lower is better, 1.0 =
+ * no slowdown). Infinity if any thread committed nothing.
+ *
+ * @throws SimError{InvalidArgument} as stp().
+ */
+double antt(const std::vector<double> &smt_ipc,
+            const std::vector<double> &alone_ipc);
+
+/**
+ * Harmonic mean of per-thread speedups IPC_smt / IPC_alone —
+ * balances throughput and fairness. 0 if any thread committed
+ * nothing.
+ *
+ * @throws SimError{InvalidArgument} as stp().
+ */
+double harmonicSpeedup(const std::vector<double> &smt_ipc,
+                       const std::vector<double> &alone_ipc);
+
+} // namespace mlpwin
+
+#endif // MLPWIN_SMT_METRICS_HH

@@ -1,0 +1,181 @@
+#include "partition.hh"
+
+#include "common/logging.hh"
+
+namespace mlpwin
+{
+
+SmtPartitionController::SmtPartitionController(
+        const LevelTable &table, const SmtConfig &smt,
+        const MlpControllerConfig &mlp, StatSet *stats)
+    : table_(table), smt_(smt), cfg_(mlp),
+      enlargements_(stats, "smt.enlargements",
+                    "per-thread level-up transitions"),
+      shrinks_(stats, "smt.shrinks",
+               "per-thread level-down transitions"),
+      drainStallCycles_(stats, "smt.drain_stall_cycles",
+                        "thread-cycles allocation stopped to drain")
+{
+    mlpwin_assert(smt_.nThreads >= 1 &&
+                  smt_.nThreads <= kMaxSmtThreads);
+    unsigned start_level = 1;
+    switch (smt_.partitionPolicy) {
+      case PartitionPolicy::Static:
+        start_level = staticLevel(table_, smt_.nThreads);
+        break;
+      case PartitionPolicy::Shared:
+        start_level = table_.maxLevel();
+        break;
+      case PartitionPolicy::MlpAware:
+        start_level = 1;
+        break;
+    }
+    threads_.resize(smt_.nThreads);
+    for (ThreadState &t : threads_) {
+        t.level = start_level;
+        t.residency.cyclesAtLevel.assign(table_.maxLevel(), 0);
+    }
+}
+
+unsigned
+SmtPartitionController::staticLevel(const LevelTable &table,
+                                    unsigned n_threads)
+{
+    const ResourceLevel &cap = table.at(table.maxLevel());
+    unsigned best = 1;
+    for (unsigned l = 1; l <= table.maxLevel(); ++l) {
+        const ResourceLevel &r = table.at(l);
+        if (n_threads * r.robSize <= cap.robSize &&
+            n_threads * r.iqSize <= cap.iqSize &&
+            n_threads * r.lsqSize <= cap.lsqSize) {
+            best = l;
+        }
+    }
+    return best;
+}
+
+bool
+SmtPartitionController::growFeasible(unsigned tid) const
+{
+    const ResourceLevel &cap = budget();
+    std::uint64_t rob = 0, iq = 0, lsq = 0;
+    for (unsigned t = 0; t < threads_.size(); ++t) {
+        if (threads_[t].halted)
+            continue; // A finished thread's allocation is released.
+        unsigned lvl = threads_[t].level + (t == tid ? 1 : 0);
+        const ResourceLevel &r = table_.at(lvl);
+        rob += r.robSize;
+        iq += r.iqSize;
+        lsq += r.lsqSize;
+    }
+    return rob <= cap.robSize && iq <= cap.iqSize &&
+           lsq <= cap.lsqSize;
+}
+
+void
+SmtPartitionController::startTransition(ThreadState &t, Cycle now)
+{
+    if (cfg_.transitionPenalty > 0) {
+        t.stallUntil = now + cfg_.transitionPenalty;
+        t.inTransition = true;
+    }
+}
+
+void
+SmtPartitionController::onL2DemandMiss(unsigned tid, Cycle now)
+{
+    if (smt_.partitionPolicy != PartitionPolicy::MlpAware)
+        return;
+    ThreadState &t = threads_[tid];
+    if (t.halted)
+        return;
+    // Fig. 5 lines 7-10, per thread, gated on shared-budget headroom.
+    if (t.level < table_.maxLevel() && growFeasible(tid)) {
+        ++t.level;
+        ++ups_;
+        ++enlargements_;
+        startTransition(t, now);
+    }
+    t.shrinkTiming = now + cfg_.memoryLatency;
+    t.doShrink = false;
+}
+
+bool
+SmtPartitionController::anyAllocStopped() const
+{
+    for (const ThreadState &t : threads_) {
+        if (t.allocStopped)
+            return true;
+    }
+    return false;
+}
+
+void
+SmtPartitionController::tick(
+        Cycle now, const std::vector<ThreadPartitionInput> &in)
+{
+    mlpwin_assert(in.size() == threads_.size());
+
+    for (unsigned tid = 0; tid < threads_.size(); ++tid) {
+        ThreadState &t = threads_[tid];
+        t.halted = in[tid].halted;
+        if (t.halted) {
+            // Release the allocation so co-runners can grow into it.
+            t.level = 1;
+            t.doShrink = false;
+            t.shrinkTiming = kNoCycle;
+            t.allocStopped = false;
+            t.inTransition = false;
+            continue;
+        }
+        t.residency.cyclesAtLevel[t.level - 1] += 1;
+
+        if (smt_.partitionPolicy != PartitionPolicy::MlpAware) {
+            t.allocStopped = false;
+            continue;
+        }
+
+        if (t.inTransition && now >= t.stallUntil)
+            t.inTransition = false;
+
+        // Fig. 5 lines 11-13.
+        if (t.shrinkTiming != kNoCycle && now >= t.shrinkTiming)
+            t.doShrink = true;
+
+        bool stop_alloc = false;
+
+        // Fig. 5 lines 14-23.
+        if (t.level > 1 && t.doShrink) {
+            const ResourceLevel &target = table_.at(t.level - 1);
+            const WindowOccupancy &occ = in[tid].occ;
+            if (occ.rob <= target.robSize &&
+                occ.iq <= target.iqSize &&
+                occ.lsq <= target.lsqSize) {
+                --t.level;
+                ++downs_;
+                ++shrinks_;
+                t.shrinkTiming = now + cfg_.memoryLatency;
+                t.doShrink = false;
+                startTransition(t, now);
+            } else {
+                stop_alloc = true;
+                ++drainStallCycles_;
+            }
+        }
+
+        t.allocStopped = stop_alloc || t.inTransition;
+    }
+}
+
+void
+SmtPartitionController::resetMeasurement()
+{
+    for (ThreadState &t : threads_) {
+        std::fill(t.residency.cyclesAtLevel.begin(),
+                  t.residency.cyclesAtLevel.end(), 0);
+    }
+    ups_ = 0;
+    downs_ = 0;
+}
+
+} // namespace mlpwin

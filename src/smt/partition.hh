@@ -1,0 +1,159 @@
+/**
+ * @file
+ * SMT window partitioning: allocates level-table entries per thread
+ * from the shared ROB/IQ/LSQ budget (the largest level's sizes).
+ *
+ * Three policies (see SmtConfig::PartitionPolicy):
+ *  - Static: every thread fixed at the largest uniform level whose
+ *    summed sizes fit the budget (level 1 for 2-4 threads with the
+ *    paper's table — the classic statically partitioned SMT).
+ *  - Shared: every thread sees the full budget; only the global
+ *    capacity (enforced by the core at dispatch) limits growth.
+ *  - MlpAware: the paper's Fig. 5 algorithm run per thread under a
+ *    feasibility constraint: a thread grows one level on its own L2
+ *    demand miss if the other threads' current allocations leave
+ *    room, and shrinks one level (draining with allocation stopped,
+ *    paying the transition penalty) after a full memory latency
+ *    without one. Memory-bound phases thus borrow window entries
+ *    from compute-bound co-runners and return them afterwards.
+ */
+
+#ifndef MLPWIN_SMT_PARTITION_HH
+#define MLPWIN_SMT_PARTITION_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "resize/controller.hh"
+#include "resize/level_table.hh"
+#include "smt/smt_config.hh"
+
+namespace mlpwin
+{
+
+/** Per-thread occupancy the core passes to tick(). */
+struct ThreadPartitionInput
+{
+    WindowOccupancy occ;
+    /** Thread committed its Halt; its allocation is released. */
+    bool halted = false;
+};
+
+/** See file comment. */
+class SmtPartitionController
+{
+  public:
+    /**
+     * @param table Level table shared by all threads (copied).
+     * @param smt Thread count and partition policy.
+     * @param mlp Fig. 5 timing knobs (memory latency, penalty).
+     * @param stats Stat registry (may be nullptr).
+     */
+    SmtPartitionController(const LevelTable &table,
+                           const SmtConfig &smt,
+                           const MlpControllerConfig &mlp,
+                           StatSet *stats);
+
+    /** Called (via the Simulator) on thread tid's L2 demand misses. */
+    void onL2DemandMiss(unsigned tid, Cycle now);
+
+    /** Advance one cycle; in.size() must equal nThreads. */
+    void tick(Cycle now, const std::vector<ThreadPartitionInput> &in);
+
+    unsigned nThreads() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+    /** Thread tid's current level (1-based). */
+    unsigned levelFor(unsigned tid) const
+    {
+        return threads_[tid].level;
+    }
+
+    /** Thread tid's resource caps at its current level. */
+    const ResourceLevel &
+    currentFor(unsigned tid) const
+    {
+        return table_.at(threads_[tid].level);
+    }
+
+    /** True while thread tid must not allocate window resources. */
+    bool allocStoppedFor(unsigned tid) const
+    {
+        return threads_[tid].allocStopped;
+    }
+
+    /** True if any thread has allocation stopped (drain watchdog). */
+    bool anyAllocStopped() const;
+
+    bool inTransitionFor(unsigned tid) const
+    {
+        return threads_[tid].inTransition;
+    }
+
+    const LevelTable &table() const { return table_; }
+
+    /** The shared capacity: the largest level's sizes. */
+    const ResourceLevel &
+    budget() const
+    {
+        return table_.at(table_.maxLevel());
+    }
+
+    const LevelResidency &residencyFor(unsigned tid) const
+    {
+        return threads_[tid].residency;
+    }
+
+    std::uint64_t upTransitions() const { return ups_; }
+    std::uint64_t downTransitions() const { return downs_; }
+
+    /** Zero residency/transition accounting. */
+    void resetMeasurement();
+
+    /**
+     * The largest level l with nThreads * sizes(l) inside the
+     * budget for all three resources (>= 1: level 1 must fit, which
+     * the paper's table guarantees up to kMaxSmtThreads).
+     */
+    static unsigned staticLevel(const LevelTable &table,
+                                unsigned n_threads);
+
+    /**
+     * True if raising tid one level keeps the summed per-thread
+     * caps within the budget (halted threads count as released).
+     */
+    bool growFeasible(unsigned tid) const;
+
+  private:
+    struct ThreadState
+    {
+        unsigned level = 1;
+        Cycle shrinkTiming = kNoCycle;
+        bool doShrink = false;
+        Cycle stallUntil = 0;
+        bool allocStopped = false;
+        bool inTransition = false;
+        bool halted = false;
+        LevelResidency residency;
+    };
+
+    void startTransition(ThreadState &t, Cycle now);
+
+    LevelTable table_;
+    SmtConfig smt_;
+    MlpControllerConfig cfg_;
+    std::vector<ThreadState> threads_;
+    std::uint64_t ups_ = 0;
+    std::uint64_t downs_ = 0;
+
+    Counter enlargements_;
+    Counter shrinks_;
+    Counter drainStallCycles_;
+};
+
+} // namespace mlpwin
+
+#endif // MLPWIN_SMT_PARTITION_HH

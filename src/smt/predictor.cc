@@ -1,0 +1,75 @@
+#include "predictor.hh"
+
+#include <algorithm>
+
+namespace mlpwin
+{
+
+ThreadPredictor::ThreadPredictor(const SmtConfig &cfg)
+    : intervalCycles_(std::max(1u, cfg.predictorIntervalCycles)),
+      ring_(std::max(1u, cfg.predictorHistoryLength))
+{
+}
+
+void
+ThreadPredictor::advance()
+{
+    Slot &old = ring_[head_];
+    totalCycles_ -= old.cycles;
+    totalIssued_ -= old.issued;
+    totalMissCycles_ -= old.missCycles;
+    totalMissSum_ -= old.missSum;
+
+    old = cur_;
+    totalCycles_ += cur_.cycles;
+    totalIssued_ += cur_.issued;
+    totalMissCycles_ += cur_.missCycles;
+    totalMissSum_ += cur_.missSum;
+
+    head_ = (head_ + 1) % ring_.size();
+    cur_ = Slot{};
+}
+
+void
+ThreadPredictor::tick(unsigned outstanding_misses, unsigned issued)
+{
+    ++cur_.cycles;
+    cur_.issued += issued;
+    if (outstanding_misses > 0) {
+        ++cur_.missCycles;
+        cur_.missSum += outstanding_misses;
+    }
+    if (cur_.cycles >= intervalCycles_)
+        advance();
+}
+
+double
+ThreadPredictor::ilpEstimate() const
+{
+    std::uint64_t cycles = totalCycles_ + cur_.cycles;
+    std::uint64_t issued = totalIssued_ + cur_.issued;
+    return cycles ? static_cast<double>(issued) /
+                        static_cast<double>(cycles)
+                  : 0.0;
+}
+
+double
+ThreadPredictor::mlpEstimate() const
+{
+    std::uint64_t mc = totalMissCycles_ + cur_.missCycles;
+    std::uint64_t ms = totalMissSum_ + cur_.missSum;
+    return mc ? static_cast<double>(ms) / static_cast<double>(mc)
+              : 0.0;
+}
+
+void
+ThreadPredictor::reset()
+{
+    std::fill(ring_.begin(), ring_.end(), Slot{});
+    cur_ = Slot{};
+    head_ = 0;
+    totalCycles_ = totalIssued_ = 0;
+    totalMissCycles_ = totalMissSum_ = 0;
+}
+
+} // namespace mlpwin

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Per-thread ILP/MLP predictors for the SMT fetch and partition
+ * policies. A ring buffer of fixed-length cycle intervals (the
+ * QoSMT ILPPredictor idiom: a short history array indexed by a
+ * advancing head, averaged on read) accumulates, per slot, the
+ * instructions the thread issued and its outstanding-L2-miss
+ * occupancy; the predictions are windowed averages over the ring:
+ *
+ *  - ilpEstimate(): issued instructions per cycle — how well the
+ *    thread uses issue slots when it gets them.
+ *  - mlpEstimate(): mean outstanding L2 misses over the miss-active
+ *    cycles in the window — how much miss overlap a bigger window
+ *    is buying this thread.
+ *
+ * Purely observational: predictors never affect timing unless a
+ * policy consults them.
+ */
+
+#ifndef MLPWIN_SMT_PREDICTOR_HH
+#define MLPWIN_SMT_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "smt/smt_config.hh"
+
+namespace mlpwin
+{
+
+/** See file comment. */
+class ThreadPredictor
+{
+  public:
+    explicit ThreadPredictor(const SmtConfig &cfg);
+
+    /**
+     * Advance one cycle.
+     * @param outstanding_misses In-flight L2-miss loads this cycle.
+     * @param issued Instructions the thread issued this cycle.
+     */
+    void tick(unsigned outstanding_misses, unsigned issued);
+
+    /** Issued instructions per cycle over the history window. */
+    double ilpEstimate() const;
+
+    /**
+     * Mean outstanding L2 misses over miss-active cycles in the
+     * window; 0 when the window holds no miss-active cycle.
+     */
+    double mlpEstimate() const;
+
+    /** Drop all history (measurement-window reset). */
+    void reset();
+
+  private:
+    struct Slot
+    {
+        std::uint32_t cycles = 0;
+        std::uint32_t issued = 0;
+        std::uint32_t missCycles = 0;
+        std::uint64_t missSum = 0;
+    };
+
+    /** Retire the current slot into the ring and start a new one. */
+    void advance();
+
+    unsigned intervalCycles_;
+    std::vector<Slot> ring_;
+    unsigned head_ = 0;
+    Slot cur_;
+
+    // Running totals over ring_ (cur_ excluded), kept incrementally
+    // so the estimates are O(1) per read.
+    std::uint64_t totalCycles_ = 0;
+    std::uint64_t totalIssued_ = 0;
+    std::uint64_t totalMissCycles_ = 0;
+    std::uint64_t totalMissSum_ = 0;
+};
+
+} // namespace mlpwin
+
+#endif // MLPWIN_SMT_PREDICTOR_HH

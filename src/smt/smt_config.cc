@@ -1,0 +1,79 @@
+#include "smt_config.hh"
+
+#include <cstring>
+
+namespace mlpwin
+{
+
+const char *
+fetchPolicyName(FetchPolicy p)
+{
+    switch (p) {
+      case FetchPolicy::RoundRobin:
+        return "rr";
+      case FetchPolicy::Icount:
+        return "icount";
+      case FetchPolicy::Predictive:
+        return "predictive";
+    }
+    return "?";
+}
+
+const char *
+partitionPolicyName(PartitionPolicy p)
+{
+    switch (p) {
+      case PartitionPolicy::Static:
+        return "static";
+      case PartitionPolicy::Shared:
+        return "shared";
+      case PartitionPolicy::MlpAware:
+        return "mlp";
+    }
+    return "?";
+}
+
+bool
+parseFetchPolicy(const char *s, FetchPolicy &out)
+{
+    if (s == nullptr)
+        return false;
+    for (FetchPolicy p : {FetchPolicy::RoundRobin, FetchPolicy::Icount,
+                          FetchPolicy::Predictive}) {
+        if (std::strcmp(s, fetchPolicyName(p)) == 0) {
+            out = p;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+parsePartitionPolicy(const char *s, PartitionPolicy &out)
+{
+    if (s == nullptr)
+        return false;
+    for (PartitionPolicy p :
+         {PartitionPolicy::Static, PartitionPolicy::Shared,
+          PartitionPolicy::MlpAware}) {
+        if (std::strcmp(s, partitionPolicyName(p)) == 0) {
+            out = p;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+fetchPolicyNames()
+{
+    return "rr, icount, predictive";
+}
+
+std::string
+partitionPolicyNames()
+{
+    return "static, shared, mlp";
+}
+
+} // namespace mlpwin

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * SMT (simultaneous multithreading) configuration: thread count,
+ * fetch policy, and per-thread window-partition policy, plus the
+ * knobs of the per-thread ILP/MLP predictors. Plumbed through
+ * CoreConfig so one struct reaches the core, the Simulator, and the
+ * CLI flag parsers alike.
+ */
+
+#ifndef MLPWIN_SMT_SMT_CONFIG_HH
+#define MLPWIN_SMT_SMT_CONFIG_HH
+
+#include <string>
+
+namespace mlpwin
+{
+
+/** Hard cap on co-scheduled hardware threads. */
+constexpr unsigned kMaxSmtThreads = 4;
+
+/**
+ * Per-thread timing-address offset: thread t's functional addresses
+ * are shifted by t << kThreadAddrShift before reaching the shared
+ * cache hierarchy, so co-scheduled programs (separate address
+ * spaces) never alias in the caches and an L2 miss's address names
+ * its thread. Thread 0's addresses are unchanged, which keeps
+ * single-thread runs bit-identical.
+ */
+constexpr unsigned kThreadAddrShift = 40;
+
+/** Which thread fetches each cycle. */
+enum class FetchPolicy
+{
+    /** Rotate over eligible threads, one per cycle. */
+    RoundRobin,
+    /** Fewest in-flight front-end instructions first (ICOUNT). */
+    Icount,
+    /**
+     * MLP-aware ICOUNT: a thread stalled on outstanding L2 misses
+     * with a low predicted MLP is fetch-throttled (its window fills
+     * with instructions that cannot issue); a high-MLP thread keeps
+     * fetching to expose more overlapping misses.
+     */
+    Predictive,
+};
+
+/** How the shared ROB/IQ/LSQ budget is split across threads. */
+enum class PartitionPolicy
+{
+    /** Fixed equal split: every thread at the largest uniform level. */
+    Static,
+    /**
+     * No per-thread cap: every thread sees the full budget and the
+     * core enforces only the global capacity (first-come-first-
+     * served, ICOUNT-style sharing).
+     */
+    Shared,
+    /**
+     * The paper's Fig. 5 algorithm applied per thread under the
+     * shared budget: a thread grows one level on its own L2 demand
+     * misses while the other threads' allocations leave headroom,
+     * and shrinks back after a full memory latency without one.
+     */
+    MlpAware,
+};
+
+/** See file comment. */
+struct SmtConfig
+{
+    /** Hardware threads (1 = the original single-thread core). */
+    unsigned nThreads = 1;
+    FetchPolicy fetchPolicy = FetchPolicy::Icount;
+    PartitionPolicy partitionPolicy = PartitionPolicy::Static;
+
+    // --- per-thread ILP/MLP predictor knobs ---------------------------
+    /** Ring slots of history (QoSMT-style ring buffer). */
+    unsigned predictorHistoryLength = 16;
+    /** Cycles accumulated into each ring slot. */
+    unsigned predictorIntervalCycles = 128;
+
+    // --- predictive fetch knobs ---------------------------------------
+    /** Predicted MLP below which a miss-stalled thread is throttled. */
+    double mlpFetchThreshold = 1.5;
+    /** ICOUNT bias added to a throttled thread's count. */
+    unsigned fetchThrottlePenalty = 64;
+};
+
+/** Printable policy names ("rr"/"icount"/"predictive"). */
+const char *fetchPolicyName(FetchPolicy p);
+/** Printable policy names ("static"/"shared"/"mlp"). */
+const char *partitionPolicyName(PartitionPolicy p);
+
+/**
+ * Strict parse of a fetch-policy name.
+ * @return false (out untouched) unless s is exactly one of the
+ *         names listed by fetchPolicyNames().
+ */
+bool parseFetchPolicy(const char *s, FetchPolicy &out);
+/** Strict parse of a partition-policy name; see parseFetchPolicy. */
+bool parsePartitionPolicy(const char *s, PartitionPolicy &out);
+
+/** Comma-separated valid fetch-policy names (error messages). */
+std::string fetchPolicyNames();
+/** Comma-separated valid partition-policy names (error messages). */
+std::string partitionPolicyNames();
+
+} // namespace mlpwin
+
+#endif // MLPWIN_SMT_SMT_CONFIG_HH

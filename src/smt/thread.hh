@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The SMT thread context: everything the out-of-order core keeps
+ * per hardware thread. One ThreadContext owns a thread's
+ * architectural front (PC, correct-path oracle emulator, branch
+ * predictor with its own history), its private window views (ROB
+ * deque, rename map, LSQ list, fetch queue, store buffer, WIB
+ * state, runahead state), its wrong-path shadow machinery, and the
+ * per-thread observability hooks (lockstep checker, ILP/MLP
+ * predictor, MLP accounting). The core's shared structures — cycle
+ * clock, sequence numbers, issue queue list, functional units,
+ * completion events — stay in OooCore; a single-thread core is one
+ * ThreadContext driven exactly as before.
+ *
+ * Not copyable or movable (the branch predictor registers stats by
+ * pointer): the core heap-allocates one per thread.
+ */
+
+#ifndef MLPWIN_SMT_THREAD_HH
+#define MLPWIN_SMT_THREAD_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "branch/predictor.hh"
+#include "common/types.hh"
+#include "cpu/dyninst.hh"
+#include "emu/emulator.hh"
+#include "isa/program.hh"
+#include "mem/main_memory.hh"
+#include "runahead/runahead.hh"
+#include "smt/predictor.hh"
+#include "smt/smt_config.hh"
+
+namespace mlpwin
+{
+
+class LockstepChecker;
+
+/** A committed store waiting to drain to the caches. */
+struct PendingStore
+{
+    Addr addr;
+    RegVal data;
+};
+
+/** See file comment. */
+struct ThreadContext
+{
+    /**
+     * @param tid_ Hardware thread id (0-based).
+     * @param fmem_ The thread's functional memory, already loaded
+     *        (not owned).
+     * @param prog The thread's program.
+     * @param smt_cfg Predictor knobs.
+     * @param stats Stat registry for the branch predictor; pass
+     *        nullptr for tids > 0 (stat names are per-core).
+     * @param bp_cfg Branch predictor configuration.
+     */
+    ThreadContext(unsigned tid_, MainMemory &fmem_,
+                  const Program &prog, const SmtConfig &smt_cfg,
+                  StatSet *stats, const BranchPredictorConfig &bp_cfg)
+        : tid(tid_), fmem(fmem_),
+          addrBase(static_cast<Addr>(tid_) << kThreadAddrShift),
+          bp(bp_cfg, stats), oracle(fmem_, prog.entry()),
+          fetchPc(prog.entry()), predictor(smt_cfg)
+    {
+        renameMap.fill(kNoProducer);
+    }
+
+    ThreadContext(const ThreadContext &) = delete;
+    ThreadContext &operator=(const ThreadContext &) = delete;
+
+    const unsigned tid;
+    /** Functional memory (private address space; not owned). */
+    MainMemory &fmem;
+    /** Offset added to timing addresses in the shared caches. */
+    const Addr addrBase;
+
+    BranchPredictor bp;
+    Emulator oracle;
+
+    // --- lifecycle ------------------------------------------------------
+    /** The thread's Halt instruction has committed. */
+    bool halted = false;
+    /** Lifetime count of real (non-pseudo) commits (== oracle). */
+    std::uint64_t committedTotal = 0;
+    /** Commits inside the measurement window (per-thread IPC). */
+    std::uint64_t committedMeasured = 0;
+
+    // --- windows --------------------------------------------------------
+    /**
+     * The thread's ROB slice, oldest at front. A std::deque keeps
+     * element addresses stable, so the core's shared seq map and IQ
+     * list may hold raw pointers into it.
+     */
+    std::deque<DynInst> window;
+    std::deque<DynInst> fetchQueue;
+    unsigned iqOcc = 0;
+    unsigned lsqOcc = 0;
+    std::deque<DynInst *> lsqList; ///< LSQ entries, age order.
+    std::array<InstSeqNum, kNumArchRegs> renameMap{};
+    std::deque<PendingStore> storeBuffer;
+
+    // --- WIB state ------------------------------------------------------
+    unsigned wibOcc = 0;
+    std::unordered_map<InstSeqNum, std::vector<InstSeqNum>> wibWaiters;
+    std::deque<std::pair<Cycle, InstSeqNum>> wibReady;
+
+    // --- fetch state ----------------------------------------------------
+    Addr fetchPc = 0;
+    bool fetchHalted = false;
+    bool fetchWaitBranch = false;
+    Cycle redirectAt = 0;
+    Cycle icacheBusyUntil = 0;
+    Addr lastFetchLine = kNoAddr;
+
+    // --- wrong-path state -----------------------------------------------
+    bool onWrongPath = false;
+    RegFile shadowRegs;
+    std::unordered_map<Addr, RegVal> shadowStores;
+
+    // --- runahead state -------------------------------------------------
+    bool inRunahead = false;
+    Addr raTriggerPc = 0;
+    Cycle raExitAt = 0;
+    std::uint64_t raEpisodeMisses = 0;
+    std::vector<ExecRecord> raUndoLog;
+    InvTracker inv;
+    RunaheadCauseStatusTable rcst;
+
+    // --- per-cycle scratch ----------------------------------------------
+    bool allocStalledFull = false;
+    /** Instructions issued this cycle (predictor input). */
+    unsigned issuedThisCycle = 0;
+
+    // --- MLP observation -------------------------------------------------
+    /** Completion cycles of in-flight L2-miss loads. */
+    std::vector<Cycle> activeMissDone;
+    double mlpOverlapSum = 0.0;
+    std::uint64_t mlpActiveCycles = 0;
+
+    // --- SMT policy inputs ----------------------------------------------
+    ThreadPredictor predictor;
+
+    /** Per-thread lockstep checker (not owned; nullptr disables). */
+    LockstepChecker *checker = nullptr;
+
+    /** Average in-flight L2-miss loads over miss-active cycles. */
+    double
+    observedMlp() const
+    {
+        return mlpActiveCycles
+            ? mlpOverlapSum / static_cast<double>(mlpActiveCycles)
+            : 0.0;
+    }
+};
+
+} // namespace mlpwin
+
+#endif // MLPWIN_SMT_THREAD_HH

@@ -21,6 +21,24 @@ intervalSampleToJson(const IntervalSample &s)
     out += ",\"l2_mpki\":" + fmtDouble(s.l2Mpki);
     out += ",\"outstanding_misses\":" + fmtU64(s.outstandingMisses);
     out += ",\"dram_backlog\":" + fmtU64(s.dramBacklog);
+    // Per-thread slices appear only on multi-thread runs, keeping the
+    // single-thread schema (and its consumers) unchanged.
+    if (!s.threads.empty()) {
+        out += ",\"threads\":[";
+        for (std::size_t i = 0; i < s.threads.size(); ++i) {
+            const ThreadSample &t = s.threads[i];
+            if (i)
+                out += ',';
+            out += "{\"committed\":" + fmtU64(t.committed);
+            out += ",\"ipc\":" + fmtDouble(t.ipc);
+            out += ",\"level\":" + fmtU64(t.level);
+            out += ",\"rob\":" + fmtU64(t.robOcc);
+            out += ",\"outstanding_misses\":" +
+                   fmtU64(t.outstandingMisses);
+            out += "}";
+        }
+        out += "]";
+    }
     out += "}";
     return out;
 }

@@ -43,6 +43,27 @@ IntervalSampler::push(const IntervalSnapshot &snap)
     s.outstandingMisses = snap.outstandingMisses;
     s.dramBacklog = snap.dramBacklog;
 
+    // Per-thread slices carry a thread-local commit delta; only
+    // multi-thread runs produce them.
+    if (snap.threads.size() > 1) {
+        prevThreadCommitted_.resize(snap.threads.size(), 0);
+        s.threads.resize(snap.threads.size());
+        for (std::size_t i = 0; i < snap.threads.size(); ++i) {
+            const ThreadSnapshot &tsnap = snap.threads[i];
+            ThreadSample &t = s.threads[i];
+            t.committed = tsnap.committed >= prevThreadCommitted_[i]
+                ? tsnap.committed - prevThreadCommitted_[i]
+                : tsnap.committed;
+            t.ipc = dt ? static_cast<double>(t.committed) /
+                             static_cast<double>(dt)
+                       : 0.0;
+            t.level = tsnap.level;
+            t.robOcc = tsnap.robOcc;
+            t.outstandingMisses = tsnap.outstandingMisses;
+            prevThreadCommitted_[i] = tsnap.committed;
+        }
+    }
+
     if (samples_.size() >= capacity_) {
         samples_.pop_front();
         ++dropped_;
@@ -74,6 +95,7 @@ IntervalSampler::notifyReset(Cycle now)
     prevCycle_ = now;
     prevCommitted_ = 0;
     prevMisses_ = 0;
+    prevThreadCommitted_.clear();
 }
 
 } // namespace mlpwin

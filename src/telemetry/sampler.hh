@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -24,6 +25,19 @@ namespace mlpwin
 
 /** Default sampling interval, in cycles. */
 constexpr Cycle kDefaultTelemetryInterval = 10000;
+
+/**
+ * Per-hardware-thread slice of a sampling point (SMT runs). Commit
+ * counts are cumulative, like the core-wide ones.
+ */
+struct ThreadSnapshot
+{
+    std::uint64_t committed = 0;
+    /** This thread's window level (1-based, partition-assigned). */
+    unsigned level = 0;
+    unsigned robOcc = 0;
+    unsigned outstandingMisses = 0;
+};
 
 /**
  * Absolute state captured at one sampling point. Committed/miss
@@ -44,6 +58,20 @@ struct IntervalSnapshot
     unsigned outstandingMisses = 0;
     /** Cycles until the DRAM data bus is free (queue backlog). */
     std::uint64_t dramBacklog = 0;
+    /** One entry per hardware thread; may be empty (plain drivers). */
+    std::vector<ThreadSnapshot> threads;
+};
+
+/** Per-thread slice of one interval record. */
+struct ThreadSample
+{
+    /** Instructions this thread committed within the interval. */
+    std::uint64_t committed = 0;
+    /** Thread IPC over the interval. */
+    double ipc = 0.0;
+    unsigned level = 0;
+    unsigned robOcc = 0;
+    unsigned outstandingMisses = 0;
 };
 
 /** One per-interval record derived from consecutive snapshots. */
@@ -65,6 +93,8 @@ struct IntervalSample
     double l2Mpki = 0.0;
     unsigned outstandingMisses = 0;
     std::uint64_t dramBacklog = 0;
+    /** Per-thread slices; populated only on multi-thread runs. */
+    std::vector<ThreadSample> threads;
 };
 
 /** See file comment. */
@@ -121,6 +151,7 @@ class IntervalSampler
     Cycle prevCycle_ = 0;
     std::uint64_t prevCommitted_ = 0;
     std::uint64_t prevMisses_ = 0;
+    std::vector<std::uint64_t> prevThreadCommitted_;
 
     std::deque<IntervalSample> samples_;
     std::uint64_t dropped_ = 0;

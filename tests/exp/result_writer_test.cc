@@ -69,6 +69,19 @@ fixtureResult()
     r.sampleIntervals = 97;
     r.ffInsts = 1940000;
     r.ipcCi95 = 0.0312499999999999;
+    // SMT fields, again with u64 values beyond double precision.
+    r.commitStreamHash = 14585453852304216763ULL;
+    r.nThreads = 2;
+    r.fetchPolicy = "icount";
+    r.partitionPolicy = "mlp";
+    r.threadIpc = {1.2300000000000001, 0.5};
+    r.threadCommitted = {200000, 100000};
+    r.threadCommitHash = {16045690984503098046ULL,
+                          12157665459056928801ULL};
+    r.threadObservedMlp = {1.5, 3.75};
+    r.stp = 1.6499999999999999;
+    r.antt = 1.25;
+    r.hmeanSpeedup = 0.80000000000000004;
     return r;
 }
 
@@ -119,6 +132,17 @@ expectEqualResults(const SimResult &a, const SimResult &b)
     EXPECT_EQ(a.sampleIntervals, b.sampleIntervals);
     EXPECT_EQ(a.ffInsts, b.ffInsts);
     EXPECT_EQ(a.ipcCi95, b.ipcCi95);
+    EXPECT_EQ(a.commitStreamHash, b.commitStreamHash);
+    EXPECT_EQ(a.nThreads, b.nThreads);
+    EXPECT_EQ(a.fetchPolicy, b.fetchPolicy);
+    EXPECT_EQ(a.partitionPolicy, b.partitionPolicy);
+    EXPECT_EQ(a.threadIpc, b.threadIpc);
+    EXPECT_EQ(a.threadCommitted, b.threadCommitted);
+    EXPECT_EQ(a.threadCommitHash, b.threadCommitHash);
+    EXPECT_EQ(a.threadObservedMlp, b.threadObservedMlp);
+    EXPECT_EQ(a.stp, b.stp);
+    EXPECT_EQ(a.antt, b.antt);
+    EXPECT_EQ(a.hmeanSpeedup, b.hmeanSpeedup);
 }
 
 TEST(ResultWriterTest, JsonRoundTripsEveryField)
@@ -166,6 +190,25 @@ TEST(ResultWriterTest, ParserAcceptsPreSamplingRecords)
     EXPECT_EQ(back.sampleIntervals, 0u);
     EXPECT_EQ(back.ffInsts, 0u);
     EXPECT_EQ(back.ipcCi95, 0.0);
+    EXPECT_EQ(back.cycles, fixtureResult().cycles);
+}
+
+TEST(ResultWriterTest, ParserAcceptsPreSmtRecords)
+{
+    // Records written before the SMT fields existed must still load,
+    // with the single-thread defaults.
+    std::string json = resultToJson(fixtureResult());
+    std::size_t cut = json.find(",\"commit_stream_hash\":");
+    ASSERT_NE(cut, std::string::npos);
+    std::string old = json.substr(0, cut) + "}";
+    SimResult back = resultFromJson(old);
+    EXPECT_EQ(back.commitStreamHash, 0u);
+    EXPECT_EQ(back.nThreads, 1u);
+    EXPECT_TRUE(back.fetchPolicy.empty());
+    EXPECT_TRUE(back.partitionPolicy.empty());
+    EXPECT_TRUE(back.threadIpc.empty());
+    EXPECT_TRUE(back.threadCommitHash.empty());
+    EXPECT_EQ(back.stp, 0.0);
     EXPECT_EQ(back.cycles, fixtureResult().cycles);
 }
 

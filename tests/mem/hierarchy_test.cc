@@ -79,7 +79,7 @@ TEST(HierarchyTest, ListenerFiresOnDemandMissOnly)
     cfg.prefetcher.enabled = false;
     CacheHierarchy h(cfg, nullptr);
     std::vector<Cycle> misses;
-    h.setL2MissListener([&](Cycle c) { misses.push_back(c); });
+    h.setL2MissListener([&](Addr, Cycle c) { misses.push_back(c); });
 
     h.load(0x300000, 0x1000, 0, Provenance::CorrPath);
     h.load(0x300000, 0x1000, 500, Provenance::CorrPath); // Hit.
@@ -124,7 +124,7 @@ TEST(HierarchyTest, PrefetchDoesNotFireListener)
 {
     CacheHierarchy h(paperCfg(), nullptr);
     unsigned count = 0;
-    h.setL2MissListener([&](Cycle) { ++count; });
+    h.setL2MissListener([&](Addr, Cycle) { ++count; });
     Addr pc = 0x1000;
     Cycle t = 0;
     for (int i = 0; i < 8; ++i) {
@@ -183,7 +183,7 @@ TEST(HierarchyTest, LateMergeFiresMissListener)
     cfg.prefetcher.enabled = false;
     CacheHierarchy h(cfg, nullptr);
     unsigned events = 0;
-    h.setL2MissListener([&events](Cycle) { ++events; });
+    h.setL2MissListener([&events](Addr, Cycle) { ++events; });
 
     h.load(0x900000, 1, 0, Provenance::CorrPath);
     EXPECT_EQ(events, 1u);

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * FetchPolicyEngine tests (round-robin rotation, ICOUNT selection,
+ * predictive MLP-aware throttling, deterministic tie-breaks) and the
+ * strict CLI parsers for the SMT flags.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/parse.hh"
+#include "smt/fetch_policy.hh"
+#include "smt/smt_config.hh"
+
+namespace mlpwin
+{
+namespace
+{
+
+SmtConfig
+cfgFor(unsigned n, FetchPolicy p)
+{
+    SmtConfig cfg;
+    cfg.nThreads = n;
+    cfg.fetchPolicy = p;
+    return cfg;
+}
+
+FetchThreadState
+ts(bool eligible, unsigned count, unsigned misses = 0,
+   double mlp = 0.0)
+{
+    FetchThreadState t;
+    t.eligible = eligible;
+    t.frontEndCount = count;
+    t.outstandingMisses = misses;
+    t.mlpEstimate = mlp;
+    return t;
+}
+
+TEST(FetchPolicyTest, RoundRobinRotatesOverEligibleThreads)
+{
+    FetchPolicyEngine e(cfgFor(3, FetchPolicy::RoundRobin));
+    std::vector<FetchThreadState> all = {ts(true, 0), ts(true, 0),
+                                         ts(true, 0)};
+    EXPECT_EQ(e.pick(all), 0);
+    EXPECT_EQ(e.pick(all), 1);
+    EXPECT_EQ(e.pick(all), 2);
+    EXPECT_EQ(e.pick(all), 0);
+    // Ineligible threads are skipped, rotation order preserved.
+    all[1].eligible = false;
+    EXPECT_EQ(e.pick(all), 2);
+    EXPECT_EQ(e.pick(all), 0);
+}
+
+TEST(FetchPolicyTest, NoEligibleThreadYieldsMinusOne)
+{
+    FetchPolicyEngine e(cfgFor(2, FetchPolicy::Icount));
+    EXPECT_EQ(e.pick({ts(false, 0), ts(false, 5)}), -1);
+}
+
+TEST(FetchPolicyTest, IcountPicksTheEmptiestFrontEnd)
+{
+    FetchPolicyEngine e(cfgFor(2, FetchPolicy::Icount));
+    EXPECT_EQ(e.pick({ts(true, 10), ts(true, 3)}), 1);
+    EXPECT_EQ(e.pick({ts(true, 2), ts(true, 3)}), 0);
+    // Ties break in rotation order after the last pick (thread 0
+    // just fetched, so thread 1 wins the tie).
+    EXPECT_EQ(e.pick({ts(true, 4), ts(true, 4)}), 1);
+    EXPECT_EQ(e.pick({ts(true, 4), ts(true, 4)}), 0);
+}
+
+TEST(FetchPolicyTest, PredictiveThrottlesLowMlpMissStalledThreads)
+{
+    SmtConfig cfg = cfgFor(2, FetchPolicy::Predictive);
+    // Defaults: threshold 1.5, penalty 64.
+    FetchPolicyEngine e(cfg);
+    // Thread 0 has the emptier front end but is stalled on a miss it
+    // cannot overlap (MLP 1.0 < 1.5): the penalty hands fetch to
+    // thread 1.
+    EXPECT_EQ(e.pick({ts(true, 3, 2, 1.0), ts(true, 20)}), 1);
+    // A high-MLP thread keeps fetching through its misses.
+    EXPECT_EQ(e.pick({ts(true, 3, 2, 3.0), ts(true, 20)}), 0);
+    // No outstanding miss: the predictor estimate is irrelevant.
+    EXPECT_EQ(e.pick({ts(true, 3, 0, 1.0), ts(true, 20)}), 0);
+}
+
+TEST(SmtParseTest, FetchPolicyNamesParseStrictly)
+{
+    FetchPolicy p = FetchPolicy::Icount;
+    EXPECT_TRUE(parseFetchPolicy("rr", p));
+    EXPECT_EQ(p, FetchPolicy::RoundRobin);
+    EXPECT_TRUE(parseFetchPolicy("icount", p));
+    EXPECT_EQ(p, FetchPolicy::Icount);
+    EXPECT_TRUE(parseFetchPolicy("predictive", p));
+    EXPECT_EQ(p, FetchPolicy::Predictive);
+    // Rejections leave the output untouched.
+    p = FetchPolicy::RoundRobin;
+    EXPECT_FALSE(parseFetchPolicy("", p));
+    EXPECT_FALSE(parseFetchPolicy("ICOUNT", p));
+    EXPECT_FALSE(parseFetchPolicy("icount ", p));
+    EXPECT_FALSE(parseFetchPolicy("round-robin", p));
+    EXPECT_EQ(p, FetchPolicy::RoundRobin);
+    // Round-trip through the printable names.
+    EXPECT_TRUE(parseFetchPolicy(
+        fetchPolicyName(FetchPolicy::Predictive), p));
+    EXPECT_EQ(p, FetchPolicy::Predictive);
+}
+
+TEST(SmtParseTest, PartitionPolicyNamesParseStrictly)
+{
+    PartitionPolicy p = PartitionPolicy::Static;
+    EXPECT_TRUE(parsePartitionPolicy("static", p));
+    EXPECT_EQ(p, PartitionPolicy::Static);
+    EXPECT_TRUE(parsePartitionPolicy("shared", p));
+    EXPECT_EQ(p, PartitionPolicy::Shared);
+    EXPECT_TRUE(parsePartitionPolicy("mlp", p));
+    EXPECT_EQ(p, PartitionPolicy::MlpAware);
+    p = PartitionPolicy::Shared;
+    EXPECT_FALSE(parsePartitionPolicy("mlp-aware", p));
+    EXPECT_FALSE(parsePartitionPolicy("MLP", p));
+    EXPECT_FALSE(parsePartitionPolicy("", p));
+    EXPECT_EQ(p, PartitionPolicy::Shared);
+    // The error-message name lists mention every accepted token.
+    EXPECT_NE(partitionPolicyNames().find("static"),
+              std::string::npos);
+    EXPECT_NE(partitionPolicyNames().find("mlp"), std::string::npos);
+    EXPECT_NE(fetchPolicyNames().find("predictive"),
+              std::string::npos);
+}
+
+TEST(SmtParseTest, BoundedUnsignedEnforcesInclusiveBounds)
+{
+    unsigned v = 99;
+    EXPECT_TRUE(parseBoundedUnsigned("1", 1, 4, v));
+    EXPECT_EQ(v, 1u);
+    EXPECT_TRUE(parseBoundedUnsigned("4", 1, 4, v));
+    EXPECT_EQ(v, 4u);
+    v = 99;
+    EXPECT_FALSE(parseBoundedUnsigned("0", 1, 4, v));
+    EXPECT_FALSE(parseBoundedUnsigned("5", 1, 4, v));
+    EXPECT_FALSE(parseBoundedUnsigned("", 1, 4, v));
+    EXPECT_FALSE(parseBoundedUnsigned("2x", 1, 4, v));
+    EXPECT_FALSE(parseBoundedUnsigned("-1", 1, 4, v));
+    EXPECT_EQ(v, 99u); // Untouched on every rejection.
+}
+
+} // namespace
+} // namespace mlpwin

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fairness-metric tests: hand-computed STP / ANTT / harmonic-speedup
+ * fixtures (Eyerman & Eeckhout definitions) plus the degenerate and
+ * invalid-input contracts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/status.hh"
+#include "smt/metrics.hh"
+
+namespace mlpwin
+{
+namespace
+{
+
+TEST(SmtMetricsTest, StpIsTheSumOfNormalizedThroughputs)
+{
+    // 1.0/2.0 + 0.5/1.0 = 1.0 exactly.
+    EXPECT_DOUBLE_EQ(stp({1.0, 0.5}, {2.0, 1.0}), 1.0);
+    // No slowdown at all: STP = nThreads.
+    EXPECT_DOUBLE_EQ(stp({2.0, 1.5, 0.25}, {2.0, 1.5, 0.25}), 3.0);
+    // Hand-computed mixed case: 1.2/1.6 + 0.3/0.4 = 0.75 + 0.75.
+    EXPECT_DOUBLE_EQ(stp({1.2, 0.3}, {1.6, 0.4}), 1.5);
+    // Single "thread" degenerates to a plain speedup.
+    EXPECT_DOUBLE_EQ(stp({0.5}, {2.0}), 0.25);
+}
+
+TEST(SmtMetricsTest, AnttIsTheMeanSlowdown)
+{
+    // (2.0/1.0 + 1.0/0.5) / 2 = 2.0.
+    EXPECT_DOUBLE_EQ(antt({1.0, 0.5}, {2.0, 1.0}), 2.0);
+    // No slowdown: ANTT = 1.
+    EXPECT_DOUBLE_EQ(antt({1.5, 0.75}, {1.5, 0.75}), 1.0);
+    // (1.6/1.2 + 0.4/0.3) / 2 = (4/3 + 4/3) / 2 = 4/3.
+    EXPECT_DOUBLE_EQ(antt({1.2, 0.3}, {1.6, 0.4}), 4.0 / 3.0);
+}
+
+TEST(SmtMetricsTest, HarmonicSpeedupBalancesThroughputAndFairness)
+{
+    // Speedups {0.5, 0.5}: hmean = 2 / (2 + 2) = 0.5.
+    EXPECT_DOUBLE_EQ(harmonicSpeedup({1.0, 0.5}, {2.0, 1.0}), 0.5);
+    // Unequal speedups {1.0, 0.25}: 2 / (1 + 4) = 0.4 — dominated
+    // by the slower thread, unlike STP's 1.25.
+    EXPECT_DOUBLE_EQ(harmonicSpeedup({2.0, 0.25}, {2.0, 1.0}), 0.4);
+    EXPECT_DOUBLE_EQ(stp({2.0, 0.25}, {2.0, 1.0}), 1.25);
+}
+
+TEST(SmtMetricsTest, ZeroSmtIpcYieldsTheDocumentedLimits)
+{
+    // A thread that committed nothing: infinite turnaround, zero
+    // harmonic speedup, and zero STP contribution.
+    EXPECT_TRUE(std::isinf(antt({0.0, 1.0}, {1.0, 1.0})));
+    EXPECT_DOUBLE_EQ(harmonicSpeedup({0.0, 1.0}, {1.0, 1.0}), 0.0);
+    EXPECT_DOUBLE_EQ(stp({0.0, 1.0}, {1.0, 2.0}), 0.5);
+}
+
+TEST(SmtMetricsTest, InvalidInputsThrow)
+{
+    EXPECT_THROW(stp({}, {}), SimError);
+    EXPECT_THROW(antt({}, {}), SimError);
+    EXPECT_THROW(harmonicSpeedup({}, {}), SimError);
+    // Mismatched lengths.
+    EXPECT_THROW(stp({1.0, 2.0}, {1.0}), SimError);
+    EXPECT_THROW(antt({1.0}, {1.0, 2.0}), SimError);
+    EXPECT_THROW(harmonicSpeedup({1.0, 2.0}, {1.0}), SimError);
+    // Alone IPC must be positive (it divides).
+    EXPECT_THROW(stp({1.0}, {0.0}), SimError);
+    EXPECT_THROW(antt({1.0}, {-1.0}), SimError);
+    EXPECT_THROW(harmonicSpeedup({1.0}, {0.0}), SimError);
+    try {
+        stp({1.0}, {0.0});
+        FAIL() << "expected SimError";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::InvalidArgument);
+    }
+}
+
+} // namespace
+} // namespace mlpwin

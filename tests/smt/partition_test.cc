@@ -1,0 +1,214 @@
+/**
+ * @file
+ * SmtPartitionController tests: static-level budget math, per-thread
+ * Fig. 5 grow/shrink under the shared-budget feasibility gate,
+ * drain-stall and transition-penalty allocation stops, halted-thread
+ * release, and residency/transition accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "resize/level_table.hh"
+#include "smt/partition.hh"
+
+namespace mlpwin
+{
+namespace
+{
+
+SmtConfig
+smtCfg(unsigned n, PartitionPolicy policy)
+{
+    SmtConfig cfg;
+    cfg.nThreads = n;
+    cfg.partitionPolicy = policy;
+    return cfg;
+}
+
+/** All threads idle and empty. */
+std::vector<ThreadPartitionInput>
+idle(unsigned n)
+{
+    return std::vector<ThreadPartitionInput>(n);
+}
+
+TEST(SmtPartitionTest, StaticLevelIsTheLargestUniformFit)
+{
+    LevelTable t = LevelTable::paperDefault();
+    // Alone: the whole budget, i.e. the top level.
+    EXPECT_EQ(SmtPartitionController::staticLevel(t, 1), 3u);
+    // 2 threads: 2 x 320 ROB > 512, so level 1 (2 x 128 fits).
+    EXPECT_EQ(SmtPartitionController::staticLevel(t, 2), 1u);
+    EXPECT_EQ(SmtPartitionController::staticLevel(t, 3), 1u);
+    // 4 threads exactly fill the budget at level 1 (4 x 128 = 512).
+    EXPECT_EQ(SmtPartitionController::staticLevel(t, 4), 1u);
+}
+
+TEST(SmtPartitionTest, PoliciesStartAtTheirDocumentedLevels)
+{
+    LevelTable t = LevelTable::paperDefault();
+    MlpControllerConfig mlp;
+    SmtPartitionController st(t, smtCfg(2, PartitionPolicy::Static),
+                              mlp, nullptr);
+    EXPECT_EQ(st.levelFor(0), 1u);
+    EXPECT_EQ(st.levelFor(1), 1u);
+    SmtPartitionController sh(t, smtCfg(2, PartitionPolicy::Shared),
+                              mlp, nullptr);
+    EXPECT_EQ(sh.levelFor(0), 3u);
+    EXPECT_EQ(sh.levelFor(1), 3u);
+    SmtPartitionController ma(t, smtCfg(2, PartitionPolicy::MlpAware),
+                              mlp, nullptr);
+    EXPECT_EQ(ma.levelFor(0), 1u);
+    EXPECT_EQ(ma.currentFor(0).robSize, t.at(1).robSize);
+    EXPECT_EQ(ma.budget().robSize, t.at(3).robSize);
+}
+
+TEST(SmtPartitionTest, GrowsOneLevelOnOwnMissWhileBudgetAllows)
+{
+    LevelTable t = LevelTable::paperDefault();
+    MlpControllerConfig mlp;
+    SmtPartitionController c(t, smtCfg(2, PartitionPolicy::MlpAware),
+                             mlp, nullptr);
+    // Thread 0 misses: 320 + 128 <= 512, so it may grow to level 2.
+    EXPECT_TRUE(c.growFeasible(0));
+    c.onL2DemandMiss(0, 100);
+    EXPECT_EQ(c.levelFor(0), 2u);
+    EXPECT_EQ(c.levelFor(1), 1u);
+    EXPECT_EQ(c.upTransitions(), 1u);
+    // Another miss cannot push it to level 3: 512 + 128 > 512.
+    EXPECT_FALSE(c.growFeasible(0));
+    c.onL2DemandMiss(0, 101);
+    EXPECT_EQ(c.levelFor(0), 2u);
+    // Nor can thread 1 reach level 2 now: 320 + 320 > 512.
+    EXPECT_FALSE(c.growFeasible(1));
+    c.onL2DemandMiss(1, 102);
+    EXPECT_EQ(c.levelFor(1), 1u);
+    EXPECT_EQ(c.upTransitions(), 1u);
+}
+
+TEST(SmtPartitionTest, HaltedThreadReleasesItsAllocation)
+{
+    LevelTable t = LevelTable::paperDefault();
+    MlpControllerConfig mlp;
+    SmtPartitionController c(t, smtCfg(2, PartitionPolicy::MlpAware),
+                             mlp, nullptr);
+    c.onL2DemandMiss(0, 10);
+    ASSERT_EQ(c.levelFor(0), 2u);
+    // Thread 1 halts; its level-1 allocation returns to the pool and
+    // thread 0 may now take the whole budget.
+    auto in = idle(2);
+    in[1].halted = true;
+    c.tick(11, in);
+    EXPECT_TRUE(c.growFeasible(0));
+    c.onL2DemandMiss(0, 12);
+    EXPECT_EQ(c.levelFor(0), 3u);
+    // A halted thread itself never grows.
+    c.onL2DemandMiss(1, 13);
+    EXPECT_EQ(c.levelFor(1), 1u);
+}
+
+TEST(SmtPartitionTest, ShrinksAfterAMemoryLatencyWithoutMisses)
+{
+    LevelTable t = LevelTable::paperDefault();
+    MlpControllerConfig mlp;
+    mlp.transitionPenalty = 0; // Isolate the shrink path.
+    SmtPartitionController c(t, smtCfg(2, PartitionPolicy::MlpAware),
+                             mlp, nullptr);
+    c.onL2DemandMiss(0, 100);
+    ASSERT_EQ(c.levelFor(0), 2u);
+    // Before the timer expires: no shrink.
+    c.tick(100 + mlp.memoryLatency - 1, idle(2));
+    EXPECT_EQ(c.levelFor(0), 2u);
+    EXPECT_FALSE(c.allocStoppedFor(0));
+    // Past the timer with an occupancy inside level 1: shrink.
+    c.tick(100 + mlp.memoryLatency, idle(2));
+    EXPECT_EQ(c.levelFor(0), 1u);
+    EXPECT_EQ(c.downTransitions(), 1u);
+}
+
+TEST(SmtPartitionTest, DrainStopsAllocationUntilTheWindowFits)
+{
+    LevelTable t = LevelTable::paperDefault();
+    MlpControllerConfig mlp;
+    mlp.transitionPenalty = 0;
+    SmtPartitionController c(t, smtCfg(2, PartitionPolicy::MlpAware),
+                             mlp, nullptr);
+    c.onL2DemandMiss(0, 0);
+    ASSERT_EQ(c.levelFor(0), 2u);
+    // Timer expired but thread 0 still holds more ROB entries than
+    // level 1 allows: allocation stops, level holds.
+    auto in = idle(2);
+    in[0].occ.rob = t.at(1).robSize + 1;
+    c.tick(mlp.memoryLatency, in);
+    EXPECT_EQ(c.levelFor(0), 2u);
+    EXPECT_TRUE(c.allocStoppedFor(0));
+    EXPECT_TRUE(c.anyAllocStopped());
+    EXPECT_FALSE(c.allocStoppedFor(1));
+    // Once drained below the target sizes the shrink completes and
+    // allocation resumes.
+    c.tick(mlp.memoryLatency + 1, idle(2));
+    EXPECT_EQ(c.levelFor(0), 1u);
+    EXPECT_FALSE(c.anyAllocStopped());
+}
+
+TEST(SmtPartitionTest, TransitionPenaltyStopsAllocation)
+{
+    LevelTable t = LevelTable::paperDefault();
+    MlpControllerConfig mlp; // transitionPenalty = 10.
+    SmtPartitionController c(t, smtCfg(2, PartitionPolicy::MlpAware),
+                             mlp, nullptr);
+    c.onL2DemandMiss(0, 100);
+    ASSERT_TRUE(c.inTransitionFor(0));
+    c.tick(105, idle(2));
+    EXPECT_TRUE(c.allocStoppedFor(0));
+    EXPECT_FALSE(c.allocStoppedFor(1));
+    c.tick(110, idle(2));
+    EXPECT_FALSE(c.inTransitionFor(0));
+    EXPECT_FALSE(c.allocStoppedFor(0));
+}
+
+TEST(SmtPartitionTest, StaticAndSharedIgnoreMisses)
+{
+    LevelTable t = LevelTable::paperDefault();
+    MlpControllerConfig mlp;
+    SmtPartitionController st(t, smtCfg(2, PartitionPolicy::Static),
+                              mlp, nullptr);
+    st.onL2DemandMiss(0, 5);
+    st.tick(6, idle(2));
+    EXPECT_EQ(st.levelFor(0), 1u);
+    EXPECT_EQ(st.upTransitions(), 0u);
+    EXPECT_FALSE(st.anyAllocStopped());
+    SmtPartitionController sh(t, smtCfg(2, PartitionPolicy::Shared),
+                              mlp, nullptr);
+    sh.onL2DemandMiss(1, 5);
+    sh.tick(6, idle(2));
+    EXPECT_EQ(sh.levelFor(1), 3u);
+    EXPECT_EQ(sh.upTransitions(), 0u);
+}
+
+TEST(SmtPartitionTest, ResidencyAccountsPerThreadAndResets)
+{
+    LevelTable t = LevelTable::paperDefault();
+    MlpControllerConfig mlp;
+    mlp.transitionPenalty = 0;
+    SmtPartitionController c(t, smtCfg(2, PartitionPolicy::MlpAware),
+                             mlp, nullptr);
+    c.tick(1, idle(2));
+    c.onL2DemandMiss(0, 1);
+    c.tick(2, idle(2));
+    c.tick(3, idle(2));
+    // Thread 0: 1 cycle at level 1, 2 at level 2; thread 1: 3 at 1.
+    EXPECT_EQ(c.residencyFor(0).cyclesAtLevel[0], 1u);
+    EXPECT_EQ(c.residencyFor(0).cyclesAtLevel[1], 2u);
+    EXPECT_EQ(c.residencyFor(1).cyclesAtLevel[0], 3u);
+    c.resetMeasurement();
+    EXPECT_EQ(c.residencyFor(0).cyclesAtLevel[1], 0u);
+    EXPECT_EQ(c.upTransitions(), 0u);
+    // Levels themselves survive the measurement reset.
+    EXPECT_EQ(c.levelFor(0), 2u);
+}
+
+} // namespace
+} // namespace mlpwin

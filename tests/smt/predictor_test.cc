@@ -1,0 +1,99 @@
+/**
+ * @file
+ * ThreadPredictor tests: windowed ILP/MLP averages over the ring of
+ * fixed-length cycle intervals, ring eviction of stale history, the
+ * miss-active-cycles-only MLP denominator, and reset.
+ */
+
+#include <gtest/gtest.h>
+
+#include "smt/predictor.hh"
+
+namespace mlpwin
+{
+namespace
+{
+
+SmtConfig
+smallCfg(unsigned history, unsigned interval)
+{
+    SmtConfig cfg;
+    cfg.predictorHistoryLength = history;
+    cfg.predictorIntervalCycles = interval;
+    return cfg;
+}
+
+TEST(ThreadPredictorTest, EmptyHistoryPredictsZero)
+{
+    ThreadPredictor p(smallCfg(4, 8));
+    EXPECT_DOUBLE_EQ(p.ilpEstimate(), 0.0);
+    EXPECT_DOUBLE_EQ(p.mlpEstimate(), 0.0);
+}
+
+TEST(ThreadPredictorTest, IlpIsIssuedPerCycleOverTheWindow)
+{
+    ThreadPredictor p(smallCfg(4, 4));
+    // 4 cycles, 2 issued each: ILP 2.0 (the partial slot counts).
+    for (int i = 0; i < 4; ++i)
+        p.tick(0, 2);
+    EXPECT_DOUBLE_EQ(p.ilpEstimate(), 2.0);
+    // 4 idle cycles: 8 issued over 8 cycles.
+    for (int i = 0; i < 4; ++i)
+        p.tick(0, 0);
+    EXPECT_DOUBLE_EQ(p.ilpEstimate(), 1.0);
+}
+
+TEST(ThreadPredictorTest, MlpAveragesOverMissActiveCyclesOnly)
+{
+    ThreadPredictor p(smallCfg(4, 4));
+    // 2 cycles with 3 misses outstanding, 6 without any: the idle
+    // cycles must not dilute the estimate.
+    p.tick(3, 1);
+    p.tick(3, 1);
+    for (int i = 0; i < 6; ++i)
+        p.tick(0, 1);
+    EXPECT_DOUBLE_EQ(p.mlpEstimate(), 3.0);
+    // A 1-miss-outstanding cycle pulls it toward 1: (3+3+1)/3.
+    p.tick(1, 0);
+    EXPECT_DOUBLE_EQ(p.mlpEstimate(), 7.0 / 3.0);
+}
+
+TEST(ThreadPredictorTest, RingEvictsHistoryBeyondTheWindow)
+{
+    // 2 slots of 4 cycles: the window is the last 8-12 cycles.
+    ThreadPredictor p(smallCfg(2, 4));
+    // Slot A: 4 issued/cycle. Then two full slots of 1 issued/cycle
+    // push A out of the ring entirely.
+    for (int i = 0; i < 4; ++i)
+        p.tick(0, 4);
+    for (int i = 0; i < 8; ++i)
+        p.tick(0, 1);
+    EXPECT_DOUBLE_EQ(p.ilpEstimate(), 1.0);
+}
+
+TEST(ThreadPredictorTest, ResetDropsAllHistory)
+{
+    ThreadPredictor p(smallCfg(4, 4));
+    for (int i = 0; i < 16; ++i)
+        p.tick(2, 3);
+    EXPECT_GT(p.ilpEstimate(), 0.0);
+    EXPECT_GT(p.mlpEstimate(), 0.0);
+    p.reset();
+    EXPECT_DOUBLE_EQ(p.ilpEstimate(), 0.0);
+    EXPECT_DOUBLE_EQ(p.mlpEstimate(), 0.0);
+    // And it keeps working after the reset.
+    p.tick(5, 1);
+    EXPECT_DOUBLE_EQ(p.mlpEstimate(), 5.0);
+}
+
+TEST(ThreadPredictorTest, DegenerateKnobsAreClampedToOne)
+{
+    // historyLength/intervalCycles of 0 must not divide by zero.
+    ThreadPredictor p(smallCfg(0, 0));
+    p.tick(1, 1);
+    EXPECT_DOUBLE_EQ(p.ilpEstimate(), 1.0);
+    EXPECT_DOUBLE_EQ(p.mlpEstimate(), 1.0);
+}
+
+} // namespace
+} // namespace mlpwin

@@ -65,7 +65,14 @@ usage()
         "usage: mlpwin_batch [options]\n"
         "  --list                list suite workloads and exit\n"
         "  --workloads LIST      all | mem | comp | comma list of\n"
-        "                        names (default all)\n"
+        "                        names (default all); an entry may be\n"
+        "                        a '+'-separated SMT co-schedule,\n"
+        "                        e.g. mcf+gcc (needs --threads)\n"
+        "  --threads N           hardware threads per cell, 1-4\n"
+        "                        (default 1; >1 requires base model)\n"
+        "  --fetch-policy K      rr|icount|predictive (default\n"
+        "                        icount)\n"
+        "  --partition K         static|shared|mlp (default static)\n"
         "  --models LIST         comma list of model[:level], e.g.\n"
         "                        base,resizing,fixed:3\n"
         "                        (default base,resizing)\n"
@@ -149,11 +156,16 @@ resolveWorkloads(const std::string &arg, std::vector<std::string> &out)
         return true;
     }
     for (const std::string &name : splitList(arg)) {
-        if (!tryFindWorkload(name)) {
-            std::fprintf(stderr,
-                         "unknown workload: %s\nvalid names: %s\n",
-                         name.c_str(), suiteWorkloadNames().c_str());
-            return false;
+        // SMT co-schedules validate per '+'-part.
+        for (const std::string &part : splitWorkloadSpec(name)) {
+            if (!tryFindWorkload(part)) {
+                std::fprintf(stderr,
+                             "unknown workload: %s\nvalid names: "
+                             "%s\n",
+                             part.c_str(),
+                             suiteWorkloadNames().c_str());
+                return false;
+            }
         }
         out.push_back(name);
     }
@@ -218,6 +230,36 @@ main(int argc, char **argv)
             if (!parseUnsigned(v, jobs) || jobs == 0) {
                 std::fprintf(stderr, "-j: not a positive number: "
                              "'%s'\n", v);
+                return 2;
+            }
+        } else if (arg == "--threads") {
+            const char *v = next();
+            if (!parseBoundedUnsigned(v, 1, kMaxSmtThreads,
+                                      spec.base.core.smt.nThreads)) {
+                std::fprintf(stderr,
+                             "--threads: expected an integer in "
+                             "[1, %u], got '%s'\n",
+                             kMaxSmtThreads, v);
+                return 2;
+            }
+        } else if (arg == "--fetch-policy") {
+            const char *v = next();
+            if (!parseFetchPolicy(v,
+                                  spec.base.core.smt.fetchPolicy)) {
+                std::fprintf(stderr,
+                             "--fetch-policy: unknown policy '%s' "
+                             "(valid: %s)\n",
+                             v, fetchPolicyNames().c_str());
+                return 2;
+            }
+        } else if (arg == "--partition") {
+            const char *v = next();
+            if (!parsePartitionPolicy(
+                    v, spec.base.core.smt.partitionPolicy)) {
+                std::fprintf(stderr,
+                             "--partition: unknown policy '%s' "
+                             "(valid: %s)\n",
+                             v, partitionPolicyNames().c_str());
                 return 2;
             }
         } else if (arg == "--out") {

@@ -26,6 +26,7 @@
 #include "common/parse.hh"
 #include "cpu/tracer.hh"
 #include "sim/simulator.hh"
+#include "smt/metrics.hh"
 #include "telemetry/export.hh"
 #include "workloads/suite.hh"
 
@@ -40,9 +41,21 @@ usage()
     std::fprintf(stderr,
         "usage: mlpwin [options]\n"
         "  --list                 list suite workloads and exit\n"
-        "  -w, --workload NAME    workload to run (required)\n"
+        "  -w, --workload NAME    workload to run (required); on SMT\n"
+        "                         runs a '+'-separated co-schedule,\n"
+        "                         e.g. mcf+gcc (a single name is\n"
+        "                         replicated onto every thread)\n"
         "  -m, --model NAME       base|fixed|ideal|resizing|runahead|"
         "occupancy (default base)\n"
+        "      --threads N        hardware threads, 1-4 (default 1;\n"
+        "                         >1 requires the base model)\n"
+        "      --fetch-policy K   rr|icount|predictive (default\n"
+        "                         icount)\n"
+        "      --partition K      static|shared|mlp per-thread window\n"
+        "                         partitioning (default static)\n"
+        "      --fairness         also run every co-scheduled program\n"
+        "                         alone (same budget) and report\n"
+        "                         STP/ANTT/harmonic speedup\n"
         "      --level N          level for fixed/ideal models "
         "(default 3)\n"
         "      --insts N          measured instructions "
@@ -141,6 +154,7 @@ main(int argc, char **argv)
     cfg.warmDataCaches = true;
     cfg.maxInsts = 300000;
     bool dump_stats = false;
+    bool fairness = false;
     unsigned trace_mask = 0;
     Cycle trace_start = 0;
     std::string telemetry_path;
@@ -177,6 +191,37 @@ main(int argc, char **argv)
                              name.c_str());
                 return 2;
             }
+        } else if (arg == "--threads") {
+            const char *v = next();
+            if (!parseBoundedUnsigned(v, 1, kMaxSmtThreads,
+                                      cfg.core.smt.nThreads)) {
+                std::fprintf(stderr,
+                             "--threads: expected an integer in "
+                             "[1, %u], got '%s'\n",
+                             kMaxSmtThreads, v);
+                return 2;
+            }
+        } else if (arg == "--fetch-policy") {
+            const char *v = next();
+            if (!parseFetchPolicy(v, cfg.core.smt.fetchPolicy)) {
+                std::fprintf(stderr,
+                             "--fetch-policy: unknown policy '%s' "
+                             "(valid: %s)\n",
+                             v, fetchPolicyNames().c_str());
+                return 2;
+            }
+        } else if (arg == "--partition") {
+            const char *v = next();
+            if (!parsePartitionPolicy(
+                    v, cfg.core.smt.partitionPolicy)) {
+                std::fprintf(stderr,
+                             "--partition: unknown policy '%s' "
+                             "(valid: %s)\n",
+                             v, partitionPolicyNames().c_str());
+                return 2;
+            }
+        } else if (arg == "--fairness") {
+            fairness = true;
         } else if (arg == "--level") {
             cfg.fixedLevel =
                 static_cast<unsigned>(numericFlag(arg, next()));
@@ -267,14 +312,31 @@ main(int argc, char **argv)
         return 2;
     }
 
-    const WorkloadSpec *wspec = tryFindWorkload(workload);
-    if (!wspec) {
-        std::fprintf(stderr, "unknown workload: %s\nvalid names: %s\n",
-                     workload.c_str(), suiteWorkloadNames().c_str());
+    std::vector<std::string> parts = splitWorkloadSpec(workload);
+    if (parts.size() == 1 && cfg.core.smt.nThreads > 1)
+        parts.assign(cfg.core.smt.nThreads, parts[0]);
+    if (parts.size() != cfg.core.smt.nThreads) {
+        std::fprintf(stderr,
+                     "--workload: '%s' names %zu programs but "
+                     "--threads is %u\n",
+                     workload.c_str(), parts.size(),
+                     cfg.core.smt.nThreads);
         return 2;
     }
-    const WorkloadSpec &spec = *wspec;
-    Program prog = spec.make(1ull << 40);
+    std::vector<const WorkloadSpec *> specs;
+    std::vector<Program> progs;
+    for (const std::string &part : parts) {
+        const WorkloadSpec *wspec = tryFindWorkload(part);
+        if (!wspec) {
+            std::fprintf(stderr,
+                         "unknown workload: %s\nvalid names: %s\n",
+                         part.c_str(), suiteWorkloadNames().c_str());
+            return 2;
+        }
+        specs.push_back(wspec);
+        progs.push_back(wspec->make(1ull << 40));
+    }
+    const WorkloadSpec &spec = *specs[0];
     std::unique_ptr<ArchCheckpoint> ckpt;
     if (!ckpt_path.empty()) {
         try {
@@ -288,7 +350,7 @@ main(int argc, char **argv)
     }
     std::unique_ptr<Simulator> simp;
     try {
-        simp = std::make_unique<Simulator>(cfg, prog);
+        simp = std::make_unique<Simulator>(cfg, progs);
     } catch (const SimError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 2;
@@ -320,6 +382,28 @@ main(int argc, char **argv)
             std::fprintf(stderr, "diagnostic dump:\n%s",
                          e.dump().pretty().c_str());
         return 3;
+    }
+
+    // Fairness baselines: each co-scheduled program alone on the
+    // single-thread core, same instruction budget.
+    std::vector<double> alone_ipc;
+    if (fairness && r.nThreads > 1) {
+        SimConfig alone_cfg = cfg;
+        alone_cfg.core.smt = SmtConfig{};
+        for (std::size_t i = 0; i < parts.size(); ++i) {
+            try {
+                Simulator alone(alone_cfg,
+                                specs[i]->make(1ull << 40));
+                alone_ipc.push_back(alone.run().ipc);
+            } catch (const SimError &e) {
+                std::fprintf(stderr, "error (alone run %s): %s\n",
+                             parts[i].c_str(), e.what());
+                return 3;
+            }
+        }
+        r.stp = stp(r.threadIpc, alone_ipc);
+        r.antt = antt(r.threadIpc, alone_ipc);
+        r.hmeanSpeedup = harmonicSpeedup(r.threadIpc, alone_ipc);
     }
 
     if (sampler) {
@@ -359,6 +443,23 @@ main(int argc, char **argv)
     if (cfg.model == ModelKind::Fixed || cfg.model == ModelKind::Ideal)
         std::printf(" (level %u)", cfg.fixedLevel);
     std::printf("\n");
+    if (r.nThreads > 1) {
+        std::printf("SMT                 %u threads, fetch %s, "
+                    "partition %s\n",
+                    r.nThreads, r.fetchPolicy.c_str(),
+                    r.partitionPolicy.c_str());
+        for (std::size_t t = 0; t < r.threadIpc.size(); ++t)
+            std::printf("  thread %zu          %-10s IPC %.4f "
+                        "(%llu committed, MLP %.2f)\n",
+                        t, parts[t].c_str(), r.threadIpc[t],
+                        static_cast<unsigned long long>(
+                            r.threadCommitted[t]),
+                        r.threadObservedMlp[t]);
+        if (!alone_ipc.empty())
+            std::printf("fairness            STP %.3f  ANTT %.3f  "
+                        "hmean speedup %.3f\n",
+                        r.stp, r.antt, r.hmeanSpeedup);
+    }
     std::printf("committed insts     %llu\n",
                 static_cast<unsigned long long>(r.committed));
     std::printf("cycles              %llu\n",
