@@ -13,6 +13,7 @@
  * bursts and returns them, winning on STP without the unfairness.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <string>
@@ -40,6 +41,39 @@ constexpr Cell kCells[] = {
     {"mlp", PartitionPolicy::MlpAware, FetchPolicy::Icount},
     {"mlp+pred", PartitionPolicy::MlpAware, FetchPolicy::Predictive},
 };
+
+/**
+ * One thread's cycle-accounting stack as its five biggest leaves, in
+ * percent of that thread's cycles. This is where a starved co-runner
+ * shows up: its cycles land on smt_fetch / rob_full instead of base.
+ */
+void
+printCpiStack(const std::string &name, std::size_t tid,
+              const CpiStack &cpi)
+{
+    std::uint64_t total = cpi.sum();
+    std::vector<std::size_t> order(kNumCpiComponents);
+    for (std::size_t i = 0; i < kNumCpiComponents; ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return cpi.counts[a] > cpi.counts[b];
+              });
+    std::printf("    t%zu %-12s cpi:", tid, name.c_str());
+    std::size_t shown = 0;
+    for (std::size_t i : order) {
+        if (!cpi.counts[i] || shown == 5)
+            break;
+        ++shown;
+        std::printf(" %s %.1f%%",
+                    cpiComponentName(static_cast<CpiComponent>(i)),
+                    total ? 100.0 *
+                                static_cast<double>(cpi.counts[i]) /
+                                static_cast<double>(total)
+                          : 0.0);
+    }
+    std::printf("\n");
+}
 
 } // namespace
 
@@ -81,6 +115,11 @@ main()
                         stp(r.threadIpc, alone_ipc),
                         antt(r.threadIpc, alone_ipc),
                         harmonicSpeedup(r.threadIpc, alone_ipc));
+            std::vector<std::string> names =
+                splitWorkloadSpec(pair);
+            for (std::size_t t = 0; t < r.threadCpi.size(); ++t)
+                printCpiStack(t < names.size() ? names[t] : "?", t,
+                              r.threadCpi[t]);
         }
         std::printf("\n");
     }

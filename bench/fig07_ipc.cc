@@ -84,5 +84,51 @@ main()
     }
     std::printf("%-12s %10.3f\n", "GM mem", geomean(mem_r));
     std::printf("%-12s %10.3f\n", "GM comp", geomean(comp_r));
+
+    // Stall decomposition from the cycle-accounting stacks: where
+    // the cycles go under the base vs the resizing core. The
+    // resizing win should show as memory-stall share (dram + cache)
+    // converted into useful (base) cycles on the memory-bound set.
+    auto share = [](const SimResult &r,
+                    std::initializer_list<CpiComponent> cs) {
+        if (r.threadCpi.empty())
+            return 0.0;
+        const CpiStack &c = r.threadCpi[0];
+        std::uint64_t n = 0;
+        for (CpiComponent comp : cs)
+            n += c[comp];
+        std::uint64_t total = c.sum();
+        return total ? 100.0 * static_cast<double>(n) /
+                           static_cast<double>(total)
+                     : 0.0;
+    };
+    const auto kMem = {CpiComponent::Dram, CpiComponent::CacheMiss};
+    const auto kWin = {CpiComponent::RobFull, CpiComponent::IqFull,
+                       CpiComponent::LsqFull};
+    const auto kUse = {CpiComponent::Base};
+    std::printf("\nstall decomposition (%% of cycles)\n");
+    std::printf("%-12s %28s %28s\n", "", "base: useful  mem  winfull",
+                "Res:  useful  mem  winfull");
+    double acc[2][2][3] = {}; // [mem/comp][base/res][use/mem/win]
+    std::size_t cnt[2] = {};
+    for (std::size_t wi = 0; wi < progs.size(); ++wi) {
+        const SimResult *row = &results[wi * models.size()];
+        unsigned cat = findWorkload(progs[wi]).memIntensive ? 0 : 1;
+        const SimResult *cells[2] = {&row[0], &row[3]};
+        for (unsigned m = 0; m < 2; ++m) {
+            acc[cat][m][0] += share(*cells[m], kUse);
+            acc[cat][m][1] += share(*cells[m], kMem);
+            acc[cat][m][2] += share(*cells[m], kWin);
+        }
+        ++cnt[cat];
+    }
+    for (unsigned cat = 0; cat < 2; ++cat) {
+        double n = cnt[cat] ? static_cast<double>(cnt[cat]) : 1.0;
+        std::printf("%-12s %12.1f %5.1f %8.1f %14.1f %5.1f %8.1f\n",
+                    cat == 0 ? "mean mem" : "mean comp",
+                    acc[cat][0][0] / n, acc[cat][0][1] / n,
+                    acc[cat][0][2] / n, acc[cat][1][0] / n,
+                    acc[cat][1][1] / n, acc[cat][1][2] / n);
+    }
     return 0;
 }

@@ -12,13 +12,23 @@
 
 #include <chrono>
 #include <cstring>
+#include <ctime>
 #include <fstream>
+#include <string>
+
+#include <unistd.h>
 
 #include "branch/predictor.hh"
 #include "common/bench_util.hh"
+#include "common/json.hh"
 #include "emu/emulator.hh"
 #include "mem/cache.hh"
+#include "profile/profiler.hh"
 #include "sample/fastforward.hh"
+
+#ifndef MLPWIN_GIT_SHA
+#define MLPWIN_GIT_SHA "unknown"
+#endif
 
 using namespace mlpwin;
 using namespace mlpwin::bench;
@@ -230,26 +240,65 @@ timeSeconds(F &&f)
     return std::chrono::duration<double>(t1 - t0).count();
 }
 
+/** ISO-8601 UTC timestamp for the BENCH meta block. */
+std::string
+utcNow()
+{
+    std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
+
 /**
  * Measure the headline throughput numbers directly (no
  * google-benchmark repetition machinery — CI wants one cheap,
  * robust datapoint per build, not a statistics run) and write them
  * as a small JSON object: detailed-core MIPS, functional-emulation
  * MIPS, the SMARTS sampling wall-clock speedup on a fig07-style
- * cell, and the 2-thread SMT detailed MIPS.
+ * cell, and the 2-thread SMT detailed MIPS. The record also carries
+ * a provenance meta block (git sha, date, host, config fingerprint)
+ * so two BENCH files are comparable (tools/bench_diff), the host
+ * self-profiler's per-stage wall-time shares, and the measured
+ * profiler overhead on the detailed cell (budget: <= 5%).
  */
 int
 writeBenchJson(const char *path)
 {
-    // Detailed-core simulation speed (gcc, base model).
+    // Detailed-core simulation speed (gcc, base model), profiler off.
     SimConfig det = benchConfig(ModelKind::Base, 1);
     det.warmupInsts = 0;
     det.maxInsts = 100000;
     SimResult det_r;
+    // Throwaway warm-up run so both timed variants below see warm
+    // code and allocator state.
+    runWorkload("gcc", det, kForever);
     double det_s = timeSeconds(
         [&] { det_r = runWorkload("gcc", det, kForever); });
     double detailed_mips = static_cast<double>(det_r.committed) /
                            det_s / 1e6;
+
+    // The same cell with the self-profiler enabled: its slowdown is
+    // the profiler's overhead, and its span aggregates give the
+    // per-stage host-time shares.
+    Profiler &prof = Profiler::instance();
+    prof.reset();
+    prof.setEnabled(true);
+    SimResult det_prof_r;
+    double det_prof_s = timeSeconds(
+        [&] { det_prof_r = runWorkload("gcc", det, kForever); });
+    prof.setEnabled(false);
+    double profiler_overhead_pct =
+        det_s > 0.0 ? (det_prof_s / det_s - 1.0) * 100.0 : 0.0;
+    if (profiler_overhead_pct < 0.0)
+        profiler_overhead_pct = 0.0; // run-to-run noise
+    const auto stage_agg = prof.aggregate();
+    if (det_prof_r.commitStreamHash != det_r.commitStreamHash)
+        std::fprintf(stderr,
+                     "warning: profiled run diverged from the "
+                     "baseline (commit-stream hash mismatch)\n");
 
     // Functional fast-forward speed (emulator + warming).
     const WorkloadSpec &spec = findWorkload("gcc");
@@ -293,17 +342,58 @@ writeBenchJson(const char *path)
         std::fprintf(stderr, "cannot open %s for writing\n", path);
         return 1;
     }
-    char buf[512];
+
+    char host[256] = "unknown";
+    gethostname(host, sizeof host - 1);
+    char fp[32];
+    std::snprintf(fp, sizeof fp, "%016llx",
+                  static_cast<unsigned long long>(
+                      configFingerprint(det)));
+
+    char buf[1024];
     std::snprintf(buf, sizeof buf,
                   "{\"bench\":\"micro_simspeed\","
+                  "\"meta\":{\"git_sha\":\"%s\","
+                  "\"date\":\"%s\","
+                  "\"host\":\"%s\","
+                  "\"config_fingerprint\":\"%s\"},"
                   "\"detailed_mips\":%.4f,"
                   "\"functional_mips\":%.4f,"
                   "\"sampled_speedup\":%.2f,"
-                  "\"smt_detailed_mips\":%.4f}\n",
-                  detailed_mips, functional_mips, sampled_speedup,
-                  smt_detailed_mips);
-    os << buf;
-    std::printf("%s", buf);
+                  "\"smt_detailed_mips\":%.4f,"
+                  "\"profiler_overhead_pct\":%.2f",
+                  MLPWIN_GIT_SHA, utcNow().c_str(),
+                  jsonEscape(host).c_str(), fp, detailed_mips,
+                  functional_mips, sampled_speedup,
+                  smt_detailed_mips, profiler_overhead_pct);
+
+    // Host-time share of each pipeline stage (of the stage total, not
+    // wall time: stage spans are sampled 1 cycle in 64, so their
+    // ratios are meaningful while their absolute sum is not).
+    std::string out(buf);
+    double stage_total = 0.0;
+    for (std::size_t i = 0; i < kFirstCoarseSpan; ++i)
+        stage_total += static_cast<double>(stage_agg[i].totalNs);
+    out += ",\"host_stage_shares\":{";
+    bool first = true;
+    for (std::size_t i = 0; i < kFirstCoarseSpan; ++i) {
+        if (!stage_agg[i].count)
+            continue;
+        if (!first)
+            out += ',';
+        first = false;
+        char cell[96];
+        std::snprintf(cell, sizeof cell, "\"%s\":%.4f",
+                      spanKindName(static_cast<SpanKind>(i)),
+                      stage_total
+                          ? static_cast<double>(stage_agg[i].totalNs) /
+                                stage_total
+                          : 0.0);
+        out += cell;
+    }
+    out += "}}\n";
+    os << out;
+    std::printf("%s", out.c_str());
     return 0;
 }
 

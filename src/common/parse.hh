@@ -63,6 +63,18 @@ parseBoundedUnsigned(const char *s, unsigned lo, unsigned hi,
     return true;
 }
 
+/** parseBoundedUnsigned for 64-bit flags (cycle counts etc.). */
+inline bool
+parseBoundedU64(const char *s, std::uint64_t lo, std::uint64_t hi,
+                std::uint64_t &out)
+{
+    std::uint64_t v = 0;
+    if (!parseU64(s, v) || v < lo || v > hi)
+        return false;
+    out = v;
+    return true;
+}
+
 } // namespace mlpwin
 
 #endif // MLPWIN_COMMON_PARSE_HH

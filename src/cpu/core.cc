@@ -5,6 +5,7 @@
 #include "check/lockstep.hh"
 #include "common/logging.hh"
 #include "common/status.hh"
+#include "profile/profiler.hh"
 
 namespace mlpwin
 {
@@ -109,6 +110,7 @@ OooCore::resetMeasurement()
         t->committedMeasured = 0;
         t->mlpOverlapSum = 0.0;
         t->mlpActiveCycles = 0;
+        t->cpi.reset();
     }
 }
 
@@ -186,7 +188,8 @@ OooCore::allHalted() const
 }
 
 bool
-OooCore::globalRoomFor(const DynInst &d, bool needs_iq) const
+OooCore::globalRoomFor(const DynInst &d, bool needs_iq,
+                       CpiComponent &which) const
 {
     const ResourceLevel &cap = partition_->budget();
     unsigned rob = 0, iq = 0, lsq = 0;
@@ -195,12 +198,18 @@ OooCore::globalRoomFor(const DynInst &d, bool needs_iq) const
         iq += t->iqOcc;
         lsq += t->lsqOcc;
     }
-    if (rob >= cap.robSize)
+    if (rob >= cap.robSize) {
+        which = CpiComponent::RobFull;
         return false;
-    if (needs_iq && iq >= cap.iqSize)
+    }
+    if (needs_iq && iq >= cap.iqSize) {
+        which = CpiComponent::IqFull;
         return false;
-    if (d.si.isMem() && lsq >= cap.lsqSize)
+    }
+    if (d.si.isMem() && lsq >= cap.lsqSize) {
+        which = CpiComponent::LsqFull;
         return false;
+    }
     return true;
 }
 
@@ -556,8 +565,16 @@ OooCore::fetchStage()
         s.mlpEstimate = t.predictor.mlpEstimate();
     }
     int pick = fetchEngine_.pick(fetchStates_);
-    if (pick >= 0)
+    if (pick >= 0) {
+        // Eligible threads that lost the shared fetch port this
+        // cycle record the denial for the CPI stack.
+        for (unsigned tid = 0; tid < threads_.size(); ++tid) {
+            if (fetchStates_[tid].eligible &&
+                tid != static_cast<unsigned>(pick))
+                threads_[tid]->fetchDenied = true;
+        }
         fetchThread(*threads_[pick]);
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -574,24 +591,29 @@ OooCore::dispatchThread(ThreadContext &t, unsigned &budget)
         const ResourceLevel &level = levelFor(t);
         DynInst &d = t.fetchQueue.front();
 
-        if (t.window.size() >= level.robSize) {
+        auto block = [&t](CpiComponent which) {
             t.allocStalledFull = true;
+            t.dispatchBlock = static_cast<std::uint8_t>(which);
+        };
+        if (t.window.size() >= level.robSize) {
+            block(CpiComponent::RobFull);
             break;
         }
         bool needs_iq = !(d.si.isNop() || d.si.isHalt());
         if (needs_iq && t.iqOcc >= level.iqSize) {
-            t.allocStalledFull = true;
+            block(CpiComponent::IqFull);
             break;
         }
         if (d.si.isMem() && t.lsqOcc >= level.lsqSize) {
-            t.allocStalledFull = true;
+            block(CpiComponent::LsqFull);
             break;
         }
         // SMT: per-thread levels may transiently over-commit the
         // shared physical windows; the dispatch gate enforces the
         // hard budget.
-        if (smtActive_ && !globalRoomFor(d, needs_iq)) {
-            t.allocStalledFull = true;
+        CpiComponent which = CpiComponent::RobFull;
+        if (smtActive_ && !globalRoomFor(d, needs_iq, which)) {
+            block(which);
             break;
         }
 
@@ -867,6 +889,7 @@ OooCore::resolveMispredict(DynInst &branch)
     squashYoungerThan(t, branch.seq);
     t.bp.restoreHistory(branch.histSnapshot, branch.rec.taken);
     t.redirectAt = cycle_ + mispredictRedirectPenalty(t);
+    t.redirectIsRunahead = false;
     t.fetchPc = branch.rec.nextPc;
     t.fetchWaitBranch = false;
     t.lastFetchLine = kNoAddr;
@@ -998,6 +1021,7 @@ OooCore::retireHead(ThreadContext &t, bool pseudo)
         ++committed_;
         ++t.committedTotal;
         ++t.committedMeasured;
+        ++t.commitsThisCycle;
         if (t.checker)
             t.checker->onCommit(head.rec);
     }
@@ -1125,6 +1149,7 @@ OooCore::exitRunahead(ThreadContext &t)
         timeline_->endRunahead(cycle_, t.raEpisodeMisses);
     traceNote(TraceCategory::Runahead, "exit runahead");
     t.redirectAt = cycle_ + 1 + raCfg_.exitPenalty;
+    t.redirectIsRunahead = true;
     // Refetch from the trigger; the invariant above already proved
     // the oracle is at raTriggerPc.
     t.fetchPc = t.raTriggerPc;
@@ -1215,17 +1240,65 @@ OooCore::commitStage()
 }
 
 // ---------------------------------------------------------------------
+// CPI-stack cycle accounting
+// ---------------------------------------------------------------------
+
+CpiComponent
+OooCore::classifyCycle(const ThreadContext &t) const
+{
+    // Priority-ordered attribution (see tools/TELEMETRY.md): a cycle
+    // that commits is useful work regardless of what else stalled;
+    // below that, the oldest-in-the-machine condition wins.
+    if (t.commitsThisCycle > 0)
+        return CpiComponent::Base;
+    if (t.halted || halted_)
+        return CpiComponent::Idle;
+    if (t.inRunahead)
+        return CpiComponent::Runahead;
+    // Resize transitions outrank the memory-stall leaves: a shrink
+    // drain usually waits on an in-flight miss, and attributing those
+    // cycles to dram would hide exactly the reconfiguration overhead
+    // this leaf exists to expose.
+    if (allocStoppedFor(t))
+        return CpiComponent::ResizeDrain;
+    if (!t.window.empty()) {
+        const DynInst &head = t.window.front();
+        if (head.isLoad() && head.memDone && !head.completed) {
+            return head.l2Miss ? CpiComponent::Dram
+                               : CpiComponent::CacheMiss;
+        }
+    }
+    if (t.dispatchBlock != ThreadContext::kNoDispatchBlock)
+        return static_cast<CpiComponent>(t.dispatchBlock);
+    if (cycle_ < t.redirectAt) {
+        return t.redirectIsRunahead ? CpiComponent::Runahead
+                                    : CpiComponent::BranchMispredict;
+    }
+    if (t.fetchWaitBranch)
+        return CpiComponent::BranchMispredict;
+    if (t.fetchDenied)
+        return CpiComponent::SmtFetchContention;
+    if (t.window.empty())
+        return CpiComponent::IFetch;
+    // Window occupied, head executing at short latency: the ILP
+    // residue (includes store-buffer back-pressure at the head).
+    return CpiComponent::Base;
+}
+
+void
+OooCore::accountCpi()
+{
+    for (auto &tp : threads_)
+        tp->cpi.add(classifyCycle(*tp));
+}
+
+// ---------------------------------------------------------------------
 // Tick
 // ---------------------------------------------------------------------
 
 void
-OooCore::tick()
+OooCore::runStages()
 {
-    for (auto &tp : threads_) {
-        tp->allocStalledFull = false;
-        tp->issuedThisCycle = 0;
-    }
-
     commitStage();
     completeStage();
     lsuStage();
@@ -1233,6 +1306,38 @@ OooCore::tick()
     wibReinsertStage();
     dispatchStage();
     fetchStage();
+}
+
+void
+OooCore::runStagesProfiled()
+{
+    { ScopedSpan s(SpanKind::Commit); commitStage(); }
+    { ScopedSpan s(SpanKind::Complete); completeStage(); }
+    { ScopedSpan s(SpanKind::Lsu); lsuStage(); }
+    { ScopedSpan s(SpanKind::Issue); issueStage(); }
+    { ScopedSpan s(SpanKind::WibReinsert); wibReinsertStage(); }
+    { ScopedSpan s(SpanKind::Dispatch); dispatchStage(); }
+    { ScopedSpan s(SpanKind::Fetch); fetchStage(); }
+}
+
+void
+OooCore::tick()
+{
+    for (auto &tp : threads_) {
+        tp->allocStalledFull = false;
+        tp->issuedThisCycle = 0;
+        tp->commitsThisCycle = 0;
+        tp->dispatchBlock = ThreadContext::kNoDispatchBlock;
+        tp->fetchDenied = false;
+    }
+
+    // Stage timing is sampled (every 64th cycle) so the profiler's
+    // clock reads stay far below the cost of the stages themselves;
+    // when the profiler is disabled this is one relaxed atomic load.
+    if (Profiler::instance().enabled() && (cycle_ & 63) == 0)
+        runStagesProfiled();
+    else
+        runStages();
 
     if (!smtActive_) {
         ThreadContext &t = *threads_[0];
@@ -1294,6 +1399,7 @@ OooCore::tick()
         }
     }
 
+    accountCpi();
     ++cycle_;
 }
 

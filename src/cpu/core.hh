@@ -44,6 +44,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "cpu/core_config.hh"
+#include "cpu/cpi_stack.hh"
 #include "cpu/dyninst.hh"
 #include "cpu/tracer.hh"
 #include "emu/emulator.hh"
@@ -183,6 +184,29 @@ class OooCore
                                       static_cast<double>(
                                           mlpActiveCycles_)
                                 : 0.0;
+    }
+
+    // --- CPI-stack cycle accounting ------------------------------------
+    /**
+     * Thread tid's CPI stack over the measurement window. Invariant
+     * (checked by Simulator::checkInvariants): sum() ==
+     * measuredCycles(), exactly — every measured cycle of every
+     * thread lands in exactly one taxonomy leaf.
+     */
+    const CpiStack &
+    cpiStack(unsigned tid) const
+    {
+        return threads_[tid]->cpi;
+    }
+
+    /** Leaf-wise sum of every thread's stack (whole-core view). */
+    CpiStack
+    cpiStackTotal() const
+    {
+        CpiStack total;
+        for (const auto &t : threads_)
+            total += t->cpi;
+        return total;
     }
 
     /** Size-cycles integrals for the energy model (capacity * cycle). */
@@ -371,6 +395,11 @@ class OooCore
 
   private:
     // --- pipeline stages (called in reverse order each tick) ----------
+    /** The seven stage calls, in reverse pipeline order. */
+    void runStages();
+    /** runStages with each stage timed under a host-profiler span
+     *  (taken on sampled cycles only; see tick()). */
+    void runStagesProfiled();
     void commitStage();
     void completeStage();
     void lsuStage();
@@ -424,9 +453,18 @@ class OooCore
     unsigned mispredictRedirectPenalty(const ThreadContext &t) const;
     /**
      * SMT only: true if dispatching d would keep the summed
-     * occupancies inside the shared largest-level budget.
+     * occupancies inside the shared largest-level budget. On failure
+     * `which` names the exhausted structure (RobFull/IqFull/LsqFull)
+     * for the CPI stack.
      */
-    bool globalRoomFor(const DynInst &d, bool needs_iq) const;
+    bool globalRoomFor(const DynInst &d, bool needs_iq,
+                       CpiComponent &which) const;
+    /** Attribute the current cycle to one CPI-stack leaf per thread
+     *  (called once per tick, just before the clock advances). */
+    void accountCpi();
+    /** The taxonomy leaf thread t's current cycle belongs to; the
+     *  priority order is documented in tools/TELEMETRY.md. */
+    CpiComponent classifyCycle(const ThreadContext &t) const;
     bool allHalted() const;
     void resolveMispredict(DynInst &branch);
     void squashYoungerThan(ThreadContext &t, InstSeqNum seq);

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Per-thread cycle-accounting CPI stack. Every measured cycle of
+ * every hardware thread is attributed to exactly one leaf of a fixed
+ * taxonomy, so the components sum to the measured cycle count by
+ * construction (an exact invariant, checked at runtime by
+ * Simulator::checkInvariants and pinned by tests, not a sampled
+ * approximation).
+ *
+ * The attribution is priority-ordered: a cycle that commits is Base
+ * no matter what else was stalled; otherwise the highest-priority
+ * stall condition that holds claims the cycle. The full priority
+ * order is documented in tools/TELEMETRY.md and implemented in
+ * OooCore::classifyCycle.
+ */
+
+#ifndef MLPWIN_CPU_CPI_STACK_HH
+#define MLPWIN_CPU_CPI_STACK_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace mlpwin
+{
+
+/**
+ * Taxonomy leaves, one per possible cycle attribution. Declaration
+ * order is also the export order (JSONL arrays, CSV columns), so new
+ * leaves must be appended, never inserted.
+ */
+enum class CpiComponent : std::uint8_t
+{
+    /** Committed at least one instruction this cycle (useful work),
+     *  or stalled purely on execution latency with a full pipe —
+     *  the ILP-limit residue every other leaf is measured against. */
+    Base = 0,
+    /** Window empty and front-end unable to supply (icache busy,
+     *  fetch queue drained, fetch halted). */
+    IFetch,
+    /** Squashed and waiting out a mispredict redirect, or fetch
+     *  stopped at an unresolved low-confidence branch. */
+    BranchMispredict,
+    /** Head of window is a load waiting on the cache hierarchy
+     *  (L1D/L2 latency, not a DRAM round trip). */
+    CacheMiss,
+    /** Head of window is a load waiting on an L2 demand miss to
+     *  DRAM — the MLP-overlap target of the resize policy. */
+    Dram,
+    /** Dispatch blocked: reorder buffer at its level/partition cap. */
+    RobFull,
+    /** Dispatch blocked: issue queue at its level/partition cap. */
+    IqFull,
+    /** Dispatch blocked: load/store queue at its level/partition
+     *  cap. */
+    LsqFull,
+    /** Allocation stopped while a shrink transition drains the
+     *  doomed window region (resize_transition stall). */
+    ResizeDrain,
+    /** In runahead mode, or waiting out a runahead exit redirect:
+     *  cycles that prefetch but retire nothing architecturally. */
+    Runahead,
+    /** SMT only: this thread was fetch-eligible but the shared fetch
+     *  port was granted to a co-runner. */
+    SmtFetchContention,
+    /** Thread halted (or the whole core halted) — co-runner cycles
+     *  after a short thread exits, and post-halt ticks. */
+    Idle,
+};
+
+constexpr std::size_t kNumCpiComponents = 12;
+
+/** Short stable name used in JSONL keys, CSV headers, and tables. */
+inline const char *
+cpiComponentName(CpiComponent c)
+{
+    switch (c) {
+      case CpiComponent::Base: return "base";
+      case CpiComponent::IFetch: return "ifetch";
+      case CpiComponent::BranchMispredict: return "bmiss";
+      case CpiComponent::CacheMiss: return "cache";
+      case CpiComponent::Dram: return "dram";
+      case CpiComponent::RobFull: return "rob_full";
+      case CpiComponent::IqFull: return "iq_full";
+      case CpiComponent::LsqFull: return "lsq_full";
+      case CpiComponent::ResizeDrain: return "drain";
+      case CpiComponent::Runahead: return "runahead";
+      case CpiComponent::SmtFetchContention: return "smt_fetch";
+      case CpiComponent::Idle: return "idle";
+    }
+    return "?";
+}
+
+/** One thread's accumulated stack: a counter per taxonomy leaf. */
+struct CpiStack
+{
+    std::array<std::uint64_t, kNumCpiComponents> counts{};
+
+    void
+    add(CpiComponent c)
+    {
+        ++counts[static_cast<std::size_t>(c)];
+    }
+
+    std::uint64_t
+    operator[](CpiComponent c) const
+    {
+        return counts[static_cast<std::size_t>(c)];
+    }
+
+    /** Sum over all leaves; equals measured cycles by invariant. */
+    std::uint64_t
+    sum() const
+    {
+        std::uint64_t s = 0;
+        for (std::uint64_t v : counts)
+            s += v;
+        return s;
+    }
+
+    void
+    reset()
+    {
+        counts.fill(0);
+    }
+
+    CpiStack &
+    operator+=(const CpiStack &o)
+    {
+        for (std::size_t i = 0; i < kNumCpiComponents; ++i)
+            counts[i] += o.counts[i];
+        return *this;
+    }
+};
+
+} // namespace mlpwin
+
+#endif // MLPWIN_CPU_CPI_STACK_HH

@@ -13,6 +13,7 @@
 
 #include "exp/checkpoint.hh"
 #include "exp/thread_pool.hh"
+#include "profile/profiler.hh"
 #include "sample/checkpoint.hh"
 #include "telemetry/export.hh"
 #include "telemetry/timeline.hh"
@@ -142,6 +143,8 @@ SimResult
 executeJob(const ExperimentSpec &spec, const ExperimentJob &job,
            const ArchCheckpoint *arch_ckpt)
 {
+    ScopedSpan span(SpanKind::Job, jobKey(job));
+
     if (spec.executor)
         return spec.executor(job);
 

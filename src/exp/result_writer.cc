@@ -36,6 +36,35 @@ readU64Array(const JsonValue &v, std::uint64_t *out, std::size_t n)
         out[i] = v.array[i].asU64();
 }
 
+/** {"base":N,...} keyed by cpiComponentName, leaf order. */
+std::string
+cpiStackToJson(const CpiStack &cpi)
+{
+    std::string out = "{";
+    for (std::size_t i = 0; i < kNumCpiComponents; ++i) {
+        if (i)
+            out += ',';
+        out += '"';
+        out += cpiComponentName(static_cast<CpiComponent>(i));
+        out += "\":" + fmtU64(cpi.counts[i]);
+    }
+    out += "}";
+    return out;
+}
+
+CpiStack
+cpiStackFromJson(const JsonValue &v)
+{
+    if (v.kind != JsonValue::Kind::Object)
+        throw std::runtime_error("JSON: cpi stack must be an object");
+    CpiStack cpi;
+    for (std::size_t i = 0; i < kNumCpiComponents; ++i)
+        cpi.counts[i] =
+            v.field(cpiComponentName(static_cast<CpiComponent>(i)))
+                .asU64();
+    return cpi;
+}
+
 } // namespace
 
 std::string
@@ -110,6 +139,14 @@ resultToJson(const SimResult &r)
     s += ",\"stp\":" + fmtDouble(r.stp);
     s += ",\"antt\":" + fmtDouble(r.antt);
     s += ",\"hmean_speedup\":" + fmtDouble(r.hmeanSpeedup);
+    s += ",\"cpi\":" + cpiStackToJson(r.cpiTotal());
+    s += ",\"thread_cpi\":[";
+    for (std::size_t i = 0; i < r.threadCpi.size(); ++i) {
+        if (i)
+            s += ',';
+        s += cpiStackToJson(r.threadCpi[i]);
+    }
+    s += "]";
     s += "}";
     return s;
 }
@@ -213,6 +250,17 @@ resultFromJson(const std::string &json)
         r.antt = root.field("antt").asDouble();
         r.hmeanSpeedup = root.field("hmean_speedup").asDouble();
     }
+    // CPI stacks postdate the SMT schema; older records load with
+    // empty stacks (the aggregate "cpi" object is derived from
+    // thread_cpi, so only the per-thread array is read back).
+    if (root.hasField("cpi")) {
+        const JsonValue &tc = root.field("thread_cpi");
+        if (tc.kind != JsonValue::Kind::Array)
+            throw std::runtime_error(
+                "JSON: thread_cpi not an array");
+        for (const JsonValue &v : tc.array)
+            r.threadCpi.push_back(cpiStackFromJson(v));
+    }
     return r;
 }
 
@@ -231,7 +279,9 @@ csvHeader()
            "sample_intervals,ff_insts,ipc_ci95,commit_stream_hash,"
            "n_threads,fetch_policy,partition_policy,thread_ipc,"
            "thread_committed,thread_commit_hash,thread_observed_mlp,"
-           "stp,antt,hmean_speedup";
+           "stp,antt,hmean_speedup,cpi_base,cpi_ifetch,cpi_bmiss,"
+           "cpi_cache,cpi_dram,cpi_rob_full,cpi_iq_full,cpi_lsq_full,"
+           "cpi_drain,cpi_runahead,cpi_smt_fetch,cpi_idle";
 }
 
 std::string
@@ -288,6 +338,9 @@ resultToCsv(const SimResult &r)
          ",";
     s += fmtDouble(r.stp) + "," + fmtDouble(r.antt) + "," +
          fmtDouble(r.hmeanSpeedup);
+    const CpiStack total = r.cpiTotal();
+    for (std::uint64_t v : total.counts)
+        s += "," + fmtU64(v);
     return s;
 }
 

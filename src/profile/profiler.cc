@@ -1,0 +1,190 @@
+#include "profiler.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mlpwin
+{
+
+namespace
+{
+
+/** Cap on retained coarse spans per host thread (oldest kept, so a
+ *  trace always starts at the interesting beginning of a run). */
+constexpr std::size_t kMaxRecordsPerThread = 1u << 15;
+
+} // namespace
+
+const char *
+spanKindName(SpanKind k)
+{
+    switch (k) {
+      case SpanKind::Fetch: return "fetch";
+      case SpanKind::Dispatch: return "dispatch";
+      case SpanKind::Issue: return "issue";
+      case SpanKind::Lsu: return "lsu";
+      case SpanKind::Complete: return "complete";
+      case SpanKind::Commit: return "commit";
+      case SpanKind::WibReinsert: return "wib_reinsert";
+      case SpanKind::Warmup: return "warmup";
+      case SpanKind::FastForward: return "fast_forward";
+      case SpanKind::CheckpointLoad: return "checkpoint_load";
+      case SpanKind::Drain: return "drain";
+      case SpanKind::Job: return "job";
+    }
+    return "?";
+}
+
+Profiler &
+Profiler::instance()
+{
+    static Profiler p;
+    return p;
+}
+
+void
+Profiler::setEnabled(bool on)
+{
+#ifdef MLPWIN_PROFILE_DISABLED
+    (void)on;
+#else
+    enabled_.store(on, std::memory_order_relaxed);
+#endif
+}
+
+Profiler::ThreadBuf &
+Profiler::threadBuf()
+{
+    thread_local ThreadBuf *buf = nullptr;
+    if (!buf) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        bufs_.push_back(std::make_unique<ThreadBuf>());
+        buf = bufs_.back().get();
+        buf->index = static_cast<std::uint32_t>(bufs_.size() - 1);
+    }
+    return *buf;
+}
+
+void
+Profiler::record(SpanKind kind, std::uint64_t begin_ns,
+                 std::uint64_t end_ns, std::string label)
+{
+    ThreadBuf &buf = threadBuf();
+    auto i = static_cast<std::size_t>(kind);
+    ++buf.agg[i].count;
+    buf.agg[i].totalNs += end_ns - begin_ns;
+    if (i < kFirstCoarseSpan)
+        return;
+    if (buf.records.size() >= kMaxRecordsPerThread) {
+        ++buf.dropped;
+        return;
+    }
+    buf.records.push_back(SpanRecord{kind, buf.index, begin_ns,
+                                     end_ns, std::move(label)});
+}
+
+void
+Profiler::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &buf : bufs_) {
+        buf->agg.fill(SpanAggregate{});
+        buf->records.clear();
+        buf->dropped = 0;
+    }
+}
+
+std::array<SpanAggregate, kNumSpanKinds>
+Profiler::aggregate() const
+{
+    std::array<SpanAggregate, kNumSpanKinds> total{};
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &buf : bufs_) {
+        for (std::size_t i = 0; i < kNumSpanKinds; ++i) {
+            total[i].count += buf->agg[i].count;
+            total[i].totalNs += buf->agg[i].totalNs;
+        }
+    }
+    return total;
+}
+
+std::vector<SpanRecord>
+Profiler::records() const
+{
+    std::vector<SpanRecord> all;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &buf : bufs_)
+            all.insert(all.end(), buf->records.begin(),
+                       buf->records.end());
+    }
+    std::sort(all.begin(), all.end(),
+              [](const SpanRecord &a, const SpanRecord &b) {
+                  return a.beginNs < b.beginNs;
+              });
+    return all;
+}
+
+std::uint64_t
+Profiler::droppedRecords() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t n = 0;
+    for (const auto &buf : bufs_)
+        n += buf->dropped;
+    return n;
+}
+
+std::vector<std::string>
+Profiler::traceEvents() const
+{
+    std::vector<SpanRecord> all = records();
+    std::vector<std::string> events;
+    events.reserve(all.size() + 2);
+    char line[256];
+
+    std::snprintf(line, sizeof(line),
+                  "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":0,\"args\":{\"name\":\"simulator host\"}}");
+    events.emplace_back(line);
+
+    std::uint32_t max_tid = 0;
+    for (const SpanRecord &r : all)
+        max_tid = std::max(max_tid, r.hostThread);
+    for (std::uint32_t t = 0; t <= max_tid; ++t) {
+        std::snprintf(
+            line, sizeof(line),
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+            "\"tid\":%u,\"args\":{\"name\":\"host thread %u\"}}",
+            t, t);
+        events.emplace_back(line);
+    }
+
+    for (const SpanRecord &r : all) {
+        double ts = static_cast<double>(r.beginNs) / 1000.0;
+        double dur =
+            static_cast<double>(r.endNs - r.beginNs) / 1000.0;
+        if (r.label.empty()) {
+            std::snprintf(line, sizeof(line),
+                          "{\"name\":\"%s\",\"cat\":\"host\","
+                          "\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+                          "\"pid\":1,\"tid\":%u}",
+                          spanKindName(r.kind), ts, dur,
+                          r.hostThread);
+        } else {
+            // Labels come from workload/model names (no escaping
+            // needed for the characters those may contain).
+            std::snprintf(line, sizeof(line),
+                          "{\"name\":\"%s\",\"cat\":\"host\","
+                          "\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+                          "\"pid\":1,\"tid\":%u,"
+                          "\"args\":{\"label\":\"%s\"}}",
+                          spanKindName(r.kind), ts, dur,
+                          r.hostThread, r.label.c_str());
+        }
+        events.emplace_back(line);
+    }
+    return events;
+}
+
+} // namespace mlpwin

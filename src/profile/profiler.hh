@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Host-side self-profiler: where does the *simulator* spend wall
+ * time? Scoped RAII spans cover the pipeline stages (sampled — the
+ * core times one cycle in 64 so the clock reads stay far below the
+ * cost of the stages themselves) and the coarse phases around them
+ * (warm-up, measurement, functional fast-forward, checkpoint load,
+ * pipeline drain, per-job batch spans).
+ *
+ * Cost discipline mirrors the guest-side tracers: when disabled at
+ * runtime every span site is one relaxed atomic load; when disabled
+ * at compile time (-DMLPWIN_PROFILE_DISABLED) the sites vanish
+ * entirely. Either way the profiler never touches simulation state,
+ * so guest results are bit-identical with it on, off, or compiled
+ * out (asserted by tests/profile/profiler_test.cc).
+ *
+ * Hot (per-cycle) kinds aggregate into per-thread {count, total ns}
+ * cells only; coarse kinds additionally keep begin/end records in
+ * per-thread buffers (capped, oldest kept) for Chrome trace_event
+ * export — host spans render under pid 1 next to the guest timeline
+ * (pid 0). Buffers are thread-local, so span recording is lock-free;
+ * the registry mutex is taken only on first use per thread and by
+ * the readers (aggregate/records/traceEvents), which callers run
+ * after worker threads have finished.
+ */
+
+#ifndef MLPWIN_PROFILE_PROFILER_HH
+#define MLPWIN_PROFILE_PROFILER_HH
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mlpwin
+{
+
+/** What a host-time span covers. Hot per-cycle stage kinds first,
+ *  coarse phase kinds (ring-buffered for trace export) after
+ *  kFirstCoarseSpan. Append only: the order is the export order. */
+enum class SpanKind : std::uint8_t
+{
+    Fetch = 0,
+    Dispatch,
+    Issue,
+    Lsu,
+    Complete,
+    Commit,
+    WibReinsert,
+    // --- coarse phases (>= kFirstCoarseSpan) --------------------------
+    Warmup,
+    FastForward,
+    CheckpointLoad,
+    Drain,
+    Job,
+};
+
+constexpr std::size_t kNumSpanKinds = 12;
+constexpr std::size_t kFirstCoarseSpan =
+    static_cast<std::size_t>(SpanKind::Warmup);
+
+/** Stable short name (BENCH json keys, trace event names). */
+const char *spanKindName(SpanKind k);
+
+/** Accumulated host time for one span kind. */
+struct SpanAggregate
+{
+    std::uint64_t count = 0;
+    std::uint64_t totalNs = 0;
+};
+
+/** One recorded coarse span (times are ns since the profiler epoch). */
+struct SpanRecord
+{
+    SpanKind kind;
+    std::uint32_t hostThread; ///< Registration index, trace tid.
+    std::uint64_t beginNs;
+    std::uint64_t endNs;
+    std::string label; ///< Optional (e.g. "mcf.resizing" for Job).
+};
+
+/** See file comment. Process-global singleton. */
+class Profiler
+{
+  public:
+    static Profiler &instance();
+
+#ifdef MLPWIN_PROFILE_DISABLED
+    static constexpr bool enabled() { return false; }
+#else
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+#endif
+
+    /** Runtime gate; a no-op in MLPWIN_PROFILE_DISABLED builds. */
+    void setEnabled(bool on);
+
+    /** Nanoseconds since the profiler epoch (process start). */
+    std::uint64_t
+    nowNs() const
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - epoch_)
+                .count());
+    }
+
+    /** Record one finished span into this thread's buffer. */
+    void record(SpanKind kind, std::uint64_t begin_ns,
+                std::uint64_t end_ns, std::string label = {});
+
+    /** Drop all recorded data (aggregates and records). */
+    void reset();
+
+    /** Per-kind totals summed over every registered thread. */
+    std::array<SpanAggregate, kNumSpanKinds> aggregate() const;
+
+    /** All retained coarse spans, begin-ordered. */
+    std::vector<SpanRecord> records() const;
+
+    /** Coarse records dropped to the per-thread buffer cap. */
+    std::uint64_t droppedRecords() const;
+
+    /**
+     * The retained coarse spans as serialized Chrome trace_event
+     * objects (no surrounding brackets): complete "X" slices under
+     * pid 1 with one metadata name event per host thread, ready to
+     * merge into a guest timeline via writeChromeTrace's
+     * extra_events. Timestamps are host microseconds since the
+     * profiler epoch (the guest track's microseconds are cycles, so
+     * the two planes sit side by side, not time-aligned).
+     */
+    std::vector<std::string> traceEvents() const;
+
+  private:
+    Profiler() : epoch_(std::chrono::steady_clock::now()) {}
+
+    struct ThreadBuf
+    {
+        std::uint32_t index = 0;
+        std::array<SpanAggregate, kNumSpanKinds> agg{};
+        std::vector<SpanRecord> records;
+        std::uint64_t dropped = 0;
+    };
+
+    ThreadBuf &threadBuf();
+
+    const std::chrono::steady_clock::time_point epoch_;
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<ThreadBuf>> bufs_;
+};
+
+/**
+ * RAII span. Captures the gate at construction so a mid-span
+ * setEnabled toggle can't record a half-timed interval. Compiles to
+ * nothing under MLPWIN_PROFILE_DISABLED.
+ */
+class ScopedSpan
+{
+  public:
+#ifdef MLPWIN_PROFILE_DISABLED
+    explicit ScopedSpan(SpanKind, std::string = {}) {}
+#else
+    explicit ScopedSpan(SpanKind kind, std::string label = {})
+        : kind_(kind)
+    {
+        Profiler &p = Profiler::instance();
+        if (p.enabled()) {
+            active_ = true;
+            label_ = std::move(label);
+            beginNs_ = p.nowNs();
+        }
+    }
+
+    ~ScopedSpan()
+    {
+        if (active_) {
+            Profiler &p = Profiler::instance();
+            p.record(kind_, beginNs_, p.nowNs(), std::move(label_));
+        }
+    }
+#endif
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+#ifndef MLPWIN_PROFILE_DISABLED
+  private:
+    SpanKind kind_;
+    bool active_ = false;
+    std::uint64_t beginNs_ = 0;
+    std::string label_;
+#endif
+};
+
+} // namespace mlpwin
+
+#endif // MLPWIN_PROFILE_PROFILER_HH

@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "common/status.hh"
+#include "profile/profiler.hh"
 
 namespace mlpwin
 {
@@ -196,6 +197,7 @@ ArchCheckpoint::load(std::istream &is)
 ArchCheckpoint
 ArchCheckpoint::loadFile(const std::string &path)
 {
+    ScopedSpan span(SpanKind::CheckpointLoad, path);
     std::ifstream is(path, std::ios::binary);
     if (!is)
         throw SimError(ErrorCode::Io,

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "profile/profiler.hh"
 #include "sample/fastforward.hh"
 #include "workloads/suite.hh"
 
@@ -194,6 +195,7 @@ Simulator::Simulator(const SimConfig &cfg,
         sampling_ = std::make_unique<SamplingController>(cfg_.sampling,
                                                          &stats_);
     if (cfg_.startCheckpoint) {
+        ScopedSpan span(SpanKind::CheckpointLoad);
         const ArchCheckpoint &ck = *cfg_.startCheckpoint;
         if (ck.programHash() != programHash(progs[0]))
             throw SimError(
@@ -243,8 +245,11 @@ Simulator::snapshot() const
         ts.robOcc = static_cast<unsigned>(t.window.size());
         ts.outstandingMisses =
             static_cast<unsigned>(t.activeMissDone.size());
+        ts.cpi = t.cpi;
         s.threads.push_back(ts);
     }
+    s.cpi = core_->cpiStackTotal();
+    s.hasCpi = true;
     return s;
 }
 
@@ -360,6 +365,20 @@ Simulator::checkInvariants() const
                 std::to_string(core_->outstandingL2Misses()) +
                 " exceeds plausibility bound " +
                 std::to_string(miss_bound) + " (leaked entry?)");
+    // Cycle-accounting invariant: every thread's CPI stack attributes
+    // exactly one leaf per cycle since the measurement reset, so the
+    // leaf counts must sum to the measured cycle count — exactly.
+    const Cycle mc = core_->measuredCycles();
+    for (unsigned tid = 0; tid < core_->nThreads(); ++tid) {
+        std::uint64_t sum = core_->cpiStack(tid).sum();
+        if (sum != mc)
+            return Status::error(
+                ErrorCode::InvariantViolation,
+                "CPI stack of thread " + std::to_string(tid) +
+                    " sums to " + std::to_string(sum) + " but " +
+                    std::to_string(mc) +
+                    " cycles were measured (cycle-accounting leak)");
+    }
     return Status();
 }
 
@@ -483,6 +502,7 @@ Simulator::fastForward(std::uint64_t n)
         return 0;
     mlpwin_assert(core_->nThreads() == 1);
     mlpwin_assert(core_->readyForFastForward());
+    ScopedSpan span(SpanKind::FastForward);
     FastForwarder ff(core_->oracleForFastForward(), &mem_,
                      &core_->predictorForWarming());
     std::uint64_t done = ff.run(n);
@@ -495,6 +515,7 @@ Simulator::fastForward(std::uint64_t n)
 void
 Simulator::drainPipeline()
 {
+    ScopedSpan span(SpanKind::Drain);
     core_->setFetchPaused(true);
     const Cycle window = watchdogWindow();
     const Cycle limit = window ? window : 1'000'000;
@@ -522,6 +543,7 @@ Simulator::warmupPhase()
     // always warm up in detail: the functional fast-forward drives a
     // single oracle.
     if (cfg_.warmupInsts > 0 && !core_->halted()) {
+        ScopedSpan span(SpanKind::Warmup);
         bool functional = (cfg_.functionalWarmup ||
                            cfg_.sampling.enabled) &&
                           core_->nThreads() == 1;
@@ -699,6 +721,7 @@ Simulator::collectResult(const PollutionStats &pollution_base)
         r.threadIpc.push_back(
             mc ? static_cast<double>(t.committedMeasured) / mc : 0.0);
         r.threadObservedMlp.push_back(t.observedMlp());
+        r.threadCpi.push_back(t.cpi);
         r.threadCommitHash.push_back(
             tid < checkers_.size() && checkers_[tid]
                 ? checkers_[tid]->streamHash() : 0);
@@ -737,6 +760,79 @@ Simulator::collectResult(const PollutionStats &pollution_base)
     r.energyTotal = em.evaluate(e).total();
     r.edp = em.edp(e);
     return r;
+}
+
+std::uint64_t
+configFingerprint(const SimConfig &cfg)
+{
+    // FNV-1a over the performance-relevant numeric knobs, folded in a
+    // fixed order so the fingerprint is stable across runs and hosts.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto fold = [&h](std::uint64_t v) {
+        for (unsigned i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    };
+
+    fold(static_cast<std::uint64_t>(cfg.model));
+    fold(cfg.fixedLevel);
+    for (unsigned l = 1; l <= cfg.levels.maxLevel(); ++l) {
+        const ResourceLevel &lvl = cfg.levels.at(l);
+        fold(lvl.robSize);
+        fold(lvl.iqSize);
+        fold(lvl.lsqSize);
+        fold(lvl.iqDepth);
+        fold(lvl.robDepth);
+        fold(lvl.lsqDepth);
+    }
+
+    const CoreConfig &c = cfg.core;
+    fold(c.fetchWidth);
+    fold(c.decodeWidth);
+    fold(c.issueWidth);
+    fold(c.commitWidth);
+    fold(c.mispredictPenalty);
+    fold(c.fetchQueueSize);
+    fold(c.storeBufferSize);
+    fold(c.numIntAlu);
+    fold(c.numIntMulDiv);
+    fold(c.numMemPorts);
+    fold(c.numFpAlu);
+    fold(c.numFpMulDiv);
+    fold(c.pipelinePenalties);
+    fold(c.wrongPathExecution);
+    fold(c.wibEnabled);
+    fold(c.wibSize);
+    fold(c.smt.nThreads);
+    fold(static_cast<std::uint64_t>(c.smt.fetchPolicy));
+    fold(static_cast<std::uint64_t>(c.smt.partitionPolicy));
+
+    for (const CacheConfig &cc : {cfg.mem.l1i, cfg.mem.l1d,
+                                  cfg.mem.l2}) {
+        fold(cc.sizeBytes);
+        fold(cc.assoc);
+        fold(cc.lineBytes);
+        fold(cc.hitLatency);
+        fold(cc.mshrs);
+    }
+    fold(cfg.mem.dram.minLatency);
+    fold(cfg.mem.dram.bytesPerCycle);
+    fold(cfg.mem.prefetcher.enabled);
+    fold(cfg.mem.prefetcher.degree);
+
+    fold(cfg.mlp.memoryLatency);
+    fold(cfg.mlp.transitionPenalty);
+    fold(cfg.warmInstCaches);
+    fold(cfg.warmDataCaches);
+    fold(cfg.warmupInsts);
+    fold(cfg.functionalWarmup);
+    fold(cfg.sampling.enabled);
+    fold(cfg.sampling.intervalInsts);
+    fold(cfg.sampling.periodInsts);
+    fold(cfg.sampling.detailedWarmupInsts);
+    fold(cfg.maxInsts);
+    return h;
 }
 
 std::vector<std::string>

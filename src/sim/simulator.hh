@@ -71,6 +71,24 @@ struct SimResult
     std::uint64_t runaheadEpisodes = 0;
     std::uint64_t runaheadUseless = 0;
 
+    /**
+     * Per-thread CPI stacks over the measurement window (one per
+     * hardware thread, thread-id order; a single entry on
+     * single-thread runs). Each stack's leaves sum exactly to
+     * `cycles` — the cycle-accounting invariant.
+     */
+    std::vector<CpiStack> threadCpi;
+
+    /** Leaf-wise sum of threadCpi (whole-core stall breakdown). */
+    CpiStack
+    cpiTotal() const
+    {
+        CpiStack total;
+        for (const CpiStack &t : threadCpi)
+            total += t;
+        return total;
+    }
+
     std::uint64_t archRegChecksum = 0;
 
     /**
@@ -352,6 +370,15 @@ class Simulator
     std::chrono::steady_clock::time_point deadline_;
     const std::atomic<bool> *abortFlag_ = nullptr;
 };
+
+/**
+ * FNV-1a fingerprint of the performance-relevant SimConfig fields
+ * (model, level table, core widths, memory latencies, SMT/sampling
+ * setup). Two runs with equal fingerprints simulate the same
+ * machine; BENCH_<n>.json records it so cross-commit comparisons can
+ * tell "the simulator got faster" from "the config changed".
+ */
+std::uint64_t configFingerprint(const SimConfig &cfg);
 
 /**
  * Convenience: build and run one workload under one model. With

@@ -27,6 +27,7 @@
 
 #include "branch/predictor.hh"
 #include "common/types.hh"
+#include "cpu/cpi_stack.hh"
 #include "cpu/dyninst.hh"
 #include "emu/emulator.hh"
 #include "isa/program.hh"
@@ -136,6 +137,23 @@ struct ThreadContext
     bool allocStalledFull = false;
     /** Instructions issued this cycle (predictor input). */
     unsigned issuedThisCycle = 0;
+    /** Real (non-pseudo) commits this cycle (CPI-stack Base test). */
+    unsigned commitsThisCycle = 0;
+    /** Which structure blocked dispatch this cycle (RobFull/IqFull/
+     *  LsqFull), or kNoDispatchBlock when dispatch wasn't blocked on
+     *  a full structure. */
+    static constexpr std::uint8_t kNoDispatchBlock = 0xff;
+    std::uint8_t dispatchBlock = kNoDispatchBlock;
+    /** SMT: fetch-eligible this cycle but the shared port went to a
+     *  co-runner. */
+    bool fetchDenied = false;
+
+    // --- CPI-stack accounting --------------------------------------------
+    /** Cycle attribution over the measurement window. */
+    CpiStack cpi;
+    /** The pending redirectAt stems from a runahead exit, not a
+     *  branch mispredict (classifies the redirect wait cycles). */
+    bool redirectIsRunahead = false;
 
     // --- MLP observation -------------------------------------------------
     /** Completion cycles of in-flight L2-miss loads. */

@@ -5,6 +5,27 @@
 namespace mlpwin
 {
 
+namespace
+{
+
+/** {"base":N,"ifetch":N,...} keyed by cpiComponentName, leaf order. */
+std::string
+cpiToJson(const std::array<std::uint64_t, kNumCpiComponents> &cpi)
+{
+    std::string out = "{";
+    for (std::size_t i = 0; i < kNumCpiComponents; ++i) {
+        if (i)
+            out += ',';
+        out += '"';
+        out += cpiComponentName(static_cast<CpiComponent>(i));
+        out += "\":" + fmtU64(cpi[i]);
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace
+
 std::string
 intervalSampleToJson(const IntervalSample &s)
 {
@@ -21,6 +42,10 @@ intervalSampleToJson(const IntervalSample &s)
     out += ",\"l2_mpki\":" + fmtDouble(s.l2Mpki);
     out += ",\"outstanding_misses\":" + fmtU64(s.outstandingMisses);
     out += ",\"dram_backlog\":" + fmtU64(s.dramBacklog);
+    // The CPI stack appears only when the driver provides one (the
+    // Simulator does; hand-built snapshots keep the old schema).
+    if (s.hasCpi)
+        out += ",\"cpi\":" + cpiToJson(s.cpi);
     // Per-thread slices appear only on multi-thread runs, keeping the
     // single-thread schema (and its consumers) unchanged.
     if (!s.threads.empty()) {
@@ -35,6 +60,8 @@ intervalSampleToJson(const IntervalSample &s)
             out += ",\"rob\":" + fmtU64(t.robOcc);
             out += ",\"outstanding_misses\":" +
                    fmtU64(t.outstandingMisses);
+            if (s.hasCpi)
+                out += ",\"cpi\":" + cpiToJson(t.cpi);
             out += "}";
         }
         out += "]";
@@ -133,7 +160,8 @@ eventToTrace(const TimelineEvent &e)
 
 void
 writeChromeTrace(std::ostream &os, const EventTimeline &t,
-                 const std::string &process_name)
+                 const std::string &process_name,
+                 const std::vector<std::string> &extra_events)
 {
     os << "{\"traceEvents\":[\n";
     os << metaEvent("process_name", 0, process_name, true) << ",\n";
@@ -157,6 +185,9 @@ writeChromeTrace(std::ostream &os, const EventTimeline &t,
         }
         os << ",\n" << eventToTrace(e);
     }
+
+    for (const std::string &e : extra_events)
+        os << ",\n" << e;
 
     os << "\n]}\n";
 }

@@ -12,6 +12,7 @@
 
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "telemetry/sampler.hh"
 #include "telemetry/timeline.hh"
@@ -35,9 +36,17 @@ void writeTelemetryJsonl(std::ostream &os, const IntervalSampler &s);
  *
  * @param process_name Label for the process track (e.g.
  *        "soplex/resizing").
+ * @param extra_events Additional pre-serialized trace_event objects
+ *        appended verbatim after the guest events — the host
+ *        profiler's Profiler::traceEvents() output merges here, so
+ *        one document shows guest timeline (pid 0) and host spans
+ *        (pid 1) side by side. Default keeps the guest-only format
+ *        byte-identical.
  */
 void writeChromeTrace(std::ostream &os, const EventTimeline &t,
-                      const std::string &process_name = "mlpwin");
+                      const std::string &process_name = "mlpwin",
+                      const std::vector<std::string> &extra_events =
+                          {});
 
 } // namespace mlpwin
 

@@ -43,10 +43,25 @@ IntervalSampler::push(const IntervalSnapshot &snap)
     s.outstandingMisses = snap.outstandingMisses;
     s.dramBacklog = snap.dramBacklog;
 
+    // CPI stacks difference leaf-wise, with the same below-baseline
+    // fallback as the scalar counters.
+    auto cpi_delta = [](const CpiStack &now, const CpiStack &prev,
+                        std::array<std::uint64_t,
+                                   kNumCpiComponents> &out) {
+        for (std::size_t i = 0; i < kNumCpiComponents; ++i) {
+            out[i] = now.counts[i] >= prev.counts[i]
+                ? now.counts[i] - prev.counts[i] : now.counts[i];
+        }
+    };
+    s.hasCpi = snap.hasCpi;
+    if (snap.hasCpi)
+        cpi_delta(snap.cpi, prevCpi_, s.cpi);
+
     // Per-thread slices carry a thread-local commit delta; only
     // multi-thread runs produce them.
     if (snap.threads.size() > 1) {
         prevThreadCommitted_.resize(snap.threads.size(), 0);
+        prevThreadCpi_.resize(snap.threads.size());
         s.threads.resize(snap.threads.size());
         for (std::size_t i = 0; i < snap.threads.size(); ++i) {
             const ThreadSnapshot &tsnap = snap.threads[i];
@@ -60,7 +75,10 @@ IntervalSampler::push(const IntervalSnapshot &snap)
             t.level = tsnap.level;
             t.robOcc = tsnap.robOcc;
             t.outstandingMisses = tsnap.outstandingMisses;
+            if (snap.hasCpi)
+                cpi_delta(tsnap.cpi, prevThreadCpi_[i], t.cpi);
             prevThreadCommitted_[i] = tsnap.committed;
+            prevThreadCpi_[i] = tsnap.cpi;
         }
     }
 
@@ -73,6 +91,7 @@ IntervalSampler::push(const IntervalSnapshot &snap)
     prevCycle_ = snap.cycle;
     prevCommitted_ = snap.committed;
     prevMisses_ = snap.l2DemandMisses;
+    prevCpi_ = snap.cpi;
 }
 
 void
@@ -96,6 +115,8 @@ IntervalSampler::notifyReset(Cycle now)
     prevCommitted_ = 0;
     prevMisses_ = 0;
     prevThreadCommitted_.clear();
+    prevCpi_.reset();
+    prevThreadCpi_.clear();
 }
 
 } // namespace mlpwin

@@ -14,11 +14,13 @@
 #ifndef MLPWIN_TELEMETRY_SAMPLER_HH
 #define MLPWIN_TELEMETRY_SAMPLER_HH
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <vector>
 
 #include "common/types.hh"
+#include "cpu/cpi_stack.hh"
 
 namespace mlpwin
 {
@@ -37,6 +39,8 @@ struct ThreadSnapshot
     unsigned level = 0;
     unsigned robOcc = 0;
     unsigned outstandingMisses = 0;
+    /** Cumulative CPI stack (leaf counts sum to measured cycles). */
+    CpiStack cpi;
 };
 
 /**
@@ -58,6 +62,12 @@ struct IntervalSnapshot
     unsigned outstandingMisses = 0;
     /** Cycles until the DRAM data bus is free (queue backlog). */
     std::uint64_t dramBacklog = 0;
+    /** Cumulative whole-core CPI stack (leaf-wise thread sum). */
+    CpiStack cpi;
+    /** True when the snapshot source fills the CPI stacks (keeps
+     *  pre-CPI drivers and hand-built snapshots emitting the old
+     *  schema). */
+    bool hasCpi = false;
     /** One entry per hardware thread; may be empty (plain drivers). */
     std::vector<ThreadSnapshot> threads;
 };
@@ -72,6 +82,9 @@ struct ThreadSample
     unsigned level = 0;
     unsigned robOcc = 0;
     unsigned outstandingMisses = 0;
+    /** Per-leaf cycle counts within the interval (sum == interval
+     *  length when the source provides CPI stacks). */
+    std::array<std::uint64_t, kNumCpiComponents> cpi{};
 };
 
 /** One per-interval record derived from consecutive snapshots. */
@@ -93,6 +106,10 @@ struct IntervalSample
     double l2Mpki = 0.0;
     unsigned outstandingMisses = 0;
     std::uint64_t dramBacklog = 0;
+    /** Whole-core per-leaf cycle counts within the interval. */
+    std::array<std::uint64_t, kNumCpiComponents> cpi{};
+    /** True when the snapshots carried CPI stacks (gates export). */
+    bool hasCpi = false;
     /** Per-thread slices; populated only on multi-thread runs. */
     std::vector<ThreadSample> threads;
 };
@@ -152,6 +169,8 @@ class IntervalSampler
     std::uint64_t prevCommitted_ = 0;
     std::uint64_t prevMisses_ = 0;
     std::vector<std::uint64_t> prevThreadCommitted_;
+    CpiStack prevCpi_;
+    std::vector<CpiStack> prevThreadCpi_;
 
     std::deque<IntervalSample> samples_;
     std::uint64_t dropped_ = 0;

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -82,6 +83,13 @@ fixtureResult()
     r.stp = 1.6499999999999999;
     r.antt = 1.25;
     r.hmeanSpeedup = 0.80000000000000004;
+    // Per-thread CPI stacks, one leaf above 2^53.
+    r.threadCpi.resize(2);
+    for (std::size_t i = 0; i < kNumCpiComponents; ++i) {
+        r.threadCpi[0].counts[i] = 1000 + i;
+        r.threadCpi[1].counts[i] = 2000 + 7 * i;
+    }
+    r.threadCpi[1].counts[0] = 9123456789123456789ULL;
     return r;
 }
 
@@ -143,6 +151,9 @@ expectEqualResults(const SimResult &a, const SimResult &b)
     EXPECT_EQ(a.stp, b.stp);
     EXPECT_EQ(a.antt, b.antt);
     EXPECT_EQ(a.hmeanSpeedup, b.hmeanSpeedup);
+    ASSERT_EQ(a.threadCpi.size(), b.threadCpi.size());
+    for (std::size_t i = 0; i < a.threadCpi.size(); ++i)
+        EXPECT_EQ(a.threadCpi[i].counts, b.threadCpi[i].counts);
 }
 
 TEST(ResultWriterTest, JsonRoundTripsEveryField)
@@ -166,6 +177,13 @@ TEST(ResultWriterTest, JsonRoundTripsARealSimulation)
 
 TEST(ResultWriterTest, GoldenFilePinsTheJsonlSchema)
 {
+    if (std::getenv("MLPWIN_REGEN_GOLDEN")) {
+        std::ofstream out(std::string(MLPWIN_TEST_DATA_DIR) +
+                          "/golden_result.jsonl");
+        ASSERT_TRUE(out.is_open());
+        out << resultToJson(fixtureResult()) << "\n";
+        GTEST_SKIP() << "regenerated golden_result.jsonl";
+    }
     std::ifstream golden(std::string(MLPWIN_TEST_DATA_DIR) +
                          "/golden_result.jsonl");
     ASSERT_TRUE(golden.is_open())
@@ -209,6 +227,20 @@ TEST(ResultWriterTest, ParserAcceptsPreSmtRecords)
     EXPECT_TRUE(back.threadIpc.empty());
     EXPECT_TRUE(back.threadCommitHash.empty());
     EXPECT_EQ(back.stp, 0.0);
+    EXPECT_EQ(back.cycles, fixtureResult().cycles);
+}
+
+TEST(ResultWriterTest, ParserAcceptsPreCpiRecords)
+{
+    // Records written before the CPI-stack fields existed must still
+    // load, with empty stacks.
+    std::string json = resultToJson(fixtureResult());
+    std::size_t cut = json.find(",\"cpi\":");
+    ASSERT_NE(cut, std::string::npos);
+    std::string old = json.substr(0, cut) + "}";
+    SimResult back = resultFromJson(old);
+    EXPECT_TRUE(back.threadCpi.empty());
+    EXPECT_EQ(back.cpiTotal().sum(), 0u);
     EXPECT_EQ(back.cycles, fixtureResult().cycles);
 }
 

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Host self-profiler tests: span aggregation and trace export, and —
+ * the contract that lets the profiler stay compiled in — zero guest
+ * perturbation: the simulation's committed-instruction stream and
+ * cycle counts are bit-identical with the profiler off, on, or
+ * toggled, because the profiler only ever reads the host clock.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/json.hh"
+#include "profile/profiler.hh"
+#include "sim/simulator.hh"
+
+namespace mlpwin
+{
+namespace
+{
+
+constexpr std::uint64_t kForever = 1ULL << 40;
+
+/** Every test leaves the global profiler off and empty. */
+class ProfilerTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Profiler::instance().setEnabled(false);
+        Profiler::instance().reset();
+    }
+
+    void
+    TearDown() override
+    {
+        Profiler::instance().setEnabled(false);
+        Profiler::instance().reset();
+    }
+};
+
+TEST_F(ProfilerTest, DisabledSpansRecordNothing)
+{
+    {
+        ScopedSpan s(SpanKind::Warmup);
+        ScopedSpan t(SpanKind::Fetch);
+    }
+    auto agg = Profiler::instance().aggregate();
+    for (const SpanAggregate &a : agg)
+        EXPECT_EQ(a.count, 0u);
+    EXPECT_TRUE(Profiler::instance().records().empty());
+}
+
+TEST_F(ProfilerTest, EnabledSpansAggregateAndRecord)
+{
+    Profiler::instance().setEnabled(true);
+    {
+        ScopedSpan s(SpanKind::Warmup, "w");
+        ScopedSpan hot(SpanKind::Fetch);
+    }
+    {
+        ScopedSpan s(SpanKind::Job, "mcf.base");
+    }
+    auto agg = Profiler::instance().aggregate();
+    EXPECT_EQ(agg[static_cast<std::size_t>(SpanKind::Warmup)].count,
+              1u);
+    EXPECT_EQ(agg[static_cast<std::size_t>(SpanKind::Fetch)].count,
+              1u);
+    EXPECT_EQ(agg[static_cast<std::size_t>(SpanKind::Job)].count, 1u);
+
+    // Hot stage kinds aggregate only; coarse kinds keep records.
+    std::vector<SpanRecord> recs = Profiler::instance().records();
+    ASSERT_EQ(recs.size(), 2u);
+    for (const SpanRecord &r : recs) {
+        EXPECT_GE(static_cast<std::size_t>(r.kind),
+                  kFirstCoarseSpan);
+        EXPECT_LE(r.beginNs, r.endNs);
+    }
+    EXPECT_EQ(recs[1].label, "mcf.base");
+}
+
+TEST_F(ProfilerTest, MidSpanDisableDoesNotRecordHalfAnInterval)
+{
+    Profiler::instance().setEnabled(true);
+    {
+        ScopedSpan off_mid(SpanKind::Drain);
+        Profiler::instance().setEnabled(false);
+    }
+    // The span captured the gate at construction, so it records.
+    EXPECT_EQ(Profiler::instance()
+                  .aggregate()[static_cast<std::size_t>(
+                      SpanKind::Drain)]
+                  .count,
+              1u);
+    {
+        ScopedSpan started_off(SpanKind::Drain);
+        Profiler::instance().setEnabled(true);
+    }
+    // Started while disabled: must not record on destruction.
+    EXPECT_EQ(Profiler::instance()
+                  .aggregate()[static_cast<std::size_t>(
+                      SpanKind::Drain)]
+                  .count,
+              1u);
+}
+
+TEST_F(ProfilerTest, ResetClearsEverything)
+{
+    Profiler::instance().setEnabled(true);
+    {
+        ScopedSpan s(SpanKind::FastForward);
+    }
+    Profiler::instance().reset();
+    for (const SpanAggregate &a : Profiler::instance().aggregate())
+        EXPECT_EQ(a.count, 0u);
+    EXPECT_TRUE(Profiler::instance().records().empty());
+    EXPECT_EQ(Profiler::instance().droppedRecords(), 0u);
+}
+
+TEST_F(ProfilerTest, ConcurrentSpansFromManyThreadsAllLand)
+{
+    Profiler::instance().setEnabled(true);
+    constexpr unsigned kThreads = 4;
+    constexpr unsigned kSpansPer = 100;
+    std::vector<std::thread> workers;
+    for (unsigned i = 0; i < kThreads; ++i)
+        workers.emplace_back([] {
+            for (unsigned j = 0; j < kSpansPer; ++j)
+                ScopedSpan s(SpanKind::Job);
+        });
+    for (std::thread &w : workers)
+        w.join();
+    EXPECT_EQ(Profiler::instance()
+                  .aggregate()[static_cast<std::size_t>(
+                      SpanKind::Job)]
+                  .count,
+              kThreads * kSpansPer);
+    EXPECT_EQ(Profiler::instance().records().size(),
+              kThreads * kSpansPer);
+}
+
+TEST_F(ProfilerTest, TraceEventsAreValidMergeableJson)
+{
+    Profiler::instance().setEnabled(true);
+    {
+        ScopedSpan s(SpanKind::CheckpointLoad, "mcf.ckpt");
+    }
+    {
+        ScopedSpan s(SpanKind::Warmup);
+    }
+    std::vector<std::string> events =
+        Profiler::instance().traceEvents();
+    // Process meta + one thread meta + two slices.
+    ASSERT_GE(events.size(), 4u);
+    int slices = 0;
+    for (const std::string &e : events) {
+        JsonValue v = parseJson(e);
+        ASSERT_EQ(v.kind, JsonValue::Kind::Object);
+        EXPECT_EQ(v.field("pid").asU64(), 1u); // host plane
+        if (v.field("ph").asString() == "X")
+            ++slices;
+    }
+    EXPECT_EQ(slices, 2);
+}
+
+/**
+ * The headline contract: enabling the profiler does not perturb the
+ * guest. The commit-stream hash covers every committed instruction
+ * (pc, opcode, result) in order, so bit-identical hashes + cycle
+ * counts mean the architectural and timing behavior both match.
+ */
+TEST_F(ProfilerTest, ProfilerDoesNotPerturbSimulation)
+{
+    SimConfig cfg;
+    cfg.model = ModelKind::Resizing;
+    cfg.warmupInsts = 1000;
+    cfg.maxInsts = 15000;
+
+    SimResult off = runWorkload("mcf", cfg, kForever);
+
+    Profiler::instance().setEnabled(true);
+    SimResult on = runWorkload("mcf", cfg, kForever);
+    Profiler::instance().setEnabled(false);
+
+    EXPECT_EQ(off.commitStreamHash, on.commitStreamHash);
+    EXPECT_EQ(off.cycles, on.cycles);
+    EXPECT_EQ(off.committed, on.committed);
+    EXPECT_EQ(off.l2DemandMisses, on.l2DemandMisses);
+    ASSERT_EQ(off.threadCpi.size(), on.threadCpi.size());
+    for (std::size_t t = 0; t < off.threadCpi.size(); ++t)
+        EXPECT_EQ(off.threadCpi[t].counts, on.threadCpi[t].counts);
+
+    // And the profiled run actually measured the pipeline stages.
+    auto agg = Profiler::instance().aggregate();
+    EXPECT_GT(
+        agg[static_cast<std::size_t>(SpanKind::Fetch)].count, 0u);
+    EXPECT_GT(
+        agg[static_cast<std::size_t>(SpanKind::Commit)].count, 0u);
+}
+
+} // namespace
+} // namespace mlpwin

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Golden-file pin of the telemetry JSONL schema, including the
+ * threads[] per-thread block and the cpi stacks: line one is a
+ * single-thread interval record (no threads[] — the back-compat
+ * shape), line two a 2-thread record with per-thread cpi objects.
+ *
+ * Regenerate deliberately with:
+ *   MLPWIN_REGEN_GOLDEN=1 ./test_telemetry \
+ *       --gtest_filter='*GoldenFile*'
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/json.hh"
+#include "telemetry/export.hh"
+
+namespace mlpwin
+{
+namespace
+{
+
+std::string
+goldenPath()
+{
+    return std::string(MLPWIN_TELEMETRY_DATA_DIR) +
+           "/golden_interval.jsonl";
+}
+
+/** Two intervals: single-thread, then 2-thread. All doubles exact. */
+IntervalSampler
+makeSeries()
+{
+    IntervalSampler sampler(1000);
+
+    IntervalSnapshot one;
+    one.cycle = 1000;
+    one.committed = 375;
+    one.l2DemandMisses = 3;
+    one.level = 2;
+    one.robOcc = 48;
+    one.iqOcc = 12;
+    one.lsqOcc = 8;
+    one.outstandingMisses = 4;
+    one.dramBacklog = 2;
+    one.hasCpi = true;
+    one.cpi.counts[static_cast<std::size_t>(CpiComponent::Base)] =
+        600;
+    one.cpi.counts[static_cast<std::size_t>(CpiComponent::Dram)] =
+        300;
+    one.cpi.counts[static_cast<std::size_t>(CpiComponent::RobFull)] =
+        100;
+    sampler.record(one);
+
+    IntervalSnapshot two;
+    two.cycle = 2000;
+    two.committed = 375 + 250;
+    two.l2DemandMisses = 3 + 5;
+    two.level = 3;
+    two.robOcc = 96;
+    two.iqOcc = 24;
+    two.lsqOcc = 16;
+    two.outstandingMisses = 8;
+    two.dramBacklog = 1;
+    two.hasCpi = true;
+    two.cpi = one.cpi;
+    two.cpi.counts[static_cast<std::size_t>(CpiComponent::Base)] +=
+        500;
+    two.cpi.counts[static_cast<std::size_t>(CpiComponent::Dram)] +=
+        250;
+    two.cpi
+        .counts[static_cast<std::size_t>(CpiComponent::CacheMiss)] +=
+        250;
+    two.threads.resize(2);
+    two.threads[0].committed = 400;
+    two.threads[0].level = 3;
+    two.threads[0].robOcc = 64;
+    two.threads[0].outstandingMisses = 6;
+    two.threads[0]
+        .cpi.counts[static_cast<std::size_t>(CpiComponent::Base)] =
+        750;
+    two.threads[0]
+        .cpi.counts[static_cast<std::size_t>(CpiComponent::Dram)] =
+        250;
+    two.threads[1].committed = 225;
+    two.threads[1].level = 1;
+    two.threads[1].robOcc = 32;
+    two.threads[1].outstandingMisses = 2;
+    two.threads[1]
+        .cpi.counts[static_cast<std::size_t>(CpiComponent::Base)] =
+        500;
+    two.threads[1].cpi.counts[static_cast<std::size_t>(
+        CpiComponent::SmtFetchContention)] = 500;
+    sampler.record(two);
+    return sampler;
+}
+
+TEST(TelemetryGoldenTest, GoldenFilePinsTheJsonlSchema)
+{
+    IntervalSampler sampler = makeSeries();
+    std::ostringstream os;
+    writeTelemetryJsonl(os, sampler);
+
+    if (std::getenv("MLPWIN_REGEN_GOLDEN")) {
+        std::ofstream out(goldenPath());
+        ASSERT_TRUE(out.is_open()) << "cannot write " << goldenPath();
+        out << os.str();
+        GTEST_SKIP() << "regenerated " << goldenPath();
+    }
+
+    std::ifstream golden(goldenPath());
+    ASSERT_TRUE(golden.is_open())
+        << "missing golden file " << goldenPath();
+    std::stringstream want;
+    want << golden.rdbuf();
+    EXPECT_EQ(os.str(), want.str())
+        << "telemetry JSONL schema changed; regenerate "
+           "tests/telemetry/data/golden_interval.jsonl deliberately "
+           "if so (MLPWIN_REGEN_GOLDEN=1)";
+}
+
+TEST(TelemetryGoldenTest, ThreadBlocksParseAndSingleThreadOmitsThem)
+{
+    IntervalSampler sampler = makeSeries();
+    std::ostringstream os;
+    writeTelemetryJsonl(os, sampler);
+    std::istringstream is(os.str());
+
+    std::string line1, line2;
+    ASSERT_TRUE(std::getline(is, line1));
+    ASSERT_TRUE(std::getline(is, line2));
+
+    // Single-thread record: cpi present, threads[] absent.
+    JsonValue v1 = parseJson(line1);
+    EXPECT_FALSE(v1.hasField("threads"));
+    ASSERT_TRUE(v1.hasField("cpi"));
+    EXPECT_EQ(v1.field("cpi").field("base").asU64(), 600u);
+    EXPECT_EQ(v1.field("cpi").field("dram").asU64(), 300u);
+
+    // Multi-thread record: one slice per thread, each with its own
+    // interval-delta cpi stack keyed by the documented leaf names.
+    JsonValue v2 = parseJson(line2);
+    ASSERT_TRUE(v2.hasField("threads"));
+    const JsonValue &threads = v2.field("threads");
+    ASSERT_EQ(threads.array.size(), 2u);
+    for (const JsonValue &t : threads.array) {
+        EXPECT_TRUE(t.hasField("committed"));
+        EXPECT_TRUE(t.hasField("ipc"));
+        ASSERT_TRUE(t.hasField("cpi"));
+        std::uint64_t sum = 0;
+        for (std::size_t i = 0; i < kNumCpiComponents; ++i)
+            sum += t.field("cpi")
+                       .field(cpiComponentName(
+                           static_cast<CpiComponent>(i)))
+                       .asU64();
+        EXPECT_EQ(sum, 1000u); // exactly the interval length
+    }
+    EXPECT_EQ(threads.array[1]
+                  .field("cpi")
+                  .field("smt_fetch")
+                  .asU64(),
+              500u);
+}
+
+} // namespace
+} // namespace mlpwin

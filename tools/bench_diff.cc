@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Compare two micro_simspeed BENCH json files and print per-metric
+ * deltas, flagging regressions beyond a threshold.
+ *
+ * Usage:
+ *   bench_diff OLD.json NEW.json [--threshold PCT]
+ *
+ * Throughput metrics (detailed_mips, functional_mips,
+ * sampled_speedup, smt_detailed_mips) regress when NEW is slower;
+ * profiler_overhead_pct regresses when NEW's overhead grows past the
+ * threshold (in absolute percentage points). Exit code 0 when no
+ * metric regresses, 1 when one does, 2 on a usage or parse error.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/parse.hh"
+
+using namespace mlpwin;
+
+namespace
+{
+
+struct Metric
+{
+    const char *key;
+    bool higherIsBetter;
+};
+
+constexpr Metric kMetrics[] = {
+    {"detailed_mips", true},     {"functional_mips", true},
+    {"sampled_speedup", true},   {"smt_detailed_mips", true},
+    {"profiler_overhead_pct", false},
+};
+
+JsonValue
+loadBench(const char *path)
+{
+    std::ifstream is(path);
+    if (!is) {
+        std::fprintf(stderr, "cannot open %s\n", path);
+        std::exit(2);
+    }
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    try {
+        JsonValue v = parseJson(ss.str());
+        if (v.kind != JsonValue::Kind::Object)
+            throw std::runtime_error("top level is not an object");
+        return v;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s: %s\n", path, e.what());
+        std::exit(2);
+    }
+}
+
+std::string
+metaField(const JsonValue &v, const char *key)
+{
+    if (v.hasField("meta") && v.field("meta").hasField(key))
+        return v.field("meta").field(key).asString();
+    return "-";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<const char *> files;
+    double threshold = 10.0;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--threshold") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                return 2;
+            }
+            std::uint64_t pct = 0;
+            if (!parseBoundedU64(argv[++i], 0, 1000, pct)) {
+                std::fprintf(stderr,
+                             "--threshold: expected an integer in "
+                             "[0, 1000], got '%s'\n",
+                             argv[i]);
+                return 2;
+            }
+            threshold = static_cast<double>(pct);
+        } else if (arg == "-h" || arg == "--help") {
+            std::fprintf(stderr,
+                         "usage: bench_diff OLD.json NEW.json "
+                         "[--threshold PCT]\n");
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            return 2;
+        } else {
+            files.push_back(argv[i]);
+        }
+    }
+    if (files.size() != 2) {
+        std::fprintf(stderr,
+                     "usage: bench_diff OLD.json NEW.json "
+                     "[--threshold PCT]\n");
+        return 2;
+    }
+
+    JsonValue oldv = loadBench(files[0]);
+    JsonValue newv = loadBench(files[1]);
+
+    std::printf("old: %s  (git %s, %s)\n", files[0],
+                metaField(oldv, "git_sha").c_str(),
+                metaField(oldv, "date").c_str());
+    std::printf("new: %s  (git %s, %s)\n", files[1],
+                metaField(newv, "git_sha").c_str(),
+                metaField(newv, "date").c_str());
+    if (metaField(oldv, "config_fingerprint") != "-" &&
+        metaField(oldv, "config_fingerprint") !=
+            metaField(newv, "config_fingerprint"))
+        std::printf("note: config fingerprints differ — the runs "
+                    "measured different simulator configurations\n");
+    std::printf("%-24s %12s %12s %9s\n", "metric", "old", "new",
+                "delta");
+
+    bool regressed = false;
+    for (const Metric &m : kMetrics) {
+        if (!oldv.hasField(m.key) || !newv.hasField(m.key))
+            continue; // pre-meta BENCH files lack the newer metrics
+        double a = oldv.field(m.key).asDouble();
+        double b = newv.field(m.key).asDouble();
+        bool bad;
+        double delta;
+        if (m.higherIsBetter) {
+            delta = a != 0.0 ? (b / a - 1.0) * 100.0 : 0.0;
+            bad = delta < -threshold;
+        } else {
+            // Overhead-style metric: compare in absolute points, so
+            // a 0.1% -> 0.4% change doesn't read as a 300% blow-up.
+            delta = b - a;
+            bad = delta > threshold;
+        }
+        std::printf("%-24s %12.4f %12.4f %+8.1f%%%s\n", m.key, a, b,
+                    delta, bad ? "  REGRESSED" : "");
+        regressed |= bad;
+    }
+    return regressed ? 1 : 0;
+}

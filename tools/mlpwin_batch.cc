@@ -291,10 +291,13 @@ main(int argc, char **argv)
         } else if (arg == "--telemetry-dir") {
             spec.telemetryDir = next();
         } else if (arg == "--telemetry-interval") {
-            spec.telemetryInterval = numericFlag(arg, next());
-            if (spec.telemetryInterval == 0) {
+            const char *v = next();
+            if (!parseBoundedU64(v, 1, UINT64_MAX,
+                                 spec.telemetryInterval)) {
                 std::fprintf(stderr,
-                             "--telemetry-interval: must be >= 1\n");
+                             "--telemetry-interval: expected an "
+                             "integer >= 1, got '%s'\n",
+                             v);
                 return 2;
             }
         } else if (arg == "--resume") {

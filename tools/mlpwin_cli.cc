@@ -25,6 +25,7 @@
 
 #include "common/parse.hh"
 #include "cpu/tracer.hh"
+#include "profile/profiler.hh"
 #include "sim/simulator.hh"
 #include "smt/metrics.hh"
 #include "telemetry/export.hh"
@@ -100,8 +101,13 @@ usage()
         "      --telemetry FILE   write interval telemetry time\n"
         "                         series as JSON Lines\n"
         "      --telemetry-interval N\n"
-        "                         sampling interval, cycles\n"
+        "                         sampling interval, cycles, >= 1\n"
         "                         (default 10000)\n"
+        "      --profile          enable the host self-profiler:\n"
+        "                         print a host-time table per span\n"
+        "                         kind after the run and merge host\n"
+        "                         spans into the --timeline trace\n"
+        "                         (pid 1)\n"
         "      --timeline FILE    write resize/runahead/drain event\n"
         "                         timeline as Chrome trace_event\n"
         "                         JSON (chrome://tracing, Perfetto)\n"
@@ -155,6 +161,7 @@ main(int argc, char **argv)
     cfg.maxInsts = 300000;
     bool dump_stats = false;
     bool fairness = false;
+    bool profile = false;
     unsigned trace_mask = 0;
     Cycle trace_start = 0;
     std::string telemetry_path;
@@ -280,12 +287,17 @@ main(int argc, char **argv)
         } else if (arg == "--telemetry") {
             telemetry_path = next();
         } else if (arg == "--telemetry-interval") {
-            telemetry_interval = numericFlag(arg, next());
-            if (telemetry_interval == 0) {
+            const char *v = next();
+            if (!parseBoundedU64(v, 1, UINT64_MAX,
+                                 telemetry_interval)) {
                 std::fprintf(stderr,
-                             "--telemetry-interval: must be >= 1\n");
+                             "--telemetry-interval: expected an "
+                             "integer >= 1, got '%s'\n",
+                             v);
                 return 2;
             }
+        } else if (arg == "--profile") {
+            profile = true;
         } else if (arg == "--timeline") {
             timeline_path = next();
         } else if (arg == "--trace") {
@@ -311,6 +323,11 @@ main(int argc, char **argv)
         usage();
         return 2;
     }
+
+    // Enable before any checkpoint load / construction so the coarse
+    // host spans (CheckpointLoad, Warmup, ...) are captured too.
+    if (profile)
+        Profiler::instance().setEnabled(true);
 
     std::vector<std::string> parts = splitWorkloadSpec(workload);
     if (parts.size() == 1 && cfg.core.smt.nThreads > 1)
@@ -423,7 +440,10 @@ main(int argc, char **argv)
             return 1;
         }
         writeChromeTrace(os, *timeline,
-                         workload + "." + modelName(cfg.model));
+                         workload + "." + modelName(cfg.model),
+                         profile
+                             ? Profiler::instance().traceEvents()
+                             : std::vector<std::string>{});
     }
     if (!stats_json_path.empty()) {
         std::ofstream os(stats_json_path);
@@ -503,6 +523,57 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(r.runaheadUseless));
     std::printf("energy (model pJ)   %.3e   EDP %.3e\n", r.energyTotal,
                 r.edp);
+
+    // CPI stack: every measured cycle attributed to exactly one leaf,
+    // so each thread's row sums to 100%.
+    for (std::size_t t = 0; t < r.threadCpi.size(); ++t) {
+        const CpiStack &cpi = r.threadCpi[t];
+        std::uint64_t total = cpi.sum();
+        if (r.threadCpi.size() > 1)
+            std::printf("cpi stack (t%zu)     ", t);
+        else
+            std::printf("cpi stack          ");
+        for (std::size_t i = 0; i < kNumCpiComponents; ++i) {
+            if (!cpi.counts[i])
+                continue;
+            std::printf(" %s %.1f%%",
+                        cpiComponentName(
+                            static_cast<CpiComponent>(i)),
+                        total ? 100.0 *
+                                    static_cast<double>(
+                                        cpi.counts[i]) /
+                                    static_cast<double>(total)
+                              : 0.0);
+        }
+        std::printf("\n");
+    }
+
+    if (profile) {
+        const auto agg = Profiler::instance().aggregate();
+        double total_ns = 0.0;
+        for (const SpanAggregate &a : agg)
+            total_ns += static_cast<double>(a.totalNs);
+        std::printf("\n---- host self-profile ----\n");
+        std::printf("%-16s %12s %14s %7s\n", "span", "count",
+                    "total ms", "share");
+        for (std::size_t i = 0; i < kNumSpanKinds; ++i) {
+            if (!agg[i].count)
+                continue;
+            std::printf("%-16s %12llu %14.3f %6.1f%%\n",
+                        spanKindName(static_cast<SpanKind>(i)),
+                        static_cast<unsigned long long>(agg[i].count),
+                        static_cast<double>(agg[i].totalNs) / 1e6,
+                        total_ns
+                            ? 100.0 *
+                                  static_cast<double>(agg[i].totalNs) /
+                                  total_ns
+                            : 0.0);
+        }
+        if (Profiler::instance().droppedRecords())
+            std::printf("(%llu span records dropped)\n",
+                        static_cast<unsigned long long>(
+                            Profiler::instance().droppedRecords()));
+    }
 
     if (dump_stats) {
         std::printf("\n---- all statistics ----\n");
