@@ -22,9 +22,13 @@
 #include "common/bench_util.hh"
 #include "common/json.hh"
 #include "emu/emulator.hh"
+#include "exp/experiment.hh"
 #include "mem/cache.hh"
 #include "profile/profiler.hh"
 #include "sample/fastforward.hh"
+#ifdef MLPWIN_WORKER_BIN
+#include "serve/supervisor.hh"
+#endif
 
 #ifndef MLPWIN_GIT_SHA
 #define MLPWIN_GIT_SHA "unknown"
@@ -337,6 +341,40 @@ writeBenchJson(const char *path)
     double smt_detailed_mips =
         static_cast<double>(smt_r.committed) / smt_s / 1e6;
 
+    // Process-isolation tax: the same 2x2 batch through the
+    // in-process thread pool and through two supervised worker
+    // processes (fork/exec + job serialization + piped results). The
+    // cells are fig07-sized (300k insts) so the per-worker spawn cost
+    // amortizes the way a real batch does. The wall-clock ratio is
+    // what --isolate costs; budget: <= 5%.
+    double isolate_overhead_pct = 0.0;
+#ifdef MLPWIN_WORKER_BIN
+    {
+        exp::ExperimentSpec bspec;
+        bspec.workloads = {"gcc", "libquantum"};
+        bspec.models = {{ModelKind::Base, 1, ""},
+                        {ModelKind::Resizing, 1, ""}};
+        bspec.base = benchConfig(ModelKind::Base, 1);
+        bspec.base.warmupInsts = 0;
+        bspec.base.maxInsts = 300000;
+        exp::ExperimentRunner runner(2, false);
+        runner.runAll(bspec); // warm pass
+        double inproc_s =
+            timeSeconds([&] { runner.runAll(bspec); });
+        serve::SupervisorOptions sopts;
+        sopts.workers = 2;
+        sopts.workerBin = MLPWIN_WORKER_BIN;
+        serve::Supervisor sup(sopts);
+        double iso_s =
+            timeSeconds([&] { runner.runAll(bspec, &sup); });
+        if (inproc_s > 0.0)
+            isolate_overhead_pct =
+                (iso_s / inproc_s - 1.0) * 100.0;
+        if (isolate_overhead_pct < 0.0)
+            isolate_overhead_pct = 0.0; // run-to-run noise
+    }
+#endif
+
     std::ofstream os(path);
     if (!os) {
         std::fprintf(stderr, "cannot open %s for writing\n", path);
@@ -361,11 +399,13 @@ writeBenchJson(const char *path)
                   "\"functional_mips\":%.4f,"
                   "\"sampled_speedup\":%.2f,"
                   "\"smt_detailed_mips\":%.4f,"
-                  "\"profiler_overhead_pct\":%.2f",
+                  "\"profiler_overhead_pct\":%.2f,"
+                  "\"isolate_overhead_pct\":%.2f",
                   MLPWIN_GIT_SHA, utcNow().c_str(),
                   jsonEscape(host).c_str(), fp, detailed_mips,
                   functional_mips, sampled_speedup,
-                  smt_detailed_mips, profiler_overhead_pct);
+                  smt_detailed_mips, profiler_overhead_pct,
+                  isolate_overhead_pct);
 
     // Host-time share of each pipeline stage (of the stage total, not
     // wall time: stage spans are sampled 1 cycle in 64, so their

@@ -27,10 +27,32 @@ errorCodeName(ErrorCode code)
         return "timeout";
       case ErrorCode::Interrupted:
         return "interrupted";
+      case ErrorCode::WorkerCrash:
+        return "worker_crash";
+      case ErrorCode::WorkerUnresponsive:
+        return "worker_unresponsive";
       case ErrorCode::Internal:
         return "internal";
     }
     return "?";
+}
+
+bool
+parseErrorCode(const std::string &name, ErrorCode &out)
+{
+    for (ErrorCode c :
+         {ErrorCode::Ok, ErrorCode::InvalidArgument,
+          ErrorCode::NoProgress, ErrorCode::InvariantViolation,
+          ErrorCode::ArchDivergence, ErrorCode::Io,
+          ErrorCode::Timeout, ErrorCode::Interrupted,
+          ErrorCode::WorkerCrash, ErrorCode::WorkerUnresponsive,
+          ErrorCode::Internal}) {
+        if (name == errorCodeName(c)) {
+            out = c;
+            return true;
+        }
+    }
+    return false;
 }
 
 bool

@@ -43,11 +43,23 @@ enum class ErrorCode
     Io,                 ///< Filesystem trouble; typically transient.
     Timeout,            ///< Per-job wall-clock budget exhausted.
     Interrupted,        ///< Run aborted by a cancellation request.
+    WorkerCrash,        ///< Isolated worker process died (signal,
+                        ///< nonzero exit, or torn result stream).
+    WorkerUnresponsive, ///< Isolated worker missed its heartbeat
+                        ///< deadline and was killed by the supervisor.
     Internal,           ///< Unclassified failure.
 };
 
 /** Printable code name ("ok", "no_progress", ...). */
 const char *errorCodeName(ErrorCode code);
+
+/**
+ * Inverse of errorCodeName, for codes that crossed a process or
+ * checkpoint boundary as text.
+ *
+ * @return false (out untouched) if the name is unknown.
+ */
+bool parseErrorCode(const std::string &name, ErrorCode &out);
 
 /**
  * True for failure classes worth retrying (currently only Io:

@@ -31,9 +31,11 @@ checkpointRecord(const ExperimentJob &job, const JobOutcome &outcome)
 }
 
 std::map<std::string, SimResult>
-loadCheckpoint(const std::string &path)
+loadCheckpoint(const std::string &path, std::size_t *torn_lines)
 {
     std::map<std::string, SimResult> done;
+    if (torn_lines)
+        *torn_lines = 0;
     std::ifstream is(path);
     if (!is)
         return done;
@@ -61,6 +63,8 @@ loadCheckpoint(const std::string &path)
             done[v.field("key").asString()] =
                 resultFromJson(result_json);
         } catch (const std::exception &e) {
+            if (torn_lines)
+                ++*torn_lines;
             mlpwin_warn("checkpoint %s line %zu unusable (%s); "
                         "cell will re-run",
                         path.c_str(), lineno, e.what());

@@ -19,8 +19,12 @@
  * position after validating the line as JSON).
  *
  * On resume, only "ok" records are adopted; failed/timeout cells are
- * re-executed. A torn final line (batch killed mid-write) is skipped
- * with a warning.
+ * re-executed. Torn lines — the final line of a batch killed
+ * mid-write, but also *interior* lines left behind when a worker
+ * process was killed mid-append and the file was extended afterwards
+ * — are skipped with a warning and counted, so the resume summary
+ * can report how many records were lost rather than silently
+ * re-running their cells.
  */
 
 #ifndef MLPWIN_EXP_CHECKPOINT_HH
@@ -45,10 +49,16 @@ std::string checkpointRecord(const ExperimentJob &job,
 /**
  * Read a checkpoint file and return the ok-state results keyed by
  * jobKey. A missing file yields an empty map (fresh start); malformed
- * lines are skipped with a warning rather than failing the resume.
+ * lines — torn anywhere in the file, not just at the end — are
+ * skipped with a warning rather than failing the resume.
+ *
+ * @param torn_lines When non-null, receives the number of non-empty
+ *        lines that could not be used (truncated JSON, an interleaved
+ *        write, an ok record missing its result payload).
  */
 std::map<std::string, SimResult>
-loadCheckpoint(const std::string &path);
+loadCheckpoint(const std::string &path,
+               std::size_t *torn_lines = nullptr);
 
 /** Thread-safe append-and-flush writer for checkpoint records. */
 class CheckpointWriter

@@ -2,12 +2,15 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <exception>
 #include <filesystem>
 #include <fstream>
 #include <mutex>
+#include <queue>
 #include <stdexcept>
 #include <thread>
 
@@ -133,15 +136,11 @@ jobFileStem(const ExperimentJob &job)
     return job.workload + "." + job.model.displayLabel();
 }
 
-/**
- * Execute one job: build its Simulator (with the spec's deadline /
- * abort wiring and optional telemetry), run, and write the per-job
- * telemetry files. Telemetry-file trouble throws SimError{Io}, the
- * one failure class the retry loop treats as transient.
- */
+} // namespace
+
 SimResult
-executeJob(const ExperimentSpec &spec, const ExperimentJob &job,
-           const ArchCheckpoint *arch_ckpt)
+runJob(const ExperimentSpec &spec, const ExperimentJob &job,
+       const ArchCheckpoint *arch_ckpt)
 {
     ScopedSpan span(SpanKind::Job, jobKey(job));
 
@@ -196,6 +195,9 @@ executeJob(const ExperimentSpec &spec, const ExperimentJob &job,
     return r;
 }
 
+namespace
+{
+
 /** Map a caught SimError onto the outcome record. */
 void
 recordFailure(JobOutcome &out, const SimError &e)
@@ -217,6 +219,162 @@ recordFailure(JobOutcome &out, const SimError &e)
     }
 }
 
+/**
+ * In-process executor backend: a small scheduler over `threads`
+ * workers with a ready deque and a delayed min-heap. A job whose
+ * attempt failed transiently is re-enqueued with a not-before
+ * deadline instead of sleeping on the worker thread, so a slot in
+ * retry backoff still executes other jobs (satellite of PR 8; the
+ * old implementation parked the pool thread for the whole backoff).
+ */
+void
+runInProcess(const ExperimentSpec &spec,
+             const std::vector<ExperimentJob> &jobs,
+             const std::vector<std::size_t> &pending,
+             const std::function<void(std::size_t, JobOutcome &&)>
+                 &settle,
+             const std::map<std::string, ArchCheckpoint> &arch_ckpts,
+             unsigned threads)
+{
+    using Clock = std::chrono::steady_clock;
+
+    /** Mutable per-pending-job state, alive across re-enqueues. */
+    struct Pend
+    {
+        std::size_t index = 0; ///< Into `jobs`.
+        unsigned attempts = 0;
+        bool started = false;
+        Clock::time_point firstStart{};
+        JobOutcome out;
+    };
+
+    std::vector<Pend> pend(pending.size());
+    std::mutex m;
+    std::condition_variable cv;
+    std::deque<std::size_t> ready; // Indices into `pend`.
+    struct Delayed
+    {
+        Clock::time_point due;
+        std::size_t pi;
+    };
+    auto later = [](const Delayed &a, const Delayed &b) {
+        return a.due > b.due;
+    };
+    std::priority_queue<Delayed, std::vector<Delayed>, decltype(later)>
+        delayed(later);
+    std::size_t unsettled = pending.size();
+
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+        pend[i].index = pending[i];
+        ready.push_back(i);
+    }
+
+    // One execution attempt; true when the job settled (p.out final),
+    // false when it should be re-enqueued after backoff. Semantics
+    // match the old inline retry loop: only transient errors retry,
+    // a cancellation stops retries, attempts are cumulative, and
+    // wallSeconds spans first attempt to settlement (backoff
+    // included).
+    auto run_attempt = [&](Pend &p) -> bool {
+        const ExperimentJob &job = jobs[p.index];
+        if (!p.started) {
+            if (spec.cancelRequested && spec.cancelRequested()) {
+                p.out.state = JobState::Skipped;
+                p.out.error = ErrorCode::Interrupted;
+                p.out.errorDetail = "cancelled before start";
+                return true;
+            }
+            p.started = true;
+            p.firstStart = Clock::now();
+        }
+        p.out.attempts = ++p.attempts;
+        const ArchCheckpoint *arch = nullptr;
+        if (auto ck = arch_ckpts.find(job.workload);
+            ck != arch_ckpts.end())
+            arch = &ck->second;
+        bool ok = false;
+        try {
+            p.out.result = runJob(spec, job, arch);
+            p.out.state = JobState::Ok;
+            p.out.error = ErrorCode::Ok;
+            p.out.errorDetail.clear();
+            p.out.dumpJson.clear();
+            ok = true;
+        } catch (const SimError &e) {
+            recordFailure(p.out, e);
+        } catch (const std::exception &e) {
+            p.out.state = JobState::Failed;
+            p.out.error = ErrorCode::Internal;
+            p.out.errorDetail = e.what();
+        }
+        if (!ok) {
+            bool cancelled =
+                spec.cancelRequested && spec.cancelRequested();
+            if (errorCodeTransient(p.out.error) &&
+                p.attempts < std::max(spec.maxAttempts, 1u) &&
+                !cancelled)
+                return false; // Re-enqueue with a backoff deadline.
+        }
+        p.out.wallSeconds =
+            std::chrono::duration<double>(Clock::now() -
+                                          p.firstStart)
+                .count();
+        return true;
+    };
+
+    auto worker = [&] {
+        std::unique_lock<std::mutex> lock(m);
+        for (;;) {
+            Clock::time_point now = Clock::now();
+            while (!delayed.empty() && delayed.top().due <= now) {
+                ready.push_back(delayed.top().pi);
+                delayed.pop();
+            }
+            if (ready.empty()) {
+                if (unsettled == 0)
+                    return;
+                if (!delayed.empty())
+                    cv.wait_until(lock, delayed.top().due);
+                else
+                    cv.wait(lock);
+                continue;
+            }
+            std::size_t pi = ready.front();
+            ready.pop_front();
+            lock.unlock();
+
+            bool settled = run_attempt(pend[pi]);
+
+            if (settled)
+                settle(pend[pi].index, std::move(pend[pi].out));
+            lock.lock();
+            if (settled) {
+                --unsettled;
+            } else {
+                delayed.push(
+                    {Clock::now() +
+                         std::chrono::milliseconds(
+                             static_cast<std::uint64_t>(
+                                 spec.retryBackoffMs) *
+                             pend[pi].attempts),
+                     pi});
+            }
+            cv.notify_all();
+        }
+    };
+
+    if (threads <= 1) {
+        worker();
+        return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+}
+
 } // namespace
 
 ExperimentRunner::ExperimentRunner(unsigned jobs, bool progress)
@@ -225,6 +383,13 @@ ExperimentRunner::ExperimentRunner(unsigned jobs, bool progress)
 
 BatchOutcome
 ExperimentRunner::runAll(const ExperimentSpec &spec) const
+{
+    return runAll(spec, nullptr);
+}
+
+BatchOutcome
+ExperimentRunner::runAll(const ExperimentSpec &spec,
+                         JobExecutorBackend *backend) const
 {
     // Force suite construction (and its magic static) before any
     // worker races to it, and fail fast on unknown workload names —
@@ -261,7 +426,8 @@ ExperimentRunner::runAll(const ExperimentSpec &spec) const
 
     std::map<std::string, SimResult> resumed;
     if (spec.resume && !spec.checkpointPath.empty())
-        resumed = loadCheckpoint(spec.checkpointPath);
+        resumed = loadCheckpoint(spec.checkpointPath,
+                                 &batch.tornCheckpointLines);
     std::unique_ptr<CheckpointWriter> ckpt;
     if (!spec.checkpointPath.empty())
         ckpt = std::make_unique<CheckpointWriter>(spec.checkpointPath,
@@ -273,6 +439,8 @@ ExperimentRunner::runAll(const ExperimentSpec &spec) const
 
     auto note = [&](const ExperimentJob &job, const JobOutcome &out) {
         std::size_t n = ++done;
+        if (spec.onJobSettled)
+            spec.onJobSettled(job, out);
         if (!progress_)
             return;
         double elapsed =
@@ -299,84 +467,40 @@ ExperimentRunner::runAll(const ExperimentSpec &spec) const
         }
     };
 
-    auto run_one = [&](const ExperimentJob &job) {
+    // Adopt resumed cells up front (no re-append to the checkpoint);
+    // everything else is pending for the executor backend.
+    std::vector<std::size_t> pending;
+    pending.reserve(batch.jobs.size());
+    for (const ExperimentJob &job : batch.jobs) {
         JobOutcome &out = batch.outcomes[job.index];
-
         if (auto it = resumed.find(jobKey(job));
             it != resumed.end()) {
             out.state = JobState::Ok;
             out.result = it->second;
             out.resumed = true;
             note(job, out);
-            return;
+        } else {
+            pending.push_back(job.index);
         }
-        if (spec.cancelRequested && spec.cancelRequested()) {
-            out.state = JobState::Skipped;
-            out.error = ErrorCode::Interrupted;
-            out.errorDetail = "cancelled before start";
-            note(job, out);
-            return;
-        }
+    }
 
-        const auto job_start = std::chrono::steady_clock::now();
-        for (unsigned attempt = 1;; ++attempt) {
-            out.attempts = attempt;
-            const ArchCheckpoint *arch = nullptr;
-            if (auto ck = arch_ckpts.find(job.workload);
-                ck != arch_ckpts.end())
-                arch = &ck->second;
-            try {
-                out.result = executeJob(spec, job, arch);
-                out.state = JobState::Ok;
-                out.error = ErrorCode::Ok;
-                out.errorDetail.clear();
-                out.dumpJson.clear();
-                break;
-            } catch (const SimError &e) {
-                recordFailure(out, e);
-            } catch (const std::exception &e) {
-                out.state = JobState::Failed;
-                out.error = ErrorCode::Internal;
-                out.errorDetail = e.what();
-            }
-            bool cancelled =
-                spec.cancelRequested && spec.cancelRequested();
-            if (!errorCodeTransient(out.error) ||
-                attempt >= std::max(spec.maxAttempts, 1u) ||
-                cancelled)
-                break;
-            std::this_thread::sleep_for(std::chrono::milliseconds(
-                static_cast<std::uint64_t>(spec.retryBackoffMs) *
-                attempt));
-        }
-        out.wallSeconds =
-            std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - job_start)
-                .count();
-
-        // Skipped jobs are deliberately NOT checkpointed: a resume
-        // must re-run interrupted cells. Failed/timeout records are
-        // kept for postmortems but never adopted by loadCheckpoint.
+    // Skipped jobs are deliberately NOT checkpointed: a resume must
+    // re-run interrupted cells. Failed/timeout records are kept for
+    // postmortems but never adopted by loadCheckpoint. Thread-safe:
+    // the writer locks, outcome slots are index-exclusive.
+    auto settle = [&](std::size_t index, JobOutcome &&o) {
+        JobOutcome &out = batch.outcomes[index];
+        out = std::move(o);
         if (ckpt && out.state != JobState::Skipped)
-            ckpt->append(job, out);
-        note(job, out);
+            ckpt->append(batch.jobs[index], out);
+        note(batch.jobs[index], out);
     };
 
-    if (jobs_ <= 1) {
-        // Serial reference path: no pool, same submission order.
-        for (const ExperimentJob &job : batch.jobs)
-            run_one(job);
-    } else {
-        ThreadPool pool(jobs_);
-        std::vector<std::future<void>> futures;
-        futures.reserve(batch.jobs.size());
-        for (const ExperimentJob &job : batch.jobs)
-            futures.push_back(pool.submit([&run_one, &job] {
-                run_one(job);
-            }));
-        for (std::future<void> &f : futures)
-            f.get();
-    }
+    if (backend)
+        backend->execute(spec, batch.jobs, pending, settle);
+    else
+        runInProcess(spec, batch.jobs, pending, settle, arch_ckpts,
+                     jobs_);
     return batch;
 }
 

@@ -49,6 +49,7 @@ struct ModelSpec
 bool parseModelSpec(const std::string &token, ModelSpec &out);
 
 struct ExperimentJob;
+struct JobOutcome;
 
 /** The full (workload x model) run matrix. */
 struct ExperimentSpec
@@ -139,6 +140,16 @@ struct ExperimentSpec
     bool resume = false;
 
     /**
+     * Observer called once per job as it settles (checkpoint already
+     * appended), including cells adopted on resume. The mlpwind
+     * daemon streams per-job events to its client through this. May
+     * be called concurrently from worker threads under the default
+     * in-process executor — synchronize inside the callable.
+     */
+    std::function<void(const ExperimentJob &, const JobOutcome &)>
+        onJobSettled;
+
+    /**
      * Test seam: when set, jobs call this instead of building a
      * Simulator. Lets harness tests inject failures/timeouts without
      * burning simulation time. Thread-safe callables only.
@@ -209,8 +220,56 @@ struct BatchOutcome
     std::vector<ExperimentJob> jobs;
     std::vector<JobOutcome> outcomes;
 
+    /**
+     * Torn checkpoint lines skipped while loading the resume file
+     * (0 when not resuming): records lost to a kill mid-write whose
+     * cells were re-run instead of adopted.
+     */
+    std::size_t tornCheckpointLines = 0;
+
     std::size_t count(JobState s) const;
     bool allOk() const { return count(JobState::Ok) == jobs.size(); }
+};
+
+/**
+ * Execute one expanded job in this process: build its Simulator (with
+ * the spec's deadline / abort wiring and optional telemetry), run,
+ * and write the per-job telemetry files. This is the single execution
+ * path shared by the in-process thread executor and the isolated
+ * worker processes (src/serve), so both produce bit-identical
+ * results. Telemetry-file trouble throws SimError{Io}, the one
+ * failure class the retry loops treat as transient.
+ */
+SimResult runJob(const ExperimentSpec &spec, const ExperimentJob &job,
+                 const ArchCheckpoint *arch_ckpt);
+
+/**
+ * Executor-backend seam: how a batch's non-adopted jobs get executed.
+ * ExperimentRunner::runAll keeps ownership of everything around the
+ * execution — workload validation, resume adoption, checkpoint
+ * appends, progress reporting, outcome ordering — and hands the
+ * backend only the jobs that still need to run. The default backend
+ * is the in-process thread scheduler; src/serve's Supervisor is the
+ * process-isolated one.
+ */
+class JobExecutorBackend
+{
+  public:
+    virtual ~JobExecutorBackend() = default;
+
+    /**
+     * Execute every job named by `pending` (indices into `jobs`),
+     * calling `settle` exactly once per pending index with its final
+     * outcome. `settle` is thread-safe; it checkpoints and reports
+     * progress. The spec's cancelRequested/abortFlag must be honored:
+     * not-yet-started jobs settle as Skipped, in-flight jobs drain.
+     */
+    virtual void
+    execute(const ExperimentSpec &spec,
+            const std::vector<ExperimentJob> &jobs,
+            const std::vector<std::size_t> &pending,
+            const std::function<void(std::size_t, JobOutcome &&)>
+                &settle) = 0;
 };
 
 /** See file comment. */
@@ -236,6 +295,15 @@ class ExperimentRunner
      *         spec names an unknown workload.
      */
     BatchOutcome runAll(const ExperimentSpec &spec) const;
+
+    /**
+     * As runAll, but jobs that are not adopted from a resume
+     * checkpoint are executed by `backend` instead of the in-process
+     * thread scheduler (nullptr = in-process). See
+     * JobExecutorBackend.
+     */
+    BatchOutcome runAll(const ExperimentSpec &spec,
+                        JobExecutorBackend *backend) const;
 
     /**
      * Legacy strict interface: as runAll, but returns bare results

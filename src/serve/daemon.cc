@@ -1,0 +1,403 @@
+#include "serve/daemon.hh"
+
+#include <cerrno>
+#include <cctype>
+#include <csignal>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "exp/result_writer.hh"
+#include "sample/sample_config.hh"
+#include "serve/protocol.hh"
+#include "serve/supervisor.hh"
+#include "smt/smt_config.hh"
+#include "workloads/suite.hh"
+
+namespace mlpwin
+{
+namespace serve
+{
+
+namespace
+{
+
+bool
+validId(const std::string &id)
+{
+    if (id.empty() || id.size() > 128)
+        return false;
+    for (char c : id)
+        if (!std::isalnum(static_cast<unsigned char>(c)) &&
+            c != '.' && c != '_' && c != '-')
+            return false;
+    return true;
+}
+
+/** Read one '\n'-terminated line from a socket (blocking). */
+bool
+readLine(int fd, std::string &line)
+{
+    line.clear();
+    char c;
+    for (;;) {
+        ssize_t n = ::read(fd, &c, 1);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return !line.empty();
+        if (c == '\n')
+            return true;
+        line += c;
+        if (line.size() > (1u << 20))
+            return false;
+    }
+}
+
+int
+bindSocket(const std::string &path)
+{
+    if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+        mlpwin_warn("socket path too long: %s", path.c_str());
+        return -1;
+    }
+    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        return -1;
+    ::unlink(path.c_str()); // stale socket from a killed daemon
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 4) != 0) {
+        mlpwin_warn("cannot bind %s: %s", path.c_str(),
+                    std::strerror(errno));
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+std::string
+jobEventLine(const exp::ExperimentJob &job,
+             const exp::JobOutcome &out)
+{
+    std::ostringstream os;
+    os << "{\"type\":\"job\",\"key\":\""
+       << jsonEscape(exp::jobKey(job)) << '"' << ",\"state\":\""
+       << exp::jobStateName(out.state) << '"' << ",\"error\":\""
+       << errorCodeName(out.error) << '"' << ",\"detail\":\""
+       << jsonEscape(out.errorDetail) << '"'
+       << ",\"attempts\":" << out.attempts << ",\"resumed\":"
+       << (out.resumed ? "true" : "false") << '}';
+    return os.str();
+}
+
+/** Serve one accepted connection; see daemon.hh for the protocol. */
+void
+serveConnection(const DaemonOptions &opts, int fd)
+{
+    auto sendLine = [&](const std::string &line) {
+        return writeAll(fd, line + "\n");
+    };
+
+    std::string line;
+    if (!readLine(fd, line))
+        return;
+
+    std::string id, err;
+    exp::ExperimentSpec spec;
+    if (!parseDaemonSpec(line, id, spec, err)) {
+        sendLine("{\"type\":\"error\",\"detail\":\"" +
+                 jsonEscape(err) + "\"}");
+        return;
+    }
+
+    spec.checkpointPath = opts.stateDir + "/" + id + ".ckpt";
+    spec.resume = true;
+
+    // Stream job events as they settle. The write lock matters only
+    // for the in-process fallback (concurrent settles); under the
+    // supervisor the control loop is single-threaded.
+    std::mutex write_mutex;
+    std::size_t resumed = 0;
+    spec.onJobSettled = [&](const exp::ExperimentJob &job,
+                            const exp::JobOutcome &out) {
+        std::lock_guard<std::mutex> lock(write_mutex);
+        if (out.resumed)
+            ++resumed;
+        sendLine(jobEventLine(job, out));
+    };
+
+    exp::BatchOutcome batch;
+    try {
+        sendLine("{\"type\":\"hello\",\"version\":1,\"jobs\":" +
+                 std::to_string(spec.jobCount()) + "}");
+        exp::ExperimentRunner runner(opts.workers, opts.progress);
+        if (opts.isolate) {
+            SupervisorOptions sup;
+            sup.workers = opts.workers;
+            sup.workerBin = opts.workerBin;
+            sup.heartbeatTimeoutSeconds =
+                opts.heartbeatTimeoutSeconds;
+            sup.maxDispatch = opts.maxDispatch;
+            Supervisor supervisor(sup);
+            batch = runner.runAll(spec, &supervisor);
+        } else {
+            batch = runner.runAll(spec);
+        }
+    } catch (const SimError &e) {
+        sendLine("{\"type\":\"error\",\"detail\":\"" +
+                 jsonEscape(e.message()) + "\"}");
+        return;
+    }
+
+    // Ordered final results for this spec id, rewritten whole so the
+    // file is complete iff the spec completed.
+    std::string results_path = opts.stateDir + "/" + id + ".jsonl";
+    {
+        std::ofstream os(results_path, std::ios::trunc);
+        exp::ResultWriter writer(os,
+                                 exp::ResultWriter::Format::Jsonl);
+        for (const exp::JobOutcome &o : batch.outcomes)
+            if (o.state == exp::JobState::Ok)
+                writer.write(o.result);
+    }
+
+    std::size_t failed = batch.count(exp::JobState::Failed) +
+                         batch.count(exp::JobState::Timeout);
+    std::size_t skipped = batch.count(exp::JobState::Skipped);
+    int exit_code = skipped ? 4 : (failed ? 3 : 0);
+    std::ostringstream done;
+    done << "{\"type\":\"done\",\"ok\":"
+         << batch.count(exp::JobState::Ok)
+         << ",\"resumed\":" << resumed << ",\"failed\":" << failed
+         << ",\"timeout\":" << batch.count(exp::JobState::Timeout)
+         << ",\"skipped\":" << skipped << ",\"tornLines\":"
+         << batch.tornCheckpointLines << ",\"results\":\""
+         << jsonEscape(results_path) << "\",\"exit\":" << exit_code
+         << '}';
+    sendLine(done.str());
+}
+
+} // namespace
+
+bool
+parseDaemonSpec(const std::string &json, std::string &id,
+                exp::ExperimentSpec &spec, std::string &err)
+{
+    JsonValue v;
+    try {
+        v = parseJson(json);
+    } catch (const std::exception &e) {
+        err = std::string("malformed spec JSON: ") + e.what();
+        return false;
+    }
+
+    try {
+        if (!v.hasField("id")) {
+            err = "spec is missing \"id\"";
+            return false;
+        }
+        id = v.field("id").asString();
+        if (!validId(id)) {
+            err = "bad id (want [A-Za-z0-9._-]+): " + id;
+            return false;
+        }
+
+        spec = exp::ExperimentSpec{};
+        // mlpwin_batch's defaults.
+        spec.base.warmupInsts = kDefaultWarmupInsts;
+        spec.base.functionalWarmup = true;
+        spec.base.warmDataCaches = true;
+        spec.base.maxInsts = 300000;
+
+        if (!v.hasField("workloads")) {
+            err = "spec is missing \"workloads\"";
+            return false;
+        }
+        const JsonValue &w = v.field("workloads");
+        if (w.kind == JsonValue::Kind::String) {
+            const std::string &name = w.asString();
+            bool mem_only = name == "mem";
+            bool comp_only = name == "comp";
+            if (name != "all" && !mem_only && !comp_only) {
+                err = "workloads must be an array or one of "
+                      "all/mem/comp";
+                return false;
+            }
+            for (const WorkloadSpec &ws : spec2006Suite()) {
+                if ((mem_only && !ws.memIntensive) ||
+                    (comp_only && ws.memIntensive))
+                    continue;
+                spec.workloads.push_back(ws.name);
+            }
+        } else {
+            for (const JsonValue &e : w.array) {
+                for (const std::string &part :
+                     splitWorkloadSpec(e.asString())) {
+                    if (!tryFindWorkload(part)) {
+                        err = "unknown workload: " + part;
+                        return false;
+                    }
+                }
+                spec.workloads.push_back(e.asString());
+            }
+        }
+        if (spec.workloads.empty()) {
+            err = "empty workload list";
+            return false;
+        }
+
+        if (v.hasField("models")) {
+            for (const JsonValue &e : v.field("models").array) {
+                exp::ModelSpec ms;
+                if (!exp::parseModelSpec(e.asString(), ms)) {
+                    err = "unknown model: " + e.asString();
+                    return false;
+                }
+                spec.models.push_back(ms);
+            }
+        }
+        if (spec.models.empty())
+            spec.models = {exp::ModelSpec{},
+                           exp::ModelSpec{ModelKind::Resizing, 1, ""}};
+
+        if (v.hasField("insts"))
+            spec.base.maxInsts = v.field("insts").asU64();
+        if (v.hasField("warmup"))
+            spec.base.warmupInsts = v.field("warmup").asU64();
+        if (v.hasField("check"))
+            spec.base.lockstepCheck = v.field("check").asBool();
+        if (v.hasField("threads"))
+            spec.base.core.smt.nThreads = static_cast<unsigned>(
+                v.field("threads").asU64());
+        if (v.hasField("fetch_policy") &&
+            !parseFetchPolicy(
+                v.field("fetch_policy").asString().c_str(),
+                spec.base.core.smt.fetchPolicy)) {
+            err = "unknown fetch_policy";
+            return false;
+        }
+        if (v.hasField("partition") &&
+            !parsePartitionPolicy(
+                v.field("partition").asString().c_str(),
+                spec.base.core.smt.partitionPolicy)) {
+            err = "unknown partition";
+            return false;
+        }
+        if (v.hasField("sample_interval") &&
+            v.field("sample_interval").asU64() > 0) {
+            spec.base.sampling.enabled = true;
+            spec.base.sampling.intervalInsts =
+                v.field("sample_interval").asU64();
+        }
+        if (v.hasField("sample_period"))
+            spec.base.sampling.periodInsts =
+                v.field("sample_period").asU64();
+        if (v.hasField("job_timeout"))
+            spec.jobTimeoutSeconds =
+                v.field("job_timeout").asDouble();
+        return true;
+    } catch (const std::exception &e) {
+        err = std::string("bad spec field: ") + e.what();
+        return false;
+    }
+}
+
+int
+daemonMain(const DaemonOptions &opts, const std::atomic<bool> *stop)
+{
+    std::signal(SIGPIPE, SIG_IGN);
+    std::filesystem::create_directories(opts.stateDir);
+
+    int listen_fd = bindSocket(opts.socketPath);
+    if (listen_fd < 0)
+        return 1;
+    mlpwin_inform("mlpwind listening on %s (state in %s)",
+                  opts.socketPath.c_str(), opts.stateDir.c_str());
+
+    while (!stop || !stop->load()) {
+        pollfd pfd{listen_fd, POLLIN, 0};
+        int r = ::poll(&pfd, 1, 200);
+        if (r <= 0)
+            continue;
+        int fd = ::accept4(listen_fd, nullptr, nullptr,
+                           SOCK_CLOEXEC);
+        if (fd < 0)
+            continue;
+        serveConnection(opts, fd);
+        ::close(fd);
+    }
+
+    ::close(listen_fd);
+    ::unlink(opts.socketPath.c_str());
+    return 0;
+}
+
+int
+submitSpec(const std::string &socket_path,
+           const std::string &spec_json, std::ostream &out)
+{
+    std::signal(SIGPIPE, SIG_IGN);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        return 1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path)) {
+        ::close(fd);
+        return 1;
+    }
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        mlpwin_warn("cannot connect to %s: %s", socket_path.c_str(),
+                    std::strerror(errno));
+        ::close(fd);
+        return 1;
+    }
+    if (!writeAll(fd, spec_json + "\n")) {
+        ::close(fd);
+        return 1;
+    }
+    ::shutdown(fd, SHUT_WR);
+
+    int exit_code = 1;
+    std::string line;
+    while (readLine(fd, line)) {
+        out << line << '\n';
+        out.flush();
+        try {
+            JsonValue v = parseJson(line);
+            const std::string &type = v.field("type").asString();
+            if (type == "done")
+                exit_code =
+                    static_cast<int>(v.field("exit").asU64());
+            else if (type == "error")
+                exit_code = 2;
+        } catch (const std::exception &) {
+            // Keep streaming; the done line decides the exit code.
+        }
+    }
+    ::close(fd);
+    return exit_code;
+}
+
+} // namespace serve
+} // namespace mlpwin

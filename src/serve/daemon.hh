@@ -1,0 +1,106 @@
+/**
+ * @file
+ * mlpwind: a long-lived experiment daemon. Clients submit experiment
+ * specs as single-line JSON over a Unix-domain socket and get a JSONL
+ * event stream back; results and resume checkpoints live in the
+ * daemon's state directory, so a daemon killed mid-spec (even with
+ * SIGKILL) resumes the interrupted spec from its checkpoint when the
+ * client resubmits the same id after a restart — the final result
+ * set is bit-identical to an uninterrupted run (PR 3's checkpoint
+ * guarantee).
+ *
+ * Protocol (all single-line JSON; '\n'-terminated):
+ *
+ *  client -> daemon (one line, then shutdown(write)):
+ *    {"id":"fig07", "workloads":["mcf","gcc"], "models":["base",
+ *     "resizing"], "insts":300000, "warmup":200000, "threads":1,
+ *     "fetch_policy":"icount", "partition":"static", "check":false,
+ *     "sample_interval":0, "sample_period":0, "job_timeout":0}
+ *    Only "id" and "workloads" are required ("workloads":"all" is
+ *    accepted); everything else defaults to the mlpwin_batch
+ *    defaults. "id" must match [A-Za-z0-9._-]+ (it names state
+ *    files).
+ *
+ *  daemon -> client:
+ *    {"type":"hello","version":1,"resumed":N,"jobs":N}
+ *    {"type":"job","key":"mcf/resizing","state":"ok","error":"ok",
+ *     "detail":"","attempts":1,"resumed":false}   (one per job)
+ *    {"type":"done","ok":N,"failed":N,"timeout":N,"skipped":N,
+ *     "results":"<state-dir>/<id>.jsonl","exit":0}
+ *    {"type":"error","detail":"..."}              (bad spec)
+ *
+ * State files per spec id:
+ *    <state-dir>/<id>.ckpt   resume checkpoint (JSONL, exp/checkpoint)
+ *    <state-dir>/<id>.jsonl  final ordered results (rewritten when
+ *                            the spec completes)
+ */
+
+#ifndef MLPWIN_SERVE_DAEMON_HH
+#define MLPWIN_SERVE_DAEMON_HH
+
+#include <atomic>
+#include <ostream>
+#include <string>
+
+#include "exp/experiment.hh"
+
+namespace mlpwin
+{
+namespace serve
+{
+
+struct DaemonOptions
+{
+    /** Unix-domain socket path (unlinked and rebound on start). */
+    std::string socketPath;
+    /** Directory for per-spec checkpoint/result files. */
+    std::string stateDir = "mlpwind-state";
+    /** Worker processes per spec; 0 = one per hardware thread. */
+    unsigned workers = 0;
+    /** Worker binary; "" = next to this executable. */
+    std::string workerBin;
+    double heartbeatTimeoutSeconds = 10.0;
+    unsigned maxDispatch = 3;
+    /**
+     * Execute specs in isolated worker processes (the default and
+     * the point of the daemon); false = in-process, for debugging.
+     */
+    bool isolate = true;
+    /** Per-job progress on stderr. */
+    bool progress = false;
+};
+
+/**
+ * Accept loop: serve one client connection at a time until *stop
+ * (poll granularity ~200 ms).
+ *
+ * @return 0 on a clean shutdown, 1 if the socket cannot be bound.
+ */
+int daemonMain(const DaemonOptions &opts,
+               const std::atomic<bool> *stop);
+
+/**
+ * Client side: submit one spec line, stream every response line to
+ * `out`.
+ *
+ * @return the "exit" field of the daemon's done line (0 all-ok,
+ *         3 failures, 4 interrupted — mlpwin_batch's convention), 2
+ *         if the daemon rejected the spec, or 1 if the socket
+ *         cannot be reached.
+ */
+int submitSpec(const std::string &socket_path,
+               const std::string &spec_json, std::ostream &out);
+
+/**
+ * Parse a client spec line (schema above) into an ExperimentSpec.
+ *
+ * @param err Receives a diagnostic on failure.
+ * @return false on a malformed spec.
+ */
+bool parseDaemonSpec(const std::string &json, std::string &id,
+                     exp::ExperimentSpec &spec, std::string &err);
+
+} // namespace serve
+} // namespace mlpwin
+
+#endif // MLPWIN_SERVE_DAEMON_HH

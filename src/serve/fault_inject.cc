@@ -1,0 +1,167 @@
+#include "serve/fault_inject.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace mlpwin
+{
+namespace serve
+{
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::Segv:
+        return "segv";
+      case FaultKind::Kill:
+        return "kill";
+      case FaultKind::Abort:
+        return "abort";
+      case FaultKind::Wedge:
+        return "wedge";
+      case FaultKind::Torn:
+        return "torn";
+      case FaultKind::Hang:
+        return "hang";
+      case FaultKind::HbDelay:
+        return "hbdelay";
+    }
+    return "?";
+}
+
+const FaultClause *
+FaultSpec::match(FaultKind kind, std::uint64_t job,
+                 unsigned attempt) const
+{
+    for (const FaultClause &c : clauses)
+        if (c.kind == kind && c.matches(job, attempt))
+            return &c;
+    return nullptr;
+}
+
+std::string
+FaultSpec::toString() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < clauses.size(); ++i) {
+        const FaultClause &c = clauses[i];
+        if (i)
+            os << ',';
+        os << faultKindName(c.kind) << '@';
+        if (c.anyJob)
+            os << '*';
+        else
+            os << c.job;
+        if (c.anyAttempt)
+            os << "#*";
+        else if (c.attempt != 1)
+            os << '#' << c.attempt;
+        if (c.arg)
+            os << ':' << c.arg;
+    }
+    return os.str();
+}
+
+namespace
+{
+
+bool
+parseKind(const std::string &name, FaultKind &out)
+{
+    for (FaultKind k :
+         {FaultKind::Segv, FaultKind::Kill, FaultKind::Abort,
+          FaultKind::Wedge, FaultKind::Torn, FaultKind::Hang,
+          FaultKind::HbDelay}) {
+        if (name == faultKindName(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+parseU64(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (*end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseClause(const std::string &text, FaultClause &out,
+            std::string *err)
+{
+    auto fail = [&](const std::string &why) {
+        if (err)
+            *err = "clause \"" + text + "\": " + why;
+        return false;
+    };
+
+    std::size_t at = text.find('@');
+    if (at == std::string::npos)
+        return fail("missing '@job'");
+    if (!parseKind(text.substr(0, at), out.kind))
+        return fail("unknown fault kind");
+
+    std::string rest = text.substr(at + 1);
+    // Strip :arg first (rightmost), then #attempt.
+    if (std::size_t colon = rest.find(':');
+        colon != std::string::npos) {
+        if (!parseU64(rest.substr(colon + 1), out.arg))
+            return fail("bad argument after ':'");
+        rest = rest.substr(0, colon);
+    }
+    if (std::size_t hash = rest.find('#');
+        hash != std::string::npos) {
+        std::string a = rest.substr(hash + 1);
+        if (a == "*") {
+            out.anyAttempt = true;
+        } else {
+            std::uint64_t v = 0;
+            if (!parseU64(a, v) || v == 0)
+                return fail("bad attempt after '#'");
+            out.attempt = static_cast<unsigned>(v);
+        }
+        rest = rest.substr(0, hash);
+    }
+    if (rest == "*") {
+        out.anyJob = true;
+    } else if (!parseU64(rest, out.job)) {
+        return fail("bad job index");
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+parseFaultSpec(const std::string &s, FaultSpec &out, std::string *err)
+{
+    FaultSpec spec;
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+        std::size_t comma = s.find(',', pos);
+        if (comma == std::string::npos)
+            comma = s.size();
+        std::string clause = s.substr(pos, comma - pos);
+        if (!clause.empty()) {
+            FaultClause c;
+            if (!parseClause(clause, c, err))
+                return false;
+            spec.clauses.push_back(c);
+        }
+        pos = comma + 1;
+    }
+    out = std::move(spec);
+    return true;
+}
+
+} // namespace serve
+} // namespace mlpwin

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Deterministic fault injection for the process-isolation harness.
+ *
+ * A fault spec is a comma-separated list of clauses,
+ *
+ *     <kind>@<job>[#<attempt>][:<arg>]
+ *
+ * where <kind> is one of
+ *
+ *     segv     dereference null (SIGSEGV) on job receipt
+ *     kill     raise(SIGKILL) on job receipt
+ *     abort    std::abort() on job receipt
+ *     wedge    stall commit at cycle <arg> (default 500) via the
+ *              debugStallCommitAt hook, so the real watchdog fires
+ *              and its DiagnosticDump streams back
+ *     torn     write only half of the result frame, then _exit(1)
+ *     hang     stop heartbeating and sleep (supervisor must classify
+ *              WorkerUnresponsive and SIGKILL the worker)
+ *     hbdelay  delay every heartbeat of this job by <arg> ms
+ *
+ * <job> is the job's submission-order index, or '*' for any job.
+ * <attempt> is the supervisor dispatch count (1-based) the clause
+ * arms on; it defaults to 1 — so a default clause fires on the first
+ * dispatch and the re-dispatched attempt succeeds — and '*' arms it
+ * on every dispatch (the poison-job case that must end in
+ * quarantine).
+ *
+ * Examples:
+ *
+ *     segv@3                SIGSEGV the worker on job 3's first try
+ *     wedge@0:800,kill@2    wedge job 0 at cycle 800; SIGKILL job 2
+ *     torn@1#*              tear job 1's result on EVERY dispatch
+ *     hbdelay@*#1:2000      first try of every job beats 2s late
+ *
+ * Faults are applied by the worker (src/serve/worker.cc), keyed only
+ * on (kind, job index, attempt) — fully deterministic, no randomness
+ * — so a CI failure under injection reproduces exactly.
+ */
+
+#ifndef MLPWIN_SERVE_FAULT_INJECT_HH
+#define MLPWIN_SERVE_FAULT_INJECT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mlpwin
+{
+namespace serve
+{
+
+enum class FaultKind
+{
+    Segv,
+    Kill,
+    Abort,
+    Wedge,
+    Torn,
+    Hang,
+    HbDelay,
+};
+
+/** Printable kind name ("segv", "kill", ...). */
+const char *faultKindName(FaultKind kind);
+
+/** One parsed clause; see file comment for semantics. */
+struct FaultClause
+{
+    FaultKind kind = FaultKind::Segv;
+    bool anyJob = false;
+    std::uint64_t job = 0;
+    bool anyAttempt = false;
+    unsigned attempt = 1;
+    /** Wedge: stall cycle (0 = default 500). HbDelay: milliseconds. */
+    std::uint64_t arg = 0;
+
+    bool
+    matches(std::uint64_t j, unsigned a) const
+    {
+        return (anyJob || job == j) && (anyAttempt || attempt == a);
+    }
+};
+
+/** A whole parsed spec. */
+struct FaultSpec
+{
+    std::vector<FaultClause> clauses;
+
+    bool empty() const { return clauses.empty(); }
+
+    /** First clause of `kind` armed for (job, attempt), or nullptr. */
+    const FaultClause *match(FaultKind kind, std::uint64_t job,
+                             unsigned attempt) const;
+
+    /** Canonical text form (parse/print round-trips). */
+    std::string toString() const;
+};
+
+/**
+ * Parse the grammar above.
+ *
+ * @param err If non-null, receives a description of the first
+ *        offending clause on failure.
+ * @return false (out untouched) on a malformed spec. The empty
+ *         string parses to an empty spec.
+ */
+bool parseFaultSpec(const std::string &s, FaultSpec &out,
+                    std::string *err = nullptr);
+
+} // namespace serve
+} // namespace mlpwin
+
+#endif // MLPWIN_SERVE_FAULT_INJECT_HH

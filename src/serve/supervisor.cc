@@ -1,0 +1,513 @@
+#include "serve/supervisor.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <memory>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "exp/result_writer.hh"
+#include "exp/thread_pool.hh"
+#include "serve/worker_process.hh"
+
+namespace mlpwin
+{
+namespace serve
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+using exp::JobOutcome;
+using exp::JobState;
+
+/** Per-worker-slot supervisor state; see supervisor.hh. */
+struct Slot
+{
+    std::unique_ptr<WorkerProcess> proc;
+    std::deque<std::size_t> queue;
+    /** In-flight job index, or -1. */
+    long long inflight = -1;
+    /** Dispatch count sent with the in-flight job. */
+    unsigned dispatchAttempt = 0;
+    Clock::time_point lastBeat{};
+    /** Consecutive crashes (reset by a delivered result). */
+    unsigned crashes = 0;
+    Clock::time_point respawnAt{};
+    bool retired = false;
+};
+
+/** Mirror of the in-process executor's SimError classification. */
+JobState
+stateForError(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Timeout:
+        return JobState::Timeout;
+      case ErrorCode::Interrupted:
+        return JobState::Skipped;
+      default:
+        return JobState::Failed;
+    }
+}
+
+/** Synthesized dump for a job whose worker died (no sim state). */
+std::string
+workerDeathDump(const exp::ExperimentJob &job,
+                const std::string &detail, unsigned dispatches)
+{
+    DiagnosticDump d;
+    d.workload = job.workload;
+    d.model = job.model.displayLabel();
+    d.recentEvents.push_back(detail);
+    d.recentEvents.push_back("job dispatched " +
+                             std::to_string(dispatches) + " time(s)");
+    return d.toJson();
+}
+
+} // namespace
+
+std::string
+defaultWorkerBin()
+{
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0)
+        return "mlpwin_worker";
+    buf[n] = '\0';
+    std::string self(buf);
+    std::size_t slash = self.rfind('/');
+    if (slash == std::string::npos)
+        return "mlpwin_worker";
+    return self.substr(0, slash + 1) + "mlpwin_worker";
+}
+
+Supervisor::Supervisor(SupervisorOptions opts) : opts_(std::move(opts))
+{
+}
+
+void
+Supervisor::execute(
+    const exp::ExperimentSpec &spec,
+    const std::vector<exp::ExperimentJob> &jobs,
+    const std::vector<std::size_t> &pending,
+    const std::function<void(std::size_t, exp::JobOutcome &&)>
+        &settle)
+{
+    stats_ = SupervisorStats{};
+    if (spec.executor)
+        throw SimError(ErrorCode::InvalidArgument,
+                       "the in-process executor test seam cannot "
+                       "cross a process boundary; run without "
+                       "isolation");
+    if (pending.empty())
+        return;
+
+    // A worker dying with frames still in our pipe must not kill the
+    // supervisor with SIGPIPE on the next dispatch.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    SpawnOptions sopts;
+    sopts.workerBin =
+        opts_.workerBin.empty() ? defaultWorkerBin() : opts_.workerBin;
+    sopts.inject = opts_.inject;
+    sopts.heartbeatIntervalMs = opts_.heartbeatIntervalMs;
+
+    unsigned n = opts_.workers ? opts_.workers
+                               : exp::ThreadPool::resolveThreads(0);
+    n = static_cast<unsigned>(std::min<std::size_t>(n,
+                                                    pending.size()));
+    n = std::max(1u, n);
+
+    const auto hb_timeout = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(opts_.heartbeatTimeoutSeconds));
+
+    std::vector<Slot> slots(n);
+    std::deque<std::size_t> orphans;
+    std::vector<unsigned> dispatches(jobs.size(), 0);
+    std::size_t unsettled = pending.size();
+    bool draining = false;
+    bool aborted = false;
+
+    // Round-robin initial shard; stealing rebalances from there.
+    for (std::size_t i = 0; i < pending.size(); ++i)
+        slots[i % n].queue.push_back(pending[i]);
+
+    auto settleJob = [&](std::size_t idx, JobOutcome &&o) {
+        settle(idx, std::move(o));
+        --unsettled;
+    };
+
+    auto spawn = [&](Slot &s) {
+        try {
+            s.proc = std::make_unique<WorkerProcess>(sopts);
+            ++stats_.spawns;
+            s.lastBeat = Clock::now();
+            return true;
+        } catch (const SimError &e) {
+            mlpwin_warn("worker spawn failed: %s",
+                        e.message().c_str());
+            return false;
+        }
+    };
+
+    auto retire = [&](Slot &s) {
+        s.retired = true;
+        ++stats_.retiredSlots;
+        mlpwin_warn("worker slot retired after %u consecutive "
+                    "crashes; pool degraded to %u live slot(s)",
+                    s.crashes,
+                    static_cast<unsigned>(std::count_if(
+                        slots.begin(), slots.end(),
+                        [](const Slot &x) { return !x.retired; })));
+    };
+
+    /** Take the next job for `self`: own queue, orphans, then steal. */
+    auto takeWork = [&](Slot &self) -> long long {
+        if (draining)
+            return -1;
+        if (!self.queue.empty()) {
+            std::size_t idx = self.queue.front();
+            self.queue.pop_front();
+            return static_cast<long long>(idx);
+        }
+        if (!orphans.empty()) {
+            std::size_t idx = orphans.front();
+            orphans.pop_front();
+            return static_cast<long long>(idx);
+        }
+        Slot *victim = nullptr;
+        for (Slot &s : slots)
+            if (&s != &self &&
+                (!victim || s.queue.size() > victim->queue.size()))
+                victim = &s;
+        if (victim && !victim->queue.empty()) {
+            std::size_t idx = victim->queue.back();
+            victim->queue.pop_back();
+            ++stats_.steals;
+            return static_cast<long long>(idx);
+        }
+        return -1;
+    };
+
+    // Declared before dispatch, defined after: a dispatch can
+    // discover a broken pipe and must hand the slot to handleDeath.
+    std::function<void(Slot &, ErrorCode, std::string)> handleDeath;
+
+    auto dispatch = [&](Slot &s) {
+        while (s.proc && s.inflight < 0) {
+            long long idx = takeWork(s);
+            if (idx < 0)
+                return;
+            unsigned attempt = ++dispatches[idx];
+            s.inflight = idx;
+            s.dispatchAttempt = attempt;
+            s.lastBeat = Clock::now();
+            if (!s.proc->sendFrame(
+                    jobToJson(spec, jobs[idx], attempt))) {
+                handleDeath(s, ErrorCode::WorkerCrash,
+                            "job dispatch failed (broken pipe)");
+                return;
+            }
+        }
+    };
+
+    handleDeath = [&](Slot &s, ErrorCode code, std::string how) {
+        ++stats_.workerDeaths;
+        s.proc->kill(SIGKILL);
+        int status = s.proc->reap();
+        std::string detail = how.empty()
+                                 ? WorkerProcess::describeStatus(status)
+                                 : how + "; " +
+                                       WorkerProcess::describeStatus(
+                                           status);
+
+        if (s.inflight >= 0) {
+            std::size_t idx = static_cast<std::size_t>(s.inflight);
+            s.inflight = -1;
+            if (dispatches[idx] < opts_.maxDispatch && !draining) {
+                // The crash may have been the worker's fault, not
+                // the job's: try again (front of the orphan queue,
+                // so it re-runs promptly).
+                ++stats_.redispatches;
+                orphans.push_front(idx);
+            } else {
+                JobOutcome o;
+                o.state = stateForError(code);
+                o.error = code;
+                o.attempts = dispatches[idx];
+                if (dispatches[idx] >= opts_.maxDispatch &&
+                    opts_.maxDispatch > 1) {
+                    ++stats_.quarantined;
+                    o.errorDetail =
+                        "poison job quarantined after " +
+                        std::to_string(dispatches[idx]) +
+                        " dispatches: " + detail;
+                } else {
+                    o.errorDetail = detail;
+                }
+                o.dumpJson = workerDeathDump(jobs[idx], detail,
+                                             dispatches[idx]);
+                settleJob(idx, std::move(o));
+            }
+        }
+        // The rest of the dead worker's queue is unaffected work.
+        while (!s.queue.empty()) {
+            orphans.push_back(s.queue.front());
+            s.queue.pop_front();
+        }
+        s.proc.reset();
+        ++s.crashes;
+        if (s.crashes >= opts_.maxRespawns) {
+            retire(s);
+        } else {
+            s.respawnAt =
+                Clock::now() +
+                std::chrono::milliseconds(
+                    opts_.respawnBackoffMs
+                    << (s.crashes > 0 ? s.crashes - 1 : 0));
+        }
+        mlpwin_warn("[%s] %s", errorCodeName(code), detail.c_str());
+    };
+
+    /** Drain one readable worker pipe; false once the slot is dead. */
+    auto drainFd = [&](Slot &s) {
+        char buf[65536];
+        for (;;) {
+            ssize_t r = ::read(s.proc->readFd(), buf, sizeof(buf));
+            if (r < 0) {
+                if (errno == EINTR)
+                    continue;
+                return; // EAGAIN: drained for now.
+            }
+            if (r == 0) {
+                // EOF. A worker must not exit while the batch still
+                // runs; classify by how it left the stream.
+                handleDeath(s, ErrorCode::WorkerCrash,
+                            s.proc->frames().midFrame()
+                                ? "torn result stream (EOF "
+                                  "mid-frame)"
+                                : "");
+                return;
+            }
+            s.proc->frames().feed(buf, static_cast<std::size_t>(r));
+            std::string payload;
+            try {
+                while (s.proc->frames().next(payload)) {
+                    WorkerMessage m = parseWorkerMessage(payload);
+                    s.lastBeat = Clock::now();
+                    switch (m.kind) {
+                      case WorkerMessage::Kind::Hello:
+                      case WorkerMessage::Kind::Heartbeat:
+                        break;
+                      case WorkerMessage::Kind::Result: {
+                        if (s.inflight < 0)
+                            throw SimError(ErrorCode::WorkerCrash,
+                                           "result frame with no "
+                                           "job in flight");
+                        JobOutcome o;
+                        o.state = JobState::Ok;
+                        o.result = exp::resultFromJson(m.resultJson);
+                        o.attempts =
+                            (s.dispatchAttempt - 1) + m.attempts;
+                        o.wallSeconds = m.wallSeconds;
+                        std::size_t idx =
+                            static_cast<std::size_t>(s.inflight);
+                        s.inflight = -1;
+                        s.crashes = 0;
+                        settleJob(idx, std::move(o));
+                        break;
+                      }
+                      case WorkerMessage::Kind::Error: {
+                        if (s.inflight < 0)
+                            throw SimError(ErrorCode::WorkerCrash,
+                                           "error frame with no "
+                                           "job in flight");
+                        JobOutcome o;
+                        o.state = stateForError(m.error);
+                        o.error = m.error;
+                        o.errorDetail = m.detail;
+                        o.dumpJson = m.dumpJson;
+                        o.attempts =
+                            (s.dispatchAttempt - 1) + m.attempts;
+                        o.wallSeconds = m.wallSeconds;
+                        std::size_t idx =
+                            static_cast<std::size_t>(s.inflight);
+                        s.inflight = -1;
+                        s.crashes = 0;
+                        settleJob(idx, std::move(o));
+                        break;
+                      }
+                    }
+                }
+            } catch (const std::exception &e) {
+                handleDeath(s, ErrorCode::WorkerCrash, e.what());
+                return;
+            }
+            if (!s.proc)
+                return;
+        }
+    };
+
+    for (Slot &s : slots) {
+        if (!spawn(s)) {
+            s.crashes = opts_.maxRespawns;
+            retire(s);
+            while (!s.queue.empty()) {
+                orphans.push_back(s.queue.front());
+                s.queue.pop_front();
+            }
+        }
+    }
+
+    while (unsettled > 0) {
+        auto now = Clock::now();
+
+        // --- cancellation / abort --------------------------------
+        if (!draining && spec.cancelRequested &&
+            spec.cancelRequested()) {
+            draining = true;
+            auto skipQueued = [&](std::deque<std::size_t> &q) {
+                while (!q.empty()) {
+                    JobOutcome o;
+                    o.state = JobState::Skipped;
+                    o.error = ErrorCode::Interrupted;
+                    o.errorDetail = "cancelled before start";
+                    settleJob(q.front(), std::move(o));
+                    q.pop_front();
+                }
+            };
+            for (Slot &s : slots)
+                skipQueued(s.queue);
+            skipQueued(orphans);
+        }
+        if (!aborted && spec.abortFlag && spec.abortFlag->load()) {
+            aborted = true;
+            for (Slot &s : slots)
+                if (s.proc && s.inflight >= 0)
+                    s.proc->kill(SIGTERM);
+        }
+        if (unsettled == 0)
+            break;
+
+        // --- respawns / pool exhaustion --------------------------
+        std::size_t inflight_count = 0;
+        for (Slot &s : slots)
+            if (s.inflight >= 0)
+                ++inflight_count;
+        bool work_waiting = unsettled > inflight_count;
+        for (Slot &s : slots) {
+            if (s.retired || s.proc || !work_waiting)
+                continue;
+            if (now < s.respawnAt)
+                continue;
+            ++stats_.respawns;
+            if (!spawn(s)) {
+                ++s.crashes;
+                if (s.crashes >= opts_.maxRespawns)
+                    retire(s);
+                else
+                    s.respawnAt =
+                        now + std::chrono::milliseconds(
+                                  opts_.respawnBackoffMs
+                                  << (s.crashes - 1));
+            }
+        }
+        if (std::all_of(slots.begin(), slots.end(),
+                        [](const Slot &s) { return s.retired; })) {
+            // Every slot is gone; fail what's left rather than hang.
+            auto failQueued = [&](std::deque<std::size_t> &q) {
+                while (!q.empty()) {
+                    std::size_t idx = q.front();
+                    q.pop_front();
+                    JobOutcome o;
+                    o.state = JobState::Failed;
+                    o.error = ErrorCode::WorkerCrash;
+                    o.attempts = dispatches[idx];
+                    o.errorDetail =
+                        "worker pool exhausted (all " +
+                        std::to_string(n) + " slot(s) retired)";
+                    settleJob(idx, std::move(o));
+                }
+            };
+            for (Slot &s : slots)
+                failQueued(s.queue);
+            failQueued(orphans);
+            break;
+        }
+
+        // --- dispatch --------------------------------------------
+        for (Slot &s : slots)
+            if (s.proc && s.inflight < 0)
+                dispatch(s);
+        if (unsettled == 0)
+            break;
+
+        // --- wait for events -------------------------------------
+        std::vector<pollfd> fds;
+        std::vector<Slot *> fd_slots;
+        for (Slot &s : slots) {
+            if (!s.proc)
+                continue;
+            fds.push_back({s.proc->readFd(), POLLIN, 0});
+            fd_slots.push_back(&s);
+        }
+        int timeout_ms = 200; // cancel/abort poll ceiling
+        now = Clock::now();
+        for (Slot &s : slots) {
+            Clock::time_point deadline{};
+            if (s.proc && s.inflight >= 0)
+                deadline = s.lastBeat + hb_timeout;
+            else if (!s.retired && !s.proc)
+                deadline = s.respawnAt;
+            else
+                continue;
+            auto ms = std::chrono::duration_cast<
+                          std::chrono::milliseconds>(deadline - now)
+                          .count();
+            timeout_ms = static_cast<int>(std::clamp<long long>(
+                ms, 0, timeout_ms));
+        }
+        ::poll(fds.data(), fds.size(), timeout_ms);
+        for (std::size_t i = 0; i < fds.size(); ++i)
+            if (fds[i].revents & (POLLIN | POLLHUP | POLLERR))
+                if (fd_slots[i]->proc)
+                    drainFd(*fd_slots[i]);
+
+        // --- heartbeat deadlines ---------------------------------
+        now = Clock::now();
+        for (Slot &s : slots) {
+            if (!s.proc || s.inflight < 0)
+                continue;
+            if (now - s.lastBeat > hb_timeout) {
+                handleDeath(
+                    s, ErrorCode::WorkerUnresponsive,
+                    "heartbeat missed for " +
+                        std::to_string(
+                            std::chrono::duration_cast<
+                                std::chrono::milliseconds>(
+                                now - s.lastBeat)
+                                .count()) +
+                        " ms; killed");
+            }
+        }
+    }
+
+    // Shutdown: EOF is the request; workers exit after their current
+    // frame. Give them a moment, then force.
+    for (Slot &s : slots)
+        if (s.proc)
+            s.proc->closeIn();
+    for (Slot &s : slots)
+        s.proc.reset(); // dtor reaps (SIGKILL if still running)
+}
+
+} // namespace serve
+} // namespace mlpwin

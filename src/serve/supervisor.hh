@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Process-isolated batch execution: a Supervisor implements the
+ * exp::JobExecutorBackend seam by sharding the pending jobs across N
+ * forked worker processes (see worker_process.hh / worker.hh).
+ *
+ * Why processes: the in-process executor contains *recoverable*
+ * failures (SimError, timeouts) per job, but a genuine crash — a
+ * SIGSEGV in a buggy model, a stuck syscall, heap corruption — takes
+ * the whole batch with it. Under the supervisor, any single job can
+ * die arbitrarily and the batch still completes: the death is
+ * classified onto the ErrorCode taxonomy, the victim's queue is
+ * redistributed, and the worker slot is respawned.
+ *
+ * Scheduling: each slot owns a deque seeded round-robin; an idle
+ * worker first drains its own queue, then the orphan queue left by
+ * dead workers, then *steals* from the back of the longest sibling
+ * queue — so one slow workload cannot strand jobs behind it.
+ *
+ * Failure handling:
+ *  - A dead worker's in-flight job is re-dispatched (the crash may
+ *    have been the worker's, not the job's) up to maxDispatch total
+ *    dispatches; a job that keeps killing workers is quarantined as
+ *    Failed/WorkerCrash with a synthesized DiagnosticDump naming the
+ *    death, so one poison cell cannot grind the pool through
+ *    endless respawns.
+ *  - Death classification: signal / nonzero exit / torn result
+ *    stream / protocol corruption -> WorkerCrash; a missed heartbeat
+ *    deadline -> the supervisor SIGKILLs the worker and records
+ *    WorkerUnresponsive.
+ *  - A slot that crashes repeatedly respawns with exponential
+ *    backoff and retires after maxRespawns consecutive crashes,
+ *    degrading the pool; if every slot retires, the remaining jobs
+ *    settle as Failed ("worker pool exhausted") instead of hanging.
+ *
+ * Cancellation mirrors the in-process executor: cancelRequested
+ * drains (queued jobs settle Skipped, in-flight jobs finish and
+ * checkpoint), and abortFlag forwards SIGTERM so in-flight
+ * simulations cut short cooperatively.
+ */
+
+#ifndef MLPWIN_SERVE_SUPERVISOR_HH
+#define MLPWIN_SERVE_SUPERVISOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "exp/experiment.hh"
+
+namespace mlpwin
+{
+namespace serve
+{
+
+struct SupervisorOptions
+{
+    /** Worker processes; 0 = one per hardware thread. */
+    unsigned workers = 0;
+    /** Worker binary; "" = defaultWorkerBin(). */
+    std::string workerBin;
+    /** Fault spec forwarded to every worker (tests/CI only). */
+    std::string inject;
+    unsigned heartbeatIntervalMs = 200;
+    /**
+     * SIGKILL a worker whose in-flight job has not beaten for this
+     * long. Generous by default: a heartbeat comes from a dedicated
+     * thread, so only a truly stuck process misses it.
+     */
+    double heartbeatTimeoutSeconds = 10.0;
+    /** Total dispatches per job before quarantine. */
+    unsigned maxDispatch = 3;
+    /** Consecutive crashes before a worker slot retires. */
+    unsigned maxRespawns = 3;
+    /** Respawn backoff doubles from this base per consecutive crash. */
+    unsigned respawnBackoffMs = 100;
+};
+
+/** Counters exposed for tests and the batch summary. */
+struct SupervisorStats
+{
+    std::uint64_t spawns = 0;
+    std::uint64_t workerDeaths = 0;
+    /** Jobs re-queued after their worker died mid-flight. */
+    std::uint64_t redispatches = 0;
+    std::uint64_t steals = 0;
+    std::uint64_t respawns = 0;
+    std::uint64_t quarantined = 0;
+    unsigned retiredSlots = 0;
+};
+
+/**
+ * The mlpwin_worker binary expected next to the running executable
+ * (/proc/self/exe), the layout the build tree and an installed
+ * prefix both produce.
+ */
+std::string defaultWorkerBin();
+
+/** See file comment. */
+class Supervisor : public exp::JobExecutorBackend
+{
+  public:
+    explicit Supervisor(SupervisorOptions opts);
+
+    /**
+     * @throws SimError{InvalidArgument} if the spec carries the
+     *         in-process `executor` test seam (a std::function
+     *         cannot cross a process boundary), or {Internal} if no
+     *         worker can be spawned at all.
+     */
+    void execute(const exp::ExperimentSpec &spec,
+                 const std::vector<exp::ExperimentJob> &jobs,
+                 const std::vector<std::size_t> &pending,
+                 const std::function<void(std::size_t,
+                                          exp::JobOutcome &&)>
+                     &settle) override;
+
+    /** Counters from the most recent execute(). */
+    const SupervisorStats &stats() const { return stats_; }
+
+  private:
+    SupervisorOptions opts_;
+    SupervisorStats stats_;
+};
+
+} // namespace serve
+} // namespace mlpwin
+
+#endif // MLPWIN_SERVE_SUPERVISOR_HH

@@ -1,0 +1,281 @@
+#include "serve/worker.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "exp/experiment.hh"
+#include "sample/checkpoint.hh"
+#include "serve/protocol.hh"
+
+namespace mlpwin
+{
+namespace serve
+{
+
+namespace
+{
+
+/** SIGTERM = cooperative abort; wired to the sim's abort flag. */
+std::atomic<bool> g_abort{false};
+
+void
+onSigterm(int)
+{
+    g_abort.store(true);
+}
+
+/**
+ * Heartbeat emitter for one in-flight job. Writes on the shared out
+ * fd under the caller's mutex; stops promptly when asked.
+ */
+class Heartbeat
+{
+  public:
+    Heartbeat(int fd, std::mutex &write_mutex, std::size_t job,
+              unsigned interval_ms, unsigned extra_delay_ms)
+        : fd_(fd), writeMutex_(write_mutex), job_(job),
+          intervalMs_(interval_ms + extra_delay_ms)
+    {
+        thread_ = std::thread([this] { run(); });
+    }
+
+    ~Heartbeat()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+    }
+
+  private:
+    void
+    run()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (!stop_) {
+            if (cv_.wait_for(lock,
+                             std::chrono::milliseconds(intervalMs_),
+                             [this] { return stop_; }))
+                return;
+            std::lock_guard<std::mutex> wl(writeMutex_);
+            writeAll(fd_, frameEncode(heartbeatMessage(job_)));
+        }
+    }
+
+    int fd_;
+    std::mutex &writeMutex_;
+    std::size_t job_;
+    unsigned intervalMs_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    std::thread thread_;
+};
+
+/** Apply a crash-class fault on job receipt. Does not return. */
+[[noreturn]] void
+crashNow(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::Segv: {
+        volatile int *p = nullptr;
+        *p = 1; // NOLINT: the whole point
+        break;
+      }
+      case FaultKind::Kill:
+        ::raise(SIGKILL);
+        break;
+      case FaultKind::Abort:
+        std::abort();
+      default:
+        break;
+    }
+    // SIGSEGV/SIGKILL delivery is not instant from the compiler's
+    // point of view; make [[noreturn]] honest.
+    for (;;)
+        ::pause();
+}
+
+bool
+readChunk(int fd, FrameBuffer &frames)
+{
+    char buf[4096];
+    for (;;) {
+        ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false; // EOF: supervisor closed our input.
+        frames.feed(buf, static_cast<std::size_t>(n));
+        return true;
+    }
+}
+
+} // namespace
+
+int
+workerMain(const WorkerOptions &opts)
+{
+    // See worker.hh for the signal contract.
+    std::signal(SIGINT, SIG_IGN);
+    std::signal(SIGPIPE, SIG_IGN);
+    std::signal(SIGTERM, onSigterm);
+
+    std::mutex write_mutex;
+    auto send = [&](const std::string &payload) {
+        std::lock_guard<std::mutex> lock(write_mutex);
+        return writeAll(opts.outFd, frameEncode(payload));
+    };
+
+    if (!send(helloMessage()))
+        return 1;
+
+    // Arch checkpoints are immutable per workload; cache them so a
+    // worker executing many cells of one workload loads each once,
+    // exactly like the in-process runner's preload map.
+    std::map<std::string, ArchCheckpoint> arch_ckpts;
+
+    FrameBuffer frames;
+    std::string payload;
+    for (;;) {
+        try {
+            if (!frames.next(payload)) {
+                if (!readChunk(opts.inFd, frames))
+                    return frames.midFrame() ? 1 : 0;
+                continue;
+            }
+        } catch (const SimError &e) {
+            mlpwin_warn("worker %d: %s", static_cast<int>(::getpid()),
+                        e.message().c_str());
+            return 1;
+        }
+
+        exp::ExperimentSpec spec;
+        exp::ExperimentJob job;
+        unsigned attempt = 1;
+        try {
+            jobFromJson(payload, spec, job, attempt);
+        } catch (const SimError &e) {
+            mlpwin_warn("worker %d: %s", static_cast<int>(::getpid()),
+                        e.message().c_str());
+            return 1;
+        }
+
+        // --- fault injection (see fault_inject.hh) -----------------
+        if (const FaultClause *c = opts.faults.match(
+                FaultKind::Segv, job.index, attempt))
+            crashNow(c->kind);
+        if (const FaultClause *c = opts.faults.match(
+                FaultKind::Kill, job.index, attempt))
+            crashNow(c->kind);
+        if (const FaultClause *c = opts.faults.match(
+                FaultKind::Abort, job.index, attempt))
+            crashNow(c->kind);
+        if (opts.faults.match(FaultKind::Hang, job.index, attempt)) {
+            // Deliberately no heartbeat: the supervisor must notice
+            // the missed deadline and SIGKILL us.
+            for (;;)
+                ::pause();
+        }
+        if (const FaultClause *c = opts.faults.match(
+                FaultKind::Wedge, job.index, attempt))
+            job.cfg.core.debugStallCommitAt = c->arg ? c->arg : 500;
+        unsigned hb_delay = 0;
+        if (const FaultClause *c = opts.faults.match(
+                FaultKind::HbDelay, job.index, attempt))
+            hb_delay = static_cast<unsigned>(c->arg);
+        bool tear_result =
+            opts.faults.match(FaultKind::Torn, job.index, attempt) !=
+            nullptr;
+
+        spec.abortFlag = &g_abort;
+
+        const ArchCheckpoint *arch = nullptr;
+        std::string message;
+        {
+            Heartbeat hb(opts.outFd, write_mutex, job.index,
+                         opts.heartbeatIntervalMs, hb_delay);
+
+            auto started = std::chrono::steady_clock::now();
+            auto wall = [&] {
+                return std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - started)
+                    .count();
+            };
+
+            // Same transient-retry policy as the in-process
+            // executor; the worker owns exactly one job, so blocking
+            // through the backoff stalls nobody else.
+            unsigned attempts = 0;
+            for (;;) {
+                ++attempts;
+                try {
+                    if (!spec.archCheckpointDir.empty() && !arch) {
+                        auto it = arch_ckpts.find(job.workload);
+                        if (it == arch_ckpts.end())
+                            it = arch_ckpts
+                                     .emplace(
+                                         job.workload,
+                                         ArchCheckpoint::loadFile(
+                                             spec.archCheckpointDir +
+                                             "/" + job.workload +
+                                             ".ckpt"))
+                                     .first;
+                        arch = &it->second;
+                    }
+                    SimResult r = exp::runJob(spec, job, arch);
+                    message = resultMessage(job.index, attempts,
+                                            wall(), r);
+                    break;
+                } catch (const SimError &e) {
+                    if (e.transient() &&
+                        attempts < spec.maxAttempts &&
+                        !g_abort.load()) {
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(
+                                spec.retryBackoffMs * attempts));
+                        continue;
+                    }
+                    message = errorMessage(
+                        job.index, attempts, wall(), e.code(),
+                        e.message(),
+                        e.hasDump() ? e.dump().toJson() : "");
+                    break;
+                } catch (const std::exception &e) {
+                    message = errorMessage(job.index, attempts,
+                                           wall(),
+                                           ErrorCode::Internal,
+                                           e.what(), "");
+                    break;
+                }
+            }
+        } // heartbeat stops before the result is written
+
+        if (tear_result) {
+            std::string frame = frameEncode(message);
+            std::lock_guard<std::mutex> lock(write_mutex);
+            writeAll(opts.outFd, frame.substr(0, frame.size() / 2));
+            ::_exit(1);
+        }
+        if (!send(message))
+            return 1;
+    }
+}
+
+} // namespace serve
+} // namespace mlpwin

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The isolated batch worker's main loop (the mlpwin_worker tool is a
+ * thin argv wrapper around workerMain).
+ *
+ * A worker reads length-prefixed job frames from `inFd`, executes
+ * each with exp::runJob — the same execution path the in-process
+ * thread executor uses, so results are bit-identical — and streams a
+ * result or error frame back on `outFd`. While a job runs, a
+ * heartbeat thread emits a beat every heartbeatIntervalMs so the
+ * supervisor can tell "slow simulation" from "wedged in a way even
+ * the in-sim watchdog cannot catch" (e.g. stuck in a syscall or a
+ * runaway loop outside the simulator).
+ *
+ * Signal semantics:
+ *  - SIGINT is ignored: a terminal ^C reaches the whole foreground
+ *    process group, and drain semantics (finish the current job,
+ *    checkpoint it, then stop) require that only the supervisor act
+ *    on it.
+ *  - SIGTERM requests a cooperative abort: the in-flight simulation
+ *    stops at its next watchdog poll and reports Interrupted. The
+ *    supervisor sends it when the batch is hard-aborted (second ^C).
+ *
+ * Fault injection (see fault_inject.hh) is applied here, on job
+ * receipt, keyed by (kind, job index, dispatch attempt).
+ */
+
+#ifndef MLPWIN_SERVE_WORKER_HH
+#define MLPWIN_SERVE_WORKER_HH
+
+#include "serve/fault_inject.hh"
+
+namespace mlpwin
+{
+namespace serve
+{
+
+struct WorkerOptions
+{
+    int inFd = 0;
+    int outFd = 1;
+    unsigned heartbeatIntervalMs = 200;
+    FaultSpec faults;
+};
+
+/**
+ * Run the worker loop until EOF on inFd (the supervisor closing its
+ * end is the shutdown request).
+ *
+ * @return Process exit code: 0 on a clean shutdown, 1 on a protocol
+ *         or write error (supervisor gone).
+ */
+int workerMain(const WorkerOptions &opts);
+
+} // namespace serve
+} // namespace mlpwin
+
+#endif // MLPWIN_SERVE_WORKER_HH

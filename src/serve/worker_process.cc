@@ -1,0 +1,166 @@
+#include "serve/worker_process.hh"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace mlpwin
+{
+namespace serve
+{
+
+namespace
+{
+
+[[noreturn]] void
+childExec(const SpawnOptions &opts, int in_fd, int out_fd)
+{
+    // Move the pipe ends onto the fixed protocol fds. dup2 clears
+    // CLOEXEC on the duplicate; if a source already sits on its
+    // target, clear the flag explicitly instead. Shift a source out
+    // of the way first if it occupies the *other* target.
+    if (in_fd == kWorkerOutFd)
+        in_fd = ::fcntl(in_fd, F_DUPFD, kWorkerOutFd + 1);
+    if (out_fd == kWorkerInFd)
+        out_fd = ::fcntl(out_fd, F_DUPFD, kWorkerOutFd + 1);
+    if (in_fd == kWorkerInFd)
+        ::fcntl(in_fd, F_SETFD, 0);
+    else
+        ::dup2(in_fd, kWorkerInFd);
+    if (out_fd == kWorkerOutFd)
+        ::fcntl(out_fd, F_SETFD, 0);
+    else
+        ::dup2(out_fd, kWorkerOutFd);
+
+    std::string hb = std::to_string(opts.heartbeatIntervalMs);
+    std::vector<const char *> argv = {
+        opts.workerBin.c_str(),
+        "--in-fd",  "3",
+        "--out-fd", "4",
+        "--hb-interval", hb.c_str(),
+    };
+    if (!opts.inject.empty()) {
+        argv.push_back("--inject");
+        argv.push_back(opts.inject.c_str());
+    }
+    argv.push_back(nullptr);
+    ::execv(opts.workerBin.c_str(),
+            const_cast<char *const *>(argv.data()));
+    // Exec failed; 127 mirrors the shell convention and shows up in
+    // the supervisor's death classification.
+    ::_exit(127);
+}
+
+} // namespace
+
+WorkerProcess::WorkerProcess(const SpawnOptions &opts)
+{
+    int to_child[2];   // supervisor writes -> worker reads
+    int from_child[2]; // worker writes -> supervisor reads
+    if (::pipe2(to_child, O_CLOEXEC) != 0)
+        throw SimError(ErrorCode::Internal,
+                       std::string("pipe2: ") + std::strerror(errno));
+    if (::pipe2(from_child, O_CLOEXEC) != 0) {
+        ::close(to_child[0]);
+        ::close(to_child[1]);
+        throw SimError(ErrorCode::Internal,
+                       std::string("pipe2: ") + std::strerror(errno));
+    }
+
+    pid_ = ::fork();
+    if (pid_ < 0) {
+        for (int fd : {to_child[0], to_child[1], from_child[0],
+                       from_child[1]})
+            ::close(fd);
+        throw SimError(ErrorCode::Internal,
+                       std::string("fork: ") + std::strerror(errno));
+    }
+    if (pid_ == 0)
+        childExec(opts, to_child[0], from_child[1]);
+
+    ::close(to_child[0]);
+    ::close(from_child[1]);
+    in_ = to_child[1];
+    out_ = from_child[0];
+    // The poll loop drains reads without blocking.
+    ::fcntl(out_, F_SETFL,
+            ::fcntl(out_, F_GETFL, 0) | O_NONBLOCK);
+}
+
+WorkerProcess::~WorkerProcess()
+{
+    closeIn();
+    if (out_ >= 0) {
+        ::close(out_);
+        out_ = -1;
+    }
+    if (!reaped_) {
+        kill(SIGKILL);
+        reap();
+    }
+}
+
+bool
+WorkerProcess::sendFrame(const std::string &payload)
+{
+    if (in_ < 0)
+        return false;
+    return writeAll(in_, frameEncode(payload));
+}
+
+void
+WorkerProcess::closeIn()
+{
+    if (in_ >= 0) {
+        ::close(in_);
+        in_ = -1;
+    }
+}
+
+void
+WorkerProcess::kill(int sig)
+{
+    if (!reaped_ && pid_ > 0)
+        ::kill(pid_, sig);
+}
+
+int
+WorkerProcess::reap()
+{
+    if (reaped_)
+        return status_;
+    while (::waitpid(pid_, &status_, 0) < 0) {
+        if (errno != EINTR) {
+            status_ = 0;
+            break;
+        }
+    }
+    reaped_ = true;
+    return status_;
+}
+
+std::string
+WorkerProcess::describeStatus(int status)
+{
+    if (WIFEXITED(status)) {
+        int code = WEXITSTATUS(status);
+        if (code == 0)
+            return "worker exited cleanly";
+        return "worker exited with status " + std::to_string(code);
+    }
+    if (WIFSIGNALED(status)) {
+        int sig = WTERMSIG(status);
+        const char *name = ::strsignal(sig);
+        return "worker killed by signal " + std::to_string(sig) +
+               " (" + (name ? name : "?") + ")";
+    }
+    return "worker died (status " + std::to_string(status) + ")";
+}
+
+} // namespace serve
+} // namespace mlpwin

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Supervisor-side handle on one forked worker: spawn (fork/exec of
+ * the mlpwin_worker binary with the protocol pipes dup'd onto fixed
+ * fds 3/4, leaving stdout/stderr free for the simulator's own
+ * logging), frame I/O, kill, and reap.
+ */
+
+#ifndef MLPWIN_SERVE_WORKER_PROCESS_HH
+#define MLPWIN_SERVE_WORKER_PROCESS_HH
+
+#include <string>
+
+#include <sys/types.h>
+
+#include "serve/protocol.hh"
+
+namespace mlpwin
+{
+namespace serve
+{
+
+/** Fixed fds the worker binary is exec'd with. */
+constexpr int kWorkerInFd = 3;
+constexpr int kWorkerOutFd = 4;
+
+struct SpawnOptions
+{
+    /** Path to the mlpwin_worker binary. */
+    std::string workerBin;
+    /** Fault spec forwarded verbatim via --inject ("" = none). */
+    std::string inject;
+    unsigned heartbeatIntervalMs = 200;
+};
+
+/** See file comment. */
+class WorkerProcess
+{
+  public:
+    /** @throws SimError{Internal} if fork or the pipes fail. */
+    explicit WorkerProcess(const SpawnOptions &opts);
+
+    /** Kills (SIGKILL) and reaps if still alive. */
+    ~WorkerProcess();
+
+    WorkerProcess(const WorkerProcess &) = delete;
+    WorkerProcess &operator=(const WorkerProcess &) = delete;
+
+    pid_t pid() const { return pid_; }
+
+    /** Supervisor's read end (non-blocking) for the poll loop. */
+    int readFd() const { return out_; }
+
+    /** Send one framed payload. @return false on a broken pipe. */
+    bool sendFrame(const std::string &payload);
+
+    /** Half-close: EOF on the worker's input = shutdown request. */
+    void closeIn();
+
+    void kill(int sig);
+
+    /**
+     * Blocking waitpid (prompt after a SIGKILL); caches the status.
+     * @return the raw waitpid status.
+     */
+    int reap();
+
+    bool reaped() const { return reaped_; }
+
+    /** Human description of a waitpid status. */
+    static std::string describeStatus(int status);
+
+    FrameBuffer &frames() { return frames_; }
+
+  private:
+    pid_t pid_ = -1;
+    int in_ = -1;  ///< Supervisor writes job frames here.
+    int out_ = -1; ///< Supervisor reads worker frames here.
+    bool reaped_ = false;
+    int status_ = 0;
+    FrameBuffer frames_;
+};
+
+} // namespace serve
+} // namespace mlpwin
+
+#endif // MLPWIN_SERVE_WORKER_PROCESS_HH

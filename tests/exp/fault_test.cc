@@ -12,7 +12,9 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <sstream>
+#include <vector>
 
 #include "exp/checkpoint.hh"
 #include "exp/experiment.hh"
@@ -170,6 +172,89 @@ TEST(FaultRunnerTest, TransientErrorsRetryDeterministicOnesDoNot)
     EXPECT_EQ(batch.outcomes[1].attempts, 1u);
     EXPECT_EQ(wl1_calls.load(), 1u);
     EXPECT_EQ(batch.outcomes[2].state, JobState::Ok);
+}
+
+/**
+ * Retry backoff must not park the worker thread: with ONE thread and
+ * a job in a long backoff, every other job still executes during the
+ * backoff window. The settle order proves it — under the old blocking
+ * retry, wl0 would sleep through its backoff and settle first.
+ */
+TEST(FaultRunnerTest, RetryBackoffDoesNotBlockOtherJobs)
+{
+    ExperimentSpec spec = syntheticSpec(3);
+    spec.maxAttempts = 2;
+    spec.retryBackoffMs = 300;
+    static std::atomic<unsigned> wl0_calls;
+    wl0_calls = 0;
+    spec.executor = [](const ExperimentJob &job) {
+        if (job.workload == "wl0" && ++wl0_calls == 1)
+            throw SimError(ErrorCode::Io, "flaky filesystem");
+        return syntheticResult(job);
+    };
+    std::vector<std::string> settle_order;
+    std::mutex order_mutex;
+    spec.onJobSettled = [&](const ExperimentJob &job,
+                            const JobOutcome &) {
+        std::lock_guard<std::mutex> lock(order_mutex);
+        settle_order.push_back(job.workload);
+    };
+
+    BatchOutcome batch = ExperimentRunner(1, false).runAll(spec);
+    ASSERT_TRUE(batch.allOk());
+    EXPECT_EQ(batch.outcomes[0].attempts, 2u);
+    // The backoff spans the settlement, wall-clock-wise.
+    EXPECT_GE(batch.outcomes[0].wallSeconds, 0.3);
+
+    // wl1 and wl2 ran to completion inside wl0's backoff window.
+    ASSERT_EQ(settle_order.size(), 3u);
+    EXPECT_EQ(settle_order[0], "wl1");
+    EXPECT_EQ(settle_order[1], "wl2");
+    EXPECT_EQ(settle_order[2], "wl0");
+}
+
+/**
+ * An interior garbage line in a resume checkpoint (not just the
+ * classic torn FINAL line) is skipped, counted, and surfaced through
+ * BatchOutcome so the resume summary can report it; the records
+ * around it still adopt.
+ */
+TEST(FaultRunnerTest, InteriorTornCheckpointLineCountedAndSkipped)
+{
+    ExperimentSpec spec = syntheticSpec(3);
+    spec.checkpointPath = scratchFile("mlpwin_interior_torn.ckpt");
+
+    BatchOutcome first = ExperimentRunner(1, false).runAll(spec);
+    ASSERT_TRUE(first.allOk());
+    EXPECT_EQ(first.tornCheckpointLines, 0u);
+
+    // Corrupt the MIDDLE record in place (overwrite, same length), as
+    // a crashed writer with interleaved buffers would.
+    std::vector<std::string> lines;
+    {
+        std::ifstream is(spec.checkpointPath);
+        std::string line;
+        while (std::getline(is, line))
+            lines.push_back(line);
+    }
+    ASSERT_EQ(lines.size(), 3u);
+    {
+        std::ofstream os(spec.checkpointPath, std::ios::trunc);
+        os << lines[0] << '\n';
+        os << lines[1].substr(0, lines[1].size() / 2) << '\n';
+        os << lines[2] << '\n';
+    }
+
+    spec.resume = true;
+    BatchOutcome resumed = ExperimentRunner(1, false).runAll(spec);
+    ASSERT_TRUE(resumed.allOk());
+    EXPECT_EQ(resumed.tornCheckpointLines, 1u);
+    EXPECT_TRUE(resumed.outcomes[0].resumed);
+    EXPECT_FALSE(resumed.outcomes[1].resumed); // Torn: re-ran.
+    EXPECT_TRUE(resumed.outcomes[2].resumed);
+    EXPECT_EQ(resultToJson(resumed.outcomes[1].result),
+              resultToJson(first.outcomes[1].result));
+    std::filesystem::remove(spec.checkpointPath);
 }
 
 TEST(FaultRunnerTest, TimeoutAndInterruptClassification)

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Fault-spec grammar tests: every kind parses, defaults and wildcards
+ * behave as documented, the matcher is keyed on (kind, job, attempt)
+ * only, malformed clauses are rejected with a useful message, and
+ * toString round-trips through the parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serve/fault_inject.hh"
+
+namespace mlpwin
+{
+namespace serve
+{
+namespace
+{
+
+FaultSpec
+parseOk(const std::string &s)
+{
+    FaultSpec spec;
+    std::string err;
+    EXPECT_TRUE(parseFaultSpec(s, spec, &err)) << s << ": " << err;
+    return spec;
+}
+
+TEST(FaultSpecTest, EmptyStringIsEmptySpec)
+{
+    FaultSpec spec = parseOk("");
+    EXPECT_TRUE(spec.empty());
+    EXPECT_EQ(spec.toString(), "");
+}
+
+TEST(FaultSpecTest, EveryKindParses)
+{
+    const char *kinds[] = {"segv", "kill",  "abort",  "wedge",
+                           "torn", "hang",  "hbdelay"};
+    FaultKind expect[] = {FaultKind::Segv,  FaultKind::Kill,
+                          FaultKind::Abort, FaultKind::Wedge,
+                          FaultKind::Torn,  FaultKind::Hang,
+                          FaultKind::HbDelay};
+    for (std::size_t i = 0; i < std::size(kinds); ++i) {
+        FaultSpec spec = parseOk(std::string(kinds[i]) + "@3");
+        ASSERT_EQ(spec.clauses.size(), 1u);
+        EXPECT_EQ(spec.clauses[0].kind, expect[i]);
+        EXPECT_EQ(spec.clauses[0].job, 3u);
+        EXPECT_STREQ(faultKindName(expect[i]), kinds[i]);
+    }
+}
+
+TEST(FaultSpecTest, AttemptDefaultsToFirstDispatch)
+{
+    // The default makes "segv@N" a transient fault: the first
+    // dispatch dies, the re-dispatch succeeds.
+    FaultSpec spec = parseOk("segv@2");
+    const FaultClause &c = spec.clauses[0];
+    EXPECT_FALSE(c.anyAttempt);
+    EXPECT_EQ(c.attempt, 1u);
+    EXPECT_NE(spec.match(FaultKind::Segv, 2, 1), nullptr);
+    EXPECT_EQ(spec.match(FaultKind::Segv, 2, 2), nullptr);
+}
+
+TEST(FaultSpecTest, WildcardsAndArgs)
+{
+    FaultSpec spec =
+        parseOk("wedge@0:800,torn@1#*,hbdelay@*#2:2000,kill@*#*");
+    ASSERT_EQ(spec.clauses.size(), 4u);
+
+    EXPECT_EQ(spec.clauses[0].kind, FaultKind::Wedge);
+    EXPECT_EQ(spec.clauses[0].arg, 800u);
+
+    EXPECT_TRUE(spec.clauses[1].anyAttempt); // poison job 1
+    EXPECT_NE(spec.match(FaultKind::Torn, 1, 7), nullptr);
+    EXPECT_EQ(spec.match(FaultKind::Torn, 0, 1), nullptr);
+
+    EXPECT_TRUE(spec.clauses[2].anyJob);
+    EXPECT_EQ(spec.clauses[2].attempt, 2u);
+    EXPECT_EQ(spec.clauses[2].arg, 2000u);
+    EXPECT_NE(spec.match(FaultKind::HbDelay, 99, 2), nullptr);
+    EXPECT_EQ(spec.match(FaultKind::HbDelay, 99, 1), nullptr);
+
+    // kill@*#* arms on everything — but only for its own kind.
+    EXPECT_NE(spec.match(FaultKind::Kill, 5, 3), nullptr);
+    EXPECT_EQ(spec.match(FaultKind::Segv, 5, 3), nullptr);
+}
+
+TEST(FaultSpecTest, FirstMatchingClauseWins)
+{
+    FaultSpec spec = parseOk("wedge@0:100,wedge@*:900");
+    const FaultClause *c = spec.match(FaultKind::Wedge, 0, 1);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->arg, 100u);
+    c = spec.match(FaultKind::Wedge, 4, 1);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->arg, 900u);
+}
+
+TEST(FaultSpecTest, ToStringRoundTrips)
+{
+    const char *specs[] = {
+        "segv@3",
+        "wedge@0:800,kill@2",
+        "torn@1#*",
+        "hbdelay@*#1:2000",
+        "hang@7#2",
+    };
+    for (const char *s : specs) {
+        FaultSpec a = parseOk(s);
+        FaultSpec b = parseOk(a.toString());
+        EXPECT_EQ(a.toString(), b.toString()) << s;
+        ASSERT_EQ(a.clauses.size(), b.clauses.size());
+        for (std::size_t i = 0; i < a.clauses.size(); ++i) {
+            EXPECT_EQ(a.clauses[i].kind, b.clauses[i].kind);
+            EXPECT_EQ(a.clauses[i].anyJob, b.clauses[i].anyJob);
+            EXPECT_EQ(a.clauses[i].job, b.clauses[i].job);
+            EXPECT_EQ(a.clauses[i].anyAttempt, b.clauses[i].anyAttempt);
+            EXPECT_EQ(a.clauses[i].attempt, b.clauses[i].attempt);
+            EXPECT_EQ(a.clauses[i].arg, b.clauses[i].arg);
+        }
+    }
+}
+
+TEST(FaultSpecTest, EmptyClausesAreIgnored)
+{
+    FaultSpec spec = parseOk("segv@1,,kill@2,");
+    ASSERT_EQ(spec.clauses.size(), 2u);
+    EXPECT_EQ(spec.clauses[0].kind, FaultKind::Segv);
+    EXPECT_EQ(spec.clauses[1].kind, FaultKind::Kill);
+}
+
+TEST(FaultSpecTest, MalformedSpecsRejectedWithContext)
+{
+    const char *bad[] = {
+        "nonsense@0",  // unknown kind
+        "segv",        // missing @job
+        "segv@",       // empty job
+        "segv@x",      // non-numeric job
+        "segv@0#0",    // attempt is 1-based
+        "segv@0#",     // empty attempt
+        "wedge@0:",    // empty arg
+        "wedge@0:abc", // non-numeric arg
+    };
+    for (const char *s : bad) {
+        FaultSpec spec;
+        std::string err;
+        EXPECT_FALSE(parseFaultSpec(s, spec, &err)) << s;
+        EXPECT_FALSE(err.empty()) << s;
+        // A failed parse must leave the output untouched.
+        EXPECT_TRUE(spec.empty()) << s;
+    }
+}
+
+} // namespace
+} // namespace serve
+} // namespace mlpwin

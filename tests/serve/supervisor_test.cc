@@ -1,0 +1,341 @@
+/**
+ * @file
+ * End-to-end supervisor tests against the real mlpwin_worker binary
+ * (path baked in as MLPWIN_WORKER_BIN): bit-identity with in-process
+ * execution, crash containment under deterministic fault injection,
+ * liveness classification, work stealing, and pool degradation.
+ *
+ * These tests fork real worker processes and run real (tiny)
+ * simulations — a few hundred milliseconds each, the price of proving
+ * the isolation boundary rather than mocking it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "exp/result_writer.hh"
+#include "serve/supervisor.hh"
+
+namespace mlpwin
+{
+namespace serve
+{
+namespace
+{
+
+/**
+ * A small real matrix: two workloads x two models, short enough that
+ * a full batch is sub-second but long enough to exercise warm-up and
+ * the resize controller.
+ */
+exp::ExperimentSpec
+tinySpec()
+{
+    exp::ExperimentSpec spec;
+    spec.workloads = {"mcf", "gcc"};
+    spec.models = {{ModelKind::Base, 1, ""},
+                   {ModelKind::Resizing, 1, ""}};
+    spec.base.maxInsts = 20000;
+    spec.base.warmupInsts = 2000;
+    spec.base.functionalWarmup = true;
+    spec.base.warmDataCaches = true;
+    return spec;
+}
+
+SupervisorOptions
+testOptions(unsigned workers)
+{
+    SupervisorOptions opts;
+    opts.workers = workers;
+    opts.workerBin = MLPWIN_WORKER_BIN;
+    // Fast respawns keep fault tests snappy.
+    opts.respawnBackoffMs = 10;
+    return opts;
+}
+
+/** Fault-free in-process outcomes, the bit-identity reference. */
+std::vector<std::string>
+inProcessReference(const exp::ExperimentSpec &spec)
+{
+    exp::ExperimentRunner runner(2, false);
+    exp::BatchOutcome batch = runner.runAll(spec);
+    std::vector<std::string> json;
+    for (const exp::JobOutcome &out : batch.outcomes) {
+        EXPECT_EQ(out.state, exp::JobState::Ok) << out.errorDetail;
+        json.push_back(exp::resultToJson(out.result));
+    }
+    return json;
+}
+
+TEST(SupervisorTest, CleanBatchBitIdenticalToInProcess)
+{
+    exp::ExperimentSpec spec = tinySpec();
+    std::vector<std::string> ref = inProcessReference(spec);
+
+    Supervisor sup(testOptions(2));
+    exp::ExperimentRunner runner(2, false);
+    exp::BatchOutcome batch = runner.runAll(spec, &sup);
+
+    ASSERT_EQ(batch.outcomes.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        ASSERT_EQ(batch.outcomes[i].state, exp::JobState::Ok)
+            << batch.outcomes[i].errorDetail;
+        // The whole point of the wire format: a result that crossed
+        // the process boundary is byte-identical to one that did not.
+        EXPECT_EQ(exp::resultToJson(batch.outcomes[i].result), ref[i])
+            << "job " << i;
+        EXPECT_GE(batch.outcomes[i].attempts, 1u);
+    }
+    EXPECT_EQ(sup.stats().workerDeaths, 0u);
+    EXPECT_EQ(sup.stats().quarantined, 0u);
+}
+
+TEST(SupervisorTest, PoisonJobQuarantinedOthersSurvive)
+{
+    exp::ExperimentSpec spec = tinySpec();
+    std::vector<std::string> ref = inProcessReference(spec);
+
+    // Job 0 SIGSEGVs the worker on EVERY dispatch: a poison job.
+    SupervisorOptions opts = testOptions(2);
+    opts.inject = "segv@0#*";
+    opts.maxDispatch = 2;
+    Supervisor sup(opts);
+    exp::ExperimentRunner runner(2, false);
+    exp::BatchOutcome batch = runner.runAll(spec, &sup);
+
+    const exp::JobOutcome &poison = batch.outcomes[0];
+    EXPECT_EQ(poison.state, exp::JobState::Failed);
+    EXPECT_EQ(poison.error, ErrorCode::WorkerCrash);
+    EXPECT_EQ(poison.attempts, 2u);
+    // (No assertion on the exact death signal: under ASan the SEGV
+    // is intercepted and becomes a nonzero exit instead of SIGSEGV;
+    // either way it is a worker death.)
+    EXPECT_NE(poison.errorDetail.find("quarantined"),
+              std::string::npos)
+        << poison.errorDetail;
+    // The synthesized dump names the death for postmortems.
+    EXPECT_NE(poison.dumpJson.find("dispatched"), std::string::npos)
+        << poison.dumpJson;
+
+    // Every OTHER cell completed, bit-identical to fault-free.
+    for (std::size_t i = 1; i < batch.outcomes.size(); ++i) {
+        ASSERT_EQ(batch.outcomes[i].state, exp::JobState::Ok)
+            << "job " << i << ": " << batch.outcomes[i].errorDetail;
+        EXPECT_EQ(exp::resultToJson(batch.outcomes[i].result), ref[i])
+            << "job " << i;
+    }
+    EXPECT_EQ(sup.stats().quarantined, 1u);
+    EXPECT_GE(sup.stats().workerDeaths, 2u);
+    EXPECT_GE(sup.stats().respawns, 1u);
+}
+
+TEST(SupervisorTest, SingleShotCrashRedispatchesToFullBitIdentity)
+{
+    exp::ExperimentSpec spec = tinySpec();
+    std::vector<std::string> ref = inProcessReference(spec);
+
+    // kill@1 arms on attempt 1 only: the first dispatch of job 1
+    // SIGKILLs the worker, the re-dispatch runs clean. The batch must
+    // end with NO failed cells and the full matrix bit-identical.
+    SupervisorOptions opts = testOptions(2);
+    opts.inject = "kill@1";
+    Supervisor sup(opts);
+    exp::ExperimentRunner runner(2, false);
+    exp::BatchOutcome batch = runner.runAll(spec, &sup);
+
+    for (std::size_t i = 0; i < batch.outcomes.size(); ++i) {
+        ASSERT_EQ(batch.outcomes[i].state, exp::JobState::Ok)
+            << "job " << i << ": " << batch.outcomes[i].errorDetail;
+        EXPECT_EQ(exp::resultToJson(batch.outcomes[i].result), ref[i])
+            << "job " << i;
+    }
+    EXPECT_EQ(batch.outcomes[1].attempts, 2u);
+    EXPECT_EQ(sup.stats().workerDeaths, 1u);
+    EXPECT_EQ(sup.stats().redispatches, 1u);
+    EXPECT_EQ(sup.stats().quarantined, 0u);
+}
+
+TEST(SupervisorTest, TornResultStreamIsDetectedAndRedispatched)
+{
+    exp::ExperimentSpec spec = tinySpec();
+    std::vector<std::string> ref = inProcessReference(spec);
+
+    // The worker computes job 2's result, writes HALF the frame, and
+    // exits: the classic torn write. The supervisor must not consume
+    // the half-result; the re-dispatch produces the real one.
+    SupervisorOptions opts = testOptions(2);
+    opts.inject = "torn@2";
+    Supervisor sup(opts);
+    exp::ExperimentRunner runner(2, false);
+    exp::BatchOutcome batch = runner.runAll(spec, &sup);
+
+    for (std::size_t i = 0; i < batch.outcomes.size(); ++i) {
+        ASSERT_EQ(batch.outcomes[i].state, exp::JobState::Ok)
+            << "job " << i << ": " << batch.outcomes[i].errorDetail;
+        EXPECT_EQ(exp::resultToJson(batch.outcomes[i].result), ref[i])
+            << "job " << i;
+    }
+    EXPECT_EQ(sup.stats().workerDeaths, 1u);
+    EXPECT_EQ(sup.stats().redispatches, 1u);
+}
+
+TEST(SupervisorTest, HangClassifiedWorkerUnresponsive)
+{
+    exp::ExperimentSpec spec = tinySpec();
+    spec.workloads = {"mcf"};
+    spec.models = {{ModelKind::Base, 1, ""}};
+
+    // The worker accepts the job, stops heartbeating, and sleeps.
+    // Only the liveness deadline can catch this.
+    SupervisorOptions opts = testOptions(1);
+    opts.inject = "hang@0#*";
+    opts.heartbeatTimeoutSeconds = 1.0;
+    opts.maxDispatch = 1;
+    Supervisor sup(opts);
+    exp::ExperimentRunner runner(1, false);
+    exp::BatchOutcome batch = runner.runAll(spec, &sup);
+
+    ASSERT_EQ(batch.outcomes.size(), 1u);
+    EXPECT_EQ(batch.outcomes[0].state, exp::JobState::Failed);
+    EXPECT_EQ(batch.outcomes[0].error, ErrorCode::WorkerUnresponsive);
+    EXPECT_NE(batch.outcomes[0].errorDetail.find("heartbeat missed"),
+              std::string::npos)
+        << batch.outcomes[0].errorDetail;
+    EXPECT_EQ(sup.stats().workerDeaths, 1u);
+}
+
+TEST(SupervisorTest, WedgeStreamsRealWatchdogDump)
+{
+    exp::ExperimentSpec spec = tinySpec();
+    spec.workloads = {"mcf"};
+    spec.models = {{ModelKind::Base, 1, ""}};
+    spec.base.watchdog.noCommitWindow = 3000;
+
+    // wedge stalls commit at cycle 400 inside the worker, so the REAL
+    // watchdog fires there and its DiagnosticDump — machine state and
+    // all — must arrive intact across the process boundary.
+    SupervisorOptions opts = testOptions(1);
+    opts.inject = "wedge@0:400";
+    opts.maxDispatch = 1;
+    Supervisor sup(opts);
+    exp::ExperimentRunner runner(1, false);
+    exp::BatchOutcome batch = runner.runAll(spec, &sup);
+
+    ASSERT_EQ(batch.outcomes.size(), 1u);
+    EXPECT_EQ(batch.outcomes[0].state, exp::JobState::Failed);
+    EXPECT_EQ(batch.outcomes[0].error, ErrorCode::NoProgress);
+    EXPECT_NE(batch.outcomes[0].dumpJson.find("\"cycle\""),
+              std::string::npos)
+        << batch.outcomes[0].dumpJson;
+    EXPECT_NE(batch.outcomes[0].dumpJson.find("\"robOcc\""),
+              std::string::npos)
+        << batch.outcomes[0].dumpJson;
+    // A wedge is a job failure, not a worker death: the worker
+    // reported it cleanly and lives on.
+    EXPECT_EQ(sup.stats().workerDeaths, 0u);
+}
+
+TEST(SupervisorTest, IdleWorkerStealsFromLoadedSibling)
+{
+    exp::ExperimentSpec spec = tinySpec();
+    // Round-robin seeds slot0={0,2} slot1={1,3}; making job 0 an
+    // order of magnitude longer forces slot1 to finish its queue and
+    // steal job 2 from behind the slow one.
+    spec.configure = [](SimConfig &cfg,
+                        const exp::ExperimentJob &job) {
+        cfg.maxInsts = job.index == 0 ? 200000 : 20000;
+    };
+
+    Supervisor sup(testOptions(2));
+    exp::ExperimentRunner runner(2, false);
+    exp::BatchOutcome batch = runner.runAll(spec, &sup);
+
+    for (const exp::JobOutcome &out : batch.outcomes)
+        EXPECT_EQ(out.state, exp::JobState::Ok) << out.errorDetail;
+    EXPECT_GE(sup.stats().steals, 1u);
+}
+
+TEST(SupervisorTest, AllSlotsRetiredFailsRemainingInsteadOfHanging)
+{
+    exp::ExperimentSpec spec = tinySpec();
+    spec.workloads = {"mcf"};
+
+    // Every dispatch of every job kills the worker, and one crash
+    // retires the only slot: the second job must settle as Failed
+    // ("worker pool exhausted"), not wait forever for a worker that
+    // will never exist.
+    SupervisorOptions opts = testOptions(1);
+    opts.inject = "segv@*#*";
+    opts.maxDispatch = 1;
+    opts.maxRespawns = 1;
+    Supervisor sup(opts);
+    exp::ExperimentRunner runner(1, false);
+    exp::BatchOutcome batch = runner.runAll(spec, &sup);
+
+    ASSERT_EQ(batch.outcomes.size(), 2u);
+    EXPECT_EQ(batch.outcomes[0].state, exp::JobState::Failed);
+    EXPECT_EQ(batch.outcomes[0].error, ErrorCode::WorkerCrash);
+    EXPECT_EQ(batch.outcomes[1].state, exp::JobState::Failed);
+    EXPECT_NE(batch.outcomes[1].errorDetail.find("exhausted"),
+              std::string::npos)
+        << batch.outcomes[1].errorDetail;
+    EXPECT_EQ(sup.stats().retiredSlots, 1u);
+}
+
+TEST(SupervisorTest, CancellationSettlesQueuedJobsAsSkipped)
+{
+    exp::ExperimentSpec spec = tinySpec();
+    spec.cancelRequested = [] { return true; };
+
+    Supervisor sup(testOptions(2));
+    exp::ExperimentRunner runner(2, false);
+    exp::BatchOutcome batch = runner.runAll(spec, &sup);
+
+    for (const exp::JobOutcome &out : batch.outcomes) {
+        EXPECT_EQ(out.state, exp::JobState::Skipped);
+        EXPECT_NE(out.errorDetail.find("cancelled"),
+                  std::string::npos)
+            << out.errorDetail;
+    }
+}
+
+TEST(SupervisorTest, InProcessExecutorSeamIsRejected)
+{
+    exp::ExperimentSpec spec = tinySpec();
+    spec.executor = [](const exp::ExperimentJob &) {
+        return SimResult{};
+    };
+
+    Supervisor sup(testOptions(1));
+    exp::ExperimentRunner runner(1, false);
+    try {
+        runner.runAll(spec, &sup);
+        FAIL() << "executor seam crossed a process boundary";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::InvalidArgument);
+    }
+}
+
+TEST(SupervisorTest, SettledJobsAreObservable)
+{
+    // The daemon's streaming hangs off onJobSettled; make sure the
+    // supervisor path fires it once per job.
+    exp::ExperimentSpec spec = tinySpec();
+    std::atomic<unsigned> settled{0};
+    spec.onJobSettled = [&](const exp::ExperimentJob &,
+                            const exp::JobOutcome &out) {
+        EXPECT_EQ(out.state, exp::JobState::Ok);
+        ++settled;
+    };
+
+    Supervisor sup(testOptions(2));
+    exp::ExperimentRunner runner(2, false);
+    exp::BatchOutcome batch = runner.runAll(spec, &sup);
+    EXPECT_TRUE(batch.allOk());
+    EXPECT_EQ(settled.load(), batch.outcomes.size());
+}
+
+} // namespace
+} // namespace serve
+} // namespace mlpwin

@@ -8,7 +8,8 @@
  *
  * Throughput metrics (detailed_mips, functional_mips,
  * sampled_speedup, smt_detailed_mips) regress when NEW is slower;
- * profiler_overhead_pct regresses when NEW's overhead grows past the
+ * the overhead metrics (profiler_overhead_pct,
+ * isolate_overhead_pct) regress when NEW's overhead grows past the
  * threshold (in absolute percentage points). Exit code 0 when no
  * metric regresses, 1 when one does, 2 on a usage or parse error.
  */
@@ -38,6 +39,7 @@ constexpr Metric kMetrics[] = {
     {"detailed_mips", true},     {"functional_mips", true},
     {"sampled_speedup", true},   {"smt_detailed_mips", true},
     {"profiler_overhead_pct", false},
+    {"isolate_overhead_pct", false},
 };
 
 JsonValue

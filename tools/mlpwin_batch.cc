@@ -29,6 +29,7 @@
 #include <atomic>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -38,6 +39,8 @@
 #include "common/parse.hh"
 #include "exp/experiment.hh"
 #include "exp/result_writer.hh"
+#include "serve/fault_inject.hh"
+#include "serve/supervisor.hh"
 #include "workloads/suite.hh"
 
 using namespace mlpwin;
@@ -115,6 +118,24 @@ usage()
         "                        (I/O) failures (default 2)\n"
         "  --job-timeout SECS    wall-clock budget per cell\n"
         "                        (default 0 = unlimited)\n"
+        "  --isolate             run every cell in a supervised\n"
+        "                        worker process: a SIGSEGV, SIGKILL,\n"
+        "                        or wedge in one cell cannot kill\n"
+        "                        the batch (-j = worker processes)\n"
+        "  --worker-bin PATH     worker binary (default:\n"
+        "                        mlpwin_worker next to this "
+        "executable)\n"
+        "  --heartbeat-timeout SECS\n"
+        "                        kill a worker silent for SECS while\n"
+        "                        a cell is in flight (default 10)\n"
+        "  --max-dispatch N      dispatches per cell before a\n"
+        "                        worker-killing cell is quarantined\n"
+        "                        (default 3)\n"
+        "  --inject SPEC         fault-injection spec forwarded to\n"
+        "                        workers (tests/CI; see\n"
+        "                        EXPERIMENTS.md), e.g. segv@0 or\n"
+        "                        torn@1#*; env MLPWIN_FAULT_SPEC\n"
+        "                        works too\n"
         "  --watchdog-cycles N   abort a cell after N cycles without\n"
         "                        a commit (default 0 = auto: 2 x\n"
         "                        memory latency x max ROB size)\n"
@@ -196,6 +217,8 @@ main(int argc, char **argv)
     unsigned jobs = 0;
     bool quiet = false;
     bool resume = false;
+    bool isolate = false;
+    serve::SupervisorOptions sup_opts;
 
     exp::ExperimentSpec spec;
     spec.base.warmupInsts = kDefaultWarmupInsts;
@@ -312,6 +335,27 @@ main(int argc, char **argv)
         } else if (arg == "--job-timeout") {
             spec.jobTimeoutSeconds =
                 static_cast<double>(numericFlag(arg, next()));
+        } else if (arg == "--isolate") {
+            isolate = true;
+        } else if (arg == "--worker-bin") {
+            sup_opts.workerBin = next();
+        } else if (arg == "--heartbeat-timeout") {
+            sup_opts.heartbeatTimeoutSeconds =
+                static_cast<double>(numericFlag(arg, next()));
+            if (sup_opts.heartbeatTimeoutSeconds <= 0) {
+                std::fprintf(stderr,
+                             "--heartbeat-timeout: must be >= 1\n");
+                return 2;
+            }
+        } else if (arg == "--max-dispatch") {
+            sup_opts.maxDispatch =
+                static_cast<unsigned>(numericFlag(arg, next()));
+            if (sup_opts.maxDispatch == 0) {
+                std::fprintf(stderr, "--max-dispatch: must be >= 1\n");
+                return 2;
+            }
+        } else if (arg == "--inject") {
+            sup_opts.inject = next();
         } else if (arg == "--watchdog-cycles") {
             spec.base.watchdog.noCommitWindow =
                 numericFlag(arg, next());
@@ -357,6 +401,27 @@ main(int argc, char **argv)
     }
     spec.resume = resume;
 
+    // Fault injection only makes sense against isolated workers, and
+    // a typo in the spec should fail in milliseconds, not after the
+    // batch ran fault-free.
+    if (sup_opts.inject.empty())
+        if (const char *env = std::getenv("MLPWIN_FAULT_SPEC"))
+            sup_opts.inject = env;
+    if (!sup_opts.inject.empty()) {
+        if (!isolate) {
+            std::fprintf(stderr,
+                         "--inject requires --isolate (faults are "
+                         "applied by worker processes)\n");
+            return 2;
+        }
+        serve::FaultSpec parsed;
+        std::string err;
+        if (!serve::parseFaultSpec(sup_opts.inject, parsed, &err)) {
+            std::fprintf(stderr, "--inject: %s\n", err.c_str());
+            return 2;
+        }
+    }
+
     // First signal: stop launching cells, drain in-flight ones and
     // flush their checkpoints. Second signal: abort in-flight
     // simulations at their next watchdog poll.
@@ -392,16 +457,41 @@ main(int argc, char **argv)
     if (!quiet)
         std::fprintf(stderr,
                      "running %zu jobs (%zu workloads x %zu models) "
-                     "on %u threads\n",
+                     "on %u %s\n",
                      spec.jobCount(), spec.workloads.size(),
-                     spec.models.size(), runner.jobs());
+                     spec.models.size(), runner.jobs(),
+                     isolate ? "worker processes" : "threads");
+
+    sup_opts.workers = runner.jobs();
+    serve::Supervisor supervisor(sup_opts);
 
     exp::BatchOutcome batch;
     try {
-        batch = runner.runAll(spec);
+        batch = runner.runAll(spec, isolate ? &supervisor : nullptr);
     } catch (const SimError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return e.code() == ErrorCode::InvalidArgument ? 2 : 1;
+    }
+
+    if (batch.tornCheckpointLines > 0)
+        std::fprintf(stderr,
+                     "checkpoint: %zu torn line(s) skipped; the "
+                     "affected cells were re-run\n",
+                     batch.tornCheckpointLines);
+    if (isolate && !quiet) {
+        const serve::SupervisorStats &st = supervisor.stats();
+        if (st.workerDeaths || st.steals || st.quarantined)
+            std::fprintf(
+                stderr,
+                "supervisor: %llu worker death(s), %llu "
+                "redispatch(es), %llu quarantined, %llu steal(s), "
+                "%llu respawn(s), %u slot(s) retired\n",
+                static_cast<unsigned long long>(st.workerDeaths),
+                static_cast<unsigned long long>(st.redispatches),
+                static_cast<unsigned long long>(st.quarantined),
+                static_cast<unsigned long long>(st.steals),
+                static_cast<unsigned long long>(st.respawns),
+                st.retiredSlots);
     }
 
     // Final outputs carry the ok cells only, in submission order;

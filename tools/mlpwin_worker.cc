@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Isolated batch worker process (exec'd by the supervisor; see
+ * src/serve/worker.hh). Not meant to be run by hand: it speaks the
+ * length-prefixed frame protocol on --in-fd/--out-fd.
+ *
+ * Usage (as the supervisor spawns it):
+ *   mlpwin_worker --in-fd 3 --out-fd 4 --hb-interval 200 \
+ *       [--inject SPEC]
+ *
+ * The fault-injection spec comes from --inject, falling back to the
+ * MLPWIN_FAULT_SPEC environment variable (so CI can arm faults
+ * without plumbing flags through every layer).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/parse.hh"
+#include "serve/worker.hh"
+
+using namespace mlpwin;
+
+int
+main(int argc, char **argv)
+{
+    serve::WorkerOptions opts;
+    std::string inject;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "mlpwin_worker: missing value "
+                             "for %s\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        auto numeric = [&](unsigned &out) {
+            const char *v = next();
+            if (!parseUnsigned(v, out)) {
+                std::fprintf(stderr,
+                             "mlpwin_worker: %s: not a number: "
+                             "'%s'\n",
+                             arg.c_str(), v);
+                std::exit(2);
+            }
+        };
+        if (arg == "--in-fd") {
+            unsigned fd = 0;
+            numeric(fd);
+            opts.inFd = static_cast<int>(fd);
+        } else if (arg == "--out-fd") {
+            unsigned fd = 0;
+            numeric(fd);
+            opts.outFd = static_cast<int>(fd);
+        } else if (arg == "--hb-interval") {
+            numeric(opts.heartbeatIntervalMs);
+        } else if (arg == "--inject") {
+            inject = next();
+        } else {
+            std::fprintf(stderr, "mlpwin_worker: unknown option %s\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+
+    if (inject.empty())
+        if (const char *env = std::getenv("MLPWIN_FAULT_SPEC"))
+            inject = env;
+    if (!inject.empty()) {
+        std::string err;
+        if (!serve::parseFaultSpec(inject, opts.faults, &err)) {
+            std::fprintf(stderr, "mlpwin_worker: bad fault spec: "
+                         "%s\n", err.c_str());
+            return 2;
+        }
+    }
+
+    return serve::workerMain(opts);
+}

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * mlpwind: the long-lived experiment daemon and its submit client
+ * (see src/serve/daemon.hh for the protocol and state layout).
+ *
+ * Server:
+ *   mlpwind --socket /tmp/mlpwind.sock --state-dir state -j 4
+ *
+ * Client (reads the spec line from FILE, '-' = stdin, streams the
+ * daemon's JSONL events to stdout, exits with the spec's exit code):
+ *   echo '{"id":"fig07","workloads":["mcf"],"models":["base"]}' | \
+ *       mlpwind --socket /tmp/mlpwind.sock --submit -
+ *
+ * A daemon killed mid-spec (even SIGKILL) loses nothing durable:
+ * restart it and resubmit the same id — finished cells are adopted
+ * from the state directory's checkpoint and the rest re-run, with
+ * the final result file bit-identical to an uninterrupted run.
+ */
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/parse.hh"
+#include "serve/daemon.hh"
+
+using namespace mlpwin;
+
+namespace
+{
+
+std::atomic<bool> g_stop{false};
+
+extern "C" void
+onSignal(int)
+{
+    g_stop.store(true);
+}
+
+void
+usage()
+{
+    std::fprintf(stderr,
+        "usage: mlpwind --socket PATH [options]\n"
+        "server options:\n"
+        "  --state-dir DIR       checkpoint/result directory\n"
+        "                        (default mlpwind-state)\n"
+        "  -j, --jobs N          worker processes per spec\n"
+        "                        (default: one per hardware thread)\n"
+        "  --worker-bin PATH     worker binary (default: next to\n"
+        "                        this executable)\n"
+        "  --heartbeat-timeout SECS\n"
+        "                        worker liveness deadline (default "
+        "10)\n"
+        "  --max-dispatch N      dispatches per cell before\n"
+        "                        quarantine (default 3)\n"
+        "  --no-isolate          execute in-process instead of in\n"
+        "                        worker processes (debugging)\n"
+        "  --progress            per-job progress on stderr\n"
+        "client mode:\n"
+        "  --submit FILE         read one spec line from FILE ('-' =\n"
+        "                        stdin), submit it, stream the\n"
+        "                        event lines to stdout, exit with\n"
+        "                        the spec's exit code\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    serve::DaemonOptions opts;
+    std::string submit_path;
+    bool submit = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            opts.socketPath = next();
+        } else if (arg == "--state-dir") {
+            opts.stateDir = next();
+        } else if (arg == "-j" || arg == "--jobs") {
+            const char *v = next();
+            if (!parseUnsigned(v, opts.workers)) {
+                std::fprintf(stderr, "-j: not a number: '%s'\n", v);
+                return 2;
+            }
+        } else if (arg == "--worker-bin") {
+            opts.workerBin = next();
+        } else if (arg == "--heartbeat-timeout") {
+            unsigned secs = 0;
+            if (!parseUnsigned(next(), secs) || secs == 0) {
+                std::fprintf(stderr,
+                             "--heartbeat-timeout: must be >= 1\n");
+                return 2;
+            }
+            opts.heartbeatTimeoutSeconds = secs;
+        } else if (arg == "--max-dispatch") {
+            if (!parseUnsigned(next(), opts.maxDispatch) ||
+                opts.maxDispatch == 0) {
+                std::fprintf(stderr, "--max-dispatch: must be >= 1\n");
+                return 2;
+            }
+        } else if (arg == "--no-isolate") {
+            opts.isolate = false;
+        } else if (arg == "--progress") {
+            opts.progress = true;
+        } else if (arg == "--submit") {
+            submit = true;
+            submit_path = next();
+        } else if (arg == "-h" || arg == "--help") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            usage();
+            return 2;
+        }
+    }
+
+    if (opts.socketPath.empty()) {
+        std::fprintf(stderr, "--socket is required\n");
+        usage();
+        return 2;
+    }
+
+    if (submit) {
+        std::string spec_json;
+        if (submit_path == "-") {
+            std::getline(std::cin, spec_json);
+        } else {
+            std::ifstream in(submit_path);
+            if (!in) {
+                std::fprintf(stderr, "cannot read %s\n",
+                             submit_path.c_str());
+                return 2;
+            }
+            std::getline(in, spec_json);
+        }
+        if (spec_json.empty()) {
+            std::fprintf(stderr, "empty spec\n");
+            return 2;
+        }
+        return serve::submitSpec(opts.socketPath, spec_json,
+                                 std::cout);
+    }
+
+    // Clean shutdown on the first signal (finishes the in-flight
+    // spec; its supervisor drains via the spec checkpoint on the
+    // next submit if the client gave up).
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    return serve::daemonMain(opts, &g_stop);
+}
