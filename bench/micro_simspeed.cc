@@ -10,9 +10,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <ctime>
+#include <filesystem>
 #include <fstream>
 #include <string>
 
@@ -375,6 +377,56 @@ writeBenchJson(const char *path)
     }
 #endif
 
+    // Result-cache tax and win on the same 2x2 fig07-sized batch:
+    // the cold pass (lookup misses + atomic stores) against a
+    // cache-off pass is the miss overhead (budget: <= 5 points); the
+    // warm pass (every cell adopted) against cache-off is the hit
+    // speedup.
+    double cache_miss_overhead_pct = 0.0;
+    double cache_hit_speedup = 0.0;
+    {
+        exp::ExperimentSpec cspec;
+        cspec.workloads = {"gcc", "libquantum"};
+        cspec.models = {{ModelKind::Base, 1, ""},
+                        {ModelKind::Resizing, 1, ""}};
+        cspec.base = benchConfig(ModelKind::Base, 1);
+        cspec.base.warmupInsts = 0;
+        cspec.base.maxInsts = 300000;
+        exp::ExperimentRunner runner(2, false);
+        runner.runAll(cspec); // warm pass
+        // Each pass is only a few hundred ms, so a CI-gated ratio
+        // needs noise control: interleave the cache-off and cold
+        // rounds (system-load phases then hit both variants alike)
+        // and take each variant's best of five.
+        std::filesystem::path cdir =
+            std::filesystem::temp_directory_path() /
+            "mlpwin_bench_cache";
+        exp::ExperimentSpec ccspec = cspec;
+        ccspec.cacheDir = cdir.string();
+        double nocache_s = 1e100, cold_s = 1e100;
+        for (int i = 0; i < 5; ++i) {
+            nocache_s = std::min(
+                nocache_s,
+                timeSeconds([&] { runner.runAll(cspec); }));
+            std::filesystem::remove_all(cdir); // stay cold
+            cold_s = std::min(
+                cold_s, timeSeconds([&] { runner.runAll(ccspec); }));
+        }
+        // The last cold pass left the cache populated.
+        double warm_s = 1e100;
+        for (int i = 0; i < 5; ++i)
+            warm_s = std::min(
+                warm_s, timeSeconds([&] { runner.runAll(ccspec); }));
+        std::filesystem::remove_all(cdir);
+        if (nocache_s > 0.0)
+            cache_miss_overhead_pct =
+                (cold_s / nocache_s - 1.0) * 100.0;
+        if (cache_miss_overhead_pct < 0.0)
+            cache_miss_overhead_pct = 0.0; // run-to-run noise
+        if (warm_s > 0.0)
+            cache_hit_speedup = nocache_s / warm_s;
+    }
+
     std::ofstream os(path);
     if (!os) {
         std::fprintf(stderr, "cannot open %s for writing\n", path);
@@ -400,12 +452,15 @@ writeBenchJson(const char *path)
                   "\"sampled_speedup\":%.2f,"
                   "\"smt_detailed_mips\":%.4f,"
                   "\"profiler_overhead_pct\":%.2f,"
-                  "\"isolate_overhead_pct\":%.2f",
+                  "\"isolate_overhead_pct\":%.2f,"
+                  "\"cache_miss_overhead_pct\":%.2f,"
+                  "\"cache_hit_speedup\":%.2f",
                   MLPWIN_GIT_SHA, utcNow().c_str(),
                   jsonEscape(host).c_str(), fp, detailed_mips,
                   functional_mips, sampled_speedup,
                   smt_detailed_mips, profiler_overhead_pct,
-                  isolate_overhead_pct);
+                  isolate_overhead_pct, cache_miss_overhead_pct,
+                  cache_hit_speedup);
 
     // Host-time share of each pipeline stage (of the stage total, not
     // wall time: stage spans are sampled 1 cycle in 64, so their

@@ -1,0 +1,546 @@
+#include "cache/result_cache.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace fs = std::filesystem;
+
+namespace mlpwin
+{
+namespace cache
+{
+
+namespace
+{
+
+constexpr const char *kMagic = "MLPWCACHE";
+
+std::string
+hex16(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/**
+ * Advisory flock on <dir>/.lock for the lifetime of the object.
+ * Failure to acquire is tolerated (ok() false): the lock protects
+ * concurrent maintenance, not correctness of individual reads —
+ * entry files are only ever created whole via rename.
+ */
+class ScopedFlock
+{
+  public:
+    ScopedFlock(const std::string &dir, int op)
+    {
+        fd_ = ::open((dir + "/.lock").c_str(), O_RDWR | O_CREAT,
+                     0644);
+        if (fd_ >= 0 && ::flock(fd_, op) != 0) {
+            ::close(fd_);
+            fd_ = -1;
+        }
+    }
+    ~ScopedFlock()
+    {
+        if (fd_ >= 0) {
+            ::flock(fd_, LOCK_UN);
+            ::close(fd_);
+        }
+    }
+    bool ok() const { return fd_ >= 0; }
+
+  private:
+    int fd_ = -1;
+};
+
+/** Whole-file read; false on open/read failure. */
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    if (is.bad())
+        return false;
+    out = ss.str();
+    return true;
+}
+
+std::int64_t
+fileMtime(const fs::path &p)
+{
+    // stat(2), not fs::last_write_time: file_clock's epoch is
+    // implementation-defined, and callers want Unix seconds.
+    struct stat st;
+    if (::stat(p.c_str(), &st) != 0)
+        return 0;
+    return static_cast<std::int64_t>(st.st_mtime);
+}
+
+} // namespace
+
+std::uint64_t
+fnv1a(const void *data, std::size_t len)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::uint64_t
+foldKey(std::initializer_list<std::uint64_t> parts)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::uint64_t v : parts) {
+        for (unsigned i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    }
+    return h;
+}
+
+ResultCache::ResultCache(const std::string &dir) : dir_(dir)
+{
+    std::error_code ec;
+    for (const char *sub : {"objects", "quarantine", "tmp"}) {
+        fs::create_directories(fs::path(dir_) / sub, ec);
+        if (ec) {
+            disable("open", dir_ + "/" + sub + ": " + ec.message());
+            return;
+        }
+    }
+    // Probe writability up front so a read-only mount degrades here,
+    // with one warning, instead of on the first put.
+    int fd = ::open((dir_ + "/.lock").c_str(), O_RDWR | O_CREAT,
+                    0644);
+    if (fd < 0) {
+        disable("open", dir_ + "/.lock: " + std::strerror(errno));
+        return;
+    }
+    ::close(fd);
+    enabled_ = true;
+}
+
+void
+ResultCache::disable(const char *op, const std::string &detail)
+{
+    enabled_ = false;
+    mlpwin_warn("result cache %s failed (%s); continuing with the "
+                "cache off",
+                op, detail.c_str());
+}
+
+std::string
+ResultCache::entryPath(std::uint64_t key) const
+{
+    std::string h = hex16(key);
+    return dir_ + "/objects/" + h.substr(0, 2) + "/" + h + ".entry";
+}
+
+bool
+ResultCache::verifyEntry(const std::string &path, std::uint64_t key,
+                         std::string *payload_out, std::string *why)
+{
+    auto fail = [&](const std::string &reason) {
+        if (why)
+            *why = reason;
+        return false;
+    };
+
+    std::string raw;
+    if (!readFile(path, raw))
+        return fail("unreadable entry file");
+    std::size_t nl = raw.find('\n');
+    if (nl == std::string::npos)
+        return fail("no header/payload separator (torn write?)");
+
+    JsonValue hdr;
+    try {
+        hdr = parseJson(raw.substr(0, nl));
+        if (hdr.field("magic").asString() != kMagic)
+            return fail("bad magic \"" +
+                        hdr.field("magic").asString() + "\"");
+        if (hdr.field("version").asU64() != kFormatVersion)
+            return fail("entry format version " +
+                        hdr.field("version").text + " != " +
+                        fmtU64(kFormatVersion));
+        if (hdr.field("schema").asU64() != kResultSchemaVersion)
+            return fail("stale result schema " +
+                        hdr.field("schema").text + " (current " +
+                        fmtU64(kResultSchemaVersion) + ")");
+        if (hdr.field("key").asString() != hex16(key))
+            return fail("key mismatch: header says " +
+                        hdr.field("key").asString());
+
+        std::uint64_t want_len = hdr.field("payload_len").asU64();
+        std::uint64_t want_fnv = hdr.field("payload_fnv").asU64();
+        // Payload is everything after the header newline, minus the
+        // trailing newline the writer appends.
+        if (raw.size() < nl + 2 || raw.back() != '\n')
+            return fail("payload truncated (no trailing newline)");
+        std::string payload =
+            raw.substr(nl + 1, raw.size() - nl - 2);
+        if (payload.size() != want_len)
+            return fail("payload length " + fmtU64(payload.size()) +
+                        " != header's " + fmtU64(want_len));
+        std::uint64_t got_fnv = fnv1a(payload.data(),
+                                      payload.size());
+        if (got_fnv != want_fnv)
+            return fail("payload checksum " + fmtU64(got_fnv) +
+                        " != header's " + fmtU64(want_fnv));
+        if (payload_out)
+            *payload_out = std::move(payload);
+        return true;
+    } catch (const std::exception &e) {
+        return fail(std::string("malformed header: ") + e.what());
+    }
+}
+
+/**
+ * Caller holds mutex_ AND a flock on the cache (shared is enough;
+ * fsck calls in under its exclusive one — taking another here would
+ * self-deadlock, flock conflicting across fds within one process).
+ */
+void
+ResultCache::quarantineLocked(const std::string &path,
+                              std::uint64_t key,
+                              const std::string &reason)
+{
+    std::string dst =
+        dir_ + "/quarantine/" + hex16(key) + ".entry";
+    std::error_code ec;
+    fs::rename(path, dst, ec);
+    if (ec) {
+        // Cross-process race (both readers saw the corruption) or an
+        // unwritable dir; either way the goal — don't serve it — is
+        // met if the file is gone. Remove as a fallback.
+        fs::remove(path, ec);
+    }
+    std::ofstream os(dir_ + "/quarantine/" + hex16(key) + ".reason",
+                     std::ios::trunc);
+    if (os)
+        os << "{\"key\":\"" << hex16(key) << "\",\"reason\":\""
+           << jsonEscape(reason) << "\",\"entry\":\""
+           << jsonEscape(dst) << "\"}\n";
+    ++stats_.quarantined;
+    mlpwin_warn("result cache entry %s quarantined (%s); cell will "
+                "re-simulate",
+                hex16(key).c_str(), reason.c_str());
+}
+
+bool
+ResultCache::get(std::uint64_t key, std::string &payload_out)
+{
+    if (!enabled_)
+        return false;
+    std::lock_guard<std::mutex> guard(mutex_);
+    std::string path = entryPath(key);
+    if (!fs::exists(path)) {
+        ++stats_.misses;
+        return false;
+    }
+    std::string why;
+    if (verifyEntry(path, key, &payload_out, &why)) {
+        ++stats_.hits;
+        return true;
+    }
+    {
+        ScopedFlock lock(dir_, LOCK_SH);
+        quarantineLocked(path, key, why);
+    }
+    ++stats_.misses;
+    return false;
+}
+
+bool
+ResultCache::put(std::uint64_t key, const std::string &payload,
+                 const std::string &workload,
+                 const std::string &model, std::uint64_t config_fp,
+                 std::uint64_t program_hash)
+{
+    if (!enabled_)
+        return false;
+    std::lock_guard<std::mutex> guard(mutex_);
+
+    std::ostringstream hdr;
+    hdr << "{\"magic\":\"" << kMagic << "\",\"version\":"
+        << kFormatVersion << ",\"schema\":" << kResultSchemaVersion
+        << ",\"key\":\"" << hex16(key) << "\",\"workload\":\""
+        << jsonEscape(workload) << "\",\"model\":\""
+        << jsonEscape(model) << "\",\"config_fp\":\""
+        << hex16(config_fp) << "\",\"program_hash\":\""
+        << hex16(program_hash) << "\",\"payload_len\":"
+        << payload.size() << ",\"payload_fnv\":"
+        << fmtU64(fnv1a(payload.data(), payload.size())) << "}";
+
+    ScopedFlock lock(dir_, LOCK_SH);
+    std::string path = entryPath(key);
+    std::string tmp = dir_ + "/tmp/" + hex16(key) + "." +
+                      std::to_string(::getpid()) + ".tmp";
+    std::error_code ec;
+    fs::create_directories(fs::path(path).parent_path(), ec);
+    bool ok = !ec;
+    if (ok) {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        os << hdr.str() << '\n' << payload << '\n';
+        os.flush();
+        ok = os.good();
+        os.close();
+        ok = ok && os.good();
+        if (ok) {
+            fs::rename(tmp, path, ec);
+            ok = !ec;
+        }
+    }
+    if (!ok) {
+        fs::remove(tmp, ec);
+        ++stats_.storeFailures;
+        if (!warnedStore_) {
+            warnedStore_ = true;
+            disable("write",
+                    path + (errno ? std::string(": ") +
+                                        std::strerror(errno)
+                                  : std::string()));
+        }
+        return false;
+    }
+    ++stats_.stores;
+    return true;
+}
+
+void
+ResultCache::quarantine(std::uint64_t key, const std::string &reason)
+{
+    if (!enabled_)
+        return;
+    std::lock_guard<std::mutex> guard(mutex_);
+    std::string path = entryPath(key);
+    if (!fs::exists(path))
+        return;
+    ScopedFlock lock(dir_, LOCK_SH);
+    quarantineLocked(path, key, reason);
+}
+
+CacheStats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return stats_;
+}
+
+ResultCache::FsckReport
+ResultCache::fsck()
+{
+    FsckReport rep;
+    if (!enabled_)
+        return rep;
+    std::lock_guard<std::mutex> guard(mutex_);
+    ScopedFlock lock(dir_, LOCK_EX);
+    std::error_code ec;
+    for (const fs::directory_entry &shard :
+         fs::directory_iterator(dir_ + "/objects", ec)) {
+        if (!shard.is_directory())
+            continue;
+        for (const fs::directory_entry &e :
+             fs::directory_iterator(shard.path(), ec)) {
+            if (e.path().extension() != ".entry")
+                continue;
+            ++rep.scanned;
+            std::uint64_t key = std::strtoull(
+                e.path().stem().string().c_str(), nullptr, 16);
+            std::string why;
+            if (verifyEntry(e.path().string(), key, nullptr,
+                            &why)) {
+                ++rep.ok;
+            } else {
+                quarantineLocked(e.path().string(), key, why);
+                ++rep.quarantined;
+            }
+        }
+    }
+    return rep;
+}
+
+std::vector<ResultCache::EntryInfo>
+ResultCache::list()
+{
+    std::vector<EntryInfo> out;
+    if (!enabled_)
+        return out;
+    std::lock_guard<std::mutex> guard(mutex_);
+    std::error_code ec;
+    for (const fs::directory_entry &shard :
+         fs::directory_iterator(dir_ + "/objects", ec)) {
+        if (!shard.is_directory())
+            continue;
+        for (const fs::directory_entry &e :
+             fs::directory_iterator(shard.path(), ec)) {
+            if (e.path().extension() != ".entry")
+                continue;
+            EntryInfo info;
+            info.key = std::strtoull(
+                e.path().stem().string().c_str(), nullptr, 16);
+            std::error_code sec;
+            info.bytes = fs::file_size(e.path(), sec);
+            info.mtime = fileMtime(e.path());
+            std::string raw;
+            if (readFile(e.path().string(), raw)) {
+                std::size_t nl = raw.find('\n');
+                try {
+                    JsonValue hdr = parseJson(
+                        nl == std::string::npos ? raw
+                                                : raw.substr(0, nl));
+                    if (hdr.hasField("workload"))
+                        info.workload =
+                            hdr.field("workload").asString();
+                    if (hdr.hasField("model"))
+                        info.model = hdr.field("model").asString();
+                } catch (const std::exception &) {
+                    // fsck's job; ls still reports the file.
+                }
+            }
+            out.push_back(std::move(info));
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const EntryInfo &a, const EntryInfo &b) {
+                  return a.mtime != b.mtime ? a.mtime < b.mtime
+                                            : a.key < b.key;
+              });
+    return out;
+}
+
+ResultCache::GcReport
+ResultCache::gc(std::uint64_t max_bytes)
+{
+    GcReport rep;
+    if (!enabled_)
+        return rep;
+    std::vector<EntryInfo> entries = list();
+    std::lock_guard<std::mutex> guard(mutex_);
+    ScopedFlock lock(dir_, LOCK_EX);
+    for (const EntryInfo &e : entries)
+        rep.bytesBefore += e.bytes;
+    rep.scanned = entries.size();
+    rep.bytesAfter = rep.bytesBefore;
+    std::error_code ec;
+    for (const EntryInfo &e : entries) {
+        if (rep.bytesAfter <= max_bytes)
+            break;
+        if (fs::remove(entryPath(e.key), ec)) {
+            ++rep.removed;
+            rep.bytesAfter -= e.bytes;
+        }
+    }
+    for (const fs::directory_entry &t :
+         fs::directory_iterator(dir_ + "/tmp", ec))
+        fs::remove(t.path(), ec);
+    return rep;
+}
+
+std::size_t
+ResultCache::clear()
+{
+    if (!enabled_)
+        return 0;
+    std::lock_guard<std::mutex> guard(mutex_);
+    ScopedFlock lock(dir_, LOCK_EX);
+    std::size_t removed = 0;
+    std::error_code ec;
+    std::vector<fs::path> victims;
+    for (const char *sub : {"objects", "quarantine", "tmp"})
+        for (const fs::directory_entry &e :
+             fs::recursive_directory_iterator(fs::path(dir_) / sub,
+                                              ec))
+            if (e.is_regular_file())
+                victims.push_back(e.path());
+    for (const fs::path &p : victims)
+        if (fs::remove(p, ec))
+            ++removed;
+    return removed;
+}
+
+bool
+ResultCache::corruptBitflip(const std::string &entry_path)
+{
+    std::string raw;
+    if (!readFile(entry_path, raw))
+        return false;
+    std::size_t nl = raw.find('\n');
+    if (nl == std::string::npos || nl + 1 >= raw.size())
+        return false;
+    // Flip a bit in the middle of the payload: the header still
+    // parses, so only the checksum can catch it.
+    std::size_t pos = nl + 1 + (raw.size() - nl - 1) / 2;
+    raw[pos] = static_cast<char>(raw[pos] ^ 0x01);
+    std::ofstream os(entry_path, std::ios::binary | std::ios::trunc);
+    os << raw;
+    return os.good();
+}
+
+bool
+ResultCache::corruptTruncate(const std::string &entry_path)
+{
+    std::string raw;
+    if (!readFile(entry_path, raw))
+        return false;
+    std::size_t nl = raw.find('\n');
+    if (nl == std::string::npos)
+        return false;
+    // Keep the header and half the payload — the shape a crash
+    // mid-write would leave if writes were not atomic.
+    std::size_t keep = nl + 1 + (raw.size() - nl - 1) / 2;
+    std::ofstream os(entry_path, std::ios::binary | std::ios::trunc);
+    os << raw.substr(0, keep);
+    return os.good();
+}
+
+bool
+ResultCache::corruptStaleSchema(const std::string &entry_path)
+{
+    std::string raw;
+    if (!readFile(entry_path, raw))
+        return false;
+    const std::string marker = "\"schema\":";
+    std::size_t pos = raw.find(marker);
+    std::size_t nl = raw.find('\n');
+    if (pos == std::string::npos || nl == std::string::npos ||
+        pos > nl)
+        return false;
+    // Rewrite the schema number as 0 (no schema ever used 0),
+    // preserving byte count so payload offsets stay valid.
+    std::size_t digit = pos + marker.size();
+    while (digit < nl && raw[digit] >= '0' && raw[digit] <= '9') {
+        raw[digit] = '0';
+        ++digit;
+    }
+    std::ofstream os(entry_path, std::ios::binary | std::ios::trunc);
+    os << raw;
+    return os.good();
+}
+
+} // namespace cache
+} // namespace mlpwin

@@ -22,6 +22,10 @@ checkpointRecord(const ExperimentJob &job, const JobOutcome &outcome)
        << ",\"error\":\"" << errorCodeName(outcome.error) << '"'
        << ",\"detail\":\"" << jsonEscape(outcome.errorDetail) << '"'
        << ",\"attempts\":" << outcome.attempts;
+    // Hit provenance lives here, never in the result payload itself,
+    // so final output rows stay bit-identical to a cold run's.
+    if (outcome.cacheHit)
+        os << ",\"cache\":\"hit\"";
     if (!outcome.dumpJson.empty())
         os << ",\"dump\":" << outcome.dumpJson;
     if (outcome.state == JobState::Ok)

@@ -14,7 +14,9 @@
 #include <stdexcept>
 #include <thread>
 
+#include "cache/result_cache.hh"
 #include "exp/checkpoint.hh"
+#include "exp/result_writer.hh"
 #include "exp/thread_pool.hh"
 #include "profile/profiler.hh"
 #include "sample/checkpoint.hh"
@@ -424,6 +426,57 @@ ExperimentRunner::runAll(const ExperimentSpec &spec,
         }
     }
 
+    // Content-addressed result cache: each job's key folds the full
+    // cell identity — configFingerprint plus the determinism knobs it
+    // deliberately leaves out (they change result bytes:
+    // commitStreamHash under the checker, early stops), the
+    // workload's program identity, and the result-schema version.
+    // Any construction failure already degraded to cache-off with a
+    // warning inside the ResultCache constructor.
+    std::unique_ptr<cache::ResultCache> rcache;
+    std::map<std::string, std::uint64_t> prog_identity;
+    std::vector<std::uint64_t> cache_keys;
+    if (!spec.cacheDir.empty()) {
+        rcache = std::make_unique<cache::ResultCache>(spec.cacheDir);
+        if (!rcache->enabled())
+            rcache.reset();
+    }
+    if (rcache) {
+        for (const std::string &w : spec.workloads) {
+            if (prog_identity.count(w))
+                continue;
+            std::uint64_t h;
+            if (spec.executor) {
+                // Synthetic test workloads have no Program; their
+                // name is their identity.
+                h = cache::fnv1a(w.data(), w.size());
+            } else {
+                h = 0;
+                for (const std::string &part : splitWorkloadSpec(w))
+                    h = cache::foldKey(
+                        {h, programHash(findWorkload(part).make(
+                                spec.iterations))});
+                if (auto it = arch_ckpts.find(w);
+                    it != arch_ckpts.end())
+                    h = cache::foldKey({h,
+                                        it->second.programHash(),
+                                        it->second.instCount()});
+            }
+            prog_identity.emplace(w, h);
+        }
+        cache_keys.resize(batch.jobs.size());
+        for (const ExperimentJob &job : batch.jobs) {
+            const SimConfig &c = job.cfg;
+            cache_keys[job.index] = cache::foldKey(
+                {configFingerprint(c), c.maxCycles,
+                 static_cast<std::uint64_t>(c.lockstepCheck),
+                 c.core.debugStallCommitAt,
+                 static_cast<std::uint64_t>(c.core.debugCorruptUndo),
+                 prog_identity.at(job.workload), spec.iterations,
+                 cache::kResultSchemaVersion});
+        }
+    }
+
     std::map<std::string, SimResult> resumed;
     if (spec.resume && !spec.checkpointPath.empty())
         resumed = loadCheckpoint(spec.checkpointPath,
@@ -457,7 +510,9 @@ ExperimentRunner::runAll(const ExperimentSpec &spec,
                 "  [%zu/%zu] %s%s ipc %.3f  elapsed %.1fs eta "
                 "%.1fs\n",
                 n, batch.jobs.size(), jobKey(job).c_str(),
-                out.resumed ? " [resumed]" : "", out.result.ipc,
+                out.resumed ? " [resumed]"
+                            : (out.cacheHit ? " [cache]" : ""),
+                out.result.ipc,
                 elapsed, eta);
         } else {
             std::fprintf(stderr, "  [%zu/%zu] %s %s: %s\n", n,
@@ -467,7 +522,36 @@ ExperimentRunner::runAll(const ExperimentSpec &spec,
         }
     };
 
-    // Adopt resumed cells up front (no re-append to the checkpoint);
+    // Skipped jobs are deliberately NOT checkpointed: a resume must
+    // re-run interrupted cells. Failed/timeout records are kept for
+    // postmortems but never adopted by loadCheckpoint. Thread-safe:
+    // the writer locks, outcome slots are index-exclusive, the cache
+    // locks internally. Fresh ok results are stored back to the
+    // cache (adopted ones are already there / already checkpointed).
+    auto settle = [&](std::size_t index, JobOutcome &&o) {
+        JobOutcome &out = batch.outcomes[index];
+        out = std::move(o);
+        if (ckpt && out.state != JobState::Skipped)
+            ckpt->append(batch.jobs[index], out);
+        if (rcache && out.state == JobState::Ok && !out.resumed &&
+            !out.cacheHit) {
+            const ExperimentJob &job = batch.jobs[index];
+            if (rcache->put(cache_keys[index],
+                            resultToJson(out.result), job.workload,
+                            job.model.displayLabel(),
+                            configFingerprint(job.cfg),
+                            prog_identity.at(job.workload)) &&
+                spec.onCacheStored)
+                spec.onCacheStored(
+                    rcache->entryPath(cache_keys[index]), index,
+                    out.attempts);
+        }
+        note(batch.jobs[index], out);
+    };
+
+    // Adopt resumed cells up front (no re-append to the checkpoint),
+    // then cells with a verified cache entry (checkpointed like any
+    // fresh settle, so a later resume adopts them the normal way);
     // everything else is pending for the executor backend.
     std::vector<std::size_t> pending;
     pending.reserve(batch.jobs.size());
@@ -479,28 +563,49 @@ ExperimentRunner::runAll(const ExperimentSpec &spec,
             out.result = it->second;
             out.resumed = true;
             note(job, out);
-        } else {
-            pending.push_back(job.index);
+            continue;
         }
+        if (rcache && spec.telemetryDir.empty()) {
+            std::string payload;
+            if (rcache->get(cache_keys[job.index], payload)) {
+                JobOutcome hit;
+                bool parsed = false;
+                try {
+                    hit.result = resultFromJson(payload);
+                    parsed = true;
+                } catch (const std::exception &e) {
+                    // Checksum-valid bytes that still fail to parse
+                    // mean a schema drift the version field missed.
+                    rcache->quarantine(
+                        cache_keys[job.index],
+                        std::string("verified payload failed to "
+                                    "parse: ") +
+                            e.what());
+                }
+                if (parsed) {
+                    hit.state = JobState::Ok;
+                    hit.error = ErrorCode::Ok;
+                    hit.cacheHit = true;
+                    settle(job.index, std::move(hit));
+                    continue;
+                }
+            }
+        }
+        pending.push_back(job.index);
     }
-
-    // Skipped jobs are deliberately NOT checkpointed: a resume must
-    // re-run interrupted cells. Failed/timeout records are kept for
-    // postmortems but never adopted by loadCheckpoint. Thread-safe:
-    // the writer locks, outcome slots are index-exclusive.
-    auto settle = [&](std::size_t index, JobOutcome &&o) {
-        JobOutcome &out = batch.outcomes[index];
-        out = std::move(o);
-        if (ckpt && out.state != JobState::Skipped)
-            ckpt->append(batch.jobs[index], out);
-        note(batch.jobs[index], out);
-    };
 
     if (backend)
         backend->execute(spec, batch.jobs, pending, settle);
     else
         runInProcess(spec, batch.jobs, pending, settle, arch_ckpts,
                      jobs_);
+
+    if (rcache) {
+        cache::CacheStats cs = rcache->stats();
+        batch.cacheHits = cs.hits;
+        batch.cacheStores = cs.stores;
+        batch.cacheQuarantined = cs.quarantined;
+    }
     return batch;
 }
 

@@ -149,6 +149,32 @@ struct ExperimentSpec
     std::function<void(const ExperimentJob &, const JobOutcome &)>
         onJobSettled;
 
+    // --- result cache ---------------------------------------------------
+
+    /**
+     * If non-empty, a content-addressed result cache rooted here
+     * (shared safely across concurrent batches and daemons; see
+     * cache/result_cache.hh). Cells whose full identity — config
+     * fingerprint, determinism knobs, program identity, sampling
+     * regime, schema version — has a verified entry are adopted
+     * without simulating, exactly like checkpoint resume; every
+     * freshly simulated ok cell is stored back. Lookup is skipped
+     * when telemetryDir is set (telemetry files only exist if the
+     * cell actually runs), but results are still stored.
+     */
+    std::string cacheDir;
+
+    /**
+     * Test seam: called with (entry path, job index, attempts) right
+     * after a cell's result lands in the cache. The bitflip/trunc/
+     * staleschema fault-injection kinds corrupt the entry through
+     * this hook, deterministically, so CI can prove quarantine +
+     * re-simulation. Called from worker threads; thread-safe
+     * callables only.
+     */
+    std::function<void(const std::string &, std::size_t, unsigned)>
+        onCacheStored;
+
     /**
      * Test seam: when set, jobs call this instead of building a
      * Simulator. Lets harness tests inject failures/timeouts without
@@ -206,9 +232,11 @@ struct JobOutcome
     std::string errorDetail;
     /** DiagnosticDump JSON when the failure carried one, else "". */
     std::string dumpJson;
-    /** Execution attempts consumed; 0 = adopted from checkpoint. */
+    /** Execution attempts consumed; 0 = adopted, not simulated. */
     unsigned attempts = 0;
     bool resumed = false;
+    /** Adopted from the content-addressed result cache. */
+    bool cacheHit = false;
     /** Wall-clock spent across all attempts, seconds. */
     double wallSeconds = 0.0;
 };
@@ -226,6 +254,15 @@ struct BatchOutcome
      * cells were re-run instead of adopted.
      */
     std::size_t tornCheckpointLines = 0;
+
+    /**
+     * Result-cache activity for this batch (all zero when no
+     * cacheDir): cells adopted from cache, fresh results stored, and
+     * entries quarantined after failing verification.
+     */
+    std::size_t cacheHits = 0;
+    std::size_t cacheStores = 0;
+    std::size_t cacheQuarantined = 0;
 
     std::size_t count(JobState s) const;
     bool allOk() const { return count(JobState::Ok) == jobs.size(); }

@@ -103,7 +103,8 @@ jobEventLine(const exp::ExperimentJob &job,
        << errorCodeName(out.error) << '"' << ",\"detail\":\""
        << jsonEscape(out.errorDetail) << '"'
        << ",\"attempts\":" << out.attempts << ",\"resumed\":"
-       << (out.resumed ? "true" : "false") << '}';
+       << (out.resumed ? "true" : "false") << ",\"cached\":"
+       << (out.cacheHit ? "true" : "false") << '}';
     return os.str();
 }
 
@@ -111,8 +112,27 @@ jobEventLine(const exp::ExperimentJob &job,
 void
 serveConnection(const DaemonOptions &opts, int fd)
 {
+    // A client that disconnects mid-spec — POLLHUP seen before a
+    // write, or EPIPE during one — must not tear down the run: the
+    // spec keeps executing to its durable checkpoint, so a
+    // resubmission of the same id adopts every finished cell. The
+    // first failed send flips client_gone; later sends are no-ops.
+    std::atomic<bool> client_gone{false};
     auto sendLine = [&](const std::string &line) {
-        return writeAll(fd, line + "\n");
+        if (client_gone.load())
+            return false;
+        pollfd p{fd, 0, 0};
+        bool hup = ::poll(&p, 1, 0) > 0 &&
+                   (p.revents & (POLLERR | POLLHUP)) != 0;
+        if (hup || !writeAll(fd, line + "\n")) {
+            if (!client_gone.exchange(true))
+                mlpwin_warn(
+                    "client disconnected mid-spec (%s); the spec "
+                    "continues to its durable checkpoint",
+                    hup ? "POLLHUP" : "write failed");
+            return false;
+        }
+        return true;
     };
 
     std::string line;
@@ -129,6 +149,7 @@ serveConnection(const DaemonOptions &opts, int fd)
 
     spec.checkpointPath = opts.stateDir + "/" + id + ".ckpt";
     spec.resume = true;
+    spec.cacheDir = opts.cacheDir;
 
     // Stream job events as they settle. The write lock matters only
     // for the in-process fallback (concurrent settles); under the
@@ -185,7 +206,9 @@ serveConnection(const DaemonOptions &opts, int fd)
     std::ostringstream done;
     done << "{\"type\":\"done\",\"ok\":"
          << batch.count(exp::JobState::Ok)
-         << ",\"resumed\":" << resumed << ",\"failed\":" << failed
+         << ",\"resumed\":" << resumed
+         << ",\"cached\":" << batch.cacheHits
+         << ",\"failed\":" << failed
          << ",\"timeout\":" << batch.count(exp::JobState::Timeout)
          << ",\"skipped\":" << skipped << ",\"tornLines\":"
          << batch.tornCheckpointLines << ",\"results\":\""

@@ -24,10 +24,18 @@
  *  daemon -> client:
  *    {"type":"hello","version":1,"resumed":N,"jobs":N}
  *    {"type":"job","key":"mcf/resizing","state":"ok","error":"ok",
- *     "detail":"","attempts":1,"resumed":false}   (one per job)
+ *     "detail":"","attempts":1,"resumed":false,
+ *     "cached":false}                             (one per job)
  *    {"type":"done","ok":N,"failed":N,"timeout":N,"skipped":N,
  *     "results":"<state-dir>/<id>.jsonl","exit":0}
  *    {"type":"error","detail":"..."}              (bad spec)
+ *
+ * A client that disconnects mid-spec does not tear down the run: the
+ * daemon detects POLLHUP/EPIPE, stops streaming, and lets the spec
+ * run to its durable checkpoint — resubmitting the id adopts every
+ * finished cell. With a cache directory configured, repeated cells
+ * across *different* spec ids are adopted from the content-addressed
+ * result cache the same way ("cached":true in the job event).
  *
  * State files per spec id:
  *    <state-dir>/<id>.ckpt   resume checkpoint (JSONL, exp/checkpoint)
@@ -68,6 +76,12 @@ struct DaemonOptions
     bool isolate = true;
     /** Per-job progress on stderr. */
     bool progress = false;
+    /**
+     * If non-empty, every spec shares this content-addressed result
+     * cache (see cache/result_cache.hh): cells already simulated by
+     * any batch or spec are adopted instead of re-run.
+     */
+    std::string cacheDir;
 };
 
 /**

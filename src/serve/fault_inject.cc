@@ -26,8 +26,21 @@ faultKindName(FaultKind kind)
         return "hang";
       case FaultKind::HbDelay:
         return "hbdelay";
+      case FaultKind::Bitflip:
+        return "bitflip";
+      case FaultKind::Trunc:
+        return "trunc";
+      case FaultKind::StaleSchema:
+        return "staleschema";
     }
     return "?";
+}
+
+bool
+faultKindTargetsCache(FaultKind kind)
+{
+    return kind == FaultKind::Bitflip || kind == FaultKind::Trunc ||
+           kind == FaultKind::StaleSchema;
 }
 
 const FaultClause *
@@ -72,7 +85,8 @@ parseKind(const std::string &name, FaultKind &out)
     for (FaultKind k :
          {FaultKind::Segv, FaultKind::Kill, FaultKind::Abort,
           FaultKind::Wedge, FaultKind::Torn, FaultKind::Hang,
-          FaultKind::HbDelay}) {
+          FaultKind::HbDelay, FaultKind::Bitflip, FaultKind::Trunc,
+          FaultKind::StaleSchema}) {
         if (name == faultKindName(k)) {
             out = k;
             return true;

@@ -19,6 +19,14 @@
  *              WorkerUnresponsive and SIGKILL the worker)
  *     hbdelay  delay every heartbeat of this job by <arg> ms
  *
+ * plus three cache-poisoning kinds applied host-side (by the batch
+ * driver's onCacheStored hook, not by workers) right after the job's
+ * result lands in the content-addressed result cache:
+ *
+ *     bitflip     flip one payload bit (checksum must catch it)
+ *     trunc       truncate the entry mid-payload (torn write)
+ *     staleschema rewrite the header's result-schema version
+ *
  * <job> is the job's submission-order index, or '*' for any job.
  * <attempt> is the supervisor dispatch count (1-based) the clause
  * arms on; it defaults to 1 — so a default clause fires on the first
@@ -59,7 +67,15 @@ enum class FaultKind
     Torn,
     Hang,
     HbDelay,
+    Bitflip,
+    Trunc,
+    StaleSchema,
 };
+
+/** True for the cache-poisoning kinds (bitflip/trunc/staleschema),
+ *  which are applied host-side after a cache store rather than by
+ *  worker processes. */
+bool faultKindTargetsCache(FaultKind kind);
 
 /** Printable kind name ("segv", "kill", ...). */
 const char *faultKindName(FaultKind kind);

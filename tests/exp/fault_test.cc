@@ -257,6 +257,54 @@ TEST(FaultRunnerTest, InteriorTornCheckpointLineCountedAndSkipped)
     std::filesystem::remove(spec.checkpointPath);
 }
 
+/**
+ * The nastiest torn-final-line shape: the kill lands mid ESCAPE
+ * SEQUENCE, so the record's last byte is a lone backslash. The loader
+ * must reject the line as torn (not mis-parse it), count it, and the
+ * cell must re-run to the same result.
+ */
+TEST(FaultRunnerTest, FinalLineTornMidEscapeReRunsCell)
+{
+    ExperimentSpec spec = syntheticSpec(1);
+    // A workload name with a quote: its record carries a \" escape.
+    // The executor seam skips workload-table validation, so any name
+    // goes.
+    spec.workloads.push_back("wl\"q");
+    spec.checkpointPath = scratchFile("mlpwin_torn_escape.ckpt");
+
+    BatchOutcome first = ExperimentRunner(1, false).runAll(spec);
+    ASSERT_TRUE(first.allOk());
+
+    std::vector<std::string> lines;
+    {
+        std::ifstream is(spec.checkpointPath);
+        std::string line;
+        while (std::getline(is, line))
+            lines.push_back(line);
+    }
+    ASSERT_EQ(lines.size(), 2u);
+    // Cut the final record immediately AFTER the backslash of its
+    // first \" escape — and write no trailing newline, exactly the
+    // bytes a mid-write kill leaves behind.
+    std::size_t bs = lines[1].find('\\');
+    ASSERT_NE(bs, std::string::npos);
+    {
+        std::ofstream os(spec.checkpointPath, std::ios::trunc);
+        os << lines[0] << '\n' << lines[1].substr(0, bs + 1);
+    }
+
+    spec.resume = true;
+    BatchOutcome resumed = ExperimentRunner(1, false).runAll(spec);
+    ASSERT_TRUE(resumed.allOk());
+    EXPECT_EQ(resumed.tornCheckpointLines, 1u);
+    EXPECT_TRUE(resumed.outcomes[0].resumed);
+    EXPECT_FALSE(resumed.outcomes[1].resumed); // Torn: re-ran.
+    EXPECT_EQ(resumed.outcomes[1].attempts, 1u);
+    EXPECT_EQ(resultToJson(resumed.outcomes[1].result),
+              resultToJson(first.outcomes[1].result));
+    std::filesystem::remove(spec.checkpointPath);
+}
+
 TEST(FaultRunnerTest, TimeoutAndInterruptClassification)
 {
     ExperimentSpec spec = syntheticSpec(2);

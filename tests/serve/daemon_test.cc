@@ -10,13 +10,19 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <thread>
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include "exp/experiment.hh"
 #include "serve/daemon.hh"
+#include "serve/protocol.hh"
 
 namespace mlpwin
 {
@@ -126,6 +132,7 @@ class DaemonRoundTrip : public ::testing::Test
         std::filesystem::create_directories(base_);
         opts_.socketPath = (base_ / "sock").string();
         opts_.stateDir = (base_ / "state").string();
+        opts_.cacheDir = (base_ / "cache").string();
         opts_.workers = 2;
         opts_.workerBin = MLPWIN_WORKER_BIN;
         server_ = std::thread([this] { daemonMain(opts_, &stop_); });
@@ -213,6 +220,128 @@ TEST_F(DaemonRoundTrip, ResubmittingAnIdAdoptsEveryCell)
     std::ifstream in2(base_ / "state" / "twice.jsonl");
     std::stringstream bytes2;
     bytes2 << in2.rdbuf();
+    EXPECT_EQ(bytes1.str(), bytes2.str());
+}
+
+/** Raw client: connect + send the spec line, no event loop. */
+int
+rawConnect(const std::string &socket_path)
+{
+    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+rawReadLine(int fd, std::string &line)
+{
+    line.clear();
+    char c;
+    for (;;) {
+        ssize_t n = ::read(fd, &c, 1);
+        if (n <= 0)
+            return !line.empty();
+        if (c == '\n')
+            return true;
+        line += c;
+    }
+}
+
+/**
+ * A client that hangs up mid-spec must not abort the run: the spec
+ * keeps executing to its durable checkpoint, and a resubmission of
+ * the same id adopts every cell. We hold the hello line as proof the
+ * spec was accepted, slam the connection shut, then resubmit — the
+ * daemon serves connections serially, so the resubmission implicitly
+ * waits out the orphaned run.
+ */
+TEST_F(DaemonRoundTrip, ClientDisconnectMidSpecRunsToCheckpoint)
+{
+    const std::string spec =
+        "{\"id\":\"drop\",\"workloads\":[\"mcf\"],"
+        "\"models\":[\"base\",\"resizing\"],\"insts\":20000,"
+        "\"warmup\":2000}";
+
+    int fd = rawConnect(opts_.socketPath);
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(writeAll(fd, spec + "\n"));
+    std::string hello;
+    ASSERT_TRUE(rawReadLine(fd, hello));
+    EXPECT_NE(hello.find("\"type\":\"hello\""), std::string::npos)
+        << hello;
+    // Full close: the daemon sees POLLHUP (or EPIPE) on its next
+    // send and must keep going.
+    ::close(fd);
+
+    std::ostringstream second;
+    ASSERT_EQ(submitSpec(opts_.socketPath, spec, second), 0)
+        << second.str();
+    // Both cells settled durably during the orphaned run.
+    EXPECT_NE(second.str().find("\"resumed\":2"), std::string::npos)
+        << second.str();
+    EXPECT_NE(second.str().find("\"ok\":2"), std::string::npos)
+        << second.str();
+
+    std::ifstream results(base_ / "state" / "drop.jsonl");
+    ASSERT_TRUE(results.is_open());
+    std::string line;
+    unsigned lines = 0;
+    while (std::getline(results, line))
+        if (!line.empty())
+            ++lines;
+    EXPECT_EQ(lines, 2u);
+}
+
+/**
+ * With a cache directory configured, repeated cells across DIFFERENT
+ * spec ids adopt from the content-addressed cache (checkpoint resume
+ * only covers the same id), and — because the fixture daemon runs
+ * isolated workers — the adopted result file is bit-identical to the
+ * cold isolated run's.
+ */
+TEST_F(DaemonRoundTrip, RepeatedCellsAcrossSpecIdsAdoptFromCache)
+{
+    const char *tmpl = "{\"id\":\"%s\",\"workloads\":[\"mcf\"],"
+                       "\"models\":[\"base\"],\"insts\":20000,"
+                       "\"warmup\":2000}";
+    char spec1[256], spec2[256];
+    std::snprintf(spec1, sizeof(spec1), tmpl, "cold");
+    std::snprintf(spec2, sizeof(spec2), tmpl, "warm");
+
+    std::ostringstream first;
+    ASSERT_EQ(submitSpec(opts_.socketPath, spec1, first), 0)
+        << first.str();
+    EXPECT_NE(first.str().find("\"cached\":false"),
+              std::string::npos)
+        << first.str();
+
+    std::ostringstream second;
+    ASSERT_EQ(submitSpec(opts_.socketPath, spec2, second), 0)
+        << second.str();
+    EXPECT_NE(second.str().find("\"cached\":true"),
+              std::string::npos)
+        << second.str();
+    // Done-line counter: one adopted cell.
+    EXPECT_NE(second.str().find("\"cached\":1"), std::string::npos)
+        << second.str();
+
+    std::ifstream in1(base_ / "state" / "cold.jsonl");
+    std::stringstream bytes1;
+    bytes1 << in1.rdbuf();
+    std::ifstream in2(base_ / "state" / "warm.jsonl");
+    std::stringstream bytes2;
+    bytes2 << in2.rdbuf();
+    ASSERT_FALSE(bytes1.str().empty());
     EXPECT_EQ(bytes1.str(), bytes2.str());
 }
 

@@ -35,12 +35,14 @@ TEST(FaultSpecTest, EmptyStringIsEmptySpec)
 
 TEST(FaultSpecTest, EveryKindParses)
 {
-    const char *kinds[] = {"segv", "kill",  "abort",  "wedge",
-                           "torn", "hang",  "hbdelay"};
-    FaultKind expect[] = {FaultKind::Segv,  FaultKind::Kill,
-                          FaultKind::Abort, FaultKind::Wedge,
-                          FaultKind::Torn,  FaultKind::Hang,
-                          FaultKind::HbDelay};
+    const char *kinds[] = {"segv", "kill", "abort", "wedge",
+                           "torn", "hang", "hbdelay", "bitflip",
+                           "trunc", "staleschema"};
+    FaultKind expect[] = {FaultKind::Segv,    FaultKind::Kill,
+                          FaultKind::Abort,   FaultKind::Wedge,
+                          FaultKind::Torn,    FaultKind::Hang,
+                          FaultKind::HbDelay, FaultKind::Bitflip,
+                          FaultKind::Trunc,   FaultKind::StaleSchema};
     for (std::size_t i = 0; i < std::size(kinds); ++i) {
         FaultSpec spec = parseOk(std::string(kinds[i]) + "@3");
         ASSERT_EQ(spec.clauses.size(), 1u);
@@ -48,6 +50,18 @@ TEST(FaultSpecTest, EveryKindParses)
         EXPECT_EQ(spec.clauses[0].job, 3u);
         EXPECT_STREQ(faultKindName(expect[i]), kinds[i]);
     }
+}
+
+TEST(FaultSpecTest, CacheKindsAreClassifiedHostSide)
+{
+    // The cache-poisoning kinds run in the batch host at store time;
+    // everything else runs inside a worker process.
+    EXPECT_TRUE(faultKindTargetsCache(FaultKind::Bitflip));
+    EXPECT_TRUE(faultKindTargetsCache(FaultKind::Trunc));
+    EXPECT_TRUE(faultKindTargetsCache(FaultKind::StaleSchema));
+    EXPECT_FALSE(faultKindTargetsCache(FaultKind::Segv));
+    EXPECT_FALSE(faultKindTargetsCache(FaultKind::Torn));
+    EXPECT_FALSE(faultKindTargetsCache(FaultKind::HbDelay));
 }
 
 TEST(FaultSpecTest, AttemptDefaultsToFirstDispatch)

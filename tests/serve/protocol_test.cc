@@ -87,6 +87,40 @@ TEST(FrameTest, MalformedStreamsThrowWorkerCrash)
     expectThrow(std::string(40, '1'));
 }
 
+/**
+ * The payload cap is inclusive: frames of kMaxFramePayload and
+ * kMaxFramePayload-1 bytes decode normally, one byte more is
+ * detected as corrupt from the length prefix alone — before any
+ * payload arrives — so a giant advertised length can never make the
+ * receiver wait (or allocate) for bytes that will not come.
+ */
+TEST(FrameTest, PayloadCapBoundaryIsExact)
+{
+    for (std::size_t size :
+         {kMaxFramePayload - 1, kMaxFramePayload}) {
+        FrameBuffer buf;
+        std::string frame = frameEncode(std::string(size, 'x'));
+        buf.feed(frame.data(), frame.size());
+        std::string payload;
+        ASSERT_TRUE(buf.next(payload)) << "size " << size;
+        EXPECT_EQ(payload.size(), size);
+        EXPECT_FALSE(buf.midFrame());
+    }
+
+    // One byte over: the bare prefix is enough to throw.
+    FrameBuffer buf;
+    std::string prefix =
+        std::to_string(kMaxFramePayload + 1) + "\n";
+    buf.feed(prefix.data(), prefix.size());
+    std::string payload;
+    try {
+        buf.next(payload);
+        FAIL() << "accepted an oversized length prefix";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::WorkerCrash);
+    }
+}
+
 exp::ExperimentJob
 sampleJob()
 {

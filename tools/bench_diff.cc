@@ -9,9 +9,10 @@
  * Throughput metrics (detailed_mips, functional_mips,
  * sampled_speedup, smt_detailed_mips) regress when NEW is slower;
  * the overhead metrics (profiler_overhead_pct,
- * isolate_overhead_pct) regress when NEW's overhead grows past the
- * threshold (in absolute percentage points). Exit code 0 when no
- * metric regresses, 1 when one does, 2 on a usage or parse error.
+ * isolate_overhead_pct, cache_miss_overhead_pct) regress when NEW's
+ * overhead grows past the threshold (in absolute percentage
+ * points). Exit code 0 when no metric regresses, 1 when one does, 2
+ * on a usage or parse error.
  */
 
 #include <cstdio>
@@ -40,6 +41,7 @@ constexpr Metric kMetrics[] = {
     {"sampled_speedup", true},   {"smt_detailed_mips", true},
     {"profiler_overhead_pct", false},
     {"isolate_overhead_pct", false},
+    {"cache_miss_overhead_pct", false},
 };
 
 JsonValue

@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/result_cache.hh"
 #include "common/parse.hh"
 #include "exp/experiment.hh"
 #include "exp/result_writer.hh"
@@ -95,6 +96,13 @@ usage()
         "                        architectural checkpoint\n"
         "                        DIR/<workload>.ckpt (see\n"
         "                        mlpwin_ckpt --all)\n"
+        "  --cache-dir DIR       content-addressed result cache:\n"
+        "                        cells already simulated (by any\n"
+        "                        batch or daemon sharing DIR) adopt\n"
+        "                        their verified cached result; fresh\n"
+        "                        cells are stored back. Corrupt\n"
+        "                        entries are quarantined and\n"
+        "                        re-simulated (see mlpwin_cachectl)\n"
         "  --sample-interval N   enable SMARTS sampling: measure N\n"
         "                        instructions in detail per period\n"
         "  --sample-period N     sampling period (default 20000)\n"
@@ -131,10 +139,12 @@ usage()
         "  --max-dispatch N      dispatches per cell before a\n"
         "                        worker-killing cell is quarantined\n"
         "                        (default 3)\n"
-        "  --inject SPEC         fault-injection spec forwarded to\n"
-        "                        workers (tests/CI; see\n"
+        "  --inject SPEC         fault-injection spec (tests/CI; see\n"
         "                        EXPERIMENTS.md), e.g. segv@0 or\n"
-        "                        torn@1#*; env MLPWIN_FAULT_SPEC\n"
+        "                        torn@1#*; worker kinds need\n"
+        "                        --isolate, the cache kinds\n"
+        "                        (bitflip/trunc/staleschema) need\n"
+        "                        --cache-dir; env MLPWIN_FAULT_SPEC\n"
         "                        works too\n"
         "  --watchdog-cycles N   abort a cell after N cycles without\n"
         "                        a commit (default 0 = auto: 2 x\n"
@@ -297,6 +307,8 @@ main(int argc, char **argv)
             spec.base.functionalWarmup = false;
         } else if (arg == "--ckpt-dir") {
             spec.archCheckpointDir = next();
+        } else if (arg == "--cache-dir") {
+            spec.cacheDir = next();
         } else if (arg == "--sample-interval") {
             spec.base.sampling.enabled = true;
             spec.base.sampling.intervalInsts = numericFlag(arg, next());
@@ -401,24 +413,53 @@ main(int argc, char **argv)
     }
     spec.resume = resume;
 
-    // Fault injection only makes sense against isolated workers, and
-    // a typo in the spec should fail in milliseconds, not after the
-    // batch ran fault-free.
+    // Worker fault kinds only make sense against isolated workers,
+    // cache kinds against a cache; a typo in the spec should fail in
+    // milliseconds, not after the batch ran fault-free.
     if (sup_opts.inject.empty())
         if (const char *env = std::getenv("MLPWIN_FAULT_SPEC"))
             sup_opts.inject = env;
     if (!sup_opts.inject.empty()) {
-        if (!isolate) {
-            std::fprintf(stderr,
-                         "--inject requires --isolate (faults are "
-                         "applied by worker processes)\n");
-            return 2;
-        }
         serve::FaultSpec parsed;
         std::string err;
         if (!serve::parseFaultSpec(sup_opts.inject, parsed, &err)) {
             std::fprintf(stderr, "--inject: %s\n", err.c_str());
             return 2;
+        }
+        bool worker_kinds = false;
+        bool cache_kinds = false;
+        for (const serve::FaultClause &c : parsed.clauses) {
+            if (serve::faultKindTargetsCache(c.kind))
+                cache_kinds = true;
+            else
+                worker_kinds = true;
+        }
+        if (worker_kinds && !isolate) {
+            std::fprintf(stderr,
+                         "--inject requires --isolate (faults are "
+                         "applied by worker processes)\n");
+            return 2;
+        }
+        if (cache_kinds && spec.cacheDir.empty()) {
+            std::fprintf(stderr,
+                         "--inject: bitflip/trunc/staleschema "
+                         "poison cache entries and require "
+                         "--cache-dir\n");
+            return 2;
+        }
+        if (cache_kinds) {
+            spec.onCacheStored = [parsed](const std::string &path,
+                                          std::size_t job,
+                                          unsigned attempt) {
+                using serve::FaultKind;
+                if (parsed.match(FaultKind::Bitflip, job, attempt))
+                    cache::ResultCache::corruptBitflip(path);
+                if (parsed.match(FaultKind::Trunc, job, attempt))
+                    cache::ResultCache::corruptTruncate(path);
+                if (parsed.match(FaultKind::StaleSchema, job,
+                                 attempt))
+                    cache::ResultCache::corruptStaleSchema(path);
+            };
         }
     }
 
@@ -478,6 +519,13 @@ main(int argc, char **argv)
                      "checkpoint: %zu torn line(s) skipped; the "
                      "affected cells were re-run\n",
                      batch.tornCheckpointLines);
+    if (!spec.cacheDir.empty() &&
+        (!quiet || batch.cacheQuarantined))
+        std::fprintf(stderr,
+                     "cache: %zu hit(s), %zu store(s), %zu "
+                     "quarantined\n",
+                     batch.cacheHits, batch.cacheStores,
+                     batch.cacheQuarantined);
     if (isolate && !quiet) {
         const serve::SupervisorStats &st = supervisor.stats();
         if (st.workerDeaths || st.steals || st.quarantined)

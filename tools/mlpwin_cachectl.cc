@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Offline maintenance for the content-addressed result cache
+ * (src/cache): verify, enumerate, bound, or empty a cache directory
+ * shared by mlpwin_batch --cache-dir and mlpwind --cache-dir.
+ *
+ * Usage:
+ *   mlpwin_cachectl --dir DIR fsck          verify every entry;
+ *                                           corrupt ones quarantine
+ *   mlpwin_cachectl --dir DIR ls            one line per entry,
+ *                                           oldest first
+ *   mlpwin_cachectl --dir DIR gc --max-bytes N
+ *                                           delete oldest entries
+ *                                           until within N bytes
+ *   mlpwin_cachectl --dir DIR clear         remove everything
+ *
+ * fsck/gc/clear take the cache's exclusive flock, so they are safe
+ * against concurrent batches (which block their stores briefly).
+ *
+ * Exit codes: 0 ok; 1 fsck quarantined at least one entry; 2 usage
+ * error or unusable cache directory.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <string>
+
+#include "cache/result_cache.hh"
+#include "common/parse.hh"
+
+using namespace mlpwin;
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: mlpwin_cachectl --dir DIR "
+                 "{fsck | ls | gc --max-bytes N | clear}\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string dir;
+    std::string cmd;
+    bool have_max = false;
+    std::uint64_t max_bytes = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--dir") {
+            dir = next();
+        } else if (arg == "--max-bytes") {
+            if (!parseU64(next(), max_bytes)) {
+                std::fprintf(stderr,
+                             "--max-bytes: not a number: '%s'\n",
+                             argv[i]);
+                return 2;
+            }
+            have_max = true;
+        } else if (arg == "-h" || arg == "--help") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option: %s\n",
+                         arg.c_str());
+            usage();
+            return 2;
+        } else if (cmd.empty()) {
+            cmd = arg;
+        } else {
+            std::fprintf(stderr, "unexpected argument: %s\n",
+                         arg.c_str());
+            usage();
+            return 2;
+        }
+    }
+
+    if (dir.empty() || cmd.empty()) {
+        usage();
+        return 2;
+    }
+
+    cache::ResultCache rc(dir);
+    if (!rc.enabled()) {
+        std::fprintf(stderr, "cannot use cache directory %s\n",
+                     dir.c_str());
+        return 2;
+    }
+
+    if (cmd == "fsck") {
+        cache::ResultCache::FsckReport rep = rc.fsck();
+        std::printf("fsck: %zu entries scanned, %zu ok, %zu "
+                    "quarantined\n",
+                    rep.scanned, rep.ok, rep.quarantined);
+        return rep.quarantined ? 1 : 0;
+    }
+    if (cmd == "ls") {
+        for (const cache::ResultCache::EntryInfo &e : rc.list()) {
+            char when[32] = "-";
+            if (e.mtime) {
+                std::time_t t = static_cast<std::time_t>(e.mtime);
+                std::tm tm_buf{};
+                if (gmtime_r(&t, &tm_buf))
+                    std::strftime(when, sizeof(when),
+                                  "%Y-%m-%dT%H:%M:%SZ", &tm_buf);
+            }
+            std::printf("%016llx %8llu %s %s/%s\n",
+                        static_cast<unsigned long long>(e.key),
+                        static_cast<unsigned long long>(e.bytes),
+                        when,
+                        e.workload.empty() ? "?"
+                                           : e.workload.c_str(),
+                        e.model.empty() ? "?" : e.model.c_str());
+        }
+        return 0;
+    }
+    if (cmd == "gc") {
+        if (!have_max) {
+            std::fprintf(stderr, "gc requires --max-bytes N\n");
+            return 2;
+        }
+        cache::ResultCache::GcReport rep = rc.gc(max_bytes);
+        std::printf("gc: %zu entries scanned, %zu removed, %llu -> "
+                    "%llu bytes\n",
+                    rep.scanned, rep.removed,
+                    static_cast<unsigned long long>(rep.bytesBefore),
+                    static_cast<unsigned long long>(rep.bytesAfter));
+        return 0;
+    }
+    if (cmd == "clear") {
+        std::printf("clear: %zu file(s) removed\n", rc.clear());
+        return 0;
+    }
+
+    std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+    usage();
+    return 2;
+}

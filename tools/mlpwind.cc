@@ -58,6 +58,11 @@ usage()
         "10)\n"
         "  --max-dispatch N      dispatches per cell before\n"
         "                        quarantine (default 3)\n"
+        "  --cache-dir DIR       content-addressed result cache\n"
+        "                        shared by every spec (and any\n"
+        "                        mlpwin_batch --cache-dir DIR):\n"
+        "                        repeated cells adopt their cached\n"
+        "                        result instead of re-simulating\n"
         "  --no-isolate          execute in-process instead of in\n"
         "                        worker processes (debugging)\n"
         "  --progress            per-job progress on stderr\n"
@@ -113,6 +118,8 @@ main(int argc, char **argv)
                 std::fprintf(stderr, "--max-dispatch: must be >= 1\n");
                 return 2;
             }
+        } else if (arg == "--cache-dir") {
+            opts.cacheDir = next();
         } else if (arg == "--no-isolate") {
             opts.isolate = false;
         } else if (arg == "--progress") {
