@@ -427,6 +427,22 @@ writeBenchJson(const char *path)
             cache_hit_speedup = nocache_s / warm_s;
     }
 
+    // Paging tax: the detailed gcc cell again with the MMU on
+    // (default TLB geometry). TLB lookups + the occasional walk
+    // against the paging-off baseline measured above; budget: <= 5%.
+    double vm_overhead_pct = 0.0;
+    {
+        SimConfig vmc = det;
+        vmc.vm.enabled = true;
+        runWorkload("gcc", vmc, kForever); // warm pass
+        double vm_s = timeSeconds(
+            [&] { runWorkload("gcc", vmc, kForever); });
+        if (det_s > 0.0)
+            vm_overhead_pct = (vm_s / det_s - 1.0) * 100.0;
+        if (vm_overhead_pct < 0.0)
+            vm_overhead_pct = 0.0; // run-to-run noise
+    }
+
     std::ofstream os(path);
     if (!os) {
         std::fprintf(stderr, "cannot open %s for writing\n", path);
@@ -454,13 +470,14 @@ writeBenchJson(const char *path)
                   "\"profiler_overhead_pct\":%.2f,"
                   "\"isolate_overhead_pct\":%.2f,"
                   "\"cache_miss_overhead_pct\":%.2f,"
-                  "\"cache_hit_speedup\":%.2f",
+                  "\"cache_hit_speedup\":%.2f,"
+                  "\"vm_overhead_pct\":%.2f",
                   MLPWIN_GIT_SHA, utcNow().c_str(),
                   jsonEscape(host).c_str(), fp, detailed_mips,
                   functional_mips, sampled_speedup,
                   smt_detailed_mips, profiler_overhead_pct,
                   isolate_overhead_pct, cache_miss_overhead_pct,
-                  cache_hit_speedup);
+                  cache_hit_speedup, vm_overhead_pct);
 
     // Host-time share of each pipeline stage (of the stage total, not
     // wall time: stage spans are sampled 1 cycle in 64, so their

@@ -434,7 +434,8 @@ ResultCache::list()
 }
 
 ResultCache::GcReport
-ResultCache::gc(std::uint64_t max_bytes)
+ResultCache::gc(std::uint64_t max_bytes, bool dry_run,
+                std::vector<EntryInfo> *victims)
 {
     GcReport rep;
     if (!enabled_)
@@ -450,14 +451,25 @@ ResultCache::gc(std::uint64_t max_bytes)
     for (const EntryInfo &e : entries) {
         if (rep.bytesAfter <= max_bytes)
             break;
-        if (fs::remove(entryPath(e.key), ec)) {
+        if (dry_run) {
+            // Plan without touching the store: every resident entry
+            // would be removable by the real pass.
             ++rep.removed;
             rep.bytesAfter -= e.bytes;
+            if (victims)
+                victims->push_back(e);
+        } else if (fs::remove(entryPath(e.key), ec)) {
+            ++rep.removed;
+            rep.bytesAfter -= e.bytes;
+            if (victims)
+                victims->push_back(e);
         }
     }
-    for (const fs::directory_entry &t :
-         fs::directory_iterator(dir_ + "/tmp", ec))
-        fs::remove(t.path(), ec);
+    if (!dry_run) {
+        for (const fs::directory_entry &t :
+             fs::directory_iterator(dir_ + "/tmp", ec))
+            fs::remove(t.path(), ec);
+    }
     return rep;
 }
 

@@ -59,7 +59,7 @@ namespace cache
  * read as stale and re-simulate instead of replaying a result that
  * is missing fields downstream code expects.
  */
-constexpr std::uint32_t kResultSchemaVersion = 1;
+constexpr std::uint32_t kResultSchemaVersion = 2;
 
 /** FNV-1a fold of an ordered tuple of 64-bit identity parts. */
 std::uint64_t foldKey(std::initializer_list<std::uint64_t> parts);
@@ -164,8 +164,15 @@ class ResultCache
     /**
      * Delete oldest entries (by mtime) until the objects/ payload
      * total is within `max_bytes`; also sweeps orphaned tmp files.
+     *
+     * @param dry_run Plan only: compute the same report and victim
+     *        list a real pass would, but delete nothing (the object
+     *        store is left byte-identical, tmp files included).
+     * @param victims When non-null, receives the entries a real pass
+     *        would delete, in eviction (oldest-first) order.
      */
-    GcReport gc(std::uint64_t max_bytes);
+    GcReport gc(std::uint64_t max_bytes, bool dry_run = false,
+                std::vector<EntryInfo> *victims = nullptr);
 
     /** Remove every entry, quarantined file, and temp file. */
     std::size_t clear();

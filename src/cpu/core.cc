@@ -825,6 +825,7 @@ OooCore::lsuThread(ThreadContext &t, unsigned &ports)
         inst->completeAt = res.doneAt;
         inst->wakeupAt = res.doneAt + (iqDepthEff(t) - 1);
         inst->l2Miss = res.l2DemandMiss;
+        inst->walkDoneAt = res.walkDoneAt;
         completions_.push({inst->completeAt, inst->seq});
         if (inst->wrongPath)
             ++wpLoads_;
@@ -1264,6 +1265,11 @@ OooCore::classifyCycle(const ThreadContext &t) const
     if (!t.window.empty()) {
         const DynInst &head = t.window.front();
         if (head.isLoad() && head.memDone && !head.completed) {
+            // Still inside the page-table walk: the translation, not
+            // the data access, is the bottleneck. Outranks dram/cache
+            // so resize-on-walk's target is visible in the stack.
+            if (head.walkDoneAt > cycle_)
+                return CpiComponent::TlbWalk;
             return head.l2Miss ? CpiComponent::Dram
                                : CpiComponent::CacheMiss;
         }

@@ -66,9 +66,13 @@ enum class CpiComponent : std::uint8_t
     /** Thread halted (or the whole core halted) — co-runner cycles
      *  after a short thread exits, and post-halt ticks. */
     Idle,
+    /** Head of window is a load waiting on a hardware page-table
+     *  walk (paging enabled only): translation stall cycles the
+     *  resize-on-walk policy targets. */
+    TlbWalk,
 };
 
-constexpr std::size_t kNumCpiComponents = 12;
+constexpr std::size_t kNumCpiComponents = 13;
 
 /** Short stable name used in JSONL keys, CSV headers, and tables. */
 inline const char *
@@ -87,6 +91,7 @@ cpiComponentName(CpiComponent c)
       case CpiComponent::Runahead: return "runahead";
       case CpiComponent::SmtFetchContention: return "smt_fetch";
       case CpiComponent::Idle: return "idle";
+      case CpiComponent::TlbWalk: return "tlb_walk";
     }
     return "?";
 }

@@ -63,6 +63,11 @@ struct DynInst
     bool memDone = false;
     /** This access initiated or merged with an L2 demand miss. */
     bool l2Miss = false;
+    /**
+     * When the access waited on a page-table walk, the walk's
+     * completion cycle; 0 otherwise. Drives the tlb_walk CPI leaf.
+     */
+    Cycle walkDoneAt = 0;
     /** Runahead INV: value is bogus; dependents must not use it. */
     bool invalid = false;
 

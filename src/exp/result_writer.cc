@@ -29,10 +29,13 @@ joinArray(const T *vals, std::size_t n, Fmt fmt, const char *sep)
 void
 readU64Array(const JsonValue &v, std::uint64_t *out, std::size_t n)
 {
-    if (v.kind != JsonValue::Kind::Array || v.array.size() != n)
-        throw std::runtime_error("JSON: expected array of " +
+    // Shorter arrays are accepted with trailing zeros: provenance
+    // arrays written before a Provenance leaf was appended (e.g.
+    // PtWalk) load with that leaf at 0.
+    if (v.kind != JsonValue::Kind::Array || v.array.size() > n)
+        throw std::runtime_error("JSON: expected array of at most " +
                                  std::to_string(n));
-    for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t i = 0; i < v.array.size(); ++i)
         out[i] = v.array[i].asU64();
 }
 
@@ -58,10 +61,14 @@ cpiStackFromJson(const JsonValue &v)
     if (v.kind != JsonValue::Kind::Object)
         throw std::runtime_error("JSON: cpi stack must be an object");
     CpiStack cpi;
-    for (std::size_t i = 0; i < kNumCpiComponents; ++i)
-        cpi.counts[i] =
-            v.field(cpiComponentName(static_cast<CpiComponent>(i)))
-                .asU64();
+    for (std::size_t i = 0; i < kNumCpiComponents; ++i) {
+        // Leaves appended after a record was written (the taxonomy is
+        // append-only) load as zero.
+        const char *name =
+            cpiComponentName(static_cast<CpiComponent>(i));
+        if (v.hasField(name))
+            cpi.counts[i] = v.field(name).asU64();
+    }
     return cpi;
 }
 
@@ -147,6 +154,19 @@ resultToJson(const SimResult &r)
         s += cpiStackToJson(r.threadCpi[i]);
     }
     s += "]";
+    s += std::string(",\"vm_enabled\":") +
+         (r.vmEnabled ? "true" : "false");
+    s += ",\"vm\":{";
+    s += "\"itlb_accesses\":" + fmtU64(r.vm.itlbAccesses);
+    s += ",\"itlb_misses\":" + fmtU64(r.vm.itlbMisses);
+    s += ",\"dtlb_accesses\":" + fmtU64(r.vm.dtlbAccesses);
+    s += ",\"dtlb_misses\":" + fmtU64(r.vm.dtlbMisses);
+    s += ",\"stlb_accesses\":" + fmtU64(r.vm.stlbAccesses);
+    s += ",\"stlb_misses\":" + fmtU64(r.vm.stlbMisses);
+    s += ",\"walks\":" + fmtU64(r.vm.walks);
+    s += ",\"walk_cycles\":" + fmtU64(r.vm.walkCycles);
+    s += ",\"pt_accesses\":" + fmtU64(r.vm.ptAccesses);
+    s += "}";
     s += "}";
     return s;
 }
@@ -261,6 +281,21 @@ resultFromJson(const std::string &json)
         for (const JsonValue &v : tc.array)
             r.threadCpi.push_back(cpiStackFromJson(v));
     }
+    // vm fields postdate the CPI schema; pre-paging records load with
+    // paging off and all-zero counters.
+    if (root.hasField("vm_enabled")) {
+        r.vmEnabled = root.field("vm_enabled").asBool();
+        const JsonValue &v = root.field("vm");
+        r.vm.itlbAccesses = v.field("itlb_accesses").asU64();
+        r.vm.itlbMisses = v.field("itlb_misses").asU64();
+        r.vm.dtlbAccesses = v.field("dtlb_accesses").asU64();
+        r.vm.dtlbMisses = v.field("dtlb_misses").asU64();
+        r.vm.stlbAccesses = v.field("stlb_accesses").asU64();
+        r.vm.stlbMisses = v.field("stlb_misses").asU64();
+        r.vm.walks = v.field("walks").asU64();
+        r.vm.walkCycles = v.field("walk_cycles").asU64();
+        r.vm.ptAccesses = v.field("pt_accesses").asU64();
+    }
     return r;
 }
 
@@ -279,9 +314,13 @@ csvHeader()
            "sample_intervals,ff_insts,ipc_ci95,commit_stream_hash,"
            "n_threads,fetch_policy,partition_policy,thread_ipc,"
            "thread_committed,thread_commit_hash,thread_observed_mlp,"
-           "stp,antt,hmean_speedup,cpi_base,cpi_ifetch,cpi_bmiss,"
+           "stp,antt,hmean_speedup,vm_enabled,vm_itlb_accesses,"
+           "vm_itlb_misses,vm_dtlb_accesses,vm_dtlb_misses,"
+           "vm_stlb_accesses,vm_stlb_misses,vm_walks,vm_walk_cycles,"
+           "vm_pt_accesses,cpi_base,cpi_ifetch,cpi_bmiss,"
            "cpi_cache,cpi_dram,cpi_rob_full,cpi_iq_full,cpi_lsq_full,"
-           "cpi_drain,cpi_runahead,cpi_smt_fetch,cpi_idle";
+           "cpi_drain,cpi_runahead,cpi_smt_fetch,cpi_idle,"
+           "cpi_tlb_walk";
 }
 
 std::string
@@ -337,7 +376,13 @@ resultToCsv(const SimResult &r)
                    r.threadObservedMlp.size(), fmtDouble, ";") +
          ",";
     s += fmtDouble(r.stp) + "," + fmtDouble(r.antt) + "," +
-         fmtDouble(r.hmeanSpeedup);
+         fmtDouble(r.hmeanSpeedup) + ",";
+    s += r.vmEnabled ? "1" : "0";
+    for (std::uint64_t v :
+         {r.vm.itlbAccesses, r.vm.itlbMisses, r.vm.dtlbAccesses,
+          r.vm.dtlbMisses, r.vm.stlbAccesses, r.vm.stlbMisses,
+          r.vm.walks, r.vm.walkCycles, r.vm.ptAccesses})
+        s += "," + fmtU64(v);
     const CpiStack total = r.cpiTotal();
     for (std::uint64_t v : total.counts)
         s += "," + fmtU64(v);

@@ -27,9 +27,10 @@ enum class Provenance : std::uint8_t
     WrongPath, ///< Demand access on a squashed (wrong) path.
     Prefetch,  ///< Hardware prefetcher.
     Warmup,    ///< Installed before the measured run started.
+    PtWalk,    ///< Page-table walker PTE read (vm/walker.hh).
 };
 
-constexpr unsigned kNumProvenances = 4;
+constexpr unsigned kNumProvenances = 5;
 
 /** Result of a cache lookup. */
 struct CacheLookup

@@ -7,10 +7,12 @@
 namespace mlpwin
 {
 
-CacheHierarchy::CacheHierarchy(const MemSystemConfig &cfg, StatSet *stats)
+CacheHierarchy::CacheHierarchy(const MemSystemConfig &cfg, StatSet *stats,
+                               const vm::MmuConfig &vm)
     : l1i_("l1i", cfg.l1i, stats),
       l1d_("l1d", cfg.l1d, stats),
       l2_("l2", cfg.l2, stats),
+      mmu_(vm, vm.enabled ? stats : nullptr),
       dram_(cfg.dram, cfg.l2.lineBytes, stats),
       prefetcher_(cfg.prefetcher, stats),
       streamPf_(cfg.prefetcher, cfg.l2.lineBytes, stats),
@@ -26,6 +28,28 @@ CacheHierarchy::CacheHierarchy(const MemSystemConfig &cfg, StatSet *stats)
                      "cycles between successive L2 demand misses",
                      /*bin_width=*/8, /*num_bins=*/128)
 {
+    if (mmu_.enabled())
+        mmu_.setPtIssuer(
+            [this](Addr a, Cycle t) { return ptAccess(a, t); });
+}
+
+Cycle
+CacheHierarchy::ptAccess(Addr addr, Cycle t)
+{
+    CacheLookup look = l2_.lookup(addr, t, false);
+    if (look.hit)
+        return std::max(t + l2_.hitLatency(), look.readyAt);
+    // No fill slot left: read around the cache — the walk still pays
+    // the DRAM round trip and books bus bandwidth, it just cannot
+    // keep the node resident. Guarantees walker forward progress
+    // under full MSHR pressure.
+    if (!l2_.canAllocateFill(t))
+        return dram_.request(t + l2_.hitLatency());
+    Cycle fill = dram_.request(t + l2_.hitLatency());
+    Cache::Eviction ev = l2_.insert(addr, fill, Provenance::PtWalk);
+    if (ev.valid && ev.dirty)
+        dram_.writeback(t + l2_.hitLatency());
+    return fill;
 }
 
 CacheHierarchy::L2Result
@@ -131,11 +155,19 @@ CacheHierarchy::load(Addr addr, Addr pc, Cycle now, Provenance prov)
 {
     const bool correct = prov == Provenance::CorrPath;
 
+    Cycle walk_done = 0;
+    if (mmu_.enabled()) {
+        vm::TranslateResult tr = mmu_.translateData(addr, now);
+        now = tr.readyAt;
+        walk_done = tr.walkDoneAt;
+    }
+
     CacheLookup look = l1d_.lookup(addr, now, correct);
     if (look.hit) {
         MemAccessResult res;
         res.doneAt = std::max(now + l1d_.hitLatency(), look.readyAt);
         res.l1Hit = look.readyAt <= now + l1d_.hitLatency();
+        res.walkDoneAt = walk_done;
         // Touch the L2 copy for usefulness accounting even on L1 hits:
         // the line was demanded by a correct-path load at some level.
         if (correct)
@@ -183,18 +215,27 @@ CacheHierarchy::load(Addr addr, Addr pc, Cycle now, Provenance prov)
     res.doneAt = l2res.readyAt;
     res.l1Hit = false;
     res.l2DemandMiss = l2res.wasMiss;
+    res.walkDoneAt = walk_done;
     return res;
 }
 
 MemAccessResult
 CacheHierarchy::store(Addr addr, Cycle now, Provenance prov)
 {
+    Cycle walk_done = 0;
+    if (mmu_.enabled()) {
+        vm::TranslateResult tr = mmu_.translateData(addr, now);
+        now = tr.readyAt;
+        walk_done = tr.walkDoneAt;
+    }
+
     CacheLookup look = l1d_.lookup(addr, now, false);
     if (look.hit) {
         l1d_.setDirty(addr);
         MemAccessResult res;
         res.doneAt = std::max(now + l1d_.hitLatency(), look.readyAt);
         res.l1Hit = true;
+        res.walkDoneAt = walk_done;
         return res;
     }
 
@@ -214,17 +255,26 @@ CacheHierarchy::store(Addr addr, Cycle now, Provenance prov)
     res.doneAt = l2res.readyAt;
     res.l1Hit = false;
     res.l2DemandMiss = l2res.wasMiss;
+    res.walkDoneAt = walk_done;
     return res;
 }
 
 MemAccessResult
 CacheHierarchy::ifetch(Addr addr, Cycle now, Provenance prov)
 {
+    Cycle walk_done = 0;
+    if (mmu_.enabled()) {
+        vm::TranslateResult tr = mmu_.translateInst(addr, now);
+        now = tr.readyAt;
+        walk_done = tr.walkDoneAt;
+    }
+
     CacheLookup look = l1i_.lookup(addr, now, false);
     if (look.hit) {
         MemAccessResult res;
         res.doneAt = std::max(now + l1i_.hitLatency(), look.readyAt);
         res.l1Hit = look.readyAt <= now + l1i_.hitLatency();
+        res.walkDoneAt = walk_done;
         return res;
     }
 
@@ -242,6 +292,7 @@ CacheHierarchy::ifetch(Addr addr, Cycle now, Provenance prov)
     res.doneAt = l2res.readyAt;
     res.l1Hit = false;
     res.l2DemandMiss = l2res.wasMiss;
+    res.walkDoneAt = walk_done;
     return res;
 }
 

@@ -22,6 +22,7 @@
 #include "mem/dram.hh"
 #include "mem/mem_config.hh"
 #include "mem/prefetcher.hh"
+#include "vm/mmu.hh"
 
 namespace mlpwin
 {
@@ -36,6 +37,12 @@ struct MemAccessResult
     bool l1Hit = false;
     /** True if this access initiated a new L2 demand miss. */
     bool l2DemandMiss = false;
+    /**
+     * When the access waited on a page-table walk (started or merged),
+     * the walk's completion cycle; 0 otherwise (including always when
+     * paging is off). Feeds the tlb_walk CPI leaf.
+     */
+    Cycle walkDoneAt = 0;
 };
 
 /** See file comment. */
@@ -49,7 +56,13 @@ class CacheHierarchy
      */
     using L2MissListener = std::function<void(Addr, Cycle)>;
 
-    CacheHierarchy(const MemSystemConfig &cfg, StatSet *stats);
+    /**
+     * @param vm MMU (paging) configuration; the default keeps paging
+     *        off, leaving every access bit-identical to a hierarchy
+     *        built before the vm subsystem existed.
+     */
+    CacheHierarchy(const MemSystemConfig &cfg, StatSet *stats,
+                   const vm::MmuConfig &vm = vm::MmuConfig{});
 
     /** Data load access issued by the LSU at cycle now. */
     MemAccessResult load(Addr addr, Addr pc, Cycle now,
@@ -70,6 +83,8 @@ class CacheHierarchy
     void
     warmInstLine(Addr addr)
     {
+        if (mmu_.enabled())
+            mmu_.warmInst(addr);
         l1i_.warm(addr);
         l2_.warm(addr);
     }
@@ -83,6 +98,8 @@ class CacheHierarchy
     void
     warmDataLine(Addr addr, bool also_l1d)
     {
+        if (mmu_.enabled())
+            mmu_.warmData(addr);
         l2_.warm(addr);
         if (also_l1d)
             l1d_.warm(addr);
@@ -99,6 +116,8 @@ class CacheHierarchy
     void
     warmDemandAccess(Addr addr, bool is_store)
     {
+        if (mmu_.enabled())
+            mmu_.warmData(addr);
         if (!l1d_.warmTouch(addr))
             l2_.warmTouch(addr);
         if (is_store)
@@ -113,15 +132,28 @@ class CacheHierarchy
     void
     warmFetchLine(Addr addr)
     {
+        if (mmu_.enabled())
+            mmu_.warmInst(addr);
         if (!l1i_.warmTouch(addr))
             l2_.warmTouch(addr);
     }
 
     void setL2MissListener(L2MissListener fn) { listener_ = std::move(fn); }
 
+    /**
+     * Subscribe to page-table-walk starts (same shape as the L2-miss
+     * listener; the address's high bits identify the SMT thread).
+     * Only ever fires with paging enabled.
+     */
+    void setWalkListener(vm::WalkListener fn)
+    {
+        mmu_.setWalkListener(std::move(fn));
+    }
+
     const Cache &l1i() const { return l1i_; }
     const Cache &l1d() const { return l1d_; }
     const Cache &l2() const { return l2_; }
+    const vm::Mmu &mmu() const { return mmu_; }
     const DramChannel &dram() const { return dram_; }
     const StridePrefetcher &prefetcher() const { return prefetcher_; }
     const StreamPrefetcher &streamPrefetcher() const
@@ -148,6 +180,17 @@ class CacheHierarchy
     L2Result accessL2(Addr addr, Cycle t, bool is_demand,
                       bool useful_touch, Provenance prov);
 
+    /**
+     * One page-table-walker PTE read, issued at cycle t: an L2
+     * lookup/fill (PtWalk provenance) that contends for fill slots
+     * and DRAM bus bandwidth with demand and prefetch traffic, but
+     * never fires the L2-miss resize listener (walks have their own
+     * opt-in trigger).
+     *
+     * @return Cycle the PTE data arrives.
+     */
+    Cycle ptAccess(Addr addr, Cycle t);
+
     /** Record a miss occurrence: interval histogram + listener. */
     void noteDemandMiss(Addr addr, Cycle t);
 
@@ -162,6 +205,7 @@ class CacheHierarchy
     Cache l1i_;
     Cache l1d_;
     Cache l2_;
+    vm::Mmu mmu_;
     DramChannel dram_;
     StridePrefetcher prefetcher_;
     StreamPrefetcher streamPf_;

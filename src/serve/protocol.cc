@@ -137,6 +137,19 @@ jobToJson(const exp::ExperimentSpec &spec,
        << ",\"partitionPolicy\":\""
        << partitionPolicyName(c.core.smt.partitionPolicy) << '"'
        << ",\"stallCommitAt\":" << fmtU64(c.core.debugStallCommitAt)
+       << ",\"vmEnabled\":" << (c.vm.enabled ? "true" : "false")
+       << ",\"vmItlbEntries\":" << c.vm.itlb.entries
+       << ",\"vmItlbAssoc\":" << c.vm.itlb.assoc
+       << ",\"vmDtlbEntries\":" << c.vm.dtlb.entries
+       << ",\"vmDtlbAssoc\":" << c.vm.dtlb.assoc
+       << ",\"vmStlbEntries\":" << c.vm.stlb.entries
+       << ",\"vmStlbAssoc\":" << c.vm.stlb.assoc
+       << ",\"vmStlbLatency\":" << c.vm.stlb.hitLatency
+       << ",\"vmWalkLevels\":" << c.vm.walkLevels
+       << ",\"vmHugePages\":" << (c.vm.hugePages ? "true" : "false")
+       << ",\"vmFragPermille\":" << c.vm.fragPermille
+       << ",\"vmResizeOnWalk\":"
+       << (c.vm.resizeOnWalk ? "true" : "false")
        << "}}";
     return os.str();
 }
@@ -223,6 +236,25 @@ jobFromJson(const std::string &json, exp::ExperimentSpec &spec,
             c.core.smt.partitionPolicy))
         badJob("unknown partition policy");
     c.core.debugStallCommitAt = cv.field("stallCommitAt").asU64();
+    // vm fields postdate the original frame schema; a frame from an
+    // older peer loads with paging off (the old behaviour).
+    if (cv.hasField("vmEnabled")) {
+        auto u = [&cv](const char *k) {
+            return static_cast<unsigned>(cv.field(k).asU64());
+        };
+        c.vm.enabled = cv.field("vmEnabled").asBool();
+        c.vm.itlb.entries = u("vmItlbEntries");
+        c.vm.itlb.assoc = u("vmItlbAssoc");
+        c.vm.dtlb.entries = u("vmDtlbEntries");
+        c.vm.dtlb.assoc = u("vmDtlbAssoc");
+        c.vm.stlb.entries = u("vmStlbEntries");
+        c.vm.stlb.assoc = u("vmStlbAssoc");
+        c.vm.stlb.hitLatency = u("vmStlbLatency");
+        c.vm.walkLevels = u("vmWalkLevels");
+        c.vm.hugePages = cv.field("vmHugePages").asBool();
+        c.vm.fragPermille = u("vmFragPermille");
+        c.vm.resizeOnWalk = cv.field("vmResizeOnWalk").asBool();
+    }
     job.cfg = c;
 
     // The worker runs exactly one job; the spec's matrix fields are

@@ -17,6 +17,7 @@
 #include "resize/level_table.hh"
 #include "runahead/runahead.hh"
 #include "sample/sample_config.hh"
+#include "vm/mmu_config.hh"
 
 namespace mlpwin
 {
@@ -91,6 +92,13 @@ struct SimConfig
     MlpControllerConfig mlp;
     OccupancyControllerConfig occupancy;
     RunaheadConfig runahead;
+
+    /**
+     * Virtual-memory (paging) configuration. Off by default; a
+     * disabled MMU leaves every cycle, hash, and statistic
+     * bit-identical to a build that predates the vm subsystem.
+     */
+    vm::MmuConfig vm;
 
     /**
      * Pre-install the program text in the L1I/L2 before the run. The

@@ -92,8 +92,11 @@ Simulator::Simulator(const SimConfig &cfg, const Program &prog)
 Simulator::Simulator(const SimConfig &cfg,
                      const std::vector<Program> &progs)
     : cfg_(cfg), workloadName_(joinNames(progs)),
-      mem_(cfg.mem, &stats_)
+      mem_(cfg.mem, &stats_, cfg.vm)
 {
+    std::string vm_err = cfg_.vm.validate();
+    if (!vm_err.empty())
+        throw SimError(ErrorCode::InvalidArgument, vm_err);
     const SmtConfig &smt = cfg_.core.smt;
     if (smt.nThreads < 1 || smt.nThreads > kMaxSmtThreads)
         throw SimError(ErrorCode::InvalidArgument,
@@ -166,11 +169,26 @@ Simulator::Simulator(const SimConfig &cfg,
             if (tid < partition_->nThreads())
                 partition_->onL2DemandMiss(tid, c);
         });
+        if (cfg_.vm.enabled && cfg_.vm.resizeOnWalk) {
+            // Opt-in: a page-table walk start counts as a miss
+            // occurrence for the partition policy, like an L2 miss.
+            mem_.setWalkListener([this](Addr a, Cycle c) {
+                auto tid =
+                    static_cast<unsigned>(a >> kThreadAddrShift);
+                if (tid < partition_->nThreads())
+                    partition_->onL2DemandMiss(tid, c);
+            });
+        }
     } else {
         resize_ = buildController(cfg_, &stats_);
         mem_.setL2MissListener([this](Addr, Cycle c) {
             resize_->onL2DemandMiss(c);
         });
+        if (cfg_.vm.enabled && cfg_.vm.resizeOnWalk) {
+            mem_.setWalkListener([this](Addr, Cycle c) {
+                resize_->onL2DemandMiss(c);
+            });
+        }
     }
 
     std::vector<SmtThreadSpec> specs;
@@ -250,6 +268,12 @@ Simulator::snapshot() const
     }
     s.cpi = core_->cpiStackTotal();
     s.hasCpi = true;
+    if (mem_.mmu().enabled()) {
+        s.hasVm = true;
+        vm::VmStats v = mem_.mmu().stats();
+        s.tlbWalks = v.walks;
+        s.walkCycles = v.walkCycles;
+    }
     return s;
 }
 
@@ -708,6 +732,9 @@ Simulator::collectResult(const PollutionStats &pollution_base)
     }
     r.runaheadEpisodes = core_->runaheadEpisodes();
     r.runaheadUseless = core_->runaheadUselessEpisodes();
+    r.vmEnabled = mem_.mmu().enabled();
+    if (r.vmEnabled)
+        r.vm = mem_.mmu().stats();
     r.archRegChecksum = core_->oracle().regs().checksum();
 
     r.nThreads = core_->nThreads();
@@ -832,6 +859,22 @@ configFingerprint(const SimConfig &cfg)
     fold(cfg.sampling.periodInsts);
     fold(cfg.sampling.detailedWarmupInsts);
     fold(cfg.maxInsts);
+
+    // Virtual-memory knobs. Folded unconditionally (off still folds
+    // the defaults) so the fingerprint depends on every MMU field;
+    // two runs differing in any TLB geometry, huge-page, or walk knob
+    // get distinct fingerprints — and distinct result-cache keys.
+    const vm::MmuConfig &v = cfg.vm;
+    fold(v.enabled);
+    for (const vm::TlbConfig &t : {v.itlb, v.dtlb, v.stlb}) {
+        fold(t.entries);
+        fold(t.assoc);
+        fold(t.hitLatency);
+    }
+    fold(v.walkLevels);
+    fold(v.hugePages);
+    fold(v.fragPermille);
+    fold(v.resizeOnWalk);
     return h;
 }
 

@@ -71,6 +71,11 @@ struct SimResult
     std::uint64_t runaheadEpisodes = 0;
     std::uint64_t runaheadUseless = 0;
 
+    /** True when the run simulated virtual memory (paging on). */
+    bool vmEnabled = false;
+    /** TLB / page-walk counters (all zero when vmEnabled is false). */
+    vm::VmStats vm;
+
     /**
      * Per-thread CPI stacks over the measurement window (one per
      * hardware thread, thread-id order; a single entry on

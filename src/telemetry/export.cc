@@ -46,6 +46,12 @@ intervalSampleToJson(const IntervalSample &s)
     // Simulator does; hand-built snapshots keep the old schema).
     if (s.hasCpi)
         out += ",\"cpi\":" + cpiToJson(s.cpi);
+    // vm counters appear only on paging-enabled runs, keeping the
+    // paging-off schema (and its goldens) unchanged.
+    if (s.hasVm) {
+        out += ",\"tlb_walks\":" + fmtU64(s.tlbWalks);
+        out += ",\"walk_cycles\":" + fmtU64(s.walkCycles);
+    }
     // Per-thread slices appear only on multi-thread runs, keeping the
     // single-thread schema (and its consumers) unchanged.
     if (!s.threads.empty()) {

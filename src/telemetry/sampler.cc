@@ -57,6 +57,14 @@ IntervalSampler::push(const IntervalSnapshot &snap)
     if (snap.hasCpi)
         cpi_delta(snap.cpi, prevCpi_, s.cpi);
 
+    s.hasVm = snap.hasVm;
+    if (snap.hasVm) {
+        s.tlbWalks = snap.tlbWalks >= prevWalks_
+            ? snap.tlbWalks - prevWalks_ : snap.tlbWalks;
+        s.walkCycles = snap.walkCycles >= prevWalkCycles_
+            ? snap.walkCycles - prevWalkCycles_ : snap.walkCycles;
+    }
+
     // Per-thread slices carry a thread-local commit delta; only
     // multi-thread runs produce them.
     if (snap.threads.size() > 1) {
@@ -91,6 +99,8 @@ IntervalSampler::push(const IntervalSnapshot &snap)
     prevCycle_ = snap.cycle;
     prevCommitted_ = snap.committed;
     prevMisses_ = snap.l2DemandMisses;
+    prevWalks_ = snap.tlbWalks;
+    prevWalkCycles_ = snap.walkCycles;
     prevCpi_ = snap.cpi;
 }
 
@@ -114,6 +124,8 @@ IntervalSampler::notifyReset(Cycle now)
     prevCycle_ = now;
     prevCommitted_ = 0;
     prevMisses_ = 0;
+    prevWalks_ = 0;
+    prevWalkCycles_ = 0;
     prevThreadCommitted_.clear();
     prevCpi_.reset();
     prevThreadCpi_.clear();

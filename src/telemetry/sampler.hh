@@ -68,6 +68,12 @@ struct IntervalSnapshot
      *  pre-CPI drivers and hand-built snapshots emitting the old
      *  schema). */
     bool hasCpi = false;
+    /** Cumulative page-table walks started (paging on only). */
+    std::uint64_t tlbWalks = 0;
+    /** Cumulative cycles spent in page-table walks. */
+    std::uint64_t walkCycles = 0;
+    /** True when the run simulates paging (gates vm export). */
+    bool hasVm = false;
     /** One entry per hardware thread; may be empty (plain drivers). */
     std::vector<ThreadSnapshot> threads;
 };
@@ -110,6 +116,12 @@ struct IntervalSample
     std::array<std::uint64_t, kNumCpiComponents> cpi{};
     /** True when the snapshots carried CPI stacks (gates export). */
     bool hasCpi = false;
+    /** Page-table walks started within the interval. */
+    std::uint64_t tlbWalks = 0;
+    /** Walk cycles accumulated within the interval. */
+    std::uint64_t walkCycles = 0;
+    /** True when the snapshots carried vm counters (gates export). */
+    bool hasVm = false;
     /** Per-thread slices; populated only on multi-thread runs. */
     std::vector<ThreadSample> threads;
 };
@@ -168,6 +180,8 @@ class IntervalSampler
     Cycle prevCycle_ = 0;
     std::uint64_t prevCommitted_ = 0;
     std::uint64_t prevMisses_ = 0;
+    std::uint64_t prevWalks_ = 0;
+    std::uint64_t prevWalkCycles_ = 0;
     std::vector<std::uint64_t> prevThreadCommitted_;
     CpiStack prevCpi_;
     std::vector<CpiStack> prevThreadCpi_;

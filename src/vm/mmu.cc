@@ -1,0 +1,89 @@
+#include "vm/mmu.hh"
+
+#include <algorithm>
+
+namespace mlpwin
+{
+namespace vm
+{
+
+Mmu::Mmu(const MmuConfig &cfg, StatSet *stats)
+    : cfg_(cfg),
+      pt_(cfg),
+      itlb_("tlb.itlb", cfg.itlb, stats),
+      dtlb_("tlb.dtlb", cfg.dtlb, stats),
+      stlb_("tlb.stlb", cfg.stlb, stats),
+      walker_(pt_, stats)
+{
+}
+
+TranslateResult
+Mmu::translate(Tlb &l1, Addr va, Cycle now)
+{
+    const bool huge = pt_.isHuge(va);
+    const std::uint64_t vpn =
+        va >> (huge ? kHugePageShift : kPageShift);
+
+    TlbLookup l1look = l1.lookup(vpn, huge, now);
+    if (l1look.hit) {
+        TranslateResult r;
+        r.readyAt = l1look.readyAt;
+        // A hit on an entry still waiting for its walk is a merge:
+        // the access stalls behind the outstanding walk.
+        if (l1look.readyAt > now)
+            r.walkDoneAt = l1look.readyAt;
+        return r;
+    }
+
+    TlbLookup l2look = stlb_.lookup(vpn, huge, now);
+    if (l2look.hit) {
+        Cycle ready =
+            std::max(now + stlb_.hitLatency(), l2look.readyAt);
+        l1.insert(vpn, huge, ready);
+        TranslateResult r;
+        r.readyAt = ready;
+        if (l2look.readyAt > now + stlb_.hitLatency())
+            r.walkDoneAt = ready; // Merged into an in-flight walk.
+        return r;
+    }
+
+    // L2 TLB miss: start a hardware walk after the L2 TLB probe.
+    if (listener_)
+        listener_(va, now);
+    Cycle done = walker_.walk(va, now + stlb_.hitLatency());
+    stlb_.insert(vpn, huge, done);
+    l1.insert(vpn, huge, done);
+    TranslateResult r;
+    r.readyAt = done;
+    r.walkDoneAt = done;
+    return r;
+}
+
+void
+Mmu::warm(Tlb &l1, Addr va)
+{
+    const bool huge = pt_.isHuge(va);
+    const std::uint64_t vpn =
+        va >> (huge ? kHugePageShift : kPageShift);
+    l1.warmTouch(vpn, huge);
+    stlb_.warmTouch(vpn, huge);
+}
+
+VmStats
+Mmu::stats() const
+{
+    VmStats s;
+    s.itlbAccesses = itlb_.accesses();
+    s.itlbMisses = itlb_.misses();
+    s.dtlbAccesses = dtlb_.accesses();
+    s.dtlbMisses = dtlb_.misses();
+    s.stlbAccesses = stlb_.accesses();
+    s.stlbMisses = stlb_.misses();
+    s.walks = walker_.walks();
+    s.walkCycles = walker_.walkCycles();
+    s.ptAccesses = walker_.ptAccesses();
+    return s;
+}
+
+} // namespace vm
+} // namespace mlpwin

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The per-core MMU: L1 ITLB + DTLB, a unified L2 TLB, and the
+ * hardware page-table walker, composed over the per-workload
+ * PageTable. Translation is identity-preserving (PA == VA) — the MMU
+ * only decides *when* a translation is available, never *what* it
+ * maps to, so every functional structure (emulator, checker,
+ * checkpoints, SMT address offsets) is untouched by paging.
+ *
+ * Latency model: an L1 TLB hit costs nothing extra (looked up in
+ * parallel with the VIPT L1 cache index). An L1 miss that hits the
+ * L2 TLB delays the access by the L2 TLB's latency. An L2 TLB miss
+ * starts a page-table walk through the cache hierarchy; accesses to
+ * a page whose walk is still outstanding merge into it, MSHR-style,
+ * via the pending-ready L1 TLB entry installed at walk start.
+ */
+
+#ifndef MLPWIN_VM_MMU_HH
+#define MLPWIN_VM_MMU_HH
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "vm/mmu_config.hh"
+#include "vm/page_table.hh"
+#include "vm/tlb.hh"
+#include "vm/walker.hh"
+
+namespace mlpwin
+{
+namespace vm
+{
+
+/** Outcome of one address translation. */
+struct TranslateResult
+{
+    /** Cycle the translation is usable; the memory access begins
+     *  here (== the request cycle on an L1 TLB hit). */
+    Cycle readyAt = 0;
+    /**
+     * When the translation waits on a page-table walk (newly started
+     * or merged into an outstanding one), the walk's completion
+     * cycle; 0 otherwise. The core uses this to attribute head-stall
+     * cycles to the tlb_walk CPI leaf.
+     */
+    Cycle walkDoneAt = 0;
+};
+
+/** Callback fired at each walk *start* (resize-on-walk trigger). */
+using WalkListener = std::function<void(Addr, Cycle)>;
+
+/** See file comment. */
+class Mmu
+{
+  public:
+    Mmu(const MmuConfig &cfg, StatSet *stats);
+
+    bool enabled() const { return cfg_.enabled; }
+    const MmuConfig &config() const { return cfg_; }
+
+    /** Install the hierarchy's PTE-read issuer (required if enabled). */
+    void setPtIssuer(PtIssueFn fn) { walker_.setIssuer(std::move(fn)); }
+
+    /** Subscribe to walk starts (resize-on-walk; may be empty). */
+    void setWalkListener(WalkListener fn) { listener_ = std::move(fn); }
+
+    /** Translate a data access (load or store) requested at `now`. */
+    TranslateResult
+    translateData(Addr va, Cycle now)
+    {
+        return translate(dtlb_, va, now);
+    }
+
+    /** Translate an instruction fetch requested at `now`. */
+    TranslateResult
+    translateInst(Addr va, Cycle now)
+    {
+        return translate(itlb_, va, now);
+    }
+
+    /** Functional warming of the data-side TLBs (fast-forward). */
+    void warmData(Addr va) { warm(dtlb_, va); }
+    /** Functional warming of the instruction-side TLBs. */
+    void warmInst(Addr va) { warm(itlb_, va); }
+
+    /** End-of-run statistics snapshot for SimResult. */
+    VmStats stats() const;
+
+    const Tlb &itlb() const { return itlb_; }
+    const Tlb &dtlb() const { return dtlb_; }
+    const Tlb &stlb() const { return stlb_; }
+    const PageTable &pageTable() const { return pt_; }
+
+  private:
+    TranslateResult translate(Tlb &l1, Addr va, Cycle now);
+    void warm(Tlb &l1, Addr va);
+
+    MmuConfig cfg_;
+    PageTable pt_;
+    Tlb itlb_;
+    Tlb dtlb_;
+    Tlb stlb_;
+    PageWalker walker_;
+    WalkListener listener_;
+};
+
+} // namespace vm
+} // namespace mlpwin
+
+#endif // MLPWIN_VM_MMU_HH

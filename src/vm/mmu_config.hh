@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Configuration for the virtual-memory subsystem: per-core L1
+ * ITLB/DTLB geometry, the unified L2 TLB, page-table walk depth, and
+ * the huge-page / fragmentation knobs of the per-workload page table.
+ * Paging is off by default; a disabled MMU adds one branch per memory
+ * access and leaves every simulated cycle bit-identical to a build
+ * without the subsystem.
+ */
+
+#ifndef MLPWIN_VM_MMU_CONFIG_HH
+#define MLPWIN_VM_MMU_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace mlpwin
+{
+namespace vm
+{
+
+/** Base (small) page geometry: 4 KiB, matching MainMemory's pages. */
+constexpr unsigned kPageShift = 12;
+/** Huge-page geometry: 2 MiB (one whole last-level PT node). */
+constexpr unsigned kHugePageShift = 21;
+/** Radix fan-out per page-table level: 512 entries of 8 bytes. */
+constexpr unsigned kPtIndexBits = 9;
+
+/** Geometry and timing of one TLB. */
+struct TlbConfig
+{
+    unsigned entries = 64;
+    unsigned assoc = 4;
+    /**
+     * Cycles a hit adds to the access. The L1 TLBs default to 0
+     * (looked up in parallel with the VIPT L1 cache index); the
+     * unified L2 TLB adds its latency on every L1 TLB miss.
+     */
+    unsigned hitLatency = 0;
+};
+
+/** See file comment. */
+struct MmuConfig
+{
+    /** Master switch; off preserves the pre-vm timing bit-exactly. */
+    bool enabled = false;
+
+    TlbConfig itlb{64, 4, 0};
+    TlbConfig dtlb{64, 4, 0};
+    TlbConfig stlb{1024, 8, 7};
+
+    /**
+     * Radix page-table depth for base (4 KiB) pages; huge pages stop
+     * one level short. 4 matches x86-64's 4-level table.
+     */
+    unsigned walkLevels = 4;
+
+    /** Back the workload with 2 MiB pages where not fragmented. */
+    bool hugePages = false;
+
+    /**
+     * Physical-fragmentation knob: permille (0-1000) of huge-page
+     * candidate regions demoted to 4 KiB pages. The demotion is a
+     * deterministic hash of the region number, so a given workload
+     * sees the same page layout on every run and host.
+     */
+    unsigned fragPermille = 0;
+
+    /**
+     * Opt-in resize trigger: report page-table-walk starts to the
+     * window-resize controller exactly as L2 demand misses are
+     * reported, so the window grows over walk stalls too.
+     */
+    bool resizeOnWalk = false;
+
+    /**
+     * Validate ranges; empty string when acceptable. The CLIs call
+     * this after flag parsing and exit 2 on a non-empty answer.
+     */
+    std::string
+    validate() const
+    {
+        auto checkTlb = [](const char *name, const TlbConfig &t)
+            -> std::string {
+            if (t.entries < 1 || t.entries > 1u << 20)
+                return std::string(name) +
+                       " entries must be in [1, 1048576]";
+            if (t.assoc < 1 || t.assoc > t.entries)
+                return std::string(name) +
+                       " associativity must be in [1, entries]";
+            if (t.entries % t.assoc != 0)
+                return std::string(name) +
+                       " entries must be a multiple of associativity";
+            if (t.hitLatency > 100)
+                return std::string(name) +
+                       " hit latency must be <= 100 cycles";
+            return "";
+        };
+        if (std::string e = checkTlb("itlb", itlb); !e.empty())
+            return e;
+        if (std::string e = checkTlb("dtlb", dtlb); !e.empty())
+            return e;
+        if (std::string e = checkTlb("stlb", stlb); !e.empty())
+            return e;
+        if (walkLevels < 2 || walkLevels > 5)
+            return "walk levels must be in [2, 5]";
+        if (fragPermille > 1000)
+            return "fragmentation permille must be in [0, 1000]";
+        return "";
+    }
+};
+
+/**
+ * End-of-run translation statistics mirrored into SimResult (the
+ * live counters live in the owning StatSet as tlb.* / walk.*).
+ */
+struct VmStats
+{
+    std::uint64_t itlbAccesses = 0;
+    std::uint64_t itlbMisses = 0;
+    std::uint64_t dtlbAccesses = 0;
+    std::uint64_t dtlbMisses = 0;
+    std::uint64_t stlbAccesses = 0;
+    std::uint64_t stlbMisses = 0;
+    /** Page-table walks started (== stlbMisses; kept for clarity). */
+    std::uint64_t walks = 0;
+    /** Total cycles between walk start and last-level PTE arrival. */
+    std::uint64_t walkCycles = 0;
+    /** Individual PTE reads issued into the cache hierarchy. */
+    std::uint64_t ptAccesses = 0;
+
+    double
+    avgWalkLatency() const
+    {
+        return walks ? static_cast<double>(walkCycles) /
+                           static_cast<double>(walks)
+                     : 0.0;
+    }
+};
+
+} // namespace vm
+} // namespace mlpwin
+
+#endif // MLPWIN_VM_MMU_CONFIG_HH

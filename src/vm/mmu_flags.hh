@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Shared command-line flag parsing for the vm subsystem, used by
+ * mlpwin_cli and mlpwin_batch so both tools accept the identical
+ * --paging / --tlb-* / --page-* / --resize-on-walk flag set with the
+ * identical strict bounds (full-string numeric parse, usage-error
+ * exit 2 on junk or out-of-range values, the parse.hh convention).
+ */
+
+#ifndef MLPWIN_VM_MMU_FLAGS_HH
+#define MLPWIN_VM_MMU_FLAGS_HH
+
+#include <string>
+
+#include "common/parse.hh"
+#include "vm/mmu_config.hh"
+
+namespace mlpwin
+{
+namespace vm
+{
+
+/** Usage lines for the vm flag set (same wording in both tools). */
+inline const char *
+vmFlagsUsage()
+{
+    return
+        "      --paging           simulate virtual memory: TLBs +\n"
+        "                         hardware page-table walks through\n"
+        "                         the cache hierarchy (default off)\n"
+        "      --tlb-entries N    L1 I/D TLB entries, 1-1048576\n"
+        "                         (default 64)\n"
+        "      --tlb-assoc N      L1 I/D TLB associativity (default 4)\n"
+        "      --tlb-stlb-entries N\n"
+        "                         unified L2 TLB entries (default "
+        "1024)\n"
+        "      --tlb-stlb-assoc N L2 TLB associativity (default 8)\n"
+        "      --tlb-stlb-latency N\n"
+        "                         L2 TLB hit latency, cycles, 0-100\n"
+        "                         (default 7)\n"
+        "      --page-walk-levels N\n"
+        "                         radix page-table depth, 2-5\n"
+        "                         (default 4)\n"
+        "      --page-huge        back the heap with 2 MiB pages\n"
+        "                         (one fewer walk level)\n"
+        "      --page-frag-permille N\n"
+        "                         of those, N/1000 demoted to 4 KiB\n"
+        "                         (fragmentation; 0-1000)\n"
+        "      --resize-on-walk   let an outstanding TLB walk trigger\n"
+        "                         window enlargement like an L2 miss\n";
+}
+
+/** True for vm flags that take no value. */
+inline bool
+isVmBoolFlag(const std::string &arg)
+{
+    return arg == "--paging" || arg == "--page-huge" ||
+           arg == "--resize-on-walk";
+}
+
+/** True for vm flags that take one numeric value. */
+inline bool
+isVmValueFlag(const std::string &arg)
+{
+    return arg == "--tlb-entries" || arg == "--tlb-assoc" ||
+           arg == "--tlb-stlb-entries" ||
+           arg == "--tlb-stlb-assoc" ||
+           arg == "--tlb-stlb-latency" ||
+           arg == "--page-walk-levels" ||
+           arg == "--page-frag-permille";
+}
+
+/**
+ * Apply one vm flag to `vm`. For bool flags `value` is ignored.
+ * @return False with a usage message in `err` when the value is junk
+ *         or out of bounds; callers print it and exit 2.
+ */
+inline bool
+applyVmFlag(const std::string &arg, const char *value, MmuConfig &vm,
+            std::string &err)
+{
+    auto bounded = [&](unsigned lo, unsigned hi, unsigned &out) {
+        if (!parseBoundedUnsigned(value, lo, hi, out)) {
+            err = arg + ": expected an integer in [" +
+                  std::to_string(lo) + ", " + std::to_string(hi) +
+                  "], got '" + value + "'";
+            return false;
+        }
+        return true;
+    };
+
+    if (arg == "--paging") {
+        vm.enabled = true;
+        return true;
+    }
+    if (arg == "--page-huge") {
+        vm.hugePages = true;
+        return true;
+    }
+    if (arg == "--resize-on-walk") {
+        vm.resizeOnWalk = true;
+        return true;
+    }
+    if (arg == "--tlb-entries") {
+        if (!bounded(1, 1u << 20, vm.itlb.entries))
+            return false;
+        vm.dtlb.entries = vm.itlb.entries;
+        return true;
+    }
+    if (arg == "--tlb-assoc") {
+        if (!bounded(1, 1u << 20, vm.itlb.assoc))
+            return false;
+        vm.dtlb.assoc = vm.itlb.assoc;
+        return true;
+    }
+    if (arg == "--tlb-stlb-entries")
+        return bounded(1, 1u << 20, vm.stlb.entries);
+    if (arg == "--tlb-stlb-assoc")
+        return bounded(1, 1u << 20, vm.stlb.assoc);
+    if (arg == "--tlb-stlb-latency")
+        return bounded(0, 100, vm.stlb.hitLatency);
+    if (arg == "--page-walk-levels")
+        return bounded(2, 5, vm.walkLevels);
+    if (arg == "--page-frag-permille")
+        return bounded(0, 1000, vm.fragPermille);
+    err = arg + ": not a vm flag";
+    return false;
+}
+
+} // namespace vm
+} // namespace mlpwin
+
+#endif // MLPWIN_VM_MMU_FLAGS_HH

@@ -1,0 +1,79 @@
+#include "vm/page_table.hh"
+
+namespace mlpwin
+{
+namespace vm
+{
+
+namespace
+{
+
+/** FNV-1a over two words; the deterministic node/demotion hash. */
+std::uint64_t
+hash2(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::uint64_t v : {a, b}) {
+        for (unsigned i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    }
+    return h;
+}
+
+/** Node frames available in the reserved region (1 GiB of table). */
+constexpr std::uint64_t kPtNodeMask = (1ULL << 18) - 1;
+
+} // namespace
+
+PageTable::PageTable(const MmuConfig &cfg)
+    : walkLevels_(cfg.walkLevels),
+      hugePages_(cfg.hugePages),
+      fragPermille_(cfg.fragPermille)
+{
+}
+
+bool
+PageTable::isHuge(Addr va) const
+{
+    if (!hugePages_)
+        return false;
+    if (fragPermille_ == 0)
+        return true;
+    // Deterministic demotion: the same 2 MiB region fragments on
+    // every run and host.
+    std::uint64_t region = va >> kHugePageShift;
+    return hash2(region, 0x9e3779b97f4a7c15ULL) % 1000 >=
+           fragPermille_;
+}
+
+PageWalkPath
+PageTable::walkPath(Addr va) const
+{
+    PageWalkPath p;
+    p.huge = isHuge(va);
+    p.levels = p.huge ? walkLevels_ - 1 : walkLevels_;
+    return p;
+}
+
+Addr
+PageTable::pteAddr(Addr va, unsigned level) const
+{
+    // The radix index path: level 0 consumes the most-significant
+    // kPtIndexBits of the VPN, the last level the least-significant.
+    std::uint64_t vpn = va >> kPageShift;
+    unsigned shift = kPtIndexBits * (walkLevels_ - 1 - level);
+    std::uint64_t prefix = vpn >> shift;
+    // The node holding this entry is identified by its level and the
+    // index path above it; its frame is a hash-scattered page in the
+    // reserved region. Entry offset within the node is the radix
+    // index at this level.
+    std::uint64_t node = hash2(level, prefix >> kPtIndexBits);
+    std::uint64_t index = prefix & ((1ULL << kPtIndexBits) - 1);
+    return kPtRegionBase + ((node & kPtNodeMask) << kPageShift) +
+           index * 8;
+}
+
+} // namespace vm
+} // namespace mlpwin

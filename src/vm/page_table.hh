@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The per-workload radix page table the hardware walker traverses.
+ *
+ * Translation is identity-preserving (physical address == virtual
+ * address), mirroring how MainMemory demand-allocates its sparse
+ * 4 KiB pages over the flat 64-bit space: a page "exists" the moment
+ * it is touched, so the table conceptually maps every touched page
+ * 1:1. What the timing model needs from the table is therefore not
+ * the mapping itself but the *addresses of the page-table entries*
+ * a hardware walk would read on the way to it. Those PTE addresses
+ * are computed deterministically (an FNV hash of the node's position
+ * in the radix tree) inside a reserved high region of the address
+ * space that no workload or SMT thread offset can reach, and they are
+ * only ever used for timing accesses through the cache hierarchy —
+ * page-table contents are never written into functional memory, so
+ * the lockstep checker's end-of-run memory diff, checkpoints, and the
+ * fuzzer all see exactly the images they saw before paging existed.
+ *
+ * Huge pages: with hugePages enabled, each 2 MiB-aligned region is
+ * backed by one huge page — walks stop one level early and the TLBs
+ * cache one entry per region — unless the region is demoted to 4 KiB
+ * pages by the fragmentation knob (a deterministic hash of the region
+ * number against fragPermille), modeling a fragmented physical
+ * memory that can no longer back every region with a huge page.
+ */
+
+#ifndef MLPWIN_VM_PAGE_TABLE_HH
+#define MLPWIN_VM_PAGE_TABLE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "vm/mmu_config.hh"
+
+namespace mlpwin
+{
+namespace vm
+{
+
+/**
+ * Base of the reserved page-table region. Workload addresses live
+ * below 2^40 and SMT thread offsets add at most (nThreads-1) << 40
+ * (smt_config.hh), so bit 62 is untouchable by any program address.
+ */
+constexpr Addr kPtRegionBase = 1ULL << 62;
+
+/** Static description of one translation. */
+struct PageWalkPath
+{
+    /** Number of PTE reads the walk performs (serialized). */
+    unsigned levels = 0;
+    /** True when the translation is a 2 MiB huge page. */
+    bool huge = false;
+};
+
+/** See file comment. */
+class PageTable
+{
+  public:
+    explicit PageTable(const MmuConfig &cfg);
+
+    /** True when va is backed by a (non-demoted) 2 MiB page. */
+    bool isHuge(Addr va) const;
+
+    /** The walk shape for the page containing va. */
+    PageWalkPath walkPath(Addr va) const;
+
+    /**
+     * Address of the PTE read at walk depth `level` (0 = root) for
+     * the page containing va. Distinct radix nodes map to distinct
+     * (hash-scattered) page-aligned node frames in the reserved
+     * region; the entry's offset within its node is the radix index,
+     * so adjacent pages share node lines exactly as a real table's
+     * locality would have them do.
+     */
+    Addr pteAddr(Addr va, unsigned level) const;
+
+  private:
+    unsigned walkLevels_;
+    bool hugePages_;
+    unsigned fragPermille_;
+};
+
+} // namespace vm
+} // namespace mlpwin
+
+#endif // MLPWIN_VM_PAGE_TABLE_HH

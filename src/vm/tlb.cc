@@ -1,0 +1,88 @@
+#include "vm/tlb.hh"
+
+#include <algorithm>
+
+namespace mlpwin
+{
+namespace vm
+{
+
+Tlb::Tlb(const std::string &name, const TlbConfig &cfg, StatSet *stats)
+    : assoc_(cfg.assoc),
+      numSets_(cfg.entries / cfg.assoc),
+      hitLatency_(cfg.hitLatency),
+      entries_(static_cast<std::size_t>(cfg.entries)),
+      accesses_(stats, name + ".accesses", "TLB probes"),
+      misses_(stats, name + ".misses", "TLB probes that missed")
+{
+}
+
+Tlb::Entry *
+Tlb::find(std::uint64_t vpn, bool huge)
+{
+    std::size_t set = static_cast<std::size_t>(vpn) % numSets_;
+    Entry *base = &entries_[set * assoc_];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.vpn == vpn && e.huge == huge)
+            return &e;
+    }
+    return nullptr;
+}
+
+Tlb::Entry &
+Tlb::victim(std::uint64_t vpn)
+{
+    std::size_t set = static_cast<std::size_t>(vpn) % numSets_;
+    Entry *base = &entries_[set * assoc_];
+    Entry *lru = base;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Entry &e = base[w];
+        if (!e.valid)
+            return e;
+        if (e.lruStamp < lru->lruStamp)
+            lru = &e;
+    }
+    return *lru;
+}
+
+TlbLookup
+Tlb::lookup(std::uint64_t vpn, bool huge, Cycle now)
+{
+    ++accesses_;
+    if (Entry *e = find(vpn, huge)) {
+        e->lruStamp = ++lruCounter_;
+        return TlbLookup{true, std::max(e->ready, now)};
+    }
+    ++misses_;
+    return TlbLookup{false, now};
+}
+
+void
+Tlb::insert(std::uint64_t vpn, bool huge, Cycle ready_at)
+{
+    Entry &e = victim(vpn);
+    e.vpn = vpn;
+    e.valid = true;
+    e.huge = huge;
+    e.ready = ready_at;
+    e.lruStamp = ++lruCounter_;
+}
+
+void
+Tlb::warmTouch(std::uint64_t vpn, bool huge)
+{
+    if (Entry *e = find(vpn, huge)) {
+        e->lruStamp = ++lruCounter_;
+        return;
+    }
+    Entry &e = victim(vpn);
+    e.vpn = vpn;
+    e.valid = true;
+    e.huge = huge;
+    e.ready = 0;
+    e.lruStamp = ++lruCounter_;
+}
+
+} // namespace vm
+} // namespace mlpwin

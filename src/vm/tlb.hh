@@ -1,0 +1,101 @@
+/**
+ * @file
+ * A set-associative, LRU translation lookaside buffer. Entries are
+ * keyed by virtual page number and carry a readiness cycle so that a
+ * page whose walk is still in flight behaves like a pending MSHR:
+ * later accesses to the same page merge into the outstanding walk
+ * instead of starting their own. Huge-page (2 MiB) translations live
+ * in the same array, keyed by the huge-page number with a size flag.
+ */
+
+#ifndef MLPWIN_VM_TLB_HH
+#define MLPWIN_VM_TLB_HH
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "vm/mmu_config.hh"
+
+namespace mlpwin
+{
+namespace vm
+{
+
+/** Result of a TLB probe. */
+struct TlbLookup
+{
+    bool hit = false;
+    /** Cycle at which the translation is usable (>= probe time for
+     *  entries still waiting on their walk). */
+    Cycle readyAt = 0;
+};
+
+/** See file comment. */
+class Tlb
+{
+  public:
+    /**
+     * @param name Stat prefix, e.g. "tlb.dtlb".
+     * @param cfg Geometry and timing (validated by the caller).
+     * @param stats Owning stat set (may be nullptr).
+     */
+    Tlb(const std::string &name, const TlbConfig &cfg, StatSet *stats);
+
+    unsigned hitLatency() const { return hitLatency_; }
+
+    /**
+     * Probe for a page translation and update LRU on hit.
+     *
+     * @param vpn Virtual page number (huge-page number for huge).
+     * @param huge True when probing for a 2 MiB translation.
+     * @param now Current cycle.
+     */
+    TlbLookup lookup(std::uint64_t vpn, bool huge, Cycle now);
+
+    /**
+     * Install a translation that becomes usable at ready_at (the walk
+     * or L2-TLB fill time), evicting the set's LRU entry.
+     */
+    void insert(std::uint64_t vpn, bool huge, Cycle ready_at);
+
+    /**
+     * Functional-warming access: recency-update the entry if present,
+     * install it ready-immediately if not. Counts no stats — the
+     * access happens outside simulated time, mirroring
+     * Cache::warmTouch during fast-forward.
+     */
+    void warmTouch(std::uint64_t vpn, bool huge);
+
+    std::uint64_t accesses() const { return accesses_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t vpn = 0;
+        bool valid = false;
+        bool huge = false;
+        Cycle ready = 0;
+        std::uint64_t lruStamp = 0;
+    };
+
+    Entry *find(std::uint64_t vpn, bool huge);
+    Entry &victim(std::uint64_t vpn);
+
+    unsigned assoc_;
+    std::size_t numSets_;
+    unsigned hitLatency_;
+    std::uint64_t lruCounter_ = 0;
+
+    std::vector<Entry> entries_; // numSets_ * assoc_, set-major.
+
+    Counter accesses_;
+    Counter misses_;
+};
+
+} // namespace vm
+} // namespace mlpwin
+
+#endif // MLPWIN_VM_TLB_HH

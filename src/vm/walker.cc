@@ -1,0 +1,36 @@
+#include "vm/walker.hh"
+
+#include "common/logging.hh"
+
+namespace mlpwin
+{
+namespace vm
+{
+
+PageWalker::PageWalker(const PageTable &pt, StatSet *stats)
+    : pt_(pt),
+      walks_(stats, "walk.walks", "page-table walks started"),
+      walkCycles_(stats, "walk.cycles",
+                  "total cycles from walk start to last PTE arrival"),
+      ptAccesses_(stats, "walk.pt_accesses",
+                  "PTE reads issued into the cache hierarchy")
+{
+}
+
+Cycle
+PageWalker::walk(Addr va, Cycle start)
+{
+    mlpwin_assert(issue_);
+    PageWalkPath path = pt_.walkPath(va);
+    Cycle t = start;
+    for (unsigned level = 0; level < path.levels; ++level) {
+        t = issue_(pt_.pteAddr(va, level), t);
+        ++ptAccesses_;
+    }
+    ++walks_;
+    walkCycles_ += t - start;
+    return t;
+}
+
+} // namespace vm
+} // namespace mlpwin

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The hardware page-table walker. A walk is a serialized chain of
+ * PTE reads — each level's node address depends on the previous
+ * level's entry — issued *through* the owning cache hierarchy via a
+ * callback, so walk traffic occupies the L2 and the DRAM bus
+ * alongside demand misses and prefetches. Upper-level nodes are hot
+ * and hit in the L2 (a pocket of the real walker caches' benefit);
+ * leaf PTEs of a pointer-chasing workload mostly go to DRAM, which is
+ * exactly why TLB-miss-heavy phases show up as memory-level
+ * parallelism the resize controller can act on.
+ */
+
+#ifndef MLPWIN_VM_WALKER_HH
+#define MLPWIN_VM_WALKER_HH
+
+#include <functional>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "vm/page_table.hh"
+
+namespace mlpwin
+{
+namespace vm
+{
+
+/**
+ * Issues one PTE read into the memory system at cycle t and returns
+ * the cycle its data arrives. Installed by the cache hierarchy.
+ */
+using PtIssueFn = std::function<Cycle(Addr addr, Cycle t)>;
+
+/** See file comment. */
+class PageWalker
+{
+  public:
+    PageWalker(const PageTable &pt, StatSet *stats);
+
+    void setIssuer(PtIssueFn fn) { issue_ = std::move(fn); }
+
+    /**
+     * Walk the table for the page containing va, starting at cycle
+     * `start`. Serializes one PTE read per level.
+     *
+     * @return Cycle at which the translation is complete.
+     */
+    Cycle walk(Addr va, Cycle start);
+
+    std::uint64_t walks() const { return walks_.value(); }
+    std::uint64_t walkCycles() const { return walkCycles_.value(); }
+    std::uint64_t ptAccesses() const { return ptAccesses_.value(); }
+
+  private:
+    const PageTable &pt_;
+    PtIssueFn issue_;
+
+    Counter walks_;
+    Counter walkCycles_;
+    Counter ptAccesses_;
+};
+
+} // namespace vm
+} // namespace mlpwin
+
+#endif // MLPWIN_VM_WALKER_HH

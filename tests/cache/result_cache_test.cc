@@ -237,6 +237,55 @@ TEST(ResultCacheTest, ListReportsTriageFieldsAndGcEvictsOldest)
     EXPECT_TRUE(fs::exists(rc.entryPath(2)));
 }
 
+/**
+ * `gc --dry-run` support: the report and victim list are exactly
+ * those of a real gc with the same budget, but the store's bytes are
+ * untouched.
+ */
+TEST(ResultCacheTest, GcDryRunReportsEvictionsWithoutDeleting)
+{
+    std::string dir = scratchDir("mlpwin_cache_gc_dry");
+    ResultCache rc(dir);
+    ASSERT_TRUE(rc.enabled());
+    const std::string payload(200, 'x');
+    ASSERT_TRUE(rc.put(1, payload, "mcf", "base", 0, 0));
+    ASSERT_TRUE(rc.put(2, payload, "gcc", "resizing", 0, 0));
+    fs::last_write_time(rc.entryPath(1),
+                        fs::last_write_time(rc.entryPath(1)) -
+                            std::chrono::hours(1));
+
+    std::vector<ResultCache::EntryInfo> entries = rc.list();
+    ASSERT_EQ(entries.size(), 2u);
+    const std::uint64_t budget = entries[1].bytes;
+    const std::string bytes1 = slurp(rc.entryPath(1));
+    const std::string bytes2 = slurp(rc.entryPath(2));
+
+    std::vector<ResultCache::EntryInfo> victims;
+    ResultCache::GcReport dry = rc.gc(budget, true, &victims);
+    EXPECT_EQ(dry.scanned, 2u);
+    EXPECT_EQ(dry.removed, 1u);
+    ASSERT_EQ(victims.size(), 1u);
+    EXPECT_EQ(victims[0].key, 1u); // Oldest-first eviction order.
+    EXPECT_EQ(victims[0].workload, "mcf");
+
+    // Nothing moved: both entries still present, byte for byte.
+    EXPECT_EQ(slurp(rc.entryPath(1)), bytes1);
+    EXPECT_EQ(slurp(rc.entryPath(2)), bytes2);
+    std::string got;
+    EXPECT_TRUE(rc.get(1, got));
+    EXPECT_EQ(got, payload);
+
+    // The real gc then does exactly what the rehearsal promised.
+    std::vector<ResultCache::EntryInfo> removed;
+    ResultCache::GcReport wet = rc.gc(budget, false, &removed);
+    EXPECT_EQ(wet.removed, dry.removed);
+    EXPECT_EQ(wet.bytesAfter, dry.bytesAfter);
+    ASSERT_EQ(removed.size(), 1u);
+    EXPECT_EQ(removed[0].key, victims[0].key);
+    EXPECT_FALSE(fs::exists(rc.entryPath(1)));
+    EXPECT_TRUE(fs::exists(rc.entryPath(2)));
+}
+
 TEST(ResultCacheTest, ClearEmptiesObjectsAndQuarantine)
 {
     std::string dir = scratchDir("mlpwin_cache_clear");
@@ -386,6 +435,41 @@ TEST(CacheRunnerTest, NonFingerprintKnobsStillAddressTheCache)
     exp::BatchOutcome hit = exp::ExperimentRunner(1, false).runAll(spec);
     ASSERT_TRUE(hit.allOk());
     EXPECT_EQ(hit.cacheHits, 1u);
+}
+
+/**
+ * The MMU geometry is part of the cell's identity: a paging run must
+ * never replay a result cached under different TLB/page-table knobs,
+ * and re-running the identical geometry must hit.
+ */
+TEST(CacheRunnerTest, MmuGeometryAddressesTheCache)
+{
+    exp::ExperimentSpec spec = syntheticSpec(1);
+    spec.cacheDir = scratchDir("mlpwin_cache_vm");
+    spec.base.vm.enabled = true;
+
+    exp::BatchOutcome cold = exp::ExperimentRunner(1, false).runAll(spec);
+    ASSERT_TRUE(cold.allOk());
+    EXPECT_EQ(cold.cacheStores, 1u);
+
+    // Every geometry/policy knob re-keys the cell.
+    exp::ExperimentSpec variants[4] = {spec, spec, spec, spec};
+    variants[0].base.vm.dtlb.entries = 128;
+    variants[1].base.vm.stlb.hitLatency = 9;
+    variants[2].base.vm.hugePages = true;
+    variants[3].base.vm.resizeOnWalk = true;
+    for (exp::ExperimentSpec &v : variants) {
+        exp::BatchOutcome miss = exp::ExperimentRunner(1, false).runAll(v);
+        ASSERT_TRUE(miss.allOk());
+        EXPECT_EQ(miss.cacheHits, 0u);
+        EXPECT_EQ(miss.cacheStores, 1u);
+    }
+
+    // The identical geometry still hits.
+    exp::BatchOutcome warm = exp::ExperimentRunner(1, false).runAll(spec);
+    ASSERT_TRUE(warm.allOk());
+    EXPECT_EQ(warm.cacheHits, 1u);
+    EXPECT_EQ(warm.cacheStores, 0u);
 }
 
 } // namespace

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Unit tests for the composed MMU against a scripted PTE issuer:
+ * the L1-hit / L2-TLB-hit / full-walk latency ladder, MSHR-style
+ * merging into in-flight walks, walk serialization through the
+ * issuer, the walk-start listener, functional warming, and the
+ * end-of-run stats snapshot.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "vm/mmu.hh"
+
+namespace mlpwin
+{
+namespace vm
+{
+namespace
+{
+
+/** Fixed per-PTE latency for the scripted issuer. */
+constexpr Cycle kPteLatency = 100;
+
+struct IssuerLog
+{
+    std::vector<Addr> addrs;
+    std::vector<Cycle> times;
+};
+
+MmuConfig
+pagingConfig()
+{
+    MmuConfig cfg;
+    cfg.enabled = true;
+    return cfg; // Defaults: 4-level walks, 7-cycle L2 TLB.
+}
+
+/** An MMU wired to a scripted, logging PTE issuer. */
+struct TestMmu
+{
+    IssuerLog log;
+    Mmu mmu;
+
+    explicit TestMmu(const MmuConfig &cfg) : mmu(cfg, nullptr)
+    {
+        mmu.setPtIssuer([this](Addr a, Cycle t) {
+            log.addrs.push_back(a);
+            log.times.push_back(t);
+            return t + kPteLatency;
+        });
+    }
+};
+
+TEST(MmuTest, ColdAccessWalksThenTheL1TlbHitIsFree)
+{
+    TestMmu t(pagingConfig());
+    Mmu &mmu = t.mmu;
+    IssuerLog &log = t.log;
+
+    // Cold: L1 and L2 TLB miss, 4 serialized PTE reads after the
+    // 7-cycle L2 TLB probe.
+    TranslateResult cold = mmu.translateData(0x1000, 1000);
+    EXPECT_EQ(cold.readyAt, 1000u + 7 + 4 * kPteLatency);
+    EXPECT_EQ(cold.walkDoneAt, cold.readyAt);
+    ASSERT_EQ(log.addrs.size(), 4u);
+    EXPECT_EQ(log.times[0], 1007u);
+    EXPECT_EQ(log.times[3], 1007u + 3 * kPteLatency);
+    for (Addr a : log.addrs)
+        EXPECT_GE(a, kPtRegionBase);
+
+    // Warm: the L1 TLB entry answers at the request cycle.
+    TranslateResult warm = mmu.translateData(0x1008, 2000);
+    EXPECT_EQ(warm.readyAt, 2000u);
+    EXPECT_EQ(warm.walkDoneAt, 0u);
+    EXPECT_EQ(log.addrs.size(), 4u); // No further walk.
+}
+
+TEST(MmuTest, L2TlbHitCostsItsLatencyOnly)
+{
+    TestMmu t(pagingConfig());
+    Mmu &mmu = t.mmu;
+    IssuerLog &log = t.log;
+
+    // The data-side walk installs the page in the unified L2 TLB, so
+    // the instruction side's first access to it pays only the L2 TLB
+    // latency.
+    mmu.translateData(0x1000, 0);
+    std::size_t walk_accesses = log.addrs.size();
+    TranslateResult r = mmu.translateInst(0x1000, 5000);
+    EXPECT_EQ(r.readyAt, 5007u);
+    EXPECT_EQ(r.walkDoneAt, 0u);
+    EXPECT_EQ(log.addrs.size(), walk_accesses);
+}
+
+TEST(MmuTest, SamePageAccessesMergeIntoTheOutstandingWalk)
+{
+    TestMmu t(pagingConfig());
+    Mmu &mmu = t.mmu;
+    IssuerLog &log = t.log;
+
+    TranslateResult first = mmu.translateData(0x2000, 100);
+    ASSERT_GT(first.readyAt, 100u);
+
+    // A second access to the page while its walk is in flight waits
+    // for that walk rather than starting another.
+    TranslateResult merged = mmu.translateData(0x2008, 150);
+    EXPECT_EQ(merged.readyAt, first.readyAt);
+    EXPECT_EQ(merged.walkDoneAt, first.readyAt);
+    EXPECT_EQ(log.addrs.size(), 4u);
+    EXPECT_EQ(mmu.stats().walks, 1u);
+}
+
+TEST(MmuTest, HugePagesWalkOneLevelFewer)
+{
+    MmuConfig cfg = pagingConfig();
+    cfg.hugePages = true;
+    TestMmu t(cfg);
+    Mmu &mmu = t.mmu;
+    IssuerLog &log = t.log;
+
+    TranslateResult r = mmu.translateData(0x1000, 0);
+    EXPECT_EQ(r.readyAt, 0u + 7 + 3 * kPteLatency);
+    EXPECT_EQ(log.addrs.size(), 3u);
+
+    // The whole 2 MiB region shares the translation.
+    TranslateResult same = mmu.translateData(0x1ff000, 1000);
+    EXPECT_EQ(same.readyAt, 1000u);
+    EXPECT_EQ(log.addrs.size(), 3u);
+}
+
+TEST(MmuTest, WalkListenerFiresAtWalkStartOnly)
+{
+    TestMmu t(pagingConfig());
+    Mmu &mmu = t.mmu;
+    std::vector<Addr> starts;
+    std::vector<Cycle> cycles;
+    mmu.setWalkListener([&](Addr va, Cycle c) {
+        starts.push_back(va);
+        cycles.push_back(c);
+    });
+
+    mmu.translateData(0x3000, 40);
+    ASSERT_EQ(starts.size(), 1u);
+    EXPECT_EQ(starts[0], 0x3000u);
+    EXPECT_EQ(cycles[0], 40u);
+
+    // Hits and merges are not walk starts.
+    mmu.translateData(0x3000, 41);
+    mmu.translateData(0x3008, 42);
+    EXPECT_EQ(starts.size(), 1u);
+}
+
+TEST(MmuTest, WarmingInstallsTranslationsWithoutWalking)
+{
+    TestMmu t(pagingConfig());
+    Mmu &mmu = t.mmu;
+    IssuerLog &log = t.log;
+    mmu.warmData(0x4000);
+    mmu.warmInst(0x8000);
+
+    EXPECT_EQ(mmu.translateData(0x4000, 10).readyAt, 10u);
+    EXPECT_EQ(mmu.translateInst(0x8000, 10).readyAt, 10u);
+    EXPECT_TRUE(log.addrs.empty());
+    EXPECT_EQ(mmu.stats().walks, 0u);
+
+    // Warming is side-specific at L1 but shared at the L2 TLB: the
+    // data side reaches a warmed instruction page in 7 cycles.
+    EXPECT_EQ(mmu.translateData(0x8000, 20).readyAt, 27u);
+}
+
+TEST(MmuTest, StatsSnapshotCountsTheLadder)
+{
+    TestMmu t(pagingConfig());
+    Mmu &mmu = t.mmu;
+
+    mmu.translateData(0x1000, 0);    // Walk.
+    mmu.translateData(0x1000, 600);  // L1 hit.
+    mmu.translateInst(0x1000, 700);  // ITLB miss, L2 TLB hit.
+    VmStats s = mmu.stats();
+    EXPECT_EQ(s.dtlbAccesses, 2u);
+    EXPECT_EQ(s.dtlbMisses, 1u);
+    EXPECT_EQ(s.itlbAccesses, 1u);
+    EXPECT_EQ(s.itlbMisses, 1u);
+    EXPECT_EQ(s.stlbAccesses, 2u);
+    EXPECT_EQ(s.stlbMisses, 1u);
+    EXPECT_EQ(s.walks, 1u);
+    EXPECT_EQ(s.ptAccesses, 4u);
+    EXPECT_EQ(s.walkCycles, 4 * kPteLatency);
+    EXPECT_DOUBLE_EQ(s.avgWalkLatency(),
+                     static_cast<double>(4 * kPteLatency));
+}
+
+TEST(MmuTest, DisabledMmuReportsDisabled)
+{
+    Mmu mmu(MmuConfig{}, nullptr);
+    EXPECT_FALSE(mmu.enabled());
+    EXPECT_EQ(mmu.stats().walks, 0u);
+}
+
+} // namespace
+} // namespace vm
+} // namespace mlpwin

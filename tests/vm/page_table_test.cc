@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for the per-workload radix page table: walk shapes for
+ * base and huge pages, PTE addresses confined to the reserved
+ * region, radix locality (adjacent pages share their leaf node),
+ * and the deterministic fragmentation-demotion hash.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "vm/page_table.hh"
+
+namespace mlpwin
+{
+namespace vm
+{
+namespace
+{
+
+MmuConfig
+pagingConfig(bool huge = false, unsigned frag = 0)
+{
+    MmuConfig cfg;
+    cfg.enabled = true;
+    cfg.hugePages = huge;
+    cfg.fragPermille = frag;
+    return cfg;
+}
+
+TEST(PageTableTest, BasePagesWalkEveryLevel)
+{
+    PageTable pt(pagingConfig());
+    PageWalkPath p = pt.walkPath(0x1234567000ULL);
+    EXPECT_EQ(p.levels, 4u);
+    EXPECT_FALSE(p.huge);
+    EXPECT_FALSE(pt.isHuge(0x1234567000ULL));
+}
+
+TEST(PageTableTest, HugePagesStopOneLevelShort)
+{
+    PageTable pt(pagingConfig(true));
+    PageWalkPath p = pt.walkPath(0x1234567000ULL);
+    EXPECT_EQ(p.levels, 3u);
+    EXPECT_TRUE(p.huge);
+}
+
+TEST(PageTableTest, ConfiguredDepthIsRespected)
+{
+    MmuConfig cfg = pagingConfig();
+    cfg.walkLevels = 2;
+    PageTable pt(cfg);
+    EXPECT_EQ(pt.walkPath(0).levels, 2u);
+}
+
+TEST(PageTableTest, PteAddressesLiveInTheReservedRegion)
+{
+    PageTable pt(pagingConfig());
+    for (unsigned level = 0; level < 4; ++level) {
+        Addr a = pt.pteAddr(0xdeadbeef000ULL, level);
+        EXPECT_GE(a, kPtRegionBase);
+        EXPECT_LT(a, kPtRegionBase + (1ULL << 30));
+        EXPECT_EQ(a % 8, 0u); // 8-byte PTEs.
+    }
+}
+
+TEST(PageTableTest, AdjacentPagesShareTheirLeafNode)
+{
+    // Two consecutive 4 KiB pages differ only in the last-level radix
+    // index, so their leaf PTEs are 8 bytes apart in the same node
+    // and every upper level reads the very same entry.
+    PageTable pt(pagingConfig());
+    const Addr va = 0x40000000ULL; // Last-level index 0.
+    for (unsigned level = 0; level < 3; ++level)
+        EXPECT_EQ(pt.pteAddr(va, level), pt.pteAddr(va + 0x1000, level));
+    EXPECT_EQ(pt.pteAddr(va + 0x1000, 3), pt.pteAddr(va, 3) + 8);
+}
+
+TEST(PageTableTest, DistantPagesUseDistinctLeafNodes)
+{
+    PageTable pt(pagingConfig());
+    Addr a = pt.pteAddr(0x40000000ULL, 3);
+    Addr b = pt.pteAddr(0x9000000000ULL, 3);
+    EXPECT_NE(a >> 12, b >> 12); // Different node frames.
+}
+
+TEST(PageTableTest, TableLayoutIsDeterministicAcrossInstances)
+{
+    PageTable a(pagingConfig(true, 250));
+    PageTable b(pagingConfig(true, 250));
+    for (Addr va = 0; va < (64ULL << 21); va += 1ULL << 21) {
+        EXPECT_EQ(a.isHuge(va), b.isHuge(va));
+        for (unsigned level = 0; level < a.walkPath(va).levels;
+             ++level)
+            EXPECT_EQ(a.pteAddr(va, level), b.pteAddr(va, level));
+    }
+}
+
+TEST(PageTableTest, FragmentationDemotesSomeRegionsDeterministically)
+{
+    // 0 permille: every region is huge. 1000: none are. In between,
+    // the demoted fraction tracks the knob over many regions.
+    PageTable none(pagingConfig(true, 0));
+    PageTable all(pagingConfig(true, 1000));
+    PageTable half(pagingConfig(true, 500));
+    unsigned huge_count = 0;
+    const unsigned kRegions = 1000;
+    for (unsigned r = 0; r < kRegions; ++r) {
+        Addr va = static_cast<Addr>(r) << kHugePageShift;
+        EXPECT_TRUE(none.isHuge(va));
+        EXPECT_FALSE(all.isHuge(va));
+        if (half.isHuge(va))
+            ++huge_count;
+    }
+    EXPECT_GT(huge_count, kRegions / 3);
+    EXPECT_LT(huge_count, 2 * kRegions / 3);
+
+    // A demoted region walks the full depth again.
+    for (unsigned r = 0; r < kRegions; ++r) {
+        Addr va = static_cast<Addr>(r) << kHugePageShift;
+        if (!half.isHuge(va)) {
+            EXPECT_EQ(half.walkPath(va).levels, 4u);
+            return;
+        }
+    }
+    FAIL() << "no demoted region in 1000 at 500 permille";
+}
+
+TEST(PageTableTest, LeafNodesStayWithinTheFrameMask)
+{
+    // Hammer many scattered pages; node frames must never escape the
+    // 1 GiB reserved window whatever the hash does.
+    PageTable pt(pagingConfig());
+    std::set<Addr> frames;
+    for (std::uint64_t i = 0; i < 4096; ++i) {
+        Addr va = (i * 0x9e3779b97f4a7c15ULL) & ((1ULL << 40) - 1);
+        Addr a = pt.pteAddr(va, 3);
+        EXPECT_GE(a, kPtRegionBase);
+        EXPECT_LT(a, kPtRegionBase + (1ULL << 30));
+        frames.insert(a >> 12);
+    }
+    // The hash scatters: thousands of pages, many distinct frames.
+    EXPECT_GT(frames.size(), 1000u);
+}
+
+} // namespace
+} // namespace vm
+} // namespace mlpwin

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for the set-associative LRU TLB: probe/insert
+ * round-trips, per-set LRU victimization, the pending-walk
+ * (MSHR-style) readiness semantics, page-size keying, and the
+ * stat-free functional-warming path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vm/tlb.hh"
+
+namespace mlpwin
+{
+namespace vm
+{
+namespace
+{
+
+Tlb
+makeTlb(unsigned entries, unsigned assoc, unsigned lat = 0)
+{
+    return Tlb("tlb.test", TlbConfig{entries, assoc, lat}, nullptr);
+}
+
+TEST(TlbTest, MissThenInsertThenHit)
+{
+    Tlb tlb = makeTlb(64, 4);
+    EXPECT_FALSE(tlb.lookup(7, false, 100).hit);
+    tlb.insert(7, false, 100);
+    TlbLookup l = tlb.lookup(7, false, 200);
+    EXPECT_TRUE(l.hit);
+    EXPECT_EQ(l.readyAt, 200u); // Ready in the past: usable now.
+    EXPECT_EQ(tlb.accesses(), 2u);
+    EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(TlbTest, LruVictimWithinTheSet)
+{
+    // 4 entries, 2 ways -> 2 sets; even vpns share set 0.
+    Tlb tlb = makeTlb(4, 2);
+    tlb.insert(0, false, 0);
+    tlb.insert(2, false, 0);
+    // Touch vpn 0 so vpn 2 is the set's LRU entry.
+    EXPECT_TRUE(tlb.lookup(0, false, 10).hit);
+    tlb.insert(4, false, 10);
+    EXPECT_TRUE(tlb.lookup(0, false, 20).hit);
+    EXPECT_TRUE(tlb.lookup(4, false, 20).hit);
+    EXPECT_FALSE(tlb.lookup(2, false, 20).hit);
+}
+
+TEST(TlbTest, InsertsFillInvalidWaysBeforeEvicting)
+{
+    Tlb tlb = makeTlb(4, 4); // One set.
+    tlb.insert(1, false, 0);
+    tlb.insert(2, false, 0);
+    tlb.insert(3, false, 0);
+    tlb.insert(4, false, 0);
+    EXPECT_TRUE(tlb.lookup(1, false, 1).hit);
+    EXPECT_TRUE(tlb.lookup(2, false, 1).hit);
+    EXPECT_TRUE(tlb.lookup(3, false, 1).hit);
+    EXPECT_TRUE(tlb.lookup(4, false, 1).hit);
+}
+
+TEST(TlbTest, PendingEntryMergesLikeAnMshr)
+{
+    // An entry installed with a future ready cycle models a page
+    // whose walk is still in flight: hits stall until the walk ends.
+    Tlb tlb = makeTlb(64, 4);
+    tlb.insert(9, false, 500);
+    TlbLookup during = tlb.lookup(9, false, 120);
+    EXPECT_TRUE(during.hit);
+    EXPECT_EQ(during.readyAt, 500u);
+    TlbLookup after = tlb.lookup(9, false, 700);
+    EXPECT_TRUE(after.hit);
+    EXPECT_EQ(after.readyAt, 700u);
+}
+
+TEST(TlbTest, PageSizeIsPartOfTheKey)
+{
+    Tlb tlb = makeTlb(64, 4);
+    tlb.insert(3, false, 0);
+    EXPECT_FALSE(tlb.lookup(3, true, 1).hit);
+    tlb.insert(3, true, 0);
+    EXPECT_TRUE(tlb.lookup(3, true, 2).hit);
+    EXPECT_TRUE(tlb.lookup(3, false, 2).hit);
+}
+
+TEST(TlbTest, WarmTouchInstallsReadyEntriesAndCountsNothing)
+{
+    Tlb tlb = makeTlb(4, 2);
+    tlb.warmTouch(0, false);
+    tlb.warmTouch(2, false);
+    EXPECT_EQ(tlb.accesses(), 0u);
+    EXPECT_EQ(tlb.misses(), 0u);
+
+    // Warmed entries are immediately usable...
+    TlbLookup l = tlb.lookup(0, false, 50);
+    EXPECT_TRUE(l.hit);
+    EXPECT_EQ(l.readyAt, 50u);
+
+    // ...and warm touches update recency: vpn 2 is now LRU.
+    tlb.warmTouch(0, false);
+    tlb.insert(4, false, 60);
+    EXPECT_TRUE(tlb.lookup(0, false, 70).hit);
+    EXPECT_FALSE(tlb.lookup(2, false, 70).hit);
+}
+
+} // namespace
+} // namespace vm
+} // namespace mlpwin

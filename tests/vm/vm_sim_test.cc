@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Virtual-memory integration tests:
+ *  - paging-off runs stay bit-identical to the pre-vm seed baseline
+ *    (tests/vm/data/prevm_baseline.jsonl);
+ *  - paging changes timing only: the checked commit stream of a
+ *    paging-on run is identical to the paging-off stream, walks
+ *    happen, and the cycle-accounting invariant keeps holding with
+ *    the tlb_walk leaf in play;
+ *  - the resize-on-walk trigger is deterministic run to run;
+ *  - invalid MMU geometry is rejected loudly;
+ *  - the config fingerprint and the JSONL schema cover the new
+ *    subsystem.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "common/status.hh"
+#include "exp/result_writer.hh"
+#include "sim/simulator.hh"
+
+namespace mlpwin
+{
+namespace
+{
+
+SimConfig
+baselineConfig(const std::string &model)
+{
+    // The exact configuration the pre-vm baseline was generated
+    // with: mlpwin_batch --insts 200000 --warmup 50000 --check.
+    SimConfig cfg;
+    cfg.model =
+        model == "resizing" ? ModelKind::Resizing : ModelKind::Base;
+    cfg.warmupInsts = 50000;
+    cfg.maxInsts = 200000;
+    cfg.functionalWarmup = true;
+    cfg.warmDataCaches = true;
+    cfg.lockstepCheck = true;
+    return cfg;
+}
+
+/** Small checked run, optionally with paging and a stressed TLB. */
+SimConfig
+checkedConfig(bool paging, bool stressed = false)
+{
+    SimConfig cfg;
+    cfg.warmupInsts = 20000;
+    cfg.maxInsts = 50000;
+    cfg.functionalWarmup = true;
+    cfg.warmDataCaches = true;
+    cfg.lockstepCheck = true;
+    cfg.vm.enabled = paging;
+    if (stressed) {
+        // A TLB small enough that mcf's pointer chase walks often.
+        cfg.vm.itlb = {8, 4, 0};
+        cfg.vm.dtlb = {8, 4, 0};
+        cfg.vm.stlb = {64, 8, 7};
+    }
+    return cfg;
+}
+
+TEST(VmSimTest, PagingOffStaysBitIdenticalToThePreVmBaseline)
+{
+    std::ifstream in(std::string(MLPWIN_VM_DATA_DIR) +
+                     "/prevm_baseline.jsonl");
+    ASSERT_TRUE(in.is_open())
+        << "missing pre-vm baseline under " MLPWIN_VM_DATA_DIR;
+    std::string line;
+    unsigned rows = 0;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        ++rows;
+        SimResult want = exp::resultFromJson(line);
+        ASSERT_FALSE(want.vmEnabled); // Generated pre-vm.
+        SimResult got = runWorkload(
+            want.workload, baselineConfig(want.model), 1ULL << 40);
+        SCOPED_TRACE(want.workload + "/" + want.model);
+        EXPECT_EQ(got.cycles, want.cycles);
+        EXPECT_EQ(got.committed, want.committed);
+        EXPECT_EQ(got.ipc, want.ipc);
+        EXPECT_EQ(got.commitStreamHash, want.commitStreamHash);
+        EXPECT_EQ(got.archRegChecksum, want.archRegChecksum);
+        EXPECT_EQ(got.l2DemandMisses, want.l2DemandMisses);
+        EXPECT_EQ(got.cyclesAtLevel, want.cyclesAtLevel);
+        EXPECT_EQ(got.energyTotal, want.energyTotal);
+        EXPECT_FALSE(got.vmEnabled);
+        EXPECT_EQ(got.vm.walks, 0u);
+    }
+    EXPECT_EQ(rows, 4u) << "baseline rows went missing";
+}
+
+TEST(VmSimTest, PagingChangesTimingButNotTheCommitStream)
+{
+    SimResult off = runWorkload("mcf", checkedConfig(false), 1ULL << 40);
+    SimResult on = runWorkload("mcf", checkedConfig(true), 1ULL << 40);
+
+    // Identity translation: the architectural execution is the same
+    // instruction stream, only later.
+    ASSERT_NE(off.commitStreamHash, 0u);
+    EXPECT_EQ(on.commitStreamHash, off.commitStreamHash);
+    EXPECT_EQ(on.archRegChecksum, off.archRegChecksum);
+    EXPECT_EQ(on.committed, off.committed);
+    EXPECT_GE(on.cycles, off.cycles);
+
+    EXPECT_TRUE(on.vmEnabled);
+    EXPECT_FALSE(off.vmEnabled);
+    EXPECT_GT(on.vm.dtlbAccesses, 0u);
+    EXPECT_GT(on.vm.walks, 0u);
+    EXPECT_GE(on.vm.ptAccesses, on.vm.walks);
+    EXPECT_GT(on.vm.walkCycles, 0u);
+    EXPECT_EQ(on.vm.walks, on.vm.stlbMisses);
+}
+
+TEST(VmSimTest, CpiInvariantHoldsAndTheTlbWalkLeafFills)
+{
+    SimResult r =
+        runWorkload("mcf", checkedConfig(true, true), 1ULL << 40);
+    ASSERT_EQ(r.threadCpi.size(), 1u);
+    // Every measured cycle lands on exactly one leaf — the invariant
+    // survives the new taxonomy member.
+    EXPECT_EQ(r.threadCpi[0].sum(), r.cycles);
+    EXPECT_GT(r.cpiTotal()[CpiComponent::TlbWalk], 0u);
+    // The stressed geometry walks far more than the default one.
+    SimResult easy =
+        runWorkload("mcf", checkedConfig(true, false), 1ULL << 40);
+    EXPECT_GT(r.vm.walks, easy.vm.walks);
+}
+
+TEST(VmSimTest, ResizeOnWalkRunsDeterministically)
+{
+    SimConfig cfg = checkedConfig(true, true);
+    cfg.model = ModelKind::Resizing;
+    cfg.vm.resizeOnWalk = true;
+    SimResult a = runWorkload("mcf", cfg, 1ULL << 40);
+    SimResult b = runWorkload("mcf", cfg, 1ULL << 40);
+    EXPECT_GT(a.vm.walks, 0u);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.commitStreamHash, b.commitStreamHash);
+    EXPECT_EQ(a.vm.walks, b.vm.walks);
+
+    // The trigger feeds the resize controller, so flipping it moves
+    // timing (never architecture) on a walk-heavy run.
+    cfg.vm.resizeOnWalk = false;
+    SimResult plain = runWorkload("mcf", cfg, 1ULL << 40);
+    EXPECT_EQ(plain.commitStreamHash, a.commitStreamHash);
+}
+
+TEST(VmSimTest, InvalidMmuGeometryIsRejected)
+{
+    SimConfig cfg;
+    cfg.vm.enabled = true;
+    cfg.vm.walkLevels = 9;
+    try {
+        runWorkload("mcf", cfg, 100);
+        FAIL() << "expected SimError";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.code(), ErrorCode::InvalidArgument);
+    }
+
+    cfg.vm.walkLevels = 4;
+    cfg.vm.stlb.assoc = 3; // entries not a multiple of assoc.
+    EXPECT_THROW(runWorkload("mcf", cfg, 100), SimError);
+
+    // Geometry is validated even with paging off: an invalid config
+    // is rejected whether or not it is armed.
+    cfg.vm.enabled = false;
+    EXPECT_THROW(runWorkload("mcf", cfg, 100), SimError);
+}
+
+TEST(VmSimTest, FingerprintCoversEveryMmuKnob)
+{
+    SimConfig base;
+    const std::uint64_t off = configFingerprint(base);
+
+    SimConfig on = base;
+    on.vm.enabled = true;
+    EXPECT_NE(configFingerprint(on), off);
+    EXPECT_EQ(configFingerprint(on), configFingerprint(on));
+
+    SimConfig geom = on;
+    geom.vm.dtlb.entries = 128;
+    EXPECT_NE(configFingerprint(geom), configFingerprint(on));
+
+    SimConfig lat = on;
+    lat.vm.stlb.hitLatency = 9;
+    EXPECT_NE(configFingerprint(lat), configFingerprint(on));
+
+    SimConfig huge = on;
+    huge.vm.hugePages = true;
+    EXPECT_NE(configFingerprint(huge), configFingerprint(on));
+
+    SimConfig frag = huge;
+    frag.vm.fragPermille = 125;
+    EXPECT_NE(configFingerprint(frag), configFingerprint(huge));
+
+    SimConfig row = on;
+    row.vm.resizeOnWalk = true;
+    EXPECT_NE(configFingerprint(row), configFingerprint(on));
+
+    SimConfig levels = on;
+    levels.vm.walkLevels = 3;
+    EXPECT_NE(configFingerprint(levels), configFingerprint(on));
+}
+
+TEST(VmSimTest, ResultRoundTripsThroughJsonlWithVmStats)
+{
+    SimResult r =
+        runWorkload("mcf", checkedConfig(true, true), 1ULL << 40);
+    SimResult back = exp::resultFromJson(exp::resultToJson(r));
+    EXPECT_TRUE(back.vmEnabled);
+    EXPECT_EQ(back.vm.itlbAccesses, r.vm.itlbAccesses);
+    EXPECT_EQ(back.vm.itlbMisses, r.vm.itlbMisses);
+    EXPECT_EQ(back.vm.dtlbAccesses, r.vm.dtlbAccesses);
+    EXPECT_EQ(back.vm.dtlbMisses, r.vm.dtlbMisses);
+    EXPECT_EQ(back.vm.stlbAccesses, r.vm.stlbAccesses);
+    EXPECT_EQ(back.vm.stlbMisses, r.vm.stlbMisses);
+    EXPECT_EQ(back.vm.walks, r.vm.walks);
+    EXPECT_EQ(back.vm.walkCycles, r.vm.walkCycles);
+    EXPECT_EQ(back.vm.ptAccesses, r.vm.ptAccesses);
+    EXPECT_EQ(back.cpiTotal()[CpiComponent::TlbWalk],
+              r.cpiTotal()[CpiComponent::TlbWalk]);
+}
+
+} // namespace
+} // namespace mlpwin

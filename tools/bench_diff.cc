@@ -42,6 +42,7 @@ constexpr Metric kMetrics[] = {
     {"profiler_overhead_pct", false},
     {"isolate_overhead_pct", false},
     {"cache_miss_overhead_pct", false},
+    {"vm_overhead_pct", false},
 };
 
 JsonValue

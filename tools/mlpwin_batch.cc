@@ -42,6 +42,7 @@
 #include "exp/result_writer.hh"
 #include "serve/fault_inject.hh"
 #include "serve/supervisor.hh"
+#include "vm/mmu_flags.hh"
 #include "workloads/suite.hh"
 
 using namespace mlpwin;
@@ -111,6 +112,7 @@ usage()
         "  --no-warm-caches      start with cold I/D caches\n"
         "  --check               run every cell with the lockstep\n"
         "                        architectural checker attached\n"
+        "%s"
         "  --telemetry-dir DIR   per-job interval telemetry + event\n"
         "                        timeline files, written as\n"
         "                        DIR/<workload>.<model>.telemetry."
@@ -152,7 +154,8 @@ usage()
         "  --no-watchdog         disable the forward-progress\n"
         "                        watchdog\n"
         "  --quiet               suppress per-job progress on "
-        "stderr\n");
+        "stderr\n",
+        vm::vmFlagsUsage());
 }
 
 std::vector<std::string>
@@ -321,6 +324,13 @@ main(int argc, char **argv)
         } else if (arg == "--no-warm-caches") {
             spec.base.warmInstCaches = false;
             spec.base.warmDataCaches = false;
+        } else if (vm::isVmBoolFlag(arg) || vm::isVmValueFlag(arg)) {
+            const char *v = vm::isVmValueFlag(arg) ? next() : nullptr;
+            std::string err;
+            if (!vm::applyVmFlag(arg, v, spec.base.vm, err)) {
+                std::fprintf(stderr, "%s\n", err.c_str());
+                return 2;
+            }
         } else if (arg == "--check") {
             spec.base.lockstepCheck = true;
         } else if (arg == "--telemetry-dir") {
@@ -385,6 +395,11 @@ main(int argc, char **argv)
         }
     }
 
+    std::string vm_err = spec.base.vm.validate();
+    if (!vm_err.empty()) {
+        std::fprintf(stderr, "%s\n", vm_err.c_str());
+        return 2;
+    }
     if (!resolveWorkloads(workloads_arg, spec.workloads))
         return 2;
     for (const std::string &token : splitList(models_arg)) {

@@ -12,6 +12,9 @@
  *   mlpwin_cachectl --dir DIR gc --max-bytes N
  *                                           delete oldest entries
  *                                           until within N bytes
+ *   mlpwin_cachectl --dir DIR gc --max-bytes N --dry-run
+ *                                           print what gc would
+ *                                           delete; remove nothing
  *   mlpwin_cachectl --dir DIR clear         remove everything
  *
  * fsck/gc/clear take the cache's exclusive flock, so they are safe
@@ -39,7 +42,8 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: mlpwin_cachectl --dir DIR "
-                 "{fsck | ls | gc --max-bytes N | clear}\n");
+                 "{fsck | ls | gc --max-bytes N [--dry-run] | "
+                 "clear}\n");
 }
 
 } // namespace
@@ -50,6 +54,7 @@ main(int argc, char **argv)
     std::string dir;
     std::string cmd;
     bool have_max = false;
+    bool dry_run = false;
     std::uint64_t max_bytes = 0;
 
     for (int i = 1; i < argc; ++i) {
@@ -72,6 +77,8 @@ main(int argc, char **argv)
                 return 2;
             }
             have_max = true;
+        } else if (arg == "--dry-run") {
+            dry_run = true;
         } else if (arg == "-h" || arg == "--help") {
             usage();
             return 0;
@@ -92,6 +99,10 @@ main(int argc, char **argv)
 
     if (dir.empty() || cmd.empty()) {
         usage();
+        return 2;
+    }
+    if (dry_run && cmd != "gc") {
+        std::fprintf(stderr, "--dry-run only applies to gc\n");
         return 2;
     }
 
@@ -134,10 +145,26 @@ main(int argc, char **argv)
             std::fprintf(stderr, "gc requires --max-bytes N\n");
             return 2;
         }
-        cache::ResultCache::GcReport rep = rc.gc(max_bytes);
-        std::printf("gc: %zu entries scanned, %zu removed, %llu -> "
+        std::vector<cache::ResultCache::EntryInfo> victims;
+        cache::ResultCache::GcReport rep =
+            rc.gc(max_bytes, dry_run, &victims);
+        if (dry_run) {
+            // One line per would-be eviction, in the order a real gc
+            // would delete them (oldest first).
+            for (const cache::ResultCache::EntryInfo &e : victims)
+                std::printf("would remove %016llx %8llu %s/%s\n",
+                            static_cast<unsigned long long>(e.key),
+                            static_cast<unsigned long long>(e.bytes),
+                            e.workload.empty() ? "?"
+                                               : e.workload.c_str(),
+                            e.model.empty() ? "?"
+                                            : e.model.c_str());
+        }
+        std::printf("gc%s: %zu entries scanned, %zu %s, %llu -> "
                     "%llu bytes\n",
-                    rep.scanned, rep.removed,
+                    dry_run ? " (dry run)" : "", rep.scanned,
+                    rep.removed,
+                    dry_run ? "would be removed" : "removed",
                     static_cast<unsigned long long>(rep.bytesBefore),
                     static_cast<unsigned long long>(rep.bytesAfter));
         return 0;

@@ -29,6 +29,7 @@
 #include "sim/simulator.hh"
 #include "smt/metrics.hh"
 #include "telemetry/export.hh"
+#include "vm/mmu_flags.hh"
 #include "workloads/suite.hh"
 
 using namespace mlpwin;
@@ -82,6 +83,7 @@ usage()
         "      --mem-latency N    DRAM minimum latency, cycles\n"
         "      --penalty N        level-transition penalty, cycles\n"
         "      --no-prefetch      disable the data prefetcher\n"
+        "%s"
         "      --check            run the lockstep architectural\n"
         "                         checker alongside the core; abort\n"
         "                         with a divergence dump on the first\n"
@@ -115,7 +117,8 @@ usage()
         "                         'all' or a comma list of fetch,\n"
         "                         dispatch,issue,complete,commit,\n"
         "                         squash,resize,runahead\n"
-        "      --trace-start N    first cycle to trace (default 0)\n");
+        "      --trace-start N    first cycle to trace (default 0)\n",
+        vm::vmFlagsUsage());
 }
 
 /** Parse a numeric flag value strictly; usage-error exit on junk. */
@@ -261,6 +264,13 @@ main(int argc, char **argv)
                 static_cast<unsigned>(numericFlag(arg, next()));
         } else if (arg == "--no-prefetch") {
             cfg.mem.prefetcher.enabled = false;
+        } else if (vm::isVmBoolFlag(arg) || vm::isVmValueFlag(arg)) {
+            const char *v = vm::isVmValueFlag(arg) ? next() : nullptr;
+            std::string err;
+            if (!vm::applyVmFlag(arg, v, cfg.vm, err)) {
+                std::fprintf(stderr, "%s\n", err.c_str());
+                return 2;
+            }
         } else if (arg == "--check") {
             cfg.lockstepCheck = true;
         } else if (arg == "--watchdog-cycles") {
@@ -321,6 +331,14 @@ main(int argc, char **argv)
 
     if (workload.empty()) {
         usage();
+        return 2;
+    }
+    // Cross-field MMU constraints (entries divisible by assoc, ...)
+    // are usage errors too, caught here rather than as a SimError
+    // mid-construction.
+    std::string vm_err = cfg.vm.validate();
+    if (!vm_err.empty()) {
+        std::fprintf(stderr, "%s\n", vm_err.c_str());
         return 2;
     }
 

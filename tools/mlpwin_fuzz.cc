@@ -33,6 +33,7 @@
 #include "check/mlpasm.hh"
 #include "common/parse.hh"
 #include "isa/fuzz_builder.hh"
+#include "vm/mmu_flags.hh"
 
 using namespace mlpwin;
 
@@ -65,7 +66,9 @@ usage()
         "  --chase-nodes N   pointer-ring nodes (power of two)\n"
         "  --chase-spacing N bytes between ring nodes\n"
         "  --stride-bytes N  stride arena bytes (power of two)\n"
-        "  --small-bytes N   hot arena bytes\n");
+        "  --small-bytes N   hot arena bytes\n"
+        "%s",
+        vm::vmFlagsUsage());
 }
 
 std::uint64_t
@@ -225,6 +228,14 @@ main(int argc, char **argv)
             params.strideBytes = numericFlag(arg, next());
         } else if (arg == "--small-bytes") {
             params.smallBytes = numericFlag(arg, next());
+        } else if (vm::isVmBoolFlag(arg) || vm::isVmValueFlag(arg)) {
+            const char *value =
+                vm::isVmValueFlag(arg) ? next() : nullptr;
+            std::string err;
+            if (!vm::applyVmFlag(arg, value, diff.base.vm, err)) {
+                std::fprintf(stderr, "%s\n", err.c_str());
+                return 2;
+            }
         } else if (arg == "-h" || arg == "--help") {
             usage();
             return 0;
